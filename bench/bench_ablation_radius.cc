@@ -1,0 +1,95 @@
+// Ablation: neighborhood radius of the stored profiles (r = 0 degenerates
+// to plain labels; the paper's experiments use r = 1). Measures index build
+// time, profile-retrieval time, and the resulting search space.
+//
+// DESIGN.md ablation item 5.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace graphql::bench {
+namespace {
+
+const Graph& Network() { return GetProteinWorkload().graph; }
+
+const match::LabelIndex& IndexForRadius(int radius) {
+  static std::map<int, std::unique_ptr<match::LabelIndex>>* cache =
+      new std::map<int, std::unique_ptr<match::LabelIndex>>();
+  auto it = cache->find(radius);
+  if (it == cache->end()) {
+    match::LabelIndexOptions options;
+    options.radius = radius;
+    options.build_neighborhoods = false;
+    it = cache
+             ->emplace(radius, std::make_unique<match::LabelIndex>(
+                                   match::LabelIndex::Build(Network(),
+                                                            options)))
+             .first;
+  }
+  return *it->second;
+}
+
+const std::vector<Graph>& Queries() {
+  static const std::vector<Graph>* const kQ = [] {
+    ClassifiedQueries q = MakeClassifiedCliqueQueries(
+        4, /*want_each=*/20, /*max_attempts=*/400, /*seed=*/22);
+    return new std::vector<Graph>(std::move(q.low_hits));
+  }();
+  return *kQ;
+}
+
+void BM_IndexBuildAtRadius(benchmark::State& state) {
+  int radius = static_cast<int>(state.range(0));
+  match::LabelIndexOptions options;
+  options.radius = radius;
+  options.build_neighborhoods = false;
+  for (auto _ : state) {
+    match::LabelIndex index = match::LabelIndex::Build(Network(), options);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["radius"] = radius;
+}
+BENCHMARK(BM_IndexBuildAtRadius)
+    ->DenseRange(0, 2)
+    ->ArgName("radius")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RetrieveAtRadius(benchmark::State& state) {
+  int radius = static_cast<int>(state.range(0));
+  const match::LabelIndex& index = IndexForRadius(radius);
+  const std::vector<Graph>& queries = Queries();
+  std::vector<algebra::GraphPattern> patterns;
+  for (const Graph& q : queries) {
+    patterns.push_back(algebra::GraphPattern::FromGraph(q));
+  }
+  match::PipelineOptions o;
+  o.candidate_mode = match::CandidateMode::kProfile;
+
+  double space_log_sum = 0;
+  for (auto _ : state) {
+    space_log_sum = 0;
+    for (algebra::GraphPattern& p : patterns) {
+      match::PipelineStats stats;
+      auto cand =
+          match::RetrieveCandidates(p, Network(), &index, o, &stats);
+      benchmark::DoNotOptimize(cand);
+      double space = stats.SpaceRetrieved();
+      space_log_sum += space > 0 ? std::log10(space) : 0;
+    }
+  }
+  state.counters["radius"] = radius;
+  state.counters["geomean_space"] = std::pow(
+      10.0, space_log_sum / static_cast<double>(patterns.size()));
+}
+BENCHMARK(BM_RetrieveAtRadius)
+    ->DenseRange(0, 2)
+    ->ArgName("radius")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace graphql::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+#ifndef GRAPHQL_BENCH_BENCH_COMMON_H_
+#define GRAPHQL_BENCH_BENCH_COMMON_H_
+
+// Shared workload setup for the figure-reproduction benchmarks. Each bench
+// binary regenerates one table/figure of the paper's evaluation
+// (Section 5); see DESIGN.md's experiment index for the mapping.
+//
+// The workloads substitute synthetic data for the paper's yeast protein
+// network and MySQL instance (DESIGN.md, Substitutions) with matched
+// shape: 3112 nodes / 12519 edges / 183 labels, clique queries drawn from
+// the top-40 most frequent labels, Erdos-Renyi graphs with m = 5n and 100
+// Zipf labels.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "match/pipeline.h"
+#include "rel/sql_plan.h"
+#include "workload/erdos_renyi.h"
+#include "workload/protein_network.h"
+#include "workload/queries.h"
+
+namespace graphql::bench {
+
+/// The paper's per-query answer cap ("queries having too many hits (more
+/// than 1000) are terminated immediately").
+inline constexpr size_t kMaxHits = 1000;
+/// Low-hits / high-hits split (Section 5.1).
+inline constexpr size_t kLowHitThreshold = 100;
+
+struct ProteinWorkload {
+  Graph graph;
+  match::LabelIndex index;
+  std::vector<std::string> top_labels;  ///< 40 most frequent labels.
+};
+
+/// Builds (once) the protein-network workload with a radius-1 index
+/// holding both profiles and neighborhood subgraphs.
+inline const ProteinWorkload& GetProteinWorkload() {
+  static const ProteinWorkload* const kWorkload = [] {
+    auto* w = new ProteinWorkload();
+    Rng rng(20080610);  // SIGMOD'08 vintage seed.
+    w->graph = workload::MakeProteinNetwork({}, &rng);
+    w->index = match::LabelIndex::Build(w->graph);
+    auto top = w->index.LabelsByFrequency();
+    for (size_t i = 0; i < 40 && i < top.size(); ++i) {
+      w->top_labels.push_back(w->index.dict().Name(top[i]));
+    }
+    return w;
+  }();
+  return *kWorkload;
+}
+
+struct ClassifiedQueries {
+  std::vector<Graph> low_hits;   ///< 1..99 answers.
+  std::vector<Graph> high_hits;  ///< >= 100 answers (capped at 1000).
+};
+
+/// Generates clique queries of `size` with answers and classifies them by
+/// answer count under the optimized pipeline. The paper generates random
+/// label combinations and discards no-answer queries; on the synthetic
+/// network that protocol only terminates if queries are drawn from labels
+/// of actual cliques, so the generator extracts a random data clique and
+/// uses its labels (see workload::ExtractCliqueQuery). Generation stops
+/// after `want_each` queries per class or `max_attempts` tries.
+inline ClassifiedQueries MakeClassifiedCliqueQueries(size_t size,
+                                                     size_t want_each,
+                                                     size_t max_attempts,
+                                                     uint64_t seed) {
+  const ProteinWorkload& w = GetProteinWorkload();
+  Rng rng(seed);
+  ClassifiedQueries out;
+  match::PipelineOptions options;
+  options.match.max_matches = kMaxHits;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (out.low_hits.size() >= want_each &&
+        out.high_hits.size() >= want_each) {
+      break;
+    }
+    auto q = workload::ExtractCliqueQuery(w.graph, size, &rng);
+    if (!q.ok()) continue;
+    algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+    auto matches = match::MatchPattern(p, w.graph, &w.index, options);
+    if (!matches.ok() || matches->empty()) continue;
+    if (matches->size() < kLowHitThreshold) {
+      if (out.low_hits.size() < want_each) out.low_hits.push_back(*q);
+    } else {
+      if (out.high_hits.size() < want_each) out.high_hits.push_back(*q);
+    }
+  }
+  return out;
+}
+
+struct SyntheticWorkload {
+  Graph graph;
+  match::LabelIndex index;
+};
+
+/// Erdos-Renyi workload: n nodes, 5n edges, 100 Zipf labels (Section 5.2).
+/// `build_neighborhoods` may be disabled for the large graph-size sweep.
+inline SyntheticWorkload MakeSyntheticWorkload(size_t n,
+                                               bool build_neighborhoods,
+                                               uint64_t seed) {
+  SyntheticWorkload w;
+  Rng rng(seed);
+  workload::ErdosRenyiOptions options;
+  options.num_nodes = n;
+  options.num_edges = 5 * n;
+  options.num_labels = 100;
+  w.graph = workload::MakeErdosRenyi(options, &rng);
+  match::LabelIndexOptions iopts;
+  iopts.build_neighborhoods = build_neighborhoods;
+  w.index = match::LabelIndex::Build(w.graph, iopts);
+  return w;
+}
+
+/// Random connected queries with at least one answer and under the hit cap
+/// ("low hits"), per Section 5.2.
+inline std::vector<Graph> MakeLowHitConnectedQueries(
+    const SyntheticWorkload& w, size_t size, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Graph> out;
+  match::PipelineOptions options;
+  options.match.max_matches = kMaxHits;
+  for (size_t attempt = 0; attempt < count * 30 && out.size() < count;
+       ++attempt) {
+    auto q = workload::ExtractConnectedQuery(w.graph, size, &rng);
+    if (!q.ok()) continue;
+    algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+    auto matches = match::MatchPattern(p, w.graph, &w.index, options);
+    if (!matches.ok() || matches->empty()) continue;
+    if (matches->size() >= kLowHitThreshold) continue;
+    out.push_back(std::move(q).value());
+  }
+  return out;
+}
+
+/// Mean of log10(x) over the positive entries: the figures plot log-scale
+/// reduction ratios, and exponents are also what benchmark counters can
+/// display unambiguously (SI suffixes stop at 1e-24).
+inline double MeanLog10(const std::vector<double>& xs) {
+  double acc = 0;
+  size_t n = 0;
+  for (double x : xs) {
+    if (x <= 0) continue;  // A zero ratio (empty space) contributes log 0.
+    acc += std::log10(x);
+    ++n;
+  }
+  if (n == 0) return 0;
+  return acc / static_cast<double>(n);
+}
+
+/// Geometric mean (exp10 of MeanLog10).
+inline double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::pow(10.0, MeanLog10(xs));
+}
+
+}  // namespace graphql::bench
+
+#endif  // GRAPHQL_BENCH_BENCH_COMMON_H_

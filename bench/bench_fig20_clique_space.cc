@@ -1,0 +1,96 @@
+// Figure 4.20: search-space reduction ratio vs clique size on the protein
+// network, for (a) low-hit and (b) high-hit queries.
+//
+// Series (as in the paper): "retrieve by profiles", "retrieve by
+// subgraphs", "refined search space" — each reported as the geometric mean
+// of ratio(space_method / space_baseline) over the query set, where the
+// baseline space is retrieval by node attributes.
+//
+// Expected shape: all ratios << 1 and shrinking with clique size; for
+// cliques, subgraph retrieval gives the smallest space (the radius-1
+// neighborhood of a clique node is the whole clique) and refinement always
+// improves on profile retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+namespace graphql::bench {
+namespace {
+
+const ClassifiedQueries& QueriesForSize(size_t size) {
+  static std::map<size_t, ClassifiedQueries>* cache =
+      new std::map<size_t, ClassifiedQueries>();
+  auto it = cache->find(size);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(size, MakeClassifiedCliqueQueries(
+                                 size, /*want_each=*/25,
+                                 /*max_attempts=*/600, /*seed=*/size * 101))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Fig20_CliqueSpace(benchmark::State& state) {
+  size_t size = static_cast<size_t>(state.range(0));
+  bool high = state.range(1) != 0;
+  const ClassifiedQueries& classified = QueriesForSize(size);
+  const std::vector<Graph>& queries =
+      high ? classified.high_hits : classified.low_hits;
+  const ProteinWorkload& w = GetProteinWorkload();
+
+  std::vector<double> ratio_profiles;
+  std::vector<double> ratio_subgraphs;
+  std::vector<double> ratio_refined;
+
+  for (auto _ : state) {
+    ratio_profiles.clear();
+    ratio_subgraphs.clear();
+    ratio_refined.clear();
+    for (const Graph& q : queries) {
+      algebra::GraphPattern p = algebra::GraphPattern::FromGraph(q);
+      match::PipelineOptions options;
+      match::PipelineStats stats;
+
+      options.candidate_mode = match::CandidateMode::kProfile;
+      match::RetrieveCandidates(p, w.graph, &w.index, options, &stats);
+      double space0 = stats.SpaceAttr();
+      if (space0 <= 0) continue;
+      ratio_profiles.push_back(stats.SpaceRetrieved() / space0);
+
+      options.candidate_mode = match::CandidateMode::kNeighborhood;
+      match::RetrieveCandidates(p, w.graph, &w.index, options, &stats);
+      ratio_subgraphs.push_back(stats.SpaceRetrieved() / space0);
+
+      // Refined space on top of profile retrieval (the paper's setup:
+      // refinement input comes from "retrieve by profiles", level = query
+      // size).
+      options.candidate_mode = match::CandidateMode::kProfile;
+      options.refine_level = static_cast<int>(size);
+      options.match.max_matches = kMaxHits;
+      match::PipelineStats full;
+      auto r = match::MatchPattern(p, w.graph, &w.index, options, &full);
+      benchmark::DoNotOptimize(r);
+      ratio_refined.push_back(full.SpaceRefined() / space0);
+    }
+  }
+
+  state.counters["queries"] = static_cast<double>(queries.size());
+  state.counters["log10_ratio_profiles"] = MeanLog10(ratio_profiles);
+  state.counters["log10_ratio_subgraphs"] = MeanLog10(ratio_subgraphs);
+  state.counters["log10_ratio_refined"] = MeanLog10(ratio_refined);
+}
+
+BENCHMARK(BM_Fig20_CliqueSpace)
+    ->ArgsProduct({{2, 3, 4, 5, 6, 7}, {0, 1}})
+    ->ArgNames({"clique", "high_hits"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace graphql::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Access methods for the paper's FIRST database category (a large
+// collection of small graphs, Section 4's opening): path-feature filtering
+// vs scanning every member with the matcher. Not a numbered paper figure —
+// the paper defers this category to the graph-indexing literature it cites
+// (GraphGrep et al.) — but it completes the system inventory.
+//
+// Expected shape: indexed selection examines only candidate members, and
+// the gap over the full scan grows with collection size and label
+// diversity; index build time is the (one-off) price.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "gindex/collection_index.h"
+
+namespace graphql::bench {
+namespace {
+
+struct Workload {
+  GraphCollection collection;
+  std::unique_ptr<gindex::CollectionIndex> index;
+  std::vector<Graph> queries;
+};
+
+/// Chemical-compound-like collection: many small sparse graphs over a
+/// shared alphabet with group-specific rare labels.
+const Workload& GetWorkload(size_t num_graphs) {
+  static std::map<size_t, std::unique_ptr<Workload>>* cache =
+      new std::map<size_t, std::unique_ptr<Workload>>();
+  auto it = cache->find(num_graphs);
+  if (it != cache->end()) return *it->second;
+
+  auto w = std::make_unique<Workload>();
+  Rng rng(31 + num_graphs);
+  for (size_t i = 0; i < num_graphs; ++i) {
+    workload::ErdosRenyiOptions opts;
+    opts.num_nodes = 12 + rng.NextBounded(12);
+    opts.num_edges = opts.num_nodes + rng.NextBounded(opts.num_nodes);
+    opts.num_labels = 8;
+    Graph g = workload::MakeErdosRenyi(opts, &rng);
+    // One rare group-specific label per ~16 members increases filter power,
+    // like element types in chemical data.
+    if (rng.NextBool(0.5)) {
+      NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+      g.SetLabel(v, "R" + std::to_string(i % 16));
+    }
+    w->collection.Add(std::move(g));
+  }
+  w->index = std::make_unique<gindex::CollectionIndex>(
+      gindex::CollectionIndex::Build(w->collection));
+  // Queries: connected subgraphs of random members.
+  while (w->queries.size() < 10) {
+    size_t source = rng.NextBounded(w->collection.size());
+    auto q = workload::ExtractConnectedQuery(w->collection[source], 4, &rng);
+    if (q.ok()) w->queries.push_back(std::move(q).value());
+  }
+  it = cache->emplace(num_graphs, std::move(w)).first;
+  return *it->second;
+}
+
+void BM_CollectionScan(benchmark::State& state) {
+  const Workload& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  std::vector<algebra::GraphPattern> patterns;
+  for (const Graph& q : w.queries) {
+    patterns.push_back(algebra::GraphPattern::FromGraph(q));
+  }
+  size_t total = 0;
+  for (auto _ : state) {
+    total = 0;
+    for (const algebra::GraphPattern& p : patterns) {
+      auto m = match::SelectCollection(p, w.collection);
+      if (m.ok()) total += m->size();
+    }
+  }
+  state.SetLabel("scan_all_members");
+  state.counters["matches"] = static_cast<double>(total);
+}
+BENCHMARK(BM_CollectionScan)
+    ->Arg(500)
+    ->Arg(2000)
+    ->ArgName("graphs")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollectionIndexed(benchmark::State& state) {
+  const Workload& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  std::vector<algebra::GraphPattern> patterns;
+  for (const Graph& q : w.queries) {
+    patterns.push_back(algebra::GraphPattern::FromGraph(q));
+  }
+  size_t total = 0;
+  size_t candidates = 0;
+  for (auto _ : state) {
+    total = 0;
+    candidates = 0;
+    for (const algebra::GraphPattern& p : patterns) {
+      gindex::CollectionIndex::SelectStats stats;
+      auto m = w.index->Select(p, {}, &stats);
+      if (m.ok()) total += m->size();
+      candidates += stats.candidates;
+    }
+  }
+  state.SetLabel("path_feature_filter");
+  state.counters["matches"] = static_cast<double>(total);
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["members"] =
+      static_cast<double>(w.collection.size() * patterns.size());
+}
+BENCHMARK(BM_CollectionIndexed)
+    ->Arg(500)
+    ->Arg(2000)
+    ->ArgName("graphs")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CollectionIndexBuild(benchmark::State& state) {
+  const Workload& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gindex::CollectionIndex::Build(w.collection));
+  }
+  state.SetLabel("index_build");
+}
+BENCHMARK(BM_CollectionIndexBuild)
+    ->Arg(500)
+    ->Arg(2000)
+    ->ArgName("graphs")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace graphql::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,220 @@
+// Micro-benchmarks of the individual substrates: Hopcroft-Karp matching,
+// profile containment, neighborhood extraction, label-index build, the
+// GraphQL parser, and relational index probes. These are regression
+// sentinels rather than paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "lang/parser.h"
+#include "match/bipartite.h"
+#include "match/neighborhood.h"
+#include "match/profile.h"
+#include "reach/reachability.h"
+
+namespace graphql::bench {
+namespace {
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<int>> adj(n);
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.NextBool(4.0 / n)) adj[l].push_back(r);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::MaxBipartiteMatching(n, n, adj));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ProfileContains(benchmark::State& state) {
+  const ProteinWorkload& w = GetProteinWorkload();
+  const match::Profile& haystack = w.index.profile(0);
+  match::Profile needle = haystack;
+  if (needle.size() > 2) needle.resize(needle.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::ProfileContains(haystack, needle));
+  }
+}
+BENCHMARK(BM_ProfileContains);
+
+void BM_BuildProfileRadius1(benchmark::State& state) {
+  const Graph& g = GetProteinWorkload().graph;
+  match::LabelDictionary dict;
+  std::vector<int> scratch(g.NumNodes(), -1);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::BuildProfile(g, v, 1, &dict, &scratch));
+    v = static_cast<NodeId>((v + 1) % g.NumNodes());
+  }
+}
+BENCHMARK(BM_BuildProfileRadius1);
+
+void BM_ExtractNeighborhood(benchmark::State& state) {
+  const Graph& g = GetProteinWorkload().graph;
+  std::vector<NodeId> scratch(g.NumNodes(), kInvalidNode);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::ExtractNeighborhood(g, v, 1, &scratch));
+    v = static_cast<NodeId>((v + 1) % g.NumNodes());
+  }
+}
+BENCHMARK(BM_ExtractNeighborhood);
+
+void BM_LabelIndexBuild(benchmark::State& state) {
+  const Graph& g = GetProteinWorkload().graph;
+  match::LabelIndexOptions options;
+  options.build_neighborhoods = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match::LabelIndex::Build(g, options));
+  }
+  state.SetLabel(options.build_neighborhoods ? "with_neighborhoods"
+                                             : "profiles_only");
+}
+BENCHMARK(BM_LabelIndexBuild)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ParseCoauthorshipQuery(benchmark::State& state) {
+  const char* query = R"(
+    graph P { node v1 <author>; node v2 <author>; }
+      where P.booktitle = "SIGMOD";
+    C := graph {};
+    for P exhaustive in doc("DBLP") let C := graph {
+      graph C;
+      node P.v1, P.v2;
+      edge e1 (P.v1, P.v2);
+      unify P.v1, C.v1 where P.v1.name = C.v1.name;
+      unify P.v2, C.v2 where P.v2.name = C.v2.name;
+    };
+  )";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::Parser::ParseProgram(query));
+  }
+}
+BENCHMARK(BM_ParseCoauthorshipQuery);
+
+void BM_SqlIndexProbe(benchmark::State& state) {
+  static const rel::SqlGraphDatabase* const kDb = [] {
+    return new rel::SqlGraphDatabase(
+        rel::SqlGraphDatabase::FromGraph(GetProteinWorkload().graph));
+  }();
+  const Graph& g = GetProteinWorkload().graph;
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u <label=\"" +
+      std::string(g.Label(0)) + "\">; node v; edge (u, v); }");
+  if (!p.ok()) {
+    state.SkipWithError("pattern parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kDb->MatchPattern(*p, 100));
+  }
+}
+BENCHMARK(BM_SqlIndexProbe)->Unit(benchmark::kMicrosecond);
+
+void BM_AttrIndexRangeRetrieval(benchmark::State& state) {
+  // Range-constrained wildcard node: B+-tree retrieval vs full scan.
+  bool use_index = state.range(0) != 0;
+  static const Graph* const kG = [] {
+    Rng rng(321);
+    Graph* g = new Graph("attrs");
+    for (int i = 0; i < 20000; ++i) {
+      AttrTuple attrs;
+      attrs.Set("weight", Value(static_cast<int64_t>(rng.NextBounded(1000))));
+      g->AddNode("", std::move(attrs));
+    }
+    for (int i = 0; i < 60000; ++i) {
+      g->AddEdge(static_cast<NodeId>(rng.NextBounded(20000)),
+                 static_cast<NodeId>(rng.NextBounded(20000)));
+    }
+    return g;
+  }();
+  static const match::LabelIndex* const kWithAttr = [] {
+    match::LabelIndexOptions o;
+    o.build_profiles = false;
+    o.build_neighborhoods = false;
+    o.indexed_attributes = {"weight"};
+    return new match::LabelIndex(match::LabelIndex::Build(*kG, o));
+  }();
+  static const match::LabelIndex* const kPlain = [] {
+    match::LabelIndexOptions o;
+    o.build_profiles = false;
+    o.build_neighborhoods = false;
+    return new match::LabelIndex(match::LabelIndex::Build(*kG, o));
+  }();
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u where weight >= 990; node v; edge (u, v); }");
+  if (!p.ok()) {
+    state.SkipWithError("pattern parse failed");
+    return;
+  }
+  match::PipelineOptions options;
+  options.candidate_mode = match::CandidateMode::kLabelOnly;
+  options.refine_level = 0;
+  const match::LabelIndex* index = use_index ? kWithAttr : kPlain;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        match::RetrieveCandidates(*p, *kG, index, options));
+  }
+  state.SetLabel(use_index ? "btree_range" : "full_scan");
+}
+BENCHMARK(BM_AttrIndexRangeRetrieval)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("indexed")
+    ->Unit(benchmark::kMicrosecond);
+
+Graph DirectedWorkload() {
+  Rng rng(77);
+  Graph g("d", /*directed=*/true);
+  size_t n = 5000;
+  for (size_t i = 0; i < n; ++i) g.AddNode();
+  for (size_t i = 0; i < 4 * n; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.NextBounded(n)),
+              static_cast<NodeId>(rng.NextBounded(n)));
+  }
+  return g;
+}
+
+void BM_ReachabilityBuild(benchmark::State& state) {
+  static const Graph* const kG = new Graph(DirectedWorkload());
+  for (auto _ : state) {
+    auto index = reach::ReachabilityIndex::Build(*kG);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_ReachabilityBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ReachabilityQuery(benchmark::State& state) {
+  static const Graph* const kG = new Graph(DirectedWorkload());
+  static const reach::ReachabilityIndex* const kIndex = [] {
+    auto r = reach::ReachabilityIndex::Build(*kG);
+    return new reach::ReachabilityIndex(std::move(r).value());
+  }();
+  Rng rng(5);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(kG->NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(kG->NumNodes()));
+    benchmark::DoNotOptimize(kIndex->Reachable(u, v));
+  }
+}
+BENCHMARK(BM_ReachabilityQuery);
+
+void BM_ReachabilityBfsQuery(benchmark::State& state) {
+  static const Graph* const kG = new Graph(DirectedWorkload());
+  Rng rng(5);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(kG->NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(kG->NumNodes()));
+    benchmark::DoNotOptimize(reach::BfsReachable(*kG, u, v));
+  }
+}
+BENCHMARK(BM_ReachabilityBfsQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace graphql::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,231 @@
+// gqlsh: an interactive shell (and batch runner) for GraphQL programs.
+//
+// Usage:
+//   gqlsh                      interactive REPL on stdin
+//   gqlsh script.gql           run a program file and exit
+//
+// Shell commands (lines starting with ':'):
+//   :load NAME PATH    register a collection file as doc("NAME")
+//                      (.gql text / .gqlb binary, see io::SaveCollection)
+//   :save VAR PATH     save a graph variable to a file
+//   :show VAR          print a graph variable
+//   :docs              list registered documents
+//   :vars              list bound graph variables
+//   :help              this text
+//   :quit              exit
+//
+// Anything else accumulates into a statement buffer that executes when the
+// input forms a complete (semicolon-terminated, brace-balanced) program.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "exec/evaluator.h"
+#include "io/serialize.h"
+
+using namespace graphql;
+
+namespace {
+
+struct Shell {
+  exec::DocumentRegistry docs;
+  exec::Evaluator evaluator{&docs};
+  std::map<std::string, size_t> doc_sizes;
+  std::map<std::string, bool> vars_seen;
+  bool any_error = false;
+
+  void RunProgram(const std::string& source) {
+    auto result = evaluator.RunSource(source);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      any_error = true;
+      return;
+    }
+    for (const auto& [name, graph] : result->variables) {
+      if (!vars_seen.count(name)) {
+        std::printf("bound %s: %zu nodes, %zu edges\n", name.c_str(),
+                    graph.NumNodes(), graph.NumEdges());
+      }
+      vars_seen[name] = true;
+    }
+    if (result->returned.size() > 0) {
+      std::printf("returned %zu graphs:\n", result->returned.size());
+      size_t shown = 0;
+      for (const Graph& g : result->returned) {
+        std::printf("%s\n", io::WriteGraphText(g).c_str());
+        if (++shown >= 5 && result->returned.size() > 5) {
+          std::printf("... (%zu more)\n", result->returned.size() - shown);
+          break;
+        }
+      }
+    }
+  }
+
+  void Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == ":help") {
+      std::printf(
+          ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :vars | "
+          ":quit\n");
+      return;
+    }
+    if (cmd == ":load") {
+      std::string name;
+      std::string path;
+      in >> name >> path;
+      if (name.empty() || path.empty()) {
+        std::printf("usage: :load NAME PATH\n");
+        return;
+      }
+      auto c = io::LoadCollection(path);
+      if (!c.ok()) {
+        std::printf("error: %s\n", c.status().ToString().c_str());
+        any_error = true;
+        return;
+      }
+      size_t n = c->size();
+      doc_sizes[name] = n;
+      docs.Register(name, std::move(c).value());
+      std::printf("doc(\"%s\"): %zu graphs\n", name.c_str(), n);
+      return;
+    }
+    if (cmd == ":save") {
+      std::string var;
+      std::string path;
+      in >> var >> path;
+      const Graph* g = evaluator.Variable(var);
+      if (g == nullptr) {
+        std::printf("error: no variable '%s'\n", var.c_str());
+        return;
+      }
+      GraphCollection c;
+      c.Add(*g);
+      Status s = io::SaveCollection(c, path);
+      std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      return;
+    }
+    if (cmd == ":show") {
+      std::string var;
+      in >> var;
+      const Graph* g = evaluator.Variable(var);
+      if (g == nullptr) {
+        std::printf("error: no variable '%s'\n", var.c_str());
+        return;
+      }
+      std::printf("%s\n", io::WriteGraphText(*g).c_str());
+      return;
+    }
+    if (cmd == ":docs") {
+      for (const auto& [name, size] : doc_sizes) {
+        std::printf("doc(\"%s\"): %zu graphs\n", name.c_str(), size);
+      }
+      return;
+    }
+    if (cmd == ":vars") {
+      for (const auto& [name, seen] : vars_seen) {
+        const Graph* g = evaluator.Variable(name);
+        if (g != nullptr) {
+          std::printf("%s: %zu nodes, %zu edges\n", name.c_str(),
+                      g->NumNodes(), g->NumEdges());
+        }
+      }
+      return;
+    }
+    std::printf("unknown command %s (try :help)\n", cmd.c_str());
+  }
+};
+
+/// Complete when brace-balanced and ending with ';' outside braces.
+bool IsCompleteProgram(const std::string& buffer) {
+  int depth = 0;
+  bool in_string = false;
+  char last_significant = '\0';
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    char c = buffer[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      last_significant = c;
+    }
+  }
+  return depth <= 0 && last_significant == ';';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+
+  if (argc > 1) {
+    // Batch mode: process the script line-by-line so that ':' shell
+    // commands (e.g. :load) work in scripts too; exit nonzero on any
+    // error.
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::printf("cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::string buffer;
+    std::string line;
+    while (std::getline(file, line)) {
+      if (!line.empty() && line[0] == ':') {
+        shell.Command(line);
+        continue;
+      }
+      buffer += line;
+      buffer += "\n";
+      if (IsCompleteProgram(buffer)) {
+        shell.RunProgram(buffer);
+        buffer.clear();
+      }
+    }
+    if (!buffer.empty() &&
+        buffer.find_first_not_of(" \t\r\n") != std::string::npos) {
+      shell.RunProgram(buffer);
+    }
+    return shell.any_error ? 1 : 0;
+  }
+
+  std::printf("GraphQL shell — :help for commands, :quit to exit.\n");
+  std::string buffer;
+  std::string line;
+  bool tty = true;
+  std::printf("gql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == ':') {
+      if (line.rfind(":quit", 0) == 0) break;
+      shell.Command(line);
+    } else {
+      buffer += line;
+      buffer += "\n";
+      if (IsCompleteProgram(buffer)) {
+        shell.RunProgram(buffer);
+        buffer.clear();
+      }
+    }
+    std::printf(buffer.empty() ? "gql> " : "...> ");
+    std::fflush(stdout);
+  }
+  (void)tty;
+  return 0;
+}

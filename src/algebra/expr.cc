@@ -1,0 +1,215 @@
+#include "algebra/expr.h"
+
+#include "common/strings.h"
+
+namespace graphql::algebra {
+
+NodeId BoundGraph::ResolveNode(const std::string& dotted) const {
+  if (names != nullptr) {
+    auto it = names->find(dotted);
+    if (it == names->end()) return kInvalidNode;
+    NodeId pattern_node = it->second;
+    if (mapping != nullptr) {
+      if (pattern_node < 0 ||
+          static_cast<size_t>(pattern_node) >= mapping->size()) {
+        return kInvalidNode;
+      }
+      return (*mapping)[pattern_node];
+    }
+    return pattern_node;
+  }
+  if (attr_graph == nullptr) return kInvalidNode;
+  return attr_graph->FindNode(dotted);
+}
+
+EdgeId BoundGraph::ResolveEdge(const std::string& dotted) const {
+  if (edge_names != nullptr) {
+    auto it = edge_names->find(dotted);
+    if (it == edge_names->end()) return kInvalidEdge;
+    EdgeId pattern_edge = it->second;
+    if (edge_mapping != nullptr) {
+      if (pattern_edge < 0 ||
+          static_cast<size_t>(pattern_edge) >= edge_mapping->size()) {
+        return kInvalidEdge;
+      }
+      return (*edge_mapping)[pattern_edge];
+    }
+    return pattern_edge;
+  }
+  if (attr_graph == nullptr) return kInvalidEdge;
+  return attr_graph->FindEdgeByName(dotted);
+}
+
+Result<Value> Bindings::ResolveInGraph(const BoundGraph& g,
+                                       const std::vector<std::string>& path,
+                                       size_t start,
+                                       bool allow_graph_attr) const {
+  size_t n = path.size() - start;
+  if (g.attr_graph == nullptr) {
+    return Status::Internal("binding without an attribute graph");
+  }
+  if (n == 1) {
+    if (allow_graph_attr) {
+      return g.attr_graph->attrs().GetOrNull(path[start]);
+    }
+    return Status::InvalidArgument("cannot resolve bare name '" +
+                                   path[start] + "'");
+  }
+  // The attribute name is always the final path element; everything before
+  // it (possibly dotted, e.g. "X.v1") names a node or edge.
+  std::string prefix = path[start];
+  for (size_t i = start + 1; i + 1 < path.size(); ++i) {
+    prefix += ".";
+    prefix += path[i];
+  }
+  NodeId v = g.ResolveNode(prefix);
+  if (v != kInvalidNode) {
+    return g.attr_graph->node(v).attrs.GetOrNull(path.back());
+  }
+  EdgeId e = g.ResolveEdge(prefix);
+  if (e != kInvalidEdge) {
+    return g.attr_graph->edge(e).attrs.GetOrNull(path.back());
+  }
+  return Status::NotFound("cannot resolve '" +
+                          Join({path.begin() + static_cast<long>(start),
+                                path.end()},
+                               ".") +
+                          "' to a node or edge attribute");
+}
+
+Result<Value> Bindings::ResolvePath(
+    const std::vector<std::string>& path) const {
+  if (path.empty()) return Status::Internal("empty name path");
+  if (path.size() == 1) {
+    if (current_node_graph_ != nullptr) {
+      return current_node_graph_->node(current_node_).attrs.GetOrNull(
+          path[0]);
+    }
+    if (current_edge_graph_ != nullptr) {
+      return current_edge_graph_->edge(current_edge_).attrs.GetOrNull(
+          path[0]);
+    }
+    if (has_default_ && default_.attr_graph != nullptr) {
+      return default_.attr_graph->attrs().GetOrNull(path[0]);
+    }
+    return Status::NotFound("cannot resolve bare name '" + path[0] + "'");
+  }
+  auto it = named_.find(path[0]);
+  if (it != named_.end()) {
+    Result<Value> r = ResolveInGraph(it->second, path, 1,
+                                     /*allow_graph_attr=*/true);
+    if (r.ok()) return r;
+    // Fall through: `P.v1` may also be resolvable via the default binding
+    // when the binding name shadows a node-name prefix.
+  }
+  if (has_default_) {
+    return ResolveInGraph(default_, path, 0, /*allow_graph_attr=*/false);
+  }
+  if (it != named_.end()) {
+    return ResolveInGraph(it->second, path, 1, /*allow_graph_attr=*/true);
+  }
+  return Status::NotFound("cannot resolve '" + Join(path, ".") + "'");
+}
+
+Result<Value> EvalExpr(const lang::Expr& expr, const Bindings& bindings) {
+  switch (expr.kind) {
+    case lang::Expr::Kind::kLiteral:
+      return expr.literal;
+    case lang::Expr::Kind::kName:
+      return bindings.ResolvePath(expr.path);
+    case lang::Expr::Kind::kBinary: {
+      // Short-circuit the logical operators.
+      if (expr.op == lang::BinaryOp::kAnd) {
+        GQL_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, bindings));
+        if (!lhs.Truthy()) return Value(false);
+        GQL_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, bindings));
+        return Value(rhs.Truthy());
+      }
+      if (expr.op == lang::BinaryOp::kOr) {
+        GQL_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, bindings));
+        if (lhs.Truthy()) return Value(true);
+        GQL_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, bindings));
+        return Value(rhs.Truthy());
+      }
+      GQL_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, bindings));
+      GQL_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, bindings));
+      switch (expr.op) {
+        case lang::BinaryOp::kAdd:
+          return Value::Add(lhs, rhs);
+        case lang::BinaryOp::kSub:
+          return Value::Sub(lhs, rhs);
+        case lang::BinaryOp::kMul:
+          return Value::Mul(lhs, rhs);
+        case lang::BinaryOp::kDiv:
+          return Value::Div(lhs, rhs);
+        case lang::BinaryOp::kEq:
+          // An absent attribute (null) never equals anything, including
+          // another absent attribute: SQL-style missing-data semantics.
+          if (lhs.is_null() || rhs.is_null()) return Value(false);
+          return Value(lhs == rhs);
+        case lang::BinaryOp::kNe:
+          if (lhs.is_null() || rhs.is_null()) return Value(true);
+          return Value(lhs != rhs);
+        case lang::BinaryOp::kLt: {
+          if (lhs.is_null() || rhs.is_null()) return Value(false);
+          GQL_ASSIGN_OR_RETURN(bool b, Value::Less(lhs, rhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kLe: {
+          if (lhs.is_null() || rhs.is_null()) return Value(false);
+          GQL_ASSIGN_OR_RETURN(bool b, Value::LessEq(lhs, rhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kGt: {
+          if (lhs.is_null() || rhs.is_null()) return Value(false);
+          GQL_ASSIGN_OR_RETURN(bool b, Value::Less(rhs, lhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kGe: {
+          if (lhs.is_null() || rhs.is_null()) return Value(false);
+          GQL_ASSIGN_OR_RETURN(bool b, Value::LessEq(rhs, lhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kAnd:
+        case lang::BinaryOp::kOr:
+          break;  // Handled above.
+      }
+      return Status::Internal("unhandled binary operator");
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const lang::Expr& expr, const Bindings& bindings) {
+  GQL_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, bindings));
+  return v.Truthy();
+}
+
+void CollectNames(const lang::Expr& expr,
+                  std::vector<std::vector<std::string>>* out) {
+  switch (expr.kind) {
+    case lang::Expr::Kind::kLiteral:
+      return;
+    case lang::Expr::Kind::kName:
+      out->push_back(expr.path);
+      return;
+    case lang::Expr::Kind::kBinary:
+      CollectNames(*expr.lhs, out);
+      CollectNames(*expr.rhs, out);
+      return;
+  }
+}
+
+void SplitConjuncts(const lang::ExprPtr& expr,
+                    std::vector<lang::ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == lang::Expr::Kind::kBinary &&
+      expr->op == lang::BinaryOp::kAnd) {
+    SplitConjuncts(expr->lhs, out);
+    SplitConjuncts(expr->rhs, out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+}  // namespace graphql::algebra

@@ -1,0 +1,109 @@
+#ifndef GRAPHQL_ALGEBRA_EXPR_H_
+#define GRAPHQL_ALGEBRA_EXPR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "lang/ast.h"
+
+namespace graphql::algebra {
+
+/// One graph visible to dotted-name resolution during predicate or template
+/// evaluation.
+///
+/// Two configurations:
+///  - Plain graph: `names`/`mapping` null; node lookups go through
+///    Graph::FindNode and attributes are read from `attr_graph` directly.
+///  - Matched graph: `names` maps dotted pattern names to *pattern* node
+///    ids and `mapping` translates those to nodes of `attr_graph` (the data
+///    graph). This is how `P.v1.name` reads the attribute of the data node
+///    bound to pattern node v1.
+struct BoundGraph {
+  const Graph* attr_graph = nullptr;
+  const std::unordered_map<std::string, NodeId>* names = nullptr;
+  const std::vector<NodeId>* mapping = nullptr;
+  const std::unordered_map<std::string, EdgeId>* edge_names = nullptr;
+  const std::vector<EdgeId>* edge_mapping = nullptr;
+
+  /// Resolves a dotted node name to a node of attr_graph; kInvalidNode if
+  /// unknown or (for matched graphs) currently unmapped.
+  NodeId ResolveNode(const std::string& dotted) const;
+
+  /// Resolves a dotted edge name to an edge of attr_graph; kInvalidEdge if
+  /// unknown or unmapped.
+  EdgeId ResolveEdge(const std::string& dotted) const;
+};
+
+/// Name-resolution environment for expression evaluation. Holds named graph
+/// bindings (e.g. P -> a matched graph, C -> an accumulator graph), an
+/// optional default binding (the enclosing pattern, so `v1.name` works
+/// without the `P.` prefix), and an optional current node/edge for
+/// single-identifier attribute references inside per-node and per-edge
+/// `where` clauses.
+class Bindings {
+ public:
+  void Bind(const std::string& name, BoundGraph g) { named_[name] = g; }
+  void SetDefault(BoundGraph g) {
+    default_ = g;
+    has_default_ = true;
+  }
+  void SetCurrentNode(const Graph* g, NodeId v) {
+    current_node_graph_ = g;
+    current_node_ = v;
+  }
+  void ClearCurrentNode() { current_node_graph_ = nullptr; }
+  void SetCurrentEdge(const Graph* g, EdgeId e) {
+    current_edge_graph_ = g;
+    current_edge_ = e;
+  }
+  void ClearCurrentEdge() { current_edge_graph_ = nullptr; }
+
+  /// Resolves a dotted path to an attribute value. Resolution order:
+  ///  1. single identifier: current node attr, then current edge attr, then
+  ///     default binding's graph attribute;
+  ///  2. `B.rest` where B is a named binding: within B, `rest` is a graph
+  ///     attribute (1 element) or node/edge path + attribute;
+  ///  3. otherwise the whole path resolves against the default binding:
+  ///     longest node/edge-name prefix + attribute.
+  /// Missing attributes resolve to the null Value (predicates on absent
+  /// attributes are simply false), but unknown node paths are an error.
+  Result<Value> ResolvePath(const std::vector<std::string>& path) const;
+
+ private:
+  Result<Value> ResolveInGraph(const BoundGraph& g,
+                               const std::vector<std::string>& path,
+                               size_t start, bool allow_graph_attr) const;
+
+  std::unordered_map<std::string, BoundGraph> named_;
+  BoundGraph default_;
+  bool has_default_ = false;
+  const Graph* current_node_graph_ = nullptr;
+  NodeId current_node_ = kInvalidNode;
+  const Graph* current_edge_graph_ = nullptr;
+  EdgeId current_edge_ = kInvalidEdge;
+};
+
+/// Evaluates an expression tree against the bindings. Comparison operators
+/// yield booleans; `&`/`|` use truthiness; arithmetic follows Value rules.
+/// Equality/inequality on a null operand yields false/true respectively
+/// (absent attribute never equals anything), other comparisons on null are
+/// a TypeError.
+Result<Value> EvalExpr(const lang::Expr& expr, const Bindings& bindings);
+
+/// Evaluates an expression and coerces the result to a boolean.
+Result<bool> EvalPredicate(const lang::Expr& expr, const Bindings& bindings);
+
+/// Walks `expr` and reports every dotted name it references.
+void CollectNames(const lang::Expr& expr,
+                  std::vector<std::vector<std::string>>* out);
+
+/// Splits a predicate into its top-level conjuncts (children of `&`).
+void SplitConjuncts(const lang::ExprPtr& expr,
+                    std::vector<lang::ExprPtr>* out);
+
+}  // namespace graphql::algebra
+
+#endif  // GRAPHQL_ALGEBRA_EXPR_H_

@@ -1,0 +1,340 @@
+#include "algebra/graph_template.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "lang/parser.h"
+
+namespace graphql::algebra {
+
+BoundGraph TemplateParam::Bound() const {
+  if (matched_ != nullptr) return matched_->Bound();
+  BoundGraph bound;
+  bound.attr_graph = plain_;
+  return bound;
+}
+
+bool TemplateParam::ResolveNode(const std::string& dotted, const Graph** graph,
+                                NodeId* node) const {
+  if (matched_ != nullptr) {
+    auto it = matched_->pattern->node_names().find(dotted);
+    if (it == matched_->pattern->node_names().end()) return false;
+    *graph = matched_->data;
+    *node = matched_->node_mapping[it->second];
+    return true;
+  }
+  if (plain_ != nullptr) {
+    NodeId v = plain_->FindNode(dotted);
+    if (v == kInvalidNode) return false;
+    *graph = plain_;
+    *node = v;
+    return true;
+  }
+  return false;
+}
+
+Graph TemplateParam::MaterializeCopy() const {
+  if (matched_ != nullptr) return matched_->Materialize();
+  if (plain_ != nullptr) return *plain_;
+  return Graph();
+}
+
+Result<GraphTemplate> GraphTemplate::Create(lang::GraphDecl decl) {
+  GraphTemplate t;
+  t.decl_ = std::move(decl);
+  return t;
+}
+
+Result<GraphTemplate> GraphTemplate::Parse(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(lang::GraphDecl decl, lang::Parser::ParseGraph(source));
+  return Create(std::move(decl));
+}
+
+namespace {
+
+/// Working state of one instantiation: an append-only graph plus a
+/// union-find so `unify` can merge nodes declared earlier.
+struct Assembly {
+  Graph work;
+  std::vector<NodeId> parent;
+  std::unordered_map<std::string, NodeId> scope;
+  // Absorbed parameter name -> [begin, end) node-id range in `work`.
+  std::unordered_map<std::string, std::pair<NodeId, NodeId>> ranges;
+  bool any_unify = false;
+
+  NodeId Find(NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+    work.node(a).attrs.MergeFrom(work.node(b).attrs);
+    any_unify = true;
+  }
+
+  NodeId Add(std::string name, AttrTuple attrs) {
+    NodeId id = work.AddNode(std::move(name), std::move(attrs));
+    parent.push_back(id);
+    return id;
+  }
+};
+
+}  // namespace
+
+Result<Graph> GraphTemplate::Instantiate(
+    const std::unordered_map<std::string, TemplateParam>& params) const {
+  Assembly a;
+
+  // Bindings over the actual parameters, used for tuple-template values.
+  Bindings param_bindings;
+  for (const auto& [name, param] : params) {
+    param_bindings.Bind(name, param.Bound());
+  }
+
+  auto eval_tuple = [&](const lang::TupleLit& tuple,
+                        AttrTuple* out) -> Status {
+    if (!tuple.tag.empty()) out->set_tag(tuple.tag);
+    for (const auto& [key, expr] : tuple.entries) {
+      GQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, param_bindings));
+      out->Set(key, std::move(v));
+    }
+    return Status::OK();
+  };
+
+  // Processes the body members in order with manual recursion over
+  // single-alternative groups; returns on the first error.
+  std::vector<std::pair<const lang::GraphBody*, size_t>> frames;
+  frames.emplace_back(&decl_.body, 0);
+  while (!frames.empty()) {
+    auto& [body, idx] = frames.back();
+    if (idx >= body->members.size()) {
+      frames.pop_back();
+      continue;
+    }
+    const lang::MemberDecl& member = body->members[idx++];
+    switch (member.kind) {
+      case lang::MemberDecl::Kind::kDisjunction: {
+        if (member.alternatives.size() != 1) {
+          return Status::Unsupported(
+              "graph templates cannot contain disjunctions");
+        }
+        frames.emplace_back(member.alternatives[0].get(), 0);
+        break;
+      }
+      case lang::MemberDecl::Kind::kGraphRef: {
+        const std::string& pname = member.graph_ref.graph_name;
+        const std::string alias = member.graph_ref.alias.empty()
+                                      ? pname
+                                      : member.graph_ref.alias;
+        auto it = params.find(pname);
+        if (it == params.end()) {
+          return Status::NotFound("template references parameter '" + pname +
+                                  "' which was not supplied");
+        }
+        Graph copy = it->second.MaterializeCopy();
+        NodeId begin = static_cast<NodeId>(a.work.NumNodes());
+        // Absorb manually so the union-find stays in sync.
+        for (size_t v = 0; v < copy.NumNodes(); ++v) {
+          const Graph::Node& n = copy.node(static_cast<NodeId>(v));
+          NodeId id = a.Add(n.name, n.attrs);
+          if (!n.name.empty()) a.scope[alias + "." + n.name] = id;
+        }
+        for (size_t e = 0; e < copy.NumEdges(); ++e) {
+          const Graph::Edge& ed = copy.edge(static_cast<EdgeId>(e));
+          a.work.AddEdge(ed.src + begin, ed.dst + begin, ed.name, ed.attrs);
+        }
+        a.ranges[alias] = {begin, static_cast<NodeId>(a.work.NumNodes())};
+        break;
+      }
+      case lang::MemberDecl::Kind::kNode: {
+        const std::string& name = member.node.name;
+        AttrTuple attrs;
+        // `node P.v1` initializes from the parameter's bound node.
+        size_t dot = name.find('.');
+        if (dot != std::string::npos) {
+          std::string head = name.substr(0, dot);
+          std::string rest = name.substr(dot + 1);
+          auto it = params.find(head);
+          if (it != params.end()) {
+            const Graph* src = nullptr;
+            NodeId v = kInvalidNode;
+            if (!it->second.ResolveNode(rest, &src, &v)) {
+              return Status::NotFound("template node '" + name +
+                                      "': parameter '" + head +
+                                      "' has no node '" + rest + "'");
+            }
+            attrs = src->node(v).attrs;
+          }
+        }
+        if (member.node.tuple) {
+          GQL_RETURN_IF_ERROR(eval_tuple(*member.node.tuple, &attrs));
+        }
+        NodeId id = a.Add(name, std::move(attrs));
+        if (!name.empty()) a.scope[name] = id;
+        break;
+      }
+      case lang::MemberDecl::Kind::kEdge: {
+        std::string src_name = Join(member.edge.src, ".");
+        std::string dst_name = Join(member.edge.dst, ".");
+        auto sit = a.scope.find(src_name);
+        auto dit = a.scope.find(dst_name);
+        if (sit == a.scope.end()) {
+          return Status::NotFound("template edge endpoint '" + src_name +
+                                  "' is not declared");
+        }
+        if (dit == a.scope.end()) {
+          return Status::NotFound("template edge endpoint '" + dst_name +
+                                  "' is not declared");
+        }
+        AttrTuple attrs;
+        if (member.edge.tuple) {
+          GQL_RETURN_IF_ERROR(eval_tuple(*member.edge.tuple, &attrs));
+        }
+        a.work.AddEdge(sit->second, dit->second, member.edge.name,
+                       std::move(attrs));
+        break;
+      }
+      case lang::MemberDecl::Kind::kExport: {
+        std::string source = Join(member.export_decl.source, ".");
+        auto it = a.scope.find(source);
+        if (it == a.scope.end()) {
+          return Status::NotFound("template export source '" + source +
+                                  "' is not declared");
+        }
+        a.scope[member.export_decl.as] = it->second;
+        break;
+      }
+      case lang::MemberDecl::Kind::kUnify: {
+        // Classify operands: concrete scope entries vs at most one
+        // existential variable `A.x` over an absorbed parameter A.
+        std::vector<NodeId> concrete;
+        std::string var_name;
+        std::pair<NodeId, NodeId> var_range{0, 0};
+        for (const auto& path : member.unify.names) {
+          std::string joined = Join(path, ".");
+          auto sit = a.scope.find(joined);
+          if (sit != a.scope.end()) {
+            concrete.push_back(sit->second);
+            continue;
+          }
+          auto rit = a.ranges.find(path[0]);
+          if (path.size() >= 2 && rit != a.ranges.end()) {
+            if (!var_name.empty()) {
+              return Status::Unsupported(
+                  "unify supports at most one existential variable, got '" +
+                  var_name + "' and '" + joined + "'");
+            }
+            var_name = joined;
+            var_range = rit->second;
+            continue;
+          }
+          return Status::NotFound("unify target '" + joined +
+                                  "' is not declared");
+        }
+        if (concrete.empty()) {
+          return Status::InvalidArgument(
+              "unify requires at least one concrete node");
+        }
+
+        auto unify_all = [&](NodeId extra) {
+          NodeId first = concrete[0];
+          for (size_t i = 1; i < concrete.size(); ++i) {
+            a.Union(first, concrete[i]);
+          }
+          if (extra != kInvalidNode) a.Union(first, extra);
+        };
+
+        if (member.unify.where == nullptr) {
+          if (!var_name.empty()) {
+            return Status::InvalidArgument(
+                "existential unify ('" + var_name +
+                "') requires a where clause");
+          }
+          unify_all(kInvalidNode);
+          break;
+        }
+
+        // Conditional unification: evaluate the predicate against the
+        // working graph, with scope names (and the candidate variable)
+        // resolving to union-find roots.
+        std::unordered_map<std::string, NodeId> eval_names;
+        for (const auto& [n, id] : a.scope) eval_names[n] = a.Find(id);
+        Bindings bindings = param_bindings;
+        BoundGraph work_bound;
+        work_bound.attr_graph = &a.work;
+        work_bound.names = &eval_names;
+        bindings.SetDefault(work_bound);
+
+        if (var_name.empty()) {
+          GQL_ASSIGN_OR_RETURN(bool ok,
+                               EvalPredicate(*member.unify.where, bindings));
+          if (ok) unify_all(kInvalidNode);
+          break;
+        }
+        for (NodeId x = var_range.first; x < var_range.second; ++x) {
+          // Skip candidates that were already merged away (their root is
+          // a different node); evaluating the root keeps semantics stable.
+          NodeId root = a.Find(x);
+          if (root != x) continue;
+          eval_names[var_name] = root;
+          GQL_ASSIGN_OR_RETURN(bool ok,
+                               EvalPredicate(*member.unify.where, bindings));
+          if (ok) {
+            unify_all(root);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Compact union-find classes into the result graph; merge edges whose
+  // endpoints coincide after unification.
+  Graph out(decl_.name);
+  if (decl_.tuple) {
+    AttrTuple gattrs;
+    GQL_RETURN_IF_ERROR(eval_tuple(*decl_.tuple, &gattrs));
+    out.attrs() = std::move(gattrs);
+  }
+  std::vector<NodeId> compact(a.work.NumNodes(), kInvalidNode);
+  for (size_t i = 0; i < a.work.NumNodes(); ++i) {
+    NodeId root = a.Find(static_cast<NodeId>(i));
+    if (compact[root] == kInvalidNode) {
+      compact[root] =
+          out.AddNode(a.work.node(root).name, a.work.node(root).attrs);
+    }
+    compact[i] = compact[root];
+  }
+  std::unordered_map<uint64_t, EdgeId> seen;
+  for (size_t e = 0; e < a.work.NumEdges(); ++e) {
+    const Graph::Edge& ed = a.work.edge(static_cast<EdgeId>(e));
+    NodeId u = compact[ed.src];
+    NodeId v = compact[ed.dst];
+    if (a.any_unify) {
+      NodeId lo = std::min(u, v);
+      NodeId hi = std::max(u, v);
+      uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+          static_cast<uint32_t>(hi);
+      auto it = seen.find(key);
+      if (it != seen.end()) {
+        out.edge(it->second).attrs.MergeFrom(ed.attrs);
+        continue;
+      }
+      seen[key] = static_cast<EdgeId>(out.NumEdges());
+    }
+    out.AddEdge(u, v, ed.name, ed.attrs);
+  }
+  return out;
+}
+
+}  // namespace graphql::algebra

@@ -1,0 +1,95 @@
+#ifndef GRAPHQL_ALGEBRA_GRAPH_TEMPLATE_H_
+#define GRAPHQL_ALGEBRA_GRAPH_TEMPLATE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "algebra/matched_graph.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "lang/ast.h"
+
+namespace graphql::algebra {
+
+/// An actual parameter passed to a graph template: either a plain graph
+/// (e.g. the accumulator of a `let` clause) or a matched graph (the binding
+/// produced by a selection).
+class TemplateParam {
+ public:
+  TemplateParam() = default;
+  static TemplateParam Plain(const Graph* g) {
+    TemplateParam p;
+    p.plain_ = g;
+    return p;
+  }
+  static TemplateParam Matched(const MatchedGraph* m) {
+    TemplateParam p;
+    p.matched_ = m;
+    return p;
+  }
+
+  bool is_plain() const { return plain_ != nullptr; }
+  bool is_matched() const { return matched_ != nullptr; }
+  const Graph* plain() const { return plain_; }
+  const MatchedGraph* matched() const { return matched_; }
+
+  /// BoundGraph view for expression evaluation (`P.v1.name`).
+  BoundGraph Bound() const;
+
+  /// Resolves a node name local to the parameter (e.g. "v1" for `P.v1`) to
+  /// the graph holding its attributes and its id there. Returns false if
+  /// unknown.
+  bool ResolveNode(const std::string& dotted, const Graph** graph,
+                   NodeId* node) const;
+
+  /// Copies the parameter's graph out: the plain graph verbatim, or the
+  /// materialized matched subgraph.
+  Graph MaterializeCopy() const;
+
+ private:
+  const Graph* plain_ = nullptr;
+  const MatchedGraph* matched_ = nullptr;
+};
+
+/// A graph template (Definition 4.4): formal parameters (referenced by name
+/// inside the body) plus a body of node/edge/graph/unify members.
+/// Instantiation with actual parameters produces a concrete graph — this is
+/// the primitive composition operator's engine.
+///
+/// Member semantics (Figures 4.11–4.13):
+///  - `graph C;` copies the parameter C into the result; its named nodes
+///    become addressable as `C.<name>`.
+///  - `node P.v1 <tuple>?;` creates a node initialized from the node bound
+///    to `P.v1` (attributes copied), then applies the tuple template whose
+///    values are expressions over the parameters. A plain `node x;` creates
+///    a fresh node.
+///  - `edge e (a, b) <tuple>?;` connects declared/absorbed nodes.
+///  - `unify a, b (where pred)?;` merges nodes; when one operand is
+///    `C.x` with `x` unbound in C, it denotes an existential variable over
+///    C's nodes: the first node satisfying the predicate is unified (the
+///    paper's conditional unification, Figure 4.12). Edges whose endpoints
+///    become equal are merged automatically.
+class GraphTemplate {
+ public:
+  /// Wraps a declaration as a template. Disjunction/repetition inside a
+  /// template body is rejected at Instantiate time.
+  static Result<GraphTemplate> Create(lang::GraphDecl decl);
+
+  /// Parses source text as one `graph ...` declaration.
+  static Result<GraphTemplate> Parse(std::string_view source);
+
+  const std::string& name() const { return decl_.name; }
+  const lang::GraphDecl& decl() const { return decl_; }
+
+  /// Instantiates the template with actual parameters keyed by formal name.
+  Result<Graph> Instantiate(
+      const std::unordered_map<std::string, TemplateParam>& params) const;
+
+ private:
+  lang::GraphDecl decl_;
+};
+
+}  // namespace graphql::algebra
+
+#endif  // GRAPHQL_ALGEBRA_GRAPH_TEMPLATE_H_

@@ -1,0 +1,88 @@
+#include "algebra/matched_graph.h"
+
+#include <unordered_set>
+
+namespace graphql::algebra {
+
+NodeId MatchedGraph::DataNode(const std::string& name) const {
+  auto it = pattern->node_names().find(name);
+  if (it == pattern->node_names().end()) return kInvalidNode;
+  NodeId u = it->second;
+  if (u < 0 || static_cast<size_t>(u) >= node_mapping.size()) {
+    return kInvalidNode;
+  }
+  return node_mapping[u];
+}
+
+BoundGraph MatchedGraph::Bound() const {
+  BoundGraph bound;
+  bound.attr_graph = data;
+  bound.names = &pattern->node_names();
+  bound.mapping = &node_mapping;
+  bound.edge_names = &pattern->edge_names();
+  bound.edge_mapping = &edge_mapping;
+  return bound;
+}
+
+Graph MatchedGraph::Materialize() const {
+  const Graph& motif = pattern->graph();
+  Graph out(pattern->name());
+  out.attrs() = data->attrs();
+  out.Reserve(motif.NumNodes(), motif.NumEdges());
+  for (size_t u = 0; u < motif.NumNodes(); ++u) {
+    NodeId v = node_mapping[u];
+    out.AddNode(motif.node(static_cast<NodeId>(u)).name,
+                data->node(v).attrs);
+  }
+  for (size_t e = 0; e < motif.NumEdges(); ++e) {
+    const Graph::Edge& pe = motif.edge(static_cast<EdgeId>(e));
+    AttrTuple attrs;
+    if (e < edge_mapping.size() && edge_mapping[e] != kInvalidEdge) {
+      attrs = data->edge(edge_mapping[e]).attrs;
+    }
+    out.AddEdge(pe.src, pe.dst, pe.name, std::move(attrs));
+  }
+  return out;
+}
+
+bool MatchedGraph::Verify() const {
+  const Graph& motif = pattern->graph();
+  if (node_mapping.size() != motif.NumNodes()) return false;
+  std::unordered_set<NodeId> used;
+  for (size_t u = 0; u < motif.NumNodes(); ++u) {
+    NodeId v = node_mapping[u];
+    if (v == kInvalidNode || static_cast<size_t>(v) >= data->NumNodes()) {
+      return false;
+    }
+    if (!used.insert(v).second) return false;  // Not injective.
+    if (!pattern->NodeCompatible(static_cast<NodeId>(u), *data, v)) {
+      return false;
+    }
+  }
+  for (size_t e = 0; e < motif.NumEdges(); ++e) {
+    const Graph::Edge& pe = motif.edge(static_cast<EdgeId>(e));
+    NodeId du = node_mapping[pe.src];
+    NodeId dv = node_mapping[pe.dst];
+    if (!data->HasEdgeBetween(du, dv)) return false;
+    EdgeId de =
+        e < edge_mapping.size() ? edge_mapping[e] : data->FindEdge(du, dv);
+    if (de == kInvalidEdge) return false;
+    if (!pattern->EdgeCompatible(static_cast<EdgeId>(e), *data, de)) {
+      return false;
+    }
+  }
+  if (pattern->has_global_pred()) {
+    Result<bool> r =
+        pattern->EvalGlobalPred(*data, node_mapping, edge_mapping);
+    if (!r.ok() || !r.value()) return false;
+  }
+  return true;
+}
+
+GraphCollection Materialize(const std::vector<MatchedGraph>& matches) {
+  GraphCollection out;
+  for (const MatchedGraph& m : matches) out.Add(m.Materialize());
+  return out;
+}
+
+}  // namespace graphql::algebra

@@ -1,0 +1,55 @@
+#ifndef GRAPHQL_ALGEBRA_MATCHED_GRAPH_H_
+#define GRAPHQL_ALGEBRA_MATCHED_GRAPH_H_
+
+#include <vector>
+
+#include "algebra/expr.h"
+#include "algebra/pattern.h"
+#include "graph/collection.h"
+#include "graph/graph.h"
+
+namespace graphql::algebra {
+
+/// A matched graph <Phi, P, G> (Definition 4.3): the binding produced when
+/// pattern P matches data graph G under the injective mapping Phi. It
+/// behaves like a graph (Materialize) while exposing the binding so that
+/// composition operators and predicates can navigate `P.v1.attr` paths.
+///
+/// Lifetimes: a MatchedGraph references its pattern and data graph; both
+/// must outlive it. The selection operator returns MatchedGraphs tied to
+/// the input collection.
+struct MatchedGraph {
+  const GraphPattern* pattern = nullptr;
+  const Graph* data = nullptr;
+  /// Pattern node id -> data node id (size = pattern->graph().NumNodes()).
+  std::vector<NodeId> node_mapping;
+  /// Pattern edge id -> data edge id (size = pattern->graph().NumEdges()).
+  std::vector<EdgeId> edge_mapping;
+
+  /// The data node bound to the pattern node named `name` (dotted);
+  /// kInvalidNode when unknown.
+  NodeId DataNode(const std::string& name) const;
+
+  /// A BoundGraph view for expression evaluation: pattern names resolve
+  /// through the mapping into the data graph.
+  BoundGraph Bound() const;
+
+  /// Copies the matched subgraph out of the data graph as a standalone
+  /// Graph: one node per pattern node (named like the pattern node, with
+  /// the data node's attributes) and one edge per pattern edge. The data
+  /// graph's own attributes are copied as the result's graph attributes.
+  Graph Materialize() const;
+
+  /// Verifies that this is a valid match: the mapping is injective, every
+  /// pattern edge maps to a data edge with the mapped endpoints, and all
+  /// predicates hold. Used by tests and assertions.
+  bool Verify() const;
+};
+
+/// Materializes a set of matched graphs into a collection (helper for the
+/// composition-free query results).
+GraphCollection Materialize(const std::vector<MatchedGraph>& matches);
+
+}  // namespace graphql::algebra
+
+#endif  // GRAPHQL_ALGEBRA_MATCHED_GRAPH_H_

@@ -1,0 +1,219 @@
+#include "algebra/ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace graphql::algebra {
+
+namespace {
+
+/// Builds the product graph of a pair: both constituents absorbed,
+/// unconnected, with their node names prefixed by their graph names so the
+/// components stay addressable.
+Graph PairGraph(const Graph& g1, const Graph& g2) {
+  Graph out;
+  std::string p1 = g1.name().empty() ? "" : g1.name() + ".";
+  std::string p2 = g2.name().empty() ? "" : g2.name() + ".";
+  out.Reserve(g1.NumNodes() + g2.NumNodes(), g1.NumEdges() + g2.NumEdges());
+  out.Absorb(g1, p1);
+  out.Absorb(g2, p2);
+  // Keep the constituents' graph-level attributes reachable by prefixing
+  // their names (product graphs have no attributes of their own).
+  for (const auto& [k, v] : g1.attrs().attrs()) {
+    out.attrs().Set(p1 + k, v);
+  }
+  for (const auto& [k, v] : g2.attrs().attrs()) {
+    out.attrs().Set(p2 + k, v);
+  }
+  return out;
+}
+
+bool ContainsIdentical(const GraphCollection& c, const Graph& g) {
+  for (const Graph& member : c) {
+    if (member.IdenticalTo(g)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GraphCollection CartesianProduct(const GraphCollection& c,
+                                 const GraphCollection& d) {
+  GraphCollection out;
+  for (const Graph& g1 : c) {
+    for (const Graph& g2 : d) {
+      out.Add(PairGraph(g1, g2));
+    }
+  }
+  return out;
+}
+
+Result<GraphCollection> ValuedJoin(const GraphCollection& c,
+                                   const GraphCollection& d,
+                                   const lang::ExprPtr& predicate) {
+  GraphCollection out;
+  for (const Graph& g1 : c) {
+    for (const Graph& g2 : d) {
+      Bindings bindings;
+      BoundGraph b1;
+      b1.attr_graph = &g1;
+      BoundGraph b2;
+      b2.attr_graph = &g2;
+      if (!g1.name().empty()) bindings.Bind(g1.name(), b1);
+      if (!g2.name().empty()) bindings.Bind(g2.name(), b2);
+      GQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*predicate, bindings));
+      if (keep) out.Add(PairGraph(g1, g2));
+    }
+  }
+  return out;
+}
+
+Result<GraphCollection> Compose(const GraphTemplate& tmpl,
+                                const std::vector<MatchedGraph>& matches) {
+  GraphCollection out;
+  for (const MatchedGraph& m : matches) {
+    std::unordered_map<std::string, TemplateParam> params;
+    params[m.pattern->name()] = TemplateParam::Matched(&m);
+    GQL_ASSIGN_OR_RETURN(Graph g, tmpl.Instantiate(params));
+    out.Add(std::move(g));
+  }
+  return out;
+}
+
+GraphCollection UnionAll(const GraphCollection& c, const GraphCollection& d) {
+  GraphCollection out;
+  for (const Graph& g : c) out.Add(g);
+  for (const Graph& g : d) out.Add(g);
+  return out;
+}
+
+GraphCollection SetUnion(const GraphCollection& c, const GraphCollection& d) {
+  GraphCollection out;
+  for (const Graph& g : c) out.Add(g);
+  for (const Graph& g : d) {
+    if (!ContainsIdentical(c, g)) out.Add(g);
+  }
+  return out;
+}
+
+GraphCollection SetDifference(const GraphCollection& c,
+                              const GraphCollection& d) {
+  GraphCollection out;
+  for (const Graph& g : c) {
+    if (!ContainsIdentical(d, g)) out.Add(g);
+  }
+  return out;
+}
+
+GraphCollection SetIntersection(const GraphCollection& c,
+                                const GraphCollection& d) {
+  GraphCollection out;
+  for (const Graph& g : c) {
+    if (ContainsIdentical(d, g)) out.Add(g);
+  }
+  return out;
+}
+
+namespace {
+
+/// Evaluates `expr` against one member graph; null Value when the key is
+/// absent or unresolvable (those members sort/aggregate as missing).
+Value EvalMemberKey(const Graph& g, const lang::ExprPtr& expr) {
+  Bindings bindings;
+  BoundGraph bound;
+  bound.attr_graph = &g;
+  bindings.SetDefault(bound);
+  if (!g.name().empty()) bindings.Bind(g.name(), bound);
+  Result<Value> v = EvalExpr(*expr, bindings);
+  return v.ok() ? std::move(v).value() : Value();
+}
+
+}  // namespace
+
+Result<GraphCollection> OrderBy(const GraphCollection& c,
+                                const lang::ExprPtr& key, bool descending) {
+  if (key == nullptr) {
+    return Status::InvalidArgument("OrderBy requires a key expression");
+  }
+  std::vector<std::pair<Value, size_t>> keyed;
+  keyed.reserve(c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    keyed.emplace_back(EvalMemberKey(c[i], key), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&](const auto& a, const auto& b) {
+                     // Nulls always sort last regardless of direction.
+                     if (a.first.is_null() || b.first.is_null()) {
+                       return !a.first.is_null() && b.first.is_null();
+                     }
+                     return descending ? b.first < a.first
+                                       : a.first < b.first;
+                   });
+  GraphCollection out(c.name());
+  for (const auto& [v, i] : keyed) out.Add(c[i]);
+  return out;
+}
+
+Result<Graph> Aggregate(const GraphCollection& c,
+                        const lang::ExprPtr& value_expr,
+                        const std::string& result_name) {
+  if (value_expr == nullptr) {
+    return Status::InvalidArgument("Aggregate requires a value expression");
+  }
+  int64_t count = 0;
+  bool any_numeric = false;
+  double sum = 0;
+  Value min_v;
+  Value max_v;
+  for (const Graph& g : c) {
+    Value v = EvalMemberKey(g, value_expr);
+    if (v.is_null()) continue;
+    ++count;
+    if (min_v.is_null() || v < min_v) min_v = v;
+    if (max_v.is_null() || max_v < v) max_v = v;
+    if (v.is_numeric()) {
+      any_numeric = true;
+      sum += v.NumericAsDouble();
+    }
+  }
+  Graph out(result_name);
+  AttrTuple attrs;
+  attrs.Set("count", Value(count));
+  if (any_numeric && count > 0) {
+    attrs.Set("sum", Value(sum));
+    attrs.Set("avg", Value(sum / static_cast<double>(count)));
+  }
+  if (count > 0) {
+    attrs.Set("min", min_v);
+    attrs.Set("max", max_v);
+  }
+  out.AddNode("t", std::move(attrs));
+  return out;
+}
+
+Result<GraphCollection> GroupCount(const GraphCollection& c,
+                                   const lang::ExprPtr& key) {
+  if (key == nullptr) {
+    return Status::InvalidArgument("GroupCount requires a key expression");
+  }
+  std::vector<Value> order;
+  std::unordered_map<Value, int64_t, ValueHash> counts;
+  for (const Graph& g : c) {
+    Value v = EvalMemberKey(g, key);
+    auto [it, inserted] = counts.try_emplace(v, 0);
+    if (inserted) order.push_back(v);
+    ++it->second;
+  }
+  GraphCollection out;
+  for (const Value& v : order) {
+    Graph g("group");
+    AttrTuple attrs;
+    attrs.Set("key", v);
+    attrs.Set("count", Value(counts.at(v)));
+    g.AddNode("t", std::move(attrs));
+    out.Add(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace graphql::algebra

@@ -1,0 +1,81 @@
+#ifndef GRAPHQL_ALGEBRA_OPS_H_
+#define GRAPHQL_ALGEBRA_OPS_H_
+
+#include <vector>
+
+#include "algebra/graph_template.h"
+#include "algebra/matched_graph.h"
+#include "common/result.h"
+#include "graph/collection.h"
+
+namespace graphql::algebra {
+
+/// Bulk operators of the graph algebra (Section 3.3). Each takes one or
+/// more collections of graphs and produces a collection of graphs; together
+/// with selection (match::SelectCollection — layered above this module so
+/// it can use the optimized access methods) and primitive composition, the
+/// five basic operators are relationally complete.
+
+/// Cartesian product C x D: one output graph per pair, containing the two
+/// constituent graphs unconnected. Constituents keep their names and become
+/// addressable as `G1`/`G2` subcomponents via name prefixes.
+GraphCollection CartesianProduct(const GraphCollection& c,
+                                 const GraphCollection& d);
+
+/// Valued join: C x D filtered by a predicate over the constituent graphs'
+/// attributes (Figure 4.10). The predicate sees each constituent under its
+/// own graph name (e.g. `G1.id == G2.id`); pairs where evaluation fails
+/// with an error are dropped.
+Result<GraphCollection> ValuedJoin(const GraphCollection& c,
+                                   const GraphCollection& d,
+                                   const lang::ExprPtr& predicate);
+
+/// Primitive composition w_T(C): instantiates a single-parameter template
+/// for every matched graph in `matches`, binding the parameter to the
+/// pattern's name (Section 3.3, Composition).
+Result<GraphCollection> Compose(const GraphTemplate& tmpl,
+                                const std::vector<MatchedGraph>& matches);
+
+/// Set operators. Membership uses whole-graph identity (same structure,
+/// names, and attributes under the identity mapping), matching the bulk
+/// relational semantics; graphs are not deduplicated within one input.
+GraphCollection UnionAll(const GraphCollection& c, const GraphCollection& d);
+GraphCollection SetUnion(const GraphCollection& c, const GraphCollection& d);
+GraphCollection SetDifference(const GraphCollection& c,
+                              const GraphCollection& d);
+GraphCollection SetIntersection(const GraphCollection& c,
+                                const GraphCollection& d);
+
+// ---------------------------------------------------------------------------
+// Ordering and aggregation (the paper's Section 7 lists "ordering
+// (ranking), aggregation (OLAP processing)" as open operator work; these
+// are straightforward bulk implementations in the same graphs-at-a-time
+// style: collections in, collections/graphs out).
+// ---------------------------------------------------------------------------
+
+/// Stable-sorts a collection by a per-graph key expression (evaluated with
+/// the member graph as the default binding, also bound under its own
+/// name). Members whose key evaluates to null or fails to resolve sort
+/// after all others, preserving input order among themselves.
+Result<GraphCollection> OrderBy(const GraphCollection& c,
+                                const lang::ExprPtr& key,
+                                bool descending = false);
+
+/// Aggregate over a per-graph value expression. Returns a single-node
+/// graph whose node carries `count` (members with a non-null value) plus,
+/// when at least one value is numeric, `sum`, `min`, `max`, and `avg` —
+/// the relational-simulation convention of Theorem 4.5 (a tuple is a
+/// one-node graph).
+Result<Graph> Aggregate(const GraphCollection& c,
+                        const lang::ExprPtr& value_expr,
+                        const std::string& result_name = "agg");
+
+/// Groups members by a key expression and returns one single-node graph
+/// per group with attributes `key` and `count`, ordered by first
+/// appearance of the key.
+Result<GraphCollection> GroupCount(const GraphCollection& c,
+                                   const lang::ExprPtr& key);
+
+}  // namespace graphql::algebra
+
+#endif  // GRAPHQL_ALGEBRA_OPS_H_

@@ -1,0 +1,129 @@
+#ifndef GRAPHQL_ALGEBRA_PATTERN_H_
+#define GRAPHQL_ALGEBRA_PATTERN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/expr.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "motif/builder.h"
+
+namespace graphql::algebra {
+
+/// A graph pattern P = (M, F): a graph motif plus a predicate on its
+/// attributes (Definition 4.1). This class owns the compiled form used by
+/// the matcher:
+///  - the concrete motif structure (a Graph whose node/edge attributes act
+///    as equality constraints, e.g. `node v <label="A">` or a tuple tag),
+///  - per-node and per-edge predicate lists (inline `where` clauses plus
+///    conjuncts of the graph-wide predicate that reference exactly one node
+///    or one edge — the paper's predicate pushdown, Section 4.1),
+///  - the residual graph-wide predicate (e.g. `u1.label == u2.label`).
+///
+/// Thread-compatibility: NodeCompatible/EdgeCompatible use an internal
+/// scratch mapping, so a GraphPattern must not be shared across threads
+/// without external synchronization.
+class GraphPattern {
+ public:
+  /// Compiles a declaration into a single pattern. Fails if the motif uses
+  /// disjunction or repetition (use CreateAll for those).
+  static Result<GraphPattern> Create(
+      const lang::GraphDecl& decl,
+      const motif::MotifRegistry* registry = nullptr,
+      motif::BuildOptions options = {});
+
+  /// Compiles a (possibly recursive / disjunctive) declaration into the
+  /// pattern alternatives it derives; a graph matches the pattern if it
+  /// matches any alternative (Definition 4.2, recursive patterns).
+  static Result<std::vector<GraphPattern>> CreateAll(
+      const lang::GraphDecl& decl,
+      const motif::MotifRegistry* registry = nullptr,
+      motif::BuildOptions options = {});
+
+  /// Parses source text as one `graph ...` declaration and compiles it.
+  static Result<GraphPattern> Parse(
+      std::string_view source, const motif::MotifRegistry* registry = nullptr,
+      motif::BuildOptions options = {});
+
+  /// Builds a pattern directly from a concrete graph: every node/edge
+  /// attribute becomes an equality constraint. Programmatic entry point
+  /// used by the workload generators.
+  static GraphPattern FromGraph(Graph motif);
+
+  const std::string& name() const { return name_; }
+  const Graph& graph() const { return built_.graph; }
+  const std::unordered_map<std::string, NodeId>& node_names() const {
+    return built_.node_names;
+  }
+  const std::unordered_map<std::string, EdgeId>& edge_names() const {
+    return built_.edge_names;
+  }
+
+  /// True if data node `v` can host pattern node `u`: tuple tag matches,
+  /// every pattern attribute equals the data attribute, and every pushed
+  /// node predicate holds. This is the feasible-mate test F_u(v).
+  bool NodeCompatible(NodeId u, const Graph& data, NodeId v) const;
+
+  /// True if data edge `de` can host pattern edge `pe` (tag, attribute
+  /// equality, pushed edge predicates F_e).
+  bool EdgeCompatible(EdgeId pe, const Graph& data, EdgeId de) const;
+
+  /// True if some conjunct could not be pushed down to a node or edge.
+  bool has_global_pred() const { return !global_preds_.empty(); }
+
+  /// Evaluates the residual graph-wide predicate under a complete mapping.
+  /// `edge_mapping` may be empty when the pattern has no edge-attribute
+  /// references in its residual predicate.
+  Result<bool> EvalGlobalPred(const Graph& data,
+                              const std::vector<NodeId>& node_mapping,
+                              const std::vector<EdgeId>& edge_mapping) const;
+
+  /// Number of predicates pushed to node u (used by cost statistics).
+  size_t NodePredCount(NodeId u) const {
+    return node_preds_[u].size();
+  }
+
+  /// True if pattern edge `e` carries any pushed predicate (the matcher
+  /// skips edge-compatibility scans for predicate- and attribute-free
+  /// edges).
+  bool EdgeHasPredicates(EdgeId e) const { return !edge_preds_[e].empty(); }
+
+  /// Raw predicate expressions (consumed by the Datalog translator).
+  const std::vector<lang::ExprPtr>& NodePreds(NodeId u) const {
+    return node_preds_[u];
+  }
+  const std::vector<lang::ExprPtr>& EdgePreds(EdgeId e) const {
+    return edge_preds_[e];
+  }
+  const std::vector<lang::ExprPtr>& GlobalPreds() const {
+    return global_preds_;
+  }
+
+ private:
+  GraphPattern() = default;
+
+  static Result<GraphPattern> Compile(std::string pattern_name,
+                                      motif::BuiltGraph built,
+                                      const lang::ExprPtr& where);
+
+  /// Classifies a conjunct: returns the single pattern node (or edge) it
+  /// references, or pushes it to the residual global list.
+  void RouteConjunct(const lang::ExprPtr& conjunct);
+
+  std::string name_;
+  motif::BuiltGraph built_;
+  std::vector<std::vector<lang::ExprPtr>> node_preds_;
+  std::vector<std::vector<lang::ExprPtr>> edge_preds_;
+  std::vector<lang::ExprPtr> global_preds_;
+
+  // Scratch state for predicate evaluation (see class comment).
+  mutable std::vector<NodeId> scratch_mapping_;
+  mutable std::vector<EdgeId> scratch_edge_mapping_;
+};
+
+}  // namespace graphql::algebra
+
+#endif  // GRAPHQL_ALGEBRA_PATTERN_H_

@@ -1,0 +1,79 @@
+#ifndef GRAPHQL_COMMON_RESULT_H_
+#define GRAPHQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace graphql {
+
+/// A value-or-Status carrier, the library's equivalent of absl::StatusOr.
+/// A Result is either OK and holds a T, or holds a non-OK Status.
+///
+/// Typical use:
+///   Result<Graph> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   const Graph& g = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status. Constructing from an OK
+  /// status without a value is a usage error and is converted to kInternal.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace graphql
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error; otherwise binds
+/// the unwrapped value to `lhs`.
+#define GQL_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  GQL_ASSIGN_OR_RETURN_IMPL_(                   \
+      GQL_RESULT_CONCAT_(_gql_result, __LINE__), lhs, rexpr)
+
+#define GQL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define GQL_RESULT_CONCAT_(a, b) GQL_RESULT_CONCAT_IMPL_(a, b)
+#define GQL_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // GRAPHQL_COMMON_RESULT_H_

@@ -1,0 +1,92 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace graphql {
+
+namespace {
+
+// SplitMix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) {
+  assert(n > 0);
+  pmf_.resize(n);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    pmf_[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    total += pmf_[i];
+  }
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    pmf_[i] /= total;
+    acc += pmf_[i];
+    cdf_[i] = acc;
+  }
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t x) const {
+  assert(x < pmf_.size());
+  return pmf_[x];
+}
+
+}  // namespace graphql

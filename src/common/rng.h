@@ -1,0 +1,72 @@
+#ifndef GRAPHQL_COMMON_RNG_H_
+#define GRAPHQL_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace graphql {
+
+/// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+/// All workload generators and randomized benchmarks take an explicit Rng so
+/// every experiment in the repository is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator; two Rngs with the same seed produce identical
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipf distribution over {0, 1, ..., n-1}: P(x) is
+/// proportional to 1/(x+1)^alpha. Used for the paper's synthetic label
+/// distribution ("probability of the x-th label p(x) is proportional to
+/// x^-1", Section 5.2, i.e. alpha = 1).
+class ZipfSampler {
+ public:
+  /// Precomputes the CDF for n items with exponent alpha.
+  ZipfSampler(size_t n, double alpha = 1.0);
+
+  /// Draws one sample (an index in [0, n)).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of item x.
+  double Pmf(size_t x) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_RNG_H_

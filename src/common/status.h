@@ -1,0 +1,87 @@
+#ifndef GRAPHQL_COMMON_STATUS_H_
+#define GRAPHQL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace graphql {
+
+/// Error categories used across the library. The library is exception-free
+/// on its public API: fallible operations return a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< A named entity (node, graph, document) is missing.
+  kParseError,        ///< GraphQL source text could not be parsed.
+  kTypeError,         ///< A predicate or template mixed incompatible types.
+  kUnsupported,       ///< A syntactically valid construct is not implemented.
+  kLimitExceeded,     ///< A resource budget (derivation depth, matches) hit.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic success-or-error carrier, modeled after the Status idiom
+/// used by RocksDB and Arrow. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace graphql
+
+/// Propagates a non-OK Status from the current function.
+#define GQL_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::graphql::Status _gql_status = (expr);        \
+    if (!_gql_status.ok()) return _gql_status;     \
+  } while (0)
+
+#endif  // GRAPHQL_COMMON_STATUS_H_

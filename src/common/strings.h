@@ -1,0 +1,24 @@
+#ifndef GRAPHQL_COMMON_STRINGS_H_
+#define GRAPHQL_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphql {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep` (single character); keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Escapes backslashes and double quotes for embedding in a string literal.
+std::string EscapeStringLiteral(std::string_view s);
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_STRINGS_H_

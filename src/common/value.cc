@@ -1,0 +1,182 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace graphql {
+
+bool Value::Truthy() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return false;
+    case Kind::kBool:
+      return AsBool();
+    case Kind::kInt:
+      return AsInt() != 0;
+    case Kind::kDouble:
+      return AsDouble() != 0.0;
+    case Kind::kString:
+      return !AsString().empty();
+  }
+  return false;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
+    return a.NumericAsDouble() == b.NumericAsDouble();
+  }
+  return a.rep_ == b.rep_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  auto rank = [](const Value& v) {
+    switch (v.kind()) {
+      case Value::Kind::kNull:
+        return 0;
+      case Value::Kind::kBool:
+        return 1;
+      case Value::Kind::kInt:
+      case Value::Kind::kDouble:
+        return 2;
+      case Value::Kind::kString:
+        return 3;
+    }
+    return 4;
+  };
+  if (rank(a) != rank(b)) return rank(a) < rank(b);
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return false;
+    case Value::Kind::kBool:
+      return a.AsBool() < b.AsBool();
+    case Value::Kind::kInt:
+      if (b.is_int()) return a.AsInt() < b.AsInt();
+      return a.NumericAsDouble() < b.NumericAsDouble();
+    case Value::Kind::kDouble:
+      return a.NumericAsDouble() < b.NumericAsDouble();
+    case Value::Kind::kString:
+      return a.AsString() < b.AsString();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return AsBool() ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case Kind::kString: {
+      std::string out = "\"";
+      out += AsString();
+      out += "\"";
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case Kind::kBool:
+      return AsBool() ? 0x1234567 : 0x89abcde;
+    case Kind::kInt:
+      // Ints that equal a double must hash like the double.
+      return std::hash<double>()(static_cast<double>(AsInt()));
+    case Kind::kDouble:
+      return std::hash<double>()(AsDouble());
+    case Kind::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+namespace {
+
+Status NumericOperandError(const char* op, const Value& a, const Value& b) {
+  return Status::TypeError(std::string("operator '") + op +
+                           "' requires numeric operands, got " + a.ToString() +
+                           " and " + b.ToString());
+}
+
+}  // namespace
+
+Result<Value> Value::Add(const Value& a, const Value& b) {
+  if (a.is_string() && b.is_string()) {
+    return Value(a.AsString() + b.AsString());
+  }
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return NumericOperandError("+", a, b);
+  }
+  if (a.is_int() && b.is_int()) return Value(a.AsInt() + b.AsInt());
+  return Value(a.NumericAsDouble() + b.NumericAsDouble());
+}
+
+Result<Value> Value::Sub(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return NumericOperandError("-", a, b);
+  }
+  if (a.is_int() && b.is_int()) return Value(a.AsInt() - b.AsInt());
+  return Value(a.NumericAsDouble() - b.NumericAsDouble());
+}
+
+Result<Value> Value::Mul(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return NumericOperandError("*", a, b);
+  }
+  if (a.is_int() && b.is_int()) return Value(a.AsInt() * b.AsInt());
+  return Value(a.NumericAsDouble() * b.NumericAsDouble());
+}
+
+Result<Value> Value::Div(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return NumericOperandError("/", a, b);
+  }
+  if (a.is_int() && b.is_int()) {
+    if (b.AsInt() == 0) return Status::TypeError("integer division by zero");
+    return Value(a.AsInt() / b.AsInt());
+  }
+  if (b.NumericAsDouble() == 0.0) {
+    return Status::TypeError("division by zero");
+  }
+  return Value(a.NumericAsDouble() / b.NumericAsDouble());
+}
+
+Result<bool> Value::Less(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return a.NumericAsDouble() < b.NumericAsDouble();
+  }
+  if (a.is_string() && b.is_string()) {
+    return a.AsString() < b.AsString();
+  }
+  return Status::TypeError("'<' requires two numbers or two strings, got " +
+                           a.ToString() + " and " + b.ToString());
+}
+
+Result<bool> Value::LessEq(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return a.NumericAsDouble() <= b.NumericAsDouble();
+  }
+  if (a.is_string() && b.is_string()) {
+    return a.AsString() <= b.AsString();
+  }
+  return Status::TypeError("'<=' requires two numbers or two strings, got " +
+                           a.ToString() + " and " + b.ToString());
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace graphql

@@ -1,0 +1,96 @@
+#ifndef GRAPHQL_COMMON_VALUE_H_
+#define GRAPHQL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace graphql {
+
+/// The dynamic attribute value type used throughout GraphQL. Attributes on
+/// nodes, edges, and graphs are (name, Value) pairs; predicates compare and
+/// combine Values at query time.
+///
+/// Supported kinds mirror the literals of the GraphQL grammar (int, float,
+/// string) plus booleans (produced by comparisons) and a distinguished null
+/// (absent attribute).
+class Value {
+ public:
+  enum class Kind { kNull = 0, kBool, kInt, kDouble, kString };
+
+  /// Constructs a null value.
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(int i) : rep_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_bool() const { return kind() == Kind::kBool; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Accessors require the matching kind (checked by assert in debug).
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value widened to double; requires is_numeric().
+  double NumericAsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Truthiness used by predicate evaluation: null and false are falsy;
+  /// numbers are truthy iff nonzero; strings iff nonempty.
+  bool Truthy() const;
+
+  /// Structural equality: same kind and same payload, except that int and
+  /// double compare numerically (Value(2) == Value(2.0)).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order for container use: null < bool < numeric < string; numerics
+  /// compare numerically across int/double.
+  friend bool operator<(const Value& a, const Value& b);
+
+  /// Renders the value as it would appear in GraphQL source ("null", "true",
+  /// 42, 3.5, "quoted").
+  std::string ToString() const;
+
+  /// Hash compatible with operator== (ints that equal doubles hash alike).
+  size_t Hash() const;
+
+  // -- Checked arithmetic and comparison used by the expression evaluator --
+
+  /// a + b: numeric addition or string concatenation.
+  static Result<Value> Add(const Value& a, const Value& b);
+  static Result<Value> Sub(const Value& a, const Value& b);
+  static Result<Value> Mul(const Value& a, const Value& b);
+  /// Division; integer division truncates; division by zero is a TypeError.
+  static Result<Value> Div(const Value& a, const Value& b);
+  /// Ordered comparison; requires both numeric or both string.
+  static Result<bool> Less(const Value& a, const Value& b);
+  static Result<bool> LessEq(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_VALUE_H_

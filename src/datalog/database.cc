@@ -1,0 +1,60 @@
+#include "datalog/database.h"
+
+namespace graphql::datalog {
+
+bool FactDatabase::Add(const std::string& predicate, Fact fact) {
+  Relation& rel = relations_[predicate];
+  auto [it, inserted] = rel.set.insert(fact);
+  if (inserted) {
+    rel.ordered.push_back(std::move(fact));
+    rel.column_indexes.clear();  // Lazily rebuilt on the next probe.
+    ++total_;
+  }
+  return inserted;
+}
+
+bool FactDatabase::Contains(const std::string& predicate,
+                            const Fact& fact) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  return it->second.set.count(fact) > 0;
+}
+
+const std::vector<Fact>& FactDatabase::Facts(
+    const std::string& predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? empty_ : it->second.ordered;
+}
+
+std::vector<std::string> FactDatabase::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+const std::vector<size_t>& FactDatabase::MatchingRows(
+    const std::string& predicate, size_t col, const Value& v) const {
+  static const std::vector<size_t>* const kEmpty = new std::vector<size_t>();
+  auto rit = relations_.find(predicate);
+  if (rit == relations_.end()) return *kEmpty;
+  const Relation& rel = rit->second;
+  auto [cit, fresh] = rel.column_indexes.try_emplace(col);
+  if (fresh) {
+    for (size_t r = 0; r < rel.ordered.size(); ++r) {
+      if (col < rel.ordered[r].size()) {
+        cit->second[rel.ordered[r][col]].push_back(r);
+      }
+    }
+  }
+  auto vit = cit->second.find(v);
+  return vit == cit->second.end() ? *kEmpty : vit->second;
+}
+
+void FactDatabase::Merge(const FactDatabase& other) {
+  for (const auto& [name, rel] : other.relations_) {
+    for (const Fact& f : rel.ordered) Add(name, f);
+  }
+}
+
+}  // namespace graphql::datalog

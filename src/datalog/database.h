@@ -1,0 +1,74 @@
+#ifndef GRAPHQL_DATALOG_DATABASE_H_
+#define GRAPHQL_DATALOG_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value.h"
+
+namespace graphql::datalog {
+
+/// A fact is a tuple of constants under a predicate.
+using Fact = std::vector<Value>;
+
+/// Set-semantics fact store, keyed by predicate. Insertion order of
+/// distinct facts is preserved per predicate (deterministic evaluation).
+class FactDatabase {
+ public:
+  /// Adds a fact; returns true if it was new.
+  bool Add(const std::string& predicate, Fact fact);
+
+  bool Contains(const std::string& predicate, const Fact& fact) const;
+  const std::vector<Fact>& Facts(const std::string& predicate) const;
+  size_t NumFacts() const { return total_; }
+  std::vector<std::string> Predicates() const;
+
+  /// Merges every fact of `other` into this database.
+  void Merge(const FactDatabase& other);
+
+  /// Positions (into Facts(predicate)) of the facts whose column `col`
+  /// equals `v`. Backed by a lazily-built per-(predicate, column) hash
+  /// index — the evaluator's indexed joins probe this instead of scanning
+  /// the whole relation. Indexes are invalidated by Add/Merge.
+  const std::vector<size_t>& MatchingRows(const std::string& predicate,
+                                          size_t col, const Value& v) const;
+
+ private:
+  struct FactHash {
+    size_t operator()(const Fact& f) const {
+      size_t h = 0xcbf29ce484222325ull;
+      for (const Value& v : f) h = (h ^ v.Hash()) * 1099511628211ull;
+      return h;
+    }
+  };
+  struct FactEq {
+    bool operator()(const Fact& a, const Fact& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const { return a == b; }
+  };
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq>;
+  struct Relation {
+    std::vector<Fact> ordered;
+    std::unordered_set<Fact, FactHash, FactEq> set;
+    /// col -> value -> row positions; built on first probe, cleared on Add.
+    mutable std::unordered_map<size_t, ColumnIndex> column_indexes;
+  };
+
+  std::unordered_map<std::string, Relation> relations_;
+  std::vector<Fact> empty_;
+  size_t total_ = 0;
+};
+
+}  // namespace graphql::datalog
+
+#endif  // GRAPHQL_DATALOG_DATABASE_H_

@@ -1,0 +1,340 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace graphql::datalog {
+
+namespace {
+
+using Substitution = std::unordered_map<std::string, Value>;
+
+/// Unifies an atom's terms against a ground fact, extending `sub` in place.
+/// Newly-bound variable names are appended to `added` so the caller can
+/// backtrack (erase them) after exploring the branch; on mismatch the
+/// bindings added so far are rolled back here.
+bool UnifyAtom(const Atom& atom, const Fact& fact, Substitution* sub,
+               std::vector<const std::string*>* added) {
+  if (atom.args.size() != fact.size()) return false;
+  size_t added_before = added->size();
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& t = atom.args[i];
+    bool ok = true;
+    if (t.is_var) {
+      auto [it, inserted] = sub->try_emplace(t.var, fact[i]);
+      if (inserted) {
+        added->push_back(&t.var);
+      } else if (!(it->second == fact[i])) {
+        ok = false;
+      }
+    } else if (!(t.constant == fact[i])) {
+      ok = false;
+    }
+    if (!ok) {
+      while (added->size() > added_before) {
+        sub->erase(*added->back());
+        added->pop_back();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<Value> GroundTerm(const Term& t, const Substitution& sub) {
+  if (!t.is_var) return t.constant;
+  auto it = sub.find(t.var);
+  if (it == sub.end()) {
+    return Status::InvalidArgument(
+        "comparison variable '" + t.var +
+        "' is not bound by any body atom (range restriction)");
+  }
+  return it->second;
+}
+
+Result<bool> EvalComparison(const Comparison& c, const Substitution& sub) {
+  GQL_ASSIGN_OR_RETURN(Value lhs, GroundTerm(c.lhs, sub));
+  GQL_ASSIGN_OR_RETURN(Value rhs, GroundTerm(c.rhs, sub));
+  switch (c.op) {
+    case lang::BinaryOp::kEq:
+      return lhs == rhs;
+    case lang::BinaryOp::kNe:
+      return lhs != rhs;
+    case lang::BinaryOp::kLt:
+      return Value::Less(lhs, rhs);
+    case lang::BinaryOp::kLe:
+      return Value::LessEq(lhs, rhs);
+    case lang::BinaryOp::kGt:
+      return Value::Less(rhs, lhs);
+    case lang::BinaryOp::kGe:
+      return Value::LessEq(rhs, lhs);
+    default:
+      return Status::Unsupported("unsupported comparison operator in rule");
+  }
+}
+
+constexpr size_t kNoDelta = static_cast<size_t>(-1);
+
+/// A sideways-information-passing join plan: the order in which body atoms
+/// are matched (delta atom first when present, then greedily by number of
+/// bound arguments — bound variables weighted above constants — with
+/// smaller relations breaking ties), plus for each join depth the
+/// comparisons whose variables are all bound there (evaluated as early as
+/// possible; V1 != V2 disequalities prune whole subtrees this way).
+struct JoinPlan {
+  std::vector<size_t> atom_order;
+  /// comps_at[d] lists comparison indices to check after `d` atoms have
+  /// been matched; comps_at[n] also holds range-violating comparisons,
+  /// which error at evaluation time.
+  std::vector<std::vector<size_t>> comps_at;
+};
+
+JoinPlan PlanJoin(const Rule& rule, size_t delta_pos, const FactDatabase& edb,
+                  const FactDatabase& idb) {
+  size_t n = rule.body.size();
+  JoinPlan plan;
+  plan.comps_at.resize(n + 1);
+  std::vector<char> used(n, 0);
+  std::unordered_set<std::string> bound;
+  std::vector<char> comp_done(rule.comparisons.size(), 0);
+
+  auto bind_vars = [&](size_t i) {
+    for (const Term& t : rule.body[i].args) {
+      if (t.is_var) bound.insert(t.var);
+    }
+  };
+  auto schedule_comps = [&](size_t depth) {
+    for (size_t c = 0; c < rule.comparisons.size(); ++c) {
+      if (comp_done[c]) continue;
+      const Comparison& cmp = rule.comparisons[c];
+      bool ready = (!cmp.lhs.is_var || bound.count(cmp.lhs.var)) &&
+                   (!cmp.rhs.is_var || bound.count(cmp.rhs.var));
+      if (ready) {
+        plan.comps_at[depth].push_back(c);
+        comp_done[c] = 1;
+      }
+    }
+  };
+
+  schedule_comps(0);
+  if (delta_pos != kNoDelta && delta_pos < n) {
+    used[delta_pos] = 1;
+    plan.atom_order.push_back(delta_pos);
+    bind_vars(delta_pos);
+    schedule_comps(plan.atom_order.size());
+  }
+  while (plan.atom_order.size() < n) {
+    size_t best = kNoDelta;
+    int best_score = -1;
+    int best_bv = -1;
+    size_t best_size = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int bv = 0;
+      int bc = 0;
+      for (const Term& t : rule.body[i].args) {
+        if (!t.is_var) {
+          ++bc;
+        } else if (bound.count(t.var)) {
+          ++bv;
+        }
+      }
+      int score = 2 * bv + bc;
+      size_t size = edb.Facts(rule.body[i].predicate).size() +
+                    idb.Facts(rule.body[i].predicate).size();
+      if (best == kNoDelta || score > best_score ||
+          (score == best_score && bv > best_bv) ||
+          (score == best_score && bv == best_bv && size < best_size)) {
+        best = i;
+        best_score = score;
+        best_bv = bv;
+        best_size = size;
+      }
+    }
+    used[best] = 1;
+    plan.atom_order.push_back(best);
+    bind_vars(best);
+    schedule_comps(plan.atom_order.size());
+  }
+  // Comparisons never bound: evaluate (and fail) at the end.
+  for (size_t c = 0; c < rule.comparisons.size(); ++c) {
+    if (!comp_done[c]) plan.comps_at[n].push_back(c);
+  }
+  return plan;
+}
+
+/// One rule application round. `delta_pos` selects which body atom is
+/// matched against the delta (kNoDelta: every atom matches EDB+IDB — used
+/// for the first, naive round).
+struct RuleFirer {
+  const Rule& rule;
+  const JoinPlan& plan;
+  const FactDatabase& edb;
+  const FactDatabase& idb;
+  const FactDatabase& delta;
+  size_t delta_pos;
+  FactDatabase* out;
+  const EvalOptions& options;
+  EvalStats* stats;
+  Status status;
+
+  bool CheckComps(size_t depth, const Substitution& sub) {
+    for (size_t c : plan.comps_at[depth]) {
+      Result<bool> r = EvalComparison(rule.comparisons[c], sub);
+      if (!r.ok()) {
+        status = r.status();
+        return false;
+      }
+      if (!r.value()) return false;
+    }
+    return true;
+  }
+
+  bool Join(size_t depth, Substitution* sub) {
+    if (!status.ok()) return false;
+    if (depth == plan.atom_order.size()) {
+      Fact head;
+      head.reserve(rule.head.args.size());
+      for (const Term& t : rule.head.args) {
+        Result<Value> v = GroundTerm(t, *sub);
+        if (!v.ok()) {
+          status = v.status();
+          return false;
+        }
+        head.push_back(std::move(v).value());
+      }
+      if (!edb.Contains(rule.head.predicate, head) &&
+          !idb.Contains(rule.head.predicate, head)) {
+        out->Add(rule.head.predicate, std::move(head));
+        if (out->NumFacts() + idb.NumFacts() > options.max_facts) {
+          status = Status::LimitExceeded("derived-fact limit exceeded");
+          return false;
+        }
+      }
+      return true;
+    }
+    size_t pos = plan.atom_order[depth];
+    const Atom& atom = rule.body[pos];
+
+    // Indexed access path: collect every argument position whose value is
+    // known (a constant or an already-bound variable); each store probes
+    // its most selective such column.
+    std::vector<std::pair<size_t, const Value*>> bound_cols;
+    for (size_t c = 0; c < atom.args.size(); ++c) {
+      const Term& t = atom.args[c];
+      if (!t.is_var) {
+        bound_cols.emplace_back(c, &t.constant);
+      } else {
+        auto it = sub->find(t.var);
+        if (it != sub->end()) bound_cols.emplace_back(c, &it->second);
+      }
+    }
+
+    std::vector<const std::string*> added;
+    auto try_one = [&](const Fact& f) {
+      if (stats != nullptr) ++stats->unifications;
+      added.clear();
+      if (!UnifyAtom(atom, f, sub, &added)) return true;
+      bool keep_going = true;
+      if (!CheckComps(depth + 1, *sub)) {
+        keep_going = status.ok();
+      } else {
+        keep_going = Join(depth + 1, sub);
+      }
+      for (const std::string* name : added) sub->erase(*name);
+      return keep_going;
+    };
+    auto try_store = [&](const FactDatabase& db) {
+      const std::vector<Fact>& facts = db.Facts(atom.predicate);
+      const std::vector<size_t>* best_rows = nullptr;
+      for (const auto& [col, value] : bound_cols) {
+        const std::vector<size_t>& rows =
+            db.MatchingRows(atom.predicate, col, *value);
+        if (best_rows == nullptr || rows.size() < best_rows->size()) {
+          best_rows = &rows;
+          if (best_rows->empty()) break;
+        }
+      }
+      if (best_rows != nullptr) {
+        for (size_t r : *best_rows) {
+          if (!try_one(facts[r])) return false;
+        }
+        return true;
+      }
+      for (const Fact& f : facts) {
+        if (!try_one(f)) return false;
+      }
+      return true;
+    };
+    if (pos == delta_pos) {
+      return try_store(delta);
+    }
+    if (!try_store(edb)) return false;
+    return try_store(idb);
+  }
+
+  bool Run() {
+    Substitution sub;
+    if (!CheckComps(0, sub)) return status.ok();
+    return Join(0, &sub);
+  }
+};
+
+}  // namespace
+
+Result<FactDatabase> Evaluate(const std::vector<Rule>& rules,
+                              const FactDatabase& edb,
+                              const EvalOptions& options, EvalStats* stats) {
+  FactDatabase idb;
+  FactDatabase delta;  // Unused in the naive first round.
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (stats != nullptr) stats->iterations = iter + 1;
+    FactDatabase fresh;
+    for (const Rule& rule : rules) {
+      if (iter == 0 || rule.body.empty()) {
+        // Naive bootstrap round (and bodiless fact rules).
+        JoinPlan plan = PlanJoin(rule, kNoDelta, edb, idb);
+        RuleFirer firer{rule,    plan,   edb,   idb,  delta, kNoDelta,
+                        &fresh,  options, stats, {}};
+        firer.Run();
+        if (!firer.status.ok()) return firer.status;
+        continue;
+      }
+      // Semi-naive rounds: at least one body atom matches the delta.
+      for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+        if (delta.Facts(rule.body[pos].predicate).empty()) continue;
+        JoinPlan plan = PlanJoin(rule, pos, edb, idb);
+        RuleFirer firer{rule,   plan,    edb,   idb, delta, pos,
+                        &fresh, options, stats, {}};
+        firer.Run();
+        if (!firer.status.ok()) return firer.status;
+      }
+    }
+    // Deduplicate against everything derived so far.
+    FactDatabase next_delta;
+    for (const std::string& pred : fresh.Predicates()) {
+      for (const Fact& f : fresh.Facts(pred)) {
+        if (!idb.Contains(pred, f) && !edb.Contains(pred, f)) {
+          next_delta.Add(pred, f);
+        }
+      }
+    }
+    if (next_delta.NumFacts() == 0) break;
+    idb.Merge(next_delta);
+    delta = std::move(next_delta);
+  }
+  if (stats != nullptr) stats->derived_facts = idb.NumFacts();
+  return idb;
+}
+
+Result<std::vector<Fact>> Query(const std::vector<Rule>& rules,
+                                const FactDatabase& edb,
+                                const std::string& query_predicate,
+                                const EvalOptions& options) {
+  GQL_ASSIGN_OR_RETURN(FactDatabase idb, Evaluate(rules, edb, options));
+  return idb.Facts(query_predicate);
+}
+
+}  // namespace graphql::datalog

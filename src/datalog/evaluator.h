@@ -1,0 +1,45 @@
+#ifndef GRAPHQL_DATALOG_EVALUATOR_H_
+#define GRAPHQL_DATALOG_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/database.h"
+#include "datalog/program.h"
+
+namespace graphql::datalog {
+
+struct EvalOptions {
+  /// Fixpoint iteration cap (guards against runaway recursive programs).
+  size_t max_iterations = 10000;
+  /// Cap on derived facts.
+  size_t max_facts = 10'000'000;
+};
+
+struct EvalStats {
+  size_t iterations = 0;
+  size_t derived_facts = 0;
+  uint64_t unifications = 0;
+};
+
+/// Semi-naive bottom-up evaluation: iterates the rules to a fixpoint,
+/// joining each rule's body with at least one delta (newly derived) atom
+/// per round. Supports recursive rules (e.g. transitive closure). Built-in
+/// comparisons are evaluated once their variables are bound; unbound
+/// comparison variables are an error (range restriction).
+///
+/// Returns the IDB: facts derived by the rules (the EDB is not copied).
+Result<FactDatabase> Evaluate(const std::vector<Rule>& rules,
+                              const FactDatabase& edb,
+                              const EvalOptions& options = {},
+                              EvalStats* stats = nullptr);
+
+/// Evaluates and returns the facts of `query_predicate` from the IDB.
+Result<std::vector<Fact>> Query(const std::vector<Rule>& rules,
+                                const FactDatabase& edb,
+                                const std::string& query_predicate,
+                                const EvalOptions& options = {});
+
+}  // namespace graphql::datalog
+
+#endif  // GRAPHQL_DATALOG_EVALUATOR_H_

@@ -1,0 +1,41 @@
+#include "datalog/program.h"
+
+namespace graphql::datalog {
+
+std::string Term::ToString() const {
+  return is_var ? var : constant.ToString();
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + lang::BinaryOpName(op) + " " +
+         rhs.ToString();
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString() + " :- ";
+  bool first = true;
+  for (const Atom& a : body) {
+    if (!first) out += ", ";
+    first = false;
+    out += a.ToString();
+  }
+  for (const Comparison& c : comparisons) {
+    if (!first) out += ", ";
+    first = false;
+    out += c.ToString();
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace graphql::datalog

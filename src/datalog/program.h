@@ -1,0 +1,64 @@
+#ifndef GRAPHQL_DATALOG_PROGRAM_H_
+#define GRAPHQL_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "lang/ast.h"
+
+namespace graphql::datalog {
+
+/// A Datalog term: a variable or a constant.
+struct Term {
+  bool is_var = false;
+  std::string var;  ///< Variable name (valid when is_var).
+  Value constant;   ///< Constant value (valid when !is_var).
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.is_var = false;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  std::string ToString() const;
+};
+
+/// A positive atom predicate(t1, ..., tn).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+/// A built-in comparison between two terms, evaluated once both sides are
+/// ground (e.g. `Temp > 2000`, `T1 == T2`, `V1 != V2`).
+struct Comparison {
+  lang::BinaryOp op = lang::BinaryOp::kEq;
+  Term lhs;
+  Term rhs;
+
+  std::string ToString() const;
+};
+
+/// head :- body_1, ..., body_n, comparisons. All head variables must occur
+/// in the body (range restriction; checked by the evaluator).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Comparison> comparisons;
+
+  std::string ToString() const;
+};
+
+}  // namespace graphql::datalog
+
+#endif  // GRAPHQL_DATALOG_PROGRAM_H_

@@ -1,0 +1,48 @@
+#ifndef GRAPHQL_DATALOG_TRANSLATOR_H_
+#define GRAPHQL_DATALOG_TRANSLATOR_H_
+
+#include <string>
+
+#include "algebra/pattern.h"
+#include "common/result.h"
+#include "datalog/database.h"
+#include "datalog/program.h"
+#include "graph/collection.h"
+
+namespace graphql::datalog {
+
+/// Translation of graphs into Datalog facts (Figure 4.14): for a graph
+/// with id `gid` emits
+///   graph(gid).
+///   node(gid, "<gid>.<node>").
+///   edge(gid, "<gid>.<edge>", "<gid>.<src>", "<gid>.<dst>").   [both
+///       orders for undirected graphs]
+///   attribute(entity, name, value).   [graph, node, and edge attributes]
+/// Anonymous nodes/edges get positional ids ("<gid>.#3").
+void GraphToFacts(const Graph& g, const std::string& gid, FactDatabase* out);
+
+/// Translates every member of a collection (ids "G0", "G1", ... or the
+/// graphs' own names when unique and non-empty).
+FactDatabase CollectionToFacts(const GraphCollection& c);
+
+/// Translation of a graph pattern into a rule (Figure 4.15, extended with
+/// the injectivity disequalities of subgraph-isomorphism semantics):
+///   head(G, V_0, ..., V_{k-1}) :- graph(G), node(G, V_i)...,
+///       edge(G, _, V_a, V_b)..., attribute(V_i, 'label', c)...,
+///       comparisons from simple predicates, V_i != V_j ...
+///
+/// Supported predicates are conjunctions of `<attr path> op <literal>` and
+/// `<attr path> op <attr path>` (the forms of the paper's examples);
+/// anything else returns kUnsupported.
+Result<Rule> PatternToRule(const algebra::GraphPattern& pattern,
+                           const std::string& head_predicate);
+
+/// End-to-end Theorem-4.6 pipeline: translate the collection and pattern,
+/// evaluate, and return the head facts — each one (gid, node ids...) is a
+/// pattern match. Tests verify agreement with the native matcher.
+Result<std::vector<Fact>> EvaluatePatternQuery(
+    const algebra::GraphPattern& pattern, const GraphCollection& collection);
+
+}  // namespace graphql::datalog
+
+#endif  // GRAPHQL_DATALOG_TRANSLATOR_H_

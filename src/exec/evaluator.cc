@@ -1,0 +1,198 @@
+#include "exec/evaluator.h"
+
+#include "lang/parser.h"
+
+namespace graphql::exec {
+
+Result<QueryResult> Evaluator::Run(const lang::Program& program) {
+  QueryResult result;
+  for (const lang::Statement& stmt : program.statements) {
+    GQL_RETURN_IF_ERROR(RunStatement(stmt, &result));
+  }
+  result.variables = variables_;
+  return result;
+}
+
+Result<QueryResult> Evaluator::RunSource(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(lang::Program program,
+                       lang::Parser::ParseProgram(source));
+  return Run(program);
+}
+
+const Graph* Evaluator::Variable(const std::string& name) const {
+  auto it = variables_.find(name);
+  return it == variables_.end() ? nullptr : &it->second;
+}
+
+Status Evaluator::RunStatement(const lang::Statement& stmt,
+                               QueryResult* result) {
+  switch (stmt.kind) {
+    case lang::Statement::Kind::kGraphDecl:
+      return motifs_.Register(stmt.graph);
+    case lang::Statement::Kind::kAssign: {
+      // Instantiate the right-hand side as a parameter-free template; this
+      // covers both plain graph literals and computed bodies.
+      GQL_ASSIGN_OR_RETURN(algebra::GraphTemplate tmpl,
+                           algebra::GraphTemplate::Create(stmt.graph));
+      std::unordered_map<std::string, algebra::TemplateParam> params;
+      for (const auto& [name, graph] : variables_) {
+        params[name] = algebra::TemplateParam::Plain(&graph);
+      }
+      GQL_ASSIGN_OR_RETURN(Graph g, tmpl.Instantiate(params));
+      g.set_name(stmt.assign_target);
+      variables_[stmt.assign_target] = std::move(g);
+      return Status::OK();
+    }
+    case lang::Statement::Kind::kFlwr:
+      return RunFlwr(stmt.flwr, result);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
+    const std::vector<algebra::GraphPattern>& alternatives,
+    const GraphCollection& collection,
+    const match::PipelineOptions& options) {
+  std::vector<algebra::MatchedGraph> out;
+  for (const Graph& g : collection) {
+    const match::LabelIndex* index = nullptr;
+    if (index_threshold_ != 0 && g.NumNodes() >= index_threshold_) {
+      auto it = index_cache_.find(&g);
+      if (it != index_cache_.end() &&
+          (it->second.num_nodes != g.NumNodes() ||
+           it->second.num_edges != g.NumEdges())) {
+        index_cache_.erase(it);  // Address reused by a different graph.
+        it = index_cache_.end();
+      }
+      if (it == index_cache_.end()) {
+        match::LabelIndexOptions iopts;
+        iopts.build_neighborhoods =
+            options.candidate_mode == match::CandidateMode::kNeighborhood;
+        CachedIndex entry;
+        entry.num_nodes = g.NumNodes();
+        entry.num_edges = g.NumEdges();
+        entry.index = std::make_unique<match::LabelIndex>(
+            match::LabelIndex::Build(g, iopts));
+        it = index_cache_.emplace(&g, std::move(entry)).first;
+      }
+      index = it->second.index.get();
+    }
+    for (const algebra::GraphPattern& pattern : alternatives) {
+      GQL_ASSIGN_OR_RETURN(
+          std::vector<algebra::MatchedGraph> matches,
+          match::MatchPattern(pattern, g, index, options));
+      if (!matches.empty()) {
+        for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
+        if (!options.match.exhaustive) break;  // One binding per graph.
+      }
+    }
+  }
+  return out;
+}
+
+Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
+  // Resolve the pattern.
+  const lang::GraphDecl* pattern_decl = nullptr;
+  if (flwr.pattern) {
+    pattern_decl = &*flwr.pattern;
+  } else {
+    pattern_decl = motifs_.Find(flwr.pattern_ref);
+    if (pattern_decl == nullptr) {
+      return Status::NotFound("FLWR pattern '" + flwr.pattern_ref +
+                              "' is not declared");
+    }
+  }
+  // Algebraic pushdown: sigma_f(sigma_P(C)) = sigma_{P AND f}(C). Folding
+  // the FLWR-level where into the pattern predicate lets its single-node
+  // conjuncts prune candidate sets instead of filtering whole matches.
+  lang::GraphDecl pushed;
+  if (flwr.where != nullptr) {
+    pushed = *pattern_decl;
+    pushed.where = pushed.where == nullptr
+                       ? flwr.where
+                       : lang::Expr::Binary(lang::BinaryOp::kAnd,
+                                            pushed.where, flwr.where);
+    pattern_decl = &pushed;
+  }
+  GQL_ASSIGN_OR_RETURN(
+      std::vector<algebra::GraphPattern> alternatives,
+      algebra::GraphPattern::CreateAll(*pattern_decl, &motifs_,
+                                       build_options_));
+  if (alternatives.empty()) {
+    return Status::InvalidArgument("FLWR pattern derives no motifs");
+  }
+  const std::string pattern_name = alternatives[0].name();
+
+  // Resolve the data source.
+  const GraphCollection* collection =
+      docs_ != nullptr ? docs_->Find(flwr.doc) : nullptr;
+  if (collection == nullptr) {
+    return Status::NotFound("document '" + flwr.doc + "' is not registered");
+  }
+
+  // Resolve the template.
+  std::optional<algebra::GraphTemplate> tmpl;
+  bool template_is_pattern_ref = false;
+  if (flwr.template_decl) {
+    GQL_ASSIGN_OR_RETURN(algebra::GraphTemplate t,
+                         algebra::GraphTemplate::Create(*flwr.template_decl));
+    tmpl = std::move(t);
+  } else if (flwr.template_ref == pattern_name) {
+    template_is_pattern_ref = true;  // `return P`: the matched graph itself.
+  } else {
+    return Status::NotFound("FLWR template '" + flwr.template_ref +
+                            "' is neither inline nor the pattern name");
+  }
+
+  // Select.
+  match::PipelineOptions options = match_options_;
+  options.match.exhaustive = flwr.exhaustive;
+  GQL_ASSIGN_OR_RETURN(std::vector<algebra::MatchedGraph> matches,
+                       SelectWithAutoIndex(alternatives, *collection,
+                                           options));
+
+  // The `let` accumulator starts from the variable's current value (or an
+  // empty graph when unbound).
+  Graph accumulator;
+  if (flwr.is_let) {
+    auto it = variables_.find(flwr.let_target);
+    if (it != variables_.end()) {
+      accumulator = it->second;
+    } else {
+      accumulator.set_name(flwr.let_target);
+    }
+  }
+
+  for (const algebra::MatchedGraph& m : matches) {
+    // (The FLWR-level where was folded into the pattern predicate above.)
+    if (template_is_pattern_ref) {
+      result->returned.Add(m.Materialize());
+      continue;
+    }
+
+    std::unordered_map<std::string, algebra::TemplateParam> params;
+    for (const auto& [name, graph] : variables_) {
+      params[name] = algebra::TemplateParam::Plain(&graph);
+    }
+    if (flwr.is_let) {
+      // The accumulator shadows any same-named variable.
+      params[flwr.let_target] = algebra::TemplateParam::Plain(&accumulator);
+    }
+    params[pattern_name] = algebra::TemplateParam::Matched(&m);
+
+    GQL_ASSIGN_OR_RETURN(Graph g, tmpl->Instantiate(params));
+    if (flwr.is_let) {
+      g.set_name(flwr.let_target);
+      accumulator = std::move(g);
+    } else {
+      result->returned.Add(std::move(g));
+    }
+  }
+
+  if (flwr.is_let) {
+    variables_[flwr.let_target] = std::move(accumulator);
+  }
+  return Status::OK();
+}
+
+}  // namespace graphql::exec

@@ -1,0 +1,102 @@
+#ifndef GRAPHQL_EXEC_EVALUATOR_H_
+#define GRAPHQL_EXEC_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "algebra/graph_template.h"
+#include "algebra/pattern.h"
+#include "common/result.h"
+#include "exec/registry.h"
+#include "graph/collection.h"
+#include "lang/ast.h"
+#include "match/pipeline.h"
+#include "motif/builder.h"
+
+namespace graphql::exec {
+
+/// Result of running a program: the final values of `let`-accumulated /
+/// assigned graph variables, plus every graph produced by `return`-style
+/// FLWR expressions, in order.
+struct QueryResult {
+  std::unordered_map<std::string, Graph> variables;
+  GraphCollection returned;
+};
+
+/// The GraphQL query evaluator: executes programs of graph declarations,
+/// assignments, and FLWR expressions (Section 3.4) against a document
+/// registry.
+///
+/// Semantics:
+///  - `graph P {...};` registers a named pattern/motif for later use.
+///  - `C := graph {...};` instantiates the (parameter-free) template and
+///    binds the variable C.
+///  - `for P [exhaustive] in doc("D") [where w] return T;` selects matches
+///    of P from D, filters by w, and appends one instantiation of T per
+///    match to the result.
+///  - `... let C := T;` folds the matches into C: each iteration
+///    instantiates T with the current C and the match bound (Figure 4.12's
+///    accumulating co-authorship construction).
+class Evaluator {
+ public:
+  explicit Evaluator(const DocumentRegistry* docs) : docs_(docs) {}
+
+  /// Selection options used for pattern matching inside FLWR loops.
+  match::PipelineOptions* mutable_match_options() { return &match_options_; }
+
+  /// Build options for motif derivation (recursion depth etc.).
+  motif::BuildOptions* mutable_build_options() { return &build_options_; }
+
+  /// Runs a parsed program. State (variables, registered patterns)
+  /// persists across calls on the same Evaluator.
+  Result<QueryResult> Run(const lang::Program& program);
+
+  /// Parses and runs source text.
+  Result<QueryResult> RunSource(std::string_view source);
+
+  /// Value of a graph variable from earlier statements; null if unbound.
+  const Graph* Variable(const std::string& name) const;
+
+  /// Member graphs at or above this node count get a match::LabelIndex
+  /// built (once, cached per graph) before pattern matching; smaller
+  /// members are scanned. 0 disables indexing.
+  void set_index_threshold(size_t nodes) { index_threshold_ = nodes; }
+
+  /// Number of per-graph indexes built so far (observability/testing).
+  size_t indexes_built() const { return index_cache_.size(); }
+
+ private:
+  Status RunStatement(const lang::Statement& stmt, QueryResult* result);
+  Status RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result);
+
+  /// Selection over a collection with per-member auto-indexing; semantics
+  /// identical to match::SelectCollectionAny.
+  Result<std::vector<algebra::MatchedGraph>> SelectWithAutoIndex(
+      const std::vector<algebra::GraphPattern>& alternatives,
+      const GraphCollection& collection,
+      const match::PipelineOptions& options);
+
+  const DocumentRegistry* docs_;
+  motif::MotifRegistry motifs_;
+  std::unordered_map<std::string, Graph> variables_;
+  match::PipelineOptions match_options_;
+  motif::BuildOptions build_options_;
+  size_t index_threshold_ = 512;
+  /// Cache key is the member graph's address; the stored shape guards
+  /// against a re-registered document reusing the same address (the cache
+  /// entry is rebuilt when node/edge counts changed). Re-registering a
+  /// document with an identically-shaped different graph still requires a
+  /// fresh Evaluator.
+  struct CachedIndex {
+    size_t num_nodes = 0;
+    size_t num_edges = 0;
+    std::unique_ptr<match::LabelIndex> index;
+  };
+  std::unordered_map<const Graph*, CachedIndex> index_cache_;
+};
+
+}  // namespace graphql::exec
+
+#endif  // GRAPHQL_EXEC_EVALUATOR_H_

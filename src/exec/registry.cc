@@ -1,0 +1,21 @@
+#include "exec/registry.h"
+
+namespace graphql::exec {
+
+void DocumentRegistry::Register(std::string name, GraphCollection collection) {
+  collection.set_name(name);
+  docs_[std::move(name)] = std::move(collection);
+}
+
+void DocumentRegistry::RegisterGraph(std::string name, Graph graph) {
+  GraphCollection c;
+  c.Add(std::move(graph));
+  Register(std::move(name), std::move(c));
+}
+
+const GraphCollection* DocumentRegistry::Find(const std::string& name) const {
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace graphql::exec

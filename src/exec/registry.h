@@ -1,0 +1,33 @@
+#ifndef GRAPHQL_EXEC_REGISTRY_H_
+#define GRAPHQL_EXEC_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/collection.h"
+
+namespace graphql::exec {
+
+/// Named graph collections addressable from queries via `doc("name")`.
+/// A single large graph is registered as a one-member collection — the
+/// paper treats both database categories uniformly (Section 3.3).
+class DocumentRegistry {
+ public:
+  /// Registers (or replaces) a collection under `name`.
+  void Register(std::string name, GraphCollection collection);
+
+  /// Convenience: registers a single graph as a one-member collection.
+  void RegisterGraph(std::string name, Graph graph);
+
+  /// Returns the collection, or null if unknown.
+  const GraphCollection* Find(const std::string& name) const;
+
+  size_t size() const { return docs_.size(); }
+
+ private:
+  std::unordered_map<std::string, GraphCollection> docs_;
+};
+
+}  // namespace graphql::exec
+
+#endif  // GRAPHQL_EXEC_REGISTRY_H_

@@ -1,0 +1,97 @@
+#include "gindex/collection_index.h"
+
+#include <chrono>
+
+namespace graphql::gindex {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CollectionIndex CollectionIndex::Build(const GraphCollection& collection,
+                                       const Options& options) {
+  CollectionIndex index;
+  index.collection_ = &collection;
+  index.options_ = options;
+  index.member_features_.reserve(collection.size());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    index.member_features_.push_back(
+        ExtractPathFeatures(collection[i], options.features));
+    for (const auto& [feature, count] : index.member_features_.back()) {
+      index.postings_[feature].emplace_back(i, count);
+    }
+  }
+  return index;
+}
+
+std::vector<size_t> CollectionIndex::CandidateGraphs(
+    const algebra::GraphPattern& pattern) const {
+  FeatureCounts query =
+      ExtractPathFeatures(pattern.graph(), options_.features);
+  std::vector<size_t> out;
+  if (query.empty()) {
+    // Featureless pattern (all-wildcard): every member is a candidate.
+    out.resize(member_features_.size());
+    for (size_t i = 0; i < out.size(); ++i) out[i] = i;
+    return out;
+  }
+  // Drive from the rarest query feature's posting list; absent features
+  // empty the candidate set immediately.
+  const std::vector<std::pair<size_t, uint32_t>>* rarest = nullptr;
+  uint32_t rarest_need = 0;
+  for (const auto& [feature, need] : query) {
+    auto it = postings_.find(feature);
+    if (it == postings_.end()) return {};
+    if (rarest == nullptr || it->second.size() < rarest->size()) {
+      rarest = &it->second;
+      rarest_need = need;
+    }
+  }
+  for (const auto& [member, count] : *rarest) {
+    if (count < rarest_need) continue;
+    if (FeaturesContained(query, member_features_[member])) {
+      out.push_back(member);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<algebra::MatchedGraph>> CollectionIndex::Select(
+    const algebra::GraphPattern& pattern,
+    const match::PipelineOptions& options, SelectStats* stats) const {
+  int64_t t0 = NowMicros();
+  std::vector<size_t> candidates = CandidateGraphs(pattern);
+  int64_t t1 = NowMicros();
+
+  std::vector<algebra::MatchedGraph> out;
+  size_t verified = 0;
+  for (size_t i : candidates) {
+    GQL_ASSIGN_OR_RETURN(
+        std::vector<algebra::MatchedGraph> matches,
+        match::MatchPattern(pattern, (*collection_)[i], nullptr, options));
+    if (!matches.empty()) ++verified;
+    for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
+  }
+  int64_t t2 = NowMicros();
+  if (stats != nullptr) {
+    stats->candidates = candidates.size();
+    stats->verified_matches = verified;
+    stats->us_filter = t1 - t0;
+    stats->us_verify = t2 - t1;
+  }
+  return out;
+}
+
+size_t CollectionIndex::NumFeatures() const {
+  size_t n = 0;
+  for (const FeatureCounts& f : member_features_) n += f.size();
+  return n;
+}
+
+}  // namespace graphql::gindex

@@ -1,0 +1,73 @@
+#ifndef GRAPHQL_GINDEX_COLLECTION_INDEX_H_
+#define GRAPHQL_GINDEX_COLLECTION_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/matched_graph.h"
+#include "algebra/pattern.h"
+#include "common/result.h"
+#include "gindex/path_features.h"
+#include "graph/collection.h"
+#include "match/pipeline.h"
+
+namespace graphql::gindex {
+
+/// Filter-and-verify access method for the paper's *first* database
+/// category — a large collection of small graphs (Section 4: "graph
+/// indexing plays a similar role for graph databases as B-trees for
+/// relational databases: only a small number of graphs need to be
+/// accessed"). Path-based features (in the style of GraphGrep [34]) are
+/// extracted per member graph; a query pattern's features prune members
+/// that cannot contain it, and only survivors run subgraph isomorphism.
+class CollectionIndex {
+ public:
+  struct Options {
+    PathFeatureOptions features;
+  };
+
+  /// Extracts features for every member. The collection must outlive the
+  /// index and not be mutated afterwards.
+  static CollectionIndex Build(const GraphCollection& collection,
+                               const Options& options = {});
+
+  const GraphCollection& collection() const { return *collection_; }
+
+  /// Member ids whose feature multiset dominates the pattern's (the
+  /// candidate set; a superset of the true answer set). Served from an
+  /// inverted index: only members in the posting list of the query's
+  /// rarest feature are tested, so featureless (all-wildcard) queries are
+  /// the only ones that touch every member.
+  std::vector<size_t> CandidateGraphs(
+      const algebra::GraphPattern& pattern) const;
+
+  struct SelectStats {
+    size_t candidates = 0;        ///< Members surviving the filter.
+    size_t verified_matches = 0;  ///< Members with at least one match.
+    int64_t us_filter = 0;
+    int64_t us_verify = 0;
+  };
+
+  /// The selection operator through the index: filter, then verify each
+  /// candidate with the matcher. Results are identical to
+  /// match::SelectCollection (verified by property tests) — only the
+  /// number of pairwise isomorphism tests differs.
+  Result<std::vector<algebra::MatchedGraph>> Select(
+      const algebra::GraphPattern& pattern,
+      const match::PipelineOptions& options = {},
+      SelectStats* stats = nullptr) const;
+
+  size_t NumFeatures() const;
+
+ private:
+  const GraphCollection* collection_ = nullptr;
+  Options options_;
+  std::vector<FeatureCounts> member_features_;
+  /// feature -> (member id, count) postings, member-id ordered.
+  std::unordered_map<std::string, std::vector<std::pair<size_t, uint32_t>>>
+      postings_;
+};
+
+}  // namespace graphql::gindex
+
+#endif  // GRAPHQL_GINDEX_COLLECTION_INDEX_H_

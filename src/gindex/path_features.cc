@@ -1,0 +1,79 @@
+#include "gindex/path_features.h"
+
+#include <algorithm>
+
+namespace graphql::gindex {
+
+namespace {
+
+struct Enumerator {
+  const Graph& g;
+  int max_length;
+  FeatureCounts* out;
+  std::vector<NodeId> path;
+  std::vector<char> on_path;
+  std::vector<std::string_view> labels;
+
+  void Emit() {
+    // Canonical orientation for undirected graphs: lexicographic minimum
+    // of the label sequence and its reverse; ties (palindromes) are broken
+    // by node-id sequence so each undirected id-path is emitted exactly
+    // once from one of its two end-point traversals.
+    std::string fwd;
+    std::string rev;
+    for (size_t i = 0; i < path.size(); ++i) {
+      fwd += labels[i];
+      fwd += '/';
+      rev += labels[path.size() - 1 - i];
+      rev += '/';
+    }
+    if (!g.directed() && path.size() > 1) {
+      if (rev < fwd) return;  // The reverse traversal will emit it.
+      if (rev == fwd && path.back() < path.front()) {
+        return;  // Palindrome: let the lower-id endpoint traversal emit.
+      }
+    }
+    ++(*out)[fwd];
+  }
+
+  void Dfs(NodeId v) {
+    std::string_view label = g.Label(v);
+    if (label.empty()) return;  // Unlabeled nodes break label paths.
+    path.push_back(v);
+    on_path[v] = 1;
+    labels.push_back(label);
+    Emit();
+    if (static_cast<int>(path.size()) <= max_length) {
+      for (const Graph::Adj& a : g.neighbors(v)) {
+        if (!on_path[a.node]) Dfs(a.node);
+      }
+    }
+    labels.pop_back();
+    on_path[v] = 0;
+    path.pop_back();
+  }
+};
+
+}  // namespace
+
+FeatureCounts ExtractPathFeatures(const Graph& g,
+                                  const PathFeatureOptions& options) {
+  FeatureCounts out;
+  Enumerator e{g, options.max_length, &out, {}, {}, {}};
+  e.on_path.assign(g.NumNodes(), 0);
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    e.Dfs(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+bool FeaturesContained(const FeatureCounts& query,
+                       const FeatureCounts& data) {
+  for (const auto& [feature, count] : query) {
+    auto it = data.find(feature);
+    if (it == data.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+}  // namespace graphql::gindex

@@ -1,0 +1,45 @@
+#ifndef GRAPHQL_GINDEX_PATH_FEATURES_H_
+#define GRAPHQL_GINDEX_PATH_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphql::gindex {
+
+/// A feature multiset: canonical label-path string -> number of distinct
+/// (simple) node paths carrying that label sequence.
+using FeatureCounts = std::unordered_map<std::string, uint32_t>;
+
+struct PathFeatureOptions {
+  /// Maximum path length in edges (0 = single labels). GraphGrep-style
+  /// indexes typically use short paths; 3 balances filter power and
+  /// feature-set size.
+  int max_length = 3;
+};
+
+/// Enumerates the label paths of `g` up to the configured length: every
+/// simple path (no repeated nodes) whose nodes are all labeled contributes
+/// one count to its canonical label sequence. For undirected graphs each
+/// id-path is counted once (the canonical sequence is the lexicographic
+/// minimum of the sequence and its reverse); directed graphs follow edge
+/// direction.
+///
+/// Soundness (the basis of the collection filter, mirroring the paper's
+/// Section 4 discussion of the first database category): if pattern P is
+/// sub-isomorphic to graph G with all-labeled pattern nodes on some path,
+/// the injective mapping sends distinct pattern paths to distinct data
+/// paths with identical label sequences, so counts(P) <= counts(G)
+/// pointwise.
+FeatureCounts ExtractPathFeatures(const Graph& g,
+                                  const PathFeatureOptions& options = {});
+
+/// True if `query` is pointwise dominated by `data` (the filter test).
+bool FeaturesContained(const FeatureCounts& query, const FeatureCounts& data);
+
+}  // namespace graphql::gindex
+
+#endif  // GRAPHQL_GINDEX_PATH_FEATURES_H_

@@ -1,0 +1,17 @@
+#include "graph/collection.h"
+
+namespace graphql {
+
+size_t GraphCollection::TotalNodes() const {
+  size_t n = 0;
+  for (const Graph& g : graphs_) n += g.NumNodes();
+  return n;
+}
+
+size_t GraphCollection::TotalEdges() const {
+  size_t m = 0;
+  for (const Graph& g : graphs_) m += g.NumEdges();
+  return m;
+}
+
+}  // namespace graphql

@@ -1,0 +1,51 @@
+#ifndef GRAPHQL_GRAPH_COLLECTION_H_
+#define GRAPHQL_GRAPH_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphql {
+
+/// A collection of graphs: the operand and result type of every graph
+/// algebra operator (Section 3.1). Unlike a relation, member graphs need not
+/// share structure or attributes; a graph pattern gives uniform access.
+///
+/// A GraphCollection with one member doubles as "a single large graph"
+/// database — the paper treats the two cases uniformly (Section 3.3).
+class GraphCollection {
+ public:
+  GraphCollection() = default;
+  explicit GraphCollection(std::string name) : name_(std::move(name)) {}
+  explicit GraphCollection(std::vector<Graph> graphs)
+      : graphs_(std::move(graphs)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void Add(Graph g) { graphs_.push_back(std::move(g)); }
+
+  size_t size() const { return graphs_.size(); }
+  bool empty() const { return graphs_.empty(); }
+
+  const Graph& operator[](size_t i) const { return graphs_[i]; }
+  Graph& operator[](size_t i) { return graphs_[i]; }
+
+  std::vector<Graph>::const_iterator begin() const { return graphs_.begin(); }
+  std::vector<Graph>::const_iterator end() const { return graphs_.end(); }
+  std::vector<Graph>::iterator begin() { return graphs_.begin(); }
+  std::vector<Graph>::iterator end() { return graphs_.end(); }
+
+  /// Total node/edge counts across members (for stats and tests).
+  size_t TotalNodes() const;
+  size_t TotalEdges() const;
+
+ private:
+  std::string name_;
+  std::vector<Graph> graphs_;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_GRAPH_COLLECTION_H_

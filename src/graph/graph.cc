@@ -1,0 +1,202 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace graphql {
+
+namespace {
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+NodeId Graph::AddNode(std::string name, AttrTuple attrs) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (!name.empty()) node_by_name_[name] = id;
+  nodes_.push_back(Node{std::move(name), std::move(attrs)});
+  adj_.emplace_back();
+  if (directed_) in_adj_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::AddEdge(NodeId src, NodeId dst, std::string name,
+                      AttrTuple attrs) {
+  assert(src >= 0 && static_cast<size_t>(src) < nodes_.size());
+  assert(dst >= 0 && static_cast<size_t>(dst) < nodes_.size());
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  if (!name.empty()) edge_by_name_[name] = id;
+  edges_.push_back(Edge{std::move(name), src, dst, std::move(attrs)});
+  adj_[src].push_back(Adj{dst, id});
+  if (directed_) {
+    in_adj_[dst].push_back(Adj{src, id});
+  } else if (src != dst) {
+    adj_[dst].push_back(Adj{src, id});
+  }
+  RegisterEdgeKey(src, dst);
+  return id;
+}
+
+void Graph::Reserve(size_t n, size_t m) {
+  nodes_.reserve(n);
+  adj_.reserve(n);
+  edges_.reserve(m);
+  edge_keys_.reserve(m * 2);
+}
+
+void Graph::RegisterEdgeKey(NodeId u, NodeId v) {
+  edge_keys_.insert(EdgeKey(u, v));
+  if (!directed_) edge_keys_.insert(EdgeKey(v, u));
+}
+
+bool Graph::HasEdgeBetween(NodeId u, NodeId v) const {
+  return edge_keys_.count(EdgeKey(u, v)) > 0;
+}
+
+EdgeId Graph::FindEdge(NodeId u, NodeId v) const {
+  if (!HasEdgeBetween(u, v)) return kInvalidEdge;
+  // Probe the smaller adjacency list of the two endpoints.
+  if (!directed_ && adj_[v].size() < adj_[u].size()) {
+    for (const Adj& a : adj_[v]) {
+      if (a.node == u) return a.edge;
+    }
+    return kInvalidEdge;
+  }
+  for (const Adj& a : adj_[u]) {
+    if (a.node == v) return a.edge;
+  }
+  return kInvalidEdge;
+}
+
+NodeId Graph::FindNode(std::string_view name) const {
+  auto it = node_by_name_.find(std::string(name));
+  return it == node_by_name_.end() ? kInvalidNode : it->second;
+}
+
+EdgeId Graph::FindEdgeByName(std::string_view name) const {
+  auto it = edge_by_name_.find(std::string(name));
+  return it == edge_by_name_.end() ? kInvalidEdge : it->second;
+}
+
+std::string_view Graph::Label(NodeId v) const {
+  // Returns a view into the stored Value, which stays valid as long as the
+  // node's attribute is not overwritten.
+  for (const auto& [k, stored] : nodes_[v].attrs.attrs()) {
+    if (k == "label" && stored.is_string()) return stored.AsString();
+  }
+  return {};
+}
+
+void Graph::SetLabel(NodeId v, std::string label) {
+  nodes_[v].attrs.Set("label", Value(std::move(label)));
+}
+
+NodeId Graph::Absorb(const Graph& other, const std::string& name_prefix) {
+  NodeId offset = static_cast<NodeId>(nodes_.size());
+  for (size_t i = 0; i < other.NumNodes(); ++i) {
+    const Node& n = other.nodes_[i];
+    std::string name =
+        n.name.empty() ? std::string() : name_prefix + n.name;
+    AddNode(std::move(name), n.attrs);
+  }
+  for (const Edge& e : other.edges_) {
+    std::string name =
+        e.name.empty() ? std::string() : name_prefix + e.name;
+    AddEdge(e.src + offset, e.dst + offset, std::move(name), e.attrs);
+  }
+  return offset;
+}
+
+bool Graph::IdenticalTo(const Graph& other) const {
+  if (NumNodes() != other.NumNodes() || NumEdges() != other.NumEdges()) {
+    return false;
+  }
+  if (directed_ != other.directed_) return false;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name != other.nodes_[i].name) return false;
+    if (nodes_[i].attrs != other.nodes_[i].attrs) return false;
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& a = edges_[i];
+    const Edge& b = other.edges_[i];
+    bool same = a.src == b.src && a.dst == b.dst;
+    if (!directed_ && !same) same = a.src == b.dst && a.dst == b.src;
+    if (!same || a.name != b.name || a.attrs != b.attrs) return false;
+  }
+  return true;
+}
+
+bool Graph::IsConnected() const {
+  if (nodes_.empty()) return true;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    auto visit = [&](const std::vector<Adj>& list) {
+      for (const Adj& a : list) {
+        if (!seen[a.node]) {
+          seen[a.node] = true;
+          ++count;
+          stack.push_back(a.node);
+        }
+      }
+    };
+    visit(adj_[v]);
+    if (directed_) visit(in_adj_[v]);
+  }
+  return count == nodes_.size();
+}
+
+std::string Graph::ToString() const {
+  std::string out = "graph";
+  if (!name_.empty()) {
+    out += " ";
+    out += name_;
+  }
+  std::string tup = attrs_.ToString();
+  if (!tup.empty()) {
+    out += " ";
+    out += tup;
+  }
+  out += " {\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += "  node ";
+    out += nodes_[i].name.empty() ? ("#" + std::to_string(i)) : nodes_[i].name;
+    std::string t = nodes_[i].attrs.ToString();
+    if (!t.empty()) {
+      out += " ";
+      out += t;
+    }
+    out += ";\n";
+  }
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    out += "  edge ";
+    if (!e.name.empty()) {
+      out += e.name;
+      out += " ";
+    }
+    out += "(";
+    out += nodes_[e.src].name.empty() ? ("#" + std::to_string(e.src))
+                                      : nodes_[e.src].name;
+    out += ", ";
+    out += nodes_[e.dst].name.empty() ? ("#" + std::to_string(e.dst))
+                                      : nodes_[e.dst].name;
+    out += ")";
+    std::string t = e.attrs.ToString();
+    if (!t.empty()) {
+      out += " ";
+      out += t;
+    }
+    out += ";\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace graphql

@@ -1,0 +1,157 @@
+#ifndef GRAPHQL_GRAPH_GRAPH_H_
+#define GRAPHQL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/tuple.h"
+
+namespace graphql {
+
+/// Dense node identifier within one Graph. Ids are assigned consecutively
+/// starting at 0 and are stable: removal is not supported on Graph itself
+/// (rewrites build new graphs, matching the algebra's value semantics).
+using NodeId = int32_t;
+/// Dense edge identifier within one Graph.
+using EdgeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// An attributed graph, the basic unit of information in GraphQL
+/// (Section 3.1). Nodes and edges carry an optional variable name (used to
+/// reference them from queries, e.g. `P.v1`) and an attribute tuple.
+///
+/// Graphs are undirected by default, matching the paper's data model (its
+/// Datalog translation writes each edge in both directions); a directed mode
+/// is provided for completeness. Parallel edges and self-loops are allowed;
+/// `HasEdgeBetween` answers existence queries through a hash set.
+///
+/// Representation: vectors of node/edge records plus a per-node adjacency
+/// list of (neighbor, edge) pairs, rebuilt incrementally on AddEdge. The
+/// class is freely copyable; algebra operators treat graphs as values.
+class Graph {
+ public:
+  struct Node {
+    std::string name;  ///< Variable name; may be empty for anonymous nodes.
+    AttrTuple attrs;
+  };
+
+  struct Edge {
+    std::string name;  ///< Variable name; may be empty.
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    AttrTuple attrs;
+  };
+
+  /// A (neighbor, via-edge) adjacency entry.
+  struct Adj {
+    NodeId node;
+    EdgeId edge;
+  };
+
+  Graph() = default;
+  explicit Graph(std::string name, bool directed = false)
+      : name_(std::move(name)), directed_(directed) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  bool directed() const { return directed_; }
+
+  AttrTuple& attrs() { return attrs_; }
+  const AttrTuple& attrs() const { return attrs_; }
+
+  // ---- Construction ----
+
+  /// Adds a node and returns its id. An empty `name` makes it anonymous;
+  /// otherwise the name must be unique within the graph (checked by callers
+  /// that build from parsed source; duplicate names here overwrite lookup).
+  NodeId AddNode(std::string name = "", AttrTuple attrs = {});
+
+  /// Adds an edge between existing nodes and returns its id.
+  EdgeId AddEdge(NodeId src, NodeId dst, std::string name = "",
+                 AttrTuple attrs = {});
+
+  /// Reserves space for n nodes / m edges (bulk-load optimization).
+  void Reserve(size_t n, size_t m);
+
+  // ---- Access ----
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const Node& node(NodeId v) const { return nodes_[v]; }
+  Node& node(NodeId v) { return nodes_[v]; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  Edge& edge(EdgeId e) { return edges_[e]; }
+
+  /// Adjacency of v: undirected graphs list every incident edge once per
+  /// endpoint; directed graphs list outgoing edges only (use InNeighbors
+  /// for incoming).
+  const std::vector<Adj>& neighbors(NodeId v) const { return adj_[v]; }
+
+  /// Incoming adjacency; only meaningful for directed graphs.
+  const std::vector<Adj>& in_neighbors(NodeId v) const { return in_adj_[v]; }
+
+  /// Degree as seen by `neighbors`.
+  size_t Degree(NodeId v) const { return adj_[v].size(); }
+
+  /// True if some edge connects u to v (respecting direction when directed).
+  bool HasEdgeBetween(NodeId u, NodeId v) const;
+
+  /// Returns one edge connecting u to v, or kInvalidEdge.
+  EdgeId FindEdge(NodeId u, NodeId v) const;
+
+  /// Looks up a node by variable name; kInvalidNode if absent.
+  NodeId FindNode(std::string_view name) const;
+
+  /// Looks up an edge by variable name; kInvalidEdge if absent.
+  EdgeId FindEdgeByName(std::string_view name) const;
+
+  /// Convenience accessor for the conventional "label" attribute used by
+  /// the paper's experiments; empty string when absent or non-string.
+  std::string_view Label(NodeId v) const;
+
+  /// Sets the "label" attribute of a node.
+  void SetLabel(NodeId v, std::string label);
+
+  // ---- Whole-graph helpers ----
+
+  /// Appends a copy of `other` into this graph; returns the node-id offset
+  /// at which `other`'s nodes were inserted. Names are imported as
+  /// "<prefix><original>" when a prefix is given (used for `graph G1 as X`).
+  NodeId Absorb(const Graph& other, const std::string& name_prefix = "");
+
+  /// True if `this` and `other` have identical structure, names, and
+  /// attributes under the identity node mapping (not isomorphism).
+  bool IdenticalTo(const Graph& other) const;
+
+  /// True if every node is reachable from node 0 (ignoring direction);
+  /// vacuously true for the empty graph.
+  bool IsConnected() const;
+
+  /// Multi-line GraphQL-source rendering of the graph.
+  std::string ToString() const;
+
+ private:
+  void RegisterEdgeKey(NodeId u, NodeId v);
+
+  std::string name_;
+  bool directed_ = false;
+  AttrTuple attrs_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adj>> adj_;
+  std::vector<std::vector<Adj>> in_adj_;  // Directed graphs only.
+  std::unordered_map<std::string, NodeId> node_by_name_;
+  std::unordered_map<std::string, EdgeId> edge_by_name_;
+  std::unordered_set<uint64_t> edge_keys_;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_GRAPH_GRAPH_H_

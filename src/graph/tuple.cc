@@ -1,0 +1,74 @@
+#include "graph/tuple.h"
+
+#include <algorithm>
+
+namespace graphql {
+
+void AttrTuple::Set(std::string_view name, Value value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string(name), std::move(value));
+}
+
+std::optional<Value> AttrTuple::Get(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+Value AttrTuple::GetOrNull(std::string_view name) const {
+  auto v = Get(name);
+  return v ? *v : Value();
+}
+
+bool AttrTuple::Erase(std::string_view name) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->first == name) {
+      attrs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AttrTuple::MergeFrom(const AttrTuple& other) {
+  if (tag_.empty()) tag_ = other.tag_;
+  for (const auto& [k, v] : other.attrs_) Set(k, v);
+}
+
+std::string AttrTuple::ToString() const {
+  if (empty()) return "";
+  std::string out = "<";
+  if (has_tag()) out += tag_;
+  bool first = true;
+  for (const auto& [k, v] : attrs_) {
+    if (!first) {
+      out += ", ";
+    } else if (has_tag()) {
+      out += " ";
+    }
+    first = false;
+    out += k;
+    out += "=";
+    out += v.ToString();
+  }
+  out += ">";
+  return out;
+}
+
+bool operator==(const AttrTuple& a, const AttrTuple& b) {
+  if (a.tag_ != b.tag_) return false;
+  if (a.attrs_.size() != b.attrs_.size()) return false;
+  for (const auto& [k, v] : a.attrs_) {
+    auto bv = b.Get(k);
+    if (!bv || !(*bv == v)) return false;
+  }
+  return true;
+}
+
+}  // namespace graphql

@@ -1,0 +1,72 @@
+#ifndef GRAPHQL_GRAPH_TUPLE_H_
+#define GRAPHQL_GRAPH_TUPLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace graphql {
+
+/// A GraphQL tuple: a list of (name, value) pairs with an optional tag
+/// denoting the tuple type (Section 3.1). Tuples annotate nodes, edges, and
+/// graphs; e.g. `<author name="A">` has tag "author" and one attribute.
+///
+/// Attribute order is preserved (it is part of the surface syntax) but
+/// lookup is by name; the attribute lists in this system are tiny (a handful
+/// of entries) so linear search is both simplest and fastest.
+class AttrTuple {
+ public:
+  AttrTuple() = default;
+  explicit AttrTuple(std::string tag) : tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+  bool has_tag() const { return !tag_.empty(); }
+
+  /// Sets attribute `name`, overwriting an existing value of the same name.
+  void Set(std::string_view name, Value value);
+
+  /// Returns the attribute value, or std::nullopt if absent.
+  std::optional<Value> Get(std::string_view name) const;
+
+  /// Returns the attribute value, or a null Value if absent.
+  Value GetOrNull(std::string_view name) const;
+
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+
+  /// Removes attribute `name` if present; returns whether it was present.
+  bool Erase(std::string_view name);
+
+  /// Copies every attribute of `other` into this tuple (overwriting on name
+  /// collision) and adopts `other`'s tag if this tuple has none. Used when
+  /// unification merges two nodes.
+  void MergeFrom(const AttrTuple& other);
+
+  const std::vector<std::pair<std::string, Value>>& attrs() const {
+    return attrs_;
+  }
+  bool empty() const { return tag_.empty() && attrs_.empty(); }
+  size_t size() const { return attrs_.size(); }
+
+  /// Renders as GraphQL source, e.g. `<author name="A", year=2006>`; empty
+  /// string when the tuple has no tag and no attributes.
+  std::string ToString() const;
+
+  /// Equality compares tag and the name->value mapping (order-insensitive).
+  friend bool operator==(const AttrTuple& a, const AttrTuple& b);
+  friend bool operator!=(const AttrTuple& a, const AttrTuple& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::pair<std::string, Value>> attrs_;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_GRAPH_TUPLE_H_

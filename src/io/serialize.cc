@@ -1,0 +1,462 @@
+#include "io/serialize.h"
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "motif/deriver.h"
+
+namespace graphql::io {
+
+namespace {
+
+constexpr char kDirectedMarker[] = "__directed";
+
+bool IsIdentifierSegment(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  // Keywords cannot serve as names.
+  static const char* kKeywords[] = {"graph", "node",  "edge",   "unify",
+                                    "export", "where", "for",    "exhaustive",
+                                    "in",     "doc",   "let",    "return",
+                                    "as",     "true",  "false"};
+  for (const char* kw : kKeywords) {
+    if (s == kw) return false;
+  }
+  return true;
+}
+
+/// Node names may be dotted paths of identifier segments; edge names must
+/// be plain identifiers.
+bool IsValidNodeName(std::string_view s) {
+  if (s.empty()) return false;
+  for (const std::string& part : Split(s, '.')) {
+    if (!IsIdentifierSegment(part)) return false;
+  }
+  return true;
+}
+
+std::string ValueText(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kBool:
+      return v.AsBool() ? "true" : "false";
+    case Value::Kind::kInt:
+      return std::to_string(v.AsInt());
+    case Value::Kind::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.AsDouble();
+      std::string s = os.str();
+      // Ensure the token re-lexes as a float, not an int.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Value::Kind::kString:
+      return "\"" + EscapeStringLiteral(v.AsString()) + "\"";
+    case Value::Kind::kNull:
+      return "";  // Null attributes are dropped (absent == null).
+  }
+  return "";
+}
+
+std::string TupleText(const AttrTuple& attrs) {
+  if (attrs.empty()) return "";
+  std::string out = "<";
+  if (attrs.has_tag()) out += attrs.tag();
+  bool wrote_attr = false;
+  for (const auto& [k, v] : attrs.attrs()) {
+    std::string value = ValueText(v);
+    if (value.empty()) continue;  // Null.
+    if (wrote_attr) {
+      out += ", ";
+    } else if (attrs.has_tag()) {
+      out += " ";
+    }
+    wrote_attr = true;
+    out += k;
+    out += "=";
+    out += value;
+  }
+  out += ">";
+  return out == "<>" ? "" : out;
+}
+
+}  // namespace
+
+std::string WriteGraphText(const Graph& g) {
+  // Assign parseable, unique names: originals kept when valid; anonymous
+  // or colliding entities get generated ones.
+  std::vector<std::string> node_names(g.NumNodes());
+  std::unordered_set<std::string> used;
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    const std::string& name = g.node(static_cast<NodeId>(v)).name;
+    if (IsValidNodeName(name) && used.insert(name).second) {
+      node_names[v] = name;
+    }
+  }
+  size_t counter = 0;
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    if (!node_names[v].empty()) continue;
+    std::string candidate;
+    do {
+      candidate = "_n" + std::to_string(counter++);
+    } while (!used.insert(candidate).second);
+    node_names[v] = candidate;
+  }
+
+  std::string out = "graph";
+  std::string gname = g.name();
+  if (IsIdentifierSegment(gname)) {
+    out += " ";
+    out += gname;
+  }
+  AttrTuple gattrs = g.attrs();
+  if (g.directed()) gattrs.Set(kDirectedMarker, Value(int64_t{1}));
+  std::string gt = TupleText(gattrs);
+  if (!gt.empty()) {
+    out += " ";
+    out += gt;
+  }
+  out += " {\n";
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    out += "  node " + node_names[v];
+    std::string t = TupleText(g.node(static_cast<NodeId>(v)).attrs);
+    if (!t.empty()) {
+      out += " ";
+      out += t;
+    }
+    out += ";\n";
+  }
+  std::unordered_set<std::string> used_edges;
+  size_t edge_counter = 0;
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    const Graph::Edge& ed = g.edge(static_cast<EdgeId>(e));
+    std::string ename = ed.name;
+    if (!IsIdentifierSegment(ename) || !used_edges.insert(ename).second) {
+      do {
+        ename = "_e" + std::to_string(edge_counter++);
+      } while (!used_edges.insert(ename).second);
+    }
+    out += "  edge " + ename + " (" + node_names[ed.src] + ", " +
+           node_names[ed.dst] + ")";
+    std::string t = TupleText(ed.attrs);
+    if (!t.empty()) {
+      out += " ";
+      out += t;
+    }
+    out += ";\n";
+  }
+  out += "}";
+  return out;
+}
+
+std::string WriteCollectionText(const GraphCollection& c) {
+  std::string out;
+  for (const Graph& g : c) {
+    out += WriteGraphText(g);
+    out += ";\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Applies the directedness marker: rebuilds the parsed (undirected)
+/// structure as a directed graph when the marker is present.
+Graph ApplyDirectedMarker(Graph g) {
+  auto marker = g.attrs().Get(kDirectedMarker);
+  if (!marker) return g;
+  Graph out(g.name(), /*directed=*/true);
+  AttrTuple gattrs = g.attrs();
+  gattrs.Erase(kDirectedMarker);
+  out.attrs() = std::move(gattrs);
+  out.Reserve(g.NumNodes(), g.NumEdges());
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    const Graph::Node& n = g.node(static_cast<NodeId>(v));
+    out.AddNode(n.name, n.attrs);
+  }
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    const Graph::Edge& ed = g.edge(static_cast<EdgeId>(e));
+    out.AddEdge(ed.src, ed.dst, ed.name, ed.attrs);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Graph> ReadGraphText(std::string_view text) {
+  GQL_ASSIGN_OR_RETURN(Graph g, motif::GraphFromSource(text));
+  return ApplyDirectedMarker(std::move(g));
+}
+
+Result<GraphCollection> ReadCollectionText(std::string_view text) {
+  GQL_ASSIGN_OR_RETURN(std::vector<Graph> graphs,
+                       motif::GraphsFromProgramSource(text));
+  GraphCollection out;
+  for (Graph& g : graphs) out.Add(ApplyDirectedMarker(std::move(g)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Binary format.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'Q', 'L', 'B'};
+constexpr uint8_t kVersion = 1;
+
+void WriteU32(std::ostream* out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->write(buf, 4);
+}
+
+void WriteU64(std::ostream* out, uint64_t v) {
+  WriteU32(out, static_cast<uint32_t>(v));
+  WriteU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void WriteString(std::ostream* out, std::string_view s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteValue(std::ostream* out, const Value& v) {
+  out->put(static_cast<char>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      out->put(v.AsBool() ? 1 : 0);
+      break;
+    case Value::Kind::kInt:
+      WriteU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case Value::Kind::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      WriteU64(out, bits);
+      break;
+    }
+    case Value::Kind::kString:
+      WriteString(out, v.AsString());
+      break;
+  }
+}
+
+void WriteTuple(std::ostream* out, const AttrTuple& attrs) {
+  WriteString(out, attrs.tag());
+  WriteU32(out, static_cast<uint32_t>(attrs.attrs().size()));
+  for (const auto& [k, v] : attrs.attrs()) {
+    WriteString(out, k);
+    WriteValue(out, v);
+  }
+}
+
+Result<uint32_t> ReadU32(std::istream* in) {
+  char buf[4];
+  in->read(buf, 4);
+  if (!*in) return Status::InvalidArgument("truncated binary graph");
+  return (static_cast<uint32_t>(static_cast<uint8_t>(buf[0]))) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(buf[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(buf[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(buf[3])) << 24);
+}
+
+Result<uint64_t> ReadU64(std::istream* in) {
+  GQL_ASSIGN_OR_RETURN(uint32_t lo, ReadU32(in));
+  GQL_ASSIGN_OR_RETURN(uint32_t hi, ReadU32(in));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<std::string> ReadString(std::istream* in) {
+  GQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32(in));
+  if (n > (1u << 30)) return Status::InvalidArgument("oversized string");
+  std::string s(n, '\0');
+  in->read(s.data(), n);
+  if (!*in) return Status::InvalidArgument("truncated binary graph");
+  return s;
+}
+
+Result<Value> ReadValue(std::istream* in) {
+  int kind = in->get();
+  if (kind == EOF) return Status::InvalidArgument("truncated binary graph");
+  switch (static_cast<Value::Kind>(kind)) {
+    case Value::Kind::kNull:
+      return Value();
+    case Value::Kind::kBool: {
+      int b = in->get();
+      if (b == EOF) return Status::InvalidArgument("truncated binary graph");
+      return Value(b != 0);
+    }
+    case Value::Kind::kInt: {
+      GQL_ASSIGN_OR_RETURN(uint64_t v, ReadU64(in));
+      return Value(static_cast<int64_t>(v));
+    }
+    case Value::Kind::kDouble: {
+      GQL_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(in));
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case Value::Kind::kString: {
+      GQL_ASSIGN_OR_RETURN(std::string s, ReadString(in));
+      return Value(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("unknown value kind in binary graph");
+}
+
+Result<AttrTuple> ReadTuple(std::istream* in) {
+  GQL_ASSIGN_OR_RETURN(std::string tag, ReadString(in));
+  AttrTuple attrs(std::move(tag));
+  GQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32(in));
+  for (uint32_t i = 0; i < n; ++i) {
+    GQL_ASSIGN_OR_RETURN(std::string k, ReadString(in));
+    GQL_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+    attrs.Set(k, std::move(v));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Status WriteGraphBinary(const Graph& g, std::ostream* out) {
+  out->write(kMagic, 4);
+  out->put(static_cast<char>(kVersion));
+  out->put(g.directed() ? 1 : 0);
+  WriteString(out, g.name());
+  WriteTuple(out, g.attrs());
+  WriteU32(out, static_cast<uint32_t>(g.NumNodes()));
+  WriteU32(out, static_cast<uint32_t>(g.NumEdges()));
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    const Graph::Node& n = g.node(static_cast<NodeId>(v));
+    WriteString(out, n.name);
+    WriteTuple(out, n.attrs);
+  }
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    const Graph::Edge& ed = g.edge(static_cast<EdgeId>(e));
+    WriteU32(out, static_cast<uint32_t>(ed.src));
+    WriteU32(out, static_cast<uint32_t>(ed.dst));
+    WriteString(out, ed.name);
+    WriteTuple(out, ed.attrs);
+  }
+  if (!*out) return Status::Internal("binary graph write failed");
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphBinary(std::istream* in) {
+  char magic[4];
+  in->read(magic, 4);
+  if (!*in || __builtin_memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a binary GraphQL graph (bad magic)");
+  }
+  int version = in->get();
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported binary graph version " +
+                                   std::to_string(version));
+  }
+  int directed = in->get();
+  if (directed == EOF) {
+    return Status::InvalidArgument("truncated binary graph");
+  }
+  GQL_ASSIGN_OR_RETURN(std::string name, ReadString(in));
+  Graph g(std::move(name), directed != 0);
+  GQL_ASSIGN_OR_RETURN(AttrTuple gattrs, ReadTuple(in));
+  g.attrs() = std::move(gattrs);
+  GQL_ASSIGN_OR_RETURN(uint32_t num_nodes, ReadU32(in));
+  GQL_ASSIGN_OR_RETURN(uint32_t num_edges, ReadU32(in));
+  g.Reserve(num_nodes, num_edges);
+  for (uint32_t v = 0; v < num_nodes; ++v) {
+    GQL_ASSIGN_OR_RETURN(std::string nname, ReadString(in));
+    GQL_ASSIGN_OR_RETURN(AttrTuple attrs, ReadTuple(in));
+    g.AddNode(std::move(nname), std::move(attrs));
+  }
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    GQL_ASSIGN_OR_RETURN(uint32_t src, ReadU32(in));
+    GQL_ASSIGN_OR_RETURN(uint32_t dst, ReadU32(in));
+    if (src >= num_nodes || dst >= num_nodes) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    GQL_ASSIGN_OR_RETURN(std::string ename, ReadString(in));
+    GQL_ASSIGN_OR_RETURN(AttrTuple attrs, ReadTuple(in));
+    g.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst),
+              std::move(ename), std::move(attrs));
+  }
+  return g;
+}
+
+Status WriteCollectionBinary(const GraphCollection& c, std::ostream* out) {
+  out->write("GQLC", 4);
+  WriteString(out, c.name());
+  WriteU32(out, static_cast<uint32_t>(c.size()));
+  for (const Graph& g : c) {
+    GQL_RETURN_IF_ERROR(WriteGraphBinary(g, out));
+  }
+  return Status::OK();
+}
+
+Result<GraphCollection> ReadCollectionBinary(std::istream* in) {
+  char magic[4];
+  in->read(magic, 4);
+  if (!*in || __builtin_memcmp(magic, "GQLC", 4) != 0) {
+    return Status::InvalidArgument(
+        "not a binary GraphQL collection (bad magic)");
+  }
+  GQL_ASSIGN_OR_RETURN(std::string name, ReadString(in));
+  GraphCollection c(std::move(name));
+  GQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32(in));
+  for (uint32_t i = 0; i < n; ++i) {
+    GQL_ASSIGN_OR_RETURN(Graph g, ReadGraphBinary(in));
+    c.Add(std::move(g));
+  }
+  return c;
+}
+
+namespace {
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() >= 5 && path.substr(path.size() - 5) == ".gqlb";
+}
+
+}  // namespace
+
+Status SaveCollection(const GraphCollection& c, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
+  if (IsBinaryPath(path)) return WriteCollectionBinary(c, &out);
+  out << WriteCollectionText(c);
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<GraphCollection> LoadCollection(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  if (IsBinaryPath(path)) return ReadCollectionBinary(&in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCollectionText(buffer.str());
+}
+
+}  // namespace graphql::io

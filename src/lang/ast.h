@@ -1,0 +1,178 @@
+#ifndef GRAPHQL_LANG_AST_H_
+#define GRAPHQL_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace graphql::lang {
+
+// Abstract syntax of the GraphQL language (Appendix 4.A), extended with the
+// Section-2 constructs: `graph G as X` aliasing, `unify`, `export ... as`,
+// and anonymous-block disjunction (`{ ... } | { ... }`).
+//
+// The same syntactic shape `graph ... { ... } [where ...]` serves three
+// roles distinguished by position: a graph *motif/pattern* (Sections 2,
+// 3.2), a graph *template* (composition, Section 3.3), and a plain graph
+// literal (data). Later passes (motif::Builder, algebra::GraphPattern,
+// algebra::GraphTemplate) interpret one GraphDecl accordingly.
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Binary operators of the expression grammar, in GraphQL surface syntax:
+/// | & + - * / == != > >= < <=.
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// Expression tree node: literal, dotted name (`P.v1.name`), or binary op.
+struct Expr {
+  enum class Kind { kLiteral, kName, kBinary };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kName: the dotted path, e.g. {"P", "v1", "name"}.
+  std::vector<std::string> path;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kOr;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr Name(std::vector<std::string> path);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+};
+
+/// A tuple literal `<tag? name=expr, ...>`. In patterns the values are
+/// literals (equality constraints); in templates they are full expressions
+/// evaluated against the bound parameters.
+struct TupleLit {
+  std::string tag;
+  std::vector<std::pair<std::string, ExprPtr>> entries;
+};
+
+/// `node v1 <tuple>? (where expr)?` — one declarator of a node statement.
+struct NodeDecl {
+  std::string name;  ///< May be empty (anonymous node).
+  std::optional<TupleLit> tuple;
+  ExprPtr where;  ///< Per-node predicate; null when absent.
+};
+
+/// `edge e1 (a.b, c) <tuple>? (where expr)?`.
+struct EdgeDecl {
+  std::string name;  ///< May be empty.
+  std::vector<std::string> src;  ///< Dotted name of the source node.
+  std::vector<std::string> dst;  ///< Dotted name of the target node.
+  std::optional<TupleLit> tuple;
+  ExprPtr where;
+};
+
+/// `graph G;` or `graph G1 as X;` — embeds a named graph (by reference to a
+/// declaration or runtime binding) into the enclosing body.
+struct GraphRefDecl {
+  std::string graph_name;
+  std::string alias;  ///< Empty when no `as` clause; names then resolve
+                      ///< through `graph_name` itself.
+};
+
+/// `unify a.b, c.d (, more)* (where expr)?;` — merges the named nodes. The
+/// optional where makes the unification conditional (used by templates,
+/// Figure 4.12).
+struct UnifyDecl {
+  std::vector<std::vector<std::string>> names;  ///< ≥2 dotted names.
+  ExprPtr where;
+};
+
+/// `export Nested.v as v;` — re-exposes a nested node under a new name
+/// (Section 2.3); equivalent to declaring `node v` and unifying.
+struct ExportDecl {
+  std::vector<std::string> source;  ///< Dotted name in a nested graph.
+  std::string as;
+};
+
+struct GraphBody;
+
+/// One member of a graph body. A kDisjunction member holds ≥2 alternative
+/// anonymous bodies of which exactly one is instantiated (Section 2.2).
+struct MemberDecl {
+  enum class Kind {
+    kNode,
+    kEdge,
+    kGraphRef,
+    kUnify,
+    kExport,
+    kDisjunction,
+  };
+  Kind kind = Kind::kNode;
+  NodeDecl node;
+  EdgeDecl edge;
+  GraphRefDecl graph_ref;
+  UnifyDecl unify;
+  ExportDecl export_decl;
+  std::vector<std::shared_ptr<GraphBody>> alternatives;
+};
+
+struct GraphBody {
+  std::vector<MemberDecl> members;
+};
+
+/// `graph Name? <tuple>? { body } (where expr)?`.
+struct GraphDecl {
+  std::string name;  ///< Empty for anonymous graphs.
+  std::optional<TupleLit> tuple;
+  GraphBody body;
+  ExprPtr where;  ///< Graph-wide predicate.
+};
+
+/// FLWR expression:
+///   for (ID | GraphPattern) [exhaustive] in doc("name") [where expr]
+///     ( return GraphTemplate | let ID := GraphTemplate )
+struct FlwrExpr {
+  std::optional<GraphDecl> pattern;  ///< Inline pattern, or ...
+  std::string pattern_ref;           ///< ... reference to a declared one.
+  bool exhaustive = false;
+  std::string doc;
+  ExprPtr where;
+  bool is_let = false;
+  std::string let_target;                 ///< Target variable for `let`.
+  std::optional<GraphDecl> template_decl; ///< Inline template, or ...
+  std::string template_ref;               ///< ... a bare identifier.
+};
+
+/// Top-level statement. `Assign` covers the paper's `C := graph {};` form.
+struct Statement {
+  enum class Kind { kGraphDecl, kFlwr, kAssign };
+  Kind kind = Kind::kGraphDecl;
+  GraphDecl graph;        // kGraphDecl and kAssign (the right-hand side).
+  std::string assign_target;  // kAssign
+  FlwrExpr flwr;          // kFlwr
+};
+
+struct Program {
+  std::vector<Statement> statements;
+};
+
+}  // namespace graphql::lang
+
+#endif  // GRAPHQL_LANG_AST_H_

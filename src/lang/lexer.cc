@@ -1,0 +1,263 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace graphql::lang {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& Keywords() {
+  static const auto* kKeywords =
+      new std::unordered_map<std::string_view, TokenKind>{
+          {"graph", TokenKind::kGraph},
+          {"node", TokenKind::kNode},
+          {"edge", TokenKind::kEdge},
+          {"unify", TokenKind::kUnify},
+          {"export", TokenKind::kExport},
+          {"where", TokenKind::kWhere},
+          {"for", TokenKind::kFor},
+          {"exhaustive", TokenKind::kExhaustive},
+          {"in", TokenKind::kIn},
+          {"doc", TokenKind::kDoc},
+          {"let", TokenKind::kLet},
+          {"return", TokenKind::kReturn},
+          {"as", TokenKind::kAs},
+      };
+  return *kKeywords;
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  for (;;) {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    if (Peek() == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+      continue;
+    }
+    if (Peek() == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    GQL_ASSIGN_OR_RETURN(Token tok, Next());
+    bool end = tok.kind == TokenKind::kEnd;
+    tokens.push_back(std::move(tok));
+    if (end) return tokens;
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (AtEnd()) {
+    tok.kind = TokenKind::kEnd;
+    return tok;
+  }
+  char c = Peek();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string ident;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      ident += Advance();
+    }
+    auto it = Keywords().find(ident);
+    if (it != Keywords().end()) {
+      tok.kind = it->second;
+      tok.text = ident;
+    } else {
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::move(ident);
+    }
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      num += Advance();
+    }
+    // A '.' is part of the number only when followed by a digit; otherwise
+    // it is member access (e.g. tuples never contain `1.x`).
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      num += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = 1;
+      if (Peek(1) == '+' || Peek(1) == '-') save = 2;
+      if (std::isdigit(static_cast<unsigned char>(Peek(save)))) {
+        is_float = true;
+        num += Advance();  // e
+        if (Peek() == '+' || Peek() == '-') num += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          num += Advance();
+        }
+      }
+    }
+    if (is_float) {
+      tok.kind = TokenKind::kFloat;
+      tok.float_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      tok.kind = TokenKind::kInt;
+      tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+    }
+    return tok;
+  }
+
+  if (c == '"') {
+    Advance();
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      char d = Advance();
+      if (d == '\\' && !AtEnd()) {
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          default:
+            text += e;
+        }
+      } else {
+        text += d;
+      }
+    }
+    if (AtEnd()) return ErrorHere("unterminated string literal");
+    Advance();  // closing quote
+    tok.kind = TokenKind::kString;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Advance();
+  switch (c) {
+    case '{':
+      tok.kind = TokenKind::kLBrace;
+      return tok;
+    case '}':
+      tok.kind = TokenKind::kRBrace;
+      return tok;
+    case '(':
+      tok.kind = TokenKind::kLParen;
+      return tok;
+    case ')':
+      tok.kind = TokenKind::kRParen;
+      return tok;
+    case ',':
+      tok.kind = TokenKind::kComma;
+      return tok;
+    case ';':
+      tok.kind = TokenKind::kSemicolon;
+      return tok;
+    case '.':
+      tok.kind = TokenKind::kDot;
+      return tok;
+    case '|':
+      tok.kind = TokenKind::kPipe;
+      return tok;
+    case '&':
+      tok.kind = TokenKind::kAmp;
+      return tok;
+    case '+':
+      tok.kind = TokenKind::kPlus;
+      return tok;
+    case '-':
+      tok.kind = TokenKind::kMinus;
+      return tok;
+    case '*':
+      tok.kind = TokenKind::kStar;
+      return tok;
+    case '/':
+      tok.kind = TokenKind::kSlash;
+      return tok;
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kLe;
+      } else {
+        tok.kind = TokenKind::kLAngle;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kGe;
+      } else {
+        tok.kind = TokenKind::kRAngle;
+      }
+      return tok;
+    case '=':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kEq;
+      } else {
+        tok.kind = TokenKind::kAssign;
+      }
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kNe;
+        return tok;
+      }
+      return ErrorHere("unexpected character '!'");
+    case ':':
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kColonEq;
+        return tok;
+      }
+      return ErrorHere("unexpected character ':'");
+    default:
+      return ErrorHere(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace graphql::lang

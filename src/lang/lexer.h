@@ -1,0 +1,42 @@
+#ifndef GRAPHQL_LANG_LEXER_H_
+#define GRAPHQL_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace graphql::lang {
+
+/// Hand-written scanner for GraphQL source text.
+///
+/// Lexical structure: C-style identifiers; decimal integer and float
+/// literals; double-quoted strings with \\ and \" escapes; `//` line
+/// comments and `/* */` block comments; the punctuation of Appendix 4.A.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  /// Scans the whole input; returns the token stream terminated by a kEnd
+  /// token, or a ParseError status describing the first bad character.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  Status ErrorHere(const std::string& message) const;
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace graphql::lang
+
+#endif  // GRAPHQL_LANG_LEXER_H_

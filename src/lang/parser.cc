@@ -1,0 +1,541 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "lang/lexer.h"
+
+namespace graphql::lang {
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> Parser::Expect(TokenKind kind, const char* context) {
+  if (Check(kind)) return Advance();
+  return ErrorHere(std::string("expected ") + TokenKindName(kind) + " in " +
+                   context + ", found " + Peek().Describe());
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::ParseError(message + " at line " + std::to_string(t.line) +
+                            ", column " + std::to_string(t.column));
+}
+
+Result<Program> Parser::ParseProgram(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Program_();
+}
+
+Result<GraphDecl> Parser::ParseGraph(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  GQL_ASSIGN_OR_RETURN(GraphDecl decl, parser.GraphDecl_());
+  parser.Match(TokenKind::kSemicolon);
+  if (!parser.Check(TokenKind::kEnd)) {
+    return parser.ErrorHere("trailing input after graph declaration");
+  }
+  return decl;
+}
+
+Result<ExprPtr> Parser::ParseExpression(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  GQL_ASSIGN_OR_RETURN(ExprPtr e, parser.Expr_());
+  if (!parser.Check(TokenKind::kEnd)) {
+    return parser.ErrorHere("trailing input after expression");
+  }
+  return e;
+}
+
+Result<Program> Parser::Program_() {
+  Program program;
+  while (!Check(TokenKind::kEnd)) {
+    GQL_ASSIGN_OR_RETURN(Statement stmt, Statement_());
+    program.statements.push_back(std::move(stmt));
+  }
+  return program;
+}
+
+Result<Statement> Parser::Statement_() {
+  Statement stmt;
+  if (Check(TokenKind::kGraph)) {
+    stmt.kind = Statement::Kind::kGraphDecl;
+    GQL_ASSIGN_OR_RETURN(stmt.graph, GraphDecl_());
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "statement").status());
+    return stmt;
+  }
+  if (Check(TokenKind::kFor)) {
+    stmt.kind = Statement::Kind::kFlwr;
+    GQL_ASSIGN_OR_RETURN(stmt.flwr, Flwr_());
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "statement").status());
+    return stmt;
+  }
+  if (Check(TokenKind::kIdent) && Check(TokenKind::kColonEq, 1)) {
+    stmt.kind = Statement::Kind::kAssign;
+    stmt.assign_target = Advance().text;
+    Advance();  // :=
+    GQL_ASSIGN_OR_RETURN(stmt.graph, GraphDecl_());
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "statement").status());
+    return stmt;
+  }
+  return ErrorHere("expected 'graph', 'for', or an assignment, found " +
+                   Peek().Describe());
+}
+
+Result<GraphDecl> Parser::GraphDecl_() {
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kGraph, "graph declaration").status());
+  GraphDecl decl;
+  if (Check(TokenKind::kIdent)) decl.name = Advance().text;
+  if (Check(TokenKind::kLAngle)) {
+    GQL_ASSIGN_OR_RETURN(TupleLit t, Tuple_());
+    decl.tuple = std::move(t);
+  }
+  GQL_ASSIGN_OR_RETURN(GraphBody body, GraphBodyBlock());
+  // Top-level disjunction: graph G { ... } | { ... } | ...
+  if (Check(TokenKind::kPipe)) {
+    MemberDecl disj;
+    disj.kind = MemberDecl::Kind::kDisjunction;
+    disj.alternatives.push_back(std::make_shared<GraphBody>(std::move(body)));
+    while (Match(TokenKind::kPipe)) {
+      GQL_ASSIGN_OR_RETURN(GraphBody alt, GraphBodyBlock());
+      disj.alternatives.push_back(
+          std::make_shared<GraphBody>(std::move(alt)));
+    }
+    GraphBody wrapper;
+    wrapper.members.push_back(std::move(disj));
+    decl.body = std::move(wrapper);
+  } else {
+    decl.body = std::move(body);
+  }
+  if (Match(TokenKind::kWhere)) {
+    GQL_ASSIGN_OR_RETURN(decl.where, Expr_());
+  }
+  return decl;
+}
+
+Result<GraphBody> Parser::GraphBodyBlock() {
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "graph body").status());
+  GQL_ASSIGN_OR_RETURN(std::vector<MemberDecl> members, Members());
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "graph body").status());
+  GraphBody body;
+  body.members = std::move(members);
+  return body;
+}
+
+Result<std::vector<MemberDecl>> Parser::Members() {
+  std::vector<MemberDecl> members;
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEnd)) {
+    GQL_ASSIGN_OR_RETURN(MemberDecl m, Member());
+    members.push_back(std::move(m));
+  }
+  return members;
+}
+
+Result<MemberDecl> Parser::Member() {
+  MemberDecl member;
+  if (Match(TokenKind::kNode)) {
+    member.kind = MemberDecl::Kind::kNode;
+    GQL_ASSIGN_OR_RETURN(member.node, NodeDecl_());
+    // `node a, b, c;` expands into sibling members returned one at a time:
+    // we rewrite the commas by pushing extra members through a small queue.
+    // Simpler: collect into a disjunction-free multi list via recursion.
+    if (Check(TokenKind::kComma)) {
+      // Build a synthetic container: we return the first node and re-queue
+      // the rest by rewinding is complex; instead we parse all declarators
+      // here and wrap them in consecutive members via a vector hack below.
+      // To keep Member() single-valued, we use the alternatives field as a
+      // carrier — but that is obscure. Instead: loop in place.
+      std::vector<NodeDecl> extra;
+      while (Match(TokenKind::kComma)) {
+        GQL_ASSIGN_OR_RETURN(NodeDecl n, NodeDecl_());
+        extra.push_back(std::move(n));
+      }
+      GQL_RETURN_IF_ERROR(
+          Expect(TokenKind::kSemicolon, "node declaration").status());
+      // Pack extras into sibling members using a dedicated wrapper body.
+      MemberDecl first = std::move(member);
+      if (extra.empty()) return first;
+      // Represent a multi-declarator statement as a flat sequence: we store
+      // the first directly and the rest inside a single-alternative
+      // disjunction-like group that the builder flattens.
+      auto group = std::make_shared<GraphBody>();
+      group->members.push_back(std::move(first));
+      for (auto& n : extra) {
+        MemberDecl m;
+        m.kind = MemberDecl::Kind::kNode;
+        m.node = std::move(n);
+        group->members.push_back(std::move(m));
+      }
+      MemberDecl seq;
+      seq.kind = MemberDecl::Kind::kDisjunction;
+      seq.alternatives.push_back(std::move(group));
+      return seq;
+    }
+    GQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kSemicolon, "node declaration").status());
+    return member;
+  }
+  if (Match(TokenKind::kEdge)) {
+    member.kind = MemberDecl::Kind::kEdge;
+    GQL_ASSIGN_OR_RETURN(member.edge, EdgeDecl_());
+    if (Check(TokenKind::kComma)) {
+      auto group = std::make_shared<GraphBody>();
+      group->members.push_back(std::move(member));
+      while (Match(TokenKind::kComma)) {
+        MemberDecl m;
+        m.kind = MemberDecl::Kind::kEdge;
+        GQL_ASSIGN_OR_RETURN(m.edge, EdgeDecl_());
+        group->members.push_back(std::move(m));
+      }
+      GQL_RETURN_IF_ERROR(
+          Expect(TokenKind::kSemicolon, "edge declaration").status());
+      MemberDecl seq;
+      seq.kind = MemberDecl::Kind::kDisjunction;
+      seq.alternatives.push_back(std::move(group));
+      return seq;
+    }
+    GQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kSemicolon, "edge declaration").status());
+    return member;
+  }
+  if (Match(TokenKind::kGraph)) {
+    member.kind = MemberDecl::Kind::kGraphRef;
+    GQL_ASSIGN_OR_RETURN(
+        Token name, Expect(TokenKind::kIdent, "graph member reference"));
+    member.graph_ref.graph_name = name.text;
+    if (Match(TokenKind::kAs)) {
+      GQL_ASSIGN_OR_RETURN(Token alias,
+                           Expect(TokenKind::kIdent, "graph member alias"));
+      member.graph_ref.alias = alias.text;
+    }
+    if (Check(TokenKind::kComma)) {
+      auto group = std::make_shared<GraphBody>();
+      group->members.push_back(std::move(member));
+      while (Match(TokenKind::kComma)) {
+        MemberDecl m;
+        m.kind = MemberDecl::Kind::kGraphRef;
+        GQL_ASSIGN_OR_RETURN(
+            Token more, Expect(TokenKind::kIdent, "graph member reference"));
+        m.graph_ref.graph_name = more.text;
+        if (Match(TokenKind::kAs)) {
+          GQL_ASSIGN_OR_RETURN(
+              Token alias, Expect(TokenKind::kIdent, "graph member alias"));
+          m.graph_ref.alias = alias.text;
+        }
+        group->members.push_back(std::move(m));
+      }
+      GQL_RETURN_IF_ERROR(
+          Expect(TokenKind::kSemicolon, "graph member reference").status());
+      MemberDecl seq;
+      seq.kind = MemberDecl::Kind::kDisjunction;
+      seq.alternatives.push_back(std::move(group));
+      return seq;
+    }
+    GQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kSemicolon, "graph member reference").status());
+    return member;
+  }
+  if (Match(TokenKind::kUnify)) {
+    member.kind = MemberDecl::Kind::kUnify;
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> first, Names_());
+    member.unify.names.push_back(std::move(first));
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kComma, "unify").status());
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> second, Names_());
+    member.unify.names.push_back(std::move(second));
+    while (Match(TokenKind::kComma)) {
+      GQL_ASSIGN_OR_RETURN(std::vector<std::string> more, Names_());
+      member.unify.names.push_back(std::move(more));
+    }
+    if (Match(TokenKind::kWhere)) {
+      GQL_ASSIGN_OR_RETURN(member.unify.where, Expr_());
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "unify").status());
+    return member;
+  }
+  if (Match(TokenKind::kExport)) {
+    member.kind = MemberDecl::Kind::kExport;
+    GQL_ASSIGN_OR_RETURN(member.export_decl.source, Names_());
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kAs, "export").status());
+    GQL_ASSIGN_OR_RETURN(Token as,
+                         Expect(TokenKind::kIdent, "export alias"));
+    member.export_decl.as = as.text;
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "export").status());
+    return member;
+  }
+  if (Check(TokenKind::kLBrace)) {
+    // Anonymous block, possibly a disjunction: { ... } | { ... } ...
+    member.kind = MemberDecl::Kind::kDisjunction;
+    GQL_ASSIGN_OR_RETURN(GraphBody first, GraphBodyBlock());
+    member.alternatives.push_back(
+        std::make_shared<GraphBody>(std::move(first)));
+    while (Match(TokenKind::kPipe)) {
+      GQL_ASSIGN_OR_RETURN(GraphBody alt, GraphBodyBlock());
+      member.alternatives.push_back(
+          std::make_shared<GraphBody>(std::move(alt)));
+    }
+    Match(TokenKind::kSemicolon);  // optional trailing ';' after a block
+    return member;
+  }
+  return ErrorHere("expected a graph member declaration, found " +
+                   Peek().Describe());
+}
+
+Result<NodeDecl> Parser::NodeDecl_() {
+  NodeDecl node;
+  if (Check(TokenKind::kIdent)) {
+    // Graph templates may declare nodes under dotted parameter paths, e.g.
+    // `node P.v1, P.v2;` (Figure 4.12); store the joined path as the name.
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> path, Names_());
+    node.name = Join(path, ".");
+  }
+  if (Check(TokenKind::kLAngle)) {
+    GQL_ASSIGN_OR_RETURN(TupleLit t, Tuple_());
+    node.tuple = std::move(t);
+  }
+  if (Match(TokenKind::kWhere)) {
+    GQL_ASSIGN_OR_RETURN(node.where, Expr_());
+  }
+  return node;
+}
+
+Result<EdgeDecl> Parser::EdgeDecl_() {
+  EdgeDecl edge;
+  if (Check(TokenKind::kIdent)) edge.name = Advance().text;
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "edge endpoints").status());
+  GQL_ASSIGN_OR_RETURN(edge.src, Names_());
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kComma, "edge endpoints").status());
+  GQL_ASSIGN_OR_RETURN(edge.dst, Names_());
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "edge endpoints").status());
+  if (Check(TokenKind::kLAngle)) {
+    GQL_ASSIGN_OR_RETURN(TupleLit t, Tuple_());
+    edge.tuple = std::move(t);
+  }
+  if (Match(TokenKind::kWhere)) {
+    GQL_ASSIGN_OR_RETURN(edge.where, Expr_());
+  }
+  return edge;
+}
+
+Result<TupleLit> Parser::Tuple_() {
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kLAngle, "tuple").status());
+  TupleLit tuple;
+  // A leading identifier not followed by '=' is the tuple's tag.
+  if (Check(TokenKind::kIdent) && !Check(TokenKind::kAssign, 1)) {
+    tuple.tag = Advance().text;
+  }
+  bool first = true;
+  while (!Check(TokenKind::kRAngle)) {
+    if (!first) Match(TokenKind::kComma);  // commas between entries optional
+    first = false;
+    GQL_ASSIGN_OR_RETURN(Token name,
+                         Expect(TokenKind::kIdent, "tuple attribute"));
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "tuple attribute").status());
+    // Attribute values are parsed at additive precedence so that the
+    // closing '>' of the tuple is never consumed as a comparison operator;
+    // parenthesize to embed comparisons.
+    GQL_ASSIGN_OR_RETURN(ExprPtr value, AddExpr());
+    tuple.entries.emplace_back(name.text, std::move(value));
+  }
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kRAngle, "tuple").status());
+  return tuple;
+}
+
+Result<std::vector<std::string>> Parser::Names_() {
+  GQL_ASSIGN_OR_RETURN(Token first, Expect(TokenKind::kIdent, "name"));
+  std::vector<std::string> path = {first.text};
+  while (Match(TokenKind::kDot)) {
+    GQL_ASSIGN_OR_RETURN(Token part, Expect(TokenKind::kIdent, "name"));
+    path.push_back(part.text);
+  }
+  return path;
+}
+
+Result<FlwrExpr> Parser::Flwr_() {
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kFor, "FLWR expression").status());
+  FlwrExpr flwr;
+  if (Check(TokenKind::kGraph)) {
+    GQL_ASSIGN_OR_RETURN(GraphDecl pattern, GraphDecl_());
+    flwr.pattern = std::move(pattern);
+  } else {
+    GQL_ASSIGN_OR_RETURN(Token ref,
+                         Expect(TokenKind::kIdent, "FLWR pattern"));
+    flwr.pattern_ref = ref.text;
+  }
+  flwr.exhaustive = Match(TokenKind::kExhaustive);
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kIn, "FLWR expression").status());
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kDoc, "FLWR expression").status());
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "doc()").status());
+  GQL_ASSIGN_OR_RETURN(Token doc, Expect(TokenKind::kString, "doc()"));
+  flwr.doc = doc.text;
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "doc()").status());
+  if (Match(TokenKind::kWhere)) {
+    GQL_ASSIGN_OR_RETURN(flwr.where, Expr_());
+  }
+  if (Match(TokenKind::kReturn)) {
+    flwr.is_let = false;
+  } else if (Match(TokenKind::kLet)) {
+    flwr.is_let = true;
+    GQL_ASSIGN_OR_RETURN(Token target,
+                         Expect(TokenKind::kIdent, "let binding"));
+    flwr.let_target = target.text;
+    if (!Match(TokenKind::kColonEq) && !Match(TokenKind::kAssign)) {
+      return ErrorHere("expected ':=' or '=' in let binding, found " +
+                       Peek().Describe());
+    }
+  } else {
+    return ErrorHere("expected 'return' or 'let' in FLWR expression, found " +
+                     Peek().Describe());
+  }
+  if (Check(TokenKind::kGraph)) {
+    GQL_ASSIGN_OR_RETURN(GraphDecl tmpl, GraphDecl_());
+    flwr.template_decl = std::move(tmpl);
+  } else {
+    GQL_ASSIGN_OR_RETURN(Token ref,
+                         Expect(TokenKind::kIdent, "FLWR template"));
+    flwr.template_ref = ref.text;
+  }
+  return flwr;
+}
+
+Result<ExprPtr> Parser::Expr_() { return OrExpr(); }
+
+Result<ExprPtr> Parser::OrExpr() {
+  GQL_ASSIGN_OR_RETURN(ExprPtr lhs, AndExpr());
+  while (Match(TokenKind::kPipe)) {
+    GQL_ASSIGN_OR_RETURN(ExprPtr rhs, AndExpr());
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::AndExpr() {
+  GQL_ASSIGN_OR_RETURN(ExprPtr lhs, CmpExpr());
+  while (Match(TokenKind::kAmp)) {
+    GQL_ASSIGN_OR_RETURN(ExprPtr rhs, CmpExpr());
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::CmpExpr() {
+  GQL_ASSIGN_OR_RETURN(ExprPtr lhs, AddExpr());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kEq)) {
+      op = BinaryOp::kEq;
+    } else if (Match(TokenKind::kNe)) {
+      op = BinaryOp::kNe;
+    } else if (Match(TokenKind::kLAngle)) {
+      op = BinaryOp::kLt;
+    } else if (Match(TokenKind::kLe)) {
+      op = BinaryOp::kLe;
+    } else if (Match(TokenKind::kRAngle)) {
+      op = BinaryOp::kGt;
+    } else if (Match(TokenKind::kGe)) {
+      op = BinaryOp::kGe;
+    } else if (Check(TokenKind::kAssign)) {
+      // The paper freely writes `=` for equality inside predicates
+      // (Figure 4.8: `where v1.name="A"`); accept it as '=='.
+      Advance();
+      op = BinaryOp::kEq;
+    } else {
+      return lhs;
+    }
+    GQL_ASSIGN_OR_RETURN(ExprPtr rhs, AddExpr());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::AddExpr() {
+  GQL_ASSIGN_OR_RETURN(ExprPtr lhs, MulExpr());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Match(TokenKind::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return lhs;
+    }
+    GQL_ASSIGN_OR_RETURN(ExprPtr rhs, MulExpr());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::MulExpr() {
+  GQL_ASSIGN_OR_RETURN(ExprPtr lhs, Primary());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Match(TokenKind::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else {
+      return lhs;
+    }
+    GQL_ASSIGN_OR_RETURN(ExprPtr rhs, Primary());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::Primary() {
+  if (Match(TokenKind::kLParen)) {
+    GQL_ASSIGN_OR_RETURN(ExprPtr e, Expr_());
+    GQL_RETURN_IF_ERROR(
+        Expect(TokenKind::kRParen, "parenthesized expression").status());
+    return e;
+  }
+  if (Match(TokenKind::kMinus)) {
+    GQL_ASSIGN_OR_RETURN(ExprPtr operand, Primary());
+    return Expr::Binary(BinaryOp::kSub, Expr::Literal(Value(int64_t{0})),
+                        std::move(operand));
+  }
+  if (Check(TokenKind::kInt)) {
+    return Expr::Literal(Value(Advance().int_value));
+  }
+  if (Check(TokenKind::kFloat)) {
+    return Expr::Literal(Value(Advance().float_value));
+  }
+  if (Check(TokenKind::kString)) {
+    return Expr::Literal(Value(Advance().text));
+  }
+  if (Check(TokenKind::kIdent)) {
+    // `true`/`false` act as boolean literals in expression position (they
+    // are not reserved words; a dotted path starting with them still
+    // parses as a name).
+    if (!Check(TokenKind::kDot, 1)) {
+      if (Peek().text == "true") {
+        Advance();
+        return Expr::Literal(Value(true));
+      }
+      if (Peek().text == "false") {
+        Advance();
+        return Expr::Literal(Value(false));
+      }
+    }
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> path, Names_());
+    return Expr::Name(std::move(path));
+  }
+  return ErrorHere("expected an expression, found " + Peek().Describe());
+}
+
+}  // namespace graphql::lang

@@ -1,0 +1,72 @@
+#ifndef GRAPHQL_LANG_PARSER_H_
+#define GRAPHQL_LANG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace graphql::lang {
+
+/// Recursive-descent parser for the GraphQL grammar of Appendix 4.A,
+/// extended with:
+///  - `graph G1 as X;` member aliasing (Section 2.1),
+///  - `export Nested.v as v;` (Section 2.3),
+///  - anonymous-block disjunction `{...} | {...}` both as a member and as
+///    the whole body of a `graph` declaration (Sections 2.2, 2.3),
+///  - top-level assignment `C := graph { ... };` (Figure 4.12),
+///  - `where` clauses on `unify` members (Figure 4.12).
+class Parser {
+ public:
+  /// Parses a whole program (a sequence of `;`-terminated statements).
+  static Result<Program> ParseProgram(std::string_view source);
+
+  /// Parses a single `graph ... { ... } [where ...]` declaration. The
+  /// trailing semicolon is optional. Convenience entry point for building
+  /// patterns/templates directly from strings.
+  static Result<GraphDecl> ParseGraph(std::string_view source);
+
+  /// Parses a standalone expression (used in tests).
+  static Result<ExprPtr> ParseExpression(std::string_view source);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  bool Check(TokenKind kind, size_t ahead = 0) const {
+    return Peek(ahead).kind == kind;
+  }
+  const Token& Advance();
+  bool Match(TokenKind kind);
+  Result<Token> Expect(TokenKind kind, const char* context);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<Program> Program_();
+  Result<Statement> Statement_();
+  Result<GraphDecl> GraphDecl_();
+  Result<GraphBody> GraphBodyBlock();          // "{" MemberDecl* "}"
+  Result<std::vector<MemberDecl>> Members();   // MemberDecl*
+  Result<MemberDecl> Member();
+  Result<NodeDecl> NodeDecl_();
+  Result<EdgeDecl> EdgeDecl_();
+  Result<TupleLit> Tuple_();
+  Result<std::vector<std::string>> Names_();
+  Result<FlwrExpr> Flwr_();
+
+  Result<ExprPtr> Expr_();        // full precedence chain
+  Result<ExprPtr> OrExpr();
+  Result<ExprPtr> AndExpr();
+  Result<ExprPtr> CmpExpr();
+  Result<ExprPtr> AddExpr();
+  Result<ExprPtr> MulExpr();
+  Result<ExprPtr> Primary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace graphql::lang
+
+#endif  // GRAPHQL_LANG_PARSER_H_

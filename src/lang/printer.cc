@@ -1,0 +1,192 @@
+#include "lang/printer.h"
+
+#include "common/strings.h"
+
+namespace graphql::lang {
+
+namespace {
+
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return 1;
+    case BinaryOp::kAnd:
+      return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 5;
+  }
+  return 0;
+}
+
+std::string PrintExprPrec(const Expr& expr, int parent_prec) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal.ToString();
+    case Expr::Kind::kName:
+      return Join(expr.path, ".");
+    case Expr::Kind::kBinary: {
+      int prec = Precedence(expr.op);
+      std::string out = PrintExprPrec(*expr.lhs, prec) + " " +
+                        BinaryOpName(expr.op) + " " +
+                        PrintExprPrec(*expr.rhs, prec + 1);
+      if (prec < parent_prec) return "(" + out + ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Indent(int n) { return std::string(static_cast<size_t>(n), ' '); }
+
+std::string PrintBody(const GraphBody& body, int indent);
+
+std::string PrintMember(const MemberDecl& member, int indent) {
+  std::string pad = Indent(indent);
+  switch (member.kind) {
+    case MemberDecl::Kind::kNode: {
+      std::string out = pad + "node";
+      if (!member.node.name.empty()) out += " " + member.node.name;
+      if (member.node.tuple) out += " " + PrintTuple(*member.node.tuple);
+      if (member.node.where) {
+        out += " where " + PrintExpr(*member.node.where);
+      }
+      return out + ";\n";
+    }
+    case MemberDecl::Kind::kEdge: {
+      std::string out = pad + "edge";
+      if (!member.edge.name.empty()) out += " " + member.edge.name;
+      out += " (" + Join(member.edge.src, ".") + ", " +
+             Join(member.edge.dst, ".") + ")";
+      if (member.edge.tuple) out += " " + PrintTuple(*member.edge.tuple);
+      if (member.edge.where) {
+        out += " where " + PrintExpr(*member.edge.where);
+      }
+      return out + ";\n";
+    }
+    case MemberDecl::Kind::kGraphRef: {
+      std::string out = pad + "graph " + member.graph_ref.graph_name;
+      if (!member.graph_ref.alias.empty()) {
+        out += " as " + member.graph_ref.alias;
+      }
+      return out + ";\n";
+    }
+    case MemberDecl::Kind::kUnify: {
+      std::vector<std::string> names;
+      names.reserve(member.unify.names.size());
+      for (const auto& n : member.unify.names) names.push_back(Join(n, "."));
+      std::string out = pad + "unify " + Join(names, ", ");
+      if (member.unify.where) {
+        out += " where " + PrintExpr(*member.unify.where);
+      }
+      return out + ";\n";
+    }
+    case MemberDecl::Kind::kExport:
+      return pad + "export " + Join(member.export_decl.source, ".") + " as " +
+             member.export_decl.as + ";\n";
+    case MemberDecl::Kind::kDisjunction: {
+      std::string out = pad;
+      for (size_t i = 0; i < member.alternatives.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += "{\n" + PrintBody(*member.alternatives[i], indent + 2) + pad +
+               "}";
+      }
+      return out + ";\n";
+    }
+  }
+  return pad + "/* ? */\n";
+}
+
+std::string PrintBody(const GraphBody& body, int indent) {
+  std::string out;
+  for (const MemberDecl& m : body.members) out += PrintMember(m, indent);
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) { return PrintExprPrec(expr, 0); }
+
+std::string PrintTuple(const TupleLit& tuple) {
+  std::string out = "<";
+  if (!tuple.tag.empty()) out += tuple.tag;
+  bool first = true;
+  for (const auto& [name, value] : tuple.entries) {
+    if (!first) {
+      out += ", ";
+    } else if (!tuple.tag.empty()) {
+      out += " ";
+    }
+    first = false;
+    out += name + "=" + PrintExpr(*value);
+  }
+  out += ">";
+  return out;
+}
+
+std::string PrintGraphDecl(const GraphDecl& decl, int indent) {
+  std::string pad = Indent(indent);
+  std::string out = pad + "graph";
+  if (!decl.name.empty()) out += " " + decl.name;
+  if (decl.tuple) out += " " + PrintTuple(*decl.tuple);
+  // Special-case a body that is exactly one top-level disjunction: print it
+  // in the paper's `graph G { ... } | { ... }` style.
+  if (decl.body.members.size() == 1 &&
+      decl.body.members[0].kind == MemberDecl::Kind::kDisjunction &&
+      decl.body.members[0].alternatives.size() > 1) {
+    const MemberDecl& disj = decl.body.members[0];
+    for (size_t i = 0; i < disj.alternatives.size(); ++i) {
+      out += i == 0 ? " {\n" : " | {\n";
+      out += PrintBody(*disj.alternatives[i], indent + 2);
+      out += pad + "}";
+    }
+  } else {
+    out += " {\n" + PrintBody(decl.body, indent + 2) + pad + "}";
+  }
+  if (decl.where) out += " where " + PrintExpr(*decl.where);
+  return out;
+}
+
+std::string PrintStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kGraphDecl:
+      return PrintGraphDecl(stmt.graph) + ";\n";
+    case Statement::Kind::kAssign:
+      return stmt.assign_target + " := " + PrintGraphDecl(stmt.graph) + ";\n";
+    case Statement::Kind::kFlwr: {
+      const FlwrExpr& f = stmt.flwr;
+      std::string out = "for ";
+      out += f.pattern ? PrintGraphDecl(*f.pattern) : f.pattern_ref;
+      if (f.exhaustive) out += " exhaustive";
+      out += " in doc(\"" + EscapeStringLiteral(f.doc) + "\")";
+      if (f.where) out += " where " + PrintExpr(*f.where);
+      if (f.is_let) {
+        out += " let " + f.let_target + " := ";
+      } else {
+        out += " return ";
+      }
+      out += f.template_decl ? PrintGraphDecl(*f.template_decl)
+                             : f.template_ref;
+      return out + ";\n";
+    }
+  }
+  return ";\n";
+}
+
+std::string PrintProgram(const Program& program) {
+  std::string out;
+  for (const Statement& s : program.statements) out += PrintStatement(s);
+  return out;
+}
+
+}  // namespace graphql::lang

@@ -1,0 +1,22 @@
+#ifndef GRAPHQL_LANG_PRINTER_H_
+#define GRAPHQL_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace graphql::lang {
+
+/// Renders AST nodes back to GraphQL source text. The output of
+/// PrintGraphDecl / PrintProgram re-parses to an equivalent AST (verified by
+/// round-trip tests), which makes the printer usable for query shipping and
+/// debugging.
+std::string PrintExpr(const Expr& expr);
+std::string PrintTuple(const TupleLit& tuple);
+std::string PrintGraphDecl(const GraphDecl& decl, int indent = 0);
+std::string PrintStatement(const Statement& stmt);
+std::string PrintProgram(const Program& program);
+
+}  // namespace graphql::lang
+
+#endif  // GRAPHQL_LANG_PRINTER_H_

@@ -1,0 +1,104 @@
+#include "lang/token.h"
+
+namespace graphql::lang {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kInt:
+      return "integer literal";
+    case TokenKind::kFloat:
+      return "float literal";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kGraph:
+      return "'graph'";
+    case TokenKind::kNode:
+      return "'node'";
+    case TokenKind::kEdge:
+      return "'edge'";
+    case TokenKind::kUnify:
+      return "'unify'";
+    case TokenKind::kExport:
+      return "'export'";
+    case TokenKind::kWhere:
+      return "'where'";
+    case TokenKind::kFor:
+      return "'for'";
+    case TokenKind::kExhaustive:
+      return "'exhaustive'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kDoc:
+      return "'doc'";
+    case TokenKind::kLet:
+      return "'let'";
+    case TokenKind::kReturn:
+      return "'return'";
+    case TokenKind::kAs:
+      return "'as'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLAngle:
+      return "'<'";
+    case TokenKind::kRAngle:
+      return "'>'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kColonEq:
+      return "':='";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kLe:
+      return "'<='";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kString:
+      return "string \"" + text + "\"";
+    case TokenKind::kInt:
+      return "integer " + std::to_string(int_value);
+    case TokenKind::kFloat:
+      return "float " + std::to_string(float_value);
+    default:
+      return TokenKindName(kind);
+  }
+}
+
+}  // namespace graphql::lang

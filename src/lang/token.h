@@ -1,0 +1,74 @@
+#ifndef GRAPHQL_LANG_TOKEN_H_
+#define GRAPHQL_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace graphql::lang {
+
+/// Token kinds of the GraphQL surface language (Appendix 4.A of the paper,
+/// plus the `export`/`as` keywords from Section 2 and the `:=` assignment
+/// used in the paper's examples).
+enum class TokenKind {
+  kEnd = 0,
+  // Literals and identifiers.
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  // Keywords.
+  kGraph,
+  kNode,
+  kEdge,
+  kUnify,
+  kExport,
+  kWhere,
+  kFor,
+  kExhaustive,
+  kIn,
+  kDoc,
+  kLet,
+  kReturn,
+  kAs,
+  // Punctuation and operators.
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kLAngle,     // <
+  kRAngle,     // >
+  kComma,      // ,
+  kSemicolon,  // ;
+  kDot,        // .
+  kAssign,     // = (tuple/let binding)
+  kColonEq,    // :=
+  kPipe,       // |
+  kAmp,        // &
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kEq,         // ==
+  kNe,         // !=
+  kGe,         // >=
+  kLe,         // <=
+};
+
+/// Returns a printable name for diagnostics ("'{'", "identifier", ...).
+const char* TokenKindName(TokenKind kind);
+
+/// One lexical token with source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< Identifier/keyword text or string payload.
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+}  // namespace graphql::lang
+
+#endif  // GRAPHQL_LANG_TOKEN_H_

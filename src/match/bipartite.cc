@@ -1,0 +1,100 @@
+#include "match/bipartite.h"
+
+#include <limits>
+#include <queue>
+
+namespace graphql::match {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+constexpr int kNil = -1;
+
+struct HopcroftKarp {
+  int n_left;
+  int n_right;
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> match_left;   // left -> right or kNil
+  std::vector<int> match_right;  // right -> left or kNil
+  std::vector<int> dist;
+
+  explicit HopcroftKarp(int nl, int nr,
+                        const std::vector<std::vector<int>>& a)
+      : n_left(nl),
+        n_right(nr),
+        adj(a),
+        match_left(nl, kNil),
+        match_right(nr, kNil),
+        dist(nl, kInf) {}
+
+  bool Bfs() {
+    std::queue<int> q;
+    for (int l = 0; l < n_left; ++l) {
+      if (match_left[l] == kNil) {
+        dist[l] = 0;
+        q.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!q.empty()) {
+      int l = q.front();
+      q.pop();
+      for (int r : adj[l]) {
+        int l2 = match_right[r];
+        if (l2 == kNil) {
+          found_augmenting = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          q.push(l2);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool Dfs(int l) {
+    for (int r : adj[l]) {
+      int l2 = match_right[r];
+      if (l2 == kNil || (dist[l2] == dist[l] + 1 && Dfs(l2))) {
+        match_left[l] = r;
+        match_right[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  }
+
+  int Run() {
+    int matching = 0;
+    while (Bfs()) {
+      for (int l = 0; l < n_left; ++l) {
+        if (match_left[l] == kNil && Dfs(l)) ++matching;
+      }
+    }
+    return matching;
+  }
+};
+
+}  // namespace
+
+int MaxBipartiteMatching(int n_left, int n_right,
+                         const std::vector<std::vector<int>>& adj) {
+  if (n_left == 0) return 0;
+  HopcroftKarp hk(n_left, n_right, adj);
+  return hk.Run();
+}
+
+bool HasSemiPerfectMatching(int n_left, int n_right,
+                            const std::vector<std::vector<int>>& adj) {
+  if (n_left > n_right) return false;
+  // Quick necessary condition: every left vertex needs at least one edge.
+  for (const auto& a : adj) {
+    if (a.empty()) return false;
+  }
+  return MaxBipartiteMatching(n_left, n_right, adj) == n_left;
+}
+
+}  // namespace graphql::match

@@ -1,0 +1,23 @@
+#ifndef GRAPHQL_MATCH_BIPARTITE_H_
+#define GRAPHQL_MATCH_BIPARTITE_H_
+
+#include <vector>
+
+namespace graphql::match {
+
+/// Maximum bipartite matching via Hopcroft–Karp (O(E * sqrt(V)), the
+/// algorithm the paper cites for the refinement step).
+///
+/// `adj[l]` lists the right-side vertices adjacent to left vertex l.
+/// Returns the size of a maximum matching.
+int MaxBipartiteMatching(int n_left, int n_right,
+                         const std::vector<std::vector<int>>& adj);
+
+/// True if a semi-perfect matching exists: every left vertex matched
+/// (the condition of Algorithm 4.2 / pseudo subgraph isomorphism).
+bool HasSemiPerfectMatching(int n_left, int n_right,
+                            const std::vector<std::vector<int>>& adj);
+
+}  // namespace graphql::match
+
+#endif  // GRAPHQL_MATCH_BIPARTITE_H_

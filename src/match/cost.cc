@@ -1,0 +1,177 @@
+#include "match/cost.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace graphql::match {
+
+namespace {
+
+/// Interned label of each pattern node (kUnknownLabel for wildcards).
+std::vector<int32_t> PatternLabels(const Graph& p, const LabelIndex* index) {
+  std::vector<int32_t> labels(p.NumNodes(), LabelDictionary::kUnknownLabel);
+  if (index == nullptr) return labels;
+  for (size_t u = 0; u < p.NumNodes(); ++u) {
+    std::string_view l = p.Label(static_cast<NodeId>(u));
+    if (!l.empty()) labels[u] = index->dict().Lookup(l);
+  }
+  return labels;
+}
+
+/// Reduction factor gamma for joining node u to the already-joined set:
+/// the product of edge probabilities over pattern edges between u and
+/// joined nodes (Definition 4.11).
+double JoinGamma(const Graph& p, NodeId u, const std::vector<char>& joined,
+                 const std::vector<int32_t>& labels, const LabelIndex* index,
+                 const OrderOptions& options) {
+  double gamma = 1.0;
+  bool any = false;
+  auto fold = [&](NodeId w) {
+    if (!joined[w]) return;
+    any = true;
+    double p_edge = options.constant_gamma;
+    if (options.use_edge_probs && index != nullptr &&
+        labels[u] != LabelDictionary::kUnknownLabel &&
+        labels[w] != LabelDictionary::kUnknownLabel) {
+      p_edge = index->EdgeProbability(labels[u], labels[w],
+                                      options.constant_gamma);
+    }
+    gamma *= p_edge;
+  };
+  for (const Graph::Adj& a : p.neighbors(u)) fold(a.node);
+  if (p.directed()) {
+    for (const Graph::Adj& a : p.in_neighbors(u)) fold(a.node);
+  }
+  (void)any;
+  return gamma;
+}
+
+}  // namespace
+
+std::vector<NodeId> GreedySearchOrder(
+    const algebra::GraphPattern& pattern,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const LabelIndex* index, const OrderOptions& options) {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  std::vector<NodeId> order;
+  order.reserve(k);
+  std::vector<char> joined(k, 0);
+  std::vector<int32_t> labels = PatternLabels(p, index);
+
+  double size = 1.0;  // Estimated cardinality of the joined prefix.
+  for (size_t step = 0; step < k; ++step) {
+    NodeId best = kInvalidNode;
+    double best_cost = 0;
+    double best_result = 0;
+    for (size_t u = 0; u < k; ++u) {
+      if (joined[u]) continue;
+      double phi = static_cast<double>(candidates[u].size());
+      double cost = size * phi;
+      double gamma = JoinGamma(p, static_cast<NodeId>(u), joined, labels,
+                               index, options);
+      double result = cost * gamma;
+      if (best == kInvalidNode || cost < best_cost ||
+          (cost == best_cost && result < best_result)) {
+        best = static_cast<NodeId>(u);
+        best_cost = cost;
+        best_result = result;
+      }
+    }
+    joined[best] = 1;
+    order.push_back(best);
+    size = best_result;  // Size(i) = Size(l) x Size(r) x gamma(i).
+  }
+  return order;
+}
+
+Result<std::vector<NodeId>> DpSearchOrder(
+    const algebra::GraphPattern& pattern,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const LabelIndex* index, const OrderOptions& options) {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  if (k > kMaxDpPatternSize) {
+    return Status::InvalidArgument(
+        "DP ordering supports patterns up to " +
+        std::to_string(kMaxDpPatternSize) + " nodes, got " +
+        std::to_string(k));
+  }
+  if (k == 0) return std::vector<NodeId>{};
+  std::vector<int32_t> labels = PatternLabels(p, index);
+
+  size_t num_subsets = size_t{1} << k;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // size_of[S]: estimated cardinality of the join over subset S
+  // (order-independent); best[S]: minimal accumulated cost reaching S;
+  // last[S]: the node joined last on an optimal path.
+  std::vector<double> size_of(num_subsets, 0.0);
+  std::vector<double> best(num_subsets, kInf);
+  std::vector<int> last(num_subsets, -1);
+  size_of[0] = 1.0;
+  best[0] = 0.0;
+
+  std::vector<char> joined(k, 0);
+  for (size_t set = 1; set < num_subsets; ++set) {
+    // Compute size_of[set] from any member u (consistent by construction).
+    size_t u = 0;
+    while (!(set & (size_t{1} << u))) ++u;
+    size_t prev = set & ~(size_t{1} << u);
+    for (size_t w = 0; w < k; ++w) joined[w] = (prev >> w) & 1;
+    double gamma = JoinGamma(p, static_cast<NodeId>(u), joined, labels,
+                             index, options);
+    size_of[set] = size_of[prev] *
+                   static_cast<double>(candidates[u].size()) * gamma;
+
+    // Transition: join any member last.
+    bool first_node = (set & (set - 1)) == 0;
+    for (size_t v = 0; v < k; ++v) {
+      if (!(set & (size_t{1} << v))) continue;
+      size_t before = set & ~(size_t{1} << v);
+      if (best[before] == kInf) continue;
+      double join_cost =
+          first_node ? 0.0
+                     : size_of[before] *
+                           static_cast<double>(candidates[v].size());
+      double total = best[before] + join_cost;
+      if (total < best[set]) {
+        best[set] = total;
+        last[set] = static_cast<int>(v);
+      }
+    }
+  }
+
+  std::vector<NodeId> order(k);
+  size_t set = num_subsets - 1;
+  for (size_t i = k; i-- > 0;) {
+    int v = last[set];
+    order[i] = static_cast<NodeId>(v);
+    set &= ~(size_t{1} << v);
+  }
+  return order;
+}
+
+double EstimateOrderCost(const algebra::GraphPattern& pattern,
+                         const std::vector<size_t>& candidate_sizes,
+                         const std::vector<NodeId>& order,
+                         const LabelIndex* index,
+                         const OrderOptions& options) {
+  const Graph& p = pattern.graph();
+  std::vector<char> joined(p.NumNodes(), 0);
+  std::vector<int32_t> labels = PatternLabels(p, index);
+  double size = 1.0;
+  double total = 0.0;
+  bool first = true;
+  for (NodeId u : order) {
+    double phi = static_cast<double>(candidate_sizes[u]);
+    if (!first) total += size * phi;  // Cost of this join (Def. 4.12).
+    double gamma = JoinGamma(p, u, joined, labels, index, options);
+    size = size * phi * gamma;
+    joined[u] = 1;
+    first = false;
+  }
+  return total;
+}
+
+}  // namespace graphql::match

@@ -1,0 +1,146 @@
+#include "match/label_index.h"
+
+#include <algorithm>
+
+namespace graphql::match {
+
+namespace {
+
+uint64_t PairKey(int32_t a, int32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+LabelIndex LabelIndex::Build(const Graph& g, LabelIndexOptions options) {
+  LabelIndex index;
+  index.graph_ = &g;
+  index.options_ = options;
+
+  std::vector<int32_t> node_label(g.NumNodes(), LabelDictionary::kUnknownLabel);
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    std::string_view label = g.Label(static_cast<NodeId>(v));
+    if (label.empty()) {
+      index.unlabeled_.push_back(static_cast<NodeId>(v));
+      continue;
+    }
+    int32_t id = index.dict_.Intern(label);
+    node_label[v] = id;
+    if (static_cast<size_t>(id) >= index.by_label_.size()) {
+      index.by_label_.resize(id + 1);
+    }
+    index.by_label_[id].push_back(static_cast<NodeId>(v));
+  }
+
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    const Graph::Edge& ed = g.edge(static_cast<EdgeId>(e));
+    int32_t a = node_label[ed.src];
+    int32_t b = node_label[ed.dst];
+    if (a == LabelDictionary::kUnknownLabel ||
+        b == LabelDictionary::kUnknownLabel) {
+      continue;
+    }
+    ++index.edge_pair_freq_[PairKey(a, b)];
+  }
+
+  if (options.build_profiles) {
+    index.profiles_.resize(g.NumNodes());
+    std::vector<int> scratch(g.NumNodes(), -1);
+    for (size_t v = 0; v < g.NumNodes(); ++v) {
+      index.profiles_[v] = BuildProfile(g, static_cast<NodeId>(v),
+                                        options.radius, &index.dict_,
+                                        &scratch);
+    }
+  }
+  for (const std::string& attr : options.indexed_attributes) {
+    rel::BPlusTree tree;
+    for (size_t v = 0; v < g.NumNodes(); ++v) {
+      auto value = g.node(static_cast<NodeId>(v)).attrs.Get(attr);
+      if (value) tree.Insert(*value, v);
+    }
+    index.attr_trees_.emplace(attr, std::move(tree));
+  }
+
+  if (options.build_neighborhoods) {
+    index.neighborhoods_.resize(g.NumNodes());
+    std::vector<NodeId> scratch(g.NumNodes(), kInvalidNode);
+    for (size_t v = 0; v < g.NumNodes(); ++v) {
+      index.neighborhoods_[v] = ExtractNeighborhood(
+          g, static_cast<NodeId>(v), options.radius, &scratch);
+    }
+  }
+  return index;
+}
+
+const std::vector<NodeId>& LabelIndex::NodesWithLabel(
+    std::string_view label) const {
+  int32_t id = dict_.Lookup(label);
+  if (id == LabelDictionary::kUnknownLabel ||
+      static_cast<size_t>(id) >= by_label_.size()) {
+    return empty_;
+  }
+  return by_label_[id];
+}
+
+size_t LabelIndex::LabelFrequency(int32_t label) const {
+  if (label < 0 || static_cast<size_t>(label) >= by_label_.size()) return 0;
+  return by_label_[label].size();
+}
+
+size_t LabelIndex::LabelFrequency(std::string_view label) const {
+  return LabelFrequency(dict_.Lookup(label));
+}
+
+size_t LabelIndex::EdgePairFrequency(int32_t a, int32_t b) const {
+  auto it = edge_pair_freq_.find(PairKey(a, b));
+  return it == edge_pair_freq_.end() ? 0 : it->second;
+}
+
+double LabelIndex::EdgeProbability(int32_t a, int32_t b,
+                                   double fallback) const {
+  size_t fa = LabelFrequency(a);
+  size_t fb = LabelFrequency(b);
+  if (fa == 0 || fb == 0) return fallback;
+  size_t fe = EdgePairFrequency(a, b);
+  double p = static_cast<double>(fe) /
+             (static_cast<double>(fa) * static_cast<double>(fb));
+  return std::min(1.0, p);
+}
+
+bool LabelIndex::HasAttributeIndex(std::string_view attr) const {
+  return attr_trees_.count(std::string(attr)) > 0;
+}
+
+std::vector<NodeId> LabelIndex::AttrExact(std::string_view attr,
+                                          const Value& v) const {
+  auto it = attr_trees_.find(std::string(attr));
+  if (it == attr_trees_.end()) return {};
+  std::vector<uint64_t> raw = it->second.Lookup(v);
+  return std::vector<NodeId>(raw.begin(), raw.end());
+}
+
+std::vector<NodeId> LabelIndex::AttrRange(std::string_view attr,
+                                          const Value* lo, bool lo_inclusive,
+                                          const Value* hi,
+                                          bool hi_inclusive) const {
+  auto it = attr_trees_.find(std::string(attr));
+  if (it == attr_trees_.end()) return {};
+  std::vector<uint64_t> raw =
+      it->second.Range(lo, lo_inclusive, hi, hi_inclusive);
+  return std::vector<NodeId>(raw.begin(), raw.end());
+}
+
+std::vector<int32_t> LabelIndex::LabelsByFrequency() const {
+  std::vector<int32_t> labels(by_label_.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int32_t>(i);
+  }
+  std::stable_sort(labels.begin(), labels.end(), [&](int32_t a, int32_t b) {
+    return by_label_[a].size() > by_label_[b].size();
+  });
+  return labels;
+}
+
+}  // namespace graphql::match

@@ -1,0 +1,107 @@
+#ifndef GRAPHQL_MATCH_LABEL_INDEX_H_
+#define GRAPHQL_MATCH_LABEL_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "match/neighborhood.h"
+#include "match/profile.h"
+#include "rel/btree.h"
+
+namespace graphql::match {
+
+struct LabelIndexOptions {
+  /// Radius of the stored neighborhood subgraphs and profiles (Section 5.1
+  /// uses radius 1). Radius 0 degenerates both to plain labels.
+  int radius = 1;
+  /// Store per-node profiles (cheap: one sorted int vector per node).
+  bool build_profiles = true;
+  /// Store per-node neighborhood subgraphs (heavier; needed only for
+  /// retrieve-by-subgraphs).
+  bool build_neighborhoods = true;
+  /// Node attributes to index in B+-trees for exact and range retrieval
+  /// (the paper's "node attributes can be indexed directly using
+  /// traditional index structures such as B-trees", Section 4.2). The
+  /// "label" attribute is always covered by the hashtable; list others
+  /// here, e.g. {"year", "weight"}.
+  std::vector<std::string> indexed_attributes;
+};
+
+/// The access-method index over a data graph (Section 4.2): a hashtable
+/// from node label to node list (standing in for the attribute B-tree),
+/// with optional per-node neighborhood subgraphs and profiles, plus the
+/// label / label-pair frequency statistics that drive the cost model of
+/// Section 4.4.
+class LabelIndex {
+ public:
+  /// Builds the index in one pass over `g`. The graph must outlive the
+  /// index (neighborhood extraction and statistics reference it).
+  static LabelIndex Build(const Graph& g, LabelIndexOptions options = {});
+
+  const Graph& graph() const { return *graph_; }
+  const LabelIndexOptions& options() const { return options_; }
+  const LabelDictionary& dict() const { return dict_; }
+  LabelDictionary* mutable_dict() { return &dict_; }
+
+  /// Nodes whose "label" attribute equals `label`; empty list if none.
+  const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
+
+  /// Nodes with no label attribute (wildcard pattern nodes must scan all
+  /// nodes; unlabeled data nodes are still reachable through this list).
+  const std::vector<NodeId>& UnlabeledNodes() const { return unlabeled_; }
+
+  bool has_profiles() const { return !profiles_.empty(); }
+  bool has_neighborhoods() const { return !neighborhoods_.empty(); }
+  const Profile& profile(NodeId v) const { return profiles_[v]; }
+  const NeighborhoodSubgraph& neighborhood(NodeId v) const {
+    return neighborhoods_[v];
+  }
+
+  /// Number of nodes carrying the interned label id (0 if unknown).
+  size_t LabelFrequency(int32_t label) const;
+  size_t LabelFrequency(std::string_view label) const;
+
+  /// Number of edges whose endpoint labels are (a, b), order-insensitive
+  /// for undirected graphs.
+  size_t EdgePairFrequency(int32_t a, int32_t b) const;
+
+  /// The cost model's edge probability P(e(u,v)) = freq(e) /
+  /// (freq(u) * freq(v)) for endpoint labels (a, b) (Section 4.4).
+  /// Returns `fallback` when either label is unknown or unlabeled.
+  double EdgeProbability(int32_t a, int32_t b, double fallback) const;
+
+  /// Labels sorted by descending frequency (used by the clique-query
+  /// generator: the paper samples from the top 40 most frequent labels).
+  std::vector<int32_t> LabelsByFrequency() const;
+
+  /// True if `attr` was listed in LabelIndexOptions::indexed_attributes.
+  bool HasAttributeIndex(std::string_view attr) const;
+
+  /// Nodes whose `attr` equals `v` (empty when the attribute is not
+  /// indexed; nodes lacking the attribute are never returned).
+  std::vector<NodeId> AttrExact(std::string_view attr, const Value& v) const;
+
+  /// Nodes whose `attr` falls in the given interval (null bound =
+  /// unbounded). Ordered by attribute value.
+  std::vector<NodeId> AttrRange(std::string_view attr, const Value* lo,
+                                bool lo_inclusive, const Value* hi,
+                                bool hi_inclusive) const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  LabelIndexOptions options_;
+  LabelDictionary dict_;
+  std::vector<std::vector<NodeId>> by_label_;  // label id -> nodes
+  std::vector<NodeId> unlabeled_;
+  std::vector<Profile> profiles_;
+  std::vector<NeighborhoodSubgraph> neighborhoods_;
+  std::unordered_map<uint64_t, size_t> edge_pair_freq_;
+  std::unordered_map<std::string, rel::BPlusTree> attr_trees_;
+  std::vector<NodeId> empty_;
+};
+
+}  // namespace graphql::match
+
+#endif  // GRAPHQL_MATCH_LABEL_INDEX_H_

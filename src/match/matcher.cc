@@ -1,0 +1,237 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+
+namespace graphql::match {
+
+namespace {
+
+/// Shared DFS engine behind both SearchMatches entry points.
+class SearchEngine {
+ public:
+  SearchEngine(const algebra::GraphPattern& pattern, const Graph& data,
+               const std::vector<std::vector<NodeId>>& candidates,
+               const std::vector<NodeId>& order, const MatchOptions& options,
+               const std::function<bool(const algebra::MatchedGraph&)>& sink,
+               SearchStats* stats)
+      : pattern_(pattern),
+        p_(pattern.graph()),
+        data_(data),
+        candidates_(candidates),
+        order_(order),
+        options_(options),
+        sink_(sink),
+        stats_(stats) {
+    assign_.assign(p_.NumNodes(), kInvalidNode);
+    edge_assign_.assign(p_.NumEdges(), kInvalidEdge);
+    used_.assign(data.NumNodes(), 0);
+    position_.assign(p_.NumNodes(), -1);
+    for (size_t i = 0; i < order_.size(); ++i) position_[order_[i]] = static_cast<int>(i);
+
+    // Per order position, the pattern edges whose other endpoint is mapped
+    // earlier; checked when this position is assigned.
+    back_edges_.resize(order_.size());
+    for (size_t e = 0; e < p_.NumEdges(); ++e) {
+      const Graph::Edge& pe = p_.edge(static_cast<EdgeId>(e));
+      int ps = position_[pe.src];
+      int pd = position_[pe.dst];
+      int later = std::max(ps, pd);
+      back_edges_[later].push_back(static_cast<EdgeId>(e));
+    }
+    // An edge is trivial when it carries no constraint beyond existence.
+    trivial_edge_.resize(p_.NumEdges());
+    for (size_t e = 0; e < p_.NumEdges(); ++e) {
+      const Graph::Edge& pe = p_.edge(static_cast<EdgeId>(e));
+      trivial_edge_[e] =
+          pe.attrs.empty() && !pattern.EdgeHasPredicates(static_cast<EdgeId>(e));
+    }
+  }
+
+  Status Run() {
+    if (order_.size() != p_.NumNodes()) {
+      return Status::InvalidArgument("search order must cover every pattern node");
+    }
+    if (p_.NumNodes() == 0) return Status::OK();
+    Dfs(0);
+    return status_;
+  }
+
+ private:
+  bool Budget() {
+    if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
+      if (stats_ != nullptr) stats_->budget_exhausted = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Finds a data edge between v and w compatible with pattern edge pe
+  /// (direction-aware for directed graphs). kInvalidEdge if none.
+  EdgeId FindCompatibleEdge(EdgeId pe, NodeId from, NodeId to) {
+    // Scan the smaller adjacency; for undirected graphs both lists carry
+    // the edge.
+    const std::vector<Graph::Adj>* list = &data_.neighbors(from);
+    NodeId want = to;
+    if (!data_.directed() && data_.Degree(to) < list->size()) {
+      list = &data_.neighbors(to);
+      want = from;
+    }
+    for (const Graph::Adj& a : *list) {
+      if (a.node != want) continue;
+      if (data_.directed()) {
+        // neighbors() lists outgoing edges of `from`; direction holds.
+      }
+      if (pattern_.EdgeCompatible(pe, data_, a.edge)) return a.edge;
+    }
+    return kInvalidEdge;
+  }
+
+  /// Check(u_i, v) of Algorithm 4.1: every pattern edge into the mapped
+  /// prefix must have a compatible data edge.
+  bool Check(size_t pos, NodeId u, NodeId v) {
+    for (EdgeId pe : back_edges_[pos]) {
+      const Graph::Edge& e = p_.edge(pe);
+      NodeId other = e.src == u ? e.dst : e.src;
+      NodeId mapped = assign_[other];
+      // Direction: the data edge must run the same way as the pattern edge.
+      NodeId from = e.src == u ? v : mapped;
+      NodeId to = e.dst == u ? v : mapped;
+      if (e.src == u && e.dst == u) {  // Self-loop.
+        from = v;
+        to = v;
+      }
+      if (stats_ != nullptr) ++stats_->edge_checks;
+      if (!data_.HasEdgeBetween(from, to)) return false;
+      if (trivial_edge_[pe]) {
+        edge_assign_[pe] = kInvalidEdge;  // Resolved lazily on emit.
+        continue;
+      }
+      EdgeId de = FindCompatibleEdge(pe, from, to);
+      if (de == kInvalidEdge) return false;
+      edge_assign_[pe] = de;
+    }
+    return true;
+  }
+
+  bool Emit() {
+    algebra::MatchedGraph m;
+    m.pattern = &pattern_;
+    m.data = &data_;
+    m.node_mapping = assign_;
+    m.edge_mapping = edge_assign_;
+    for (size_t e = 0; e < p_.NumEdges(); ++e) {
+      if (m.edge_mapping[e] == kInvalidEdge) {
+        const Graph::Edge& pe = p_.edge(static_cast<EdgeId>(e));
+        m.edge_mapping[e] = data_.FindEdge(assign_[pe.src], assign_[pe.dst]);
+      }
+    }
+    ++matches_;
+    if (!sink_(m)) return false;
+    if (!options_.exhaustive) return false;
+    if (matches_ >= options_.max_matches) {
+      if (stats_ != nullptr) stats_->truncated = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns false to abort the whole search (budget/limit/sink).
+  bool Dfs(size_t pos) {
+    if (pos == order_.size()) {
+      if (pattern_.has_global_pred()) {
+        Result<bool> ok =
+            pattern_.EvalGlobalPred(data_, assign_, edge_assign_);
+        if (!ok.ok()) {
+          status_ = ok.status();
+          return false;
+        }
+        if (!ok.value()) return true;
+      }
+      return Emit();
+    }
+    NodeId u = order_[pos];
+    for (NodeId v : candidates_[u]) {
+      if (used_[v]) continue;
+      ++steps_;
+      if (stats_ != nullptr) ++stats_->steps;
+      if (!Budget()) return false;
+      if (!Check(pos, u, v)) continue;
+      assign_[u] = v;
+      used_[v] = 1;
+      bool keep_going = Dfs(pos + 1);
+      used_[v] = 0;
+      assign_[u] = kInvalidNode;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const algebra::GraphPattern& pattern_;
+  const Graph& p_;
+  const Graph& data_;
+  const std::vector<std::vector<NodeId>>& candidates_;
+  const std::vector<NodeId>& order_;
+  const MatchOptions& options_;
+  const std::function<bool(const algebra::MatchedGraph&)>& sink_;
+  SearchStats* stats_;
+
+  std::vector<NodeId> assign_;
+  std::vector<EdgeId> edge_assign_;
+  std::vector<char> used_;
+  std::vector<int> position_;
+  std::vector<std::vector<EdgeId>> back_edges_;
+  std::vector<char> trivial_edge_;
+  uint64_t steps_ = 0;
+  size_t matches_ = 0;
+  Status status_;
+};
+
+}  // namespace
+
+Result<std::vector<algebra::MatchedGraph>> SearchMatches(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const std::vector<NodeId>& order, const MatchOptions& options,
+    SearchStats* stats) {
+  std::vector<algebra::MatchedGraph> out;
+  auto sink = [&out](const algebra::MatchedGraph& m) {
+    out.push_back(m);
+    return true;
+  };
+  GQL_RETURN_IF_ERROR(SearchMatchesStreaming(pattern, data, candidates, order,
+                                             options, sink, stats));
+  return out;
+}
+
+Status SearchMatchesStreaming(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const std::vector<NodeId>& order, const MatchOptions& options,
+    const std::function<bool(const algebra::MatchedGraph&)>& sink,
+    SearchStats* stats) {
+  SearchEngine engine(pattern, data, candidates, order, options, sink, stats);
+  return engine.Run();
+}
+
+std::vector<std::vector<NodeId>> ScanCandidates(
+    const algebra::GraphPattern& pattern, const Graph& data) {
+  const Graph& p = pattern.graph();
+  std::vector<std::vector<NodeId>> out(p.NumNodes());
+  for (size_t u = 0; u < p.NumNodes(); ++u) {
+    for (size_t v = 0; v < data.NumNodes(); ++v) {
+      if (pattern.NodeCompatible(static_cast<NodeId>(u), data,
+                                 static_cast<NodeId>(v))) {
+        out[u].push_back(static_cast<NodeId>(v));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> DeclarationOrder(const algebra::GraphPattern& pattern) {
+  std::vector<NodeId> order(pattern.graph().NumNodes());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<NodeId>(i);
+  return order;
+}
+
+}  // namespace graphql::match

@@ -1,0 +1,73 @@
+#ifndef GRAPHQL_MATCH_MATCHER_H_
+#define GRAPHQL_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "algebra/matched_graph.h"
+#include "algebra/pattern.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace graphql::match {
+
+struct MatchOptions {
+  /// Return all mappings; when false, stop at the first (the paper's
+  /// "exhaustive" selection option, Section 3.3).
+  bool exhaustive = true;
+  /// Hard cap on returned matches, mirroring the paper's experimental
+  /// setup ("queries having too many hits (more than 1000) are terminated
+  /// immediately"). SIZE_MAX disables the cap.
+  size_t max_matches = SIZE_MAX;
+  /// Search-step budget (candidate nodes tried); 0 disables. On exhaustion
+  /// the search stops and reports the matches found so far.
+  uint64_t max_steps = 0;
+};
+
+struct SearchStats {
+  uint64_t steps = 0;           ///< Candidate nodes tried (Search loop).
+  uint64_t edge_checks = 0;     ///< Check() edge probes.
+  bool budget_exhausted = false;
+  bool truncated = false;       ///< Stopped due to max_matches.
+};
+
+/// The basic graph pattern matching search (Algorithm 4.1, second phase):
+/// depth-first search over the space Phi(u_1) x ... x Phi(u_k) in the given
+/// order, with per-edge Check() pruning against already-mapped nodes,
+/// per-edge predicate evaluation, and final graph-wide predicate
+/// evaluation.
+///
+/// `candidates[u]` is the feasible-mate list Phi(u) for every pattern node
+/// (the first phase; see MatchPipeline for its construction), and `order`
+/// a permutation of the pattern's nodes.
+///
+/// Candidates are assumed NodeCompatible (F_u already evaluated during
+/// retrieval); the search re-checks only edges and the global predicate.
+Result<std::vector<algebra::MatchedGraph>> SearchMatches(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const std::vector<NodeId>& order, const MatchOptions& options = {},
+    SearchStats* stats = nullptr);
+
+/// Streaming variant: invokes `sink` for every match; return false from the
+/// sink to stop the search. Used by the FLWR evaluator's accumulating let.
+Status SearchMatchesStreaming(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const std::vector<NodeId>& order, const MatchOptions& options,
+    const std::function<bool(const algebra::MatchedGraph&)>& sink,
+    SearchStats* stats = nullptr);
+
+/// First phase of Algorithm 4.1 without any index: scans all data nodes
+/// and keeps those passing the feasible-mate test F_u. This is the
+/// "Baseline" retrieval of Section 5.
+std::vector<std::vector<NodeId>> ScanCandidates(
+    const algebra::GraphPattern& pattern, const Graph& data);
+
+/// The declaration-order permutation 0..k-1 (search "w/o optimized order").
+std::vector<NodeId> DeclarationOrder(const algebra::GraphPattern& pattern);
+
+}  // namespace graphql::match
+
+#endif  // GRAPHQL_MATCH_MATCHER_H_

@@ -1,0 +1,41 @@
+#ifndef GRAPHQL_MATCH_NEIGHBORHOOD_H_
+#define GRAPHQL_MATCH_NEIGHBORHOOD_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphql::match {
+
+/// A neighborhood subgraph (Definition 4.10): all nodes within `radius`
+/// hops of a center node and all edges between them, with the center
+/// distinguished. Only the "label" attribute is retained — that is what
+/// the pruning test consults — keeping stored neighborhoods small.
+struct NeighborhoodSubgraph {
+  Graph sub;
+  NodeId center = kInvalidNode;  ///< Center's id within `sub`.
+};
+
+/// Extracts the radius-r neighborhood subgraph of v. `scratch_local` must
+/// have size g.NumNodes(), filled with kInvalidNode; restored on return.
+NeighborhoodSubgraph ExtractNeighborhood(const Graph& g, NodeId v, int radius,
+                                         std::vector<NodeId>* scratch_local);
+
+/// Convenience overload allocating its own scratch.
+NeighborhoodSubgraph ExtractNeighborhood(const Graph& g, NodeId v,
+                                         int radius);
+
+/// The neighborhood-subgraph pruning test (Section 4.2): true if the
+/// query neighborhood is sub-isomorphic to the data neighborhood with the
+/// centers mapped to each other. Nodes match when the query node has no
+/// label or the labels are equal (unlabeled query nodes are wildcards).
+///
+/// `step_budget` bounds the DFS (the test is itself NP-hard); on budget
+/// exhaustion the test conservatively returns true (no pruning).
+bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
+                               const NeighborhoodSubgraph& data,
+                               uint64_t step_budget = 100000);
+
+}  // namespace graphql::match
+
+#endif  // GRAPHQL_MATCH_NEIGHBORHOOD_H_

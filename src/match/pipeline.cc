@@ -1,0 +1,360 @@
+#include "match/pipeline.h"
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+namespace graphql::match {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Profile of a pattern node against the data dictionary: labels within
+/// `radius` hops in the pattern graph, looked up (never interned) so that
+/// labels absent from the data yield kUnknownLabel and fail containment.
+Profile PatternProfile(const Graph& p, NodeId u, int radius,
+                       const LabelDictionary& dict) {
+  LabelDictionary scratch;  // Intern into a throwaway, then translate.
+  Profile raw = BuildProfile(p, u, radius, &scratch);
+  Profile out;
+  out.reserve(raw.size());
+  for (int32_t local : raw) {
+    out.push_back(dict.Lookup(scratch.Name(local)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+
+/// Attempts to serve a wildcard-label pattern node's base candidate list
+/// from an attribute B+-tree (Section 4.2's B-tree retrieval): an equality
+/// constraint from the pattern tuple, or range bounds assembled from
+/// pushed-down `attr op literal` predicates.
+std::optional<std::vector<NodeId>> AttrIndexBaseList(
+    const algebra::GraphPattern& pattern, NodeId u, const LabelIndex& index) {
+  const Graph& p = pattern.graph();
+  // Equality constraints from non-label tuple attributes.
+  for (const auto& [k, v] : p.node(u).attrs.attrs()) {
+    if (k == "label") continue;
+    if (index.HasAttributeIndex(k)) return index.AttrExact(k, v);
+  }
+
+  // Resolve a name path to "an attribute of pattern node u": a bare
+  // attribute name, `<node>.attr`, or `<pattern>.<node>.attr`.
+  auto attr_of_u = [&](const lang::Expr& e) -> const std::string* {
+    if (e.kind != lang::Expr::Kind::kName) return nullptr;
+    const auto& path = e.path;
+    if (path.size() == 1) return &path[0];
+    size_t start = 0;
+    if (path.size() == 3 && !pattern.name().empty() &&
+        path[0] == pattern.name()) {
+      start = 1;
+    }
+    if (path.size() - start != 2) return nullptr;
+    auto it = pattern.node_names().find(path[start]);
+    if (it == pattern.node_names().end() || it->second != u) return nullptr;
+    return &path.back();
+  };
+
+  // Accumulate bounds per attribute; use the first indexed attribute that
+  // gets at least one bound.
+  std::string attr;
+  std::optional<Value> lo;
+  std::optional<Value> hi;
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+  for (const lang::ExprPtr& pred : pattern.NodePreds(u)) {
+    if (pred->kind != lang::Expr::Kind::kBinary) continue;
+    const lang::Expr* name_side = nullptr;
+    const lang::Expr* lit_side = nullptr;
+    bool flipped = false;
+    if (pred->lhs->kind == lang::Expr::Kind::kName &&
+        pred->rhs->kind == lang::Expr::Kind::kLiteral) {
+      name_side = pred->lhs.get();
+      lit_side = pred->rhs.get();
+    } else if (pred->rhs->kind == lang::Expr::Kind::kName &&
+               pred->lhs->kind == lang::Expr::Kind::kLiteral) {
+      name_side = pred->rhs.get();
+      lit_side = pred->lhs.get();
+      flipped = true;
+    } else {
+      continue;
+    }
+    const std::string* a = attr_of_u(*name_side);
+    if (a == nullptr || !index.HasAttributeIndex(*a)) continue;
+    if (!attr.empty() && attr != *a) continue;  // One attribute at a time.
+
+    lang::BinaryOp op = pred->op;
+    if (flipped) {
+      switch (op) {
+        case lang::BinaryOp::kLt:
+          op = lang::BinaryOp::kGt;
+          break;
+        case lang::BinaryOp::kLe:
+          op = lang::BinaryOp::kGe;
+          break;
+        case lang::BinaryOp::kGt:
+          op = lang::BinaryOp::kLt;
+          break;
+        case lang::BinaryOp::kGe:
+          op = lang::BinaryOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    const Value& lit = lit_side->literal;
+    switch (op) {
+      case lang::BinaryOp::kEq:
+        attr = *a;
+        if (!lo || *lo < lit) {
+          lo = lit;
+          lo_inclusive = true;
+        }
+        if (!hi || lit < *hi) {
+          hi = lit;
+          hi_inclusive = true;
+        }
+        break;
+      case lang::BinaryOp::kLt:
+      case lang::BinaryOp::kLe:
+        attr = *a;
+        if (!hi || lit < *hi) {
+          hi = lit;
+          hi_inclusive = op == lang::BinaryOp::kLe;
+        }
+        break;
+      case lang::BinaryOp::kGt:
+      case lang::BinaryOp::kGe:
+        attr = *a;
+        if (!lo || *lo < lit) {
+          lo = lit;
+          lo_inclusive = op == lang::BinaryOp::kGe;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (attr.empty()) return std::nullopt;
+  return index.AttrRange(attr, lo ? &*lo : nullptr, lo_inclusive,
+                         hi ? &*hi : nullptr, hi_inclusive);
+}
+
+}  // namespace
+
+const char* CandidateModeName(CandidateMode mode) {
+  switch (mode) {
+    case CandidateMode::kLabelOnly:
+      return "label-only";
+    case CandidateMode::kProfile:
+      return "profile";
+    case CandidateMode::kNeighborhood:
+      return "neighborhood";
+  }
+  return "?";
+}
+
+double PipelineStats::Space(const std::vector<size_t>& sizes) {
+  double space = sizes.empty() ? 0.0 : 1.0;
+  for (size_t s : sizes) space *= static_cast<double>(s);
+  return space;
+}
+
+std::vector<std::vector<NodeId>> RetrieveCandidates(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const LabelIndex* index, const PipelineOptions& options,
+    PipelineStats* stats) {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  std::vector<std::vector<NodeId>> out(k);
+  if (stats != nullptr) {
+    stats->size_attr.assign(k, 0);
+    stats->size_retrieved.assign(k, 0);
+  }
+  if (index == nullptr) {
+    out = ScanCandidates(pattern, data);
+    if (stats != nullptr) {
+      for (size_t u = 0; u < k; ++u) {
+        stats->size_attr[u] = out[u].size();
+        stats->size_retrieved[u] = out[u].size();
+      }
+    }
+    return out;
+  }
+
+  std::vector<NodeId> all_nodes;  // Lazy: built only for wildcard nodes.
+  for (size_t u = 0; u < k; ++u) {
+    NodeId pu = static_cast<NodeId>(u);
+    std::string_view label = p.Label(pu);
+    std::vector<NodeId> attr_base;  // Owned storage for B+-tree retrieval.
+    const std::vector<NodeId>* base = nullptr;
+    if (!label.empty()) {
+      base = &index->NodesWithLabel(label);
+    } else if (auto from_attr = AttrIndexBaseList(pattern, pu, *index)) {
+      attr_base = std::move(*from_attr);
+      base = &attr_base;
+    } else {
+      if (all_nodes.empty() && data.NumNodes() > 0) {
+        all_nodes.resize(data.NumNodes());
+        for (size_t v = 0; v < data.NumNodes(); ++v) {
+          all_nodes[v] = static_cast<NodeId>(v);
+        }
+      }
+      base = &all_nodes;
+    }
+
+    // Stage 1: attribute retrieval + remaining feasible-mate predicates.
+    std::vector<NodeId> attr_stage;
+    attr_stage.reserve(base->size());
+    for (NodeId v : *base) {
+      if (pattern.NodeCompatible(pu, data, v)) attr_stage.push_back(v);
+    }
+    if (stats != nullptr) stats->size_attr[u] = attr_stage.size();
+
+    // Stage 2: local pruning by profiles or neighborhood subgraphs.
+    switch (options.candidate_mode) {
+      case CandidateMode::kLabelOnly:
+        out[u] = std::move(attr_stage);
+        break;
+      case CandidateMode::kProfile: {
+        if (!index->has_profiles()) {
+          out[u] = std::move(attr_stage);
+          break;
+        }
+        Profile want =
+            PatternProfile(p, pu, index->options().radius, index->dict());
+        for (NodeId v : attr_stage) {
+          if (ProfileContains(index->profile(v), want)) {
+            out[u].push_back(v);
+          }
+        }
+        break;
+      }
+      case CandidateMode::kNeighborhood: {
+        if (!index->has_neighborhoods()) {
+          out[u] = std::move(attr_stage);
+          break;
+        }
+        NeighborhoodSubgraph want =
+            ExtractNeighborhood(p, pu, index->options().radius);
+        for (NodeId v : attr_stage) {
+          if (NeighborhoodSubIsomorphic(want, index->neighborhood(v),
+                                        options.neighborhood_step_budget)) {
+            out[u].push_back(v);
+          }
+        }
+        break;
+      }
+    }
+    if (stats != nullptr) stats->size_retrieved[u] = out[u].size();
+  }
+  return out;
+}
+
+Result<std::vector<algebra::MatchedGraph>> MatchPattern(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const LabelIndex* index, const PipelineOptions& options,
+    PipelineStats* stats) {
+  const size_t k = pattern.graph().NumNodes();
+
+  int64_t t0 = NowMicros();
+  std::vector<std::vector<NodeId>> candidates =
+      RetrieveCandidates(pattern, data, index, options, stats);
+  int64_t t1 = NowMicros();
+
+  int level = options.refine_level;
+  if (level < 0) level = static_cast<int>(k);
+  if (level > 0) {
+    RefineSearchSpace(pattern, data, level, &candidates,
+                      stats != nullptr ? &stats->refine : nullptr,
+                      options.refine_use_marking);
+  }
+  int64_t t2 = NowMicros();
+  if (stats != nullptr) {
+    stats->size_refined.assign(k, 0);
+    for (size_t u = 0; u < k; ++u) {
+      stats->size_refined[u] = candidates[u].size();
+    }
+  }
+
+  std::vector<NodeId> order =
+      options.optimize_order
+          ? GreedySearchOrder(pattern, candidates, index, options.order)
+          : DeclarationOrder(pattern);
+  int64_t t3 = NowMicros();
+
+  Result<std::vector<algebra::MatchedGraph>> matches =
+      SearchMatches(pattern, data, candidates, order, options.match,
+                    stats != nullptr ? &stats->search : nullptr);
+  int64_t t4 = NowMicros();
+
+  if (stats != nullptr) {
+    stats->us_retrieve = t1 - t0;
+    stats->us_refine = t2 - t1;
+    stats->us_order = t3 - t2;
+    stats->us_search = t4 - t3;
+    stats->order = order;
+    stats->num_matches = matches.ok() ? matches.value().size() : 0;
+  }
+  return matches;
+}
+
+Result<std::vector<algebra::MatchedGraph>> SelectCollection(
+    const algebra::GraphPattern& pattern, const GraphCollection& collection,
+    const PipelineOptions& options) {
+  std::vector<algebra::MatchedGraph> out;
+  for (const Graph& g : collection) {
+    GQL_ASSIGN_OR_RETURN(std::vector<algebra::MatchedGraph> matches,
+                         MatchPattern(pattern, g, /*index=*/nullptr, options));
+    for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Result<std::vector<algebra::MatchedGraph>> SelectCollectionAny(
+    const std::vector<algebra::GraphPattern>& alternatives,
+    const GraphCollection& collection, const PipelineOptions& options) {
+  std::vector<algebra::MatchedGraph> out;
+  for (const Graph& g : collection) {
+    for (const algebra::GraphPattern& pattern : alternatives) {
+      GQL_ASSIGN_OR_RETURN(
+          std::vector<algebra::MatchedGraph> matches,
+          MatchPattern(pattern, g, /*index=*/nullptr, options));
+      if (!matches.empty()) {
+        for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
+        if (!options.match.exhaustive) break;  // One binding per graph.
+      }
+    }
+  }
+  return out;
+}
+
+bool AreIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges()) {
+    return false;
+  }
+  if (a.directed() != b.directed()) return false;
+  if (!(a.attrs() == b.attrs())) return false;
+  auto embeds = [](const Graph& from, const Graph& into) {
+    algebra::GraphPattern p = algebra::GraphPattern::FromGraph(from);
+    PipelineOptions options;
+    options.candidate_mode = CandidateMode::kLabelOnly;
+    options.refine_level = -1;
+    options.match.exhaustive = false;
+    Result<std::vector<algebra::MatchedGraph>> m =
+        MatchPattern(p, into, nullptr, options);
+    return m.ok() && !m->empty();
+  };
+  // With equal sizes, mutual embedding pins the node bijection and forces
+  // attribute equality in both directions (each side's attributes are a
+  // subset of the other's on corresponding entities).
+  return embeds(a, b) && embeds(b, a);
+}
+
+}  // namespace graphql::match

@@ -1,0 +1,115 @@
+#ifndef GRAPHQL_MATCH_PIPELINE_H_
+#define GRAPHQL_MATCH_PIPELINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/matched_graph.h"
+#include "algebra/pattern.h"
+#include "common/result.h"
+#include "graph/collection.h"
+#include "match/cost.h"
+#include "match/label_index.h"
+#include "match/matcher.h"
+#include "match/refine.h"
+
+namespace graphql::match {
+
+/// How feasible mates are retrieved (Section 4.2 / Figure 4.17).
+enum class CandidateMode {
+  /// Attribute (label) index + predicate check only — the "Baseline"
+  /// retrieval of Section 5.
+  kLabelOnly,
+  /// Additionally require profile(u) sub-multiset-of profile(v):
+  /// "Retrieve by profiles".
+  kProfile,
+  /// Additionally require the radius-r neighborhood subgraph of u to be
+  /// sub-isomorphic to that of v: "Retrieve by subgraphs".
+  kNeighborhood,
+};
+
+const char* CandidateModeName(CandidateMode mode);
+
+/// Configuration of the full selection pipeline. The paper's recommended
+/// practical combination (Section 5.2's summary) is the default: retrieval
+/// by profiles, then global refinement, then search with the optimized
+/// order.
+struct PipelineOptions {
+  CandidateMode candidate_mode = CandidateMode::kProfile;
+  /// Refinement level l for Algorithm 4.2; -1 uses the pattern size (the
+  /// paper's experimental setting), 0 disables global pruning.
+  int refine_level = -1;
+  /// Dirty-pair marking inside the refinement (ablation knob).
+  bool refine_use_marking = true;
+  /// Greedy cost-based search order (Section 4.4) vs declaration order.
+  bool optimize_order = true;
+  OrderOptions order;
+  MatchOptions match;
+  /// Step budget for each neighborhood sub-isomorphism test.
+  uint64_t neighborhood_step_budget = 100000;
+};
+
+/// Per-stage measurements for one MatchPattern run; the benchmark harness
+/// prints these to regenerate Figures 4.20-4.23.
+struct PipelineStats {
+  std::vector<size_t> size_attr;       ///< |Phi0(u)|: label+predicate only.
+  std::vector<size_t> size_retrieved;  ///< After profile/subgraph pruning.
+  std::vector<size_t> size_refined;    ///< After global refinement.
+  int64_t us_retrieve = 0;
+  int64_t us_refine = 0;
+  int64_t us_order = 0;
+  int64_t us_search = 0;
+  SearchStats search;
+  RefineStats refine;
+  size_t num_matches = 0;
+  std::vector<NodeId> order;
+
+  /// Search-space size as a product of per-node candidate counts.
+  static double Space(const std::vector<size_t>& sizes);
+  double SpaceAttr() const { return Space(size_attr); }
+  double SpaceRetrieved() const { return Space(size_retrieved); }
+  double SpaceRefined() const { return Space(size_refined); }
+  int64_t TotalMicros() const {
+    return us_retrieve + us_refine + us_order + us_search;
+  }
+};
+
+/// Retrieval of feasible mates (first phase of Algorithm 4.1 + Section 4.2
+/// pruning). Exposed separately so benchmarks can measure it; stats may be
+/// null. When `index` is null, falls back to a full scan (label-only).
+std::vector<std::vector<NodeId>> RetrieveCandidates(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const LabelIndex* index, const PipelineOptions& options,
+    PipelineStats* stats = nullptr);
+
+/// Full selection over a single large graph: retrieve, refine, order,
+/// search. This is sigma_P({G}) with all graph-specific optimizations.
+Result<std::vector<algebra::MatchedGraph>> MatchPattern(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const LabelIndex* index, const PipelineOptions& options = {},
+    PipelineStats* stats = nullptr);
+
+/// The selection operator sigma_P(C) over a collection of graphs
+/// (Section 3.3): matches the pattern against every member; exhaustive
+/// mode yields every binding, otherwise at most one per member graph.
+/// Returned MatchedGraphs reference the collection's graphs.
+Result<std::vector<algebra::MatchedGraph>> SelectCollection(
+    const algebra::GraphPattern& pattern, const GraphCollection& collection,
+    const PipelineOptions& options = {});
+
+/// Selection with a disjunctive/recursive pattern: a member graph matches
+/// if any derived alternative matches (Definition 4.2).
+Result<std::vector<algebra::MatchedGraph>> SelectCollectionAny(
+    const std::vector<algebra::GraphPattern>& alternatives,
+    const GraphCollection& collection, const PipelineOptions& options = {});
+
+/// Exact graph isomorphism including attributes: a bijective node mapping
+/// exists under which edges and all node/edge/graph attributes correspond.
+/// Decided by two subgraph-isomorphism runs (a into b and b into a) after
+/// size checks, so both attribute containments force equality. Assumes
+/// simple graphs (parallel-edge multiplicity is not distinguished).
+bool AreIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace graphql::match
+
+#endif  // GRAPHQL_MATCH_PIPELINE_H_

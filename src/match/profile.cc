@@ -1,0 +1,76 @@
+#include "match/profile.h"
+
+#include <algorithm>
+
+namespace graphql::match {
+
+int32_t LabelDictionary::Intern(std::string_view label) {
+  auto it = ids_.find(std::string(label));
+  if (it != ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.emplace_back(label);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t LabelDictionary::Lookup(std::string_view label) const {
+  auto it = ids_.find(std::string(label));
+  return it == ids_.end() ? kUnknownLabel : it->second;
+}
+
+Profile BuildProfile(const Graph& g, NodeId v, int radius,
+                     LabelDictionary* dict, std::vector<int>* scratch_dist) {
+  Profile profile;
+  std::vector<int>& dist = *scratch_dist;
+  std::vector<NodeId> frontier = {v};
+  std::vector<NodeId> touched = {v};
+  dist[v] = 0;
+  std::string_view center = g.Label(v);
+  if (!center.empty()) profile.push_back(dict->Intern(center));
+  for (int d = 1; d <= radius && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (NodeId x : frontier) {
+      for (const Graph::Adj& a : g.neighbors(x)) {
+        if (dist[a.node] >= 0) continue;
+        dist[a.node] = d;
+        touched.push_back(a.node);
+        next.push_back(a.node);
+        std::string_view label = g.Label(a.node);
+        if (!label.empty()) profile.push_back(dict->Intern(label));
+      }
+      if (g.directed()) {
+        for (const Graph::Adj& a : g.in_neighbors(x)) {
+          if (dist[a.node] >= 0) continue;
+          dist[a.node] = d;
+          touched.push_back(a.node);
+          next.push_back(a.node);
+          std::string_view label = g.Label(a.node);
+          if (!label.empty()) profile.push_back(dict->Intern(label));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (NodeId x : touched) dist[x] = -1;
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+Profile BuildProfile(const Graph& g, NodeId v, int radius,
+                     LabelDictionary* dict) {
+  std::vector<int> dist(g.NumNodes(), -1);
+  return BuildProfile(g, v, radius, dict, &dist);
+}
+
+bool ProfileContains(const Profile& haystack, const Profile& needle) {
+  size_t i = 0;
+  for (int32_t want : needle) {
+    if (want == LabelDictionary::kUnknownLabel) return false;
+    while (i < haystack.size() && haystack[i] < want) ++i;
+    if (i == haystack.size() || haystack[i] != want) return false;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace graphql::match

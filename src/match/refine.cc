@@ -1,0 +1,128 @@
+#include "match/refine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "match/bipartite.h"
+
+namespace graphql::match {
+
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+/// Unique undirected neighbor list of a node (parallel edges collapsed;
+/// for directed graphs, in- and out-neighbors are merged — this weakens
+/// but never unsounds the pruning).
+std::vector<NodeId> UniqueNeighbors(const Graph& g, NodeId v) {
+  std::vector<NodeId> out;
+  out.reserve(g.Degree(v));
+  for (const Graph::Adj& a : g.neighbors(v)) out.push_back(a.node);
+  if (g.directed()) {
+    for (const Graph::Adj& a : g.in_neighbors(v)) out.push_back(a.node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
+                       int level, std::vector<std::vector<NodeId>>* candidates,
+                       RefineStats* stats, bool use_marking) {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  if (k == 0 || level <= 0) return;
+
+  // Pattern neighbor lists (tiny, precompute once).
+  std::vector<std::vector<NodeId>> pnbr(k);
+  for (size_t u = 0; u < k; ++u) {
+    pnbr[u] = UniqueNeighbors(p, static_cast<NodeId>(u));
+  }
+
+  // Membership bitmaps: in_cand[u][v] == 1 iff v in candidates[u]. The
+  // hashed pair bookkeeping below implements the paper's second
+  // improvement (no k x n matrix is materialized for the marks).
+  std::vector<std::vector<char>> in_cand(k,
+                                         std::vector<char>(data.NumNodes(), 0));
+  for (size_t u = 0; u < k; ++u) {
+    for (NodeId v : (*candidates)[u]) in_cand[u][v] = 1;
+  }
+
+  std::unordered_set<uint64_t> marked;
+  for (size_t u = 0; u < k; ++u) {
+    for (NodeId v : (*candidates)[u]) marked.insert(PairKey(static_cast<NodeId>(u), v));
+  }
+
+  std::vector<std::vector<int>> adj;  // Reused bipartite adjacency buffer.
+  for (int l = 0; l < level; ++l) {
+    if (stats != nullptr) stats->levels_run = l + 1;
+    std::vector<uint64_t> todo;
+    if (use_marking) {
+      todo.assign(marked.begin(), marked.end());
+      // Deterministic processing order regardless of hash iteration.
+      std::sort(todo.begin(), todo.end());
+    } else {
+      for (size_t u = 0; u < k; ++u) {
+        for (NodeId v : (*candidates)[u]) {
+          if (in_cand[u][v]) todo.push_back(PairKey(static_cast<NodeId>(u), v));
+        }
+      }
+    }
+    if (todo.empty()) break;
+    bool changed = false;
+
+    for (uint64_t key : todo) {
+      NodeId u = static_cast<NodeId>(key >> 32);
+      NodeId v = static_cast<NodeId>(key & 0xffffffffu);
+      if (!in_cand[u][v]) continue;  // Already removed this level.
+      const std::vector<NodeId>& nu = pnbr[u];
+      if (nu.empty()) {
+        marked.erase(key);
+        continue;  // Isolated pattern node: trivially matchable.
+      }
+      std::vector<NodeId> nv = UniqueNeighbors(data, v);
+      adj.assign(nu.size(), {});
+      for (size_t i = 0; i < nu.size(); ++i) {
+        const std::vector<char>& row = in_cand[nu[i]];
+        for (size_t j = 0; j < nv.size(); ++j) {
+          if (row[nv[j]]) adj[i].push_back(static_cast<int>(j));
+        }
+      }
+      if (stats != nullptr) ++stats->bipartite_checks;
+      if (HasSemiPerfectMatching(static_cast<int>(nu.size()),
+                                 static_cast<int>(nv.size()), adj)) {
+        marked.erase(key);
+        continue;
+      }
+      // Remove v from candidates[u]; mark affected neighbor pairs.
+      in_cand[u][v] = 0;
+      marked.erase(key);
+      changed = true;
+      if (stats != nullptr) ++stats->removed;
+      for (NodeId u2 : pnbr[u]) {
+        for (NodeId v2 : nv) {
+          if (in_cand[u2][v2]) {
+            marked.insert(PairKey(u2, v2));
+          }
+        }
+      }
+    }
+    if (!changed && use_marking && marked.empty()) break;
+    if (!changed && !use_marking) break;
+  }
+
+  // Write the surviving candidates back, preserving order.
+  for (size_t u = 0; u < k; ++u) {
+    std::vector<NodeId>& list = (*candidates)[u];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](NodeId v) { return !in_cand[u][v]; }),
+               list.end());
+  }
+}
+
+}  // namespace graphql::match

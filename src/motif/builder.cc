@@ -1,0 +1,416 @@
+#include "motif/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace graphql::motif {
+
+using lang::GraphBody;
+using lang::GraphDecl;
+using lang::MemberDecl;
+
+// Cap on nested graph-reference expansions (native-stack protection).
+constexpr size_t kMaxExpansionNesting = 200;
+
+Status MotifRegistry::Register(const GraphDecl& decl) {
+  if (decl.name.empty()) {
+    return Status::InvalidArgument(
+        "cannot register an anonymous graph declaration");
+  }
+  decls_[decl.name] = decl;
+  return Status::OK();
+}
+
+Status MotifRegistry::RegisterProgram(const lang::Program& program) {
+  for (const lang::Statement& stmt : program.statements) {
+    if (stmt.kind == lang::Statement::Kind::kGraphDecl) {
+      GQL_RETURN_IF_ERROR(Register(stmt.graph));
+    }
+  }
+  return Status::OK();
+}
+
+const GraphDecl* MotifRegistry::Find(const std::string& name) const {
+  auto it = decls_.find(name);
+  return it == decls_.end() ? nullptr : &it->second;
+}
+
+Result<Value> EvalConstExpr(const lang::Expr& expr) {
+  switch (expr.kind) {
+    case lang::Expr::Kind::kLiteral:
+      return expr.literal;
+    case lang::Expr::Kind::kName:
+      return Status::InvalidArgument(
+          "name '" + Join(expr.path, ".") +
+          "' is not allowed in a constant tuple value (names are only "
+          "meaningful inside graph templates)");
+    case lang::Expr::Kind::kBinary: {
+      GQL_ASSIGN_OR_RETURN(Value lhs, EvalConstExpr(*expr.lhs));
+      GQL_ASSIGN_OR_RETURN(Value rhs, EvalConstExpr(*expr.rhs));
+      switch (expr.op) {
+        case lang::BinaryOp::kAdd:
+          return Value::Add(lhs, rhs);
+        case lang::BinaryOp::kSub:
+          return Value::Sub(lhs, rhs);
+        case lang::BinaryOp::kMul:
+          return Value::Mul(lhs, rhs);
+        case lang::BinaryOp::kDiv:
+          return Value::Div(lhs, rhs);
+        case lang::BinaryOp::kEq:
+          return Value(lhs == rhs);
+        case lang::BinaryOp::kNe:
+          return Value(lhs != rhs);
+        case lang::BinaryOp::kLt: {
+          GQL_ASSIGN_OR_RETURN(bool b, Value::Less(lhs, rhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kLe: {
+          GQL_ASSIGN_OR_RETURN(bool b, Value::LessEq(lhs, rhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kGt: {
+          GQL_ASSIGN_OR_RETURN(bool b, Value::Less(rhs, lhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kGe: {
+          GQL_ASSIGN_OR_RETURN(bool b, Value::LessEq(rhs, lhs));
+          return Value(b);
+        }
+        case lang::BinaryOp::kOr:
+          return Value(lhs.Truthy() || rhs.Truthy());
+        case lang::BinaryOp::kAnd:
+          return Value(lhs.Truthy() && rhs.Truthy());
+      }
+      return Status::Internal("unhandled binary operator");
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<AttrTuple> EvalConstTuple(const lang::TupleLit& tuple) {
+  AttrTuple out(tuple.tag);
+  for (const auto& [name, expr] : tuple.entries) {
+    GQL_ASSIGN_OR_RETURN(Value v, EvalConstExpr(*expr));
+    out.Set(name, std::move(v));
+  }
+  return out;
+}
+
+/// A provisional graph under construction: nodes/edges addressed by index
+/// with a union-find over nodes so that `unify` is O(alpha) per merge.
+struct MotifBuilder::State {
+  struct PNode {
+    std::string canonical_name;  // Dotted path where first declared.
+    AttrTuple attrs;
+    std::vector<lang::ExprPtr> wheres;
+  };
+  struct PEdge {
+    std::string canonical_name;
+    int src = 0;
+    int dst = 0;
+    AttrTuple attrs;
+    std::vector<lang::ExprPtr> wheres;
+  };
+
+  std::vector<PNode> pnodes;
+  std::vector<int> parent;  // Union-find forest over pnodes.
+  std::vector<PEdge> pedges;
+  std::unordered_map<std::string, int> node_scope;
+  std::unordered_map<std::string, int> edge_scope;
+  size_t depth_used = 0;
+  bool any_unify = false;
+
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+
+  /// Merges b into a (the smaller root index wins, for determinism).
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent[b] = a;
+    pnodes[a].attrs.MergeFrom(pnodes[b].attrs);
+    for (auto& w : pnodes[b].wheres) pnodes[a].wheres.push_back(w);
+    pnodes[b].wheres.clear();
+    any_unify = true;
+  }
+
+  int AddPNode(std::string canonical_name, AttrTuple attrs,
+               std::vector<lang::ExprPtr> wheres = {}) {
+    int id = static_cast<int>(pnodes.size());
+    pnodes.push_back(PNode{std::move(canonical_name), std::move(attrs),
+                           std::move(wheres)});
+    parent.push_back(id);
+    return id;
+  }
+};
+
+Result<std::vector<BuiltGraph>> MotifBuilder::Build(
+    const GraphDecl& decl) const {
+  std::vector<std::string> expansion_stack;
+  if (!decl.name.empty()) expansion_stack.push_back(decl.name);
+  std::vector<State> initial(1);
+  GQL_ASSIGN_OR_RETURN(
+      std::vector<State> states,
+      ExpandBody(decl.body, std::move(initial), "", &expansion_stack, 0));
+  std::vector<BuiltGraph> out;
+  out.reserve(states.size());
+  for (const State& s : states) {
+    GQL_ASSIGN_OR_RETURN(BuiltGraph g, Finish(s, decl));
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+Result<BuiltGraph> MotifBuilder::BuildSingle(const GraphDecl& decl) const {
+  GQL_ASSIGN_OR_RETURN(std::vector<BuiltGraph> all, Build(decl));
+  if (all.empty()) {
+    return Status::InvalidArgument("motif '" + decl.name +
+                                   "' derives no graphs");
+  }
+  if (all.size() > 1) {
+    return Status::InvalidArgument(
+        "motif '" + decl.name + "' derives " + std::to_string(all.size()) +
+        " graphs; expected exactly one");
+  }
+  return std::move(all[0]);
+}
+
+Result<std::vector<MotifBuilder::State>> MotifBuilder::ExpandBody(
+    const GraphBody& body, std::vector<State> states,
+    const std::string& prefix, std::vector<std::string>* expansion_stack,
+    size_t depth_used) const {
+  for (const MemberDecl& member : body.members) {
+    GQL_ASSIGN_OR_RETURN(states, ExpandMember(member, std::move(states),
+                                              prefix, expansion_stack,
+                                              depth_used));
+    if (states.size() > options_.max_graphs) {
+      return Status::LimitExceeded(
+          "motif derives more than " + std::to_string(options_.max_graphs) +
+          " graphs");
+    }
+  }
+  return states;
+}
+
+Result<std::vector<MotifBuilder::State>> MotifBuilder::ExpandMember(
+    const MemberDecl& member, std::vector<State> states,
+    const std::string& prefix, std::vector<std::string>* expansion_stack,
+    size_t depth_used) const {
+  switch (member.kind) {
+    case MemberDecl::Kind::kNode: {
+      AttrTuple attrs;
+      if (member.node.tuple && options_.tuples_as_attributes) {
+        GQL_ASSIGN_OR_RETURN(attrs, EvalConstTuple(*member.node.tuple));
+      }
+      for (State& s : states) {
+        std::string canonical = prefix + member.node.name;
+        std::vector<lang::ExprPtr> wheres;
+        if (member.node.where) wheres.push_back(member.node.where);
+        int id = s.AddPNode(member.node.name.empty() ? "" : canonical, attrs,
+                            std::move(wheres));
+        if (!member.node.name.empty()) s.node_scope[canonical] = id;
+      }
+      return states;
+    }
+    case MemberDecl::Kind::kEdge: {
+      AttrTuple attrs;
+      if (member.edge.tuple && options_.tuples_as_attributes) {
+        GQL_ASSIGN_OR_RETURN(attrs, EvalConstTuple(*member.edge.tuple));
+      }
+      std::string src_name = prefix + Join(member.edge.src, ".");
+      std::string dst_name = prefix + Join(member.edge.dst, ".");
+      for (State& s : states) {
+        auto src_it = s.node_scope.find(src_name);
+        auto dst_it = s.node_scope.find(dst_name);
+        if (src_it == s.node_scope.end()) {
+          return Status::NotFound("edge endpoint '" + src_name +
+                                  "' is not a declared node");
+        }
+        if (dst_it == s.node_scope.end()) {
+          return Status::NotFound("edge endpoint '" + dst_name +
+                                  "' is not a declared node");
+        }
+        std::string canonical = prefix + member.edge.name;
+        int eid = static_cast<int>(s.pedges.size());
+        std::vector<lang::ExprPtr> wheres;
+        if (member.edge.where) wheres.push_back(member.edge.where);
+        s.pedges.push_back(State::PEdge{
+            member.edge.name.empty() ? "" : canonical, src_it->second,
+            dst_it->second, attrs, std::move(wheres)});
+        if (!member.edge.name.empty()) s.edge_scope[canonical] = eid;
+      }
+      return states;
+    }
+    case MemberDecl::Kind::kGraphRef: {
+      const std::string& target = member.graph_ref.graph_name;
+      const GraphDecl* nested = registry_ ? registry_->Find(target) : nullptr;
+      if (nested == nullptr) {
+        return Status::NotFound("graph member '" + target +
+                                "' is not a registered motif");
+      }
+      // Expansion proceeds by C++ recursion; bound the nesting depth so a
+      // huge max_depth cannot overflow the native stack before the
+      // graph-count limit fires.
+      if (expansion_stack->size() > kMaxExpansionNesting) {
+        return Status::LimitExceeded(
+            "motif expansion exceeds the maximum nesting depth of " +
+            std::to_string(kMaxExpansionNesting));
+      }
+      bool recursive =
+          std::find(expansion_stack->begin(), expansion_stack->end(),
+                    target) != expansion_stack->end();
+      std::string alias = member.graph_ref.alias.empty()
+                              ? target
+                              : member.graph_ref.alias;
+      std::string nested_prefix = prefix + alias + ".";
+      expansion_stack->push_back(target);
+      std::vector<State> out;
+      for (State& s : states) {
+        if (recursive && s.depth_used >= options_.max_depth) {
+          continue;  // This derivation cannot expand further; it dies.
+        }
+        State forked = std::move(s);
+        if (recursive) ++forked.depth_used;
+        GQL_ASSIGN_OR_RETURN(
+            std::vector<State> expanded,
+            ExpandBody(nested->body, {std::move(forked)}, nested_prefix,
+                       expansion_stack, depth_used));
+        for (State& e : expanded) out.push_back(std::move(e));
+        if (out.size() > options_.max_graphs) {
+          return Status::LimitExceeded(
+              "motif derives more than " +
+              std::to_string(options_.max_graphs) + " graphs");
+        }
+      }
+      expansion_stack->pop_back();
+      return out;
+    }
+    case MemberDecl::Kind::kUnify: {
+      for (State& s : states) {
+        int first = -1;
+        for (const auto& path : member.unify.names) {
+          std::string name = prefix + Join(path, ".");
+          auto it = s.node_scope.find(name);
+          if (it == s.node_scope.end()) {
+            return Status::NotFound("unify target '" + name +
+                                    "' is not a declared node");
+          }
+          if (first < 0) {
+            first = it->second;
+          } else {
+            s.Union(first, it->second);
+          }
+        }
+      }
+      return states;
+    }
+    case MemberDecl::Kind::kExport: {
+      std::string source = prefix + Join(member.export_decl.source, ".");
+      std::string as = prefix + member.export_decl.as;
+      for (State& s : states) {
+        auto it = s.node_scope.find(source);
+        if (it == s.node_scope.end()) {
+          return Status::NotFound("export source '" + source +
+                                  "' is not a declared node");
+        }
+        s.node_scope[as] = it->second;
+      }
+      return states;
+    }
+    case MemberDecl::Kind::kDisjunction: {
+      if (member.alternatives.size() == 1) {
+        // Single anonymous block: plain grouping (also used by the parser
+        // to encode multi-declarator statements); inline it.
+        return ExpandBody(*member.alternatives[0], std::move(states), prefix,
+                          expansion_stack, depth_used);
+      }
+      std::vector<State> out;
+      for (const auto& alt : member.alternatives) {
+        std::vector<State> copies = states;  // Fork per alternative.
+        GQL_ASSIGN_OR_RETURN(
+            std::vector<State> expanded,
+            ExpandBody(*alt, std::move(copies), prefix, expansion_stack,
+                       depth_used));
+        for (State& e : expanded) out.push_back(std::move(e));
+        if (out.size() > options_.max_graphs) {
+          return Status::LimitExceeded(
+              "motif derives more than " +
+              std::to_string(options_.max_graphs) + " graphs");
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled member kind");
+}
+
+Result<BuiltGraph> MotifBuilder::Finish(const State& state,
+                                        const GraphDecl& decl) const {
+  State s = state;  // Mutable copy for Find() path compression.
+  BuiltGraph built;
+  built.graph.set_name(decl.name);
+  if (decl.tuple && options_.tuples_as_attributes) {
+    GQL_ASSIGN_OR_RETURN(AttrTuple attrs, EvalConstTuple(*decl.tuple));
+    built.graph.attrs() = std::move(attrs);
+  }
+
+  // Compact union-find roots into dense node ids.
+  std::vector<NodeId> compact(s.pnodes.size(), kInvalidNode);
+  for (size_t i = 0; i < s.pnodes.size(); ++i) {
+    int root = s.Find(static_cast<int>(i));
+    if (compact[root] == kInvalidNode) {
+      compact[root] = built.graph.AddNode(s.pnodes[root].canonical_name,
+                                          s.pnodes[root].attrs);
+      built.node_wheres.push_back(s.pnodes[root].wheres);
+    }
+    compact[i] = compact[root];
+  }
+  for (const auto& [name, idx] : s.node_scope) {
+    built.node_names[name] = compact[s.Find(idx)];
+  }
+
+  // Emit edges; when any unification happened, parallel edges between the
+  // same endpoints are merged (the paper: "two edges are unified
+  // automatically if their respective end nodes are unified").
+  std::unordered_map<uint64_t, EdgeId> seen;
+  std::vector<EdgeId> edge_compact(s.pedges.size(), kInvalidEdge);
+  for (size_t i = 0; i < s.pedges.size(); ++i) {
+    const State::PEdge& e = s.pedges[i];
+    NodeId u = compact[s.Find(e.src)];
+    NodeId v = compact[s.Find(e.dst)];
+    NodeId lo = std::min(u, v);
+    NodeId hi = std::max(u, v);
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+                   static_cast<uint32_t>(hi);
+    if (s.any_unify) {
+      auto it = seen.find(key);
+      if (it != seen.end()) {
+        built.graph.edge(it->second).attrs.MergeFrom(e.attrs);
+        for (const auto& w : e.wheres) {
+          built.edge_wheres[it->second].push_back(w);
+        }
+        edge_compact[i] = it->second;
+        continue;
+      }
+    }
+    EdgeId eid = built.graph.AddEdge(u, v, e.canonical_name, e.attrs);
+    built.edge_wheres.push_back(e.wheres);
+    edge_compact[i] = eid;
+    if (s.any_unify) seen[key] = eid;
+  }
+  for (const auto& [name, idx] : s.edge_scope) {
+    built.edge_names[name] = edge_compact[idx];
+  }
+  return built;
+}
+
+}  // namespace graphql::motif

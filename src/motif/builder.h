@@ -1,0 +1,117 @@
+#ifndef GRAPHQL_MOTIF_BUILDER_H_
+#define GRAPHQL_MOTIF_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "lang/ast.h"
+
+namespace graphql::motif {
+
+/// Name-to-declaration registry used to resolve `graph G1 as X;` member
+/// references and recursive motifs (Section 2). Populated from the
+/// `graph ... ;` statements of a parsed program.
+class MotifRegistry {
+ public:
+  /// Registers a declaration under its own name; unnamed declarations are
+  /// rejected. Re-registering a name overwrites it.
+  Status Register(const lang::GraphDecl& decl);
+
+  /// Registers every named graph declaration of a program.
+  Status RegisterProgram(const lang::Program& program);
+
+  const lang::GraphDecl* Find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, lang::GraphDecl> decls_;
+};
+
+/// One concrete graph derived from a motif, together with the scope table
+/// mapping every dotted name visible at the motif's top level (e.g. "v1",
+/// "X.v1", exported aliases) to a node id.
+struct BuiltGraph {
+  Graph graph;
+  std::unordered_map<std::string, NodeId> node_names;
+  std::unordered_map<std::string, EdgeId> edge_names;
+  /// Per-node / per-edge `where` clauses from the declaration (indexed by
+  /// node/edge id; unification concatenates the clauses of merged nodes).
+  /// Consumed by algebra::GraphPattern; empty for plain data graphs.
+  std::vector<std::vector<lang::ExprPtr>> node_wheres;
+  std::vector<std::vector<lang::ExprPtr>> edge_wheres;
+};
+
+struct BuildOptions {
+  /// Maximum number of recursive motif expansions along any derivation
+  /// (Section 2.3 repetition). Non-recursive motifs are unaffected.
+  size_t max_depth = 8;
+  /// Upper bound on the number of derived graphs (disjunction and
+  /// repetition multiply alternatives); exceeding it is a LimitExceeded.
+  size_t max_graphs = 4096;
+  /// When true, tuple literals on nodes/edges/graphs are evaluated (they
+  /// must be constant) and stored as attributes. Patterns and data graphs
+  /// both want this; graph templates evaluate tuples themselves instead.
+  bool tuples_as_attributes = true;
+};
+
+/// Compiles a `graph { ... }` declaration into the set of concrete graphs
+/// it derives (Section 2: the language of a graph grammar).
+///
+/// - Concatenation by edges and by unification (Figure 4.4) is resolved
+///   with a union-find over provisional nodes; after unification, parallel
+///   edges with identical endpoints are merged and their attributes
+///   combined ("two edges are unified automatically if their respective end
+///   nodes are unified").
+/// - Disjunction (Figure 4.5) forks the derivation per alternative.
+/// - Repetition (Figure 4.6) expands recursive references up to
+///   BuildOptions::max_depth; base-case alternatives terminate derivations.
+/// - `export Nested.v as v` re-binds a nested node in the current scope.
+///
+/// `where` clauses are ignored here: predicates belong to the pattern layer
+/// (algebra::GraphPattern), which compiles them from the same AST.
+class MotifBuilder {
+ public:
+  MotifBuilder(const MotifRegistry* registry, BuildOptions options)
+      : registry_(registry), options_(options) {}
+
+  /// Derives every concrete graph of the motif, in a deterministic order
+  /// (alternatives explored in source order, shallower derivations first
+  /// within a member).
+  Result<std::vector<BuiltGraph>> Build(const lang::GraphDecl& decl) const;
+
+  /// Derives the motif and requires exactly one result (the common case for
+  /// non-recursive, disjunction-free motifs).
+  Result<BuiltGraph> BuildSingle(const lang::GraphDecl& decl) const;
+
+ private:
+  struct State;  // Provisional graph under construction.
+
+  Result<std::vector<State>> ExpandBody(
+      const lang::GraphBody& body, std::vector<State> states,
+      const std::string& prefix, std::vector<std::string>* expansion_stack,
+      size_t depth_used) const;
+
+  Result<std::vector<State>> ExpandMember(
+      const lang::MemberDecl& member, std::vector<State> states,
+      const std::string& prefix, std::vector<std::string>* expansion_stack,
+      size_t depth_used) const;
+
+  Result<BuiltGraph> Finish(const State& state,
+                            const lang::GraphDecl& decl) const;
+
+  const MotifRegistry* registry_;
+  BuildOptions options_;
+};
+
+/// Evaluates a constant expression (literals and arithmetic only; names are
+/// rejected). Used for tuple values in patterns and data graphs.
+Result<Value> EvalConstExpr(const lang::Expr& expr);
+
+/// Evaluates a constant TupleLit into an attribute tuple.
+Result<AttrTuple> EvalConstTuple(const lang::TupleLit& tuple);
+
+}  // namespace graphql::motif
+
+#endif  // GRAPHQL_MOTIF_BUILDER_H_

@@ -1,0 +1,84 @@
+#include "motif/deriver.h"
+
+#include <unordered_set>
+
+#include "lang/parser.h"
+
+namespace graphql::motif {
+
+namespace {
+
+bool BodyReferences(const lang::GraphBody& body, const std::string& target,
+                    const MotifRegistry& registry,
+                    std::unordered_set<std::string>* visited) {
+  for (const lang::MemberDecl& member : body.members) {
+    switch (member.kind) {
+      case lang::MemberDecl::Kind::kGraphRef: {
+        const std::string& name = member.graph_ref.graph_name;
+        if (name == target) return true;
+        if (visited->insert(name).second) {
+          const lang::GraphDecl* nested = registry.Find(name);
+          if (nested != nullptr &&
+              BodyReferences(nested->body, target, registry, visited)) {
+            return true;
+          }
+        }
+        break;
+      }
+      case lang::MemberDecl::Kind::kDisjunction:
+        for (const auto& alt : member.alternatives) {
+          if (BodyReferences(*alt, target, registry, visited)) return true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsRecursive(const lang::GraphDecl& decl, const MotifRegistry& registry) {
+  if (decl.name.empty()) return false;
+  std::unordered_set<std::string> visited;
+  return BodyReferences(decl.body, decl.name, registry, &visited);
+}
+
+Result<std::vector<BuiltGraph>> BuildFromSource(std::string_view source,
+                                                const MotifRegistry* registry,
+                                                BuildOptions options) {
+  GQL_ASSIGN_OR_RETURN(lang::GraphDecl decl,
+                       lang::Parser::ParseGraph(source));
+  MotifBuilder builder(registry, options);
+  return builder.Build(decl);
+}
+
+Result<Graph> GraphFromSource(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(lang::GraphDecl decl,
+                       lang::Parser::ParseGraph(source));
+  MotifBuilder builder(nullptr, BuildOptions{});
+  GQL_ASSIGN_OR_RETURN(BuiltGraph built, builder.BuildSingle(decl));
+  return std::move(built.graph);
+}
+
+Result<std::vector<Graph>> GraphsFromProgramSource(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(lang::Program program,
+                       lang::Parser::ParseProgram(source));
+  MotifRegistry registry;
+  GQL_RETURN_IF_ERROR(registry.RegisterProgram(program));
+  MotifBuilder builder(&registry, BuildOptions{});
+  std::vector<Graph> out;
+  for (const lang::Statement& stmt : program.statements) {
+    if (stmt.kind != lang::Statement::Kind::kGraphDecl) {
+      return Status::InvalidArgument(
+          "program contains a non-graph statement; only `graph ...;` "
+          "declarations denote data graphs");
+    }
+    GQL_ASSIGN_OR_RETURN(BuiltGraph built, builder.BuildSingle(stmt.graph));
+    out.push_back(std::move(built.graph));
+  }
+  return out;
+}
+
+}  // namespace graphql::motif

@@ -1,0 +1,35 @@
+#ifndef GRAPHQL_MOTIF_DERIVER_H_
+#define GRAPHQL_MOTIF_DERIVER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "motif/builder.h"
+
+namespace graphql::motif {
+
+/// True if the motif (transitively) references itself through the registry,
+/// i.e. it uses repetition (Section 2.3) and derives unboundedly many
+/// graphs without a depth limit.
+bool IsRecursive(const lang::GraphDecl& decl, const MotifRegistry& registry);
+
+/// Parses `source` as a single `graph ...` declaration and derives all of
+/// its concrete graphs. `registry` may be null for self-contained motifs.
+Result<std::vector<BuiltGraph>> BuildFromSource(
+    std::string_view source, const MotifRegistry* registry = nullptr,
+    BuildOptions options = {});
+
+/// Parses `source` as a single, non-recursive, disjunction-free graph
+/// declaration and returns the one concrete graph it denotes. This is the
+/// convenient way to write data graphs inline (tests, examples).
+Result<Graph> GraphFromSource(std::string_view source);
+
+/// Parses a whole program of `graph ...;` declarations and returns one data
+/// graph per statement, in order.
+Result<std::vector<Graph>> GraphsFromProgramSource(std::string_view source);
+
+}  // namespace graphql::motif
+
+#endif  // GRAPHQL_MOTIF_DERIVER_H_

@@ -1,0 +1,89 @@
+#include "reach/reachability.h"
+
+#include <queue>
+
+namespace graphql::reach {
+
+Result<ReachabilityIndex> ReachabilityIndex::Build(const Graph& g,
+                                                   const Options& options) {
+  ReachabilityIndex index;
+  index.graph_ = &g;
+  index.scc_ = ComputeScc(g);
+  size_t k = static_cast<size_t>(index.scc_.num_components);
+  index.words_per_row_ = (k + 63) / 64;
+  size_t bytes = k * index.words_per_row_ * 8;
+  if (bytes > options.max_bitset_bytes) {
+    return Status::LimitExceeded(
+        "reachability bitset would need " + std::to_string(bytes) +
+        " bytes (" + std::to_string(k) +
+        " components); raise max_bitset_bytes or use BfsReachable");
+  }
+  index.bits_.assign(k * index.words_per_row_, 0);
+
+  // Tarjan numbers components in reverse topological order: every edge
+  // u -> v across components has component(u) > component(v). Processing
+  // components in increasing id therefore sees all successors of a
+  // component before the component itself.
+  auto row = [&](size_t comp) { return comp * index.words_per_row_; };
+  for (size_t c = 0; c < k; ++c) {
+    index.bits_[row(c) + c / 64] |= uint64_t{1} << (c % 64);
+  }
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    size_t cu = static_cast<size_t>(index.scc_.component[v]);
+    for (const Graph::Adj& a : g.neighbors(static_cast<NodeId>(v))) {
+      size_t cv = static_cast<size_t>(index.scc_.component[a.node]);
+      if (cu == cv) continue;
+      // OR cv's row into cu's row. Because cv < cu, cv's row is final by
+      // the time cu is queried — but edges arrive in node order, not
+      // component order, so do the propagation in a second, ordered pass.
+      // Here we only record the direct edge.
+      index.bits_[row(cu) + cv / 64] |= uint64_t{1} << (cv % 64);
+    }
+  }
+  // Ordered propagation: components in increasing id (reverse topological:
+  // successors first). For each set successor bit cv in cu's row, OR in
+  // cv's (already complete) row.
+  for (size_t cu = 1; cu < k; ++cu) {
+    for (size_t w = 0; w < index.words_per_row_; ++w) {
+      uint64_t word = index.bits_[row(cu) + w];
+      while (word != 0) {
+        size_t bit = static_cast<size_t>(__builtin_ctzll(word));
+        word &= word - 1;
+        size_t cv = w * 64 + bit;
+        if (cv >= cu) continue;
+        for (size_t ww = 0; ww < index.words_per_row_; ++ww) {
+          index.bits_[row(cu) + ww] |= index.bits_[row(cv) + ww];
+        }
+      }
+    }
+  }
+  return index;
+}
+
+bool ReachabilityIndex::Reachable(NodeId from, NodeId to) const {
+  size_t cu = static_cast<size_t>(scc_.component[from]);
+  size_t cv = static_cast<size_t>(scc_.component[to]);
+  return (bits_[cu * words_per_row_ + cv / 64] >> (cv % 64)) & 1;
+}
+
+bool BfsReachable(const Graph& g, NodeId from, NodeId to) {
+  if (from == to) return true;
+  std::vector<char> seen(g.NumNodes(), 0);
+  std::queue<NodeId> queue;
+  queue.push(from);
+  seen[from] = 1;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop();
+    for (const Graph::Adj& a : g.neighbors(v)) {
+      if (a.node == to) return true;
+      if (!seen[a.node]) {
+        seen[a.node] = 1;
+        queue.push(a.node);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace graphql::reach

@@ -1,0 +1,60 @@
+#ifndef GRAPHQL_REACH_REACHABILITY_H_
+#define GRAPHQL_REACH_REACHABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "reach/scc.h"
+
+namespace graphql::reach {
+
+/// Reachability index over a directed graph (Section 6.2: "reachability
+/// queries correspond to recursive graph patterns which are paths" —
+/// the paper's related-work line of indexing that this module makes
+/// available as an access method for recursive path patterns).
+///
+/// Construction condenses the graph into its SCC DAG (Tarjan) and stores a
+/// reachable-set bitset per component, filled in one pass over the
+/// components in topological order. Query time is O(1); space is
+/// O(#scc^2 / 64), guarded by `Options::max_bitset_bytes` — beyond the
+/// budget Build refuses and callers fall back to per-query BFS
+/// (`BfsReachable`).
+class ReachabilityIndex {
+ public:
+  struct Options {
+    /// Upper bound on bitset storage (default 64 MiB).
+    size_t max_bitset_bytes = 64ull << 20;
+  };
+
+  /// Builds the index; the graph must outlive it and remain unmodified.
+  /// Fails with LimitExceeded when #scc^2 exceeds the space budget.
+  static Result<ReachabilityIndex> Build(const Graph& g,
+                                         const Options& options);
+  static Result<ReachabilityIndex> Build(const Graph& g) {
+    return Build(g, Options());
+  }
+
+  /// True iff a directed path (possibly empty) runs from `from` to `to`.
+  bool Reachable(NodeId from, NodeId to) const;
+
+  int num_components() const { return scc_.num_components; }
+  const SccResult& scc() const { return scc_; }
+
+ private:
+  ReachabilityIndex() = default;
+
+  const Graph* graph_ = nullptr;
+  SccResult scc_;
+  size_t words_per_row_ = 0;
+  std::vector<uint64_t> bits_;  // num_components rows.
+};
+
+/// Reference per-query BFS reachability (also the fallback when the index
+/// budget is exceeded and the oracle for the property tests).
+bool BfsReachable(const Graph& g, NodeId from, NodeId to);
+
+}  // namespace graphql::reach
+
+#endif  // GRAPHQL_REACH_REACHABILITY_H_

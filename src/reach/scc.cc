@@ -1,0 +1,80 @@
+#include "reach/scc.h"
+
+#include <algorithm>
+
+namespace graphql::reach {
+
+std::vector<std::vector<NodeId>> SccResult::Members() const {
+  std::vector<std::vector<NodeId>> out(num_components);
+  for (size_t v = 0; v < component.size(); ++v) {
+    out[component[v]].push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+SccResult ComputeScc(const Graph& g) {
+  size_t n = g.NumNodes();
+  SccResult result;
+  result.component.assign(n, -1);
+
+  // Iterative Tarjan with an explicit frame stack.
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t edge_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    frames.push_back(Frame{static_cast<NodeId>(root), 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      NodeId v = f.v;
+      if (f.edge_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      const auto& adj = g.neighbors(v);
+      bool descended = false;
+      while (f.edge_pos < adj.size()) {
+        NodeId w = adj[f.edge_pos].node;
+        ++f.edge_pos;
+        if (index[w] == -1) {
+          frames.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      // All edges explored: close the frame.
+      if (lowlink[v] == index[v]) {
+        int comp = result.num_components++;
+        for (;;) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          result.component[w] = comp;
+          if (w == v) break;
+        }
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        NodeId parent = frames.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace graphql::reach

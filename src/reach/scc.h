@@ -1,0 +1,28 @@
+#ifndef GRAPHQL_REACH_SCC_H_
+#define GRAPHQL_REACH_SCC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace graphql::reach {
+
+/// Strongly connected components of a directed graph (iterative Tarjan).
+/// Component ids are assigned in reverse topological order of the
+/// condensation: for every edge u -> v across components,
+/// component(u) > component(v). For undirected graphs every connected
+/// component is one SCC.
+struct SccResult {
+  /// Node id -> component id (0 .. num_components-1).
+  std::vector<int> component;
+  int num_components = 0;
+
+  /// Members of each component, in node-id order.
+  std::vector<std::vector<NodeId>> Members() const;
+};
+
+SccResult ComputeScc(const Graph& g);
+
+}  // namespace graphql::reach
+
+#endif  // GRAPHQL_REACH_SCC_H_

@@ -1,0 +1,202 @@
+#include "rel/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+namespace graphql::rel {
+
+namespace {
+
+bool ValueLess(const Value& a, const Value& b) { return a < b; }
+
+}  // namespace
+
+BPlusTree::BPlusTree(int fanout) : fanout_(fanout < 3 ? 3 : fanout) {
+  root_ = std::make_unique<Node>();
+}
+
+void BPlusTree::SplitChild(Node* parent, size_t i) {
+  Node* child = parent->children[i].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  Value separator;
+  if (child->leaf) {
+    size_t mid = child->entries.size() / 2;
+    separator = child->entries[mid].key;
+    right->entries.assign(
+        std::make_move_iterator(child->entries.begin() + mid),
+        std::make_move_iterator(child->entries.end()));
+    child->entries.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    size_t mid = child->keys.size() / 2;
+    separator = child->keys[mid];
+    right->keys.assign(std::make_move_iterator(child->keys.begin() + mid + 1),
+                       std::make_move_iterator(child->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(child->children.begin() + mid + 1),
+        std::make_move_iterator(child->children.end()));
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + i, std::move(separator));
+  parent->children.insert(parent->children.begin() + i + 1, std::move(right));
+}
+
+void BPlusTree::InsertNonFull(Node* node, const Value& key,
+                              uint64_t payload) {
+  while (!node->leaf) {
+    // Find the child for `key`: first key greater than `key` bounds it.
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                         ValueLess) -
+        node->keys.begin());
+    Node* child = node->children[i].get();
+    size_t child_size =
+        child->leaf ? child->entries.size() : child->keys.size();
+    if (child_size >= static_cast<size_t>(fanout_)) {
+      SplitChild(node, i);
+      // key >= separator: descend into the new right sibling.
+      if (!(key < node->keys[i])) ++i;
+      child = node->children[i].get();
+    }
+    node = child;
+  }
+  auto it = std::lower_bound(
+      node->entries.begin(), node->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return e.key < k; });
+  if (it != node->entries.end() && it->key == key) {
+    it->payloads.push_back(payload);
+  } else {
+    LeafEntry entry;
+    entry.key = key;
+    entry.payloads.push_back(payload);
+    node->entries.insert(it, std::move(entry));
+    ++num_keys_;
+  }
+  ++num_payloads_;
+}
+
+void BPlusTree::Insert(const Value& key, uint64_t payload) {
+  size_t root_size =
+      root_->leaf ? root_->entries.size() : root_->keys.size();
+  if (root_size >= static_cast<size_t>(fanout_)) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+    ++height_;
+  }
+  InsertNonFull(root_.get(), key, payload);
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(const Value& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                         ValueLess) -
+        node->keys.begin());
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+std::vector<uint64_t> BPlusTree::Lookup(const Value& key) const {
+  const Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return e.key < k; });
+  if (it != leaf->entries.end() && it->key == key) return it->payloads;
+  return {};
+}
+
+std::vector<uint64_t> BPlusTree::Range(const Value* lo, bool lo_inclusive,
+                                       const Value* hi,
+                                       bool hi_inclusive) const {
+  std::vector<uint64_t> out;
+  const Node* leaf;
+  if (lo != nullptr) {
+    leaf = FindLeaf(*lo);
+  } else {
+    const Node* node = root_.get();
+    while (!node->leaf) node = node->children.front().get();
+    leaf = node;
+  }
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const LeafEntry& e : leaf->entries) {
+      if (lo != nullptr) {
+        if (e.key < *lo) continue;
+        if (!lo_inclusive && e.key == *lo) continue;
+      }
+      if (hi != nullptr) {
+        if (*hi < e.key) return out;
+        if (!hi_inclusive && e.key == *hi) return out;
+      }
+      out.insert(out.end(), e.payloads.begin(), e.payloads.end());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct ValidateState {
+  int leaf_depth = -1;
+  size_t keys = 0;
+  size_t payloads = 0;
+};
+
+}  // namespace
+
+void BPlusTree::Validate() const {
+  // Invariant checks abort unconditionally (this is a test hook; NDEBUG
+  // must not silence it).
+  auto ensure = [](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "BPlusTree invariant violated: %s\n", what);
+      std::abort();
+    }
+  };
+  ValidateState state;
+  // Recursive lambda over nodes with (depth, lower/upper bound pointers).
+  std::function<void(const Node*, int, const Value*, const Value*)> walk =
+      [&](const Node* node, int depth, const Value* lo, const Value* hi) {
+        if (node->leaf) {
+          if (state.leaf_depth == -1) state.leaf_depth = depth;
+          ensure(state.leaf_depth == depth, "non-uniform leaf depth");
+          for (size_t i = 0; i < node->entries.size(); ++i) {
+            const Value& k = node->entries[i].key;
+            if (i > 0) {
+              ensure(node->entries[i - 1].key < k, "unsorted leaf keys");
+            }
+            if (lo != nullptr) ensure(!(k < *lo), "key below lower bound");
+            if (hi != nullptr) ensure(k < *hi, "key above upper bound");
+            ensure(!node->entries[i].payloads.empty(), "empty payload list");
+            ++state.keys;
+            state.payloads += node->entries[i].payloads.size();
+          }
+          return;
+        }
+        ensure(node->children.size() == node->keys.size() + 1,
+               "child/key count mismatch");
+        for (size_t i = 1; i < node->keys.size(); ++i) {
+          ensure(node->keys[i - 1] < node->keys[i], "unsorted internal keys");
+        }
+        for (size_t i = 0; i < node->children.size(); ++i) {
+          const Value* clo = i == 0 ? lo : &node->keys[i - 1];
+          const Value* chi = i == node->keys.size() ? hi : &node->keys[i];
+          walk(node->children[i].get(), depth + 1, clo, chi);
+        }
+      };
+  walk(root_.get(), 0, nullptr, nullptr);
+  ensure(state.keys == num_keys_, "key count mismatch");
+  ensure(state.payloads == num_payloads_, "payload count mismatch");
+}
+
+}  // namespace graphql::rel

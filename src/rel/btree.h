@@ -1,0 +1,80 @@
+#ifndef GRAPHQL_REL_BTREE_H_
+#define GRAPHQL_REL_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+
+namespace graphql::rel {
+
+/// In-memory B+-tree from Value keys to uint64 payloads (row ids, node
+/// ids). This is the "traditional index structure such as B-trees" the
+/// paper assumes for attribute retrieval (Section 4.2) — here with real
+/// node splits and leaf chaining, so range scans cost O(log n + answer).
+///
+/// Characteristics:
+///  - duplicate keys allowed: payloads accumulate per key entry;
+///  - insert-only (the data model is bulk-loaded, as in the paper's
+///    experiments; deletion would belong to an update story);
+///  - keys are ordered by Value's total order (null < bool < numeric <
+///    string; numerics compare numerically across int/double).
+class BPlusTree {
+ public:
+  /// `fanout` = maximum keys per node (>= 3).
+  explicit BPlusTree(int fanout = 64);
+
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  void Insert(const Value& key, uint64_t payload);
+
+  /// Payloads stored under exactly `key`.
+  std::vector<uint64_t> Lookup(const Value& key) const;
+
+  /// Payloads with key in the given interval; null bounds are unbounded.
+  /// Results follow key order (payload insertion order within a key).
+  std::vector<uint64_t> Range(const Value* lo, bool lo_inclusive,
+                              const Value* hi, bool hi_inclusive) const;
+
+  size_t num_keys() const { return num_keys_; }
+  size_t num_payloads() const { return num_payloads_; }
+  int height() const { return height_; }
+
+  /// Checks the B+-tree invariants (key ordering, node occupancy, uniform
+  /// leaf depth, leaf-chain consistency); aborts via assert on violation.
+  /// Test hook.
+  void Validate() const;
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    Value key;
+    std::vector<uint64_t> payloads;
+  };
+  struct Node {
+    bool leaf = true;
+    // Leaf payload.
+    std::vector<LeafEntry> entries;
+    Node* next = nullptr;  // Leaf chain.
+    // Internal payload: keys[i] is the smallest key in children[i+1].
+    std::vector<Value> keys;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Splits `child` (the i-th child of `parent`); parent must have room.
+  void SplitChild(Node* parent, size_t i);
+  void InsertNonFull(Node* node, const Value& key, uint64_t payload);
+  const Node* FindLeaf(const Value& key) const;
+
+  int fanout_;
+  int height_ = 1;
+  size_t num_keys_ = 0;
+  size_t num_payloads_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace graphql::rel
+
+#endif  // GRAPHQL_REL_BTREE_H_

@@ -1,0 +1,44 @@
+#include "rel/index.h"
+
+namespace graphql::rel {
+
+HashIndex HashIndex::Build(const Table& table, std::vector<int> key_columns) {
+  HashIndex index;
+  index.key_columns_ = std::move(key_columns);
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    const Row& row = table.row(r);
+    Key key;
+    key.reserve(index.key_columns_.size());
+    for (int c : index.key_columns_) key.push_back(row[c]);
+    index.buckets_[std::move(key)].push_back(r);
+  }
+  return index;
+}
+
+const std::vector<size_t>& HashIndex::Lookup(const Key& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+OrderedIndex OrderedIndex::Build(const Table& table, int key_column) {
+  OrderedIndex index;
+  index.key_column_ = key_column;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    index.tree_.Insert(table.row(r)[key_column], r);
+  }
+  return index;
+}
+
+std::vector<size_t> OrderedIndex::RangeLookup(const Value& lo,
+                                              const Value& hi) const {
+  std::vector<uint64_t> rows =
+      tree_.Range(&lo, /*lo_inclusive=*/true, &hi, /*hi_inclusive=*/true);
+  return std::vector<size_t>(rows.begin(), rows.end());
+}
+
+std::vector<size_t> OrderedIndex::ExactLookup(const Value& key) const {
+  std::vector<uint64_t> rows = tree_.Lookup(key);
+  return std::vector<size_t>(rows.begin(), rows.end());
+}
+
+}  // namespace graphql::rel

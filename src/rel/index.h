@@ -1,0 +1,76 @@
+#ifndef GRAPHQL_REL_INDEX_H_
+#define GRAPHQL_REL_INDEX_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/btree.h"
+#include "rel/table.h"
+
+namespace graphql::rel {
+
+/// Composite key over one or more columns.
+using Key = std::vector<Value>;
+
+struct KeyHash {
+  size_t operator()(const Key& k) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (const Value& v : k) h = h * 1099511628211ull ^ v.Hash();
+    return h;
+  }
+};
+
+struct KeyEq {
+  bool operator()(const Key& a, const Key& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Equality index from a composite column key to row ids; the stand-in for
+/// the B-tree indexes the paper builds on every V/E field (only equality
+/// probes are needed by the translated graph queries).
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Builds the index over `table` on `key_columns` (column positions).
+  static HashIndex Build(const Table& table, std::vector<int> key_columns);
+
+  /// Row ids with the given key (empty list if none).
+  const std::vector<size_t>& Lookup(const Key& key) const;
+
+  const std::vector<int>& key_columns() const { return key_columns_; }
+  size_t NumDistinctKeys() const { return buckets_.size(); }
+
+ private:
+  std::vector<int> key_columns_;
+  std::unordered_map<Key, std::vector<size_t>, KeyHash, KeyEq> buckets_;
+  std::vector<size_t> empty_;
+};
+
+/// Ordered index supporting range scans, backed by the rel::BPlusTree
+/// (the "B-tree index on every field" of the paper's MySQL setup).
+/// Single-column.
+class OrderedIndex {
+ public:
+  static OrderedIndex Build(const Table& table, int key_column);
+
+  /// Row ids with key in [lo, hi] inclusive.
+  std::vector<size_t> RangeLookup(const Value& lo, const Value& hi) const;
+  std::vector<size_t> ExactLookup(const Value& key) const;
+
+  const BPlusTree& tree() const { return tree_; }
+
+ private:
+  int key_column_ = -1;
+  BPlusTree tree_;
+};
+
+}  // namespace graphql::rel
+
+#endif  // GRAPHQL_REL_INDEX_H_

@@ -1,0 +1,203 @@
+#include "rel/operators.h"
+
+namespace graphql::rel {
+
+SeqScan::SeqScan(const Table* table, std::vector<RowPredicate> preds,
+                 ExecStats* stats)
+    : table_(table), preds_(std::move(preds)), stats_(stats) {}
+
+void SeqScan::Open() { pos_ = 0; }
+
+bool SeqScan::Next(Row* out) {
+  while (pos_ < table_->NumRows()) {
+    const Row& row = table_->row(pos_++);
+    ++stats_->rows_scanned;
+    stats_->predicate_evals += preds_.size();
+    if (!EvalAll(preds_, row)) continue;
+    *out = row;
+    ++stats_->rows_emitted;
+    return true;
+  }
+  return false;
+}
+
+IndexEqScan::IndexEqScan(const Table* table, const HashIndex* index, Key key,
+                         std::vector<RowPredicate> preds, ExecStats* stats)
+    : table_(table),
+      index_(index),
+      key_(std::move(key)),
+      preds_(std::move(preds)),
+      stats_(stats) {}
+
+void IndexEqScan::Open() {
+  ++stats_->index_probes;
+  bucket_ = &index_->Lookup(key_);
+  pos_ = 0;
+}
+
+bool IndexEqScan::Next(Row* out) {
+  while (pos_ < bucket_->size()) {
+    const Row& row = table_->row((*bucket_)[pos_++]);
+    ++stats_->rows_scanned;
+    stats_->predicate_evals += preds_.size();
+    if (!EvalAll(preds_, row)) continue;
+    *out = row;
+    ++stats_->rows_emitted;
+    return true;
+  }
+  return false;
+}
+
+IndexNestedLoopJoin::IndexNestedLoopJoin(OperatorPtr left, const Table* right,
+                                         const HashIndex* right_index,
+                                         std::vector<int> left_key_columns,
+                                         std::vector<RowPredicate> preds,
+                                         ExecStats* stats)
+    : left_(std::move(left)),
+      right_(right),
+      right_index_(right_index),
+      left_key_columns_(std::move(left_key_columns)),
+      preds_(std::move(preds)),
+      stats_(stats),
+      schema_(left_->schema().Concat(right->schema())) {}
+
+void IndexNestedLoopJoin::Open() {
+  left_->Open();
+  left_valid_ = false;
+  bucket_ = nullptr;
+  pos_ = 0;
+}
+
+bool IndexNestedLoopJoin::Next(Row* out) {
+  for (;;) {
+    if (!left_valid_) {
+      if (!left_->Next(&left_row_)) return false;
+      left_valid_ = true;
+      Key key;
+      key.reserve(left_key_columns_.size());
+      for (int c : left_key_columns_) key.push_back(left_row_[c]);
+      ++stats_->index_probes;
+      bucket_ = &right_index_->Lookup(key);
+      pos_ = 0;
+    }
+    while (pos_ < bucket_->size()) {
+      const Row& right_row = right_->row((*bucket_)[pos_++]);
+      ++stats_->rows_scanned;
+      // Materialize the concatenated row, then test residual predicates —
+      // the per-tuple copying an SQL engine pays on every join.
+      Row combined = left_row_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      stats_->predicate_evals += preds_.size();
+      if (!EvalAll(preds_, combined)) continue;
+      ++stats_->rows_emitted;
+      *out = std::move(combined);
+      return true;
+    }
+    left_valid_ = false;  // Bucket exhausted: advance the outer side.
+  }
+}
+
+HashJoin::HashJoin(OperatorPtr left, OperatorPtr right,
+                   std::vector<int> left_key_columns,
+                   std::vector<int> right_key_columns,
+                   std::vector<RowPredicate> preds, ExecStats* stats)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_columns_(std::move(left_key_columns)),
+      right_key_columns_(std::move(right_key_columns)),
+      preds_(std::move(preds)),
+      stats_(stats),
+      schema_(left_->schema().Concat(right_->schema())) {}
+
+void HashJoin::Open() {
+  table_.clear();
+  right_->Open();
+  Row row;
+  while (right_->Next(&row)) {
+    Key key;
+    key.reserve(right_key_columns_.size());
+    for (int c : right_key_columns_) key.push_back(row[c]);
+    table_[std::move(key)].push_back(std::move(row));
+  }
+  left_->Open();
+  left_valid_ = false;
+  bucket_ = nullptr;
+  pos_ = 0;
+}
+
+bool HashJoin::Next(Row* out) {
+  for (;;) {
+    if (!left_valid_) {
+      if (!left_->Next(&left_row_)) return false;
+      left_valid_ = true;
+      Key key;
+      key.reserve(left_key_columns_.size());
+      for (int c : left_key_columns_) key.push_back(left_row_[c]);
+      ++stats_->index_probes;
+      auto it = table_.find(key);
+      bucket_ = it == table_.end() ? nullptr : &it->second;
+      pos_ = 0;
+    }
+    while (bucket_ != nullptr && pos_ < bucket_->size()) {
+      const Row& right_row = (*bucket_)[pos_++];
+      ++stats_->rows_scanned;
+      Row combined = left_row_;
+      combined.insert(combined.end(), right_row.begin(), right_row.end());
+      stats_->predicate_evals += preds_.size();
+      if (!EvalAll(preds_, combined)) continue;
+      ++stats_->rows_emitted;
+      *out = std::move(combined);
+      return true;
+    }
+    left_valid_ = false;
+  }
+}
+
+Filter::Filter(OperatorPtr child, std::vector<RowPredicate> preds,
+               ExecStats* stats)
+    : child_(std::move(child)), preds_(std::move(preds)), stats_(stats) {}
+
+void Filter::Open() { child_->Open(); }
+
+bool Filter::Next(Row* out) {
+  Row row;
+  while (child_->Next(&row)) {
+    stats_->predicate_evals += preds_.size();
+    if (!EvalAll(preds_, row)) continue;
+    *out = std::move(row);
+    return true;
+  }
+  return false;
+}
+
+Project::Project(OperatorPtr child, std::vector<int> columns)
+    : child_(std::move(child)), columns_(std::move(columns)) {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (int c : columns_) names.push_back(child_->schema().columns()[c]);
+  schema_ = Schema(std::move(names));
+}
+
+void Project::Open() { child_->Open(); }
+
+bool Project::Next(Row* out) {
+  Row row;
+  if (!child_->Next(&row)) return false;
+  Row projected;
+  projected.reserve(columns_.size());
+  for (int c : columns_) projected.push_back(row[c]);
+  *out = std::move(projected);
+  return true;
+}
+
+std::vector<Row> Execute(Operator* root, size_t limit) {
+  std::vector<Row> out;
+  root->Open();
+  Row row;
+  while (out.size() < limit && root->Next(&row)) {
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace graphql::rel

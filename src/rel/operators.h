@@ -1,0 +1,164 @@
+#ifndef GRAPHQL_REL_OPERATORS_H_
+#define GRAPHQL_REL_OPERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rel/index.h"
+#include "rel/row_expr.h"
+#include "rel/table.h"
+
+namespace graphql::rel {
+
+/// Execution counters shared by every operator in a plan.
+struct ExecStats {
+  uint64_t rows_scanned = 0;       ///< Base-table rows touched.
+  uint64_t index_probes = 0;       ///< Hash/B-tree lookups.
+  uint64_t rows_emitted = 0;       ///< Intermediate + final rows produced.
+  uint64_t predicate_evals = 0;
+};
+
+/// Volcano-style iterator interface: Open, then Next until it returns
+/// false. Operators own their children (left-deep plans form a chain).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void Open() = 0;
+  /// Produces the next row into *out; false at end of stream.
+  virtual bool Next(Row* out) = 0;
+  virtual const Schema& schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full scan with optional residual predicates.
+class SeqScan : public Operator {
+ public:
+  SeqScan(const Table* table, std::vector<RowPredicate> preds,
+          ExecStats* stats);
+  void Open() override;
+  bool Next(Row* out) override;
+  const Schema& schema() const override { return table_->schema(); }
+
+ private:
+  const Table* table_;
+  std::vector<RowPredicate> preds_;
+  ExecStats* stats_;
+  size_t pos_ = 0;
+};
+
+/// Index equality scan: rows of `table` whose key columns equal `key`.
+class IndexEqScan : public Operator {
+ public:
+  IndexEqScan(const Table* table, const HashIndex* index, Key key,
+              std::vector<RowPredicate> preds, ExecStats* stats);
+  void Open() override;
+  bool Next(Row* out) override;
+  const Schema& schema() const override { return table_->schema(); }
+
+ private:
+  const Table* table_;
+  const HashIndex* index_;
+  Key key_;
+  std::vector<RowPredicate> preds_;
+  ExecStats* stats_;
+  const std::vector<size_t>* bucket_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// Index nested-loop join: for every left row, probes `right`'s index with
+/// a key assembled from left columns, emits left ++ right rows passing the
+/// residual predicates (evaluated on the concatenated row). This is the
+/// workhorse of the translated SQL plans — one per V_i / E_j of Figure 4.2.
+class IndexNestedLoopJoin : public Operator {
+ public:
+  IndexNestedLoopJoin(OperatorPtr left, const Table* right,
+                      const HashIndex* right_index,
+                      std::vector<int> left_key_columns,
+                      std::vector<RowPredicate> preds, ExecStats* stats);
+  void Open() override;
+  bool Next(Row* out) override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr left_;
+  const Table* right_;
+  const HashIndex* right_index_;
+  std::vector<int> left_key_columns_;
+  std::vector<RowPredicate> preds_;
+  ExecStats* stats_;
+  Schema schema_;
+
+  Row left_row_;
+  bool left_valid_ = false;
+  const std::vector<size_t>* bucket_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// Hash equi-join: materializes the build (right) input into a hash table
+/// keyed on `right_key_columns` during Open(), then streams the probe
+/// (left) input. Complements IndexNestedLoopJoin for inputs without a
+/// prebuilt index; residual predicates run on the concatenated row.
+class HashJoin : public Operator {
+ public:
+  HashJoin(OperatorPtr left, OperatorPtr right,
+           std::vector<int> left_key_columns,
+           std::vector<int> right_key_columns,
+           std::vector<RowPredicate> preds, ExecStats* stats);
+  void Open() override;
+  bool Next(Row* out) override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<int> left_key_columns_;
+  std::vector<int> right_key_columns_;
+  std::vector<RowPredicate> preds_;
+  ExecStats* stats_;
+  Schema schema_;
+
+  std::unordered_map<Key, std::vector<Row>, KeyHash, KeyEq> table_;
+  Row left_row_;
+  bool left_valid_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// Residual filter.
+class Filter : public Operator {
+ public:
+  Filter(OperatorPtr child, std::vector<RowPredicate> preds,
+         ExecStats* stats);
+  void Open() override;
+  bool Next(Row* out) override;
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<RowPredicate> preds_;
+  ExecStats* stats_;
+};
+
+/// Column projection.
+class Project : public Operator {
+ public:
+  Project(OperatorPtr child, std::vector<int> columns);
+  void Open() override;
+  bool Next(Row* out) override;
+  const Schema& schema() const override { return schema_; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<int> columns_;
+  Schema schema_;
+};
+
+/// Drains a plan into a materialized result, optionally bounded.
+std::vector<Row> Execute(Operator* root, size_t limit = SIZE_MAX);
+
+}  // namespace graphql::rel
+
+#endif  // GRAPHQL_REL_OPERATORS_H_

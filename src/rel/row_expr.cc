@@ -1,0 +1,40 @@
+#include "rel/row_expr.h"
+
+namespace graphql::rel {
+
+namespace {
+
+bool Compare(const Value& a, RowPredicate::Op op, const Value& b) {
+  switch (op) {
+    case RowPredicate::Op::kEq:
+      return a == b;
+    case RowPredicate::Op::kNe:
+      return a != b;
+    case RowPredicate::Op::kLt:
+      return a < b;
+    case RowPredicate::Op::kLe:
+      return a < b || a == b;
+    case RowPredicate::Op::kGt:
+      return b < a;
+    case RowPredicate::Op::kGe:
+      return b < a || a == b;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RowPredicate::Eval(const Row& row) const {
+  const Value& lhs = row[lhs_col];
+  const Value& rhs = kind == Kind::kColCol ? row[rhs_col] : rhs_const;
+  return Compare(lhs, op, rhs);
+}
+
+bool EvalAll(const std::vector<RowPredicate>& preds, const Row& row) {
+  for (const RowPredicate& p : preds) {
+    if (!p.Eval(row)) return false;
+  }
+  return true;
+}
+
+}  // namespace graphql::rel

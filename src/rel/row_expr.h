@@ -1,0 +1,49 @@
+#ifndef GRAPHQL_REL_ROW_EXPR_H_
+#define GRAPHQL_REL_ROW_EXPR_H_
+
+#include <memory>
+#include <vector>
+
+#include "rel/table.h"
+
+namespace graphql::rel {
+
+/// Row-level predicates of the SQL baseline's WHERE clause. Only the forms
+/// that the graph-query translation emits are modeled: column-vs-constant
+/// and column-vs-column comparisons, conjoined.
+struct RowPredicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  enum class Kind { kColConst, kColCol };
+  Kind kind = Kind::kColConst;
+  Op op = Op::kEq;
+  int lhs_col = -1;
+  int rhs_col = -1;  // kColCol
+  Value rhs_const;   // kColConst
+
+  static RowPredicate ColConst(int col, Op op, Value v) {
+    RowPredicate p;
+    p.kind = Kind::kColConst;
+    p.lhs_col = col;
+    p.op = op;
+    p.rhs_const = std::move(v);
+    return p;
+  }
+  static RowPredicate ColCol(int a, Op op, int b) {
+    RowPredicate p;
+    p.kind = Kind::kColCol;
+    p.lhs_col = a;
+    p.op = op;
+    p.rhs_col = b;
+    return p;
+  }
+
+  bool Eval(const Row& row) const;
+};
+
+/// Evaluates a conjunction of predicates.
+bool EvalAll(const std::vector<RowPredicate>& preds, const Row& row);
+
+}  // namespace graphql::rel
+
+#endif  // GRAPHQL_REL_ROW_EXPR_H_

@@ -1,0 +1,237 @@
+#include "rel/sql_plan.h"
+
+#include <chrono>
+#include <memory>
+
+namespace graphql::rel {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Pattern-node label constraint, or empty when the node is a wildcard.
+/// Returns Unsupported if the node carries anything beyond a label.
+Result<std::string> NodeLabelConstraint(const algebra::GraphPattern& pattern,
+                                        NodeId u) {
+  const AttrTuple& attrs = pattern.graph().node(u).attrs;
+  if (attrs.has_tag() || pattern.NodePredCount(u) > 0) {
+    return Status::Unsupported(
+        "SQL baseline supports label-only node constraints");
+  }
+  std::string label;
+  for (const auto& [k, v] : attrs.attrs()) {
+    if (k != "label" || !v.is_string()) {
+      return Status::Unsupported(
+          "SQL baseline supports label-only node constraints");
+    }
+    label = v.AsString();
+  }
+  return label;
+}
+
+}  // namespace
+
+SqlGraphDatabase SqlGraphDatabase::FromGraph(const Graph& g) {
+  SqlGraphDatabase db;
+  db.graph_ = &g;
+  db.v_ = Table("V", Schema({"vid", "label"}));
+  db.e_ = Table("E", Schema({"vid1", "vid2"}));
+  for (size_t v = 0; v < g.NumNodes(); ++v) {
+    std::string_view label = g.Label(static_cast<NodeId>(v));
+    Row row = {Value(static_cast<int64_t>(v)), Value(std::string(label))};
+    (void)db.v_.Insert(std::move(row));
+  }
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    const Graph::Edge& ed = g.edge(static_cast<EdgeId>(e));
+    (void)db.e_.Insert({Value(static_cast<int64_t>(ed.src)),
+                        Value(static_cast<int64_t>(ed.dst))});
+    if (!g.directed() && ed.src != ed.dst) {
+      (void)db.e_.Insert({Value(static_cast<int64_t>(ed.dst)),
+                          Value(static_cast<int64_t>(ed.src))});
+    }
+  }
+  db.v_by_vid_ = HashIndex::Build(db.v_, {0});
+  db.v_by_label_ = HashIndex::Build(db.v_, {1});
+  db.e_by_vid1_ = HashIndex::Build(db.e_, {0});
+  db.e_by_vid2_ = HashIndex::Build(db.e_, {1});
+  db.e_by_both_ = HashIndex::Build(db.e_, {0, 1});
+  return db;
+}
+
+Result<OperatorPtr> SqlGraphDatabase::BuildPlan(
+    const algebra::GraphPattern& pattern, ExecStats* stats) const {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  if (k == 0) {
+    return Status::Unsupported("SQL baseline needs a non-empty pattern");
+  }
+  if (pattern.has_global_pred()) {
+    return Status::Unsupported(
+        "SQL baseline supports label-only constraints (no residual "
+        "graph-wide predicate)");
+  }
+  for (size_t e = 0; e < p.NumEdges(); ++e) {
+    const AttrTuple& attrs = p.edge(static_cast<EdgeId>(e)).attrs;
+    if (!attrs.empty() || pattern.EdgeHasPredicates(static_cast<EdgeId>(e))) {
+      return Status::Unsupported(
+          "SQL baseline supports constraint-free edges");
+    }
+  }
+
+  // Column position of each already-joined pattern node's vid.
+  std::vector<int> node_col(k, -1);
+
+  GQL_ASSIGN_OR_RETURN(std::string label0, NodeLabelConstraint(pattern, 0));
+  OperatorPtr plan;
+  if (!label0.empty()) {
+    plan = std::make_unique<IndexEqScan>(&v_, &v_by_label_,
+                                         Key{Value(label0)},
+                                         std::vector<RowPredicate>{}, stats);
+  } else {
+    plan = std::make_unique<SeqScan>(&v_, std::vector<RowPredicate>{}, stats);
+  }
+  node_col[0] = 0;  // (vid, label)
+  int width = 2;
+
+  // Self-loops at node 0.
+  for (size_t e = 0; e < p.NumEdges(); ++e) {
+    const Graph::Edge& pe = p.edge(static_cast<EdgeId>(e));
+    if (pe.src == 0 && pe.dst == 0) {
+      plan = std::make_unique<IndexNestedLoopJoin>(
+          std::move(plan), &e_, &e_by_both_,
+          std::vector<int>{node_col[0], node_col[0]},
+          std::vector<RowPredicate>{}, stats);
+      width += 2;
+    }
+  }
+
+  for (size_t u = 1; u < k; ++u) {
+    NodeId pu = static_cast<NodeId>(u);
+    // Pattern edges from u to already-joined nodes, in edge order;
+    // self-loops at u are enforced after u's vid is bound.
+    std::vector<EdgeId> back;
+    std::vector<EdgeId> self_loops;
+    for (size_t e = 0; e < p.NumEdges(); ++e) {
+      const Graph::Edge& pe = p.edge(static_cast<EdgeId>(e));
+      NodeId a = pe.src;
+      NodeId b = pe.dst;
+      if (a == pu && b == pu) {
+        self_loops.push_back(static_cast<EdgeId>(e));
+      } else if (a == pu && node_col[b] >= 0) {
+        back.push_back(static_cast<EdgeId>(e));
+      } else if (b == pu && node_col[a] >= 0) {
+        back.push_back(static_cast<EdgeId>(e));
+      }
+    }
+    if (back.empty()) {
+      return Status::Unsupported(
+          "SQL baseline supports connected patterns joined in declaration "
+          "order (node " +
+          std::to_string(u) + " has no edge to earlier nodes)");
+    }
+
+    // First back edge: join E, then join V to bind node u.
+    {
+      const Graph::Edge& pe = p.edge(back[0]);
+      bool u_is_dst = pe.dst == pu;
+      NodeId w = u_is_dst ? pe.src : pe.dst;
+      // For directed graphs the probe must respect edge direction; for
+      // undirected graphs E holds both orientations so vid1 probing works.
+      const HashIndex* eidx = u_is_dst ? &e_by_vid1_ : &e_by_vid2_;
+      int probe_col = node_col[w];
+      plan = std::make_unique<IndexNestedLoopJoin>(
+          std::move(plan), &e_, eidx, std::vector<int>{probe_col},
+          std::vector<RowPredicate>{}, stats);
+      int e_vid1 = width;
+      int e_vid2 = width + 1;
+      width += 2;
+      int u_vid_from_e = u_is_dst ? e_vid2 : e_vid1;
+
+      GQL_ASSIGN_OR_RETURN(std::string label, NodeLabelConstraint(pattern, pu));
+      std::vector<RowPredicate> vpreds;
+      if (!label.empty()) {
+        vpreds.push_back(
+            RowPredicate::ColConst(width + 1, RowPredicate::Op::kEq,
+                                   Value(label)));
+      }
+      // Injectivity: u's vid differs from every earlier node's vid.
+      for (size_t w2 = 0; w2 < k; ++w2) {
+        if (node_col[w2] >= 0) {
+          vpreds.push_back(RowPredicate::ColCol(
+              width, RowPredicate::Op::kNe, node_col[w2]));
+        }
+      }
+      plan = std::make_unique<IndexNestedLoopJoin>(
+          std::move(plan), &v_, &v_by_vid_, std::vector<int>{u_vid_from_e},
+          std::move(vpreds), stats);
+      node_col[u] = width;  // V row starts here: (vid, label)
+      width += 2;
+    }
+
+    // Remaining back edges: one E join each (composite-key probe).
+    for (size_t i = 1; i < back.size(); ++i) {
+      const Graph::Edge& pe = p.edge(back[i]);
+      bool u_is_src = pe.src == pu;
+      NodeId w = u_is_src ? pe.dst : pe.src;
+      std::vector<int> key_cols;
+      if (u_is_src) {
+        key_cols = {node_col[u], node_col[w]};  // (vid1, vid2)
+      } else {
+        key_cols = {node_col[w], node_col[u]};
+      }
+      plan = std::make_unique<IndexNestedLoopJoin>(
+          std::move(plan), &e_, &e_by_both_, key_cols,
+          std::vector<RowPredicate>{}, stats);
+      width += 2;
+    }
+
+    // Self-loops at u.
+    for (size_t i = 0; i < self_loops.size(); ++i) {
+      plan = std::make_unique<IndexNestedLoopJoin>(
+          std::move(plan), &e_, &e_by_both_,
+          std::vector<int>{node_col[u], node_col[u]},
+          std::vector<RowPredicate>{}, stats);
+      width += 2;
+    }
+  }
+
+  std::vector<int> out_cols;
+  out_cols.reserve(k);
+  for (size_t u = 0; u < k; ++u) out_cols.push_back(node_col[u]);
+  plan = std::make_unique<Project>(std::move(plan), std::move(out_cols));
+  return plan;
+}
+
+Result<std::vector<std::vector<NodeId>>> SqlGraphDatabase::MatchPattern(
+    const algebra::GraphPattern& pattern, size_t max_results,
+    QueryStats* stats) const {
+  ExecStats local_stats;
+  ExecStats* exec = stats != nullptr ? &stats->exec : &local_stats;
+  int64_t t0 = NowMicros();
+  GQL_ASSIGN_OR_RETURN(OperatorPtr plan, BuildPlan(pattern, exec));
+  std::vector<Row> rows = Execute(plan.get(), max_results);
+  int64_t t1 = NowMicros();
+
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<NodeId> mapping;
+    mapping.reserve(row.size());
+    for (const Value& v : row) {
+      mapping.push_back(static_cast<NodeId>(v.AsInt()));
+    }
+    out.push_back(std::move(mapping));
+  }
+  if (stats != nullptr) {
+    stats->us_total = t1 - t0;
+    stats->num_results = out.size();
+    stats->truncated = out.size() >= max_results && max_results != SIZE_MAX;
+  }
+  return out;
+}
+
+}  // namespace graphql::rel

@@ -1,0 +1,29 @@
+#include "rel/table.h"
+
+namespace graphql::rel {
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<std::string> cols = columns_;
+  cols.insert(cols.end(), other.columns_.begin(), other.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) +
+        " does not match schema width " + std::to_string(schema_.size()) +
+        " of table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+}  // namespace graphql::rel

@@ -1,0 +1,64 @@
+#ifndef GRAPHQL_REL_TABLE_H_
+#define GRAPHQL_REL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace graphql::rel {
+
+/// A materialized relational row. The SQL-baseline engine carries rows by
+/// value through its operators — the per-tuple copying is part of what the
+/// paper's comparison measures.
+using Row = std::vector<Value>;
+
+/// Column-name schema with positional lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Position of `name`, or -1 if absent.
+  int IndexOf(std::string_view name) const;
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+
+  /// Schema of a join result: this schema followed by `other`'s columns,
+  /// each prefixed to stay unique (e.g. "E1.vid1").
+  Schema Concat(const Schema& other) const;
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// A heap table: schema plus row storage. Insertion-ordered, append-only
+/// (the engine models the paper's MyISAM setup: bulk-loaded, read-only
+/// during querying).
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a row; the row width must match the schema.
+  Status Insert(Row row);
+
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace graphql::rel
+
+#endif  // GRAPHQL_REL_TABLE_H_

@@ -1,0 +1,38 @@
+#include "workload/dblp.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace graphql::workload {
+
+GraphCollection MakeDblpCollection(const DblpOptions& options, Rng* rng) {
+  GraphCollection out("DBLP");
+  for (size_t p = 0; p < options.num_papers; ++p) {
+    Graph paper("paper" + std::to_string(p));
+    paper.attrs().set_tag("inproceedings");
+    paper.attrs().Set(
+        "booktitle",
+        Value(options.venues[rng->NextBounded(options.venues.size())]));
+    paper.attrs().Set(
+        "year", Value(rng->NextInt(options.min_year, options.max_year)));
+    paper.attrs().Set("title", Value("Title" + std::to_string(p)));
+
+    size_t count = static_cast<size_t>(
+        rng->NextInt(static_cast<int64_t>(options.min_authors_per_paper),
+                     static_cast<int64_t>(options.max_authors_per_paper)));
+    std::unordered_set<size_t> chosen;
+    while (chosen.size() < count && chosen.size() < options.num_authors) {
+      chosen.insert(rng->NextBounded(options.num_authors));
+    }
+    size_t i = 0;
+    for (size_t author : chosen) {
+      AttrTuple attrs("author");
+      attrs.Set("name", Value("A" + std::to_string(author)));
+      paper.AddNode("v" + std::to_string(++i), std::move(attrs));
+    }
+    out.Add(std::move(paper));
+  }
+  return out;
+}
+
+}  // namespace graphql::workload

@@ -1,0 +1,30 @@
+#ifndef GRAPHQL_WORKLOAD_DBLP_H_
+#define GRAPHQL_WORKLOAD_DBLP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/collection.h"
+
+namespace graphql::workload {
+
+struct DblpOptions {
+  size_t num_papers = 100;
+  size_t num_authors = 40;
+  size_t min_authors_per_paper = 1;
+  size_t max_authors_per_paper = 4;
+  std::vector<std::string> venues = {"SIGMOD", "VLDB", "ICDE", "KDD"};
+  int min_year = 2000;
+  int max_year = 2008;
+};
+
+/// A DBLP-like collection: one graph per paper, carrying `booktitle` and
+/// `year` graph attributes and one `<author name="...">` node per author
+/// (Figure 4.7 / Figure 4.13 shape). Used by the co-authorship example and
+/// the FLWR tests.
+GraphCollection MakeDblpCollection(const DblpOptions& options, Rng* rng);
+
+}  // namespace graphql::workload
+
+#endif  // GRAPHQL_WORKLOAD_DBLP_H_

@@ -1,0 +1,43 @@
+#include "workload/erdos_renyi.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace graphql::workload {
+
+Graph MakeErdosRenyi(const ErdosRenyiOptions& options, Rng* rng) {
+  Graph g("synthetic");
+  g.Reserve(options.num_nodes, options.num_edges);
+  ZipfSampler zipf(options.num_labels, options.zipf_alpha);
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    AttrTuple attrs;
+    attrs.Set("label",
+              Value("L" + std::to_string(zipf.Sample(rng))));
+    g.AddNode("", std::move(attrs));
+  }
+  std::unordered_set<uint64_t> seen;
+  size_t added = 0;
+  // Cap the rejection loop: a simple graph of n nodes cannot hold more
+  // than n(n-1)/2 edges; give up after a generous number of retries.
+  size_t attempts = 0;
+  size_t max_attempts = options.num_edges * 50 + 1000;
+  while (added < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId a = static_cast<NodeId>(rng->NextBounded(options.num_nodes));
+    NodeId b = static_cast<NodeId>(rng->NextBounded(options.num_nodes));
+    if (options.simple) {
+      if (a == b) continue;
+      NodeId lo = a < b ? a : b;
+      NodeId hi = a < b ? b : a;
+      uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+          static_cast<uint32_t>(hi);
+      if (!seen.insert(key).second) continue;
+    }
+    g.AddEdge(a, b);
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace graphql::workload

@@ -1,0 +1,30 @@
+#ifndef GRAPHQL_WORKLOAD_ERDOS_RENYI_H_
+#define GRAPHQL_WORKLOAD_ERDOS_RENYI_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace graphql::workload {
+
+struct ErdosRenyiOptions {
+  size_t num_nodes = 10000;
+  size_t num_edges = 50000;  ///< The paper uses m = 5n (Section 5.2).
+  /// Number of distinct labels; the label of a node is drawn from a Zipf
+  /// distribution ("probability of the x-th label is proportional to
+  /// x^-1", Section 5.2).
+  size_t num_labels = 100;
+  double zipf_alpha = 1.0;
+  /// Reject self-loops and duplicate edges (keeps the graph simple, as the
+  /// evaluation assumes).
+  bool simple = true;
+};
+
+/// Generates the paper's synthetic workload graph: n nodes, m uniformly
+/// random edges, Zipf-distributed labels "L0".."L<k-1>".
+Graph MakeErdosRenyi(const ErdosRenyiOptions& options, Rng* rng);
+
+}  // namespace graphql::workload
+
+#endif  // GRAPHQL_WORKLOAD_ERDOS_RENYI_H_

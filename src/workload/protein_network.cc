@@ -1,0 +1,98 @@
+#include "workload/protein_network.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace graphql::workload {
+
+namespace {
+
+uint64_t EdgeKey(NodeId a, NodeId b) {
+  NodeId lo = a < b ? a : b;
+  NodeId hi = a < b ? b : a;
+  return (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+         static_cast<uint32_t>(hi);
+}
+
+}  // namespace
+
+Graph MakeProteinNetwork(const ProteinNetworkOptions& options, Rng* rng) {
+  Graph g("yeast-ppi");
+  g.Reserve(options.num_nodes, options.num_edges);
+  ZipfSampler zipf(options.num_labels, options.label_zipf_alpha);
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    AttrTuple attrs;
+    attrs.Set("label", Value("GO" + std::to_string(zipf.Sample(rng))));
+    attrs.Set("protein", Value("Y" + std::to_string(i)));
+    g.AddNode("", std::move(attrs));
+  }
+
+  std::unordered_set<uint64_t> seen;
+  size_t added = 0;
+
+  auto add_edge = [&](NodeId a, NodeId b) {
+    if (a == b || added >= options.num_edges) return false;
+    if (!seen.insert(EdgeKey(a, b)).second) return false;
+    g.AddEdge(a, b);
+    ++added;
+    return true;
+  };
+
+  // Protein complexes: random fully-connected subsets. They give the
+  // network its clustering (the source of clique-query answers).
+  for (size_t c = 0; c < options.num_complexes; ++c) {
+    size_t size = static_cast<size_t>(
+        rng->NextInt(static_cast<int64_t>(options.complex_min_size),
+                     static_cast<int64_t>(options.complex_max_size)));
+    std::unordered_set<NodeId> members;
+    while (members.size() < size) {
+      members.insert(
+          static_cast<NodeId>(rng->NextBounded(options.num_nodes)));
+    }
+    std::vector<NodeId> list(members.begin(), members.end());
+    // Theme label: complex members share function with some probability.
+    std::string theme = "GO" + std::to_string(zipf.Sample(rng));
+    for (NodeId m : list) {
+      if (rng->NextDouble() < options.complex_theme_prob) {
+        g.SetLabel(m, theme);
+      }
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        add_edge(list[i], list[j]);
+      }
+    }
+  }
+
+  // Background interactions: preferential attachment over the repeated-
+  // endpoint bag (heavy-tailed degrees).
+  std::vector<NodeId> bag;
+  bag.reserve(options.num_edges * 2);
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    bag.push_back(g.edge(static_cast<EdgeId>(e)).src);
+    bag.push_back(g.edge(static_cast<EdgeId>(e)).dst);
+  }
+  size_t attempts = 0;
+  size_t max_attempts = options.num_edges * 100 + 1000;
+  while (added < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId a = static_cast<NodeId>(rng->NextBounded(options.num_nodes));
+    NodeId b;
+    bool prefer = !bag.empty() &&
+                  rng->NextDouble() <
+                      options.attachment_bias / (options.attachment_bias + 1.0);
+    if (prefer) {
+      b = bag[rng->NextBounded(bag.size())];
+    } else {
+      b = static_cast<NodeId>(rng->NextBounded(options.num_nodes));
+    }
+    if (add_edge(a, b)) {
+      bag.push_back(a);
+      bag.push_back(b);
+    }
+  }
+  return g;
+}
+
+}  // namespace graphql::workload

@@ -1,0 +1,48 @@
+#ifndef GRAPHQL_WORKLOAD_PROTEIN_NETWORK_H_
+#define GRAPHQL_WORKLOAD_PROTEIN_NETWORK_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace graphql::workload {
+
+struct ProteinNetworkOptions {
+  /// Defaults reproduce the shape of the paper's yeast protein interaction
+  /// network (Section 5.1): 3112 proteins, 12519 interactions, 183
+  /// distinct high-level Gene Ontology labels.
+  size_t num_nodes = 3112;
+  size_t num_edges = 12519;
+  size_t num_labels = 183;
+  /// Skew of the label distribution. GO-term annotations are heavily
+  /// skewed toward a few broad categories; Zipf(0.9) matches the paper's
+  /// "top 40 most frequent labels" setup well.
+  double label_zipf_alpha = 0.9;
+  /// Preferential-attachment strength: the second endpoint of each new
+  /// edge is degree-proportional with probability bias/(bias+1), uniform
+  /// otherwise. The default yields hub degrees >100 at mean degree 8,
+  /// matching the heavy tail of real PPI networks.
+  double attachment_bias = 3.0;
+  /// Protein complexes: fully-connected subsets of proteins, the source of
+  /// the real network's high clustering (the paper's clique queries up to
+  /// size 7 have answers only because such dense complexes exist). Their
+  /// edges count toward num_edges; the remainder is preferential wiring.
+  size_t num_complexes = 200;
+  size_t complex_min_size = 3;
+  size_t complex_max_size = 9;
+  /// Probability that a complex member adopts the complex's "theme" label
+  /// (GO annotations correlate within a complex); recurring themes across
+  /// complexes create the high-hit query class of Section 5.1.
+  double complex_theme_prob = 0.5;
+};
+
+/// Synthetic stand-in for the paper's yeast PPI dataset: same node/edge
+/// count, heavy-tailed degrees via preferential attachment, Zipf labels.
+/// See DESIGN.md (Substitutions) for why this preserves the experiments'
+/// behaviour.
+Graph MakeProteinNetwork(const ProteinNetworkOptions& options, Rng* rng);
+
+}  // namespace graphql::workload
+
+#endif  // GRAPHQL_WORKLOAD_PROTEIN_NETWORK_H_

@@ -1,0 +1,144 @@
+#include "workload/queries.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace graphql::workload {
+
+Graph MakeCliqueQuery(size_t size, const std::vector<std::string>& labels,
+                      Rng* rng) {
+  Graph q("clique");
+  q.Reserve(size, size * (size - 1) / 2);
+  for (size_t i = 0; i < size; ++i) {
+    AttrTuple attrs;
+    attrs.Set("label", Value(labels[rng->NextBounded(labels.size())]));
+    q.AddNode("u" + std::to_string(i), std::move(attrs));
+  }
+  for (size_t i = 0; i < size; ++i) {
+    for (size_t j = i + 1; j < size; ++j) {
+      q.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return q;
+}
+
+Result<Graph> ExtractConnectedQuery(const Graph& data, size_t size, Rng* rng,
+                                    size_t max_seed_attempts) {
+  if (data.NumNodes() == 0 || size == 0) {
+    return Status::InvalidArgument("cannot extract a query of size 0");
+  }
+  for (size_t attempt = 0; attempt < max_seed_attempts; ++attempt) {
+    NodeId seed = static_cast<NodeId>(rng->NextBounded(data.NumNodes()));
+    std::vector<NodeId> members = {seed};
+    std::unordered_set<NodeId> in_set = {seed};
+    std::vector<NodeId> frontier;
+    for (const Graph::Adj& a : data.neighbors(seed)) {
+      frontier.push_back(a.node);
+    }
+    while (members.size() < size && !frontier.empty()) {
+      size_t pick = rng->NextBounded(frontier.size());
+      NodeId next = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (!in_set.insert(next).second) continue;
+      members.push_back(next);
+      for (const Graph::Adj& a : data.neighbors(next)) {
+        if (!in_set.count(a.node)) frontier.push_back(a.node);
+      }
+    }
+    if (members.size() < size) continue;  // Seed's component too small.
+
+    Graph q("extracted");
+    q.Reserve(size, size * 2);
+    std::unordered_map<NodeId, NodeId> local;
+    for (size_t i = 0; i < members.size(); ++i) {
+      AttrTuple attrs;
+      std::string_view label = data.Label(members[i]);
+      if (!label.empty()) attrs.Set("label", Value(std::string(label)));
+      local[members[i]] =
+          q.AddNode("u" + std::to_string(i), std::move(attrs));
+    }
+    // Induced edges (each once).
+    for (size_t i = 0; i < members.size(); ++i) {
+      NodeId x = members[i];
+      for (const Graph::Adj& a : data.neighbors(x)) {
+        auto it = local.find(a.node);
+        if (it == local.end()) continue;
+        const Graph::Edge& e = data.edge(a.edge);
+        bool emit = data.directed() || e.src == x;
+        if (emit) q.AddEdge(local[x], it->second);
+      }
+    }
+    return q;
+  }
+  return Status::InvalidArgument(
+      "no connected subgraph of size " + std::to_string(size) +
+      " found after " + std::to_string(max_seed_attempts) + " seeds");
+}
+
+Result<Graph> ExtractCliqueQuery(const Graph& data, size_t size, Rng* rng,
+                                 size_t max_seed_attempts) {
+  if (size == 0 || data.NumNodes() == 0) {
+    return Status::InvalidArgument("cannot extract a clique of size 0");
+  }
+  for (size_t attempt = 0; attempt < max_seed_attempts; ++attempt) {
+    std::vector<NodeId> clique;
+    std::vector<NodeId> candidates;
+    if (size == 1 || data.NumEdges() == 0) {
+      clique.push_back(
+          static_cast<NodeId>(rng->NextBounded(data.NumNodes())));
+      if (size > 1) continue;
+    } else {
+      // Seed with a random edge, then greedily grow by common neighbors.
+      EdgeId e = static_cast<EdgeId>(rng->NextBounded(data.NumEdges()));
+      NodeId u = data.edge(e).src;
+      NodeId v = data.edge(e).dst;
+      if (u == v) continue;
+      clique = {u, v};
+      for (const Graph::Adj& a : data.neighbors(u)) {
+        if (a.node != v && a.node != u && data.HasEdgeBetween(a.node, v)) {
+          candidates.push_back(a.node);
+        }
+      }
+      while (clique.size() < size && !candidates.empty()) {
+        size_t pick = rng->NextBounded(candidates.size());
+        NodeId next = candidates[pick];
+        candidates[pick] = candidates.back();
+        candidates.pop_back();
+        clique.push_back(next);
+        // Keep only candidates adjacent to the new member too.
+        std::vector<NodeId> filtered;
+        for (NodeId c : candidates) {
+          if (c != next && data.HasEdgeBetween(c, next)) {
+            filtered.push_back(c);
+          }
+        }
+        candidates = std::move(filtered);
+      }
+      if (clique.size() < size) continue;
+    }
+
+    // Build the query: a complete graph carrying the members' labels
+    // (shuffled, so the query is not a trivially ordered copy).
+    rng->Shuffle(&clique);
+    Graph q("clique");
+    q.Reserve(size, size * (size - 1) / 2);
+    for (size_t i = 0; i < size; ++i) {
+      AttrTuple attrs;
+      std::string_view label = data.Label(clique[i]);
+      if (!label.empty()) attrs.Set("label", Value(std::string(label)));
+      q.AddNode("u" + std::to_string(i), std::move(attrs));
+    }
+    for (size_t i = 0; i < size; ++i) {
+      for (size_t j = i + 1; j < size; ++j) {
+        q.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+    return q;
+  }
+  return Status::InvalidArgument(
+      "no clique of size " + std::to_string(size) + " found after " +
+      std::to_string(max_seed_attempts) + " seeds");
+}
+
+}  // namespace graphql::workload

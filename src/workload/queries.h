@@ -1,0 +1,39 @@
+#ifndef GRAPHQL_WORKLOAD_QUERIES_H_
+#define GRAPHQL_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace graphql::workload {
+
+/// A clique query of the given size with labels drawn uniformly from
+/// `labels` (the paper draws from the 40 most frequent labels of the
+/// protein network, Section 5.1). Returns the pattern's motif graph; wrap
+/// with algebra::GraphPattern::FromGraph.
+Graph MakeCliqueQuery(size_t size, const std::vector<std::string>& labels,
+                      Rng* rng);
+
+/// A query extracted from the data graph: a random connected induced
+/// subgraph of `size` nodes grown from a random seed (Section 5.2's
+/// synthetic query generator). Pattern nodes copy the data nodes' labels.
+/// Fails with InvalidArgument when the data graph has no connected
+/// component of the requested size reachable from sampled seeds.
+Result<Graph> ExtractConnectedQuery(const Graph& data, size_t size, Rng* rng,
+                                    size_t max_seed_attempts = 64);
+
+/// A clique query whose labels come from an actual clique of the data
+/// graph (found by randomized greedy growth from a random edge), so the
+/// query is guaranteed to have at least one answer — the paper's protocol
+/// discards answer-less queries, and random label combinations at clique
+/// sizes >= 4 virtually never have answers on a synthetic network. Fails
+/// with InvalidArgument when no clique of the size is found.
+Result<Graph> ExtractCliqueQuery(const Graph& data, size_t size, Rng* rng,
+                                 size_t max_seed_attempts = 256);
+
+}  // namespace graphql::workload
+
+#endif  // GRAPHQL_WORKLOAD_QUERIES_H_

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "algebra/ops.h"
+#include "lang/parser.h"
+#include "workload/dblp.h"
+
+namespace graphql::algebra {
+namespace {
+
+GraphCollection Papers() {
+  GraphCollection c;
+  struct Row {
+    const char* venue;
+    int year;
+  };
+  for (Row r : std::vector<Row>{{"SIGMOD", 2006},
+                                {"VLDB", 2004},
+                                {"SIGMOD", 2008},
+                                {"ICDE", 2007}}) {
+    Graph g("paper");
+    g.attrs().Set("venue", Value(r.venue));
+    g.attrs().Set("year", Value(int64_t{r.year}));
+    g.AddNode("v");
+    c.Add(std::move(g));
+  }
+  // One member without a year (tests null handling).
+  Graph g("odd");
+  g.attrs().Set("venue", Value("ARXIV"));
+  g.AddNode("v");
+  c.Add(std::move(g));
+  return c;
+}
+
+lang::ExprPtr Key(const char* src) {
+  auto e = lang::Parser::ParseExpression(src);
+  EXPECT_TRUE(e.ok()) << e.status();
+  return *e;
+}
+
+TEST(OrderByTest, AscendingByYear) {
+  auto sorted = OrderBy(Papers(), Key("year"));
+  ASSERT_TRUE(sorted.ok()) << sorted.status();
+  ASSERT_EQ(sorted->size(), 5u);
+  EXPECT_EQ((*sorted)[0].attrs().GetOrNull("year"), Value(int64_t{2004}));
+  EXPECT_EQ((*sorted)[3].attrs().GetOrNull("year"), Value(int64_t{2008}));
+  // Null key sorts last.
+  EXPECT_EQ((*sorted)[4].attrs().GetOrNull("venue"), Value("ARXIV"));
+}
+
+TEST(OrderByTest, DescendingKeepsNullsLast) {
+  auto sorted = OrderBy(Papers(), Key("year"), /*descending=*/true);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted)[0].attrs().GetOrNull("year"), Value(int64_t{2008}));
+  EXPECT_EQ((*sorted)[4].attrs().GetOrNull("venue"), Value("ARXIV"));
+}
+
+TEST(OrderByTest, StableForEqualKeys) {
+  auto sorted = OrderBy(Papers(), Key("venue"));
+  ASSERT_TRUE(sorted.ok());
+  // The two SIGMOD papers keep input order (2006 before 2008).
+  std::vector<int64_t> sigmod_years;
+  for (const Graph& g : *sorted) {
+    if (g.attrs().GetOrNull("venue") == Value("SIGMOD")) {
+      sigmod_years.push_back(g.attrs().GetOrNull("year").AsInt());
+    }
+  }
+  EXPECT_EQ(sigmod_years, (std::vector<int64_t>{2006, 2008}));
+}
+
+TEST(OrderByTest, ArithmeticKey) {
+  auto sorted = OrderBy(Papers(), Key("0 - year"));
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted)[0].attrs().GetOrNull("year"), Value(int64_t{2008}));
+}
+
+TEST(OrderByTest, NullKeyExprRejected) {
+  EXPECT_FALSE(OrderBy(Papers(), nullptr).ok());
+}
+
+TEST(AggregateTest, CountSumMinMaxAvg) {
+  auto agg = Aggregate(Papers(), Key("year"));
+  ASSERT_TRUE(agg.ok()) << agg.status();
+  const AttrTuple& t = agg->node(0).attrs;
+  EXPECT_EQ(t.GetOrNull("count"), Value(int64_t{4}));  // Null excluded.
+  EXPECT_DOUBLE_EQ(t.GetOrNull("sum").AsDouble(), 2006 + 2004 + 2008 + 2007);
+  EXPECT_EQ(t.GetOrNull("min"), Value(int64_t{2004}));
+  EXPECT_EQ(t.GetOrNull("max"), Value(int64_t{2008}));
+  EXPECT_DOUBLE_EQ(t.GetOrNull("avg").AsDouble(), 8025.0 / 4);
+}
+
+TEST(AggregateTest, StringValuesGetMinMaxOnly) {
+  auto agg = Aggregate(Papers(), Key("venue"));
+  ASSERT_TRUE(agg.ok());
+  const AttrTuple& t = agg->node(0).attrs;
+  EXPECT_EQ(t.GetOrNull("count"), Value(int64_t{5}));
+  EXPECT_EQ(t.GetOrNull("min"), Value("ARXIV"));
+  EXPECT_EQ(t.GetOrNull("max"), Value("VLDB"));
+  EXPECT_FALSE(t.Has("sum"));
+}
+
+TEST(AggregateTest, EmptyCollection) {
+  GraphCollection empty;
+  auto agg = Aggregate(empty, Key("year"));
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->node(0).attrs.GetOrNull("count"), Value(int64_t{0}));
+  EXPECT_FALSE(agg->node(0).attrs.Has("min"));
+}
+
+TEST(GroupCountTest, GroupsByVenue) {
+  auto groups = GroupCount(Papers(), Key("venue"));
+  ASSERT_TRUE(groups.ok()) << groups.status();
+  ASSERT_EQ(groups->size(), 4u);
+  // First-appearance order: SIGMOD, VLDB, ICDE, ARXIV.
+  EXPECT_EQ((*groups)[0].node(0).attrs.GetOrNull("key"), Value("SIGMOD"));
+  EXPECT_EQ((*groups)[0].node(0).attrs.GetOrNull("count"),
+            Value(int64_t{2}));
+  EXPECT_EQ((*groups)[1].node(0).attrs.GetOrNull("key"), Value("VLDB"));
+  EXPECT_EQ((*groups)[3].node(0).attrs.GetOrNull("key"), Value("ARXIV"));
+}
+
+TEST(GroupCountTest, NullKeysFormTheirOwnGroup) {
+  auto groups = GroupCount(Papers(), Key("year"));
+  ASSERT_TRUE(groups.ok());
+  // 4 distinct years + one null group.
+  EXPECT_EQ(groups->size(), 5u);
+  bool found_null = false;
+  for (const Graph& g : *groups) {
+    if (g.node(0).attrs.GetOrNull("key").is_null()) {
+      found_null = true;
+      EXPECT_EQ(g.node(0).attrs.GetOrNull("count"), Value(int64_t{1}));
+    }
+  }
+  EXPECT_TRUE(found_null);
+}
+
+TEST(GroupCountTest, ComposesWithOrderBy) {
+  // "Venues by paper count, descending" — the OLAP-ish pipeline.
+  auto groups = GroupCount(Papers(), Key("venue"));
+  ASSERT_TRUE(groups.ok());
+  // GroupCount emits single-node graphs; count is a node attribute, so
+  // order by the node path.
+  auto ranked = OrderBy(*groups, Key("t.count"), /*descending=*/true);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  EXPECT_EQ((*ranked)[0].node(0).attrs.GetOrNull("key"), Value("SIGMOD"));
+}
+
+}  // namespace
+}  // namespace graphql::algebra

@@ -1,0 +1,155 @@
+#include "algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "motif/deriver.h"
+
+namespace graphql::algebra {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = motif::GraphFromSource(R"(
+      graph G <booktitle="SIGMOD", year=2008> {
+        node v1 <author name="A", age=30>;
+        node v2 <author name="B", age=40>;
+        edge e1 (v1, v2) <weight=7>;
+      })");
+    ASSERT_TRUE(g.ok()) << g.status();
+    graph_ = std::move(g).value();
+    bound_.attr_graph = &graph_;
+    bindings_.Bind("G", bound_);
+    bindings_.SetDefault(bound_);
+  }
+
+  Result<Value> Eval(std::string_view src) {
+    auto e = lang::Parser::ParseExpression(src);
+    if (!e.ok()) return e.status();
+    return EvalExpr(**e, bindings_);
+  }
+
+  Graph graph_;
+  BoundGraph bound_;
+  Bindings bindings_;
+};
+
+TEST_F(ExprTest, NodeAttrViaBindingName) {
+  EXPECT_EQ(Eval("G.v1.name").value(), Value("A"));
+  EXPECT_EQ(Eval("G.v2.age").value(), Value(int64_t{40}));
+}
+
+TEST_F(ExprTest, NodeAttrViaDefault) {
+  EXPECT_EQ(Eval("v1.name").value(), Value("A"));
+}
+
+TEST_F(ExprTest, GraphAttrViaBindingName) {
+  EXPECT_EQ(Eval("G.booktitle").value(), Value("SIGMOD"));
+  EXPECT_EQ(Eval("G.year").value(), Value(int64_t{2008}));
+}
+
+TEST_F(ExprTest, EdgeAttr) {
+  EXPECT_EQ(Eval("G.e1.weight").value(), Value(int64_t{7}));
+  EXPECT_EQ(Eval("e1.weight").value(), Value(int64_t{7}));
+}
+
+TEST_F(ExprTest, MissingAttributeIsNull) {
+  auto r = Eval("v1.salary");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value().is_null());
+}
+
+TEST_F(ExprTest, UnknownNodeIsError) {
+  EXPECT_FALSE(Eval("zzz.name").ok());
+}
+
+TEST_F(ExprTest, ComparisonOperators) {
+  EXPECT_EQ(Eval("v1.age < v2.age").value(), Value(true));
+  EXPECT_EQ(Eval("v1.age > v2.age").value(), Value(false));
+  EXPECT_EQ(Eval("v1.age <= 30").value(), Value(true));
+  EXPECT_EQ(Eval("v1.age >= 31").value(), Value(false));
+  EXPECT_EQ(Eval("v1.name == \"A\"").value(), Value(true));
+  EXPECT_EQ(Eval("v1.name != v2.name").value(), Value(true));
+}
+
+TEST_F(ExprTest, NullComparisonSemantics) {
+  // Absent attribute never equals anything; != is true; ordering false.
+  EXPECT_EQ(Eval("v1.salary == 5").value(), Value(false));
+  EXPECT_EQ(Eval("v1.salary != 5").value(), Value(true));
+  EXPECT_EQ(Eval("v1.salary < 5").value(), Value(false));
+  EXPECT_EQ(Eval("v1.salary == v2.salary").value(), Value(false));
+}
+
+TEST_F(ExprTest, Arithmetic) {
+  EXPECT_EQ(Eval("v1.age + v2.age").value(), Value(int64_t{70}));
+  EXPECT_EQ(Eval("v2.age - v1.age").value(), Value(int64_t{10}));
+  EXPECT_EQ(Eval("v1.age * 2").value(), Value(int64_t{60}));
+  EXPECT_EQ(Eval("v2.age / 4").value(), Value(int64_t{10}));
+}
+
+TEST_F(ExprTest, LogicalShortCircuit) {
+  // The rhs would error (unknown node), but lhs decides.
+  EXPECT_EQ(Eval("v1.age > 100 & zzz.w == 1").value(), Value(false));
+  EXPECT_EQ(Eval("v1.age < 100 | zzz.w == 1").value(), Value(true));
+  // Without short-circuit the error surfaces.
+  EXPECT_FALSE(Eval("v1.age < 100 & zzz.w == 1").ok());
+}
+
+TEST_F(ExprTest, CurrentNodeScope) {
+  bindings_.SetCurrentNode(&graph_, graph_.FindNode("v2"));
+  EXPECT_EQ(Eval("name").value(), Value("B"));
+  EXPECT_EQ(Eval("age > 35").value(), Value(true));
+  bindings_.ClearCurrentNode();
+  // Falls back to graph attributes.
+  EXPECT_EQ(Eval("booktitle").value(), Value("SIGMOD"));
+}
+
+TEST_F(ExprTest, CurrentEdgeScope) {
+  bindings_.SetCurrentEdge(&graph_, 0);
+  EXPECT_EQ(Eval("weight").value(), Value(int64_t{7}));
+  bindings_.ClearCurrentEdge();
+}
+
+TEST_F(ExprTest, PredicateCoercion) {
+  auto e = lang::Parser::ParseExpression("v1.age");
+  ASSERT_TRUE(e.ok());
+  auto r = EvalPredicate(**e, bindings_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());  // 30 is truthy.
+}
+
+TEST(ExprHelpersTest, CollectNames) {
+  auto e = lang::Parser::ParseExpression("a.x + b.y.z > 3 & a.x < 5");
+  ASSERT_TRUE(e.ok());
+  std::vector<std::vector<std::string>> names;
+  CollectNames(**e, &names);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], (std::vector<std::string>{"a", "x"}));
+  EXPECT_EQ(names[1], (std::vector<std::string>{"b", "y", "z"}));
+}
+
+TEST(ExprHelpersTest, SplitConjuncts) {
+  auto e = lang::Parser::ParseExpression("a.x == 1 & b.y == 2 & c.z == 3");
+  ASSERT_TRUE(e.ok());
+  std::vector<lang::ExprPtr> conjuncts;
+  SplitConjuncts(*e, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(ExprHelpersTest, SplitConjunctsKeepsOrWhole) {
+  auto e = lang::Parser::ParseExpression("a.x == 1 | b.y == 2");
+  ASSERT_TRUE(e.ok());
+  std::vector<lang::ExprPtr> conjuncts;
+  SplitConjuncts(*e, &conjuncts);
+  EXPECT_EQ(conjuncts.size(), 1u);
+}
+
+TEST(ExprHelpersTest, SplitConjunctsNull) {
+  std::vector<lang::ExprPtr> conjuncts;
+  SplitConjuncts(nullptr, &conjuncts);
+  EXPECT_TRUE(conjuncts.empty());
+}
+
+}  // namespace
+}  // namespace graphql::algebra

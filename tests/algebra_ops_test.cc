@@ -1,0 +1,175 @@
+#include "algebra/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/pattern.h"
+#include "lang/parser.h"
+#include "match/pipeline.h"
+#include "motif/deriver.h"
+
+namespace graphql::algebra {
+namespace {
+
+GraphCollection TwoGraphs() {
+  GraphCollection c;
+  Graph g1("G1");
+  g1.attrs().Set("id", Value(int64_t{1}));
+  g1.AddNode("a");
+  c.Add(g1);
+  Graph g2("G2");
+  g2.attrs().Set("id", Value(int64_t{2}));
+  g2.AddNode("b");
+  g2.AddNode("c");
+  g2.AddEdge(0, 1);
+  c.Add(g2);
+  return c;
+}
+
+TEST(OpsTest, CartesianProductShape) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection d = TwoGraphs();
+  GraphCollection prod = CartesianProduct(c, d);
+  ASSERT_EQ(prod.size(), 4u);
+  // First pair: G1 x G1 -> 2 nodes, 0 edges, unconnected constituents.
+  EXPECT_EQ(prod[0].NumNodes(), 2u);
+  EXPECT_EQ(prod[0].NumEdges(), 0u);
+  // G2 x G2 -> 4 nodes, 2 edges.
+  EXPECT_EQ(prod[3].NumNodes(), 4u);
+  EXPECT_EQ(prod[3].NumEdges(), 2u);
+}
+
+TEST(OpsTest, CartesianProductPrefixesNames) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection prod = CartesianProduct(c, c);
+  // G1 x G2: node names G1.a, G2.b, G2.c; graph attrs G1.id / G2.id.
+  const Graph& g = prod[1];
+  EXPECT_NE(g.FindNode("G1.a"), kInvalidNode);
+  EXPECT_NE(g.FindNode("G2.b"), kInvalidNode);
+  EXPECT_EQ(g.attrs().GetOrNull("G1.id"), Value(int64_t{1}));
+  EXPECT_EQ(g.attrs().GetOrNull("G2.id"), Value(int64_t{2}));
+}
+
+TEST(OpsTest, ValuedJoinFiltersPairs) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection d = TwoGraphs();
+  auto pred = lang::Parser::ParseExpression("G1.id == G2.id");
+  ASSERT_TRUE(pred.ok());
+  // Only the (G1, G2) pairs where names are G1/G2 evaluate the predicate;
+  // within TwoGraphs ids are 1 and 2, so only same-id combinations pass —
+  // but a G1xG1 pair binds only "G1", making G2.id unresolvable -> error.
+  // Use distinct-name collections to keep the join well-formed.
+  GraphCollection left;
+  left.Add(c[0]);  // G1 (id 1)
+  GraphCollection right;
+  right.Add(c[1]);  // G2 (id 2)
+  auto join = ValuedJoin(left, right, *pred);
+  ASSERT_TRUE(join.ok()) << join.status();
+  EXPECT_EQ(join->size(), 0u);
+
+  Graph g2_with_id1("G2");
+  g2_with_id1.attrs().Set("id", Value(int64_t{1}));
+  GraphCollection right2;
+  right2.Add(g2_with_id1);
+  auto join2 = ValuedJoin(left, right2, *pred);
+  ASSERT_TRUE(join2.ok()) << join2.status();
+  EXPECT_EQ(join2->size(), 1u);
+}
+
+TEST(OpsTest, ComposeAppliesTemplatePerMatch) {
+  auto data = motif::GraphFromSource(R"(
+    graph D {
+      node x <label="A", name="n1">;
+      node y <label="A", name="n2">;
+      node z <label="B">;
+    })");
+  ASSERT_TRUE(data.ok());
+  auto p = GraphPattern::Parse("graph P { node v <label=\"A\">; }");
+  ASSERT_TRUE(p.ok());
+  GraphCollection coll;
+  coll.Add(*data);
+  auto matches = match::SelectCollection(*p, coll);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);
+
+  auto t = GraphTemplate::Parse("graph Out { node m <who=P.v.name>; }");
+  ASSERT_TRUE(t.ok());
+  auto composed = Compose(*t, *matches);
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  ASSERT_EQ(composed->size(), 2u);
+  EXPECT_EQ((*composed)[0].node(0).attrs.GetOrNull("who"), Value("n1"));
+  EXPECT_EQ((*composed)[1].node(0).attrs.GetOrNull("who"), Value("n2"));
+}
+
+TEST(OpsTest, UnionAllKeepsDuplicates) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection u = UnionAll(c, c);
+  EXPECT_EQ(u.size(), 4u);
+}
+
+TEST(OpsTest, SetUnionDeduplicates) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection u = SetUnion(c, c);
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(OpsTest, SetDifference) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection only_first;
+  only_first.Add(c[0]);
+  GraphCollection diff = SetDifference(c, only_first);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].name(), "G2");
+  EXPECT_EQ(SetDifference(c, c).size(), 0u);
+}
+
+TEST(OpsTest, SetIntersection) {
+  GraphCollection c = TwoGraphs();
+  GraphCollection only_first;
+  only_first.Add(c[0]);
+  GraphCollection inter = SetIntersection(c, only_first);
+  ASSERT_EQ(inter.size(), 1u);
+  EXPECT_EQ(inter[0].name(), "G1");
+}
+
+TEST(OpsTest, EmptyCollectionEdgeCases) {
+  GraphCollection empty;
+  GraphCollection c = TwoGraphs();
+  EXPECT_EQ(CartesianProduct(empty, c).size(), 0u);
+  EXPECT_EQ(SetUnion(empty, c).size(), 2u);
+  EXPECT_EQ(SetDifference(empty, c).size(), 0u);
+  EXPECT_EQ(SetIntersection(c, empty).size(), 0u);
+}
+
+/// Theorem 4.5 witness: a relation as single-node graphs; RA selection via
+/// pattern matching, RA projection via composition.
+TEST(OpsTest, RelationalSimulation) {
+  // Relation R(name, age) = {(ann, 30), (bob, 17)} as single-node graphs.
+  GraphCollection r;
+  for (auto [name, age] :
+       std::vector<std::pair<std::string, int>>{{"ann", 30}, {"bob", 17}}) {
+    Graph g("R");
+    AttrTuple t;
+    t.Set("name", Value(name));
+    t.Set("age", Value(int64_t{age}));
+    g.AddNode("t", t);
+    r.Add(g);
+  }
+  // sigma_{age >= 18}(R)
+  auto p = GraphPattern::Parse("graph R { node t where age >= 18; }");
+  ASSERT_TRUE(p.ok());
+  auto sel = match::SelectCollection(*p, r);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->size(), 1u);
+  // pi_{name}: rewrite to a node holding only `name`.
+  auto t = GraphTemplate::Parse("graph Out { node o <name=R.t.name>; }");
+  ASSERT_TRUE(t.ok());
+  auto projected = Compose(*t, *sel);
+  ASSERT_TRUE(projected.ok());
+  ASSERT_EQ(projected->size(), 1u);
+  const AttrTuple& attrs = (*projected)[0].node(0).attrs;
+  EXPECT_EQ(attrs.GetOrNull("name"), Value("ann"));
+  EXPECT_FALSE(attrs.Has("age"));
+}
+
+}  // namespace
+}  // namespace graphql::algebra

@@ -1,0 +1,186 @@
+#include "algebra/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "motif/deriver.h"
+
+namespace graphql::algebra {
+namespace {
+
+Graph SampleData() {
+  auto g = motif::GraphFromSource(R"(
+    graph D <venue="SIGMOD"> {
+      node a <label="A", age=10>;
+      node b <label="B", age=20>;
+      node c <label="C", age=30>;
+      node t <author label="A">;
+      edge ab (a, b) <w=1>;
+      edge bc (b, c) <w=5>;
+    })");
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(GraphPatternTest, ParseAndShape) {
+  auto p = GraphPattern::Parse(
+      "graph P { node u <label=\"A\">; node v; edge e (u, v); }");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->name(), "P");
+  EXPECT_EQ(p->graph().NumNodes(), 2u);
+  EXPECT_EQ(p->graph().NumEdges(), 1u);
+  EXPECT_TRUE(p->node_names().count("u"));
+  EXPECT_TRUE(p->edge_names().count("e"));
+}
+
+TEST(GraphPatternTest, NodeCompatibleLabelEquality) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse("graph P { node u <label=\"A\">; }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->NodeCompatible(0, data, data.FindNode("a")));
+  EXPECT_FALSE(p->NodeCompatible(0, data, data.FindNode("b")));
+  // Node t has label A and a tag; untagged pattern matches it too.
+  EXPECT_TRUE(p->NodeCompatible(0, data, data.FindNode("t")));
+}
+
+TEST(GraphPatternTest, NodeCompatibleTagConstraint) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse("graph P { node u <author>; }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->NodeCompatible(0, data, data.FindNode("t")));
+  EXPECT_FALSE(p->NodeCompatible(0, data, data.FindNode("a")));
+}
+
+TEST(GraphPatternTest, WildcardNodeMatchesEverything) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse("graph P { node u; }");
+  ASSERT_TRUE(p.ok());
+  for (size_t v = 0; v < data.NumNodes(); ++v) {
+    EXPECT_TRUE(p->NodeCompatible(0, data, static_cast<NodeId>(v)));
+  }
+}
+
+TEST(GraphPatternTest, InlineNodeWherePushedDown) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse("graph P { node u where age > 15; }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->NodeCompatible(0, data, data.FindNode("a")));
+  EXPECT_TRUE(p->NodeCompatible(0, data, data.FindNode("b")));
+  EXPECT_FALSE(p->has_global_pred());
+}
+
+TEST(GraphPatternTest, GlobalWhereSingleNodeConjunctPushedDown) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; node v; } where u.age > 15 & v.age > 25");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->has_global_pred());
+  NodeId u = p->node_names().at("u");
+  NodeId v = p->node_names().at("v");
+  EXPECT_EQ(p->NodePredCount(u), 1u);
+  EXPECT_EQ(p->NodePredCount(v), 1u);
+  EXPECT_FALSE(p->NodeCompatible(u, data, data.FindNode("a")));
+  EXPECT_TRUE(p->NodeCompatible(u, data, data.FindNode("b")));
+  EXPECT_TRUE(p->NodeCompatible(v, data, data.FindNode("c")));
+}
+
+TEST(GraphPatternTest, PatternNamePrefixStripped) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; } where P.u.age == 20");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->has_global_pred());
+  EXPECT_TRUE(p->NodeCompatible(0, data, data.FindNode("b")));
+  EXPECT_FALSE(p->NodeCompatible(0, data, data.FindNode("a")));
+}
+
+TEST(GraphPatternTest, CrossNodeConjunctStaysGlobal) {
+  auto p = GraphPattern::Parse(
+      "graph P { node u; node v; } where u.label == v.label");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->has_global_pred());
+  EXPECT_EQ(p->NodePredCount(0), 0u);
+}
+
+TEST(GraphPatternTest, GraphAttrConjunctStaysGlobal) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; } where P.venue == \"SIGMOD\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->has_global_pred());
+  std::vector<NodeId> mapping = {data.FindNode("a")};
+  auto r = p->EvalGlobalPred(data, mapping, {});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r.value());
+}
+
+TEST(GraphPatternTest, GlobalPredEvaluation) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; node v; } where u.age + v.age == 30");
+  ASSERT_TRUE(p.ok());
+  std::vector<NodeId> good = {data.FindNode("a"), data.FindNode("b")};
+  std::vector<NodeId> bad = {data.FindNode("a"), data.FindNode("c")};
+  EXPECT_TRUE(p->EvalGlobalPred(data, good, {}).value());
+  EXPECT_FALSE(p->EvalGlobalPred(data, bad, {}).value());
+}
+
+TEST(GraphPatternTest, EdgeAttrEquality) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; node v; edge e (u, v) <w=5>; }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->EdgeCompatible(0, data, data.FindEdgeByName("ab")));
+  EXPECT_TRUE(p->EdgeCompatible(0, data, data.FindEdgeByName("bc")));
+}
+
+TEST(GraphPatternTest, EdgeWherePushedDown) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; node v; edge e (u, v) where w > 3; }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->EdgeHasPredicates(0));
+  EXPECT_FALSE(p->EdgeCompatible(0, data, data.FindEdgeByName("ab")));
+  EXPECT_TRUE(p->EdgeCompatible(0, data, data.FindEdgeByName("bc")));
+}
+
+TEST(GraphPatternTest, GlobalEdgeConjunctPushedToEdge) {
+  Graph data = SampleData();
+  auto p = GraphPattern::Parse(
+      "graph P { node u; node v; edge e (u, v); } where e.w == 1");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->has_global_pred());
+  EXPECT_TRUE(p->EdgeCompatible(0, data, data.FindEdgeByName("ab")));
+  EXPECT_FALSE(p->EdgeCompatible(0, data, data.FindEdgeByName("bc")));
+}
+
+TEST(GraphPatternTest, CreateAllDisjunction) {
+  auto decl = lang::Parser::ParseGraph(
+      "graph P { { node a <label=\"A\">; } | { node b <label=\"B\">; }; }");
+  ASSERT_TRUE(decl.ok());
+  auto all = GraphPattern::CreateAll(*decl);
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->size(), 2u);
+}
+
+TEST(GraphPatternTest, CreateRejectsDisjunction) {
+  auto decl = lang::Parser::ParseGraph(
+      "graph P { { node a; } | { node b; }; }");
+  ASSERT_TRUE(decl.ok());
+  EXPECT_FALSE(GraphPattern::Create(*decl).ok());
+}
+
+TEST(GraphPatternTest, FromGraphBuildsEqualityConstraints) {
+  Graph motif("Q");
+  AttrTuple attrs;
+  attrs.Set("label", Value("A"));
+  motif.AddNode("u0", attrs);
+  GraphPattern p = GraphPattern::FromGraph(motif);
+  Graph data = SampleData();
+  EXPECT_TRUE(p.NodeCompatible(0, data, data.FindNode("a")));
+  EXPECT_FALSE(p.NodeCompatible(0, data, data.FindNode("b")));
+  EXPECT_TRUE(p.node_names().count("u0"));
+}
+
+}  // namespace
+}  // namespace graphql::algebra

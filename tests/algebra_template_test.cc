@@ -1,0 +1,252 @@
+#include "algebra/graph_template.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/pattern.h"
+#include "match/pipeline.h"
+#include "motif/deriver.h"
+
+namespace graphql::algebra {
+namespace {
+
+/// Builds the paper's Figure 4.7 sample graph and the Figure 4.8 pattern,
+/// and produces a matched graph between them.
+class TemplateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = motif::GraphFromSource(R"(
+      graph G <inproceedings> {
+        node v1 <title="Title1", year=2006>;
+        node v2 <author name="A">;
+        node v3 <author name="B">;
+      })");
+    ASSERT_TRUE(g.ok()) << g.status();
+    data_ = std::move(g).value();
+
+    auto p = GraphPattern::Parse(R"(
+      graph P {
+        node v1 where name="A";
+        node v2 where year>2000;
+      })");
+    ASSERT_TRUE(p.ok()) << p.status();
+    pattern_ = std::make_unique<GraphPattern>(std::move(p).value());
+
+    auto matches = match::MatchPattern(*pattern_, data_, nullptr);
+    ASSERT_TRUE(matches.ok()) << matches.status();
+    ASSERT_EQ(matches->size(), 1u);
+    match_ = (*matches)[0];
+  }
+
+  Graph data_;
+  std::unique_ptr<GraphPattern> pattern_;
+  MatchedGraph match_;
+};
+
+TEST_F(TemplateTest, MatchedGraphBindingIsFigure49) {
+  // Figure 4.9: P.v1 -> G.v2, P.v2 -> G.v1.
+  EXPECT_EQ(match_.DataNode("v1"), data_.FindNode("v2"));
+  EXPECT_EQ(match_.DataNode("v2"), data_.FindNode("v1"));
+  EXPECT_TRUE(match_.Verify());
+}
+
+TEST_F(TemplateTest, Figure411Instantiation) {
+  // Figure 4.11: T_P = graph { node v1 <label=P.v1.name>;
+  //                            node v2 <label=P.v2.title>; edge e1(v1,v2); }
+  auto t = GraphTemplate::Parse(R"(
+    graph {
+      node v1 <label=P.v1.name>;
+      node v2 <label=P.v2.title>;
+      edge e1 (v1, v2);
+    })");
+  ASSERT_TRUE(t.ok()) << t.status();
+  std::unordered_map<std::string, TemplateParam> params;
+  params["P"] = TemplateParam::Matched(&match_);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(g->Label(g->FindNode("v1")), "A");
+  EXPECT_EQ(g->Label(g->FindNode("v2")), "Title1");
+}
+
+TEST_F(TemplateTest, NodeFromParameterCopiesAttributes) {
+  auto t = GraphTemplate::Parse("graph { node P.v1; }");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, TemplateParam> params;
+  params["P"] = TemplateParam::Matched(&match_);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_EQ(g->NumNodes(), 1u);
+  // P.v1 is bound to data node v2 (author A); attributes are copied.
+  EXPECT_EQ(g->node(0).attrs.GetOrNull("name"), Value("A"));
+  EXPECT_EQ(g->node(0).attrs.tag(), "author");
+}
+
+TEST_F(TemplateTest, GraphRefAbsorbsParameter) {
+  auto t = GraphTemplate::Parse("graph { graph C; node extra; }");
+  ASSERT_TRUE(t.ok());
+  Graph c("C");
+  c.AddNode("x");
+  c.AddNode("y");
+  c.AddEdge(0, 1);
+  std::unordered_map<std::string, TemplateParam> params;
+  params["C"] = TemplateParam::Plain(&c);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST_F(TemplateTest, MissingParameterFails) {
+  auto t = GraphTemplate::Parse("graph { graph Missing; }");
+  ASSERT_TRUE(t.ok());
+  auto g = t->Instantiate({});
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TemplateTest, MissingParameterNodeFails) {
+  auto t = GraphTemplate::Parse("graph { node P.vX; }");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, TemplateParam> params;
+  params["P"] = TemplateParam::Matched(&match_);
+  EXPECT_FALSE(t->Instantiate(params).ok());
+}
+
+TEST_F(TemplateTest, UnconditionalUnify) {
+  auto t = GraphTemplate::Parse(R"(
+    graph {
+      node a <x=1>;
+      node b <y=2>;
+      node c;
+      edge e1 (a, c);
+      edge e2 (b, c);
+      unify a, b;
+    })");
+  ASSERT_TRUE(t.ok());
+  auto g = t->Instantiate({});
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);
+  // The two edges now connect the same endpoints and are merged.
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(g->node(0).attrs.GetOrNull("x"), Value(int64_t{1}));
+  EXPECT_EQ(g->node(0).attrs.GetOrNull("y"), Value(int64_t{2}));
+}
+
+TEST_F(TemplateTest, ConditionalUnifyFires) {
+  auto t = GraphTemplate::Parse(R"(
+    graph {
+      node a <name="X">;
+      node b <name="X">;
+      unify a, b where a.name == b.name;
+    })");
+  ASSERT_TRUE(t.ok());
+  auto g = t->Instantiate({});
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 1u);
+}
+
+TEST_F(TemplateTest, ConditionalUnifyDoesNotFire) {
+  auto t = GraphTemplate::Parse(R"(
+    graph {
+      node a <name="X">;
+      node b <name="Y">;
+      unify a, b where a.name == b.name;
+    })");
+  ASSERT_TRUE(t.ok());
+  auto g = t->Instantiate({});
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);
+}
+
+TEST_F(TemplateTest, ExistentialUnifyOverAbsorbedGraph) {
+  // `C.v1` ranges over the absorbed accumulator's nodes.
+  Graph c("C");
+  AttrTuple a1;
+  a1.Set("name", Value("A"));
+  c.AddNode("", a1);
+  AttrTuple a2;
+  a2.Set("name", Value("B"));
+  c.AddNode("", a2);
+
+  auto t = GraphTemplate::Parse(R"(
+    graph {
+      graph C;
+      node fresh <name="B", mark=1>;
+      unify fresh, C.any where fresh.name == C.any.name;
+    })");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, TemplateParam> params;
+  params["C"] = TemplateParam::Plain(&c);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);  // fresh merged into the B node.
+  bool found = false;
+  for (size_t v = 0; v < g->NumNodes(); ++v) {
+    const AttrTuple& attrs = g->node(static_cast<NodeId>(v)).attrs;
+    if (attrs.GetOrNull("name") == Value("B")) {
+      EXPECT_EQ(attrs.GetOrNull("mark"), Value(int64_t{1}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TemplateTest, ExistentialUnifyNoCandidateKeepsNode) {
+  Graph c("C");
+  AttrTuple a1;
+  a1.Set("name", Value("A"));
+  c.AddNode("", a1);
+  auto t = GraphTemplate::Parse(R"(
+    graph {
+      graph C;
+      node fresh <name="Z">;
+      unify fresh, C.any where fresh.name == C.any.name;
+    })");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, TemplateParam> params;
+  params["C"] = TemplateParam::Plain(&c);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);
+}
+
+TEST_F(TemplateTest, ExistentialUnifyWithoutWhereFails) {
+  Graph c("C");
+  auto t = GraphTemplate::Parse(R"(
+    graph { graph C; node fresh; unify fresh, C.any; })");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, TemplateParam> params;
+  params["C"] = TemplateParam::Plain(&c);
+  EXPECT_FALSE(t->Instantiate(params).ok());
+}
+
+TEST_F(TemplateTest, GraphLevelTupleEvaluated) {
+  auto t = GraphTemplate::Parse(
+      "graph Out <src=P.v1.name> { node a; }");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, TemplateParam> params;
+  params["P"] = TemplateParam::Matched(&match_);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->name(), "Out");
+  EXPECT_EQ(g->attrs().GetOrNull("src"), Value("A"));
+}
+
+TEST_F(TemplateTest, DisjunctionInTemplateRejected) {
+  auto t = GraphTemplate::Parse("graph { { node a; } | { node b; }; }");
+  ASSERT_TRUE(t.ok());
+  auto g = t->Instantiate({});
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(TemplateTest, MaterializeCopiesMatchedSubgraph) {
+  TemplateParam p = TemplateParam::Matched(&match_);
+  Graph m = p.MaterializeCopy();
+  EXPECT_EQ(m.NumNodes(), 2u);
+  EXPECT_EQ(m.node(m.FindNode("v1")).attrs.GetOrNull("name"), Value("A"));
+}
+
+}  // namespace
+}  // namespace graphql::algebra

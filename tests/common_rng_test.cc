@@ -1,0 +1,121 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace graphql {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0;
+  for (size_t i = 0; i < 100; ++i) sum += zipf.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.0);
+  for (size_t i = 1; i < 50; ++i) {
+    EXPECT_GT(zipf.Pmf(i - 1), zipf.Pmf(i));
+  }
+}
+
+TEST(ZipfTest, FirstItemRatioMatchesAlphaOne) {
+  // With alpha=1, p(0)/p(1) == 2.
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesTrackPmf) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kSamples), zipf.Pmf(i), 0.01)
+        << "label " << i;
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfSampler zipf(4, 0.0);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.25, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace graphql

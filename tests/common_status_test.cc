@@ -1,0 +1,87 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace graphql {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("node v1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "node v1");
+  EXPECT_EQ(s.ToString(), "NotFound: node v1");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::LimitExceeded("x").code(), StatusCode::kLimitExceeded);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GQL_ASSIGN_OR_RETURN(int h, Half(x));
+  GQL_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd.
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+Status NeedsEven(int x) {
+  GQL_RETURN_IF_ERROR(Half(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(NeedsEven(4).ok());
+  EXPECT_FALSE(NeedsEven(5).ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,141 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace graphql {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+  EXPECT_FALSE(v.Truthy());
+}
+
+TEST(ValueTest, KindAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{42}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(int64_t{1}).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, IntDoubleCrossEquality) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_EQ(Value(2.0), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{2}), Value(2.5));
+}
+
+TEST(ValueTest, StringEquality) {
+  EXPECT_EQ(Value("abc"), Value("abc"));
+  EXPECT_NE(Value("abc"), Value("abd"));
+  EXPECT_NE(Value("2"), Value(int64_t{2}));
+}
+
+TEST(ValueTest, NullNeverEqualsNonNull) {
+  EXPECT_NE(Value(), Value(int64_t{0}));
+  EXPECT_NE(Value(), Value(false));
+  EXPECT_NE(Value(), Value(""));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value(int64_t{0}).Truthy());
+  EXPECT_TRUE(Value(int64_t{-1}).Truthy());
+  EXPECT_FALSE(Value(0.0).Truthy());
+  EXPECT_TRUE(Value(0.5).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_TRUE(Value(true).Truthy());
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  // null < bool < numeric < string.
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(true), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{99}), Value(""));
+}
+
+TEST(ValueTest, NumericOrderCrossKind) {
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  EXPECT_FALSE(Value(2.0) < Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(2.0));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Values that compare equal must hash alike (int 2 vs double 2.0).
+  EXPECT_EQ(Value(int64_t{2}).Hash(), Value(2.0).Hash());
+  std::unordered_set<Value, ValueHash> seen;
+  // unordered_set needs operator==; just verify Hash is stable.
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueArithmeticTest, IntAddition) {
+  auto r = Value::Add(Value(int64_t{2}), Value(int64_t{3}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Value(int64_t{5}));
+  EXPECT_TRUE(r.value().is_int());
+}
+
+TEST(ValueArithmeticTest, MixedAdditionWidensToDouble) {
+  auto r = Value::Add(Value(int64_t{2}), Value(0.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().is_double());
+  EXPECT_DOUBLE_EQ(r.value().AsDouble(), 2.5);
+}
+
+TEST(ValueArithmeticTest, StringConcatenation) {
+  auto r = Value::Add(Value("foo"), Value("bar"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Value("foobar"));
+}
+
+TEST(ValueArithmeticTest, AddTypeMismatchFails) {
+  auto r = Value::Add(Value("foo"), Value(int64_t{1}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueArithmeticTest, SubMulDiv) {
+  EXPECT_EQ(Value::Sub(Value(int64_t{5}), Value(int64_t{3})).value(),
+            Value(int64_t{2}));
+  EXPECT_EQ(Value::Mul(Value(int64_t{5}), Value(int64_t{3})).value(),
+            Value(int64_t{15}));
+  EXPECT_EQ(Value::Div(Value(int64_t{7}), Value(int64_t{2})).value(),
+            Value(int64_t{3}));  // Integer division truncates.
+  EXPECT_DOUBLE_EQ(
+      Value::Div(Value(7.0), Value(int64_t{2})).value().AsDouble(), 3.5);
+}
+
+TEST(ValueArithmeticTest, DivisionByZeroFails) {
+  EXPECT_FALSE(Value::Div(Value(int64_t{1}), Value(int64_t{0})).ok());
+  EXPECT_FALSE(Value::Div(Value(1.0), Value(0.0)).ok());
+}
+
+TEST(ValueArithmeticTest, LessOnStringsAndNumbers) {
+  EXPECT_TRUE(Value::Less(Value("a"), Value("b")).value());
+  EXPECT_TRUE(Value::Less(Value(int64_t{1}), Value(2.0)).value());
+  EXPECT_FALSE(Value::Less(Value(int64_t{2}), Value(2.0)).value());
+  EXPECT_TRUE(Value::LessEq(Value(int64_t{2}), Value(2.0)).value());
+}
+
+TEST(ValueArithmeticTest, LessTypeMismatchFails) {
+  EXPECT_FALSE(Value::Less(Value("a"), Value(int64_t{1})).ok());
+  EXPECT_FALSE(Value::Less(Value(), Value(int64_t{1})).ok());
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,181 @@
+#include "datalog/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace graphql::datalog {
+namespace {
+
+Atom MakeAtom(const std::string& pred, std::vector<Term> args) {
+  Atom a;
+  a.predicate = pred;
+  a.args = std::move(args);
+  return a;
+}
+
+TEST(FactDatabaseTest, AddAndContains) {
+  FactDatabase db;
+  EXPECT_TRUE(db.Add("p", {Value(int64_t{1})}));
+  EXPECT_FALSE(db.Add("p", {Value(int64_t{1})}));  // Duplicate.
+  EXPECT_TRUE(db.Add("p", {Value(int64_t{2})}));
+  EXPECT_TRUE(db.Contains("p", {Value(int64_t{1})}));
+  EXPECT_FALSE(db.Contains("p", {Value(int64_t{3})}));
+  EXPECT_FALSE(db.Contains("q", {Value(int64_t{1})}));
+  EXPECT_EQ(db.NumFacts(), 2u);
+  EXPECT_EQ(db.Facts("p").size(), 2u);
+}
+
+TEST(FactDatabaseTest, Merge) {
+  FactDatabase a;
+  a.Add("p", {Value(int64_t{1})});
+  FactDatabase b;
+  b.Add("p", {Value(int64_t{1})});
+  b.Add("q", {Value(int64_t{2})});
+  a.Merge(b);
+  EXPECT_EQ(a.NumFacts(), 2u);
+}
+
+TEST(EvaluatorTest, SimpleProjectionRule) {
+  // child(X) :- parent(_, X). (Datalog has no underscore: use two vars.)
+  FactDatabase edb;
+  edb.Add("parent", {Value("tom"), Value("ann")});
+  edb.Add("parent", {Value("ann"), Value("bob")});
+  Rule rule;
+  rule.head = MakeAtom("child", {Term::Var("C")});
+  rule.body = {MakeAtom("parent", {Term::Var("P"), Term::Var("C")})};
+  auto idb = Evaluate({rule}, edb);
+  ASSERT_TRUE(idb.ok()) << idb.status();
+  EXPECT_EQ(idb->Facts("child").size(), 2u);
+  EXPECT_TRUE(idb->Contains("child", {Value("ann")}));
+  EXPECT_TRUE(idb->Contains("child", {Value("bob")}));
+}
+
+TEST(EvaluatorTest, JoinRule) {
+  // grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+  FactDatabase edb;
+  edb.Add("parent", {Value("tom"), Value("ann")});
+  edb.Add("parent", {Value("ann"), Value("bob")});
+  edb.Add("parent", {Value("bob"), Value("cat")});
+  Rule rule;
+  rule.head = MakeAtom("grandparent", {Term::Var("X"), Term::Var("Z")});
+  rule.body = {MakeAtom("parent", {Term::Var("X"), Term::Var("Y")}),
+               MakeAtom("parent", {Term::Var("Y"), Term::Var("Z")})};
+  auto facts = Query({rule}, edb, "grandparent");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts->size(), 2u);
+}
+
+TEST(EvaluatorTest, RecursiveTransitiveClosure) {
+  // reach(X, Y) :- edge(X, Y).
+  // reach(X, Z) :- reach(X, Y), edge(Y, Z).
+  FactDatabase edb;
+  for (int i = 0; i < 5; ++i) {
+    edb.Add("edge", {Value(int64_t{i}), Value(int64_t{i + 1})});
+  }
+  Rule base;
+  base.head = MakeAtom("reach", {Term::Var("X"), Term::Var("Y")});
+  base.body = {MakeAtom("edge", {Term::Var("X"), Term::Var("Y")})};
+  Rule step;
+  step.head = MakeAtom("reach", {Term::Var("X"), Term::Var("Z")});
+  step.body = {MakeAtom("reach", {Term::Var("X"), Term::Var("Y")}),
+               MakeAtom("edge", {Term::Var("Y"), Term::Var("Z")})};
+  EvalStats stats;
+  auto idb = Evaluate({base, step}, edb, {}, &stats);
+  ASSERT_TRUE(idb.ok());
+  // Pairs (i, j) with i < j over 6 nodes: 15.
+  EXPECT_EQ(idb->Facts("reach").size(), 15u);
+  EXPECT_GT(stats.iterations, 1u);
+}
+
+TEST(EvaluatorTest, ComparisonFiltersDerivations) {
+  FactDatabase edb;
+  edb.Add("age", {Value("ann"), Value(int64_t{30})});
+  edb.Add("age", {Value("bob"), Value(int64_t{15})});
+  Rule rule;
+  rule.head = MakeAtom("adult", {Term::Var("P")});
+  rule.body = {MakeAtom("age", {Term::Var("P"), Term::Var("A")})};
+  rule.comparisons = {
+      Comparison{lang::BinaryOp::kGe, Term::Var("A"),
+                 Term::Const(Value(int64_t{18}))}};
+  auto facts = Query({rule}, edb, "adult");
+  ASSERT_TRUE(facts.ok());
+  ASSERT_EQ(facts->size(), 1u);
+  EXPECT_EQ((*facts)[0][0], Value("ann"));
+}
+
+TEST(EvaluatorTest, ConstantsInBodyAtomsFilter) {
+  FactDatabase edb;
+  edb.Add("color", {Value("a"), Value("red")});
+  edb.Add("color", {Value("b"), Value("blue")});
+  Rule rule;
+  rule.head = MakeAtom("red_thing", {Term::Var("X")});
+  rule.body = {
+      MakeAtom("color", {Term::Var("X"), Term::Const(Value("red"))})};
+  auto facts = Query({rule}, edb, "red_thing");
+  ASSERT_TRUE(facts.ok());
+  ASSERT_EQ(facts->size(), 1u);
+  EXPECT_EQ((*facts)[0][0], Value("a"));
+}
+
+TEST(EvaluatorTest, RepeatedVariableMustUnify) {
+  FactDatabase edb;
+  edb.Add("pair", {Value(int64_t{1}), Value(int64_t{1})});
+  edb.Add("pair", {Value(int64_t{1}), Value(int64_t{2})});
+  Rule rule;
+  rule.head = MakeAtom("diag", {Term::Var("X")});
+  rule.body = {MakeAtom("pair", {Term::Var("X"), Term::Var("X")})};
+  auto facts = Query({rule}, edb, "diag");
+  ASSERT_TRUE(facts.ok());
+  EXPECT_EQ(facts->size(), 1u);
+}
+
+TEST(EvaluatorTest, UnboundHeadVariableIsError) {
+  FactDatabase edb;
+  edb.Add("p", {Value(int64_t{1})});
+  Rule rule;
+  rule.head = MakeAtom("q", {Term::Var("Unbound")});
+  rule.body = {MakeAtom("p", {Term::Var("X")})};
+  auto idb = Evaluate({rule}, edb);
+  EXPECT_FALSE(idb.ok());
+}
+
+TEST(EvaluatorTest, UnboundComparisonVariableIsError) {
+  FactDatabase edb;
+  edb.Add("p", {Value(int64_t{1})});
+  Rule rule;
+  rule.head = MakeAtom("q", {Term::Var("X")});
+  rule.body = {MakeAtom("p", {Term::Var("X")})};
+  rule.comparisons = {Comparison{lang::BinaryOp::kLt, Term::Var("Y"),
+                                 Term::Const(Value(int64_t{3}))}};
+  EXPECT_FALSE(Evaluate({rule}, edb).ok());
+}
+
+TEST(EvaluatorTest, FactLimitEnforced) {
+  FactDatabase edb;
+  for (int i = 0; i < 100; ++i) {
+    edb.Add("edge", {Value(int64_t{i}), Value(int64_t{(i + 1) % 100})});
+  }
+  Rule base;
+  base.head = MakeAtom("reach", {Term::Var("X"), Term::Var("Y")});
+  base.body = {MakeAtom("edge", {Term::Var("X"), Term::Var("Y")})};
+  Rule step;
+  step.head = MakeAtom("reach", {Term::Var("X"), Term::Var("Z")});
+  step.body = {MakeAtom("reach", {Term::Var("X"), Term::Var("Y")}),
+               MakeAtom("edge", {Term::Var("Y"), Term::Var("Z")})};
+  EvalOptions options;
+  options.max_facts = 500;
+  auto idb = Evaluate({base, step}, edb, options);
+  ASSERT_FALSE(idb.ok());
+  EXPECT_EQ(idb.status().code(), StatusCode::kLimitExceeded);
+}
+
+TEST(ProgramTest, ToStringRendering) {
+  Rule rule;
+  rule.head = MakeAtom("q", {Term::Var("X")});
+  rule.body = {MakeAtom("p", {Term::Var("X"), Term::Const(Value("c"))})};
+  rule.comparisons = {Comparison{lang::BinaryOp::kNe, Term::Var("X"),
+                                 Term::Const(Value(int64_t{0}))}};
+  EXPECT_EQ(rule.ToString(), "q(X) :- p(X, \"c\"), X != 0.");
+}
+
+}  // namespace
+}  // namespace graphql::datalog

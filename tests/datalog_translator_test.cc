@@ -1,0 +1,182 @@
+#include "datalog/translator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "match/pipeline.h"
+#include "motif/deriver.h"
+#include "workload/erdos_renyi.h"
+#include "workload/queries.h"
+
+namespace graphql::datalog {
+namespace {
+
+TEST(TranslatorTest, GraphToFactsShape) {
+  // Figure 4.14.
+  auto g = motif::GraphFromSource(R"(
+    graph G <attr1=7> {
+      node v1, v2, v3;
+      edge e1 (v1, v2);
+    })");
+  ASSERT_TRUE(g.ok());
+  FactDatabase facts;
+  GraphToFacts(*g, "G", &facts);
+  EXPECT_TRUE(facts.Contains("graph", {Value("G")}));
+  EXPECT_EQ(facts.Facts("node").size(), 3u);
+  EXPECT_TRUE(facts.Contains("node", {Value("G"), Value("G.v1")}));
+  // Undirected edge written in both orders.
+  EXPECT_EQ(facts.Facts("edge").size(), 2u);
+  EXPECT_TRUE(facts.Contains(
+      "attribute", {Value("G"), Value("attr1"), Value(int64_t{7})}));
+}
+
+TEST(TranslatorTest, DirectedEdgeWrittenOnce) {
+  Graph g("D", /*directed=*/true);
+  g.AddNode("a");
+  g.AddNode("b");
+  g.AddEdge(0, 1);
+  FactDatabase facts;
+  GraphToFacts(g, "D", &facts);
+  EXPECT_EQ(facts.Facts("edge").size(), 1u);
+}
+
+TEST(TranslatorTest, NodeAttributesAndTags) {
+  auto g = motif::GraphFromSource(R"(
+    graph G { node v <author name="A">; })");
+  ASSERT_TRUE(g.ok());
+  FactDatabase facts;
+  GraphToFacts(*g, "G", &facts);
+  EXPECT_TRUE(facts.Contains(
+      "attribute", {Value("G.v"), Value("name"), Value("A")}));
+  EXPECT_TRUE(facts.Contains(
+      "attribute", {Value("G.v"), Value("__tag"), Value("author")}));
+}
+
+TEST(TranslatorTest, CollectionIdsUniquified) {
+  GraphCollection c;
+  Graph g1("G");
+  g1.AddNode("a");
+  Graph g2("G");  // Same name: second gets a positional id.
+  g2.AddNode("a");
+  c.Add(g1);
+  c.Add(g2);
+  FactDatabase facts = CollectionToFacts(c);
+  EXPECT_EQ(facts.Facts("graph").size(), 2u);
+}
+
+TEST(TranslatorTest, PatternToRuleShape) {
+  // Figure 4.15.
+  auto p = algebra::GraphPattern::Parse(R"(
+    graph P {
+      node v2, v3;
+      edge e1 (v3, v2);
+    } where P.attr1 > 3)");
+  ASSERT_TRUE(p.ok());
+  auto rule = PatternToRule(*p, "Pattern");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->head.predicate, "Pattern");
+  EXPECT_EQ(rule->head.args.size(), 3u);  // G + two nodes.
+  // Body: graph, 2x node, 1x edge, attribute binder for attr1.
+  size_t graph_atoms = 0;
+  size_t node_atoms = 0;
+  size_t edge_atoms = 0;
+  size_t attr_atoms = 0;
+  for (const Atom& a : rule->body) {
+    if (a.predicate == "graph") ++graph_atoms;
+    if (a.predicate == "node") ++node_atoms;
+    if (a.predicate == "edge") ++edge_atoms;
+    if (a.predicate == "attribute") ++attr_atoms;
+  }
+  EXPECT_EQ(graph_atoms, 1u);
+  EXPECT_EQ(node_atoms, 2u);
+  EXPECT_EQ(edge_atoms, 1u);
+  EXPECT_EQ(attr_atoms, 1u);
+  // Comparisons: the > plus one injectivity disequality.
+  EXPECT_EQ(rule->comparisons.size(), 2u);
+}
+
+TEST(TranslatorTest, UnsupportedArithmeticPredicate) {
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u; } where u.x + 1 > 2");
+  ASSERT_TRUE(p.ok());
+  auto rule = PatternToRule(*p, "q");
+  ASSERT_FALSE(rule.ok());
+  EXPECT_EQ(rule.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TranslatorTest, EndToEndFigure41) {
+  auto g = motif::GraphFromSource(R"(
+    graph G {
+      node a1 <label="A">; node a2 <label="A">;
+      node b1 <label="B">; node b2 <label="B">;
+      node c1 <label="C">; node c2 <label="C">;
+      edge (a1, b1); edge (a1, c2); edge (b1, c2);
+      edge (b1, b2); edge (b2, c2); edge (b2, a2); edge (c1, b1);
+    })");
+  ASSERT_TRUE(g.ok());
+  auto p = algebra::GraphPattern::Parse(R"(
+    graph P {
+      node u1 <label="A">; node u2 <label="B">; node u3 <label="C">;
+      edge (u1, u2); edge (u2, u3); edge (u3, u1);
+    })");
+  ASSERT_TRUE(p.ok());
+  GraphCollection coll;
+  coll.Add(*g);
+  auto facts = EvaluatePatternQuery(*p, coll);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  ASSERT_EQ(facts->size(), 1u);
+  // Head: (gid, V0, V1, V2).
+  EXPECT_EQ((*facts)[0][1], Value("G.a1"));
+  EXPECT_EQ((*facts)[0][2], Value("G.b1"));
+  EXPECT_EQ((*facts)[0][3], Value("G.c2"));
+}
+
+TEST(TranslatorTest, CrossNodePredicateTranslates) {
+  auto g = motif::GraphFromSource(R"(
+    graph G {
+      node x <label="A", team=1>;
+      node y <label="B", team=1>;
+      node z <label="B", team=2>;
+      edge (x, y); edge (x, z);
+    })");
+  ASSERT_TRUE(g.ok());
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u; node v; edge (u, v); } where u.team == v.team");
+  ASSERT_TRUE(p.ok());
+  GraphCollection coll;
+  coll.Add(*g);
+  auto facts = EvaluatePatternQuery(*p, coll);
+  ASSERT_TRUE(facts.ok()) << facts.status();
+  EXPECT_EQ(facts->size(), 2u);  // (x,y) and (y,x).
+}
+
+/// Theorem 4.6 property: the Datalog translation agrees with the native
+/// matcher on random graphs.
+class TranslationAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranslationAgreementTest, MatchCountsAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 1);
+  workload::ErdosRenyiOptions opts;
+  opts.num_nodes = 30;
+  opts.num_edges = 60;
+  opts.num_labels = 3;
+  Graph g = workload::MakeErdosRenyi(opts, &rng);
+  auto q = workload::ExtractConnectedQuery(g, 3, &rng);
+  ASSERT_TRUE(q.ok()) << q.status();
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+
+  GraphCollection coll;
+  coll.Add(g);
+  auto native = match::SelectCollection(p, coll);
+  ASSERT_TRUE(native.ok());
+  auto datalog = EvaluatePatternQuery(p, coll);
+  ASSERT_TRUE(datalog.ok()) << datalog.status();
+  EXPECT_EQ(native->size(), datalog->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TranslationAgreementTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace graphql::datalog

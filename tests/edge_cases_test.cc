@@ -1,0 +1,209 @@
+// Cross-module edge cases that the per-module suites do not cover.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algebra/ops.h"
+#include "algebra/pattern.h"
+#include "exec/evaluator.h"
+#include "io/serialize.h"
+#include "lang/parser.h"
+#include "match/pipeline.h"
+#include "motif/deriver.h"
+
+namespace graphql {
+namespace {
+
+TEST(IoEdgeCases, DirectedMemberInsideCollectionRoundTrips) {
+  GraphCollection c("mixed");
+  Graph undirected("u");
+  undirected.AddNode("a");
+  c.Add(undirected);
+  Graph directed("d", /*directed=*/true);
+  NodeId x = directed.AddNode("x");
+  NodeId y = directed.AddNode("y");
+  directed.AddEdge(x, y);
+  c.Add(directed);
+
+  auto text_back = io::ReadCollectionText(io::WriteCollectionText(c));
+  ASSERT_TRUE(text_back.ok()) << text_back.status();
+  EXPECT_FALSE((*text_back)[0].directed());
+  EXPECT_TRUE((*text_back)[1].directed());
+
+  std::stringstream stream;
+  ASSERT_TRUE(io::WriteCollectionBinary(c, &stream).ok());
+  auto bin_back = io::ReadCollectionBinary(&stream);
+  ASSERT_TRUE(bin_back.ok());
+  EXPECT_TRUE((*bin_back)[1].directed());
+}
+
+TEST(ExecEdgeCases, DisjunctivePatternInFlwr) {
+  auto graphs = motif::GraphsFromProgramSource(R"(
+    graph G1 { node v <label="A">; };
+    graph G2 { node v <label="B">; };
+    graph G3 { node v <label="C">; };
+  )");
+  ASSERT_TRUE(graphs.ok());
+  GraphCollection coll;
+  for (Graph& g : *graphs) coll.Add(std::move(g));
+  exec::DocumentRegistry docs;
+  docs.Register("db", std::move(coll));
+  exec::Evaluator ev(&docs);
+  auto result = ev.RunSource(R"(
+    graph P { { node v <label="A">; } | { node v <label="B">; }; };
+    for P exhaustive in doc("db") return P;
+  )");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->returned.size(), 2u);  // A and B members, not C.
+}
+
+TEST(ExecEdgeCases, TemplateErrorPropagates) {
+  exec::DocumentRegistry docs;
+  GraphCollection coll;
+  Graph g;
+  g.AddNode("v");
+  coll.Add(g);
+  docs.Register("db", std::move(coll));
+  exec::Evaluator ev(&docs);
+  auto result = ev.RunSource(R"(
+    graph P { node v; };
+    for P in doc("db") return graph R { node P.missing; };
+  )");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecEdgeCases, EmptyCollectionYieldsNothing) {
+  exec::DocumentRegistry docs;
+  docs.Register("empty", GraphCollection());
+  exec::Evaluator ev(&docs);
+  auto result = ev.RunSource(R"(
+    graph P { node v; };
+    for P exhaustive in doc("empty") return P;
+  )");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->returned.size(), 0u);
+}
+
+TEST(MotifEdgeCases, MultiDeclaratorEdgesAndInlineWhere) {
+  auto built = motif::BuildFromSource(R"(
+    graph G {
+      node a, b, c;
+      edge e1 (a, b), e2 (b, c) where w > 0;
+    })");
+  ASSERT_TRUE(built.ok()) << built.status();
+  ASSERT_EQ(built->size(), 1u);
+  const motif::BuiltGraph& g = (*built)[0];
+  EXPECT_EQ(g.graph.NumEdges(), 2u);
+  // The inline where attaches to the declarator it follows (e2).
+  EXPECT_EQ(g.edge_wheres[g.edge_names.at("e1")].size(), 0u);
+  EXPECT_EQ(g.edge_wheres[g.edge_names.at("e2")].size(), 1u);
+}
+
+TEST(MotifEdgeCases, UnifyThreeNodesAtOnce) {
+  auto g = motif::GraphFromSource(R"(
+    graph G {
+      node a <x=1>, b <y=2>, c <z=3>;
+      unify a, b, c;
+    })");
+  ASSERT_TRUE(g.ok()) << g.status();
+  ASSERT_EQ(g->NumNodes(), 1u);
+  EXPECT_EQ(g->node(0).attrs.size(), 3u);
+}
+
+TEST(AlgebraEdgeCases, SelectOverProductGraphs) {
+  // Product graphs stay queryable: find pairs where both constituents
+  // carry an "X"-labeled node.
+  GraphCollection c;
+  for (const char* label : {"X", "Y"}) {
+    Graph g(label);
+    AttrTuple t;
+    t.Set("label", Value(label));
+    g.AddNode("n", t);
+    c.Add(std::move(g));
+  }
+  GraphCollection prod = algebra::CartesianProduct(c, c);
+  ASSERT_EQ(prod.size(), 4u);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u <label=\"X\">; node v <label=\"X\">; }");
+  ASSERT_TRUE(p.ok());
+  auto matches = match::SelectCollection(*p, prod);
+  ASSERT_TRUE(matches.ok());
+  // Only the X-x-X product graph hosts two distinct X nodes; the pattern
+  // is unordered so both orientations match.
+  EXPECT_EQ(matches->size(), 2u);
+}
+
+TEST(MatcherEdgeCases, PatternLargerThanDataFailsFast) {
+  Graph data;
+  data.AddNode("a");
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u; node v; edge (u, v); }");
+  ASSERT_TRUE(p.ok());
+  auto matches = match::MatchPattern(*p, data, nullptr);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(MatcherEdgeCases, EmptyDataGraph) {
+  Graph data;
+  auto p = algebra::GraphPattern::Parse("graph P { node u; }");
+  ASSERT_TRUE(p.ok());
+  match::LabelIndex index = match::LabelIndex::Build(data);
+  auto matches = match::MatchPattern(*p, data, &index);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(ValueEdgeCases, MixedNumericKeysCollapseInGroups) {
+  // GroupCount treats int 2 and double 2.0 as the same key (Value
+  // equality is numeric).
+  GraphCollection c;
+  for (int i = 0; i < 2; ++i) {
+    Graph g("g");
+    g.attrs().Set("k", i == 0 ? Value(int64_t{2}) : Value(2.0));
+    g.AddNode("n");
+    c.Add(std::move(g));
+  }
+  auto key = lang::Parser::ParseExpression("k");
+  ASSERT_TRUE(key.ok());
+  auto groups = algebra::GroupCount(c, *key);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 1u);
+  EXPECT_EQ((*groups)[0].node(0).attrs.GetOrNull("count"),
+            Value(int64_t{2}));
+}
+
+TEST(PatternEdgeCases, OrPredicateStaysWholeAndEvaluates) {
+  auto data = motif::GraphFromSource(R"(
+    graph D {
+      node a <age=10>;
+      node b <age=99>;
+      node c <age=50, vip=1>;
+    })");
+  ASSERT_TRUE(data.ok());
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u; } where u.age > 90 | u.vip == 1");
+  ASSERT_TRUE(p.ok());
+  auto matches = match::MatchPattern(*p, *data, nullptr);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 2u);  // b (age) and c (vip).
+}
+
+TEST(TemplateEdgeCases, AliasedGraphRefInTemplate) {
+  Graph c("C");
+  c.AddNode("x");
+  auto t = algebra::GraphTemplate::Parse(R"(
+    graph { graph C as Acc; node y; edge e (y, Acc.x); })");
+  ASSERT_TRUE(t.ok());
+  std::unordered_map<std::string, algebra::TemplateParam> params;
+  params["C"] = algebra::TemplateParam::Plain(&c);
+  auto g = t->Instantiate(params);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,258 @@
+#include "gindex/collection_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "motif/deriver.h"
+#include "workload/erdos_renyi.h"
+#include "workload/queries.h"
+
+namespace graphql::gindex {
+namespace {
+
+TEST(PathFeaturesTest, SingleNodeFeature) {
+  Graph g;
+  g.SetLabel(g.AddNode("a"), "A");
+  FeatureCounts f = ExtractPathFeatures(g);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.at("A/"), 1u);
+}
+
+TEST(PathFeaturesTest, EdgeCountedOnce) {
+  // Undirected A-B edge: one 2-path feature, not two.
+  Graph g;
+  NodeId a = g.AddNode("a");
+  g.SetLabel(a, "A");
+  NodeId b = g.AddNode("b");
+  g.SetLabel(b, "B");
+  g.AddEdge(a, b);
+  FeatureCounts f = ExtractPathFeatures(g);
+  EXPECT_EQ(f.at("A/"), 1u);
+  EXPECT_EQ(f.at("B/"), 1u);
+  EXPECT_EQ(f.at("A/B/"), 1u);
+  EXPECT_EQ(f.count("B/A/"), 0u);  // Canonicalized away.
+}
+
+TEST(PathFeaturesTest, PalindromePathCountedOnce) {
+  // A-B-A path reads the same in both directions.
+  Graph g;
+  NodeId a1 = g.AddNode("a1");
+  g.SetLabel(a1, "A");
+  NodeId b = g.AddNode("b");
+  g.SetLabel(b, "B");
+  NodeId a2 = g.AddNode("a2");
+  g.SetLabel(a2, "A");
+  g.AddEdge(a1, b);
+  g.AddEdge(b, a2);
+  FeatureCounts f = ExtractPathFeatures(g);
+  EXPECT_EQ(f.at("A/B/A/"), 1u);
+  EXPECT_EQ(f.at("A/B/"), 2u);  // Two distinct A-B edges.
+}
+
+TEST(PathFeaturesTest, TriangleCounts) {
+  auto g = motif::GraphFromSource(R"(
+    graph T {
+      node a <label="A">; node b <label="B">; node c <label="C">;
+      edge (a, b); edge (b, c); edge (c, a);
+    })");
+  ASSERT_TRUE(g.ok());
+  FeatureCounts f = ExtractPathFeatures(*g, PathFeatureOptions{.max_length = 2});
+  // 2-paths (each undirected id-path once): AB, BC, AC.
+  EXPECT_EQ(f.at("A/B/"), 1u);
+  EXPECT_EQ(f.at("B/C/"), 1u);
+  EXPECT_EQ(f.at("A/C/"), 1u);
+  // 3-paths through each middle node: ABC (mid B), ACB (mid C), BAC (mid A).
+  EXPECT_EQ(f.at("A/B/C/"), 1u);
+  EXPECT_EQ(f.at("A/C/B/"), 1u);
+  EXPECT_EQ(f.at("B/A/C/"), 1u);
+}
+
+TEST(PathFeaturesTest, UnlabeledNodesBreakPaths) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  g.SetLabel(a, "A");
+  NodeId mid = g.AddNode("mid");  // No label.
+  NodeId b = g.AddNode("b");
+  g.SetLabel(b, "B");
+  g.AddEdge(a, mid);
+  g.AddEdge(mid, b);
+  FeatureCounts f = ExtractPathFeatures(g);
+  EXPECT_EQ(f.count("A/B/"), 0u);
+  EXPECT_EQ(f.at("A/"), 1u);
+}
+
+TEST(PathFeaturesTest, MaxLengthRespected) {
+  auto g = motif::GraphFromSource(R"(
+    graph P {
+      node a <label="A">; node b <label="B">;
+      node c <label="C">; node d <label="D">;
+      edge (a, b); edge (b, c); edge (c, d);
+    })");
+  ASSERT_TRUE(g.ok());
+  FeatureCounts f1 = ExtractPathFeatures(*g, PathFeatureOptions{.max_length = 1});
+  EXPECT_EQ(f1.count("A/B/C/"), 0u);
+  EXPECT_EQ(f1.at("A/B/"), 1u);
+  FeatureCounts f3 = ExtractPathFeatures(*g, PathFeatureOptions{.max_length = 3});
+  EXPECT_EQ(f3.at("A/B/C/D/"), 1u);
+}
+
+TEST(PathFeaturesTest, DirectedFollowsEdgeDirection) {
+  Graph g("D", /*directed=*/true);
+  NodeId a = g.AddNode("a");
+  g.SetLabel(a, "A");
+  NodeId b = g.AddNode("b");
+  g.SetLabel(b, "B");
+  g.AddEdge(a, b);
+  FeatureCounts f = ExtractPathFeatures(g);
+  EXPECT_EQ(f.at("A/B/"), 1u);
+  EXPECT_EQ(f.count("B/A/"), 0u);
+}
+
+TEST(FeaturesContainedTest, CountDomination) {
+  FeatureCounts data = {{"A/", 2}, {"A/B/", 3}};
+  EXPECT_TRUE(FeaturesContained({{"A/", 2}}, data));
+  EXPECT_TRUE(FeaturesContained({{"A/B/", 3}}, data));
+  EXPECT_FALSE(FeaturesContained({{"A/", 3}}, data));
+  EXPECT_FALSE(FeaturesContained({{"C/", 1}}, data));
+  EXPECT_TRUE(FeaturesContained({}, data));
+}
+
+GraphCollection SmallMolecules() {
+  auto graphs = motif::GraphsFromProgramSource(R"(
+    graph M1 {
+      node a <label="C">; node b <label="C">; node c <label="O">;
+      edge (a, b); edge (b, c);
+    };
+    graph M2 {
+      node a <label="C">; node b <label="N">;
+      edge (a, b);
+    };
+    graph M3 {
+      node a <label="C">; node b <label="C">; node c <label="O">;
+      node d <label="N">;
+      edge (a, b); edge (b, c); edge (c, d);
+    };
+  )");
+  EXPECT_TRUE(graphs.ok());
+  GraphCollection c;
+  for (Graph& g : *graphs) c.Add(std::move(g));
+  return c;
+}
+
+TEST(CollectionIndexTest, FilterSelectsSupersets) {
+  GraphCollection coll = SmallMolecules();
+  CollectionIndex index = CollectionIndex::Build(coll);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node x <label=\"C\">; node y <label=\"O\">; "
+      "edge (x, y); }");
+  ASSERT_TRUE(p.ok());
+  std::vector<size_t> candidates = index.CandidateGraphs(*p);
+  EXPECT_EQ(candidates, (std::vector<size_t>{0, 2}));  // M1 and M3.
+}
+
+TEST(CollectionIndexTest, SelectAgreesWithScan) {
+  GraphCollection coll = SmallMolecules();
+  CollectionIndex index = CollectionIndex::Build(coll);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node x <label=\"C\">; node y <label=\"O\">; "
+      "edge (x, y); }");
+  ASSERT_TRUE(p.ok());
+  CollectionIndex::SelectStats stats;
+  auto indexed = index.Select(*p, {}, &stats);
+  ASSERT_TRUE(indexed.ok());
+  auto scanned = match::SelectCollection(*p, coll);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(indexed->size(), scanned->size());
+  EXPECT_EQ(stats.candidates, 2u);
+  EXPECT_EQ(stats.verified_matches, 2u);
+}
+
+TEST(CollectionIndexTest, WildcardPatternContributesNoFeatures) {
+  GraphCollection coll = SmallMolecules();
+  CollectionIndex index = CollectionIndex::Build(coll);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node x; node y; edge (x, y); }");
+  ASSERT_TRUE(p.ok());
+  // No labeled pattern nodes -> no features -> every member is a candidate.
+  EXPECT_EQ(index.CandidateGraphs(*p).size(), coll.size());
+}
+
+TEST(CollectionIndexTest, UnknownFeatureShortCircuits) {
+  GraphCollection coll = SmallMolecules();
+  CollectionIndex index = CollectionIndex::Build(coll);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node x <label=\"Xe\">; }");  // Label absent everywhere.
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(index.CandidateGraphs(*p).empty());
+  auto matches = index.Select(*p);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+/// Soundness property: the filter never drops a member that matches.
+class GindexSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GindexSoundnessTest, FilterIsSound) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7757 + 5);
+  GraphCollection coll;
+  for (int i = 0; i < 60; ++i) {
+    workload::ErdosRenyiOptions opts;
+    opts.num_nodes = 12;
+    opts.num_edges = 20;
+    opts.num_labels = 4;
+    coll.Add(workload::MakeErdosRenyi(opts, &rng));
+  }
+  // Query: a connected subgraph of a random member (so it has answers).
+  size_t source = rng.NextBounded(coll.size());
+  auto q = workload::ExtractConnectedQuery(coll[source], 4, &rng);
+  ASSERT_TRUE(q.ok()) << q.status();
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+
+  CollectionIndex index = CollectionIndex::Build(coll);
+  auto indexed = index.Select(p);
+  ASSERT_TRUE(indexed.ok());
+  auto scanned = match::SelectCollection(p, coll);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(indexed->size(), scanned->size());
+  ASSERT_FALSE(indexed->empty());
+
+  // Same member multiset.
+  std::multiset<const Graph*> a;
+  std::multiset<const Graph*> b;
+  for (const auto& m : *indexed) a.insert(m.data);
+  for (const auto& m : *scanned) b.insert(m.data);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GindexSoundnessTest, ::testing::Range(0, 8));
+
+TEST(CollectionIndexTest, FilterPowerOnHeterogeneousCollection) {
+  // Members with disjoint label alphabets: the filter should prune most.
+  Rng rng(99);
+  GraphCollection coll;
+  for (int i = 0; i < 50; ++i) {
+    workload::ErdosRenyiOptions opts;
+    opts.num_nodes = 10;
+    opts.num_edges = 15;
+    opts.num_labels = 3;
+    Graph g = workload::MakeErdosRenyi(opts, &rng);
+    // Shift labels so each group of 10 members uses its own alphabet.
+    for (size_t v = 0; v < g.NumNodes(); ++v) {
+      std::string l(g.Label(static_cast<NodeId>(v)));
+      g.SetLabel(static_cast<NodeId>(v),
+                 "G" + std::to_string(i / 10) + l);
+    }
+    coll.Add(std::move(g));
+  }
+  CollectionIndex index = CollectionIndex::Build(coll);
+  auto q = workload::ExtractConnectedQuery(coll[0], 3, &rng);
+  ASSERT_TRUE(q.ok());
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+  std::vector<size_t> candidates = index.CandidateGraphs(p);
+  EXPECT_LE(candidates.size(), 10u);  // Only group 0 shares the alphabet.
+  for (size_t i : candidates) EXPECT_LT(i, 10u);
+}
+
+}  // namespace
+}  // namespace graphql::gindex

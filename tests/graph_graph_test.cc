@@ -1,0 +1,174 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/collection.h"
+
+namespace graphql {
+namespace {
+
+Graph Triangle() {
+  Graph g("T");
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  NodeId c = g.AddNode("c");
+  g.AddEdge(a, b, "e1");
+  g.AddEdge(b, c, "e2");
+  g.AddEdge(c, a, "e3");
+  return g;
+}
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.node(0).name, "a");
+  EXPECT_EQ(g.edge(0).src, 0);
+  EXPECT_EQ(g.edge(0).dst, 1);
+}
+
+TEST(GraphTest, UndirectedAdjacencyIsSymmetric) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_TRUE(g.HasEdgeBetween(0, 1));
+  EXPECT_TRUE(g.HasEdgeBetween(1, 0));
+}
+
+TEST(GraphTest, DirectedAdjacencyRespectsDirection) {
+  Graph g("D", /*directed=*/true);
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(a, b);
+  EXPECT_TRUE(g.HasEdgeBetween(a, b));
+  EXPECT_FALSE(g.HasEdgeBetween(b, a));
+  EXPECT_EQ(g.Degree(a), 1u);
+  EXPECT_EQ(g.Degree(b), 0u);
+  ASSERT_EQ(g.in_neighbors(b).size(), 1u);
+  EXPECT_EQ(g.in_neighbors(b)[0].node, a);
+}
+
+TEST(GraphTest, SelfLoopListedOnce) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  g.AddEdge(a, a);
+  EXPECT_EQ(g.Degree(a), 1u);
+  EXPECT_TRUE(g.HasEdgeBetween(a, a));
+}
+
+TEST(GraphTest, FindEdgeAndFindNode) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.FindNode("b"), 1);
+  EXPECT_EQ(g.FindNode("zzz"), kInvalidNode);
+  EXPECT_EQ(g.FindEdge(0, 1), 0);
+  EXPECT_EQ(g.FindEdge(1, 0), 0);  // Undirected.
+  EXPECT_EQ(g.FindEdgeByName("e2"), 1);
+  EXPECT_EQ(g.FindEdgeByName("nope"), kInvalidEdge);
+}
+
+TEST(GraphTest, FindEdgeMissing) {
+  Graph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  EXPECT_EQ(g.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_FALSE(g.HasEdgeBetween(0, 1));
+}
+
+TEST(GraphTest, ParallelEdgesAllowed) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(a, b);
+  g.AddEdge(a, b);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(a), 2u);
+}
+
+TEST(GraphTest, LabelAccessors) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  EXPECT_TRUE(g.Label(a).empty());
+  g.SetLabel(a, "A");
+  EXPECT_EQ(g.Label(a), "A");
+}
+
+TEST(GraphTest, LabelIgnoresNonStringAttr) {
+  Graph g;
+  AttrTuple attrs;
+  attrs.Set("label", Value(int64_t{7}));
+  NodeId a = g.AddNode("a", attrs);
+  EXPECT_TRUE(g.Label(a).empty());
+}
+
+TEST(GraphTest, AbsorbWithPrefix) {
+  Graph g = Triangle();
+  Graph host("H");
+  host.AddNode("x");
+  NodeId offset = host.Absorb(g, "T.");
+  EXPECT_EQ(offset, 1);
+  EXPECT_EQ(host.NumNodes(), 4u);
+  EXPECT_EQ(host.NumEdges(), 3u);
+  EXPECT_EQ(host.FindNode("T.a"), 1);
+  EXPECT_TRUE(host.HasEdgeBetween(1, 2));
+}
+
+TEST(GraphTest, IdenticalTo) {
+  Graph a = Triangle();
+  Graph b = Triangle();
+  EXPECT_TRUE(a.IdenticalTo(b));
+  b.SetLabel(0, "X");
+  EXPECT_FALSE(a.IdenticalTo(b));
+  Graph c = Triangle();
+  c.AddNode("d");
+  EXPECT_FALSE(a.IdenticalTo(c));
+}
+
+TEST(GraphTest, IsConnected) {
+  Graph g = Triangle();
+  EXPECT_TRUE(g.IsConnected());
+  g.AddNode("lonely");
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(Graph().IsConnected());  // Vacuous.
+}
+
+TEST(GraphTest, IsConnectedDirectedIgnoresDirection) {
+  Graph g("D", /*directed=*/true);
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(b, a);  // Only reachable against the direction from a.
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, ToStringRoundTripsNames) {
+  Graph g = Triangle();
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("graph T"), std::string::npos);
+  EXPECT_NE(s.find("node a"), std::string::npos);
+  EXPECT_NE(s.find("edge e1 (a, b)"), std::string::npos);
+}
+
+TEST(GraphCollectionTest, Totals) {
+  GraphCollection c("coll");
+  c.Add(Triangle());
+  c.Add(Triangle());
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.TotalNodes(), 6u);
+  EXPECT_EQ(c.TotalEdges(), 6u);
+  EXPECT_EQ(c.name(), "coll");
+}
+
+TEST(GraphCollectionTest, IterationAndIndexing) {
+  GraphCollection c;
+  c.Add(Triangle());
+  size_t count = 0;
+  for (const Graph& g : c) {
+    EXPECT_EQ(g.NumNodes(), 3u);
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(c[0].name(), "T");
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,110 @@
+#include "graph/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace graphql {
+namespace {
+
+TEST(AttrTupleTest, EmptyByDefault) {
+  AttrTuple t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.has_tag());
+  EXPECT_EQ(t.ToString(), "");
+}
+
+TEST(AttrTupleTest, SetAndGet) {
+  AttrTuple t;
+  t.Set("name", Value("A"));
+  t.Set("year", Value(int64_t{2006}));
+  EXPECT_TRUE(t.Has("name"));
+  EXPECT_EQ(*t.Get("name"), Value("A"));
+  EXPECT_EQ(*t.Get("year"), Value(int64_t{2006}));
+  EXPECT_FALSE(t.Get("missing").has_value());
+  EXPECT_TRUE(t.GetOrNull("missing").is_null());
+}
+
+TEST(AttrTupleTest, SetOverwrites) {
+  AttrTuple t;
+  t.Set("x", Value(int64_t{1}));
+  t.Set("x", Value(int64_t{2}));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.Get("x"), Value(int64_t{2}));
+}
+
+TEST(AttrTupleTest, Erase) {
+  AttrTuple t;
+  t.Set("x", Value(int64_t{1}));
+  EXPECT_TRUE(t.Erase("x"));
+  EXPECT_FALSE(t.Erase("x"));
+  EXPECT_FALSE(t.Has("x"));
+}
+
+TEST(AttrTupleTest, TagHandling) {
+  AttrTuple t("author");
+  EXPECT_TRUE(t.has_tag());
+  EXPECT_EQ(t.tag(), "author");
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(AttrTupleTest, MergeFromOverwritesAndAdoptsTag) {
+  AttrTuple a;
+  a.Set("x", Value(int64_t{1}));
+  a.Set("y", Value(int64_t{2}));
+  AttrTuple b("tag");
+  b.Set("y", Value(int64_t{99}));
+  b.Set("z", Value(int64_t{3}));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.tag(), "tag");
+  EXPECT_EQ(*a.Get("x"), Value(int64_t{1}));
+  EXPECT_EQ(*a.Get("y"), Value(int64_t{99}));
+  EXPECT_EQ(*a.Get("z"), Value(int64_t{3}));
+}
+
+TEST(AttrTupleTest, MergeKeepsExistingTag) {
+  AttrTuple a("mine");
+  AttrTuple b("theirs");
+  a.MergeFrom(b);
+  EXPECT_EQ(a.tag(), "mine");
+}
+
+TEST(AttrTupleTest, EqualityIsOrderInsensitive) {
+  AttrTuple a;
+  a.Set("x", Value(int64_t{1}));
+  a.Set("y", Value(int64_t{2}));
+  AttrTuple b;
+  b.Set("y", Value(int64_t{2}));
+  b.Set("x", Value(int64_t{1}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(AttrTupleTest, InequalityOnTagOrValue) {
+  AttrTuple a("t");
+  a.Set("x", Value(int64_t{1}));
+  AttrTuple b;
+  b.Set("x", Value(int64_t{1}));
+  EXPECT_NE(a, b);  // Tag differs.
+  AttrTuple c("t");
+  c.Set("x", Value(int64_t{2}));
+  EXPECT_NE(a, c);  // Value differs.
+}
+
+TEST(AttrTupleTest, ToStringWithTagAndAttrs) {
+  AttrTuple t("author");
+  t.Set("name", Value("A"));
+  t.Set("year", Value(int64_t{2006}));
+  EXPECT_EQ(t.ToString(), "<author name=\"A\", year=2006>");
+}
+
+TEST(AttrTupleTest, ToStringTagOnly) {
+  AttrTuple t("inproceedings");
+  EXPECT_EQ(t.ToString(), "<inproceedings>");
+}
+
+TEST(AttrTupleTest, ToStringAttrsOnly) {
+  AttrTuple t;
+  t.Set("a", Value(int64_t{1}));
+  EXPECT_EQ(t.ToString(), "<a=1>");
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,130 @@
+// Robustness sweeps for the language front end: arbitrary byte soup,
+// token shuffles of valid programs, and truncations must produce a
+// ParseError Status — never a crash, hang, or success-with-garbage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+
+namespace graphql::lang {
+namespace {
+
+constexpr char kValidProgram[] = R"(
+  graph P { node v1 <author>; node v2 <author>; }
+    where P.booktitle = "SIGMOD";
+  C := graph {};
+  for P exhaustive in doc("DBLP") let C := graph {
+    graph C;
+    node P.v1, P.v2;
+    edge e1 (P.v1, P.v2);
+    unify P.v1, C.v1 where P.v1.name = C.v1.name;
+  };
+)";
+
+TEST(LangFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(123);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    size_t len = rng.NextBounded(120);
+    for (size_t i = 0; i < len; ++i) {
+      soup += static_cast<char>(32 + rng.NextBounded(95));
+    }
+    auto r = Parser::ParseProgram(soup);
+    if (r.ok()) {
+      // The empty program (or whitespace/comments) is legitimately OK.
+      EXPECT_TRUE(r->statements.empty() || !soup.empty());
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(LangFuzzTest, RandomPrintableAsciiWithStructure) {
+  // Bias the soup toward GraphQL-ish tokens to reach deeper parser paths.
+  static const char* kFragments[] = {
+      "graph",  "node",   "edge",  "{",      "}",    "(",     ")",
+      ";",      ",",      "<",     ">",      "=",    "==",    "|",
+      "&",      "where",  "for",   "in",     "doc",  "let",   ":=",
+      "return", "unify",  "export", "as",    "\"s\"", "42",   "3.5",
+      "P",      "v1",     ".",     "exhaustive"};
+  Rng rng(456);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string program;
+    size_t len = 1 + rng.NextBounded(40);
+    for (size_t i = 0; i < len; ++i) {
+      program += kFragments[rng.NextBounded(std::size(kFragments))];
+      program += ' ';
+    }
+    auto r = Parser::ParseProgram(program);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << program;
+    }
+  }
+}
+
+TEST(LangFuzzTest, TruncationsOfValidProgram) {
+  std::string program = kValidProgram;
+  for (size_t cut = 0; cut < program.size(); cut += 3) {
+    std::string prefix = program.substr(0, cut);
+    auto r = Parser::ParseProgram(prefix);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError)
+          << "cut at " << cut;
+    }
+  }
+}
+
+TEST(LangFuzzTest, ValidProgramSurvivesReprinting) {
+  // Print -> parse -> print is a fixpoint even after many rounds.
+  auto first = Parser::ParseProgram(kValidProgram);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string text = PrintProgram(*first);
+  for (int round = 0; round < 5; ++round) {
+    auto again = Parser::ParseProgram(text);
+    ASSERT_TRUE(again.ok()) << again.status();
+    std::string next = PrintProgram(*again);
+    EXPECT_EQ(next, text);
+    text = std::move(next);
+  }
+}
+
+TEST(LangFuzzTest, DeepNestingDoesNotOverflow) {
+  // Deeply nested anonymous disjunction blocks; the parser must either
+  // parse or reject gracefully.
+  std::string program = "graph G { ";
+  for (int i = 0; i < 2000; ++i) program += "{ ";
+  program += "node a; ";
+  for (int i = 0; i < 2000; ++i) program += "} ";
+  program += "}; ";
+  auto r = Parser::ParseProgram(program);
+  // Parsing succeeds (recursive descent depth 2000 fits the stack); the
+  // result is a valid single-alternative nesting.
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST(LangFuzzTest, LongFlatProgram) {
+  std::string program;
+  for (int i = 0; i < 2000; ++i) {
+    program += "graph G" + std::to_string(i) + " { node a; };\n";
+  }
+  auto r = Parser::ParseProgram(program);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->statements.size(), 2000u);
+}
+
+TEST(LangFuzzTest, HugeTokenIsHandled) {
+  std::string program = "graph ";
+  program.append(100000, 'x');
+  program += " { node a; };";
+  auto r = Parser::ParseProgram(program);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->statements[0].graph.name.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace graphql::lang

@@ -1,0 +1,142 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace graphql::lang {
+namespace {
+
+std::vector<Token> Lex(std::string_view src) {
+  auto r = Lexer(src).Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : std::vector<Token>{};
+}
+
+std::vector<TokenKind> Kinds(std::string_view src) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : Lex(src)) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto kinds = Kinds("");
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], TokenKind::kEnd);
+}
+
+TEST(LexerTest, Keywords) {
+  auto kinds =
+      Kinds("graph node edge unify export where for exhaustive in doc let "
+            "return as");
+  std::vector<TokenKind> want = {
+      TokenKind::kGraph, TokenKind::kNode,   TokenKind::kEdge,
+      TokenKind::kUnify, TokenKind::kExport, TokenKind::kWhere,
+      TokenKind::kFor,   TokenKind::kExhaustive, TokenKind::kIn,
+      TokenKind::kDoc,   TokenKind::kLet,    TokenKind::kReturn,
+      TokenKind::kAs,    TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, IdentifiersAreNotKeywords) {
+  auto toks = Lex("graphs nodey _x x_1");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "graphs");
+  EXPECT_EQ(toks[1].text, "nodey");
+  EXPECT_EQ(toks[2].text, "_x");
+  EXPECT_EQ(toks[3].text, "x_1");
+}
+
+TEST(LexerTest, IntegerLiteral) {
+  auto toks = Lex("42 0 123456789");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInt);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 123456789);
+}
+
+TEST(LexerTest, FloatLiteral) {
+  auto toks = Lex("3.5 2e3 1.5e-2");
+  EXPECT_EQ(toks[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.015);
+}
+
+TEST(LexerTest, IntFollowedByDotIdentIsNotFloat) {
+  // `1.x` must lex as int, dot, ident (member access), not a float.
+  auto kinds = Kinds("1.x");
+  std::vector<TokenKind> want = {TokenKind::kInt, TokenKind::kDot,
+                                 TokenKind::kIdent, TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, StringLiteralWithEscapes) {
+  auto toks = Lex(R"("hello" "a\"b" "tab\tnl\n")");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "a\"b");
+  EXPECT_EQ(toks[2].text, "tab\tnl\n");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  auto r = Lexer(R"("oops)").Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, OperatorsSingleAndDouble) {
+  auto kinds = Kinds("< <= > >= = == != := | & + - * /");
+  std::vector<TokenKind> want = {
+      TokenKind::kLAngle, TokenKind::kLe,     TokenKind::kRAngle,
+      TokenKind::kGe,     TokenKind::kAssign, TokenKind::kEq,
+      TokenKind::kNe,     TokenKind::kColonEq, TokenKind::kPipe,
+      TokenKind::kAmp,    TokenKind::kPlus,   TokenKind::kMinus,
+      TokenKind::kStar,   TokenKind::kSlash,  TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto kinds = Kinds("{ } ( ) , ; .");
+  std::vector<TokenKind> want = {
+      TokenKind::kLBrace, TokenKind::kRBrace,    TokenKind::kLParen,
+      TokenKind::kRParen, TokenKind::kComma,     TokenKind::kSemicolon,
+      TokenKind::kDot,    TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, LineComments) {
+  auto kinds = Kinds("graph // comment to end of line\n node");
+  std::vector<TokenKind> want = {TokenKind::kGraph, TokenKind::kNode,
+                                 TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto kinds = Kinds("graph /* multi \n line */ node");
+  std::vector<TokenKind> want = {TokenKind::kGraph, TokenKind::kNode,
+                                 TokenKind::kEnd};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto toks = Lex("graph\n  node");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(LexerTest, BadCharacterIsError) {
+  auto r = Lexer("graph @").Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, LoneBangIsError) {
+  EXPECT_FALSE(Lexer("a ! b").Tokenize().ok());
+}
+
+TEST(LexerTest, LoneColonIsError) {
+  EXPECT_FALSE(Lexer("a : b").Tokenize().ok());
+}
+
+}  // namespace
+}  // namespace graphql::lang

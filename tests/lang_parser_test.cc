@@ -1,0 +1,278 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/printer.h"
+
+namespace graphql::lang {
+namespace {
+
+GraphDecl ParseGraphOk(std::string_view src) {
+  auto r = Parser::ParseGraph(src);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : GraphDecl{};
+}
+
+Program ParseProgramOk(std::string_view src) {
+  auto r = Parser::ParseProgram(src);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? r.value() : Program{};
+}
+
+TEST(ParserTest, SimpleGraphMotif) {
+  // Figure 4.3.
+  GraphDecl g = ParseGraphOk(R"(
+    graph G1 {
+      node v1, v2, v3;
+      edge e1 (v1, v2);
+      edge e2 (v2, v3);
+      edge e3 (v3, v1);
+    })");
+  EXPECT_EQ(g.name, "G1");
+  // Multi-declarator node statement parses into a grouped member.
+  ASSERT_EQ(g.body.members.size(), 4u);
+  EXPECT_EQ(g.body.members[1].kind, MemberDecl::Kind::kEdge);
+  EXPECT_EQ(g.body.members[1].edge.name, "e1");
+  EXPECT_EQ(g.body.members[1].edge.src, std::vector<std::string>{"v1"});
+}
+
+TEST(ParserTest, ConcatenationByEdges) {
+  // Figure 4.4(a).
+  GraphDecl g = ParseGraphOk(R"(
+    graph G2 {
+      graph G1 as X;
+      graph G1 as Y;
+      edge e4 (X.v1, Y.v1);
+      edge e5 (X.v3, Y.v2);
+    })");
+  ASSERT_EQ(g.body.members.size(), 4u);
+  EXPECT_EQ(g.body.members[0].kind, MemberDecl::Kind::kGraphRef);
+  EXPECT_EQ(g.body.members[0].graph_ref.graph_name, "G1");
+  EXPECT_EQ(g.body.members[0].graph_ref.alias, "X");
+  std::vector<std::string> want = {"X", "v1"};
+  EXPECT_EQ(g.body.members[2].edge.src, want);
+}
+
+TEST(ParserTest, ConcatenationByUnification) {
+  // Figure 4.4(b).
+  GraphDecl g = ParseGraphOk(R"(
+    graph G3 {
+      graph G1 as X;
+      graph G1 as Y;
+      unify X.v1, Y.v1;
+      unify X.v3, Y.v2;
+    })");
+  EXPECT_EQ(g.body.members[2].kind, MemberDecl::Kind::kUnify);
+  ASSERT_EQ(g.body.members[2].unify.names.size(), 2u);
+  std::vector<std::string> want = {"Y", "v1"};
+  EXPECT_EQ(g.body.members[2].unify.names[1], want);
+}
+
+TEST(ParserTest, DisjunctionMember) {
+  // Figure 4.5.
+  GraphDecl g = ParseGraphOk(R"(
+    graph G4 {
+      node v1, v2;
+      edge e1 (v1, v2);
+      {
+        node v3;
+        edge e2 (v1, v3);
+        edge e3 (v2, v3);
+      } | {
+        node v3, v4;
+        edge e2 (v1, v3);
+        edge e3 (v2, v4);
+        edge e4 (v3, v4);
+      };
+    })");
+  const MemberDecl& disj = g.body.members.back();
+  EXPECT_EQ(disj.kind, MemberDecl::Kind::kDisjunction);
+  ASSERT_EQ(disj.alternatives.size(), 2u);
+  EXPECT_EQ(disj.alternatives[0]->members.size(), 3u);
+  EXPECT_EQ(disj.alternatives[1]->members.size(), 4u);
+}
+
+TEST(ParserTest, RecursivePathMotifWithTopLevelDisjunction) {
+  // Figure 4.6(a).
+  GraphDecl g = ParseGraphOk(R"(
+    graph Path {
+      graph Path;
+      node v1;
+      edge e1 (v1, Path.v1);
+      export Path.v2 as v2;
+    } | {
+      node v1, v2;
+      edge e1 (v1, v2);
+    })");
+  EXPECT_EQ(g.name, "Path");
+  ASSERT_EQ(g.body.members.size(), 1u);
+  EXPECT_EQ(g.body.members[0].kind, MemberDecl::Kind::kDisjunction);
+  EXPECT_EQ(g.body.members[0].alternatives.size(), 2u);
+  const GraphBody& first = *g.body.members[0].alternatives[0];
+  EXPECT_EQ(first.members[3].kind, MemberDecl::Kind::kExport);
+  EXPECT_EQ(first.members[3].export_decl.as, "v2");
+}
+
+TEST(ParserTest, TupleWithTagAndAttrs) {
+  GraphDecl g = ParseGraphOk(R"(
+    graph G <inproceedings> {
+      node v1 <title="Title1", year=2006>;
+      node v2 <author name="A">;
+    })");
+  ASSERT_TRUE(g.tuple.has_value());
+  EXPECT_EQ(g.tuple->tag, "inproceedings");
+  const NodeDecl& v1 = g.body.members[0].node;
+  ASSERT_TRUE(v1.tuple.has_value());
+  EXPECT_EQ(v1.tuple->tag, "");
+  ASSERT_EQ(v1.tuple->entries.size(), 2u);
+  EXPECT_EQ(v1.tuple->entries[0].first, "title");
+  const NodeDecl& v2 = g.body.members[1].node;
+  EXPECT_EQ(v2.tuple->tag, "author");
+}
+
+TEST(ParserTest, WhereClausesOnNodeAndGraph) {
+  // Figure 4.8, both forms.
+  GraphDecl g1 = ParseGraphOk(R"(
+    graph P { node v1; node v2; } where v1.name="A" & v2.year>2000)");
+  ASSERT_NE(g1.where, nullptr);
+  GraphDecl g2 = ParseGraphOk(R"(
+    graph P {
+      node v1 where name="A";
+      node v2 where year>2000;
+    })");
+  EXPECT_NE(g2.body.members[0].node.where, nullptr);
+  EXPECT_NE(g2.body.members[1].node.where, nullptr);
+  EXPECT_EQ(g2.where, nullptr);
+}
+
+TEST(ParserTest, DottedNodeNamesInTemplates) {
+  GraphDecl g = ParseGraphOk(R"(
+    graph {
+      graph C;
+      node P.v1, P.v2;
+      edge e1 (P.v1, P.v2);
+      unify P.v1, C.v1 where P.v1.name=C.v1.name;
+    })");
+  // node P.v1, P.v2 becomes a grouped member of two nodes.
+  const MemberDecl& group = g.body.members[1];
+  ASSERT_EQ(group.kind, MemberDecl::Kind::kDisjunction);
+  ASSERT_EQ(group.alternatives.size(), 1u);
+  EXPECT_EQ(group.alternatives[0]->members[0].node.name, "P.v1");
+  const MemberDecl& unify = g.body.members.back();
+  EXPECT_EQ(unify.kind, MemberDecl::Kind::kUnify);
+  EXPECT_NE(unify.unify.where, nullptr);
+}
+
+TEST(ParserTest, FlwrWithLet) {
+  Program p = ParseProgramOk(R"(
+    graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD";
+    C := graph {};
+    for P exhaustive in doc("DBLP") let C := graph {
+      graph C;
+      node P.v1, P.v2;
+      edge e1 (P.v1, P.v2);
+    };
+  )");
+  ASSERT_EQ(p.statements.size(), 3u);
+  EXPECT_EQ(p.statements[0].kind, Statement::Kind::kGraphDecl);
+  EXPECT_EQ(p.statements[1].kind, Statement::Kind::kAssign);
+  EXPECT_EQ(p.statements[1].assign_target, "C");
+  const FlwrExpr& f = p.statements[2].flwr;
+  EXPECT_EQ(f.pattern_ref, "P");
+  EXPECT_TRUE(f.exhaustive);
+  EXPECT_EQ(f.doc, "DBLP");
+  EXPECT_TRUE(f.is_let);
+  EXPECT_EQ(f.let_target, "C");
+  ASSERT_TRUE(f.template_decl.has_value());
+}
+
+TEST(ParserTest, FlwrWithInlinePatternAndReturn) {
+  Program p = ParseProgramOk(R"(
+    for graph Q { node a; node b; edge (a, b); } in doc("db")
+      where Q.a.x > 3
+      return graph R { node m <v=Q.a.x>; };
+  )");
+  const FlwrExpr& f = p.statements[0].flwr;
+  ASSERT_TRUE(f.pattern.has_value());
+  EXPECT_EQ(f.pattern->name, "Q");
+  EXPECT_FALSE(f.exhaustive);
+  EXPECT_NE(f.where, nullptr);
+  EXPECT_FALSE(f.is_let);
+  ASSERT_TRUE(f.template_decl.has_value());
+  EXPECT_EQ(f.template_decl->name, "R");
+}
+
+TEST(ParserTest, FlwrReturnBareIdentifier) {
+  Program p = ParseProgramOk(R"(
+    graph P { node v1; };
+    for P in doc("db") return P;
+  )");
+  EXPECT_EQ(p.statements[1].flwr.template_ref, "P");
+}
+
+TEST(ParserTest, AnonymousEdge) {
+  GraphDecl g = ParseGraphOk("graph { node a; node b; edge (a, b); }");
+  const MemberDecl& e = g.body.members.back();
+  EXPECT_EQ(e.kind, MemberDecl::Kind::kEdge);
+  EXPECT_TRUE(e.edge.name.empty());
+}
+
+TEST(ParserExprTest, Precedence) {
+  auto e = Parser::ParseExpression("a.x + 2 * 3 > 4 & b.y == 5 | c.z < 1");
+  ASSERT_TRUE(e.ok()) << e.status();
+  // Top node is OR.
+  EXPECT_EQ((*e)->op, BinaryOp::kOr);
+  EXPECT_EQ((*e)->lhs->op, BinaryOp::kAnd);
+  EXPECT_EQ((*e)->lhs->lhs->op, BinaryOp::kGt);
+  EXPECT_EQ((*e)->lhs->lhs->lhs->op, BinaryOp::kAdd);
+  EXPECT_EQ((*e)->lhs->lhs->lhs->rhs->op, BinaryOp::kMul);
+}
+
+TEST(ParserExprTest, SingleEqualsMeansEquality) {
+  auto e = Parser::ParseExpression("name = \"A\"");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->op, BinaryOp::kEq);
+}
+
+TEST(ParserExprTest, UnaryMinus) {
+  auto e = Parser::ParseExpression("-3 + 5");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->op, BinaryOp::kAdd);
+  EXPECT_EQ((*e)->lhs->op, BinaryOp::kSub);
+}
+
+TEST(ParserExprTest, Parentheses) {
+  auto e = Parser::ParseExpression("(a.x + 2) * 3");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->op, BinaryOp::kMul);
+  EXPECT_EQ((*e)->lhs->op, BinaryOp::kAdd);
+}
+
+TEST(ParserErrorTest, MissingSemicolon) {
+  EXPECT_FALSE(Parser::ParseProgram("graph G { node a; }").ok());
+}
+
+TEST(ParserErrorTest, MissingBrace) {
+  EXPECT_FALSE(Parser::ParseGraph("graph G { node a;").ok());
+}
+
+TEST(ParserErrorTest, BadMember) {
+  auto r = Parser::ParseGraph("graph G { banana a; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserErrorTest, UnifyNeedsTwoNames) {
+  EXPECT_FALSE(Parser::ParseGraph("graph G { node a; unify a; }").ok());
+}
+
+TEST(ParserErrorTest, TrailingInputAfterGraph) {
+  EXPECT_FALSE(Parser::ParseGraph("graph G { } extra").ok());
+}
+
+TEST(ParserErrorTest, FlwrRequiresReturnOrLet) {
+  EXPECT_FALSE(Parser::ParseProgram(R"(for P in doc("x");)").ok());
+}
+
+}  // namespace
+}  // namespace graphql::lang

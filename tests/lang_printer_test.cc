@@ -1,0 +1,125 @@
+#include "lang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace graphql::lang {
+namespace {
+
+/// Round-trip: parse -> print -> parse -> print must be a fixpoint.
+void ExpectStableGraph(std::string_view src) {
+  auto first = Parser::ParseGraph(src);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = PrintGraphDecl(*first);
+  auto second = Parser::ParseGraph(printed);
+  ASSERT_TRUE(second.ok()) << "re-parse failed: " << second.status()
+                           << "\nprinted:\n"
+                           << printed;
+  EXPECT_EQ(printed, PrintGraphDecl(*second));
+}
+
+void ExpectStableProgram(std::string_view src) {
+  auto first = Parser::ParseProgram(src);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = PrintProgram(*first);
+  auto second = Parser::ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << "re-parse failed: " << second.status()
+                           << "\nprinted:\n"
+                           << printed;
+  EXPECT_EQ(printed, PrintProgram(*second));
+}
+
+TEST(PrinterTest, SimpleMotifRoundTrip) {
+  ExpectStableGraph(R"(
+    graph G1 {
+      node v1, v2, v3;
+      edge e1 (v1, v2);
+      edge e2 (v2, v3);
+      edge e3 (v3, v1);
+    })");
+}
+
+TEST(PrinterTest, TuplesRoundTrip) {
+  ExpectStableGraph(R"(
+    graph G <inproceedings> {
+      node v1 <title="Title1", year=2006>;
+      node v2 <author name="A">;
+    })");
+}
+
+TEST(PrinterTest, WhereRoundTrip) {
+  ExpectStableGraph(
+      R"(graph P { node v1; node v2; } where v1.name="A" & v2.year > 2000)");
+}
+
+TEST(PrinterTest, DisjunctionRoundTrip) {
+  ExpectStableGraph(R"(
+    graph G4 {
+      node v1, v2;
+      edge e1 (v1, v2);
+      { node v3; edge e2 (v1, v3); } | { node v3, v4; edge e4 (v3, v4); };
+    })");
+}
+
+TEST(PrinterTest, RecursiveMotifRoundTrip) {
+  ExpectStableGraph(R"(
+    graph Path {
+      graph Path;
+      node v1;
+      edge e1 (v1, Path.v1);
+      export Path.v2 as v2;
+    } | {
+      node v1, v2;
+      edge e1 (v1, v2);
+    })");
+}
+
+TEST(PrinterTest, FlwrProgramRoundTrip) {
+  ExpectStableProgram(R"(
+    graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD";
+    C := graph {};
+    for P exhaustive in doc("DBLP") let C := graph {
+      graph C;
+      node P.v1, P.v2;
+      edge e1 (P.v1, P.v2);
+      unify P.v1, C.v1 where P.v1.name=C.v1.name;
+      unify P.v2, C.v2 where P.v2.name=C.v2.name;
+    };
+  )");
+}
+
+TEST(PrinterTest, ReturnFlwrRoundTrip) {
+  ExpectStableProgram(R"(
+    for graph Q { node a; node b; edge (a, b); } in doc("db")
+      where Q.a.x > 3
+      return graph R { node m <v=Q.a.x>; };
+  )");
+}
+
+TEST(PrinterTest, ExprPrecedenceParenthesization) {
+  auto e = Parser::ParseExpression("(a.x | b.y) & c.z");
+  ASSERT_TRUE(e.ok());
+  std::string printed = PrintExpr(**e);
+  auto again = Parser::ParseExpression(printed);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_EQ(PrintExpr(**again), printed);
+  EXPECT_NE(printed.find("("), std::string::npos);  // Parens preserved.
+}
+
+TEST(PrinterTest, ExprNoSpuriousParens) {
+  auto e = Parser::ParseExpression("a.x & b.y | c.z");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(PrintExpr(**e), "a.x & b.y | c.z");
+}
+
+TEST(PrinterTest, GraphAttrsInToString) {
+  auto g = Parser::ParseGraph(R"(graph G <k=1> { node a <label="A">; })");
+  ASSERT_TRUE(g.ok());
+  std::string s = PrintGraphDecl(*g);
+  EXPECT_NE(s.find("<k=1>"), std::string::npos);
+  EXPECT_NE(s.find("label=\"A\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphql::lang

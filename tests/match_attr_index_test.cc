@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "algebra/pattern.h"
+#include "match/pipeline.h"
+#include "motif/deriver.h"
+
+namespace graphql::match {
+namespace {
+
+Graph People() {
+  auto g = motif::GraphFromSource(R"(
+    graph G {
+      node p0 <age=25, city="sb">;
+      node p1 <age=30, city="la">;
+      node p2 <age=35, city="sb">;
+      node p3 <age=40, city="sb">;
+      node p4 <age=45, city="la">;
+      node p5;
+      edge (p0, p1); edge (p1, p2); edge (p2, p3);
+      edge (p3, p4); edge (p4, p0); edge (p2, p5);
+    })");
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+LabelIndex IndexWithAttrs(const Graph& g) {
+  LabelIndexOptions options;
+  options.indexed_attributes = {"age", "city"};
+  return LabelIndex::Build(g, options);
+}
+
+TEST(AttrIndexTest, ExactLookup) {
+  Graph g = People();
+  LabelIndex index = IndexWithAttrs(g);
+  EXPECT_TRUE(index.HasAttributeIndex("age"));
+  EXPECT_FALSE(index.HasAttributeIndex("salary"));
+  auto hits = index.AttrExact("city", Value("sb"));
+  EXPECT_EQ(hits.size(), 3u);
+  // Nodes lacking the attribute never appear.
+  auto all_ages =
+      index.AttrRange("age", nullptr, true, nullptr, true);
+  EXPECT_EQ(all_ages.size(), 5u);
+}
+
+TEST(AttrIndexTest, RangeLookup) {
+  Graph g = People();
+  LabelIndex index = IndexWithAttrs(g);
+  Value lo(int64_t{30});
+  Value hi(int64_t{40});
+  EXPECT_EQ(index.AttrRange("age", &lo, true, &hi, true).size(), 3u);
+  EXPECT_EQ(index.AttrRange("age", &lo, false, &hi, false).size(), 1u);
+  EXPECT_EQ(index.AttrRange("age", &lo, true, nullptr, true).size(), 4u);
+}
+
+TEST(AttrIndexTest, PipelineUsesRangeConstraint) {
+  Graph g = People();
+  LabelIndex index = IndexWithAttrs(g);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u where age > 30 & age < 45; node v; edge (u, v); }");
+  ASSERT_TRUE(p.ok());
+  PipelineOptions options;
+  options.candidate_mode = CandidateMode::kLabelOnly;
+  options.refine_level = 0;
+  PipelineStats stats;
+  RetrieveCandidates(*p, g, &index, options, &stats);
+  // Node u was served from the B+-tree: only ages {35, 40} scanned, both
+  // compatible.
+  NodeId u = p->node_names().at("u");
+  EXPECT_EQ(stats.size_attr[u], 2u);
+}
+
+TEST(AttrIndexTest, PipelineUsesEqualityFromTuple) {
+  Graph g = People();
+  LabelIndex index = IndexWithAttrs(g);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u <city=\"la\">; node v; edge (u, v); }");
+  ASSERT_TRUE(p.ok());
+  PipelineOptions options;
+  options.refine_level = 0;
+  PipelineStats stats;
+  RetrieveCandidates(*p, g, &index, options, &stats);
+  NodeId u = p->node_names().at("u");
+  EXPECT_EQ(stats.size_attr[u], 2u);
+}
+
+TEST(AttrIndexTest, MatchesAgreeWithScan) {
+  Graph g = People();
+  LabelIndex index = IndexWithAttrs(g);
+  for (const char* src : {
+           "graph P { node u where age >= 30; node v; edge (u, v); }",
+           "graph P { node u where 35 <= age; node v where city == \"sb\"; "
+           "edge (u, v); }",
+           "graph P { node u where age == 30; node v; edge (u, v); }",
+       }) {
+    auto p = algebra::GraphPattern::Parse(src);
+    ASSERT_TRUE(p.ok()) << src;
+    auto with_index = MatchPattern(*p, g, &index);
+    auto without = MatchPattern(*p, g, nullptr);
+    ASSERT_TRUE(with_index.ok());
+    ASSERT_TRUE(without.ok());
+    EXPECT_EQ(with_index->size(), without->size()) << src;
+  }
+}
+
+TEST(AttrIndexTest, ContradictoryBoundsYieldNothing) {
+  Graph g = People();
+  LabelIndex index = IndexWithAttrs(g);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u where age > 40 & age < 30; }");
+  ASSERT_TRUE(p.ok());
+  auto matches = MatchPattern(*p, g, &index);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches->empty());
+}
+
+TEST(AttrIndexTest, UnindexedAttributeFallsBackToScan) {
+  Graph g = People();
+  LabelIndex index = LabelIndex::Build(g);  // No attribute indexes.
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u where age > 30; }");
+  ASSERT_TRUE(p.ok());
+  auto matches = MatchPattern(*p, g, &index);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);  // 35, 40, 45.
+}
+
+TEST(AttrIndexTest, LabelTakesPrecedenceOverAttrIndex) {
+  // A labeled node uses the label hashtable even when other constraints
+  // are indexed; results stay correct either way.
+  Graph g = People();
+  g.SetLabel(0, "X");
+  g.SetLabel(2, "X");
+  LabelIndex index = IndexWithAttrs(g);
+  auto p = algebra::GraphPattern::Parse(
+      "graph P { node u <label=\"X\"> where age > 30; }");
+  ASSERT_TRUE(p.ok());
+  auto matches = MatchPattern(*p, g, &index);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);  // Only p2 (age 35) has label X.
+}
+
+}  // namespace
+}  // namespace graphql::match

@@ -1,0 +1,99 @@
+#include "match/bipartite.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/rng.h"
+
+namespace graphql::match {
+namespace {
+
+TEST(BipartiteTest, EmptyLeftIsTrivialMatch) {
+  EXPECT_EQ(MaxBipartiteMatching(0, 3, {}), 0);
+  EXPECT_TRUE(HasSemiPerfectMatching(0, 3, {}));
+}
+
+TEST(BipartiteTest, PerfectMatchingOnIdentity) {
+  std::vector<std::vector<int>> adj = {{0}, {1}, {2}};
+  EXPECT_EQ(MaxBipartiteMatching(3, 3, adj), 3);
+  EXPECT_TRUE(HasSemiPerfectMatching(3, 3, adj));
+}
+
+TEST(BipartiteTest, AugmentingPathNeeded) {
+  // l0-{r0,r1}, l1-{r0}: greedy l0->r0 must be augmented to l0->r1.
+  std::vector<std::vector<int>> adj = {{0, 1}, {0}};
+  EXPECT_EQ(MaxBipartiteMatching(2, 2, adj), 2);
+  EXPECT_TRUE(HasSemiPerfectMatching(2, 2, adj));
+}
+
+TEST(BipartiteTest, ChainAugmentation) {
+  // A longer alternating chain: l0-{r0}, l1-{r0,r1}, l2-{r1,r2}.
+  std::vector<std::vector<int>> adj = {{0}, {0, 1}, {1, 2}};
+  EXPECT_EQ(MaxBipartiteMatching(3, 3, adj), 3);
+}
+
+TEST(BipartiteTest, BottleneckBlocksSemiPerfect) {
+  // Two left vertices share one right vertex.
+  std::vector<std::vector<int>> adj = {{0}, {0}};
+  EXPECT_EQ(MaxBipartiteMatching(2, 1, adj), 1);
+  EXPECT_FALSE(HasSemiPerfectMatching(2, 1, adj));
+}
+
+TEST(BipartiteTest, HallViolationDetected) {
+  // {l0,l1,l2} all confined to {r0,r1}.
+  std::vector<std::vector<int>> adj = {{0, 1}, {0, 1}, {0, 1}};
+  EXPECT_EQ(MaxBipartiteMatching(3, 3, adj), 2);
+  EXPECT_FALSE(HasSemiPerfectMatching(3, 3, adj));
+}
+
+TEST(BipartiteTest, IsolatedLeftVertexFailsFast) {
+  std::vector<std::vector<int>> adj = {{0}, {}};
+  EXPECT_FALSE(HasSemiPerfectMatching(2, 2, adj));
+}
+
+TEST(BipartiteTest, MoreLeftThanRightFailsFast) {
+  std::vector<std::vector<int>> adj = {{0}, {0}, {0}};
+  EXPECT_FALSE(HasSemiPerfectMatching(3, 1, adj));
+}
+
+/// Brute-force maximum matching for cross-checking (exponential, tiny n).
+int BruteForceMatching(int n_left, int n_right,
+                       const std::vector<std::vector<int>>& adj) {
+  int best = 0;
+  std::vector<int> used(n_right, 0);
+  std::function<void(int, int)> go = [&](int l, int matched) {
+    best = std::max(best, matched);
+    if (l == n_left) return;
+    go(l + 1, matched);  // Leave l unmatched.
+    for (int r : adj[l]) {
+      if (!used[r]) {
+        used[r] = 1;
+        go(l + 1, matched + 1);
+        used[r] = 0;
+      }
+    }
+  };
+  go(0, 0);
+  return best;
+}
+
+TEST(BipartiteTest, RandomizedAgainstBruteForce) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 200; ++trial) {
+    int nl = static_cast<int>(rng.NextBounded(6)) + 1;
+    int nr = static_cast<int>(rng.NextBounded(6)) + 1;
+    std::vector<std::vector<int>> adj(nl);
+    for (int l = 0; l < nl; ++l) {
+      for (int r = 0; r < nr; ++r) {
+        if (rng.NextBool(0.4)) adj[l].push_back(r);
+      }
+    }
+    EXPECT_EQ(MaxBipartiteMatching(nl, nr, adj),
+              BruteForceMatching(nl, nr, adj))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace graphql::match

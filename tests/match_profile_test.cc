@@ -1,0 +1,126 @@
+#include "match/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "motif/deriver.h"
+
+namespace graphql::match {
+namespace {
+
+Graph Sample() {
+  // Figure 4.16's database graph G: A1-B1, A1-C2, B1-C2, B1-B2, B2-C2,
+  // B2-A2, C1-B1.
+  auto g = motif::GraphFromSource(R"(
+    graph G {
+      node a1 <label="A">; node a2 <label="A">;
+      node b1 <label="B">; node b2 <label="B">;
+      node c1 <label="C">; node c2 <label="C">;
+      edge (a1, b1); edge (a1, c2); edge (b1, c2);
+      edge (b1, b2); edge (b2, c2); edge (b2, a2); edge (c1, b1);
+    })");
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(LabelDictionaryTest, InternAndLookup) {
+  LabelDictionary dict;
+  int32_t a = dict.Intern("A");
+  int32_t b = dict.Intern("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("A"), a);
+  EXPECT_EQ(dict.Lookup("A"), a);
+  EXPECT_EQ(dict.Lookup("nope"), LabelDictionary::kUnknownLabel);
+  EXPECT_EQ(dict.Name(a), "A");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ProfileTest, RadiusZeroIsOwnLabel) {
+  Graph g = Sample();
+  LabelDictionary dict;
+  Profile p = BuildProfile(g, g.FindNode("a1"), 0, &dict);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(dict.Name(p[0]), "A");
+}
+
+TEST(ProfileTest, RadiusOneMatchesFigure417) {
+  // Figure 4.17: profile(A1) = ABC, profile(B1) = ABBCC (paper lists ABCC
+  // over its 4-neighbor variant; ours follows the Figure 4.16 edges).
+  Graph g = Sample();
+  LabelDictionary dict;
+  auto labels_of = [&](const char* name) {
+    Profile p = BuildProfile(g, g.FindNode(name), 1, &dict);
+    std::string s;
+    for (int32_t id : p) s += dict.Name(id);
+    return s;
+  };
+  EXPECT_EQ(labels_of("a1"), "ABC");
+  EXPECT_EQ(labels_of("a2"), "AB");
+  EXPECT_EQ(labels_of("c1"), "BC");
+  EXPECT_EQ(labels_of("b2"), "ABBC");
+}
+
+TEST(ProfileTest, RadiusTwoGrows) {
+  Graph g = Sample();
+  LabelDictionary dict;
+  Profile p1 = BuildProfile(g, g.FindNode("c1"), 1, &dict);
+  Profile p2 = BuildProfile(g, g.FindNode("c1"), 2, &dict);
+  EXPECT_GT(p2.size(), p1.size());
+  EXPECT_TRUE(ProfileContains(p2, p1));
+}
+
+TEST(ProfileTest, UnlabeledNodesContributeNothing) {
+  Graph g;
+  NodeId a = g.AddNode("a");
+  g.SetLabel(a, "A");
+  NodeId b = g.AddNode("b");  // No label.
+  g.AddEdge(a, b);
+  LabelDictionary dict;
+  Profile p = BuildProfile(g, a, 1, &dict);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(ProfileTest, ScratchIsRestored) {
+  Graph g = Sample();
+  LabelDictionary dict;
+  std::vector<int> scratch(g.NumNodes(), -1);
+  BuildProfile(g, 0, 2, &dict, &scratch);
+  for (int d : scratch) EXPECT_EQ(d, -1);
+}
+
+TEST(ProfileContainsTest, BasicContainment) {
+  EXPECT_TRUE(ProfileContains({1, 2, 2, 3}, {2, 3}));
+  EXPECT_TRUE(ProfileContains({1, 2, 2, 3}, {}));
+  EXPECT_TRUE(ProfileContains({1, 2, 2, 3}, {1, 2, 2, 3}));
+}
+
+TEST(ProfileContainsTest, MultiplicityMatters) {
+  EXPECT_FALSE(ProfileContains({1, 2, 3}, {2, 2}));
+  EXPECT_TRUE(ProfileContains({1, 2, 2, 3}, {2, 2}));
+}
+
+TEST(ProfileContainsTest, MissingElementFails) {
+  EXPECT_FALSE(ProfileContains({1, 2, 3}, {4}));
+  EXPECT_FALSE(ProfileContains({}, {1}));
+}
+
+TEST(ProfileContainsTest, UnknownLabelAlwaysFails) {
+  EXPECT_FALSE(
+      ProfileContains({1, 2, 3}, {LabelDictionary::kUnknownLabel}));
+}
+
+TEST(ProfileContainsTest, SoundForSubgraphs) {
+  // Profile containment must hold whenever an actual embedding exists:
+  // any radius-1 neighborhood of a node within a subgraph embeds in the
+  // host's neighborhood of the image.
+  Graph g = Sample();
+  LabelDictionary dict;
+  // b1's pattern-side neighborhood in the triangle {a1,b1,c2} has labels
+  // {A,B,C}; the full graph's profile of b1 must contain it.
+  Profile sub = {dict.Intern("A"), dict.Intern("B"), dict.Intern("C")};
+  std::sort(sub.begin(), sub.end());
+  Profile host = BuildProfile(g, g.FindNode("b1"), 1, &dict);
+  EXPECT_TRUE(ProfileContains(host, sub));
+}
+
+}  // namespace
+}  // namespace graphql::match

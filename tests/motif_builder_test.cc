@@ -1,0 +1,229 @@
+#include "motif/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "motif/deriver.h"
+
+namespace graphql::motif {
+namespace {
+
+TEST(MotifBuilderTest, SimpleMotif) {
+  // Figure 4.3: triangle.
+  auto g = GraphFromSource(R"(
+    graph G1 {
+      node v1, v2, v3;
+      edge e1 (v1, v2);
+      edge e2 (v2, v3);
+      edge e3 (v3, v1);
+    })");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_TRUE(g->IsConnected());
+  EXPECT_TRUE(g->HasEdgeBetween(g->FindNode("v1"), g->FindNode("v2")));
+  EXPECT_TRUE(g->HasEdgeBetween(g->FindNode("v3"), g->FindNode("v1")));
+}
+
+TEST(MotifBuilderTest, TupleAttributesApplied) {
+  auto g = GraphFromSource(R"(
+    graph G <kind="demo"> {
+      node v1 <label="A", weight=3>;
+      edge e (v1, v1) <w=2>;
+    })");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->attrs().GetOrNull("kind"), Value("demo"));
+  EXPECT_EQ(g->node(0).attrs.GetOrNull("weight"), Value(int64_t{3}));
+  EXPECT_EQ(g->edge(0).attrs.GetOrNull("w"), Value(int64_t{2}));
+  EXPECT_EQ(g->Label(0), "A");
+}
+
+TEST(MotifBuilderTest, ConcatenationByEdges) {
+  // Figure 4.4(a): two triangles joined by two new edges -> 6 nodes, 8 edges.
+  auto program = lang::Parser::ParseProgram(R"(
+    graph G1 {
+      node v1, v2, v3;
+      edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1);
+    };
+    graph G2 {
+      graph G1 as X;
+      graph G1 as Y;
+      edge e4 (X.v1, Y.v1);
+      edge e5 (X.v3, Y.v2);
+    };
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  MotifRegistry registry;
+  ASSERT_TRUE(registry.RegisterProgram(*program).ok());
+  MotifBuilder builder(&registry, BuildOptions{});
+  auto built = builder.BuildSingle(*registry.Find("G2"));
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->graph.NumNodes(), 6u);
+  EXPECT_EQ(built->graph.NumEdges(), 8u);
+  ASSERT_TRUE(built->node_names.count("X.v1"));
+  ASSERT_TRUE(built->node_names.count("Y.v2"));
+  EXPECT_TRUE(built->graph.HasEdgeBetween(built->node_names["X.v1"],
+                                          built->node_names["Y.v1"]));
+}
+
+TEST(MotifBuilderTest, ConcatenationByUnification) {
+  // Figure 4.4(b): two triangles with two node pairs unified -> 4 nodes;
+  // the edge between the unified pair collapses: 5 edges.
+  auto program = lang::Parser::ParseProgram(R"(
+    graph G1 {
+      node v1, v2, v3;
+      edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1);
+    };
+    graph G3 {
+      graph G1 as X;
+      graph G1 as Y;
+      unify X.v1, Y.v1;
+      unify X.v3, Y.v2;
+    };
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  MotifRegistry registry;
+  ASSERT_TRUE(registry.RegisterProgram(*program).ok());
+  MotifBuilder builder(&registry, BuildOptions{});
+  auto built = builder.BuildSingle(*registry.Find("G3"));
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->graph.NumNodes(), 4u);
+  EXPECT_EQ(built->graph.NumEdges(), 5u);
+  // X.v1 and Y.v1 resolve to the same compacted node.
+  EXPECT_EQ(built->node_names["X.v1"], built->node_names["Y.v1"]);
+  EXPECT_EQ(built->node_names["X.v3"], built->node_names["Y.v2"]);
+}
+
+TEST(MotifBuilderTest, UnifyMergesAttributes) {
+  auto graphs = BuildFromSource(R"(
+    graph G {
+      node a <x=1>;
+      node b <y=2>;
+      unify a, b;
+    })");
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  ASSERT_EQ(graphs->size(), 1u);
+  const Graph& g = (*graphs)[0].graph;
+  ASSERT_EQ(g.NumNodes(), 1u);
+  EXPECT_EQ(g.node(0).attrs.GetOrNull("x"), Value(int64_t{1}));
+  EXPECT_EQ(g.node(0).attrs.GetOrNull("y"), Value(int64_t{2}));
+}
+
+TEST(MotifBuilderTest, DisjunctionYieldsTwoDerivations) {
+  // Figure 4.5.
+  auto graphs = BuildFromSource(R"(
+    graph G4 {
+      node v1, v2;
+      edge e1 (v1, v2);
+      {
+        node v3;
+        edge e2 (v1, v3);
+        edge e3 (v2, v3);
+      } | {
+        node v3, v4;
+        edge e2 (v1, v3);
+        edge e3 (v2, v4);
+        edge e4 (v3, v4);
+      };
+    })");
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  ASSERT_EQ(graphs->size(), 2u);
+  EXPECT_EQ((*graphs)[0].graph.NumNodes(), 3u);
+  EXPECT_EQ((*graphs)[0].graph.NumEdges(), 3u);
+  EXPECT_EQ((*graphs)[1].graph.NumNodes(), 4u);
+  EXPECT_EQ((*graphs)[1].graph.NumEdges(), 4u);
+}
+
+TEST(MotifBuilderTest, NestedDisjunctionMultiplies) {
+  auto graphs = BuildFromSource(R"(
+    graph G {
+      { node a; } | { node a, a2; };
+      { node b; } | { node b, b2; };
+    })");
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  EXPECT_EQ(graphs->size(), 4u);
+}
+
+TEST(MotifBuilderTest, ExportAliasesNode) {
+  auto program = lang::Parser::ParseProgram(R"(
+    graph Inner { node v1, v2; edge e (v1, v2); };
+    graph Outer {
+      graph Inner;
+      export Inner.v2 as w;
+      node x;
+      edge e2 (x, w);
+    };
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  MotifRegistry registry;
+  ASSERT_TRUE(registry.RegisterProgram(*program).ok());
+  MotifBuilder builder(&registry, BuildOptions{});
+  auto built = builder.BuildSingle(*registry.Find("Outer"));
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->graph.NumNodes(), 3u);
+  EXPECT_EQ(built->node_names["w"], built->node_names["Inner.v2"]);
+  EXPECT_TRUE(built->graph.HasEdgeBetween(built->node_names["x"],
+                                          built->node_names["w"]));
+}
+
+TEST(MotifBuilderTest, UnknownEdgeEndpointFails) {
+  auto r = BuildFromSource("graph G { node a; edge e (a, nope); }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MotifBuilderTest, UnknownGraphRefFails) {
+  auto r = BuildFromSource("graph G { graph Missing; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MotifBuilderTest, UnknownUnifyTargetFails) {
+  auto r = BuildFromSource("graph G { node a; unify a, nope; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MotifBuilderTest, NamesInConstTupleFail) {
+  auto r = BuildFromSource("graph G { node a <x=b.y>; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MotifBuilderTest, BuildSingleRejectsDisjunction) {
+  auto r = GraphFromSource("graph G { { node a; } | { node b; }; }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MotifBuilderTest, ConstExprArithmetic) {
+  auto g = GraphFromSource("graph G { node a <x=2*3+1, y=(1+1)*4>; }");
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->node(0).attrs.GetOrNull("x"), Value(int64_t{7}));
+  EXPECT_EQ(g->node(0).attrs.GetOrNull("y"), Value(int64_t{8}));
+}
+
+TEST(MotifBuilderTest, WheresCollectedPerNode) {
+  auto program = lang::Parser::ParseGraph(R"(
+    graph P {
+      node v1 where name="A";
+      node v2;
+    })");
+  ASSERT_TRUE(program.ok());
+  MotifBuilder builder(nullptr, BuildOptions{});
+  auto built = builder.BuildSingle(*program);
+  ASSERT_TRUE(built.ok()) << built.status();
+  ASSERT_EQ(built->node_wheres.size(), 2u);
+  EXPECT_EQ(built->node_wheres[built->node_names["v1"]].size(), 1u);
+  EXPECT_EQ(built->node_wheres[built->node_names["v2"]].size(), 0u);
+}
+
+TEST(MotifRegistryTest, RejectsAnonymous) {
+  auto decl = lang::Parser::ParseGraph("graph { node a; }");
+  ASSERT_TRUE(decl.ok());
+  MotifRegistry registry;
+  EXPECT_FALSE(registry.Register(*decl).ok());
+}
+
+}  // namespace
+}  // namespace graphql::motif

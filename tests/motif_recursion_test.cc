@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "motif/builder.h"
+#include "motif/deriver.h"
+
+namespace graphql::motif {
+namespace {
+
+constexpr char kPathAndCycle[] = R"(
+  graph Path {
+    graph Path;
+    node v1;
+    edge e1 (v1, Path.v1);
+    export Path.v2 as v2;
+  } | {
+    node v1, v2;
+    edge e1 (v1, v2);
+  };
+  graph Cycle {
+    graph Path;
+    edge e1 (Path.v1, Path.v2);
+  };
+)";
+
+constexpr char kStar[] = R"(
+  graph G1 {
+    node v1, v2, v3;
+    edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1);
+  };
+  graph G5 {
+    graph G5;
+    graph G1;
+    export G5.v0 as v0;
+    edge e1 (v0, G1.v1);
+  } | {
+    node v0;
+  };
+)";
+
+class RecursionTest : public ::testing::Test {
+ protected:
+  void Load(const char* source) {
+    auto program = lang::Parser::ParseProgram(source);
+    ASSERT_TRUE(program.ok()) << program.status();
+    ASSERT_TRUE(registry_.RegisterProgram(*program).ok());
+  }
+  MotifRegistry registry_;
+};
+
+TEST_F(RecursionTest, IsRecursiveDetection) {
+  Load(kPathAndCycle);
+  EXPECT_TRUE(IsRecursive(*registry_.Find("Path"), registry_));
+  // Cycle is not itself recursive, but contains a recursive member.
+  EXPECT_FALSE(IsRecursive(*registry_.Find("Cycle"), registry_));
+}
+
+TEST_F(RecursionTest, PathDerivesPathsOfEveryLength) {
+  // Figure 4.6(a): with depth d, Path derives paths of 2..d+2 nodes.
+  Load(kPathAndCycle);
+  BuildOptions options;
+  options.max_depth = 3;
+  MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("Path"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  ASSERT_EQ(graphs->size(), 4u);
+  // Each derivation is a simple path: n nodes, n-1 edges, connected.
+  std::vector<size_t> sizes;
+  for (const BuiltGraph& b : *graphs) {
+    EXPECT_TRUE(b.graph.IsConnected());
+    EXPECT_EQ(b.graph.NumEdges(), b.graph.NumNodes() - 1);
+    // Both endpoints exported under v1/v2.
+    EXPECT_TRUE(b.node_names.count("v1"));
+    EXPECT_TRUE(b.node_names.count("v2"));
+    sizes.push_back(b.graph.NumNodes());
+  }
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 3, 4, 5}));
+}
+
+TEST_F(RecursionTest, CycleClosesThePath) {
+  Load(kPathAndCycle);
+  BuildOptions options;
+  options.max_depth = 2;
+  MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("Cycle"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  ASSERT_EQ(graphs->size(), 3u);
+  for (const BuiltGraph& b : *graphs) {
+    // A cycle has as many edges as nodes.
+    EXPECT_EQ(b.graph.NumEdges(), b.graph.NumNodes());
+    EXPECT_TRUE(b.graph.IsConnected());
+    for (size_t v = 0; v < b.graph.NumNodes(); ++v) {
+      EXPECT_EQ(b.graph.Degree(static_cast<NodeId>(v)), 2u);
+    }
+  }
+}
+
+TEST_F(RecursionTest, StarOfTriangles) {
+  // Figure 4.6(b): G5 derives v0 alone, v0+1 triangle, v0+2 triangles, ...
+  Load(kStar);
+  BuildOptions options;
+  options.max_depth = 2;
+  MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("G5"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  ASSERT_EQ(graphs->size(), 3u);
+  std::vector<std::pair<size_t, size_t>> shapes;
+  for (const BuiltGraph& b : *graphs) {
+    shapes.emplace_back(b.graph.NumNodes(), b.graph.NumEdges());
+  }
+  std::sort(shapes.begin(), shapes.end());
+  // k triangles: 1 + 3k nodes, 4k edges (3 per triangle + 1 spoke).
+  EXPECT_EQ(shapes[0], (std::pair<size_t, size_t>{1, 0}));
+  EXPECT_EQ(shapes[1], (std::pair<size_t, size_t>{4, 4}));
+  EXPECT_EQ(shapes[2], (std::pair<size_t, size_t>{7, 8}));
+}
+
+TEST_F(RecursionTest, DepthZeroYieldsOnlyBaseCases) {
+  Load(kPathAndCycle);
+  BuildOptions options;
+  options.max_depth = 0;
+  MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("Path"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  ASSERT_EQ(graphs->size(), 1u);
+  EXPECT_EQ((*graphs)[0].graph.NumNodes(), 2u);
+}
+
+TEST_F(RecursionTest, MaxGraphsLimitEnforced) {
+  Load(kPathAndCycle);
+  BuildOptions options;
+  options.max_depth = 10000;
+  options.max_graphs = 16;
+  MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("Path"));
+  ASSERT_FALSE(graphs.ok());
+  EXPECT_EQ(graphs.status().code(), StatusCode::kLimitExceeded);
+}
+
+TEST_F(RecursionTest, MutualRecursionThroughRegistry) {
+  Load(R"(
+    graph A {
+      graph B;
+      node x;
+      edge e (x, B.y);
+    } | { node x; };
+    graph B {
+      graph A;
+      node y;
+      edge e (y, A.x);
+    } | { node y; };
+  )");
+  EXPECT_TRUE(IsRecursive(*registry_.Find("A"), registry_));
+  EXPECT_TRUE(IsRecursive(*registry_.Find("B"), registry_));
+  BuildOptions options;
+  options.max_depth = 2;
+  MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("A"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  EXPECT_GE(graphs->size(), 2u);
+  for (const BuiltGraph& b : *graphs) {
+    EXPECT_TRUE(b.graph.IsConnected());
+  }
+}
+
+}  // namespace
+}  // namespace graphql::motif

@@ -1,0 +1,162 @@
+#include "rel/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace graphql::rel {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.num_keys(), 0u);
+  EXPECT_TRUE(tree.Lookup(Value(int64_t{1})).empty());
+  EXPECT_TRUE(tree.Range(nullptr, true, nullptr, true).empty());
+  tree.Validate();
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Value(int64_t{i}), static_cast<uint64_t>(i * 10));
+  }
+  tree.Validate();
+  EXPECT_EQ(tree.num_keys(), 100u);
+  EXPECT_GT(tree.height(), 1);
+  for (int i = 0; i < 100; ++i) {
+    auto hits = tree.Lookup(Value(int64_t{i}));
+    ASSERT_EQ(hits.size(), 1u) << i;
+    EXPECT_EQ(hits[0], static_cast<uint64_t>(i * 10));
+  }
+  EXPECT_TRUE(tree.Lookup(Value(int64_t{100})).empty());
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAccumulate) {
+  BPlusTree tree(4);
+  for (uint64_t p = 0; p < 5; ++p) tree.Insert(Value("dup"), p);
+  tree.Validate();
+  EXPECT_EQ(tree.num_keys(), 1u);
+  EXPECT_EQ(tree.num_payloads(), 5u);
+  EXPECT_EQ(tree.Lookup(Value("dup")).size(), 5u);
+}
+
+TEST(BPlusTreeTest, RangeInclusiveExclusive) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 20; ++i) {
+    tree.Insert(Value(int64_t{i}), static_cast<uint64_t>(i));
+  }
+  Value lo(int64_t{5});
+  Value hi(int64_t{10});
+  EXPECT_EQ(tree.Range(&lo, true, &hi, true).size(), 6u);
+  EXPECT_EQ(tree.Range(&lo, false, &hi, true).size(), 5u);
+  EXPECT_EQ(tree.Range(&lo, true, &hi, false).size(), 5u);
+  EXPECT_EQ(tree.Range(&lo, false, &hi, false).size(), 4u);
+}
+
+TEST(BPlusTreeTest, UnboundedRanges) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 20; ++i) {
+    tree.Insert(Value(int64_t{i}), static_cast<uint64_t>(i));
+  }
+  Value pivot(int64_t{15});
+  EXPECT_EQ(tree.Range(nullptr, true, &pivot, false).size(), 15u);
+  EXPECT_EQ(tree.Range(&pivot, true, nullptr, true).size(), 5u);
+  EXPECT_EQ(tree.Range(nullptr, true, nullptr, true).size(), 20u);
+}
+
+TEST(BPlusTreeTest, RangeResultsAreKeyOrdered) {
+  BPlusTree tree(4);
+  Rng rng(5);
+  std::vector<int> values;
+  for (int i = 0; i < 200; ++i) {
+    int v = static_cast<int>(rng.NextBounded(1000));
+    values.push_back(v);
+    tree.Insert(Value(int64_t{v}), static_cast<uint64_t>(v));
+  }
+  auto out = tree.Range(nullptr, true, nullptr, true);
+  ASSERT_EQ(out.size(), values.size());
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1], out[i]);
+  }
+}
+
+TEST(BPlusTreeTest, MixedKindKeys) {
+  BPlusTree tree(4);
+  tree.Insert(Value("zebra"), 1);
+  tree.Insert(Value(int64_t{5}), 2);
+  tree.Insert(Value(2.5), 3);
+  tree.Insert(Value(true), 4);
+  tree.Validate();
+  // Numeric range covers ints and doubles but not strings/bools.
+  Value lo(int64_t{0});
+  Value hi(int64_t{10});
+  auto out = tree.Range(&lo, true, &hi, true);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(BPlusTreeTest, StringsKeysAndRanges) {
+  BPlusTree tree(3);  // Minimum fanout: maximal splitting.
+  for (char c = 'a'; c <= 'z'; ++c) {
+    tree.Insert(Value(std::string(1, c)), static_cast<uint64_t>(c));
+  }
+  tree.Validate();
+  Value lo("f");
+  Value hi("j");
+  EXPECT_EQ(tree.Range(&lo, true, &hi, true).size(), 5u);
+}
+
+/// Property: agrees with std::multimap under random workloads, at several
+/// fanouts (exercises different split patterns).
+class BPlusTreePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BPlusTreePropertyTest, AgreesWithMultimap) {
+  auto [seed, fanout] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 40503 + 23);
+  BPlusTree tree(fanout);
+  std::multimap<Value, uint64_t> reference;
+  for (int i = 0; i < 800; ++i) {
+    Value key(static_cast<int64_t>(rng.NextBounded(150)));
+    uint64_t payload = rng.Next();
+    tree.Insert(key, payload);
+    reference.emplace(key, payload);
+  }
+  tree.Validate();
+  EXPECT_EQ(tree.num_payloads(), reference.size());
+
+  // Exact lookups.
+  for (int k = 0; k < 150; ++k) {
+    Value key(int64_t{k});
+    auto got = tree.Lookup(key);
+    auto [lo, hi] = reference.equal_range(key);
+    std::multiset<uint64_t> want;
+    for (auto it = lo; it != hi; ++it) want.insert(it->second);
+    EXPECT_EQ(std::multiset<uint64_t>(got.begin(), got.end()), want)
+        << "key " << k;
+  }
+
+  // Random ranges.
+  for (int trial = 0; trial < 40; ++trial) {
+    int a = static_cast<int>(rng.NextBounded(150));
+    int b = static_cast<int>(rng.NextBounded(150));
+    if (a > b) std::swap(a, b);
+    Value lo(int64_t{a});
+    Value hi(int64_t{b});
+    auto got = tree.Range(&lo, true, &hi, true);
+    std::multiset<uint64_t> want;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.upper_bound(hi); ++it) {
+      want.insert(it->second);
+    }
+    EXPECT_EQ(std::multiset<uint64_t>(got.begin(), got.end()), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreePropertyTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(3, 4, 64)));
+
+}  // namespace
+}  // namespace graphql::rel

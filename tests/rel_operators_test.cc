@@ -1,0 +1,194 @@
+#include "rel/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace graphql::rel {
+namespace {
+
+class OperatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    users_ = Table("users", Schema({"uid", "city"}));
+    ASSERT_TRUE(users_.Insert({Value(int64_t{1}), Value("sb")}).ok());
+    ASSERT_TRUE(users_.Insert({Value(int64_t{2}), Value("la")}).ok());
+    ASSERT_TRUE(users_.Insert({Value(int64_t{3}), Value("sb")}).ok());
+    orders_ = Table("orders", Schema({"uid", "amount"}));
+    ASSERT_TRUE(orders_.Insert({Value(int64_t{1}), Value(int64_t{10})}).ok());
+    ASSERT_TRUE(orders_.Insert({Value(int64_t{1}), Value(int64_t{20})}).ok());
+    ASSERT_TRUE(orders_.Insert({Value(int64_t{3}), Value(int64_t{30})}).ok());
+    orders_by_uid_ = HashIndex::Build(orders_, {0});
+    users_by_city_ = HashIndex::Build(users_, {1});
+  }
+
+  Table users_;
+  Table orders_;
+  HashIndex orders_by_uid_;
+  HashIndex users_by_city_;
+  ExecStats stats_;
+};
+
+TEST_F(OperatorsTest, SeqScanAll) {
+  SeqScan scan(&users_, {}, &stats_);
+  auto rows = Execute(&scan);
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(stats_.rows_scanned, 3u);
+}
+
+TEST_F(OperatorsTest, SeqScanWithPredicate) {
+  SeqScan scan(&users_,
+               {RowPredicate::ColConst(1, RowPredicate::Op::kEq, Value("sb"))},
+               &stats_);
+  auto rows = Execute(&scan);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value(int64_t{1}));
+  EXPECT_EQ(rows[1][0], Value(int64_t{3}));
+}
+
+TEST_F(OperatorsTest, IndexEqScan) {
+  IndexEqScan scan(&users_, &users_by_city_, {Value("sb")}, {}, &stats_);
+  auto rows = Execute(&scan);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(stats_.index_probes, 1u);
+}
+
+TEST_F(OperatorsTest, IndexEqScanMissingKey) {
+  IndexEqScan scan(&users_, &users_by_city_, {Value("nowhere")}, {}, &stats_);
+  EXPECT_TRUE(Execute(&scan).empty());
+}
+
+TEST_F(OperatorsTest, IndexNestedLoopJoin) {
+  auto left = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                        &stats_);
+  IndexNestedLoopJoin join(std::move(left), &orders_, &orders_by_uid_, {0},
+                           {}, &stats_);
+  auto rows = Execute(&join);
+  // user1 x 2 orders + user3 x 1 order.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), 4u);  // users ++ orders columns.
+  EXPECT_EQ(join.schema().size(), 4u);
+  EXPECT_EQ(stats_.index_probes, 3u);  // One probe per outer row.
+}
+
+TEST_F(OperatorsTest, JoinResidualPredicate) {
+  auto left = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                        &stats_);
+  IndexNestedLoopJoin join(
+      std::move(left), &orders_, &orders_by_uid_, {0},
+      {RowPredicate::ColConst(3, RowPredicate::Op::kGt, Value(int64_t{15}))},
+      &stats_);
+  auto rows = Execute(&join);
+  ASSERT_EQ(rows.size(), 2u);  // amounts 20 and 30.
+}
+
+TEST_F(OperatorsTest, HashJoinMatchesIndexJoin) {
+  auto inl_left = std::make_unique<SeqScan>(
+      &users_, std::vector<RowPredicate>{}, &stats_);
+  IndexNestedLoopJoin inl(std::move(inl_left), &orders_, &orders_by_uid_,
+                          {0}, {}, &stats_);
+  auto inl_rows = Execute(&inl);
+
+  auto hj_left = std::make_unique<SeqScan>(
+      &users_, std::vector<RowPredicate>{}, &stats_);
+  auto hj_right = std::make_unique<SeqScan>(
+      &orders_, std::vector<RowPredicate>{}, &stats_);
+  HashJoin hj(std::move(hj_left), std::move(hj_right), {0}, {0}, {},
+              &stats_);
+  auto hj_rows = Execute(&hj);
+
+  ASSERT_EQ(hj_rows.size(), inl_rows.size());
+  // Same row multiset (orders within buckets may differ).
+  auto canon = [](std::vector<Row> rows) {
+    std::vector<std::string> out;
+    for (const Row& r : rows) {
+      std::string s;
+      for (const Value& v : r) s += v.ToString() + "|";
+      out.push_back(s);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(canon(hj_rows), canon(inl_rows));
+}
+
+TEST_F(OperatorsTest, HashJoinResidualPredicateAndRerun) {
+  auto mk = [&]() {
+    auto l = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                       &stats_);
+    auto r = std::make_unique<SeqScan>(&orders_, std::vector<RowPredicate>{},
+                                       &stats_);
+    return std::make_unique<HashJoin>(
+        std::move(l), std::move(r), std::vector<int>{0}, std::vector<int>{0},
+        std::vector<RowPredicate>{RowPredicate::ColConst(
+            3, RowPredicate::Op::kGt, Value(int64_t{15}))},
+        &stats_);
+  };
+  auto join = mk();
+  EXPECT_EQ(Execute(join.get()).size(), 2u);
+  EXPECT_EQ(Execute(join.get()).size(), 2u);  // Open() rebuilds the table.
+}
+
+TEST_F(OperatorsTest, HashJoinEmptyBuildSide) {
+  auto l = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                     &stats_);
+  auto r = std::make_unique<SeqScan>(
+      &orders_,
+      std::vector<RowPredicate>{RowPredicate::ColConst(
+          1, RowPredicate::Op::kGt, Value(int64_t{1000}))},
+      &stats_);
+  HashJoin hj(std::move(l), std::move(r), {0}, {0}, {}, &stats_);
+  EXPECT_TRUE(Execute(&hj).empty());
+}
+
+TEST_F(OperatorsTest, FilterOperator) {
+  auto scan = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                        &stats_);
+  Filter filter(std::move(scan),
+                {RowPredicate::ColConst(0, RowPredicate::Op::kNe,
+                                        Value(int64_t{2}))},
+                &stats_);
+  EXPECT_EQ(Execute(&filter).size(), 2u);
+}
+
+TEST_F(OperatorsTest, ProjectOperator) {
+  auto scan = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                        &stats_);
+  Project proj(std::move(scan), {1});
+  auto rows = Execute(&proj);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), 1u);
+  EXPECT_EQ(rows[0][0], Value("sb"));
+  EXPECT_EQ(proj.schema().columns()[0], "city");
+}
+
+TEST_F(OperatorsTest, ExecuteRespectsLimit) {
+  SeqScan scan(&users_, {}, &stats_);
+  EXPECT_EQ(Execute(&scan, 2).size(), 2u);
+}
+
+TEST_F(OperatorsTest, PlanIsRerunnable) {
+  SeqScan scan(&users_, {}, &stats_);
+  EXPECT_EQ(Execute(&scan).size(), 3u);
+  EXPECT_EQ(Execute(&scan).size(), 3u);  // Open() resets.
+}
+
+TEST_F(OperatorsTest, ChainedJoins) {
+  // users >< orders >< users-by-city (semijoin-style second hop).
+  auto left = std::make_unique<SeqScan>(&users_, std::vector<RowPredicate>{},
+                                        &stats_);
+  auto join1 = std::make_unique<IndexNestedLoopJoin>(
+      std::move(left), &orders_, &orders_by_uid_, std::vector<int>{0},
+      std::vector<RowPredicate>{}, &stats_);
+  IndexNestedLoopJoin join2(std::move(join1), &users_, &users_by_city_,
+                            std::vector<int>{1}, std::vector<RowPredicate>{},
+                            &stats_);
+  auto rows = Execute(&join2);
+  // Each of the 3 user-order rows joins the users in the same city:
+  // sb has 2 users -> rows for uid1 (x2), uid1 (x2), uid3 (x2) = 6.
+  EXPECT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].size(), 6u);
+}
+
+}  // namespace
+}  // namespace graphql::rel

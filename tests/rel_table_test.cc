@@ -1,0 +1,114 @@
+#include "rel/table.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/index.h"
+#include "rel/row_expr.h"
+
+namespace graphql::rel {
+namespace {
+
+Table People() {
+  Table t("people", Schema({"id", "name", "age"}));
+  EXPECT_TRUE(t.Insert({Value(int64_t{1}), Value("ann"), Value(int64_t{30})})
+                  .ok());
+  EXPECT_TRUE(t.Insert({Value(int64_t{2}), Value("bob"), Value(int64_t{17})})
+                  .ok());
+  EXPECT_TRUE(t.Insert({Value(int64_t{3}), Value("ann"), Value(int64_t{40})})
+                  .ok());
+  return t;
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({"a", "b", "c"});
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("c"), 2);
+  EXPECT_EQ(s.IndexOf("z"), -1);
+}
+
+TEST(SchemaTest, Concat) {
+  Schema s = Schema({"a"}).Concat(Schema({"b", "c"}));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.IndexOf("c"), 2);
+}
+
+TEST(TableTest, InsertAndAccess) {
+  Table t = People();
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.row(1)[1], Value("bob"));
+}
+
+TEST(TableTest, InsertRejectsWrongWidth) {
+  Table t("t", Schema({"a", "b"}));
+  EXPECT_FALSE(t.Insert({Value(int64_t{1})}).ok());
+}
+
+TEST(HashIndexTest, SingleColumnLookup) {
+  Table t = People();
+  HashIndex idx = HashIndex::Build(t, {1});  // name
+  EXPECT_EQ(idx.Lookup({Value("ann")}).size(), 2u);
+  EXPECT_EQ(idx.Lookup({Value("bob")}).size(), 1u);
+  EXPECT_TRUE(idx.Lookup({Value("zed")}).empty());
+  EXPECT_EQ(idx.NumDistinctKeys(), 2u);
+}
+
+TEST(HashIndexTest, CompositeKeyLookup) {
+  Table t = People();
+  HashIndex idx = HashIndex::Build(t, {1, 2});  // (name, age)
+  EXPECT_EQ(idx.Lookup({Value("ann"), Value(int64_t{30})}).size(), 1u);
+  EXPECT_TRUE(idx.Lookup({Value("ann"), Value(int64_t{31})}).empty());
+}
+
+TEST(OrderedIndexTest, RangeLookup) {
+  Table t = People();
+  OrderedIndex idx = OrderedIndex::Build(t, 2);  // age
+  EXPECT_EQ(idx.RangeLookup(Value(int64_t{18}), Value(int64_t{35})).size(),
+            1u);
+  EXPECT_EQ(idx.RangeLookup(Value(int64_t{0}), Value(int64_t{100})).size(),
+            3u);
+  EXPECT_EQ(idx.ExactLookup(Value(int64_t{17})).size(), 1u);
+  EXPECT_TRUE(idx.ExactLookup(Value(int64_t{99})).empty());
+}
+
+TEST(RowPredicateTest, ColConstComparisons) {
+  Row row = {Value(int64_t{5}), Value("x")};
+  EXPECT_TRUE(RowPredicate::ColConst(0, RowPredicate::Op::kEq,
+                                     Value(int64_t{5}))
+                  .Eval(row));
+  EXPECT_TRUE(RowPredicate::ColConst(0, RowPredicate::Op::kGt,
+                                     Value(int64_t{4}))
+                  .Eval(row));
+  EXPECT_FALSE(RowPredicate::ColConst(0, RowPredicate::Op::kLt,
+                                      Value(int64_t{5}))
+                   .Eval(row));
+  EXPECT_TRUE(RowPredicate::ColConst(0, RowPredicate::Op::kLe,
+                                     Value(int64_t{5}))
+                  .Eval(row));
+  EXPECT_TRUE(RowPredicate::ColConst(0, RowPredicate::Op::kGe,
+                                     Value(int64_t{5}))
+                  .Eval(row));
+  EXPECT_TRUE(RowPredicate::ColConst(1, RowPredicate::Op::kNe,
+                                     Value("y"))
+                  .Eval(row));
+}
+
+TEST(RowPredicateTest, ColColComparison) {
+  Row row = {Value(int64_t{5}), Value(int64_t{5}), Value(int64_t{6})};
+  EXPECT_TRUE(RowPredicate::ColCol(0, RowPredicate::Op::kEq, 1).Eval(row));
+  EXPECT_TRUE(RowPredicate::ColCol(0, RowPredicate::Op::kNe, 2).Eval(row));
+  EXPECT_TRUE(RowPredicate::ColCol(0, RowPredicate::Op::kLt, 2).Eval(row));
+}
+
+TEST(RowPredicateTest, EvalAllConjunction) {
+  Row row = {Value(int64_t{5})};
+  std::vector<RowPredicate> preds = {
+      RowPredicate::ColConst(0, RowPredicate::Op::kGt, Value(int64_t{1})),
+      RowPredicate::ColConst(0, RowPredicate::Op::kLt, Value(int64_t{10}))};
+  EXPECT_TRUE(EvalAll(preds, row));
+  preds.push_back(
+      RowPredicate::ColConst(0, RowPredicate::Op::kEq, Value(int64_t{6})));
+  EXPECT_FALSE(EvalAll(preds, row));
+}
+
+}  // namespace
+}  // namespace graphql::rel

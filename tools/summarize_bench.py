@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Summarizes bench_output.txt into per-figure series tables.
+
+Usage:
+    python3 tools/summarize_bench.py [bench_output.txt]
+
+Parses google-benchmark console output produced by
+`for b in build/bench/*; do $b; done` and prints, per figure benchmark,
+one row per (x, series) with the per-query time or the reduction-ratio
+counters — the numbers plotted in the paper's Figures 4.20-4.23.
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+LINE = re.compile(
+    r"^(BM_\w+)/((?:[\w:]+/?)*?)\s+([\d.]+) (ns|us|ms|s)\s+"
+    r"[\d.]+ (?:ns|us|ms|s)\s+\d+\s*(.*)$"
+)
+COUNTER = re.compile(r"(\w+)=([-\d.e+]+[kMGTmunpfazy]?)")
+
+SUFFIX = {
+    "k": 1e3, "M": 1e6, "G": 1e9, "T": 1e12,
+    "m": 1e-3, "u": 1e-6, "n": 1e-9, "p": 1e-12,
+    "f": 1e-15, "a": 1e-18, "z": 1e-21, "y": 1e-24,
+}
+
+
+def parse_counter_value(text):
+    if text and text[-1] in SUFFIX:
+        return float(text[:-1]) * SUFFIX[text[-1]]
+    return float(text)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    groups = defaultdict(list)
+    with open(path) as f:
+        for raw in f:
+            m = LINE.match(raw.strip())
+            if not m:
+                continue
+            name, args, time_value, unit, rest = m.groups()
+            counters = {k: parse_counter_value(v)
+                        for k, v in COUNTER.findall(rest)}
+            label_words = [w for w in rest.split()
+                           if "=" not in w and w.strip()]
+            label = label_words[-1] if label_words else ""
+            groups[name].append((args.rstrip("/"), label,
+                                 f"{time_value} {unit}", counters))
+
+    for name in sorted(groups):
+        print(f"\n== {name} ==")
+        for args, label, time_str, counters in groups[name]:
+            parts = [f"{args:<40}"]
+            if label:
+                parts.append(f"{label:<22}")
+            parts.append(f"time/iter={time_str:<12}")
+            for key in ("s_per_query", "log10_ratio_profiles",
+                        "log10_ratio_subgraphs", "log10_ratio_refined",
+                        "matches", "candidates", "search_steps",
+                        "bipartite_checks", "geomean_space"):
+                if key in counters:
+                    parts.append(f"{key}={counters[key]:.6g}")
+            print("  " + "  ".join(parts))
+
+
+if __name__ == "__main__":
+    main()
