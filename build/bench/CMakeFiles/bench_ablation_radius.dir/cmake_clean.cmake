@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_radius.dir/bench_ablation_radius.cc.o"
+  "CMakeFiles/bench_ablation_radius.dir/bench_ablation_radius.cc.o.d"
+  "bench_ablation_radius"
+  "bench_ablation_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_refine.dir/bench_ablation_refine.cc.o"
+  "CMakeFiles/bench_ablation_refine.dir/bench_ablation_refine.cc.o.d"
+  "bench_ablation_refine"
+  "bench_ablation_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21a_clique_steps.dir/bench_fig21a_clique_steps.cc.o"
+  "CMakeFiles/bench_fig21a_clique_steps.dir/bench_fig21a_clique_steps.cc.o.d"
+  "bench_fig21a_clique_steps"
+  "bench_fig21a_clique_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21a_clique_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

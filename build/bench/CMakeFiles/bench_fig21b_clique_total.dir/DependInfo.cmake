@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig21b_clique_total.cc" "bench/CMakeFiles/bench_fig21b_clique_total.dir/bench_fig21b_clique_total.cc.o" "gcc" "bench/CMakeFiles/bench_fig21b_clique_total.dir/bench_fig21b_clique_total.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_gindex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_motif.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21b_clique_total.dir/bench_fig21b_clique_total.cc.o"
+  "CMakeFiles/bench_fig21b_clique_total.dir/bench_fig21b_clique_total.cc.o.d"
+  "bench_fig21b_clique_total"
+  "bench_fig21b_clique_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21b_clique_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig22_synthetic_steps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23b_synthetic_graph_size.dir/bench_fig23b_synthetic_graph_size.cc.o"
+  "CMakeFiles/bench_fig23b_synthetic_graph_size.dir/bench_fig23b_synthetic_graph_size.cc.o.d"
+  "bench_fig23b_synthetic_graph_size"
+  "bench_fig23b_synthetic_graph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23b_synthetic_graph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

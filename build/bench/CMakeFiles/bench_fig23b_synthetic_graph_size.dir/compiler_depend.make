@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig23b_synthetic_graph_size.
+# This may be replaced when dependencies are built.

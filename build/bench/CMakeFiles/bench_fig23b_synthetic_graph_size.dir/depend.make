@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23b_synthetic_graph_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gindex_collection.dir/bench_gindex_collection.cc.o"
+  "CMakeFiles/bench_gindex_collection.dir/bench_gindex_collection.cc.o.d"
+  "bench_gindex_collection"
+  "bench_gindex_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gindex_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

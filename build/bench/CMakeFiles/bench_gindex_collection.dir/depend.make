@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gindex_collection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table41_engines.dir/bench_table41_engines.cc.o"
+  "CMakeFiles/bench_table41_engines.dir/bench_table41_engines.cc.o.d"
+  "bench_table41_engines"
+  "bench_table41_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table41_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics.dir/analytics.cpp.o"
+  "CMakeFiles/analytics.dir/analytics.cpp.o.d"
+  "analytics"
+  "analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coauthorship.dir/coauthorship.cpp.o"
+  "CMakeFiles/coauthorship.dir/coauthorship.cpp.o.d"
+  "coauthorship"
+  "coauthorship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coauthorship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

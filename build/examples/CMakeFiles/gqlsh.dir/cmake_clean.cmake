@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqlsh.dir/gqlsh.cpp.o"
+  "CMakeFiles/gqlsh.dir/gqlsh.cpp.o.d"
+  "gqlsh"
+  "gqlsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqlsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_motif.dir/protein_motif.cpp.o"
+  "CMakeFiles/protein_motif.dir/protein_motif.cpp.o.d"
+  "protein_motif"
+  "protein_motif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

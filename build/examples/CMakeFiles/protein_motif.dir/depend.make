@@ -1,0 +1,2 @@
+# Empty dependencies file for protein_motif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_shipping.dir/rdf_shipping.cpp.o"
+  "CMakeFiles/rdf_shipping.dir/rdf_shipping.cpp.o.d"
+  "rdf_shipping"
+  "rdf_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

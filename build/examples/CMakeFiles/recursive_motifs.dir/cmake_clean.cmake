@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_motifs.dir/recursive_motifs.cpp.o"
+  "CMakeFiles/recursive_motifs.dir/recursive_motifs.cpp.o.d"
+  "recursive_motifs"
+  "recursive_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/expr.cc" "src/CMakeFiles/gql_algebra.dir/algebra/expr.cc.o" "gcc" "src/CMakeFiles/gql_algebra.dir/algebra/expr.cc.o.d"
+  "/root/repo/src/algebra/graph_template.cc" "src/CMakeFiles/gql_algebra.dir/algebra/graph_template.cc.o" "gcc" "src/CMakeFiles/gql_algebra.dir/algebra/graph_template.cc.o.d"
+  "/root/repo/src/algebra/matched_graph.cc" "src/CMakeFiles/gql_algebra.dir/algebra/matched_graph.cc.o" "gcc" "src/CMakeFiles/gql_algebra.dir/algebra/matched_graph.cc.o.d"
+  "/root/repo/src/algebra/ops.cc" "src/CMakeFiles/gql_algebra.dir/algebra/ops.cc.o" "gcc" "src/CMakeFiles/gql_algebra.dir/algebra/ops.cc.o.d"
+  "/root/repo/src/algebra/pattern.cc" "src/CMakeFiles/gql_algebra.dir/algebra/pattern.cc.o" "gcc" "src/CMakeFiles/gql_algebra.dir/algebra/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_motif.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

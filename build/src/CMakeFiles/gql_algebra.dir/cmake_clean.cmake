@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_algebra.dir/algebra/expr.cc.o"
+  "CMakeFiles/gql_algebra.dir/algebra/expr.cc.o.d"
+  "CMakeFiles/gql_algebra.dir/algebra/graph_template.cc.o"
+  "CMakeFiles/gql_algebra.dir/algebra/graph_template.cc.o.d"
+  "CMakeFiles/gql_algebra.dir/algebra/matched_graph.cc.o"
+  "CMakeFiles/gql_algebra.dir/algebra/matched_graph.cc.o.d"
+  "CMakeFiles/gql_algebra.dir/algebra/ops.cc.o"
+  "CMakeFiles/gql_algebra.dir/algebra/ops.cc.o.d"
+  "CMakeFiles/gql_algebra.dir/algebra/pattern.cc.o"
+  "CMakeFiles/gql_algebra.dir/algebra/pattern.cc.o.d"
+  "libgql_algebra.a"
+  "libgql_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_common.dir/common/rng.cc.o"
+  "CMakeFiles/gql_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/gql_common.dir/common/status.cc.o"
+  "CMakeFiles/gql_common.dir/common/status.cc.o.d"
+  "CMakeFiles/gql_common.dir/common/strings.cc.o"
+  "CMakeFiles/gql_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/gql_common.dir/common/value.cc.o"
+  "CMakeFiles/gql_common.dir/common/value.cc.o.d"
+  "libgql_common.a"
+  "libgql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_datalog.dir/datalog/database.cc.o"
+  "CMakeFiles/gql_datalog.dir/datalog/database.cc.o.d"
+  "CMakeFiles/gql_datalog.dir/datalog/evaluator.cc.o"
+  "CMakeFiles/gql_datalog.dir/datalog/evaluator.cc.o.d"
+  "CMakeFiles/gql_datalog.dir/datalog/program.cc.o"
+  "CMakeFiles/gql_datalog.dir/datalog/program.cc.o.d"
+  "CMakeFiles/gql_datalog.dir/datalog/translator.cc.o"
+  "CMakeFiles/gql_datalog.dir/datalog/translator.cc.o.d"
+  "libgql_datalog.a"
+  "libgql_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

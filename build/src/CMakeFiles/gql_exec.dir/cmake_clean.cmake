@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_exec.dir/exec/evaluator.cc.o"
+  "CMakeFiles/gql_exec.dir/exec/evaluator.cc.o.d"
+  "CMakeFiles/gql_exec.dir/exec/registry.cc.o"
+  "CMakeFiles/gql_exec.dir/exec/registry.cc.o.d"
+  "libgql_exec.a"
+  "libgql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

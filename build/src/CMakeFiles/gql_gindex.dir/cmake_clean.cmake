@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_gindex.dir/gindex/collection_index.cc.o"
+  "CMakeFiles/gql_gindex.dir/gindex/collection_index.cc.o.d"
+  "CMakeFiles/gql_gindex.dir/gindex/path_features.cc.o"
+  "CMakeFiles/gql_gindex.dir/gindex/path_features.cc.o.d"
+  "libgql_gindex.a"
+  "libgql_gindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_gindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

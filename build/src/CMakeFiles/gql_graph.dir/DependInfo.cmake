@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/collection.cc" "src/CMakeFiles/gql_graph.dir/graph/collection.cc.o" "gcc" "src/CMakeFiles/gql_graph.dir/graph/collection.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/gql_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/gql_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/tuple.cc" "src/CMakeFiles/gql_graph.dir/graph/tuple.cc.o" "gcc" "src/CMakeFiles/gql_graph.dir/graph/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_graph.dir/graph/collection.cc.o"
+  "CMakeFiles/gql_graph.dir/graph/collection.cc.o.d"
+  "CMakeFiles/gql_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/gql_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/gql_graph.dir/graph/tuple.cc.o"
+  "CMakeFiles/gql_graph.dir/graph/tuple.cc.o.d"
+  "libgql_graph.a"
+  "libgql_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_io.dir/io/serialize.cc.o"
+  "CMakeFiles/gql_io.dir/io/serialize.cc.o.d"
+  "libgql_io.a"
+  "libgql_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgql_io.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/gql_lang.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/gql_lang.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/gql_lang.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/gql_lang.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/gql_lang.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/gql_lang.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/CMakeFiles/gql_lang.dir/lang/printer.cc.o" "gcc" "src/CMakeFiles/gql_lang.dir/lang/printer.cc.o.d"
+  "/root/repo/src/lang/token.cc" "src/CMakeFiles/gql_lang.dir/lang/token.cc.o" "gcc" "src/CMakeFiles/gql_lang.dir/lang/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_lang.dir/lang/ast.cc.o"
+  "CMakeFiles/gql_lang.dir/lang/ast.cc.o.d"
+  "CMakeFiles/gql_lang.dir/lang/lexer.cc.o"
+  "CMakeFiles/gql_lang.dir/lang/lexer.cc.o.d"
+  "CMakeFiles/gql_lang.dir/lang/parser.cc.o"
+  "CMakeFiles/gql_lang.dir/lang/parser.cc.o.d"
+  "CMakeFiles/gql_lang.dir/lang/printer.cc.o"
+  "CMakeFiles/gql_lang.dir/lang/printer.cc.o.d"
+  "CMakeFiles/gql_lang.dir/lang/token.cc.o"
+  "CMakeFiles/gql_lang.dir/lang/token.cc.o.d"
+  "libgql_lang.a"
+  "libgql_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

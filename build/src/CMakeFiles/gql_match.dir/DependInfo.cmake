@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/bipartite.cc" "src/CMakeFiles/gql_match.dir/match/bipartite.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/bipartite.cc.o.d"
+  "/root/repo/src/match/cost.cc" "src/CMakeFiles/gql_match.dir/match/cost.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/cost.cc.o.d"
+  "/root/repo/src/match/label_index.cc" "src/CMakeFiles/gql_match.dir/match/label_index.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/label_index.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/CMakeFiles/gql_match.dir/match/matcher.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/matcher.cc.o.d"
+  "/root/repo/src/match/neighborhood.cc" "src/CMakeFiles/gql_match.dir/match/neighborhood.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/neighborhood.cc.o.d"
+  "/root/repo/src/match/pipeline.cc" "src/CMakeFiles/gql_match.dir/match/pipeline.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/pipeline.cc.o.d"
+  "/root/repo/src/match/profile.cc" "src/CMakeFiles/gql_match.dir/match/profile.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/profile.cc.o.d"
+  "/root/repo/src/match/refine.cc" "src/CMakeFiles/gql_match.dir/match/refine.cc.o" "gcc" "src/CMakeFiles/gql_match.dir/match/refine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_motif.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_match.dir/match/bipartite.cc.o"
+  "CMakeFiles/gql_match.dir/match/bipartite.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/cost.cc.o"
+  "CMakeFiles/gql_match.dir/match/cost.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/label_index.cc.o"
+  "CMakeFiles/gql_match.dir/match/label_index.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/matcher.cc.o"
+  "CMakeFiles/gql_match.dir/match/matcher.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/neighborhood.cc.o"
+  "CMakeFiles/gql_match.dir/match/neighborhood.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/pipeline.cc.o"
+  "CMakeFiles/gql_match.dir/match/pipeline.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/profile.cc.o"
+  "CMakeFiles/gql_match.dir/match/profile.cc.o.d"
+  "CMakeFiles/gql_match.dir/match/refine.cc.o"
+  "CMakeFiles/gql_match.dir/match/refine.cc.o.d"
+  "libgql_match.a"
+  "libgql_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

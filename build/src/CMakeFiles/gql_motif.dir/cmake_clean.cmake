@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_motif.dir/motif/builder.cc.o"
+  "CMakeFiles/gql_motif.dir/motif/builder.cc.o.d"
+  "CMakeFiles/gql_motif.dir/motif/deriver.cc.o"
+  "CMakeFiles/gql_motif.dir/motif/deriver.cc.o.d"
+  "libgql_motif.a"
+  "libgql_motif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_reach.dir/reach/reachability.cc.o"
+  "CMakeFiles/gql_reach.dir/reach/reachability.cc.o.d"
+  "CMakeFiles/gql_reach.dir/reach/scc.cc.o"
+  "CMakeFiles/gql_reach.dir/reach/scc.cc.o.d"
+  "libgql_reach.a"
+  "libgql_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

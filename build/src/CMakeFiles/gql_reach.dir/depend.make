@@ -1,0 +1,2 @@
+# Empty dependencies file for gql_reach.
+# This may be replaced when dependencies are built.

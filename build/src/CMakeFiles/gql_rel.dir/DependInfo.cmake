@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/btree.cc" "src/CMakeFiles/gql_rel.dir/rel/btree.cc.o" "gcc" "src/CMakeFiles/gql_rel.dir/rel/btree.cc.o.d"
+  "/root/repo/src/rel/index.cc" "src/CMakeFiles/gql_rel.dir/rel/index.cc.o" "gcc" "src/CMakeFiles/gql_rel.dir/rel/index.cc.o.d"
+  "/root/repo/src/rel/operators.cc" "src/CMakeFiles/gql_rel.dir/rel/operators.cc.o" "gcc" "src/CMakeFiles/gql_rel.dir/rel/operators.cc.o.d"
+  "/root/repo/src/rel/row_expr.cc" "src/CMakeFiles/gql_rel.dir/rel/row_expr.cc.o" "gcc" "src/CMakeFiles/gql_rel.dir/rel/row_expr.cc.o.d"
+  "/root/repo/src/rel/sql_plan.cc" "src/CMakeFiles/gql_rel.dir/rel/sql_plan.cc.o" "gcc" "src/CMakeFiles/gql_rel.dir/rel/sql_plan.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/CMakeFiles/gql_rel.dir/rel/table.cc.o" "gcc" "src/CMakeFiles/gql_rel.dir/rel/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_motif.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

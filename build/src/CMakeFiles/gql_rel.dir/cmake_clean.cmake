@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_rel.dir/rel/btree.cc.o"
+  "CMakeFiles/gql_rel.dir/rel/btree.cc.o.d"
+  "CMakeFiles/gql_rel.dir/rel/index.cc.o"
+  "CMakeFiles/gql_rel.dir/rel/index.cc.o.d"
+  "CMakeFiles/gql_rel.dir/rel/operators.cc.o"
+  "CMakeFiles/gql_rel.dir/rel/operators.cc.o.d"
+  "CMakeFiles/gql_rel.dir/rel/row_expr.cc.o"
+  "CMakeFiles/gql_rel.dir/rel/row_expr.cc.o.d"
+  "CMakeFiles/gql_rel.dir/rel/sql_plan.cc.o"
+  "CMakeFiles/gql_rel.dir/rel/sql_plan.cc.o.d"
+  "CMakeFiles/gql_rel.dir/rel/table.cc.o"
+  "CMakeFiles/gql_rel.dir/rel/table.cc.o.d"
+  "libgql_rel.a"
+  "libgql_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dblp.cc" "src/CMakeFiles/gql_workload.dir/workload/dblp.cc.o" "gcc" "src/CMakeFiles/gql_workload.dir/workload/dblp.cc.o.d"
+  "/root/repo/src/workload/erdos_renyi.cc" "src/CMakeFiles/gql_workload.dir/workload/erdos_renyi.cc.o" "gcc" "src/CMakeFiles/gql_workload.dir/workload/erdos_renyi.cc.o.d"
+  "/root/repo/src/workload/protein_network.cc" "src/CMakeFiles/gql_workload.dir/workload/protein_network.cc.o" "gcc" "src/CMakeFiles/gql_workload.dir/workload/protein_network.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/gql_workload.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/gql_workload.dir/workload/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gql_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gql_workload.dir/workload/dblp.cc.o"
+  "CMakeFiles/gql_workload.dir/workload/dblp.cc.o.d"
+  "CMakeFiles/gql_workload.dir/workload/erdos_renyi.cc.o"
+  "CMakeFiles/gql_workload.dir/workload/erdos_renyi.cc.o.d"
+  "CMakeFiles/gql_workload.dir/workload/protein_network.cc.o"
+  "CMakeFiles/gql_workload.dir/workload/protein_network.cc.o.d"
+  "CMakeFiles/gql_workload.dir/workload/queries.cc.o"
+  "CMakeFiles/gql_workload.dir/workload/queries.cc.o.d"
+  "libgql_workload.a"
+  "libgql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

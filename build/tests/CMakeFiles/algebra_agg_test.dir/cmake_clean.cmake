@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_agg_test.dir/algebra_agg_test.cc.o"
+  "CMakeFiles/algebra_agg_test.dir/algebra_agg_test.cc.o.d"
+  "algebra_agg_test"
+  "algebra_agg_test.pdb"
+  "algebra_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_test.dir/datalog_evaluator_test.cc.o"
+  "CMakeFiles/datalog_test.dir/datalog_evaluator_test.cc.o.d"
+  "CMakeFiles/datalog_test.dir/datalog_translator_test.cc.o"
+  "CMakeFiles/datalog_test.dir/datalog_translator_test.cc.o.d"
+  "datalog_test"
+  "datalog_test.pdb"
+  "datalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

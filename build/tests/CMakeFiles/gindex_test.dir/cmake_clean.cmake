@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gindex_test.dir/gindex_test.cc.o"
+  "CMakeFiles/gindex_test.dir/gindex_test.cc.o.d"
+  "gindex_test"
+  "gindex_test.pdb"
+  "gindex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_test.dir/lang_fuzz_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang_fuzz_test.cc.o.d"
+  "CMakeFiles/lang_test.dir/lang_lexer_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang_lexer_test.cc.o.d"
+  "CMakeFiles/lang_test.dir/lang_parser_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang_parser_test.cc.o.d"
+  "CMakeFiles/lang_test.dir/lang_printer_test.cc.o"
+  "CMakeFiles/lang_test.dir/lang_printer_test.cc.o.d"
+  "lang_test"
+  "lang_test.pdb"
+  "lang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_test.dir/match_attr_index_test.cc.o"
+  "CMakeFiles/match_test.dir/match_attr_index_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_bipartite_test.cc.o"
+  "CMakeFiles/match_test.dir/match_bipartite_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_cost_test.cc.o"
+  "CMakeFiles/match_test.dir/match_cost_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_matcher_test.cc.o"
+  "CMakeFiles/match_test.dir/match_matcher_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_neighborhood_test.cc.o"
+  "CMakeFiles/match_test.dir/match_neighborhood_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_pipeline_test.cc.o"
+  "CMakeFiles/match_test.dir/match_pipeline_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_profile_test.cc.o"
+  "CMakeFiles/match_test.dir/match_profile_test.cc.o.d"
+  "CMakeFiles/match_test.dir/match_refine_test.cc.o"
+  "CMakeFiles/match_test.dir/match_refine_test.cc.o.d"
+  "match_test"
+  "match_test.pdb"
+  "match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_test.dir/motif_builder_test.cc.o"
+  "CMakeFiles/motif_test.dir/motif_builder_test.cc.o.d"
+  "CMakeFiles/motif_test.dir/motif_recursion_test.cc.o"
+  "CMakeFiles/motif_test.dir/motif_recursion_test.cc.o.d"
+  "motif_test"
+  "motif_test.pdb"
+  "motif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_test.dir/reach_test.cc.o"
+  "CMakeFiles/reach_test.dir/reach_test.cc.o.d"
+  "reach_test"
+  "reach_test.pdb"
+  "reach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_test.dir/rel_btree_test.cc.o"
+  "CMakeFiles/rel_test.dir/rel_btree_test.cc.o.d"
+  "CMakeFiles/rel_test.dir/rel_operators_test.cc.o"
+  "CMakeFiles/rel_test.dir/rel_operators_test.cc.o.d"
+  "CMakeFiles/rel_test.dir/rel_sql_plan_test.cc.o"
+  "CMakeFiles/rel_test.dir/rel_sql_plan_test.cc.o.d"
+  "CMakeFiles/rel_test.dir/rel_table_test.cc.o"
+  "CMakeFiles/rel_test.dir/rel_table_test.cc.o.d"
+  "rel_test"
+  "rel_test.pdb"
+  "rel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

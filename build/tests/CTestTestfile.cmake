@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/motif_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/match_test[1]_include.cmake")
+include("/root/repo/build/tests/rel_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/gindex_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/reach_test[1]_include.cmake")
+include("/root/repo/build/tests/algebra_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
