@@ -13,17 +13,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "algebra/pattern.h"
 #include "match/pipeline.h"
+#include "obs/metrics.h"
 #include "rel/sql_plan.h"
 #include "workload/erdos_renyi.h"
 #include "workload/protein_network.h"
 #include "workload/queries.h"
 
 namespace graphql::bench {
+
+/// When GQL_BENCH_METRICS_JSON names a file, every bench binary dumps the
+/// global metric registry there as JSON at exit (counters and latency
+/// histograms accumulated by the pipeline during the run); feed the file
+/// to tools/summarize_bench.py. Registered from a header so each binary
+/// picks it up just by including bench_common.h.
+struct MetricsDumpAtExit {
+  MetricsDumpAtExit() {
+    static bool registered = [] {
+      std::atexit([] {
+        const char* path = std::getenv("GQL_BENCH_METRICS_JSON");
+        if (path == nullptr || *path == '\0') return;
+        std::ofstream out(path);
+        if (out) out << obs::MetricsRegistry::Global().ToJson() << "\n";
+      });
+      return true;
+    }();
+    (void)registered;
+  }
+};
+inline MetricsDumpAtExit metrics_dump_at_exit;
 
 /// The paper's per-query answer cap ("queries having too many hits (more
 /// than 1000) are terminated immediately").

@@ -11,12 +11,18 @@
 //   :show VAR          print a graph variable
 //   :docs              list registered documents
 //   :vars              list bound graph variables
+//   :metrics [json]    dump the session's metric counters/histograms
+//   :metrics reset     zero the session metrics
 //   :help              this text
 //   :quit              exit
 //
 // Anything else accumulates into a statement buffer that executes when the
 // input forms a complete (semicolon-terminated, brace-balanced) program.
+// A complete program may be prefixed with a keyword:
+//   EXPLAIN <program>  print the query plan without executing
+//   PROFILE <program>  execute, then print the trace tree + metric deltas
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -39,6 +45,32 @@ struct Shell {
   bool any_error = false;
 
   void RunProgram(const std::string& source) {
+    std::string body;
+    switch (LeadingKeyword(source, &body)) {
+      case Keyword::kExplain: {
+        auto plan = evaluator.ExplainSource(body);
+        if (!plan.ok()) {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+          any_error = true;
+          return;
+        }
+        std::printf("%s", plan->c_str());
+        return;
+      }
+      case Keyword::kProfile: {
+        bool was_profiling = evaluator.profiling();
+        evaluator.set_profiling(true);
+        Execute(body, /*print_profile=*/true);
+        evaluator.set_profiling(was_profiling);
+        return;
+      }
+      case Keyword::kNone:
+        Execute(source, /*print_profile=*/false);
+        return;
+    }
+  }
+
+  void Execute(const std::string& source, bool print_profile) {
     auto result = evaluator.RunSource(source);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -63,6 +95,29 @@ struct Shell {
         }
       }
     }
+    if (print_profile) {
+      std::printf("%s", result->profile_text.c_str());
+    }
+  }
+
+  enum class Keyword { kNone, kExplain, kProfile };
+
+  /// Detects a leading EXPLAIN/PROFILE word (case-insensitive); on a hit,
+  /// *body receives the program with the keyword stripped.
+  static Keyword LeadingKeyword(const std::string& source,
+                                std::string* body) {
+    size_t start = source.find_first_not_of(" \t\r\n");
+    if (start == std::string::npos) return Keyword::kNone;
+    size_t end = start;
+    while (end < source.size() &&
+           std::isalpha(static_cast<unsigned char>(source[end]))) {
+      ++end;
+    }
+    std::string word = source.substr(start, end - start);
+    for (char& c : word) c = std::toupper(static_cast<unsigned char>(c));
+    if (word != "EXPLAIN" && word != "PROFILE") return Keyword::kNone;
+    *body = source.substr(end);
+    return word == "EXPLAIN" ? Keyword::kExplain : Keyword::kProfile;
   }
 
   void Command(const std::string& line) {
@@ -72,7 +127,22 @@ struct Shell {
     if (cmd == ":help") {
       std::printf(
           ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :vars | "
-          ":quit\n");
+          ":metrics [json|reset] | :quit\n"
+          "EXPLAIN <program>  print the query plan without executing\n"
+          "PROFILE <program>  execute, then print trace + metric deltas\n");
+      return;
+    }
+    if (cmd == ":metrics") {
+      std::string arg;
+      in >> arg;
+      if (arg == "reset") {
+        evaluator.metrics()->Reset();
+        std::printf("metrics reset\n");
+      } else if (arg == "json") {
+        std::printf("%s\n", evaluator.metrics()->ToJson().c_str());
+      } else {
+        std::printf("%s", evaluator.metrics()->ToText().c_str());
+      }
       return;
     }
     if (cmd == ":load") {

@@ -1,15 +1,64 @@
 #include "exec/evaluator.h"
 
+#include <cstdio>
+
 #include "lang/parser.h"
 
 namespace graphql::exec {
 
+namespace {
+
+const char* StatementKindName(lang::Statement::Kind kind) {
+  switch (kind) {
+    case lang::Statement::Kind::kGraphDecl:
+      return "graph-decl";
+    case lang::Statement::Kind::kAssign:
+      return "assign";
+    case lang::Statement::Kind::kFlwr:
+      return "flwr";
+  }
+  return "?";
+}
+
+std::string FormatSize(size_t n) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%zu", n);
+  return buf;
+}
+
+}  // namespace
+
 Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   QueryResult result;
-  for (const lang::Statement& stmt : program.statements) {
-    GQL_RETURN_IF_ERROR(RunStatement(stmt, &result));
+  obs::MetricsSnapshot before;
+  if (profiling_) {
+    before = metrics_.Snapshot();
+    tracer_.set_enabled(true);
+    tracer_.Reset();
+  }
+  {
+    obs::Span program_span(ActiveTracer(), "program");
+    if (program_span.active()) {
+      program_span.SetAttr("statements",
+                           static_cast<int64_t>(program.statements.size()));
+    }
+    for (const lang::Statement& stmt : program.statements) {
+      obs::Span stmt_span(ActiveTracer(), "statement");
+      if (stmt_span.active()) {
+        stmt_span.SetAttr("kind", StatementKindName(stmt.kind));
+      }
+      GQL_RETURN_IF_ERROR(RunStatement(stmt, &result));
+    }
   }
   result.variables = variables_;
+  if (profiling_) {
+    obs::MetricsSnapshot delta = metrics_.Snapshot().DeltaSince(before);
+    result.profile_json =
+        "{\"trace\":" + tracer_.ToJson() + ",\"metrics\":" + delta.ToJson() +
+        "}";
+    result.profile_text = "-- trace --\n" + tracer_.ToText() +
+                          "-- metrics (this run) --\n" + delta.ToText();
+  }
   return result;
 }
 
@@ -22,6 +71,143 @@ Result<QueryResult> Evaluator::RunSource(std::string_view source) {
 const Graph* Evaluator::Variable(const std::string& name) const {
   auto it = variables_.find(name);
   return it == variables_.end() ? nullptr : &it->second;
+}
+
+Result<std::string> Evaluator::ExplainSource(std::string_view source) const {
+  GQL_ASSIGN_OR_RETURN(lang::Program program,
+                       lang::Parser::ParseProgram(source));
+  return Explain(program);
+}
+
+Result<std::string> Evaluator::Explain(const lang::Program& program) const {
+  // Motifs declared by the program are resolved against a scratch copy so
+  // EXPLAIN never mutates session state.
+  motif::MotifRegistry scratch = motifs_;
+  std::string out;
+  char buf[256];
+  size_t index = 0;
+  for (const lang::Statement& stmt : program.statements) {
+    ++index;
+    switch (stmt.kind) {
+      case lang::Statement::Kind::kGraphDecl: {
+        std::snprintf(buf, sizeof(buf),
+                      "[%zu] graph-decl '%s': registers a motif/pattern\n",
+                      index, stmt.graph.name.c_str());
+        out.append(buf);
+        GQL_RETURN_IF_ERROR(scratch.Register(stmt.graph));
+        break;
+      }
+      case lang::Statement::Kind::kAssign: {
+        std::snprintf(buf, sizeof(buf),
+                      "[%zu] assign %s := graph template (instantiated with "
+                      "the current variable bindings)\n",
+                      index, stmt.assign_target.c_str());
+        out.append(buf);
+        break;
+      }
+      case lang::Statement::Kind::kFlwr: {
+        const lang::FlwrExpr& flwr = stmt.flwr;
+        const lang::GraphDecl* pattern_decl =
+            flwr.pattern ? &*flwr.pattern : scratch.Find(flwr.pattern_ref);
+        if (pattern_decl == nullptr) {
+          return Status::NotFound("FLWR pattern '" + flwr.pattern_ref +
+                                  "' is not declared");
+        }
+        lang::GraphDecl pushed;
+        bool pushdown = false;
+        if (flwr.where != nullptr) {
+          pushed = *pattern_decl;
+          pushed.where = pushed.where == nullptr
+                             ? flwr.where
+                             : lang::Expr::Binary(lang::BinaryOp::kAnd,
+                                                  pushed.where, flwr.where);
+          pattern_decl = &pushed;
+          pushdown = true;
+        }
+        GQL_ASSIGN_OR_RETURN(
+            std::vector<algebra::GraphPattern> alternatives,
+            algebra::GraphPattern::CreateAll(*pattern_decl, &scratch,
+                                             build_options_));
+        std::snprintf(
+            buf, sizeof(buf), "[%zu] for %s%s in doc(\"%s\") %s\n", index,
+            alternatives.empty() ? "?" : alternatives[0].name().c_str(),
+            flwr.exhaustive ? " exhaustive" : "", flwr.doc.c_str(),
+            flwr.is_let ? ("let " + flwr.let_target).c_str() : "return");
+        out.append(buf);
+        if (pushdown) {
+          out.append(
+              "    where-pushdown: FLWR predicate folded into the pattern "
+              "(sigma_f(sigma_P(C)) = sigma_{P and f}(C))\n");
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "    pattern alternatives (motif derivations): %zu\n",
+                      alternatives.size());
+        out.append(buf);
+        size_t shown = 0;
+        for (const algebra::GraphPattern& alt : alternatives) {
+          if (++shown > 6) {
+            std::snprintf(buf, sizeof(buf), "      ... (%zu more)\n",
+                          alternatives.size() - 6);
+            out.append(buf);
+            break;
+          }
+          size_t node_preds = 0;
+          for (size_t u = 0; u < alt.graph().NumNodes(); ++u) {
+            node_preds += alt.NodePreds(static_cast<NodeId>(u)).size();
+          }
+          std::snprintf(buf, sizeof(buf),
+                        "      alt %zu: %zu nodes, %zu edges, node-preds=%zu,"
+                        " global-pred=%s\n",
+                        shown, alt.graph().NumNodes(), alt.graph().NumEdges(),
+                        node_preds, alt.has_global_pred() ? "yes" : "no");
+          out.append(buf);
+        }
+        const GraphCollection* collection =
+            docs_ != nullptr ? docs_->Find(flwr.doc) : nullptr;
+        if (collection == nullptr) {
+          std::snprintf(buf, sizeof(buf),
+                        "    doc \"%s\": NOT REGISTERED (query would fail)\n",
+                        flwr.doc.c_str());
+          out.append(buf);
+        } else {
+          size_t indexed = 0;
+          for (const Graph& g : *collection) {
+            if (index_threshold_ != 0 && g.NumNodes() >= index_threshold_) {
+              ++indexed;
+            }
+          }
+          out.append("    doc \"" + flwr.doc +
+                     "\": " + FormatSize(collection->size()) +
+                     " member graphs, " + FormatSize(indexed) +
+                     " at/above the auto-index threshold (" +
+                     FormatSize(index_threshold_) +
+                     " nodes) get a cached LabelIndex\n");
+        }
+        std::snprintf(
+            buf, sizeof(buf),
+            "    pipeline: retrieve=%s, refine-level=%d%s, order=%s, "
+            "exhaustive=%s\n",
+            match::CandidateModeName(match_options_.candidate_mode),
+            match_options_.refine_level,
+            match_options_.refine_level < 0 ? " (= pattern size)" : "",
+            match_options_.optimize_order ? "greedy-cost" : "declaration",
+            flwr.exhaustive ? "yes" : "no");
+        out.append(buf);
+        if (flwr.template_decl) {
+          out.append("    template: inline graph template\n");
+        } else if (!alternatives.empty() &&
+                   flwr.template_ref == alternatives[0].name()) {
+          out.append(
+              "    template: the matched graph itself (return pattern)\n");
+        } else {
+          out.append("    template: reference '" + flwr.template_ref +
+                     "'\n");
+        }
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 Status Evaluator::RunStatement(const lang::Statement& stmt,
@@ -65,6 +251,10 @@ Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
         it = index_cache_.end();
       }
       if (it == index_cache_.end()) {
+        obs::Span build_span(options.tracer, "index-build");
+        if (build_span.active()) {
+          build_span.SetAttr("nodes", static_cast<int64_t>(g.NumNodes()));
+        }
         match::LabelIndexOptions iopts;
         iopts.build_neighborhoods =
             options.candidate_mode == match::CandidateMode::kNeighborhood;
@@ -74,6 +264,11 @@ Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
         entry.index = std::make_unique<match::LabelIndex>(
             match::LabelIndex::Build(g, iopts));
         it = index_cache_.emplace(&g, std::move(entry)).first;
+        if (options.metrics != nullptr) {
+          options.metrics->GetCounter("exec.index.builds")->Increment();
+        }
+      } else if (options.metrics != nullptr) {
+        options.metrics->GetCounter("exec.index.cache_hits")->Increment();
       }
       index = it->second.index.get();
     }
@@ -91,6 +286,7 @@ Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
 }
 
 Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
+  obs::Span flwr_span(ActiveTracer(), "flwr");
   // Resolve the pattern.
   const lang::GraphDecl* pattern_decl = nullptr;
   if (flwr.pattern) {
@@ -144,12 +340,36 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
                             "' is neither inline nor the pattern name");
   }
 
+  if (flwr_span.active()) {
+    flwr_span.SetAttr("pattern", pattern_name);
+    flwr_span.SetAttr("doc", flwr.doc);
+    flwr_span.SetAttr("alternatives",
+                      static_cast<int64_t>(alternatives.size()));
+    flwr_span.SetAttr("members", static_cast<int64_t>(collection->size()));
+  }
+
   // Select.
   match::PipelineOptions options = match_options_;
   options.match.exhaustive = flwr.exhaustive;
+  // Route observability to this session: metrics into the Evaluator's
+  // registry (unless already redirected away from the global default) and
+  // traces into the profiling tracer when PROFILE is on.
+  if (options.metrics == &obs::MetricsRegistry::Global()) {
+    options.metrics = &metrics_;
+  }
+  if (ActiveTracer() != nullptr) options.tracer = ActiveTracer();
+  obs::Span select_span(ActiveTracer(), "select");
   GQL_ASSIGN_OR_RETURN(std::vector<algebra::MatchedGraph> matches,
                        SelectWithAutoIndex(alternatives, *collection,
                                            options));
+  if (select_span.active()) {
+    select_span.SetAttr("matches", static_cast<int64_t>(matches.size()));
+  }
+  select_span.End();
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("exec.select.matches")
+        ->Increment(matches.size());
+  }
 
   // The `let` accumulator starts from the variable's current value (or an
   // empty graph when unbound).
@@ -163,6 +383,7 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
     }
   }
 
+  obs::Span inst_span(ActiveTracer(), "instantiate");
   for (const algebra::MatchedGraph& m : matches) {
     // (The FLWR-level where was folded into the pattern predicate above.)
     if (template_is_pattern_ref) {
@@ -188,6 +409,11 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
       result->returned.Add(std::move(g));
     }
   }
+
+  if (inst_span.active()) {
+    inst_span.SetAttr("instantiations", static_cast<int64_t>(matches.size()));
+  }
+  inst_span.End();
 
   if (flwr.is_let) {
     variables_[flwr.let_target] = std::move(accumulator);

@@ -14,6 +14,8 @@
 #include "lang/ast.h"
 #include "match/pipeline.h"
 #include "motif/builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace graphql::exec {
 
@@ -23,6 +25,13 @@ namespace graphql::exec {
 struct QueryResult {
   std::unordered_map<std::string, Graph> variables;
   GraphCollection returned;
+  /// When the Evaluator ran with profiling enabled: the program's trace
+  /// tree plus the metric deltas of this run, as
+  /// {"trace": [...], "metrics": {...}} (PROFILE in gqlsh renders the
+  /// text twin below).
+  std::string profile_json;
+  /// Human-readable rendering of the same data.
+  std::string profile_text;
 };
 
 /// The GraphQL query evaluator: executes programs of graph declarations,
@@ -56,6 +65,25 @@ class Evaluator {
   /// Parses and runs source text.
   Result<QueryResult> RunSource(std::string_view source);
 
+  /// When enabled, every Run records a per-statement trace tree (FLWR
+  /// selection down to the retrieve/refine/order/search stages) and fills
+  /// QueryResult::profile_json / profile_text. Off by default: queries
+  /// then pay only the registry's per-stage counter flushes.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  /// Session-local metric registry fed by all selections this Evaluator
+  /// runs (unless mutable_match_options()->metrics was redirected).
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// The query plan as text, without executing: per statement, the derived
+  /// pattern alternatives, predicate pushdown, data source, index
+  /// decision, and pipeline configuration. Does not mutate evaluator
+  /// state (motifs declared inside the program are resolved against a
+  /// scratch registry).
+  Result<std::string> Explain(const lang::Program& program) const;
+  Result<std::string> ExplainSource(std::string_view source) const;
+
   /// Value of a graph variable from earlier statements; null if unbound.
   const Graph* Variable(const std::string& name) const;
 
@@ -71,6 +99,11 @@ class Evaluator {
   Status RunStatement(const lang::Statement& stmt, QueryResult* result);
   Status RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result);
 
+  /// Tracer destination while profiling; null otherwise.
+  obs::Tracer* ActiveTracer() {
+    return profiling_ ? &tracer_ : nullptr;
+  }
+
   /// Selection over a collection with per-member auto-indexing; semantics
   /// identical to match::SelectCollectionAny.
   Result<std::vector<algebra::MatchedGraph>> SelectWithAutoIndex(
@@ -84,6 +117,9 @@ class Evaluator {
   match::PipelineOptions match_options_;
   motif::BuildOptions build_options_;
   size_t index_threshold_ = 512;
+  bool profiling_ = false;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_{false};
   /// Cache key is the member graph's address; the stored shape guards
   /// against a re-registered document reusing the same address (the cache
   /// entry is rebuilt when node/edge counts changed). Re-registering a

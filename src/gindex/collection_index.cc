@@ -1,18 +1,9 @@
 #include "gindex/collection_index.h"
 
-#include <chrono>
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace graphql::gindex {
-
-namespace {
-
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 CollectionIndex CollectionIndex::Build(const GraphCollection& collection,
                                        const Options& options) {
@@ -65,10 +56,21 @@ std::vector<size_t> CollectionIndex::CandidateGraphs(
 Result<std::vector<algebra::MatchedGraph>> CollectionIndex::Select(
     const algebra::GraphPattern& pattern,
     const match::PipelineOptions& options, SelectStats* stats) const {
-  int64_t t0 = NowMicros();
-  std::vector<size_t> candidates = CandidateGraphs(pattern);
-  int64_t t1 = NowMicros();
+  obs::Span select_span(options.tracer, "gindex.select",
+                        obs::Span::Timing::kAlways);
+  if (select_span.active()) {
+    select_span.SetAttr("members",
+                        static_cast<int64_t>(collection_->size()));
+  }
 
+  obs::Span filter_span(options.tracer, "filter", obs::Span::Timing::kAlways);
+  std::vector<size_t> candidates = CandidateGraphs(pattern);
+  if (filter_span.active()) {
+    filter_span.SetAttr("candidates", static_cast<int64_t>(candidates.size()));
+  }
+  filter_span.End();
+
+  obs::Span verify_span(options.tracer, "verify", obs::Span::Timing::kAlways);
   std::vector<algebra::MatchedGraph> out;
   size_t verified = 0;
   for (size_t i : candidates) {
@@ -78,12 +80,27 @@ Result<std::vector<algebra::MatchedGraph>> CollectionIndex::Select(
     if (!matches.empty()) ++verified;
     for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
   }
-  int64_t t2 = NowMicros();
+  if (verify_span.active()) {
+    verify_span.SetAttr("graphs_with_matches",
+                        static_cast<int64_t>(verified));
+  }
+  verify_span.End();
+  select_span.End();
+
   if (stats != nullptr) {
     stats->candidates = candidates.size();
     stats->verified_matches = verified;
-    stats->us_filter = t1 - t0;
-    stats->us_verify = t2 - t1;
+    stats->us_filter = filter_span.DurationMicros();
+    stats->us_verify = verify_span.DurationMicros();
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("gindex.select.queries")->Increment();
+    options.metrics->GetCounter("gindex.filter.candidates")
+        ->Increment(candidates.size());
+    options.metrics->GetCounter("gindex.verify.graphs_with_matches")
+        ->Increment(verified);
+    options.metrics->GetHistogram("gindex.select.us")
+        ->Record(static_cast<uint64_t>(select_span.DurationMicros()));
   }
   return out;
 }

@@ -13,7 +13,7 @@ class SearchEngine {
                const std::vector<std::vector<NodeId>>& candidates,
                const std::vector<NodeId>& order, const MatchOptions& options,
                const std::function<bool(const algebra::MatchedGraph&)>& sink,
-               SearchStats* stats)
+               SearchStats* stats, obs::MetricsRegistry* metrics)
       : pattern_(pattern),
         p_(pattern.graph()),
         data_(data),
@@ -21,7 +21,8 @@ class SearchEngine {
         order_(order),
         options_(options),
         sink_(sink),
-        stats_(stats) {
+        stats_(stats),
+        metrics_(metrics) {
     assign_.assign(p_.NumNodes(), kInvalidNode);
     edge_assign_.assign(p_.NumEdges(), kInvalidEdge);
     used_.assign(data.NumNodes(), 0);
@@ -53,13 +54,41 @@ class SearchEngine {
     }
     if (p_.NumNodes() == 0) return Status::OK();
     Dfs(0);
+    Flush();
     return status_;
   }
 
  private:
+  /// Counters accumulate in `local_` during the DFS (register increments,
+  /// no sharing); one flush at the end feeds the caller's stats and the
+  /// metrics registry.
+  void Flush() {
+    if (stats_ != nullptr) {
+      stats_->steps += local_.steps;
+      stats_->edge_checks += local_.edge_checks;
+      stats_->backtracks += local_.backtracks;
+      stats_->budget_exhausted |= local_.budget_exhausted;
+      stats_->truncated |= local_.truncated;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("match.search.steps")->Increment(local_.steps);
+      metrics_->GetCounter("match.search.edge_checks")
+          ->Increment(local_.edge_checks);
+      metrics_->GetCounter("match.search.backtracks")
+          ->Increment(local_.backtracks);
+      metrics_->GetCounter("match.search.matches")->Increment(matches_);
+      if (local_.budget_exhausted) {
+        metrics_->GetCounter("match.search.budget_exhausted")->Increment();
+      }
+      if (local_.truncated) {
+        metrics_->GetCounter("match.search.truncated")->Increment();
+      }
+    }
+  }
+
   bool Budget() {
-    if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
-      if (stats_ != nullptr) stats_->budget_exhausted = true;
+    if (options_.max_steps != 0 && local_.steps >= options_.max_steps) {
+      local_.budget_exhausted = true;
       return false;
     }
     return true;
@@ -100,7 +129,7 @@ class SearchEngine {
         from = v;
         to = v;
       }
-      if (stats_ != nullptr) ++stats_->edge_checks;
+      ++local_.edge_checks;
       if (!data_.HasEdgeBetween(from, to)) return false;
       if (trivial_edge_[pe]) {
         edge_assign_[pe] = kInvalidEdge;  // Resolved lazily on emit.
@@ -129,7 +158,7 @@ class SearchEngine {
     if (!sink_(m)) return false;
     if (!options_.exhaustive) return false;
     if (matches_ >= options_.max_matches) {
-      if (stats_ != nullptr) stats_->truncated = true;
+      local_.truncated = true;
       return false;
     }
     return true;
@@ -152,8 +181,7 @@ class SearchEngine {
     NodeId u = order_[pos];
     for (NodeId v : candidates_[u]) {
       if (used_[v]) continue;
-      ++steps_;
-      if (stats_ != nullptr) ++stats_->steps;
+      ++local_.steps;
       if (!Budget()) return false;
       if (!Check(pos, u, v)) continue;
       assign_[u] = v;
@@ -161,6 +189,7 @@ class SearchEngine {
       bool keep_going = Dfs(pos + 1);
       used_[v] = 0;
       assign_[u] = kInvalidNode;
+      ++local_.backtracks;
       if (!keep_going) return false;
     }
     return true;
@@ -174,6 +203,7 @@ class SearchEngine {
   const MatchOptions& options_;
   const std::function<bool(const algebra::MatchedGraph&)>& sink_;
   SearchStats* stats_;
+  obs::MetricsRegistry* metrics_;
 
   std::vector<NodeId> assign_;
   std::vector<EdgeId> edge_assign_;
@@ -181,7 +211,7 @@ class SearchEngine {
   std::vector<int> position_;
   std::vector<std::vector<EdgeId>> back_edges_;
   std::vector<char> trivial_edge_;
-  uint64_t steps_ = 0;
+  SearchStats local_;
   size_t matches_ = 0;
   Status status_;
 };
@@ -192,14 +222,14 @@ Result<std::vector<algebra::MatchedGraph>> SearchMatches(
     const algebra::GraphPattern& pattern, const Graph& data,
     const std::vector<std::vector<NodeId>>& candidates,
     const std::vector<NodeId>& order, const MatchOptions& options,
-    SearchStats* stats) {
+    SearchStats* stats, obs::MetricsRegistry* metrics) {
   std::vector<algebra::MatchedGraph> out;
   auto sink = [&out](const algebra::MatchedGraph& m) {
     out.push_back(m);
     return true;
   };
   GQL_RETURN_IF_ERROR(SearchMatchesStreaming(pattern, data, candidates, order,
-                                             options, sink, stats));
+                                             options, sink, stats, metrics));
   return out;
 }
 
@@ -208,8 +238,9 @@ Status SearchMatchesStreaming(
     const std::vector<std::vector<NodeId>>& candidates,
     const std::vector<NodeId>& order, const MatchOptions& options,
     const std::function<bool(const algebra::MatchedGraph&)>& sink,
-    SearchStats* stats) {
-  SearchEngine engine(pattern, data, candidates, order, options, sink, stats);
+    SearchStats* stats, obs::MetricsRegistry* metrics) {
+  SearchEngine engine(pattern, data, candidates, order, options, sink, stats,
+                      metrics);
   return engine.Run();
 }
 

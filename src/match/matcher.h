@@ -9,6 +9,7 @@
 #include "algebra/pattern.h"
 #include "common/result.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace graphql::match {
 
@@ -28,6 +29,7 @@ struct MatchOptions {
 struct SearchStats {
   uint64_t steps = 0;           ///< Candidate nodes tried (Search loop).
   uint64_t edge_checks = 0;     ///< Check() edge probes.
+  uint64_t backtracks = 0;      ///< Assignments undone during the DFS.
   bool budget_exhausted = false;
   bool truncated = false;       ///< Stopped due to max_matches.
 };
@@ -44,11 +46,16 @@ struct SearchStats {
 ///
 /// Candidates are assumed NodeCompatible (F_u already evaluated during
 /// retrieval); the search re-checks only edges and the global predicate.
+///
+/// Counters are accumulated locally during the DFS and flushed once into
+/// `metrics` (match.search.{steps, edge_checks, backtracks, matches,
+/// budget_exhausted}) when the search finishes, so instrumentation adds no
+/// per-step synchronization.
 Result<std::vector<algebra::MatchedGraph>> SearchMatches(
     const algebra::GraphPattern& pattern, const Graph& data,
     const std::vector<std::vector<NodeId>>& candidates,
     const std::vector<NodeId>& order, const MatchOptions& options = {},
-    SearchStats* stats = nullptr);
+    SearchStats* stats = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
 /// Streaming variant: invokes `sink` for every match; return false from the
 /// sink to stop the search. Used by the FLWR evaluator's accumulating let.
@@ -57,7 +64,7 @@ Status SearchMatchesStreaming(
     const std::vector<std::vector<NodeId>>& candidates,
     const std::vector<NodeId>& order, const MatchOptions& options,
     const std::function<bool(const algebra::MatchedGraph&)>& sink,
-    SearchStats* stats = nullptr);
+    SearchStats* stats = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
 /// First phase of Algorithm 4.1 without any index: scans all data nodes
 /// and keeps those passing the feasible-mate test F_u. This is the

@@ -129,7 +129,11 @@ struct SubIsoState {
 
 bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
                                const NeighborhoodSubgraph& data,
-                               uint64_t step_budget) {
+                               uint64_t step_budget,
+                               obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.neighborhood.tests")->Increment();
+  }
   const Graph& q = query.sub;
   const Graph& d = data.sub;
   if (q.NumNodes() > d.NumNodes() || q.NumEdges() > d.NumEdges()) {
@@ -164,7 +168,14 @@ bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
   for (size_t v = 0; v < q.NumNodes(); ++v) {
     if (!seen[v]) order.push_back(static_cast<NodeId>(v));
   }
-  return state.Dfs(0, order);
+  bool found = state.Dfs(0, order);
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.neighborhood.steps")->Increment(state.steps);
+    if (state.budget_hit) {
+      metrics->GetCounter("match.neighborhood.budget_hits")->Increment();
+    }
+  }
+  return found;
 }
 
 }  // namespace graphql::match

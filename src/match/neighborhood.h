@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace graphql::match {
 
@@ -32,9 +33,13 @@ NeighborhoodSubgraph ExtractNeighborhood(const Graph& g, NodeId v,
 ///
 /// `step_budget` bounds the DFS (the test is itself NP-hard); on budget
 /// exhaustion the test conservatively returns true (no pruning).
+///
+/// When `metrics` is given, the test emits match.neighborhood.{tests,
+/// steps, budget_hits} counters.
 bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
                                const NeighborhoodSubgraph& data,
-                               uint64_t step_budget = 100000);
+                               uint64_t step_budget = 100000,
+                               obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace graphql::match
 

@@ -1,18 +1,11 @@
 #include "match/pipeline.h"
 
-#include <chrono>
 #include <optional>
 #include <string>
 
 namespace graphql::match {
 
 namespace {
-
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Profile of a pattern node against the data dictionary: labels within
 /// `radius` hops in the pattern graph, looked up (never interned) so that
@@ -177,13 +170,27 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     stats->size_attr.assign(k, 0);
     stats->size_retrieved.assign(k, 0);
   }
+  obs::MetricsRegistry* metrics = options.metrics;
+  // Feasible-mate accounting, accumulated locally and flushed once.
+  uint64_t feasible_hits = 0;
+  uint64_t feasible_misses = 0;
+  uint64_t profile_pruned = 0;
+  uint64_t neighborhood_pruned = 0;
   if (index == nullptr) {
     out = ScanCandidates(pattern, data);
-    if (stats != nullptr) {
-      for (size_t u = 0; u < k; ++u) {
+    size_t kept = 0;
+    for (size_t u = 0; u < k; ++u) {
+      kept += out[u].size();
+      if (stats != nullptr) {
         stats->size_attr[u] = out[u].size();
         stats->size_retrieved[u] = out[u].size();
       }
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("match.retrieve.scans")->Increment();
+      metrics->GetCounter("match.retrieve.feasible_hits")->Increment(kept);
+      metrics->GetCounter("match.retrieve.feasible_misses")
+          ->Increment(k * data.NumNodes() - kept);
     }
     return out;
   }
@@ -215,6 +222,8 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     for (NodeId v : *base) {
       if (pattern.NodeCompatible(pu, data, v)) attr_stage.push_back(v);
     }
+    feasible_hits += attr_stage.size();
+    feasible_misses += base->size() - attr_stage.size();
     if (stats != nullptr) stats->size_attr[u] = attr_stage.size();
 
     // Stage 2: local pruning by profiles or neighborhood subgraphs.
@@ -234,6 +243,7 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
             out[u].push_back(v);
           }
         }
+        profile_pruned += attr_stage.size() - out[u].size();
         break;
       }
       case CandidateMode::kNeighborhood: {
@@ -245,14 +255,29 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
             ExtractNeighborhood(p, pu, index->options().radius);
         for (NodeId v : attr_stage) {
           if (NeighborhoodSubIsomorphic(want, index->neighborhood(v),
-                                        options.neighborhood_step_budget)) {
+                                        options.neighborhood_step_budget,
+                                        metrics)) {
             out[u].push_back(v);
           }
         }
+        neighborhood_pruned += attr_stage.size() - out[u].size();
         break;
       }
     }
     if (stats != nullptr) stats->size_retrieved[u] = out[u].size();
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.retrieve.feasible_hits")
+        ->Increment(feasible_hits);
+    metrics->GetCounter("match.retrieve.feasible_misses")
+        ->Increment(feasible_misses);
+    if (options.candidate_mode == CandidateMode::kProfile) {
+      metrics->GetCounter("match.retrieve.profile_pruned")
+          ->Increment(profile_pruned);
+    } else if (options.candidate_mode == CandidateMode::kNeighborhood) {
+      metrics->GetCounter("match.retrieve.neighborhood_pruned")
+          ->Increment(neighborhood_pruned);
+    }
   }
   return out;
 }
@@ -262,45 +287,113 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     const LabelIndex* index, const PipelineOptions& options,
     PipelineStats* stats) {
   const size_t k = pattern.graph().NumNodes();
+  obs::Tracer* tracer = options.tracer;
+  obs::MetricsRegistry* metrics = options.metrics;
 
-  int64_t t0 = NowMicros();
+  // One span per pipeline stage; PipelineStats stage micros are the span
+  // durations, so EXPLAIN/PROFILE and the figure benchmarks report the
+  // same numbers from the same clock.
+  obs::Span query_span(tracer, "match", obs::Span::Timing::kAlways);
+  if (query_span.active()) {
+    if (!pattern.name().empty()) query_span.SetAttr("pattern", pattern.name());
+    query_span.SetAttr("pattern_nodes", static_cast<int64_t>(k));
+    query_span.SetAttr("data_nodes",
+                       static_cast<int64_t>(data.NumNodes()));
+    query_span.SetAttr("mode", CandidateModeName(options.candidate_mode));
+    query_span.SetAttr("indexed", static_cast<int64_t>(index != nullptr));
+  }
+
+  obs::Span retrieve_span(tracer, "retrieve", obs::Span::Timing::kAlways);
   std::vector<std::vector<NodeId>> candidates =
       RetrieveCandidates(pattern, data, index, options, stats);
-  int64_t t1 = NowMicros();
+  if (retrieve_span.active()) {
+    size_t total = 0;
+    for (const auto& c : candidates) total += c.size();
+    retrieve_span.SetAttr("candidates", static_cast<int64_t>(total));
+  }
+  retrieve_span.End();
 
+  obs::Span refine_span(tracer, "refine", obs::Span::Timing::kAlways);
   int level = options.refine_level;
   if (level < 0) level = static_cast<int>(k);
+  RefineStats refine_stats;
   if (level > 0) {
-    RefineSearchSpace(pattern, data, level, &candidates,
-                      stats != nullptr ? &stats->refine : nullptr,
-                      options.refine_use_marking);
+    RefineSearchSpace(pattern, data, level, &candidates, &refine_stats,
+                      options.refine_use_marking, metrics);
   }
-  int64_t t2 = NowMicros();
+  if (refine_span.active()) {
+    refine_span.SetAttr("level", static_cast<int64_t>(level));
+    refine_span.SetAttr("bipartite_checks",
+                        static_cast<int64_t>(refine_stats.bipartite_checks));
+    refine_span.SetAttr("removed",
+                        static_cast<int64_t>(refine_stats.removed));
+    refine_span.SetAttr("dirty_skips",
+                        static_cast<int64_t>(refine_stats.dirty_skips));
+  }
+  refine_span.End();
   if (stats != nullptr) {
+    stats->refine.bipartite_checks += refine_stats.bipartite_checks;
+    stats->refine.removed += refine_stats.removed;
+    stats->refine.dirty_skips += refine_stats.dirty_skips;
+    stats->refine.levels_run = refine_stats.levels_run;
     stats->size_refined.assign(k, 0);
     for (size_t u = 0; u < k; ++u) {
       stats->size_refined[u] = candidates[u].size();
     }
   }
 
+  obs::Span order_span(tracer, "order", obs::Span::Timing::kAlways);
   std::vector<NodeId> order =
       options.optimize_order
           ? GreedySearchOrder(pattern, candidates, index, options.order)
           : DeclarationOrder(pattern);
-  int64_t t3 = NowMicros();
+  if (order_span.active()) {
+    order_span.SetAttr("strategy",
+                       options.optimize_order ? "greedy-cost" : "declaration");
+  }
+  order_span.End();
 
+  obs::Span search_span(tracer, "search", obs::Span::Timing::kAlways);
+  SearchStats search_stats;
   Result<std::vector<algebra::MatchedGraph>> matches =
       SearchMatches(pattern, data, candidates, order, options.match,
-                    stats != nullptr ? &stats->search : nullptr);
-  int64_t t4 = NowMicros();
+                    &search_stats, metrics);
+  if (search_span.active()) {
+    search_span.SetAttr("steps", static_cast<int64_t>(search_stats.steps));
+    search_span.SetAttr("backtracks",
+                        static_cast<int64_t>(search_stats.backtracks));
+    search_span.SetAttr("edge_checks",
+                        static_cast<int64_t>(search_stats.edge_checks));
+    search_span.SetAttr(
+        "matches",
+        static_cast<int64_t>(matches.ok() ? matches.value().size() : 0));
+  }
+  search_span.End();
+
+  if (query_span.active()) {
+    query_span.SetAttr(
+        "matches",
+        static_cast<int64_t>(matches.ok() ? matches.value().size() : 0));
+  }
+  query_span.End();
 
   if (stats != nullptr) {
-    stats->us_retrieve = t1 - t0;
-    stats->us_refine = t2 - t1;
-    stats->us_order = t3 - t2;
-    stats->us_search = t4 - t3;
+    stats->us_retrieve = retrieve_span.DurationMicros();
+    stats->us_refine = refine_span.DurationMicros();
+    stats->us_order = order_span.DurationMicros();
+    stats->us_search = search_span.DurationMicros();
+    stats->search.steps += search_stats.steps;
+    stats->search.edge_checks += search_stats.edge_checks;
+    stats->search.backtracks += search_stats.backtracks;
+    stats->search.budget_exhausted |= search_stats.budget_exhausted;
+    stats->search.truncated |= search_stats.truncated;
     stats->order = order;
     stats->num_matches = matches.ok() ? matches.value().size() : 0;
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.queries")->Increment();
+    metrics->GetHistogram("match.query.us")
+        ->Record(static_cast<uint64_t>(query_span.DurationMicros()));
   }
   return matches;
 }

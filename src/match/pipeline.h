@@ -12,6 +12,8 @@
 #include "match/label_index.h"
 #include "match/matcher.h"
 #include "match/refine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace graphql::match {
 
@@ -47,6 +49,17 @@ struct PipelineOptions {
   MatchOptions match;
   /// Step budget for each neighborhood sub-isomorphism test.
   uint64_t neighborhood_step_budget = 100000;
+  /// Metric sink for pipeline counters (search steps, pruning hits, ...).
+  /// Counters are accumulated locally and flushed once per stage, so the
+  /// default global registry costs a handful of atomic adds per query.
+  /// Null disables counter emission entirely.
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::Global();
+  /// Destination for per-query trace trees (EXPLAIN/PROFILE). Null (the
+  /// default) disables tracing; stage timings in PipelineStats are still
+  /// measured. When set, MatchPattern records a "match" span with
+  /// retrieve/refine/order/search children whose durations are exactly the
+  /// PipelineStats stage micros.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Per-stage measurements for one MatchPattern run; the benchmark harness

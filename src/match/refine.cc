@@ -33,10 +33,12 @@ std::vector<NodeId> UniqueNeighbors(const Graph& g, NodeId v) {
 
 void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
                        int level, std::vector<std::vector<NodeId>>* candidates,
-                       RefineStats* stats, bool use_marking) {
+                       RefineStats* stats, bool use_marking,
+                       obs::MetricsRegistry* metrics) {
   const Graph& p = pattern.graph();
   size_t k = p.NumNodes();
   if (k == 0 || level <= 0) return;
+  RefineStats local;  // Counted unconditionally; flushed once at the end.
 
   // Pattern neighbor lists (tiny, precompute once).
   std::vector<std::vector<NodeId>> pnbr(k);
@@ -60,7 +62,7 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
 
   std::vector<std::vector<int>> adj;  // Reused bipartite adjacency buffer.
   for (int l = 0; l < level; ++l) {
-    if (stats != nullptr) stats->levels_run = l + 1;
+    local.levels_run = l + 1;
     std::vector<uint64_t> todo;
     if (use_marking) {
       todo.assign(marked.begin(), marked.end());
@@ -79,7 +81,10 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
     for (uint64_t key : todo) {
       NodeId u = static_cast<NodeId>(key >> 32);
       NodeId v = static_cast<NodeId>(key & 0xffffffffu);
-      if (!in_cand[u][v]) continue;  // Already removed this level.
+      if (!in_cand[u][v]) {  // Already removed this level.
+        ++local.dirty_skips;
+        continue;
+      }
       const std::vector<NodeId>& nu = pnbr[u];
       if (nu.empty()) {
         marked.erase(key);
@@ -93,7 +98,7 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
           if (row[nv[j]]) adj[i].push_back(static_cast<int>(j));
         }
       }
-      if (stats != nullptr) ++stats->bipartite_checks;
+      ++local.bipartite_checks;
       if (HasSemiPerfectMatching(static_cast<int>(nu.size()),
                                  static_cast<int>(nv.size()), adj)) {
         marked.erase(key);
@@ -103,7 +108,7 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
       in_cand[u][v] = 0;
       marked.erase(key);
       changed = true;
-      if (stats != nullptr) ++stats->removed;
+      ++local.removed;
       for (NodeId u2 : pnbr[u]) {
         for (NodeId v2 : nv) {
           if (in_cand[u2][v2]) {
@@ -122,6 +127,22 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
     list.erase(std::remove_if(list.begin(), list.end(),
                               [&](NodeId v) { return !in_cand[u][v]; }),
                list.end());
+  }
+
+  if (stats != nullptr) {
+    stats->bipartite_checks += local.bipartite_checks;
+    stats->removed += local.removed;
+    stats->dirty_skips += local.dirty_skips;
+    stats->levels_run = local.levels_run;
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.refine.bipartite_checks")
+        ->Increment(local.bipartite_checks);
+    metrics->GetCounter("match.refine.removed")->Increment(local.removed);
+    metrics->GetCounter("match.refine.dirty_skips")
+        ->Increment(local.dirty_skips);
+    metrics->GetCounter("match.refine.levels")
+        ->Increment(static_cast<uint64_t>(local.levels_run));
   }
 }
 

@@ -6,12 +6,15 @@
 
 #include "algebra/pattern.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace graphql::match {
 
 struct RefineStats {
   uint64_t bipartite_checks = 0;  ///< Semi-perfect matching tests run.
   uint64_t removed = 0;           ///< Candidates pruned from the space.
+  uint64_t dirty_skips = 0;       ///< Marked pairs already removed when
+                                  ///< their turn came (saved re-checks).
   int levels_run = 0;             ///< Levels before the fixpoint/limit.
 };
 
@@ -31,9 +34,13 @@ struct RefineStats {
 ///
 /// The refinement is sound: it never removes a candidate that participates
 /// in a real match (verified by property tests).
+///
+/// When `metrics` is given, one end-of-call flush emits
+/// match.refine.{bipartite_checks, removed, dirty_skips, levels}.
 void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
                        int level, std::vector<std::vector<NodeId>>* candidates,
-                       RefineStats* stats = nullptr, bool use_marking = true);
+                       RefineStats* stats = nullptr, bool use_marking = true,
+                       obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace graphql::match
 

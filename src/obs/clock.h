@@ -1,0 +1,20 @@
+#ifndef GRAPHQL_OBS_CLOCK_H_
+#define GRAPHQL_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace graphql::obs {
+
+/// Monotonic wall-clock in microseconds. The single timing primitive shared
+/// by the selection pipeline, the collection index, the tracer, and the
+/// benchmarks (replaces the per-file chrono lambdas).
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace graphql::obs
+
+#endif  // GRAPHQL_OBS_CLOCK_H_

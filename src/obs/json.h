@@ -1,0 +1,46 @@
+#ifndef GRAPHQL_OBS_JSON_H_
+#define GRAPHQL_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace graphql::obs {
+
+/// Appends `s` to `out` as a quoted JSON string (escapes quotes,
+/// backslashes, and control characters).
+inline void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace graphql::obs
+
+#endif  // GRAPHQL_OBS_JSON_H_

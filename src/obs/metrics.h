@@ -1,0 +1,120 @@
+#ifndef GRAPHQL_OBS_METRICS_H_
+#define GRAPHQL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace graphql::obs {
+
+/// Monotonic counter with thread-safe, wait-free increments. Obtained from
+/// (and owned by) a MetricsRegistry; pointers stay valid for the
+/// registry's lifetime, so hot paths may cache them.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Log2-bucketed latency/size histogram: bucket 0 holds the value 0 and
+/// bucket i (1..63) holds values in [2^(i-1), 2^i). Recording is a couple
+/// of relaxed atomic adds, safe from any thread.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(uint64_t value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+  /// Index of the bucket a value falls into.
+  static int BucketOf(uint64_t value);
+  /// Inclusive upper bound of a bucket's value range.
+  static uint64_t BucketUpperBound(int i);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+
+  double Mean() const;
+  /// Approximate percentile (p in [0,100]): the upper bound of the first
+  /// bucket whose cumulative count reaches p% of the total. 0 when empty.
+  uint64_t Percentile(double p) const;
+};
+
+/// Point-in-time copy of a whole registry; also the unit of export.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Per-metric difference against an earlier snapshot of the same
+  /// registry (counters and buckets subtract; metrics absent from `base`
+  /// pass through). Used for per-query PROFILE deltas.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+
+  /// {"counters": {...}, "histograms": {name: {count, sum, buckets}}}.
+  std::string ToJson() const;
+  /// Human-readable table: one line per counter, one per histogram with
+  /// count/mean/p50/p90/p99.
+  std::string ToText() const;
+};
+
+/// Named metric registry. Lookup takes a mutex; increments on the returned
+/// objects are lock-free. Metric names are dot-separated hierarchies,
+/// lowest level last, e.g. "match.search.steps" (see DESIGN.md,
+/// Observability).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. A name must stay one kind.
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (names stay registered, and cached
+  /// pointers stay valid).
+  void Reset();
+
+  std::string ToJson() const { return Snapshot().ToJson(); }
+  std::string ToText() const { return Snapshot().ToText(); }
+
+  /// Process-wide default registry; PipelineOptions points here unless
+  /// redirected (the Evaluator uses its own instance per session).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace graphql::obs
+
+#endif  // GRAPHQL_OBS_METRICS_H_

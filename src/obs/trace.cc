@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+
+namespace graphql::obs {
+
+const TraceNode* TraceNode::Child(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+int64_t TraceNode::Attr(std::string_view key, int64_t fallback) const {
+  for (const TraceAttr& a : attrs) {
+    if (a.is_num && a.key == key) return a.num;
+  }
+  return fallback;
+}
+
+void Tracer::Reset() {
+  roots_.clear();
+  stack_.clear();
+  num_nodes_ = 0;
+  dropped_ = 0;
+}
+
+TraceNode* Tracer::BeginSpan(std::string_view name, int64_t start_us) {
+  if (!enabled_) return nullptr;
+  if (num_nodes_ >= max_nodes_) {
+    ++dropped_;
+    return nullptr;
+  }
+  auto node = std::make_unique<TraceNode>();
+  node->name = std::string(name);
+  node->start_us = start_us;
+  TraceNode* raw = node.get();
+  if (stack_.empty()) {
+    roots_.push_back(std::move(node));
+  } else {
+    stack_.back()->children.push_back(std::move(node));
+  }
+  stack_.push_back(raw);
+  ++num_nodes_;
+  return raw;
+}
+
+void Tracer::EndSpan(TraceNode* node) {
+  // Well-nested RAII spans end in reverse begin order; pop defensively in
+  // case an inner span outlived its parent.
+  while (!stack_.empty()) {
+    TraceNode* top = stack_.back();
+    stack_.pop_back();
+    if (top == node) break;
+  }
+}
+
+namespace {
+
+void AppendDuration(int64_t us, std::string* out) {
+  char buf[32];
+  if (us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(us) / 1e6);
+  } else if (us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", us);
+  }
+  out->append(buf);
+}
+
+void NodeToText(const TraceNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.name);
+  out->append("  ");
+  AppendDuration(node.duration_us, out);
+  for (const TraceAttr& a : node.attrs) {
+    out->append("  ");
+    out->append(a.key);
+    out->push_back('=');
+    if (a.is_num) {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, a.num);
+      out->append(buf);
+    } else {
+      out->append(a.text);
+    }
+  }
+  out->push_back('\n');
+  for (const auto& c : node.children) NodeToText(*c, depth + 1, out);
+}
+
+void NodeToJson(const TraceNode& node, std::string* out) {
+  char buf[32];
+  out->append("{\"name\":");
+  AppendJsonString(node.name, out);
+  std::snprintf(buf, sizeof(buf), ",\"start_us\":%" PRId64, node.start_us);
+  out->append(buf);
+  std::snprintf(buf, sizeof(buf), ",\"us\":%" PRId64, node.duration_us);
+  out->append(buf);
+  if (!node.attrs.empty()) {
+    out->append(",\"attrs\":{");
+    bool first = true;
+    for (const TraceAttr& a : node.attrs) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendJsonString(a.key, out);
+      out->push_back(':');
+      if (a.is_num) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, a.num);
+        out->append(buf);
+      } else {
+        AppendJsonString(a.text, out);
+      }
+    }
+    out->push_back('}');
+  }
+  if (!node.children.empty()) {
+    out->append(",\"children\":[");
+    bool first = true;
+    for (const auto& c : node.children) {
+      if (!first) out->push_back(',');
+      first = false;
+      NodeToJson(*c, out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string Tracer::ToText() const {
+  std::string out;
+  for (const auto& r : roots_) NodeToText(*r, 0, &out);
+  if (dropped_ > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "(%zu spans dropped over node cap)\n",
+                  dropped_);
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& r : roots_) {
+    if (!first) out.push_back(',');
+    first = false;
+    NodeToJson(*r, &out);
+  }
+  out.push_back(']');
+  return out;
+}
+
+Span::Span(Tracer* tracer, std::string_view name, Timing timing)
+    : tracer_(tracer) {
+  bool active = tracer != nullptr && tracer->enabled();
+  timed_ = active || timing == Timing::kAlways;
+  if (!timed_) return;
+  start_us_ = NowMicros();
+  if (active) node_ = tracer_->BeginSpan(name, start_us_);
+}
+
+void Span::SetAttr(std::string_view key, int64_t value) {
+  if (node_ == nullptr) return;
+  TraceAttr a;
+  a.key = std::string(key);
+  a.num = value;
+  a.is_num = true;
+  node_->attrs.push_back(std::move(a));
+}
+
+void Span::SetAttr(std::string_view key, std::string_view value) {
+  if (node_ == nullptr) return;
+  TraceAttr a;
+  a.key = std::string(key);
+  a.text = std::string(value);
+  node_->attrs.push_back(std::move(a));
+}
+
+void Span::End() {
+  if (ended_) return;
+  ended_ = true;
+  if (timed_) duration_us_ = NowMicros() - start_us_;
+  if (node_ != nullptr) {
+    node_->duration_us = duration_us_;
+    tracer_->EndSpan(node_);
+    node_ = nullptr;
+  }
+}
+
+}  // namespace graphql::obs

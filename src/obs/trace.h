@@ -1,0 +1,120 @@
+#ifndef GRAPHQL_OBS_TRACE_H_
+#define GRAPHQL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphql::obs {
+
+/// One key/value pair attached to a span: either an integer (candidate-set
+/// sizes, step counts) or a short string (mode names, pattern names).
+struct TraceAttr {
+  std::string key;
+  std::string text;
+  int64_t num = 0;
+  bool is_num = false;
+};
+
+/// One node of the per-query trace tree.
+struct TraceNode {
+  std::string name;
+  int64_t start_us = 0;     ///< NowMicros() at span begin.
+  int64_t duration_us = 0;  ///< Filled when the span ends.
+  std::vector<TraceAttr> attrs;
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  /// First direct child with this name; null if none.
+  const TraceNode* Child(std::string_view child_name) const;
+  /// Value of a numeric attribute; `fallback` if absent.
+  int64_t Attr(std::string_view key, int64_t fallback = 0) const;
+};
+
+/// Collects a tree of spans for one query/program. Not thread-safe: one
+/// tracer belongs to one evaluating thread (the registry handles
+/// cross-thread aggregation). When disabled, BeginSpan returns null and
+/// spans degrade to no-ops.
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Hard cap on recorded nodes (a PROFILE over a large collection would
+  /// otherwise record one subtree per member graph). Further spans become
+  /// no-ops; dropped_spans() reports how many.
+  void set_max_nodes(size_t n) { max_nodes_ = n; }
+  size_t dropped_spans() const { return dropped_; }
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Discards all recorded spans (the enabled flag is unchanged).
+  void Reset();
+
+  const std::vector<std::unique_ptr<TraceNode>>& roots() const {
+    return roots_;
+  }
+
+  /// Indented tree, one line per span: name, duration, attributes.
+  std::string ToText() const;
+  /// [{"name":..., "start_us":..., "us":..., "attrs":{...},
+  ///   "children":[...]}, ...]
+  std::string ToJson() const;
+
+  // Span internals (use the Span RAII type instead of calling these).
+  TraceNode* BeginSpan(std::string_view name, int64_t start_us);
+  void EndSpan(TraceNode* node);
+
+ private:
+  bool enabled_;
+  size_t max_nodes_ = 20000;
+  size_t num_nodes_ = 0;
+  size_t dropped_ = 0;
+  std::vector<std::unique_ptr<TraceNode>> roots_;
+  std::vector<TraceNode*> stack_;  ///< Open spans, innermost last.
+};
+
+/// RAII span. With a null or disabled tracer the constructor does nothing
+/// (no clock read, no allocation) unless kAlways timing is requested, so
+/// instrumented hot paths pay ~zero cost when tracing is off.
+class Span {
+ public:
+  enum class Timing {
+    kIfActive,  ///< Measure time only when the span is recorded.
+    kAlways,    ///< Measure even without a tracer (DurationMicros() is
+                ///< then still meaningful; used to fill PipelineStats).
+  };
+
+  Span(Tracer* tracer, std::string_view name,
+       Timing timing = Timing::kIfActive);
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+
+  void SetAttr(std::string_view key, int64_t value);
+  void SetAttr(std::string_view key, std::string_view value);
+
+  /// Closes the span (idempotent; the destructor calls it).
+  void End();
+
+  /// Elapsed microseconds; valid after End() when recorded or kAlways.
+  int64_t DurationMicros() const { return duration_us_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceNode* node_ = nullptr;
+  int64_t start_us_ = 0;
+  int64_t duration_us_ = 0;
+  bool timed_ = false;
+  bool ended_ = false;
+};
+
+}  // namespace graphql::obs
+
+#endif  // GRAPHQL_OBS_TRACE_H_

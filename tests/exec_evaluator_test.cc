@@ -276,5 +276,73 @@ TEST(EvaluatorDblpWorkloadTest, GeneratedCollectionWorks) {
   EXPECT_EQ(names.size(), c->NumNodes());
 }
 
+TEST_F(EvaluatorTest, ProfilingFillsProfileFields) {
+  Evaluator ev(&docs_);
+  ev.set_profiling(true);
+  auto result = ev.RunSource(R"(
+    graph P {
+      node v1 <author>;
+      node v2 <author>;
+    };
+    for P exhaustive in doc("DBLP") return P;
+  )");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->returned.size(), 0u);
+  // The trace tree reaches from the program down to the pipeline stages.
+  for (const char* span : {"\"program\"", "\"statement\"", "\"flwr\"",
+                           "\"select\"", "\"match\"", "\"search\""}) {
+    EXPECT_NE(result->profile_json.find(span), std::string::npos)
+        << "missing span " << span << " in " << result->profile_json;
+  }
+  EXPECT_NE(result->profile_json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(result->profile_json.find("match.queries"), std::string::npos);
+  EXPECT_NE(result->profile_text.find("program"), std::string::npos);
+  EXPECT_NE(result->profile_text.find("match.search.steps"),
+            std::string::npos);
+
+  // Without profiling the fields stay empty and metrics still accumulate.
+  ev.set_profiling(false);
+  auto plain = ev.RunSource(R"(for P exhaustive in doc("DBLP") return P;)");
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_TRUE(plain->profile_json.empty());
+  EXPECT_TRUE(plain->profile_text.empty());
+  EXPECT_GE(ev.metrics()->Snapshot().counters.at("match.queries"), 2u);
+}
+
+TEST_F(EvaluatorTest, ExplainDescribesPlanWithoutExecuting) {
+  Evaluator ev(&docs_);
+  auto plan = ev.ExplainSource(R"(
+    graph P {
+      node v1 <author>;
+      node v2 <author>;
+    };
+    for P in doc("DBLP") where booktitle == "SIGMOD" return P;
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("graph-decl 'P'"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("for P in doc(\"DBLP\")"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("where-pushdown"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("3 member graphs"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("pipeline: retrieve=profile"), std::string::npos)
+      << *plan;
+  // EXPLAIN ran nothing and registered nothing.
+  EXPECT_EQ(ev.metrics()->Snapshot().counters.count("match.queries"), 0u);
+  auto reuse = ev.ExplainSource(R"(
+    graph P { node v1 <author>; };
+    for P in doc("DBLP") return P;
+  )");
+  EXPECT_TRUE(reuse.ok()) << reuse.status();  // P was not leaked into state.
+}
+
+TEST_F(EvaluatorTest, ExplainReportsMissingDoc) {
+  Evaluator ev(&docs_);
+  auto plan = ev.ExplainSource(R"(
+    graph P { node v1 <author>; };
+    for P in doc("NOPE") return P;
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("NOT REGISTERED"), std::string::npos) << *plan;
+}
+
 }  // namespace
 }  // namespace graphql::exec

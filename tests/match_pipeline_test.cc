@@ -159,6 +159,80 @@ TEST(PipelineTest, StatsTimingsArePopulated) {
   EXPECT_EQ(stats.size_attr.size(), 3u);
 }
 
+TEST(PipelineTest, StatsMicrosComeFromTraceSpans) {
+  // PipelineStats stage timings are defined as the trace span durations:
+  // the "match" span's retrieve/refine/order/search children must agree
+  // exactly with us_* and sum to TotalMicros().
+  Graph g = Sample();
+  algebra::GraphPattern p = Triangle();
+  LabelIndex index = LabelIndex::Build(g);
+
+  obs::Tracer tracer(true);
+  PipelineOptions options;
+  options.tracer = &tracer;
+  PipelineStats stats;
+  auto matches = MatchPattern(p, g, &index, options, &stats);
+  ASSERT_TRUE(matches.ok());
+
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const obs::TraceNode& match_span = *tracer.roots()[0];
+  EXPECT_EQ(match_span.name, "match");
+  const obs::TraceNode* retrieve = match_span.Child("retrieve");
+  const obs::TraceNode* refine = match_span.Child("refine");
+  const obs::TraceNode* order = match_span.Child("order");
+  const obs::TraceNode* search = match_span.Child("search");
+  ASSERT_NE(retrieve, nullptr);
+  ASSERT_NE(refine, nullptr);
+  ASSERT_NE(order, nullptr);
+  ASSERT_NE(search, nullptr);
+
+  EXPECT_EQ(stats.us_retrieve, retrieve->duration_us);
+  EXPECT_EQ(stats.us_refine, refine->duration_us);
+  EXPECT_EQ(stats.us_order, order->duration_us);
+  EXPECT_EQ(stats.us_search, search->duration_us);
+  EXPECT_EQ(stats.TotalMicros(), retrieve->duration_us +
+                                     refine->duration_us +
+                                     order->duration_us +
+                                     search->duration_us);
+
+  // Span attributes carry the same counts as the stats struct.
+  EXPECT_EQ(search->Attr("steps"),
+            static_cast<int64_t>(stats.search.steps));
+  EXPECT_EQ(match_span.Attr("matches"),
+            static_cast<int64_t>(stats.num_matches));
+}
+
+TEST(PipelineTest, MetricsFlushedPerQuery) {
+  Graph g = Sample();
+  algebra::GraphPattern p = Triangle();
+  LabelIndex index = LabelIndex::Build(g);
+
+  obs::MetricsRegistry registry;
+  PipelineOptions options;
+  options.metrics = &registry;
+  PipelineStats stats;
+  auto matches = MatchPattern(p, g, &index, options, &stats);
+  ASSERT_TRUE(matches.ok());
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("match.queries"), 1u);
+  EXPECT_EQ(snap.counters.at("match.search.steps"), stats.search.steps);
+  EXPECT_EQ(snap.counters.at("match.search.matches"),
+            static_cast<uint64_t>(stats.num_matches));
+  EXPECT_EQ(snap.histograms.at("match.query.us").count, 1u);
+}
+
+TEST(PipelineTest, NullMetricsDisablesEmission) {
+  Graph g = Sample();
+  algebra::GraphPattern p = Triangle();
+  LabelIndex index = LabelIndex::Build(g);
+  PipelineOptions options;
+  options.metrics = nullptr;
+  auto matches = MatchPattern(p, g, &index, options);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 1u);
+}
+
 TEST(SelectCollectionTest, ExhaustiveVsFirstMatch) {
   GraphCollection coll;
   coll.Add(Sample());

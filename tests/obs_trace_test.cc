@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace graphql::obs {
+namespace {
+
+TEST(TracerTest, SpansNestIntoATree) {
+  Tracer tracer(true);
+  {
+    Span root(&tracer, "query");
+    root.SetAttr("pattern", "P");
+    {
+      Span retrieve(&tracer, "retrieve");
+      retrieve.SetAttr("candidates", int64_t{12});
+    }
+    { Span refine(&tracer, "refine"); }
+  }
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  const TraceNode& root = *tracer.roots()[0];
+  EXPECT_EQ(root.name, "query");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "retrieve");
+  EXPECT_EQ(root.children[1]->name, "refine");
+  EXPECT_EQ(root.Child("retrieve"), root.children[0].get());
+  EXPECT_EQ(root.Child("absent"), nullptr);
+  EXPECT_EQ(root.children[0]->Attr("candidates"), 12);
+  EXPECT_EQ(root.children[0]->Attr("absent", -1), -1);
+  // The string attribute is present but not numeric.
+  ASSERT_EQ(root.attrs.size(), 1u);
+  EXPECT_EQ(root.attrs[0].key, "pattern");
+  EXPECT_EQ(root.attrs[0].text, "P");
+  EXPECT_FALSE(root.attrs[0].is_num);
+}
+
+TEST(TracerTest, SequentialSpansBecomeSiblingRoots) {
+  Tracer tracer(true);
+  { Span a(&tracer, "a"); }
+  { Span b(&tracer, "b"); }
+  ASSERT_EQ(tracer.roots().size(), 2u);
+  EXPECT_EQ(tracer.roots()[0]->name, "a");
+  EXPECT_EQ(tracer.roots()[1]->name, "b");
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(false);
+  {
+    Span s(&tracer, "query");
+    EXPECT_FALSE(s.active());
+    s.SetAttr("k", int64_t{1});  // Must be a safe no-op.
+  }
+  EXPECT_TRUE(tracer.roots().empty());
+  EXPECT_EQ(tracer.num_nodes(), 0u);
+}
+
+TEST(TracerTest, NullTracerSpanIsInert) {
+  Span s(nullptr, "x");
+  EXPECT_FALSE(s.active());
+  s.SetAttr("k", "v");
+  s.End();
+  // kIfActive with no tracer: never timed.
+  EXPECT_EQ(s.DurationMicros(), 0);
+}
+
+TEST(TracerTest, AlwaysTimingMeasuresWithoutTracer) {
+  Span s(nullptr, "stage", Span::Timing::kAlways);
+  EXPECT_FALSE(s.active());
+  s.End();
+  EXPECT_GE(s.DurationMicros(), 0);
+  int64_t first = s.DurationMicros();
+  s.End();  // Idempotent: duration does not change.
+  EXPECT_EQ(s.DurationMicros(), first);
+}
+
+TEST(TracerTest, SpanDurationMatchesRecordedNode) {
+  Tracer tracer(true);
+  Span s(&tracer, "work", Span::Timing::kAlways);
+  s.End();
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  EXPECT_EQ(tracer.roots()[0]->duration_us, s.DurationMicros());
+}
+
+TEST(TracerTest, ResetDiscardsSpansButKeepsEnabled) {
+  Tracer tracer(true);
+  { Span s(&tracer, "a"); }
+  tracer.Reset();
+  EXPECT_TRUE(tracer.roots().empty());
+  EXPECT_TRUE(tracer.enabled());
+  { Span s(&tracer, "b"); }
+  ASSERT_EQ(tracer.roots().size(), 1u);
+  EXPECT_EQ(tracer.roots()[0]->name, "b");
+}
+
+TEST(TracerTest, MaxNodesCapsRecordingAndCountsDrops) {
+  Tracer tracer(true);
+  tracer.set_max_nodes(2);
+  { Span a(&tracer, "a"); }
+  { Span b(&tracer, "b"); }
+  { Span c(&tracer, "c"); }
+  { Span d(&tracer, "d"); }
+  EXPECT_EQ(tracer.roots().size(), 2u);
+  EXPECT_EQ(tracer.num_nodes(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 2u);
+}
+
+TEST(TracerTest, TextAndJsonExports) {
+  Tracer tracer(true);
+  {
+    Span root(&tracer, "query");
+    root.SetAttr("mode", "profile");
+    {
+      Span child(&tracer, "search");
+      child.SetAttr("steps", int64_t{7});
+    }
+  }
+  std::string text = tracer.ToText();
+  EXPECT_NE(text.find("query"), std::string::npos) << text;
+  EXPECT_NE(text.find("search"), std::string::npos) << text;
+  EXPECT_NE(text.find("steps=7"), std::string::npos) << text;
+  EXPECT_NE(text.find("mode=profile"), std::string::npos) << text;
+
+  std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"search\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"steps\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mode\":\"profile\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\":["), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace graphql::obs

@@ -2,14 +2,22 @@
 """Summarizes bench_output.txt into per-figure series tables.
 
 Usage:
-    python3 tools/summarize_bench.py [bench_output.txt]
+    python3 tools/summarize_bench.py [bench_output.txt] [metrics.json ...]
 
 Parses google-benchmark console output produced by
 `for b in build/bench/*; do $b; done` and prints, per figure benchmark,
 one row per (x, series) with the per-query time or the reduction-ratio
 counters — the numbers plotted in the paper's Figures 4.20-4.23.
+
+Arguments ending in .json are treated as metric-registry dumps (produced
+by running a bench binary with GQL_BENCH_METRICS_JSON=<path>, or saved
+from gqlsh's `:metrics json`) and summarized as counter totals plus
+histogram count/sum/mean/p50/p90/p99. Histogram percentiles are derived
+from the registry's log2 buckets (bucket 0 holds value 0, bucket i holds
+[2^(i-1), 2^i)), so they are upper bounds accurate to a factor of 2.
 """
 
+import json
 import re
 import sys
 from collections import defaultdict
@@ -33,8 +41,53 @@ def parse_counter_value(text):
     return float(text)
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+def bucket_upper_bound(i):
+    """Upper bound of log2 bucket i (see obs::Histogram::BucketUpperBound)."""
+    return 0 if i == 0 else (1 << i) - 1
+
+
+def histogram_percentile(buckets, count, p):
+    """Value upper bound below which fraction p of recordings fall."""
+    if count == 0:
+        return 0
+    rank = max(1, int(p * count + 0.999999))
+    seen = 0
+    for i, c in enumerate(buckets):
+        seen += c
+        if seen >= rank:
+            return bucket_upper_bound(i)
+    return bucket_upper_bound(len(buckets) - 1)
+
+
+def summarize_metrics(path):
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"\n== metrics: {path} ==\n  not a metrics dump: {e}")
+            return
+    print(f"\n== metrics: {path} ==")
+    counters = data.get("counters", {})
+    if counters:
+        print("  counters:")
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            print(f"    {name:<{width}}  {counters[name]}")
+    histograms = data.get("histograms", {})
+    if histograms:
+        print("  histograms (count / sum / mean / p50 / p90 / p99):")
+        for name in sorted(histograms):
+            h = histograms[name]
+            count, total = h.get("count", 0), h.get("sum", 0)
+            buckets = h.get("buckets", [])
+            mean = total / count if count else 0
+            p50, p90, p99 = (histogram_percentile(buckets, count, p)
+                             for p in (0.5, 0.9, 0.99))
+            print(f"    {name}  count={count}  sum={total}  "
+                  f"mean={mean:.1f}  p50<={p50}  p90<={p90}  p99<={p99}")
+
+
+def summarize_console(path):
     groups = defaultdict(list)
     with open(path) as f:
         for raw in f:
@@ -64,6 +117,15 @@ def main():
                 if key in counters:
                     parts.append(f"{key}={counters[key]:.6g}")
             print("  " + "  ".join(parts))
+
+
+def main():
+    args = sys.argv[1:] or ["bench_output.txt"]
+    for path in args:
+        if path.endswith(".json"):
+            summarize_metrics(path)
+        else:
+            summarize_console(path)
 
 
 if __name__ == "__main__":
