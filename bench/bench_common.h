@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "common/governor.h"
 #include "match/pipeline.h"
 #include "obs/metrics.h"
 #include "rel/sql_plan.h"
@@ -48,6 +49,44 @@ struct MetricsDumpAtExit {
   }
 };
 inline MetricsDumpAtExit metrics_dump_at_exit;
+
+/// Per-process resource-governor knobs for bench runs, read once from the
+/// environment (unset/0 = unlimited):
+///   GQL_BENCH_TIMEOUT_MS      wall-clock deadline per governed query
+///   GQL_BENCH_MAX_STEPS       unified step budget per governed query
+///   GQL_BENCH_MAX_MEMORY_MB   approximate memory budget per governed query
+/// Lets a long figure sweep be bounded ("no query may run longer than 2s")
+/// without editing the benches; governed queries return their partial
+/// matches, so counters still accumulate.
+inline const GovernorLimits& BenchGovernorLimits() {
+  static const GovernorLimits kLimits = [] {
+    GovernorLimits l;
+    if (const char* v = std::getenv("GQL_BENCH_TIMEOUT_MS")) {
+      l.timeout_ms = std::atoll(v);
+    }
+    if (const char* v = std::getenv("GQL_BENCH_MAX_STEPS")) {
+      l.max_steps = std::strtoull(v, nullptr, 10);
+    }
+    if (const char* v = std::getenv("GQL_BENCH_MAX_MEMORY_MB")) {
+      l.max_memory_bytes = std::strtoull(v, nullptr, 10) * 1024 * 1024;
+    }
+    return l;
+  }();
+  return kLimits;
+}
+
+/// Installs a freshly re-armed governor (per-query deadline clock) into the
+/// options when any env knob is set; leaves them ungoverned otherwise.
+/// The governor is thread-local: google-benchmark runs each benchmark's
+/// iterations on one thread, and one governor belongs to one query at a
+/// time.
+inline void GovernBenchQuery(match::PipelineOptions* options) {
+  const GovernorLimits& limits = BenchGovernorLimits();
+  if (limits.Unlimited()) return;
+  static thread_local ResourceGovernor governor;
+  governor.Arm(limits);
+  options->governor = &governor;
+}
 
 /// The paper's per-query answer cap ("queries having too many hits (more
 /// than 1000) are terminated immediately").

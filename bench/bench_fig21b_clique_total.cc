@@ -76,6 +76,7 @@ void BM_Fig21b_Total(benchmark::State& state) {
         case kOptimized: {
           match::PipelineOptions o;  // Profile + refine + order.
           o.match.max_matches = kMaxHits;
+          GovernBenchQuery(&o);
           auto m = match::MatchPattern(p, w.graph, &w.index, o);
           if (m.ok()) total_matches += m->size();
           break;
@@ -86,6 +87,7 @@ void BM_Fig21b_Total(benchmark::State& state) {
           o.refine_level = 0;
           o.optimize_order = false;
           o.match.max_matches = kMaxHits;
+          GovernBenchQuery(&o);
           auto m = match::MatchPattern(p, w.graph, &w.index, o);
           if (m.ok()) total_matches += m->size();
           break;

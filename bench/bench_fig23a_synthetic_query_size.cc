@@ -82,6 +82,7 @@ void BM_Fig23a_Total(benchmark::State& state) {
         case kOptimized: {
           match::PipelineOptions o;
           o.match.max_matches = kMaxHits;
+          GovernBenchQuery(&o);
           auto m = match::MatchPattern(p, w.graph, &w.index, o);
           if (m.ok()) total_matches += m->size();
           break;
@@ -93,6 +94,7 @@ void BM_Fig23a_Total(benchmark::State& state) {
           o.optimize_order = false;
           o.match.max_matches = kMaxHits;
           o.match.max_steps = 200000000;  // Hang guard only.
+          GovernBenchQuery(&o);
           auto m = match::MatchPattern(p, w.graph, &w.index, o);
           if (m.ok()) total_matches += m->size();
           break;

@@ -73,6 +73,7 @@ void BM_Fig23b_Total(benchmark::State& state) {
         case kOptimized: {
           match::PipelineOptions o;
           o.match.max_matches = kMaxHits;
+          GovernBenchQuery(&o);
           auto m = match::MatchPattern(p, w.base.graph, &w.base.index, o);
           if (m.ok()) total_matches += m->size();
           break;
@@ -83,6 +84,7 @@ void BM_Fig23b_Total(benchmark::State& state) {
           o.refine_level = 0;
           o.optimize_order = false;
           o.match.max_matches = kMaxHits;
+          GovernBenchQuery(&o);
           auto m = match::MatchPattern(p, w.base.graph, &w.base.index, o);
           if (m.ok()) total_matches += m->size();
           break;

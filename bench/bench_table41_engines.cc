@@ -68,6 +68,7 @@ void BM_Table41_GraphQL(benchmark::State& state) {
   for (auto _ : state) {
     match::PipelineOptions o;
     o.match.max_matches = kMaxHits;
+    GovernBenchQuery(&o);
     auto m = match::MatchPattern(*f.pattern, f.graph, &f.index, o);
     matches = m.ok() ? m->size() : 0;
     benchmark::DoNotOptimize(m);

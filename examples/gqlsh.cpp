@@ -13,8 +13,14 @@
 //   :vars              list bound graph variables
 //   :metrics [json]    dump the session's metric counters/histograms
 //   :metrics reset     zero the session metrics
+//   :set KEY VALUE     set a resource limit for subsequent queries:
+//                      timeout_ms, max_steps, max_memory_mb (0 = unlimited)
+//   :limits            show the current resource limits
 //   :help              this text
 //   :quit              exit
+//
+// Ctrl-C while a query is running cancels that query (it returns its
+// partial results with a `cancelled` limit report); the shell keeps going.
 //
 // Anything else accumulates into a statement buffer that executes when the
 // input forms a complete (semicolon-terminated, brace-balanced) program.
@@ -22,8 +28,11 @@
 //   EXPLAIN <program>  print the query plan without executing
 //   PROFILE <program>  execute, then print the trace tree + metric deltas
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -36,6 +45,27 @@
 using namespace graphql;
 
 namespace {
+
+/// Governor of the query currently executing, if any. The SIGINT handler
+/// cancels it (Cancel() is a single relaxed atomic store, so it is
+/// async-signal-safe); with no query in flight the signal is ignored and
+/// the shell survives.
+std::atomic<ResourceGovernor*> g_active_governor{nullptr};
+
+extern "C" void HandleSigint(int) {
+  ResourceGovernor* gov = g_active_governor.load(std::memory_order_relaxed);
+  if (gov != nullptr) gov->Cancel();
+}
+
+/// RAII: publishes the governor for the duration of a Run.
+struct CancelScope {
+  explicit CancelScope(ResourceGovernor* gov) {
+    g_active_governor.store(gov, std::memory_order_relaxed);
+  }
+  ~CancelScope() {
+    g_active_governor.store(nullptr, std::memory_order_relaxed);
+  }
+};
 
 struct Shell {
   exec::DocumentRegistry docs;
@@ -71,6 +101,7 @@ struct Shell {
   }
 
   void Execute(const std::string& source, bool print_profile) {
+    CancelScope scope(evaluator.governor());
     auto result = evaluator.RunSource(source);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -95,9 +126,23 @@ struct Shell {
         }
       }
     }
+    std::string limits = result->limits.ToString();
+    if (!limits.empty()) {
+      std::printf("%s", limits.c_str());
+    }
     if (print_profile) {
       std::printf("%s", result->profile_text.c_str());
     }
+  }
+
+  void PrintLimits() {
+    const GovernorLimits& l = *evaluator.mutable_limits();
+    std::printf("timeout_ms=%lld max_steps=%llu max_memory_mb=%llu%s\n",
+                static_cast<long long>(l.timeout_ms),
+                static_cast<unsigned long long>(l.max_steps),
+                static_cast<unsigned long long>(l.max_memory_bytes /
+                                                (1024 * 1024)),
+                l.Unlimited() ? " (unlimited)" : "");
   }
 
   enum class Keyword { kNone, kExplain, kProfile };
@@ -127,9 +172,44 @@ struct Shell {
     if (cmd == ":help") {
       std::printf(
           ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :vars | "
-          ":metrics [json|reset] | :quit\n"
+          ":metrics [json|reset] | :set KEY VALUE | :limits | :quit\n"
+          ":set timeout_ms N      wall-clock deadline per query (0 = off)\n"
+          ":set max_steps N       unified step budget per query (0 = off)\n"
+          ":set max_memory_mb N   approximate memory budget (0 = off)\n"
+          "Ctrl-C cancels the running query, not the shell.\n"
           "EXPLAIN <program>  print the query plan without executing\n"
           "PROFILE <program>  execute, then print trace + metric deltas\n");
+      return;
+    }
+    if (cmd == ":set") {
+      std::string key;
+      std::string value;
+      in >> key >> value;
+      char* end = nullptr;
+      long long n = value.empty() ? -1 : std::strtoll(value.c_str(), &end, 10);
+      if (n < 0 || end == nullptr || *end != '\0') {
+        std::printf(
+            "usage: :set {timeout_ms|max_steps|max_memory_mb} N  (N >= 0, "
+            "0 = unlimited)\n");
+        return;
+      }
+      GovernorLimits* limits = evaluator.mutable_limits();
+      if (key == "timeout_ms") {
+        limits->timeout_ms = n;
+      } else if (key == "max_steps") {
+        limits->max_steps = static_cast<uint64_t>(n);
+      } else if (key == "max_memory_mb") {
+        limits->max_memory_bytes = static_cast<uint64_t>(n) * 1024 * 1024;
+      } else {
+        std::printf("unknown limit '%s' (timeout_ms, max_steps, "
+                    "max_memory_mb)\n", key.c_str());
+        return;
+      }
+      PrintLimits();
+      return;
+    }
+    if (cmd == ":limits") {
+      PrintLimits();
       return;
     }
     if (cmd == ":metrics") {
@@ -244,6 +324,7 @@ bool IsCompleteProgram(const std::string& buffer) {
 
 int main(int argc, char** argv) {
   Shell shell;
+  std::signal(SIGINT, HandleSigint);
 
   if (argc > 1) {
     // Batch mode: process the script line-by-line so that ':' shell

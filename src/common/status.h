@@ -18,6 +18,9 @@ enum class StatusCode {
   kUnsupported,       ///< A syntactically valid construct is not implemented.
   kLimitExceeded,     ///< A resource budget (derivation depth, matches) hit.
   kInternal,          ///< Invariant violation; indicates a library bug.
+  kDeadlineExceeded,  ///< The query's wall-clock deadline passed.
+  kCancelled,         ///< The query was cancelled cooperatively.
+  kResourceExhausted, ///< A governed step/memory budget ran out.
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -59,6 +62,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -234,6 +234,9 @@ struct RuleFirer {
     std::vector<const std::string*> added;
     auto try_one = [&](const Fact& f) {
       if (stats != nullptr) ++stats->unifications;
+      // A governor trip stops the join with an OK status; the fixpoint
+      // loop sees the sticky trip and returns the partial IDB.
+      if (!GovCharge(options.governor, 1, GovernPoint::kDatalog)) return false;
       added.clear();
       if (!UnifyAtom(atom, f, sub, &added)) return true;
       bool keep_going = true;
@@ -290,6 +293,10 @@ Result<FactDatabase> Evaluate(const std::vector<Rule>& rules,
   FactDatabase delta;  // Unused in the naive first round.
 
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!GovOk(options.governor)) {
+      if (stats != nullptr) stats->governor_tripped = true;
+      break;
+    }
     if (stats != nullptr) stats->iterations = iter + 1;
     FactDatabase fresh;
     for (const Rule& rule : rules) {
@@ -325,7 +332,12 @@ Result<FactDatabase> Evaluate(const std::vector<Rule>& rules,
     idb.Merge(next_delta);
     delta = std::move(next_delta);
   }
-  if (stats != nullptr) stats->derived_facts = idb.NumFacts();
+  if (stats != nullptr) {
+    stats->derived_facts = idb.NumFacts();
+    if (options.governor != nullptr && options.governor->tripped()) {
+      stats->governor_tripped = true;
+    }
+  }
   return idb;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/governor.h"
 #include "common/result.h"
 #include "datalog/database.h"
 #include "datalog/program.h"
@@ -14,12 +15,19 @@ struct EvalOptions {
   size_t max_iterations = 10000;
   /// Cap on derived facts.
   size_t max_facts = 10'000'000;
+  /// Optional per-query resource governor; null = ungoverned. Every
+  /// unification attempt charges GovernPoint::kDatalog; a trip stops the
+  /// fixpoint and Evaluate returns the facts derived so far with
+  /// `EvalStats::governor_tripped` set (partial-result semantics — the
+  /// caller reads the trip kind off the governor).
+  ResourceGovernor* governor = nullptr;
 };
 
 struct EvalStats {
   size_t iterations = 0;
   size_t derived_facts = 0;
   uint64_t unifications = 0;
+  bool governor_tripped = false;  ///< Fixpoint stopped early by a trip.
 };
 
 /// Semi-naive bottom-up evaluation: iterates the rules to a fixpoint,

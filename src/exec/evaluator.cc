@@ -28,8 +28,35 @@ std::string FormatSize(size_t n) {
 
 }  // namespace
 
+std::string LimitReport::ToString() const {
+  if (!tripped && !truncated && !budget_exhausted && degradations.empty()) {
+    return "";
+  }
+  std::string out;
+  if (tripped) {
+    out += "limit tripped: ";
+    out += message;
+    out += " (status=";
+    out += StatusCodeName(code);
+    out += ", results are partial)\n";
+  }
+  if (truncated) out += "match cap reached: result truncated\n";
+  if (budget_exhausted) out += "local step budget exhausted in search\n";
+  for (const std::string& d : degradations) {
+    out += "degraded: " + d + "\n";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "consumed: steps=%llu, peak_memory=%zu bytes, elapsed=%lld ms\n",
+                static_cast<unsigned long long>(steps_used), peak_memory_bytes,
+                static_cast<long long>(elapsed_ms));
+  out += buf;
+  return out;
+}
+
 Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   QueryResult result;
+  governor_.Arm(limits_);
   obs::MetricsSnapshot before;
   if (profiling_) {
     before = metrics_.Snapshot();
@@ -43,6 +70,10 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
                            static_cast<int64_t>(program.statements.size()));
     }
     for (const lang::Statement& stmt : program.statements) {
+      // A sticky trip ends the program between statements; the work done
+      // so far stays in `result` (partial-result semantics). CheckNow also
+      // catches deadline/cancellation between statements that never charge.
+      if (!governor_.CheckNow(GovernPoint::kEval)) break;
       obs::Span stmt_span(ActiveTracer(), "statement");
       if (stmt_span.active()) {
         stmt_span.SetAttr("kind", StatementKindName(stmt.kind));
@@ -51,6 +82,27 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
     }
   }
   result.variables = variables_;
+  result.limits.steps_used = governor_.steps_used();
+  result.limits.peak_memory_bytes = governor_.peak_memory();
+  result.limits.elapsed_ms = governor_.elapsed_ms();
+  result.limits.degradations = governor_.degradations();
+  if (governor_.tripped()) {
+    Status trip = governor_.ToStatus();
+    result.limits.tripped = true;
+    result.limits.code = trip.code();
+    result.limits.kind = governor_.trip_kind();
+    result.limits.point = governor_.trip_point();
+    result.limits.message = trip.message();
+    // Pipeline/gindex trip points emit their counters at the trip site;
+    // evaluator-level points are counted here.
+    GovernPoint p = governor_.trip_point();
+    if (p == GovernPoint::kEval || p == GovernPoint::kDatalog ||
+        p == GovernPoint::kOther) {
+      metrics_
+          .GetCounter(std::string("governor.trip.") + GovernPointName(p))
+          ->Increment();
+    }
+  }
   if (profiling_) {
     obs::MetricsSnapshot delta = metrics_.Snapshot().DeltaSince(before);
     result.profile_json =
@@ -237,10 +289,12 @@ Status Evaluator::RunStatement(const lang::Statement& stmt,
 
 Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
     const std::vector<algebra::GraphPattern>& alternatives,
-    const GraphCollection& collection,
-    const match::PipelineOptions& options) {
+    const GraphCollection& collection, const match::PipelineOptions& options,
+    match::PipelineStats* stats) {
   std::vector<algebra::MatchedGraph> out;
   for (const Graph& g : collection) {
+    // A tripped governor ends the scan with the matches found so far.
+    if (!GovOk(options.governor)) break;
     const match::LabelIndex* index = nullptr;
     if (index_threshold_ != 0 && g.NumNodes() >= index_threshold_) {
       auto it = index_cache_.find(&g);
@@ -275,7 +329,7 @@ Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
     for (const algebra::GraphPattern& pattern : alternatives) {
       GQL_ASSIGN_OR_RETURN(
           std::vector<algebra::MatchedGraph> matches,
-          match::MatchPattern(pattern, g, index, options));
+          match::MatchPattern(pattern, g, index, options, stats));
       if (!matches.empty()) {
         for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
         if (!options.match.exhaustive) break;  // One binding per graph.
@@ -351,6 +405,7 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
   // Select.
   match::PipelineOptions options = match_options_;
   options.match.exhaustive = flwr.exhaustive;
+  if (options.governor == nullptr) options.governor = &governor_;
   // Route observability to this session: metrics into the Evaluator's
   // registry (unless already redirected away from the global default) and
   // traces into the profiling tracer when PROFILE is on.
@@ -359,9 +414,13 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
   }
   if (ActiveTracer() != nullptr) options.tracer = ActiveTracer();
   obs::Span select_span(ActiveTracer(), "select");
+  match::PipelineStats select_stats;
   GQL_ASSIGN_OR_RETURN(std::vector<algebra::MatchedGraph> matches,
-                       SelectWithAutoIndex(alternatives, *collection,
-                                           options));
+                       SelectWithAutoIndex(alternatives, *collection, options,
+                                           &select_stats));
+  // Surface cap/budget outcomes that used to die inside the pipeline.
+  result->limits.truncated |= select_stats.search.truncated;
+  result->limits.budget_exhausted |= select_stats.search.budget_exhausted;
   if (select_span.active()) {
     select_span.SetAttr("matches", static_cast<int64_t>(matches.size()));
   }
@@ -385,6 +444,8 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
 
   obs::Span inst_span(ActiveTracer(), "instantiate");
   for (const algebra::MatchedGraph& m : matches) {
+    // Instantiation is governed too: a trip keeps the graphs built so far.
+    if (!GovCharge(&governor_, 1, GovernPoint::kEval)) break;
     // (The FLWR-level where was folded into the pattern predicate above.)
     if (template_is_pattern_ref) {
       result->returned.Add(m.Materialize());

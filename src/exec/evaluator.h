@@ -8,6 +8,7 @@
 
 #include "algebra/graph_template.h"
 #include "algebra/pattern.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "exec/registry.h"
 #include "graph/collection.h"
@@ -19,12 +20,42 @@
 
 namespace graphql::exec {
 
+/// What resource governance did to a query: whether a limit tripped (and
+/// which), what was degraded along the way, and the resources consumed.
+/// Populated on every governed Run — including successful ones, where it
+/// just carries the consumption numbers.
+struct LimitReport {
+  bool tripped = false;              ///< A governor limit ended the query.
+  StatusCode code = StatusCode::kOk; ///< kDeadlineExceeded / kCancelled /
+                                     ///< kResourceExhausted when tripped.
+  TripKind kind = TripKind::kNone;
+  GovernPoint point = GovernPoint::kOther;  ///< Stage that hit the limit.
+  std::string message;               ///< Human-readable trip description.
+  bool truncated = false;            ///< A selection hit max_matches.
+  bool budget_exhausted = false;     ///< A local (matcher) step budget hit.
+  /// Graceful-degradation events (e.g. refinement falling back to the
+  /// unrefined candidate sets). Degradations preserve the result set.
+  std::vector<std::string> degradations;
+  uint64_t steps_used = 0;
+  size_t peak_memory_bytes = 0;
+  int64_t elapsed_ms = 0;
+
+  /// True when the returned results may be incomplete (a trip or a cap).
+  bool Partial() const { return tripped || truncated || budget_exhausted; }
+  /// Multi-line rendering for shells/logs; empty when nothing noteworthy.
+  std::string ToString() const;
+};
+
 /// Result of running a program: the final values of `let`-accumulated /
 /// assigned graph variables, plus every graph produced by `return`-style
 /// FLWR expressions, in order.
 struct QueryResult {
   std::unordered_map<std::string, Graph> variables;
   GraphCollection returned;
+  /// Resource-governance outcome for this run (see LimitReport). When
+  /// `limits.tripped`, `returned`/`variables` hold the partial results
+  /// produced before the trip.
+  LimitReport limits;
   /// When the Evaluator ran with profiling enabled: the program's trace
   /// tree plus the metric deltas of this run, as
   /// {"trace": [...], "metrics": {...}} (PROFILE in gqlsh renders the
@@ -54,6 +85,16 @@ class Evaluator {
 
   /// Selection options used for pattern matching inside FLWR loops.
   match::PipelineOptions* mutable_match_options() { return &match_options_; }
+
+  /// Per-query resource limits (0 = unlimited); applied by Arm()ing the
+  /// governor at the start of every Run.
+  void set_limits(const GovernorLimits& limits) { limits_ = limits; }
+  GovernorLimits* mutable_limits() { return &limits_; }
+
+  /// The evaluator's governor. Exposed so another thread (or a signal
+  /// handler) can Cancel() the running query, and so tests can inject
+  /// faults via set_fault_injector(). Re-armed by each Run.
+  ResourceGovernor* governor() { return &governor_; }
 
   /// Build options for motif derivation (recursion depth etc.).
   motif::BuildOptions* mutable_build_options() { return &build_options_; }
@@ -109,12 +150,15 @@ class Evaluator {
   Result<std::vector<algebra::MatchedGraph>> SelectWithAutoIndex(
       const std::vector<algebra::GraphPattern>& alternatives,
       const GraphCollection& collection,
-      const match::PipelineOptions& options);
+      const match::PipelineOptions& options,
+      match::PipelineStats* stats = nullptr);
 
   const DocumentRegistry* docs_;
   motif::MotifRegistry motifs_;
   std::unordered_map<std::string, Graph> variables_;
   match::PipelineOptions match_options_;
+  GovernorLimits limits_;
+  ResourceGovernor governor_;
   motif::BuildOptions build_options_;
   size_t index_threshold_ = 512;
   bool profiling_ = false;

@@ -74,6 +74,9 @@ Result<std::vector<algebra::MatchedGraph>> CollectionIndex::Select(
   std::vector<algebra::MatchedGraph> out;
   size_t verified = 0;
   for (size_t i : candidates) {
+    // One charge per verified member; a governor trip ends the scan and
+    // returns the matches found so far (partial-result semantics).
+    if (!GovCharge(options.governor, 1, GovernPoint::kGindex)) break;
     GQL_ASSIGN_OR_RETURN(
         std::vector<algebra::MatchedGraph> matches,
         match::MatchPattern(pattern, (*collection_)[i], nullptr, options));
@@ -92,6 +95,13 @@ Result<std::vector<algebra::MatchedGraph>> CollectionIndex::Select(
     stats->verified_matches = verified;
     stats->us_filter = filter_span.DurationMicros();
     stats->us_verify = verify_span.DurationMicros();
+  }
+  if (options.metrics != nullptr && options.governor != nullptr &&
+      options.governor->tripped() &&
+      options.governor->trip_point() == GovernPoint::kGindex) {
+    // Trips inside MatchPattern are counted there; this covers the
+    // verify-loop charge itself.
+    options.metrics->GetCounter("governor.trip.gindex")->Increment();
   }
   if (options.metrics != nullptr) {
     options.metrics->GetCounter("gindex.select.queries")->Increment();

@@ -273,10 +273,36 @@ void WriteTuple(std::ostream* out, const AttrTuple& attrs) {
   }
 }
 
+/// Bytes left before EOF in a seekable stream; -1 when the stream cannot
+/// seek (validation is then skipped and truncation surfaces as a read
+/// failure instead of an over-allocation).
+int64_t RemainingBytes(std::istream* in) {
+  std::streampos cur = in->tellg();
+  if (cur == std::streampos(-1)) return -1;
+  in->seekg(0, std::ios::end);
+  std::streampos end = in->tellg();
+  in->seekg(cur);
+  if (end == std::streampos(-1) || end < cur) return -1;
+  return static_cast<int64_t>(end - cur);
+}
+
+/// Rejects a count prefix that promises more elements than the remaining
+/// bytes could possibly encode, BEFORE anything is allocated for them.
+Status CheckCount(std::istream* in, uint64_t count, uint64_t min_bytes_each,
+                  const char* what) {
+  int64_t remaining = RemainingBytes(in);
+  if (remaining >= 0 &&
+      count * min_bytes_each > static_cast<uint64_t>(remaining)) {
+    return Status::ParseError(std::string(what) +
+                              " count exceeds remaining input");
+  }
+  return Status::OK();
+}
+
 Result<uint32_t> ReadU32(std::istream* in) {
   char buf[4];
   in->read(buf, 4);
-  if (!*in) return Status::InvalidArgument("truncated binary graph");
+  if (!*in) return Status::ParseError("truncated binary graph");
   return (static_cast<uint32_t>(static_cast<uint8_t>(buf[0]))) |
          (static_cast<uint32_t>(static_cast<uint8_t>(buf[1])) << 8) |
          (static_cast<uint32_t>(static_cast<uint8_t>(buf[2])) << 16) |
@@ -291,22 +317,23 @@ Result<uint64_t> ReadU64(std::istream* in) {
 
 Result<std::string> ReadString(std::istream* in) {
   GQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32(in));
-  if (n > (1u << 30)) return Status::InvalidArgument("oversized string");
+  if (n > (1u << 30)) return Status::ParseError("oversized string");
+  GQL_RETURN_IF_ERROR(CheckCount(in, n, 1, "string byte"));
   std::string s(n, '\0');
   in->read(s.data(), n);
-  if (!*in) return Status::InvalidArgument("truncated binary graph");
+  if (!*in) return Status::ParseError("truncated binary graph");
   return s;
 }
 
 Result<Value> ReadValue(std::istream* in) {
   int kind = in->get();
-  if (kind == EOF) return Status::InvalidArgument("truncated binary graph");
+  if (kind == EOF) return Status::ParseError("truncated binary graph");
   switch (static_cast<Value::Kind>(kind)) {
     case Value::Kind::kNull:
       return Value();
     case Value::Kind::kBool: {
       int b = in->get();
-      if (b == EOF) return Status::InvalidArgument("truncated binary graph");
+      if (b == EOF) return Status::ParseError("truncated binary graph");
       return Value(b != 0);
     }
     case Value::Kind::kInt: {
@@ -324,13 +351,15 @@ Result<Value> ReadValue(std::istream* in) {
       return Value(std::move(s));
     }
   }
-  return Status::InvalidArgument("unknown value kind in binary graph");
+  return Status::ParseError("unknown value kind in binary graph");
 }
 
 Result<AttrTuple> ReadTuple(std::istream* in) {
   GQL_ASSIGN_OR_RETURN(std::string tag, ReadString(in));
   AttrTuple attrs(std::move(tag));
   GQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32(in));
+  // Minimum encoding per attribute: 4-byte key length + 1-byte value kind.
+  GQL_RETURN_IF_ERROR(CheckCount(in, n, 5, "attribute"));
   for (uint32_t i = 0; i < n; ++i) {
     GQL_ASSIGN_OR_RETURN(std::string k, ReadString(in));
     GQL_ASSIGN_OR_RETURN(Value v, ReadValue(in));
@@ -369,16 +398,16 @@ Result<Graph> ReadGraphBinary(std::istream* in) {
   char magic[4];
   in->read(magic, 4);
   if (!*in || __builtin_memcmp(magic, kMagic, 4) != 0) {
-    return Status::InvalidArgument("not a binary GraphQL graph (bad magic)");
+    return Status::ParseError("not a binary GraphQL graph (bad magic)");
   }
   int version = in->get();
   if (version != kVersion) {
-    return Status::InvalidArgument("unsupported binary graph version " +
+    return Status::ParseError("unsupported binary graph version " +
                                    std::to_string(version));
   }
   int directed = in->get();
   if (directed == EOF) {
-    return Status::InvalidArgument("truncated binary graph");
+    return Status::ParseError("truncated binary graph");
   }
   GQL_ASSIGN_OR_RETURN(std::string name, ReadString(in));
   Graph g(std::move(name), directed != 0);
@@ -386,6 +415,12 @@ Result<Graph> ReadGraphBinary(std::istream* in) {
   g.attrs() = std::move(gattrs);
   GQL_ASSIGN_OR_RETURN(uint32_t num_nodes, ReadU32(in));
   GQL_ASSIGN_OR_RETURN(uint32_t num_edges, ReadU32(in));
+  // Validate the counts against the remaining bytes before reserving: a
+  // node is at least a 4-byte name length plus an 8-byte minimal tuple
+  // (tag length + attr count); an edge additionally carries two 4-byte
+  // endpoints. Corrupt prefixes are rejected here, not over-allocated.
+  GQL_RETURN_IF_ERROR(CheckCount(in, num_nodes, 12, "node"));
+  GQL_RETURN_IF_ERROR(CheckCount(in, num_edges, 20, "edge"));
   g.Reserve(num_nodes, num_edges);
   for (uint32_t v = 0; v < num_nodes; ++v) {
     GQL_ASSIGN_OR_RETURN(std::string nname, ReadString(in));
@@ -396,7 +431,7 @@ Result<Graph> ReadGraphBinary(std::istream* in) {
     GQL_ASSIGN_OR_RETURN(uint32_t src, ReadU32(in));
     GQL_ASSIGN_OR_RETURN(uint32_t dst, ReadU32(in));
     if (src >= num_nodes || dst >= num_nodes) {
-      return Status::InvalidArgument("edge endpoint out of range");
+      return Status::ParseError("edge endpoint out of range");
     }
     GQL_ASSIGN_OR_RETURN(std::string ename, ReadString(in));
     GQL_ASSIGN_OR_RETURN(AttrTuple attrs, ReadTuple(in));
@@ -420,12 +455,14 @@ Result<GraphCollection> ReadCollectionBinary(std::istream* in) {
   char magic[4];
   in->read(magic, 4);
   if (!*in || __builtin_memcmp(magic, "GQLC", 4) != 0) {
-    return Status::InvalidArgument(
+    return Status::ParseError(
         "not a binary GraphQL collection (bad magic)");
   }
   GQL_ASSIGN_OR_RETURN(std::string name, ReadString(in));
   GraphCollection c(std::move(name));
   GQL_ASSIGN_OR_RETURN(uint32_t n, ReadU32(in));
+  // A member graph is at least magic+version+directed+name+tuple+counts.
+  GQL_RETURN_IF_ERROR(CheckCount(in, n, 26, "member graph"));
   for (uint32_t i = 0; i < n; ++i) {
     GQL_ASSIGN_OR_RETURN(Graph g, ReadGraphBinary(in));
     c.Add(std::move(g));

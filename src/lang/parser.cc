@@ -133,6 +133,10 @@ Result<GraphDecl> Parser::GraphDecl_() {
 }
 
 Result<GraphBody> Parser::GraphBodyBlock() {
+  DepthGuard guard(&depth_);
+  if (depth_ > kMaxNestingDepth) {
+    return ErrorHere("graph body nesting exceeds the maximum depth");
+  }
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "graph body").status());
   GQL_ASSIGN_OR_RETURN(std::vector<MemberDecl> members, Members());
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "graph body").status());
@@ -498,6 +502,13 @@ Result<ExprPtr> Parser::MulExpr() {
 }
 
 Result<ExprPtr> Parser::Primary() {
+  // Guards every expression recursion cycle: parenthesized expressions and
+  // unary minus re-enter through here, and each step in the precedence
+  // chain passes through Primary.
+  DepthGuard guard(&depth_);
+  if (depth_ > kMaxNestingDepth) {
+    return ErrorHere("expression nesting exceeds the maximum depth");
+  }
   if (Match(TokenKind::kLParen)) {
     GQL_ASSIGN_OR_RETURN(ExprPtr e, Expr_());
     GQL_RETURN_IF_ERROR(

@@ -63,8 +63,27 @@ class Parser {
   Result<ExprPtr> MulExpr();
   Result<ExprPtr> Primary();
 
+  /// Maximum recursion depth for nested graph bodies and expressions.
+  /// Inputs nesting deeper than this return kParseError instead of
+  /// overflowing the stack (hostile-input guard; legitimate programs stay
+  /// far below it).
+  static constexpr int kMaxNestingDepth = 200;
+
+  /// RAII depth counter for the recursive productions.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    int* depth_;
+  };
+
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace graphql::lang

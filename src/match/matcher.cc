@@ -69,6 +69,7 @@ class SearchEngine {
       stats_->backtracks += local_.backtracks;
       stats_->budget_exhausted |= local_.budget_exhausted;
       stats_->truncated |= local_.truncated;
+      stats_->governor_tripped |= local_.governor_tripped;
     }
     if (metrics_ != nullptr) {
       metrics_->GetCounter("match.search.steps")->Increment(local_.steps);
@@ -89,6 +90,11 @@ class SearchEngine {
   bool Budget() {
     if (options_.max_steps != 0 && local_.steps >= options_.max_steps) {
       local_.budget_exhausted = true;
+      return false;
+    }
+    if (options_.governor != nullptr &&
+        !options_.governor->Charge(1, GovernPoint::kSearch)) {
+      local_.governor_tripped = true;
       return false;
     }
     return true;
@@ -155,6 +161,15 @@ class SearchEngine {
       }
     }
     ++matches_;
+    if (options_.governor != nullptr) {
+      // Account the emitted mapping vectors against the memory budget; the
+      // reservation lives until the governor is re-armed (matches belong to
+      // the query's transient result set).
+      options_.governor->Reserve(
+          m.node_mapping.size() * sizeof(NodeId) +
+              m.edge_mapping.size() * sizeof(EdgeId),
+          GovernPoint::kSearch);
+    }
     if (!sink_(m)) return false;
     if (!options_.exhaustive) return false;
     if (matches_ >= options_.max_matches) {

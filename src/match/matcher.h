@@ -7,6 +7,7 @@
 
 #include "algebra/matched_graph.h"
 #include "algebra/pattern.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
@@ -21,9 +22,16 @@ struct MatchOptions {
   /// setup ("queries having too many hits (more than 1000) are terminated
   /// immediately"). SIZE_MAX disables the cap.
   size_t max_matches = SIZE_MAX;
-  /// Search-step budget (candidate nodes tried); 0 disables. On exhaustion
-  /// the search stops and reports the matches found so far.
+  /// Local search-step budget (candidate nodes tried); 0 = unlimited. On
+  /// exhaustion the search stops and reports the matches found so far.
+  /// Queries run through the evaluator set the governor instead; this knob
+  /// remains for callers driving SearchMatches directly.
   uint64_t max_steps = 0;
+  /// Optional per-query resource governor (deadline / cancellation /
+  /// unified step budget / memory budget). Null = ungoverned. Every search
+  /// step is charged to GovernPoint::kSearch; a trip ends the search with
+  /// the matches found so far and `SearchStats::governor_tripped` set.
+  ResourceGovernor* governor = nullptr;
 };
 
 struct SearchStats {
@@ -32,6 +40,7 @@ struct SearchStats {
   uint64_t backtracks = 0;      ///< Assignments undone during the DFS.
   bool budget_exhausted = false;
   bool truncated = false;       ///< Stopped due to max_matches.
+  bool governor_tripped = false;  ///< Governor deadline/cancel/budget trip.
 };
 
 /// The basic graph pattern matching search (Algorithm 4.1, second phase):

@@ -80,8 +80,9 @@ struct SubIsoState {
   std::vector<NodeId> assign;   // query node -> data node
   std::vector<char> used;       // data node used
   uint64_t steps = 0;
-  uint64_t budget = 0;
+  uint64_t budget = 0;  // 0 = unlimited.
   bool budget_hit = false;
+  ResourceGovernor* governor = nullptr;
 
   bool NodeOk(NodeId qu, NodeId dv) const {
     std::string_view ql = q->Label(qu);
@@ -91,9 +92,14 @@ struct SubIsoState {
 
   bool Dfs(size_t i, const std::vector<NodeId>& order) {
     if (i == order.size()) return true;
-    if (++steps > budget) {
+    ++steps;
+    if (budget != 0 && steps > budget) {
       budget_hit = true;
       return true;  // Conservative: give up pruning.
+    }
+    if (!GovCharge(governor, 1, GovernPoint::kNeighborhood)) {
+      budget_hit = true;
+      return true;  // Conservative; the trip is reported by the caller.
     }
     NodeId qu = order[i];
     for (size_t dv = 0; dv < d->NumNodes(); ++dv) {
@@ -130,7 +136,8 @@ struct SubIsoState {
 bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
                                const NeighborhoodSubgraph& data,
                                uint64_t step_budget,
-                               obs::MetricsRegistry* metrics) {
+                               obs::MetricsRegistry* metrics,
+                               ResourceGovernor* governor) {
   if (metrics != nullptr) {
     metrics->GetCounter("match.neighborhood.tests")->Increment();
   }
@@ -145,6 +152,7 @@ bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
   state.assign.assign(q.NumNodes(), kInvalidNode);
   state.used.assign(d.NumNodes(), 0);
   state.budget = step_budget;
+  state.governor = governor;
 
   if (!state.NodeOk(query.center, data.center)) return false;
   state.assign[query.center] = data.center;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/governor.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -31,15 +32,21 @@ NeighborhoodSubgraph ExtractNeighborhood(const Graph& g, NodeId v,
 /// centers mapped to each other. Nodes match when the query node has no
 /// label or the labels are equal (unlabeled query nodes are wildcards).
 ///
-/// `step_budget` bounds the DFS (the test is itself NP-hard); on budget
-/// exhaustion the test conservatively returns true (no pruning).
+/// `step_budget` bounds the DFS (the test is itself NP-hard); 0 means
+/// unlimited (the engine-wide budget convention). On budget exhaustion the
+/// test conservatively returns true (no pruning).
+///
+/// When `governor` is given, each DFS step additionally charges
+/// GovernPoint::kNeighborhood; a governor trip also degrades to
+/// "no pruning" (the trip itself is handled by the caller).
 ///
 /// When `metrics` is given, the test emits match.neighborhood.{tests,
 /// steps, budget_hits} counters.
 bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
                                const NeighborhoodSubgraph& data,
                                uint64_t step_budget = 100000,
-                               obs::MetricsRegistry* metrics = nullptr);
+                               obs::MetricsRegistry* metrics = nullptr,
+                               ResourceGovernor* governor = nullptr);
 
 }  // namespace graphql::match
 

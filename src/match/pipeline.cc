@@ -171,12 +171,18 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     stats->size_retrieved.assign(k, 0);
   }
   obs::MetricsRegistry* metrics = options.metrics;
+  ResourceGovernor* gov = options.governor;
   // Feasible-mate accounting, accumulated locally and flushed once.
   uint64_t feasible_hits = 0;
   uint64_t feasible_misses = 0;
   uint64_t profile_pruned = 0;
   uint64_t neighborhood_pruned = 0;
   if (index == nullptr) {
+    // Bulk-charge the scan's probes; on a trip return empty candidate
+    // lists (the search then finds nothing — partial-result semantics).
+    if (!GovCharge(gov, k * data.NumNodes(), GovernPoint::kRetrieve)) {
+      return out;
+    }
     out = ScanCandidates(pattern, data);
     size_t kept = 0;
     for (size_t u = 0; u < k; ++u) {
@@ -215,6 +221,10 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
       }
       base = &all_nodes;
     }
+
+    // One charge per feasible-mate probe for this pattern node; on a trip
+    // the remaining candidate lists stay empty (partial-result semantics).
+    if (!GovCharge(gov, base->size(), GovernPoint::kRetrieve)) break;
 
     // Stage 1: attribute retrieval + remaining feasible-mate predicates.
     std::vector<NodeId> attr_stage;
@@ -256,7 +266,7 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
         for (NodeId v : attr_stage) {
           if (NeighborhoodSubIsomorphic(want, index->neighborhood(v),
                                         options.neighborhood_step_budget,
-                                        metrics)) {
+                                        metrics, gov)) {
             out[u].push_back(v);
           }
         }
@@ -289,6 +299,10 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   const size_t k = pattern.graph().NumNodes();
   obs::Tracer* tracer = options.tracer;
   obs::MetricsRegistry* metrics = options.metrics;
+  ResourceGovernor* gov = options.governor;
+  // Trip counters are emitted on the not-tripped -> tripped transition so
+  // collection loops over many member graphs count each trip once.
+  const bool was_tripped = gov != nullptr && gov->tripped();
 
   // One span per pipeline stage; PipelineStats stage micros are the span
   // durations, so EXPLAIN/PROFILE and the figure benchmarks report the
@@ -317,9 +331,26 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   int level = options.refine_level;
   if (level < 0) level = static_cast<int>(k);
   RefineStats refine_stats;
-  if (level > 0) {
+  bool refine_degraded = false;
+  if (level > 0 && GovOk(gov)) {
+    // Snapshot the candidate sets so a degradable budget trip can fall
+    // back to the exact unrefined space; skipped for ungoverned queries.
+    std::vector<std::vector<NodeId>> snapshot;
+    const bool can_degrade = gov != nullptr && gov->HasLimits();
+    if (can_degrade) snapshot = candidates;
     RefineSearchSpace(pattern, data, level, &candidates, &refine_stats,
-                      options.refine_use_marking, metrics);
+                      options.refine_use_marking, metrics, gov);
+    if (refine_stats.aborted && can_degrade && gov->DegradableTrip()) {
+      candidates = std::move(snapshot);
+      gov->RefundSteps(refine_stats.pairs_charged);
+      gov->ClearDegradableTrip();
+      gov->NoteDegradation(
+          "refine: budget exhausted; fell back to unrefined candidate sets");
+      refine_degraded = true;
+      if (metrics != nullptr) {
+        metrics->GetCounter("governor.degrade.refine")->Increment();
+      }
+    }
   }
   if (refine_span.active()) {
     refine_span.SetAttr("level", static_cast<int64_t>(level));
@@ -329,6 +360,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
                         static_cast<int64_t>(refine_stats.removed));
     refine_span.SetAttr("dirty_skips",
                         static_cast<int64_t>(refine_stats.dirty_skips));
+    if (refine_degraded) refine_span.SetAttr("degraded", "fallback-unrefined");
   }
   refine_span.End();
   if (stats != nullptr) {
@@ -336,6 +368,9 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     stats->refine.removed += refine_stats.removed;
     stats->refine.dirty_skips += refine_stats.dirty_skips;
     stats->refine.levels_run = refine_stats.levels_run;
+    stats->refine.pairs_charged += refine_stats.pairs_charged;
+    stats->refine.aborted |= refine_stats.aborted;
+    stats->refine_degraded |= refine_degraded;
     stats->size_refined.assign(k, 0);
     for (size_t u = 0; u < k; ++u) {
       stats->size_refined[u] = candidates[u].size();
@@ -355,8 +390,10 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
 
   obs::Span search_span(tracer, "search", obs::Span::Timing::kAlways);
   SearchStats search_stats;
+  MatchOptions match_options = options.match;
+  if (match_options.governor == nullptr) match_options.governor = gov;
   Result<std::vector<algebra::MatchedGraph>> matches =
-      SearchMatches(pattern, data, candidates, order, options.match,
+      SearchMatches(pattern, data, candidates, order, match_options,
                     &search_stats, metrics);
   if (search_span.active()) {
     search_span.SetAttr("steps", static_cast<int64_t>(search_stats.steps));
@@ -367,13 +404,26 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     search_span.SetAttr(
         "matches",
         static_cast<int64_t>(matches.ok() ? matches.value().size() : 0));
+    if (search_stats.governor_tripped) {
+      search_span.SetAttr("governor_tripped", static_cast<int64_t>(1));
+    }
   }
   search_span.End();
 
+  const bool newly_tripped = gov != nullptr && gov->tripped() && !was_tripped;
+  if (newly_tripped && metrics != nullptr) {
+    metrics
+        ->GetCounter(std::string("governor.trip.") +
+                     GovernPointName(gov->trip_point()))
+        ->Increment();
+  }
   if (query_span.active()) {
     query_span.SetAttr(
         "matches",
         static_cast<int64_t>(matches.ok() ? matches.value().size() : 0));
+    if (gov != nullptr && gov->tripped()) {
+      query_span.SetAttr("governor_trip", TripKindName(gov->trip_kind()));
+    }
   }
   query_span.End();
 
@@ -387,6 +437,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     stats->search.backtracks += search_stats.backtracks;
     stats->search.budget_exhausted |= search_stats.budget_exhausted;
     stats->search.truncated |= search_stats.truncated;
+    stats->search.governor_tripped |= search_stats.governor_tripped;
     stats->order = order;
     stats->num_matches = matches.ok() ? matches.value().size() : 0;
   }
@@ -403,6 +454,9 @@ Result<std::vector<algebra::MatchedGraph>> SelectCollection(
     const PipelineOptions& options) {
   std::vector<algebra::MatchedGraph> out;
   for (const Graph& g : collection) {
+    // A tripped governor ends the scan; matches found so far are returned
+    // (the caller reads the trip off the governor).
+    if (!GovOk(options.governor)) break;
     GQL_ASSIGN_OR_RETURN(std::vector<algebra::MatchedGraph> matches,
                          MatchPattern(pattern, g, /*index=*/nullptr, options));
     for (algebra::MatchedGraph& m : matches) out.push_back(std::move(m));
@@ -415,6 +469,7 @@ Result<std::vector<algebra::MatchedGraph>> SelectCollectionAny(
     const GraphCollection& collection, const PipelineOptions& options) {
   std::vector<algebra::MatchedGraph> out;
   for (const Graph& g : collection) {
+    if (!GovOk(options.governor)) break;
     for (const algebra::GraphPattern& pattern : alternatives) {
       GQL_ASSIGN_OR_RETURN(
           std::vector<algebra::MatchedGraph> matches,

@@ -47,8 +47,16 @@ struct PipelineOptions {
   bool optimize_order = true;
   OrderOptions order;
   MatchOptions match;
-  /// Step budget for each neighborhood sub-isomorphism test.
+  /// Step budget for each neighborhood sub-isomorphism test; 0 = unlimited
+  /// (the engine-wide budget convention).
   uint64_t neighborhood_step_budget = 100000;
+  /// Optional per-query resource governor; null = ungoverned. All stages
+  /// charge it (retrieve/refine/neighborhood/search); a refinement trip on
+  /// a degradable budget falls back to the unrefined candidate sets
+  /// (pruning lost, result set preserved), any other trip ends the query
+  /// with the matches found so far. Also installed into `match.governor`
+  /// when that is null.
+  ResourceGovernor* governor = nullptr;
   /// Metric sink for pipeline counters (search steps, pruning hits, ...).
   /// Counters are accumulated locally and flushed once per stage, so the
   /// default global registry costs a handful of atomic adds per query.
@@ -76,6 +84,9 @@ struct PipelineStats {
   RefineStats refine;
   size_t num_matches = 0;
   std::vector<NodeId> order;
+  /// Refinement tripped a degradable budget and the pipeline fell back to
+  /// the unrefined candidate sets (search still ran to completion).
+  bool refine_degraded = false;
 
   /// Search-space size as a product of per-node candidate counts.
   static double Space(const std::vector<size_t>& sizes);

@@ -34,11 +34,15 @@ std::vector<NodeId> UniqueNeighbors(const Graph& g, NodeId v) {
 void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
                        int level, std::vector<std::vector<NodeId>>* candidates,
                        RefineStats* stats, bool use_marking,
-                       obs::MetricsRegistry* metrics) {
+                       obs::MetricsRegistry* metrics,
+                       ResourceGovernor* governor) {
   const Graph& p = pattern.graph();
   size_t k = p.NumNodes();
   if (k == 0 || level <= 0) return;
   RefineStats local;  // Counted unconditionally; flushed once at the end.
+
+  // The k x n membership bitmaps are the big transient structure here.
+  ScopedReserve bitmap_mem(governor, k * data.NumNodes(), GovernPoint::kRefine);
 
   // Pattern neighbor lists (tiny, precompute once).
   std::vector<std::vector<NodeId>> pnbr(k);
@@ -55,7 +59,13 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
     for (NodeId v : (*candidates)[u]) in_cand[u][v] = 1;
   }
 
-  std::unordered_set<uint64_t> marked;
+  // The marked-pair set grows with the dirty frontier; route its
+  // allocations through the governor's accounting allocator.
+  using MarkedSet =
+      std::unordered_set<uint64_t, std::hash<uint64_t>, std::equal_to<uint64_t>,
+                         GovernedAllocator<uint64_t>>;
+  MarkedSet marked(0, std::hash<uint64_t>(), std::equal_to<uint64_t>(),
+                   GovernedAllocator<uint64_t>(governor, GovernPoint::kRefine));
   for (size_t u = 0; u < k; ++u) {
     for (NodeId v : (*candidates)[u]) marked.insert(PairKey(static_cast<NodeId>(u), v));
   }
@@ -79,6 +89,11 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
     bool changed = false;
 
     for (uint64_t key : todo) {
+      ++local.pairs_charged;
+      if (!GovCharge(governor, 1, GovernPoint::kRefine)) {
+        local.aborted = true;
+        break;
+      }
       NodeId u = static_cast<NodeId>(key >> 32);
       NodeId v = static_cast<NodeId>(key & 0xffffffffu);
       if (!in_cand[u][v]) {  // Already removed this level.
@@ -117,6 +132,7 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
         }
       }
     }
+    if (local.aborted) break;
     if (!changed && use_marking && marked.empty()) break;
     if (!changed && !use_marking) break;
   }
@@ -134,6 +150,8 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
     stats->removed += local.removed;
     stats->dirty_skips += local.dirty_skips;
     stats->levels_run = local.levels_run;
+    stats->pairs_charged += local.pairs_charged;
+    stats->aborted |= local.aborted;
   }
   if (metrics != nullptr) {
     metrics->GetCounter("match.refine.bipartite_checks")

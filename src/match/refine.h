@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algebra/pattern.h"
+#include "common/governor.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -16,6 +17,12 @@ struct RefineStats {
   uint64_t dirty_skips = 0;       ///< Marked pairs already removed when
                                   ///< their turn came (saved re-checks).
   int levels_run = 0;             ///< Levels before the fixpoint/limit.
+  uint64_t pairs_charged = 0;     ///< Governor steps charged (for refunds).
+  bool aborted = false;           ///< Governor tripped mid-refinement; the
+                                  ///< candidate sets were left PARTIALLY
+                                  ///< refined (still sound) — the pipeline
+                                  ///< restores its pre-refine snapshot when
+                                  ///< it wants the exact unrefined space.
 };
 
 /// Joint (global) reduction of the search space by pseudo subgraph
@@ -37,10 +44,18 @@ struct RefineStats {
 ///
 /// When `metrics` is given, one end-of-call flush emits
 /// match.refine.{bipartite_checks, removed, dirty_skips, levels}.
+///
+/// When `governor` is given, every (u, v) pair processed charges one step
+/// to GovernPoint::kRefine and the membership bitmaps / marked-pair set are
+/// accounted against the memory budget. A trip aborts the pass early with
+/// `stats->aborted` set; removals already applied remain (they are sound),
+/// and `stats->pairs_charged` lets the caller refund the spent steps when
+/// it discards the partial refinement.
 void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
                        int level, std::vector<std::vector<NodeId>>* candidates,
                        RefineStats* stats = nullptr, bool use_marking = true,
-                       obs::MetricsRegistry* metrics = nullptr);
+                       obs::MetricsRegistry* metrics = nullptr,
+                       ResourceGovernor* governor = nullptr);
 
 }  // namespace graphql::match
 

@@ -94,17 +94,58 @@ TEST(LangFuzzTest, ValidProgramSurvivesReprinting) {
 }
 
 TEST(LangFuzzTest, DeepNestingDoesNotOverflow) {
-  // Deeply nested anonymous disjunction blocks; the parser must either
-  // parse or reject gracefully.
+  // Nesting beyond the parser's depth guard must come back as a clean
+  // ParseError, not a stack overflow.
   std::string program = "graph G { ";
   for (int i = 0; i < 2000; ++i) program += "{ ";
   program += "node a; ";
   for (int i = 0; i < 2000; ++i) program += "} ";
   program += "}; ";
   auto r = Parser::ParseProgram(program);
-  // Parsing succeeds (recursive descent depth 2000 fits the stack); the
-  // result is a valid single-alternative nesting.
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LangFuzzTest, ModerateNestingStillParses) {
+  // Nesting well below the guard parses exactly as before.
+  std::string program = "graph G { ";
+  for (int i = 0; i < 50; ++i) program += "{ ";
+  program += "node a; ";
+  for (int i = 0; i < 50; ++i) program += "} ";
+  program += "}; ";
+  auto r = Parser::ParseProgram(program);
   ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST(LangFuzzTest, DeepParenExpressionIsRejected) {
+  // Parenthesized-expression recursion is guarded too.
+  std::string program = "graph G { node a; } where ";
+  for (int i = 0; i < 100000; ++i) program += "(";
+  program += "1";
+  for (int i = 0; i < 100000; ++i) program += ")";
+  program += ";";
+  auto r = Parser::ParseProgram(program);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LangFuzzTest, DeepUnaryMinusChainIsRejected) {
+  // `- - - ... 1` re-enters Primary without consuming nesting tokens.
+  std::string program = "graph G { node a; } where P.x = ";
+  for (int i = 0; i < 100000; ++i) program += "- ";
+  program += "1;";
+  auto r = Parser::ParseProgram(program);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LangFuzzTest, HostileBraceSoupIsRejectedCleanly) {
+  // Unbalanced deep braces (never closed) must not crash either.
+  std::string program = "graph G ";
+  for (int i = 0; i < 50000; ++i) program += "{ ";
+  auto r = Parser::ParseProgram(program);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
 TEST(LangFuzzTest, LongFlatProgram) {
