@@ -13,6 +13,10 @@
 //   :vars              list bound graph variables
 //   :metrics [json]    dump the session's metric counters/histograms
 //   :metrics reset     zero the session metrics
+//   :check PATH        statically analyze a program file against the
+//                      session (docs, variables, motifs) without running
+//                      it; prints caret diagnostics and the nr-GraphQL /
+//                      recursive classification of each query
 //   :set KEY VALUE     set a resource limit for subsequent queries:
 //                      timeout_ms, max_steps, max_memory_mb (0 = unlimited)
 //   :limits            show the current resource limits
@@ -27,6 +31,8 @@
 // A complete program may be prefixed with a keyword:
 //   EXPLAIN <program>  print the query plan without executing
 //   PROFILE <program>  execute, then print the trace tree + metric deltas
+//   CHECK   <program>  statically analyze without executing (like :check
+//                      but for inline source)
 
 #include <atomic>
 #include <cctype>
@@ -41,6 +47,8 @@
 
 #include "exec/evaluator.h"
 #include "io/serialize.h"
+#include "lang/parser.h"
+#include "sema/diagnostic.h"
 
 using namespace graphql;
 
@@ -94,10 +102,53 @@ struct Shell {
         evaluator.set_profiling(was_profiling);
         return;
       }
+      case Keyword::kCheck:
+        Check(body);
+        return;
       case Keyword::kNone:
         Execute(source, /*print_profile=*/false);
         return;
     }
+  }
+
+  /// Statically analyzes `source` against the session state and prints
+  /// caret diagnostics plus the classification of each query statement.
+  /// Nothing executes and no state changes.
+  void Check(const std::string& source) {
+    auto program = lang::Parser::ParseProgram(source);
+    if (!program.ok()) {
+      std::printf("error: %s\n", program.status().ToString().c_str());
+      any_error = true;
+      return;
+    }
+    sema::Analysis analysis = evaluator.Analyze(*program);
+    size_t errors = 0;
+    size_t warnings = 0;
+    for (const sema::Diagnostic& d : analysis.diagnostics) {
+      std::printf("%s\n", sema::RenderDiagnostic(source, d).c_str());
+      if (d.severity == sema::Severity::kError) ++errors;
+      if (d.severity == sema::Severity::kWarning) ++warnings;
+    }
+    for (size_t i = 0; i < program->statements.size(); ++i) {
+      if (program->statements[i].kind != lang::Statement::Kind::kFlwr) {
+        continue;
+      }
+      const sema::StatementInfo& si = analysis.statements[i];
+      std::printf("statement %zu: %s%s\n", i + 1,
+                  si.nr() ? "nr-GraphQL (equivalent to relational algebra)"
+                          : si.terminates
+                                ? "recursive (needs the Datalog fixpoint)"
+                                : "recursive with no base case (empty "
+                                  "fixpoint)",
+                  si.unsatisfiable ? "; provably unsatisfiable" : "");
+    }
+    if (errors == 0 && warnings == 0) {
+      std::printf("check: ok\n");
+    } else {
+      std::printf("check: %zu error%s, %zu warning%s\n", errors,
+                  errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s");
+    }
+    if (errors > 0) any_error = true;
   }
 
   void Execute(const std::string& source, bool print_profile) {
@@ -107,6 +158,9 @@ struct Shell {
       std::printf("error: %s\n", result.status().ToString().c_str());
       any_error = true;
       return;
+    }
+    for (const sema::Diagnostic& d : result->diagnostics) {
+      std::printf("%s\n", sema::RenderDiagnostic(source, d).c_str());
     }
     for (const auto& [name, graph] : result->variables) {
       if (!vars_seen.count(name)) {
@@ -145,10 +199,10 @@ struct Shell {
                 l.Unlimited() ? " (unlimited)" : "");
   }
 
-  enum class Keyword { kNone, kExplain, kProfile };
+  enum class Keyword { kNone, kExplain, kProfile, kCheck };
 
-  /// Detects a leading EXPLAIN/PROFILE word (case-insensitive); on a hit,
-  /// *body receives the program with the keyword stripped.
+  /// Detects a leading EXPLAIN/PROFILE/CHECK word (case-insensitive); on a
+  /// hit, *body receives the program with the keyword stripped.
   static Keyword LeadingKeyword(const std::string& source,
                                 std::string* body) {
     size_t start = source.find_first_not_of(" \t\r\n");
@@ -160,9 +214,12 @@ struct Shell {
     }
     std::string word = source.substr(start, end - start);
     for (char& c : word) c = std::toupper(static_cast<unsigned char>(c));
-    if (word != "EXPLAIN" && word != "PROFILE") return Keyword::kNone;
+    if (word != "EXPLAIN" && word != "PROFILE" && word != "CHECK") {
+      return Keyword::kNone;
+    }
     *body = source.substr(end);
-    return word == "EXPLAIN" ? Keyword::kExplain : Keyword::kProfile;
+    if (word == "EXPLAIN") return Keyword::kExplain;
+    return word == "PROFILE" ? Keyword::kProfile : Keyword::kCheck;
   }
 
   void Command(const std::string& line) {
@@ -172,13 +229,16 @@ struct Shell {
     if (cmd == ":help") {
       std::printf(
           ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :vars | "
-          ":metrics [json|reset] | :set KEY VALUE | :limits | :quit\n"
+          ":metrics [json|reset] | :check PATH | :set KEY VALUE | :limits | "
+          ":quit\n"
+          ":check PATH            statically analyze a file (no execution)\n"
           ":set timeout_ms N      wall-clock deadline per query (0 = off)\n"
           ":set max_steps N       unified step budget per query (0 = off)\n"
           ":set max_memory_mb N   approximate memory budget (0 = off)\n"
           "Ctrl-C cancels the running query, not the shell.\n"
           "EXPLAIN <program>  print the query plan without executing\n"
-          "PROFILE <program>  execute, then print trace + metric deltas\n");
+          "PROFILE <program>  execute, then print trace + metric deltas\n"
+          "CHECK   <program>  statically analyze without executing\n");
       return;
     }
     if (cmd == ":set") {
@@ -223,6 +283,24 @@ struct Shell {
       } else {
         std::printf("%s", evaluator.metrics()->ToText().c_str());
       }
+      return;
+    }
+    if (cmd == ":check") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::printf("usage: :check PATH\n");
+        return;
+      }
+      std::ifstream file(path);
+      if (!file) {
+        std::printf("cannot open %s\n", path.c_str());
+        any_error = true;
+        return;
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      Check(contents.str());
       return;
     }
     if (cmd == ":load") {

@@ -54,8 +54,23 @@ std::string LimitReport::ToString() const {
   return out;
 }
 
+sema::Analysis Evaluator::Analyze(const lang::Program& program) const {
+  sema::AnalyzeOptions opts;
+  opts.motifs = &motifs_;
+  opts.build = build_options_;
+  opts.doc_exists = [this](const std::string& name) {
+    return docs_ != nullptr && docs_->Find(name) != nullptr;
+  };
+  opts.variable_exists = [this](const std::string& name) {
+    return variables_.count(name) > 0;
+  };
+  return sema::Analyze(program, opts);
+}
+
 Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   QueryResult result;
+  sema::Analysis analysis = Analyze(program);
+  result.diagnostics = std::move(analysis.diagnostics);
   governor_.Arm(limits_);
   obs::MetricsSnapshot before;
   if (profiling_) {
@@ -69,7 +84,8 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
       program_span.SetAttr("statements",
                            static_cast<int64_t>(program.statements.size()));
     }
-    for (const lang::Statement& stmt : program.statements) {
+    for (size_t i = 0; i < program.statements.size(); ++i) {
+      const lang::Statement& stmt = program.statements[i];
       // A sticky trip ends the program between statements; the work done
       // so far stays in `result` (partial-result semantics). CheckNow also
       // catches deadline/cancellation between statements that never charge.
@@ -78,7 +94,9 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
       if (stmt_span.active()) {
         stmt_span.SetAttr("kind", StatementKindName(stmt.kind));
       }
-      GQL_RETURN_IF_ERROR(RunStatement(stmt, &result));
+      const sema::StatementInfo* info =
+          i < analysis.statements.size() ? &analysis.statements[i] : nullptr;
+      GQL_RETURN_IF_ERROR(RunStatement(stmt, &result, info));
     }
   }
   result.variables = variables_;
@@ -135,6 +153,7 @@ Result<std::string> Evaluator::Explain(const lang::Program& program) const {
   // Motifs declared by the program are resolved against a scratch copy so
   // EXPLAIN never mutates session state.
   motif::MotifRegistry scratch = motifs_;
+  sema::Analysis analysis = Analyze(program);
   std::string out;
   char buf[256];
   size_t index = 0;
@@ -255,6 +274,19 @@ Result<std::string> Evaluator::Explain(const lang::Program& program) const {
           out.append("    template: reference '" + flwr.template_ref +
                      "'\n");
         }
+        if (index - 1 < analysis.statements.size()) {
+          const sema::StatementInfo& si = analysis.statements[index - 1];
+          out.append(si.nr()
+                         ? "    sema: nr-GraphQL (non-recursive) -- "
+                           "equivalent to relational algebra (Theorem 4.5)\n"
+                         : "    sema: recursive motif composition -- "
+                           "requires the Datalog fixpoint (Theorem 4.6)\n");
+          if (si.unsatisfiable) {
+            out.append("    sema: provably unsatisfiable (" +
+                       si.unsat_reason +
+                       "); the selection short-circuits to empty\n");
+          }
+        }
         break;
       }
     }
@@ -263,7 +295,8 @@ Result<std::string> Evaluator::Explain(const lang::Program& program) const {
 }
 
 Status Evaluator::RunStatement(const lang::Statement& stmt,
-                               QueryResult* result) {
+                               QueryResult* result,
+                               const sema::StatementInfo* info) {
   switch (stmt.kind) {
     case lang::Statement::Kind::kGraphDecl:
       return motifs_.Register(stmt.graph);
@@ -282,7 +315,8 @@ Status Evaluator::RunStatement(const lang::Statement& stmt,
       return Status::OK();
     }
     case lang::Statement::Kind::kFlwr:
-      return RunFlwr(stmt.flwr, result);
+      return RunFlwr(stmt.flwr, result,
+                     info != nullptr && info->unsatisfiable);
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -339,7 +373,8 @@ Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
   return out;
 }
 
-Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
+Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
+                          bool prune_unsat) {
   obs::Span flwr_span(ActiveTracer(), "flwr");
   // Resolve the pattern.
   const lang::GraphDecl* pattern_decl = nullptr;
@@ -400,6 +435,24 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result) {
     flwr_span.SetAttr("alternatives",
                       static_cast<int64_t>(alternatives.size()));
     flwr_span.SetAttr("members", static_cast<int64_t>(collection->size()));
+  }
+
+  // Semantic analysis proved the selection empty (contradictory
+  // constraints or a constant-false predicate): short-circuit without
+  // entering the match pipeline. Resolution errors above still fire, and a
+  // `let` target is bound exactly as a zero-match execution would bind it.
+  if (prune_unsat) {
+    metrics_.GetCounter("sema.pruned.unsat")->Increment();
+    if (flwr_span.active()) flwr_span.SetAttr("sema", "pruned-unsat");
+    if (flwr.is_let) {
+      auto it = variables_.find(flwr.let_target);
+      if (it == variables_.end()) {
+        Graph empty;
+        empty.set_name(flwr.let_target);
+        variables_[flwr.let_target] = std::move(empty);
+      }
+    }
+    return Status::OK();
   }
 
   // Select.

@@ -17,6 +17,7 @@
 #include "motif/builder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sema/analyzer.h"
 
 namespace graphql::exec {
 
@@ -63,6 +64,12 @@ struct QueryResult {
   std::string profile_json;
   /// Human-readable rendering of the same data.
   std::string profile_text;
+  /// Static-analysis findings for the program (sema::Analyze, run before
+  /// execution). Errors predict runtime failures but do not by themselves
+  /// abort the run — the runtime still fails with its own message when it
+  /// reaches the diagnosed construct; warnings (lints, provable
+  /// unsatisfiability) are informational.
+  std::vector<sema::Diagnostic> diagnostics;
 };
 
 /// The GraphQL query evaluator: executes programs of graph declarations,
@@ -101,6 +108,13 @@ class Evaluator {
 
   /// Runs a parsed program. State (variables, registered patterns)
   /// persists across calls on the same Evaluator.
+  ///
+  /// Every Run is preceded by semantic analysis: diagnostics land in
+  /// QueryResult::diagnostics, and FLWR statements the analysis proves
+  /// unsatisfiable skip the match pipeline entirely (the `let` accumulator
+  /// is still bound, so downstream statements see the same state as a
+  /// zero-match execution). Each pruned statement increments the
+  /// `sema.pruned.unsat` counter.
   Result<QueryResult> Run(const lang::Program& program);
 
   /// Parses and runs source text.
@@ -125,6 +139,12 @@ class Evaluator {
   Result<std::string> Explain(const lang::Program& program) const;
   Result<std::string> ExplainSource(std::string_view source) const;
 
+  /// Statically analyzes a program against this session's state
+  /// (registered motifs, bound variables, registered documents) without
+  /// executing or mutating anything. Used by Run (pruning + diagnostics),
+  /// Explain (classification notes), and the `:check` shell command.
+  sema::Analysis Analyze(const lang::Program& program) const;
+
   /// Value of a graph variable from earlier statements; null if unbound.
   const Graph* Variable(const std::string& name) const;
 
@@ -137,8 +157,10 @@ class Evaluator {
   size_t indexes_built() const { return index_cache_.size(); }
 
  private:
-  Status RunStatement(const lang::Statement& stmt, QueryResult* result);
-  Status RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result);
+  Status RunStatement(const lang::Statement& stmt, QueryResult* result,
+                      const sema::StatementInfo* info);
+  Status RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
+                 bool prune_unsat);
 
   /// Tracer destination while profiling; null otherwise.
   obs::Tracer* ActiveTracer() {

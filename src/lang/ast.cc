@@ -32,17 +32,19 @@ const char* BinaryOpName(BinaryOp op) {
   return "?";
 }
 
-ExprPtr Expr::Literal(Value v) {
+ExprPtr Expr::Literal(Value v, SourceSpan span) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kLiteral;
   e->literal = std::move(v);
+  e->span = span;
   return e;
 }
 
-ExprPtr Expr::Name(std::vector<std::string> path) {
+ExprPtr Expr::Name(std::vector<std::string> path, SourceSpan span) {
   auto e = std::make_shared<Expr>();
   e->kind = Kind::kName;
   e->path = std::move(path);
+  e->span = span;
   return e;
 }
 
@@ -52,6 +54,7 @@ ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
   e->op = op;
   e->lhs = std::move(lhs);
   e->rhs = std::move(rhs);
+  if (e->lhs) e->span = e->lhs->span;
   return e;
 }
 

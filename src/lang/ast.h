@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/value.h"
+#include "lang/token.h"
 
 namespace graphql::lang {
 
@@ -59,8 +60,12 @@ struct Expr {
   ExprPtr lhs;
   ExprPtr rhs;
 
-  static ExprPtr Literal(Value v);
-  static ExprPtr Name(std::vector<std::string> path);
+  /// Where the expression starts (a binary node inherits its left
+  /// operand's span, so a conjunct's span is the conjunct's first token).
+  SourceSpan span;
+
+  static ExprPtr Literal(Value v, SourceSpan span = {});
+  static ExprPtr Name(std::vector<std::string> path, SourceSpan span = {});
   static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
 };
 
@@ -77,6 +82,7 @@ struct NodeDecl {
   std::string name;  ///< May be empty (anonymous node).
   std::optional<TupleLit> tuple;
   ExprPtr where;  ///< Per-node predicate; null when absent.
+  SourceSpan span;  ///< The declared name (or the `node` keyword).
 };
 
 /// `edge e1 (a.b, c) <tuple>? (where expr)?`.
@@ -86,6 +92,9 @@ struct EdgeDecl {
   std::vector<std::string> dst;  ///< Dotted name of the target node.
   std::optional<TupleLit> tuple;
   ExprPtr where;
+  SourceSpan span;      ///< The declared name (or the `edge` keyword).
+  SourceSpan src_span;  ///< The source endpoint name.
+  SourceSpan dst_span;  ///< The target endpoint name.
 };
 
 /// `graph G;` or `graph G1 as X;` — embeds a named graph (by reference to a
@@ -94,6 +103,7 @@ struct GraphRefDecl {
   std::string graph_name;
   std::string alias;  ///< Empty when no `as` clause; names then resolve
                       ///< through `graph_name` itself.
+  SourceSpan span;    ///< The referenced graph name.
 };
 
 /// `unify a.b, c.d (, more)* (where expr)?;` — merges the named nodes. The
@@ -102,6 +112,8 @@ struct GraphRefDecl {
 struct UnifyDecl {
   std::vector<std::vector<std::string>> names;  ///< ≥2 dotted names.
   ExprPtr where;
+  SourceSpan span;                     ///< The `unify` keyword.
+  std::vector<SourceSpan> name_spans;  ///< One per entry of `names`.
 };
 
 /// `export Nested.v as v;` — re-exposes a nested node under a new name
@@ -109,6 +121,7 @@ struct UnifyDecl {
 struct ExportDecl {
   std::vector<std::string> source;  ///< Dotted name in a nested graph.
   std::string as;
+  SourceSpan span;  ///< The source name.
 };
 
 struct GraphBody;
@@ -142,7 +155,8 @@ struct GraphDecl {
   std::string name;  ///< Empty for anonymous graphs.
   std::optional<TupleLit> tuple;
   GraphBody body;
-  ExprPtr where;  ///< Graph-wide predicate.
+  ExprPtr where;    ///< Graph-wide predicate.
+  SourceSpan span;  ///< The declared name (or the `graph` keyword).
 };
 
 /// FLWR expression:
@@ -158,6 +172,10 @@ struct FlwrExpr {
   std::string let_target;                 ///< Target variable for `let`.
   std::optional<GraphDecl> template_decl; ///< Inline template, or ...
   std::string template_ref;               ///< ... a bare identifier.
+  SourceSpan span;           ///< The `for` keyword.
+  SourceSpan pattern_span;   ///< The pattern reference / inline pattern.
+  SourceSpan doc_span;       ///< The doc("...") name string.
+  SourceSpan template_span;  ///< The template reference / inline template.
 };
 
 /// Top-level statement. `Assign` covers the paper's `C := graph {};` form.
@@ -167,6 +185,7 @@ struct Statement {
   GraphDecl graph;        // kGraphDecl and kAssign (the right-hand side).
   std::string assign_target;  // kAssign
   FlwrExpr flwr;          // kFlwr
+  SourceSpan span;        ///< First token of the statement.
 };
 
 struct Program {

@@ -45,9 +45,9 @@ char Lexer::Advance() {
   return c;
 }
 
-Status Lexer::ErrorHere(const std::string& message) const {
-  return Status::ParseError(message + " at line " + std::to_string(line_) +
-                            ", column " + std::to_string(column_));
+Status Lexer::ErrorAt(int line, int column, const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line) +
+                            ", column " + std::to_string(column));
 }
 
 void Lexer::SkipWhitespaceAndComments() {
@@ -85,6 +85,15 @@ Result<std::vector<Token>> Lexer::Tokenize() {
 
 Result<Token> Lexer::Next() {
   SkipWhitespaceAndComments();
+  size_t start = pos_;
+  GQL_ASSIGN_OR_RETURN(Token tok, NextImpl());
+  // Byte length of the lexeme; for the only multi-line lexeme (a string
+  // literal containing newlines) caret rendering clamps to the line end.
+  if (pos_ > start) tok.length = static_cast<int>(pos_ - start);
+  return tok;
+}
+
+Result<Token> Lexer::NextImpl() {
   Token tok;
   tok.line = line_;
   tok.column = column_;
@@ -169,7 +178,10 @@ Result<Token> Lexer::Next() {
         text += d;
       }
     }
-    if (AtEnd()) return ErrorHere("unterminated string literal");
+    if (AtEnd()) {
+      // Point at the opening quote, not the end of input.
+      return ErrorAt(tok.line, tok.column, "unterminated string literal");
+    }
     Advance();  // closing quote
     tok.kind = TokenKind::kString;
     tok.text = std::move(text);
@@ -247,16 +259,17 @@ Result<Token> Lexer::Next() {
         tok.kind = TokenKind::kNe;
         return tok;
       }
-      return ErrorHere("unexpected character '!'");
+      return ErrorAt(tok.line, tok.column, "unexpected character '!'");
     case ':':
       if (Peek() == '=') {
         Advance();
         tok.kind = TokenKind::kColonEq;
         return tok;
       }
-      return ErrorHere("unexpected character ':'");
+      return ErrorAt(tok.line, tok.column, "unexpected character ':'");
     default:
-      return ErrorHere(std::string("unexpected character '") + c + "'");
+      return ErrorAt(tok.line, tok.column,
+                     std::string("unexpected character '") + c + "'");
   }
 }
 

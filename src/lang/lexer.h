@@ -25,11 +25,14 @@ class Lexer {
 
  private:
   Result<Token> Next();
+  Result<Token> NextImpl();
   void SkipWhitespaceAndComments();
   char Peek(size_t ahead = 0) const;
   char Advance();
   bool AtEnd() const { return pos_ >= src_.size(); }
-  Status ErrorHere(const std::string& message) const;
+  /// Error anchored at an explicit position (the offending character),
+  /// not at the scanner's current position, which may already be past it.
+  Status ErrorAt(int line, int column, const std::string& message) const;
 
   std::string_view src_;
   size_t pos_ = 0;

@@ -77,6 +77,7 @@ Result<Program> Parser::Program_() {
 
 Result<Statement> Parser::Statement_() {
   Statement stmt;
+  stmt.span = Peek().span();
   if (Check(TokenKind::kGraph)) {
     stmt.kind = Statement::Kind::kGraphDecl;
     GQL_ASSIGN_OR_RETURN(stmt.graph, GraphDecl_());
@@ -102,9 +103,14 @@ Result<Statement> Parser::Statement_() {
 }
 
 Result<GraphDecl> Parser::GraphDecl_() {
+  SourceSpan kw_span = Peek().span();
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kGraph, "graph declaration").status());
   GraphDecl decl;
-  if (Check(TokenKind::kIdent)) decl.name = Advance().text;
+  decl.span = kw_span;
+  if (Check(TokenKind::kIdent)) {
+    decl.span = Peek().span();
+    decl.name = Advance().text;
+  }
   if (Check(TokenKind::kLAngle)) {
     GQL_ASSIGN_OR_RETURN(TupleLit t, Tuple_());
     decl.tuple = std::move(t);
@@ -156,9 +162,13 @@ Result<std::vector<MemberDecl>> Parser::Members() {
 
 Result<MemberDecl> Parser::Member() {
   MemberDecl member;
+  // Span of the member's introducing keyword; declarators without a name
+  // fall back to it.
+  SourceSpan kw_span = Peek().span();
   if (Match(TokenKind::kNode)) {
     member.kind = MemberDecl::Kind::kNode;
     GQL_ASSIGN_OR_RETURN(member.node, NodeDecl_());
+    if (!member.node.span.valid()) member.node.span = kw_span;
     // `node a, b, c;` expands into sibling members returned one at a time:
     // we rewrite the commas by pushing extra members through a small queue.
     // Simpler: collect into a disjunction-free multi list via recursion.
@@ -171,6 +181,7 @@ Result<MemberDecl> Parser::Member() {
       std::vector<NodeDecl> extra;
       while (Match(TokenKind::kComma)) {
         GQL_ASSIGN_OR_RETURN(NodeDecl n, NodeDecl_());
+        if (!n.span.valid()) n.span = kw_span;
         extra.push_back(std::move(n));
       }
       GQL_RETURN_IF_ERROR(
@@ -201,6 +212,7 @@ Result<MemberDecl> Parser::Member() {
   if (Match(TokenKind::kEdge)) {
     member.kind = MemberDecl::Kind::kEdge;
     GQL_ASSIGN_OR_RETURN(member.edge, EdgeDecl_());
+    if (!member.edge.span.valid()) member.edge.span = kw_span;
     if (Check(TokenKind::kComma)) {
       auto group = std::make_shared<GraphBody>();
       group->members.push_back(std::move(member));
@@ -208,6 +220,7 @@ Result<MemberDecl> Parser::Member() {
         MemberDecl m;
         m.kind = MemberDecl::Kind::kEdge;
         GQL_ASSIGN_OR_RETURN(m.edge, EdgeDecl_());
+        if (!m.edge.span.valid()) m.edge.span = kw_span;
         group->members.push_back(std::move(m));
       }
       GQL_RETURN_IF_ERROR(
@@ -226,6 +239,7 @@ Result<MemberDecl> Parser::Member() {
     GQL_ASSIGN_OR_RETURN(
         Token name, Expect(TokenKind::kIdent, "graph member reference"));
     member.graph_ref.graph_name = name.text;
+    member.graph_ref.span = name.span();
     if (Match(TokenKind::kAs)) {
       GQL_ASSIGN_OR_RETURN(Token alias,
                            Expect(TokenKind::kIdent, "graph member alias"));
@@ -240,6 +254,7 @@ Result<MemberDecl> Parser::Member() {
         GQL_ASSIGN_OR_RETURN(
             Token more, Expect(TokenKind::kIdent, "graph member reference"));
         m.graph_ref.graph_name = more.text;
+        m.graph_ref.span = more.span();
         if (Match(TokenKind::kAs)) {
           GQL_ASSIGN_OR_RETURN(
               Token alias, Expect(TokenKind::kIdent, "graph member alias"));
@@ -260,14 +275,19 @@ Result<MemberDecl> Parser::Member() {
   }
   if (Match(TokenKind::kUnify)) {
     member.kind = MemberDecl::Kind::kUnify;
-    GQL_ASSIGN_OR_RETURN(std::vector<std::string> first, Names_());
+    member.unify.span = kw_span;
+    SourceSpan name_span;
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> first, Names_(&name_span));
     member.unify.names.push_back(std::move(first));
+    member.unify.name_spans.push_back(name_span);
     GQL_RETURN_IF_ERROR(Expect(TokenKind::kComma, "unify").status());
-    GQL_ASSIGN_OR_RETURN(std::vector<std::string> second, Names_());
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> second, Names_(&name_span));
     member.unify.names.push_back(std::move(second));
+    member.unify.name_spans.push_back(name_span);
     while (Match(TokenKind::kComma)) {
-      GQL_ASSIGN_OR_RETURN(std::vector<std::string> more, Names_());
+      GQL_ASSIGN_OR_RETURN(std::vector<std::string> more, Names_(&name_span));
       member.unify.names.push_back(std::move(more));
+      member.unify.name_spans.push_back(name_span);
     }
     if (Match(TokenKind::kWhere)) {
       GQL_ASSIGN_OR_RETURN(member.unify.where, Expr_());
@@ -277,7 +297,8 @@ Result<MemberDecl> Parser::Member() {
   }
   if (Match(TokenKind::kExport)) {
     member.kind = MemberDecl::Kind::kExport;
-    GQL_ASSIGN_OR_RETURN(member.export_decl.source, Names_());
+    GQL_ASSIGN_OR_RETURN(member.export_decl.source,
+                         Names_(&member.export_decl.span));
     GQL_RETURN_IF_ERROR(Expect(TokenKind::kAs, "export").status());
     GQL_ASSIGN_OR_RETURN(Token as,
                          Expect(TokenKind::kIdent, "export alias"));
@@ -308,7 +329,7 @@ Result<NodeDecl> Parser::NodeDecl_() {
   if (Check(TokenKind::kIdent)) {
     // Graph templates may declare nodes under dotted parameter paths, e.g.
     // `node P.v1, P.v2;` (Figure 4.12); store the joined path as the name.
-    GQL_ASSIGN_OR_RETURN(std::vector<std::string> path, Names_());
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> path, Names_(&node.span));
     node.name = Join(path, ".");
   }
   if (Check(TokenKind::kLAngle)) {
@@ -323,11 +344,14 @@ Result<NodeDecl> Parser::NodeDecl_() {
 
 Result<EdgeDecl> Parser::EdgeDecl_() {
   EdgeDecl edge;
-  if (Check(TokenKind::kIdent)) edge.name = Advance().text;
+  if (Check(TokenKind::kIdent)) {
+    edge.span = Peek().span();
+    edge.name = Advance().text;
+  }
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "edge endpoints").status());
-  GQL_ASSIGN_OR_RETURN(edge.src, Names_());
+  GQL_ASSIGN_OR_RETURN(edge.src, Names_(&edge.src_span));
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kComma, "edge endpoints").status());
-  GQL_ASSIGN_OR_RETURN(edge.dst, Names_());
+  GQL_ASSIGN_OR_RETURN(edge.dst, Names_(&edge.dst_span));
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "edge endpoints").status());
   if (Check(TokenKind::kLAngle)) {
     GQL_ASSIGN_OR_RETURN(TupleLit t, Tuple_());
@@ -363,8 +387,9 @@ Result<TupleLit> Parser::Tuple_() {
   return tuple;
 }
 
-Result<std::vector<std::string>> Parser::Names_() {
+Result<std::vector<std::string>> Parser::Names_(SourceSpan* span) {
   GQL_ASSIGN_OR_RETURN(Token first, Expect(TokenKind::kIdent, "name"));
+  if (span != nullptr) *span = first.span();
   std::vector<std::string> path = {first.text};
   while (Match(TokenKind::kDot)) {
     GQL_ASSIGN_OR_RETURN(Token part, Expect(TokenKind::kIdent, "name"));
@@ -374,15 +399,18 @@ Result<std::vector<std::string>> Parser::Names_() {
 }
 
 Result<FlwrExpr> Parser::Flwr_() {
-  GQL_RETURN_IF_ERROR(Expect(TokenKind::kFor, "FLWR expression").status());
   FlwrExpr flwr;
+  flwr.span = Peek().span();
+  GQL_RETURN_IF_ERROR(Expect(TokenKind::kFor, "FLWR expression").status());
   if (Check(TokenKind::kGraph)) {
     GQL_ASSIGN_OR_RETURN(GraphDecl pattern, GraphDecl_());
+    flwr.pattern_span = pattern.span;
     flwr.pattern = std::move(pattern);
   } else {
     GQL_ASSIGN_OR_RETURN(Token ref,
                          Expect(TokenKind::kIdent, "FLWR pattern"));
     flwr.pattern_ref = ref.text;
+    flwr.pattern_span = ref.span();
   }
   flwr.exhaustive = Match(TokenKind::kExhaustive);
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kIn, "FLWR expression").status());
@@ -390,6 +418,7 @@ Result<FlwrExpr> Parser::Flwr_() {
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "doc()").status());
   GQL_ASSIGN_OR_RETURN(Token doc, Expect(TokenKind::kString, "doc()"));
   flwr.doc = doc.text;
+  flwr.doc_span = doc.span();
   GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "doc()").status());
   if (Match(TokenKind::kWhere)) {
     GQL_ASSIGN_OR_RETURN(flwr.where, Expr_());
@@ -411,11 +440,13 @@ Result<FlwrExpr> Parser::Flwr_() {
   }
   if (Check(TokenKind::kGraph)) {
     GQL_ASSIGN_OR_RETURN(GraphDecl tmpl, GraphDecl_());
+    flwr.template_span = tmpl.span;
     flwr.template_decl = std::move(tmpl);
   } else {
     GQL_ASSIGN_OR_RETURN(Token ref,
                          Expect(TokenKind::kIdent, "FLWR template"));
     flwr.template_ref = ref.text;
+    flwr.template_span = ref.span();
   }
   return flwr;
 }
@@ -515,19 +546,24 @@ Result<ExprPtr> Parser::Primary() {
         Expect(TokenKind::kRParen, "parenthesized expression").status());
     return e;
   }
-  if (Match(TokenKind::kMinus)) {
+  if (Check(TokenKind::kMinus)) {
+    SourceSpan minus_span = Advance().span();
     GQL_ASSIGN_OR_RETURN(ExprPtr operand, Primary());
-    return Expr::Binary(BinaryOp::kSub, Expr::Literal(Value(int64_t{0})),
+    return Expr::Binary(BinaryOp::kSub,
+                        Expr::Literal(Value(int64_t{0}), minus_span),
                         std::move(operand));
   }
   if (Check(TokenKind::kInt)) {
-    return Expr::Literal(Value(Advance().int_value));
+    const Token& t = Advance();
+    return Expr::Literal(Value(t.int_value), t.span());
   }
   if (Check(TokenKind::kFloat)) {
-    return Expr::Literal(Value(Advance().float_value));
+    const Token& t = Advance();
+    return Expr::Literal(Value(t.float_value), t.span());
   }
   if (Check(TokenKind::kString)) {
-    return Expr::Literal(Value(Advance().text));
+    const Token& t = Advance();
+    return Expr::Literal(Value(t.text), t.span());
   }
   if (Check(TokenKind::kIdent)) {
     // `true`/`false` act as boolean literals in expression position (they
@@ -535,16 +571,15 @@ Result<ExprPtr> Parser::Primary() {
     // parses as a name).
     if (!Check(TokenKind::kDot, 1)) {
       if (Peek().text == "true") {
-        Advance();
-        return Expr::Literal(Value(true));
+        return Expr::Literal(Value(true), Advance().span());
       }
       if (Peek().text == "false") {
-        Advance();
-        return Expr::Literal(Value(false));
+        return Expr::Literal(Value(false), Advance().span());
       }
     }
-    GQL_ASSIGN_OR_RETURN(std::vector<std::string> path, Names_());
-    return Expr::Name(std::move(path));
+    SourceSpan name_span;
+    GQL_ASSIGN_OR_RETURN(std::vector<std::string> path, Names_(&name_span));
+    return Expr::Name(std::move(path), name_span);
   }
   return ErrorHere("expected an expression, found " + Peek().Describe());
 }

@@ -52,7 +52,9 @@ class Parser {
   Result<NodeDecl> NodeDecl_();
   Result<EdgeDecl> EdgeDecl_();
   Result<TupleLit> Tuple_();
-  Result<std::vector<std::string>> Names_();
+  /// Parses a dotted name; when `span` is non-null it receives the span of
+  /// the path's first identifier.
+  Result<std::vector<std::string>> Names_(SourceSpan* span = nullptr);
   Result<FlwrExpr> Flwr_();
 
   Result<ExprPtr> Expr_();        // full precedence chain

@@ -57,6 +57,18 @@ enum class TokenKind {
 /// Returns a printable name for diagnostics ("'{'", "identifier", ...).
 const char* TokenKindName(TokenKind kind);
 
+/// Half-open region of source text, 1-based. The span of a token is the
+/// token itself; the span of an AST node is the token that best identifies
+/// it (a declared name, an operator's left operand, a keyword). line == 0
+/// means "unknown" (synthesized nodes).
+struct SourceSpan {
+  int line = 0;    ///< 1-based line of the first character.
+  int column = 0;  ///< 1-based column of the first character.
+  int length = 1;  ///< Characters covered on that line (>= 1).
+
+  bool valid() const { return line > 0; }
+};
+
 /// One lexical token with source position (1-based line/column).
 struct Token {
   TokenKind kind = TokenKind::kEnd;
@@ -65,6 +77,9 @@ struct Token {
   double float_value = 0;
   int line = 0;
   int column = 0;
+  int length = 1;  ///< Source characters the token covers.
+
+  SourceSpan span() const { return SourceSpan{line, column, length}; }
 
   std::string Describe() const;
 };

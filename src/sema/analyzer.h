@@ -1,0 +1,77 @@
+#ifndef GRAPHQL_SEMA_ANALYZER_H_
+#define GRAPHQL_SEMA_ANALYZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "motif/builder.h"
+#include "sema/diagnostic.h"
+
+namespace graphql::sema {
+
+/// Session context the analyzer checks a program against. All hooks are
+/// optional: a null `motifs` means no pre-registered motifs, a null
+/// `doc_exists` skips document checks entirely (a standalone linter cannot
+/// know which documents a session will register), and a null
+/// `variable_exists` means only variables assigned by the program itself
+/// are in scope.
+struct AnalyzeOptions {
+  const motif::MotifRegistry* motifs = nullptr;
+  std::function<bool(const std::string&)> doc_exists;
+  std::function<bool(const std::string&)> variable_exists;
+  /// Recursion-depth / derivation limits used by the explosion lint; keep
+  /// in sync with the evaluator's build options.
+  motif::BuildOptions build;
+};
+
+/// Per-statement facts the analysis proves, consumed by the evaluator
+/// (unsat pruning) and EXPLAIN (language-fragment classification).
+struct StatementInfo {
+  /// The statement's pattern composes motifs recursively (Section 2.3).
+  bool recursive = false;
+  /// The recursion has a base case: its derivation fixpoint is non-empty.
+  bool terminates = true;
+  /// The statement's selection is provably empty: a predicate folds to
+  /// constant false, or some pattern entity carries contradictory
+  /// constraints. The evaluator may skip the match pipeline.
+  bool unsatisfiable = false;
+  std::string unsat_reason;
+
+  /// Non-recursive fragment: equivalent to relational algebra
+  /// (Theorem 4.5); recursive statements need the Datalog fixpoint
+  /// (Theorem 4.6).
+  bool nr() const { return !recursive; }
+};
+
+/// The result of analyzing one program: diagnostics (errors, warnings) in
+/// statement order plus one StatementInfo per program statement.
+struct Analysis {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<StatementInfo> statements;
+
+  bool ok() const { return !HasErrors(diagnostics); }
+  /// The first error as a Status (mirroring the runtime failure the error
+  /// predicts), or OK when the program is clean.
+  Status ToStatus() const;
+};
+
+/// Statically analyzes a parsed program: name/scope resolution for every
+/// motif member, edge endpoint, unify/export target, and predicate name;
+/// constant folding and per-entity interval analysis for satisfiability;
+/// recursion classification (nr-GraphQL vs fixpoint, base-case
+/// verification); and structural lints (disconnected motifs, unused
+/// bindings, derivation explosion).
+///
+/// Design rule: an *error* means the runtime would fail (with the same
+/// status code) if it reached the diagnosed construct. Issues inside
+/// `graph X {...};` registration statements surface as errors only when
+/// some statement actually uses the motif — registration itself never
+/// fails at runtime — and stay warnings otherwise.
+Analysis Analyze(const lang::Program& program,
+                 const AnalyzeOptions& options = {});
+
+}  // namespace graphql::sema
+
+#endif  // GRAPHQL_SEMA_ANALYZER_H_

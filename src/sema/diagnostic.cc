@@ -1,0 +1,94 @@
+#include "sema/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace graphql::sema {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = SeverityName(severity);
+  out += "[";
+  out += code;
+  out += "]: ";
+  out += message;
+  if (span.valid()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " (line %d, column %d)", span.line,
+                  span.column);
+    out += buf;
+  }
+  return out;
+}
+
+Status Diagnostic::ToStatus() const {
+  std::string msg = message;
+  if (span.valid()) {
+    msg += " at line " + std::to_string(span.line) + ", column " +
+           std::to_string(span.column);
+  }
+  return Status(status, std::move(msg));
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::string RenderSourceContext(std::string_view source,
+                                const lang::SourceSpan& span) {
+  if (!span.valid()) return "";
+  // Find the span's line (1-based).
+  size_t begin = 0;
+  for (int line = 1; line < span.line; ++line) {
+    size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) return "";
+    begin = nl + 1;
+  }
+  size_t end = source.find('\n', begin);
+  if (end == std::string_view::npos) end = source.size();
+  std::string_view text = source.substr(begin, end - begin);
+  if (span.column < 1 || static_cast<size_t>(span.column) > text.size() + 1) {
+    return "";
+  }
+
+  char gutter[16];
+  std::snprintf(gutter, sizeof(gutter), "%4d | ", span.line);
+  std::string out = gutter;
+  out.append(text);
+  out += "\n     | ";
+  // Tabs in the source line must advance the marker line identically.
+  for (int i = 0; i < span.column - 1; ++i) {
+    out += (static_cast<size_t>(i) < text.size() && text[i] == '\t') ? '\t'
+                                                                     : ' ';
+  }
+  // Clamp the marker to the line end (string literals may span lines).
+  int avail = static_cast<int>(text.size()) - (span.column - 1);
+  int len = std::max(1, std::min(span.length, std::max(avail, 1)));
+  out += '^';
+  for (int i = 1; i < len; ++i) out += '~';
+  out += '\n';
+  return out;
+}
+
+std::string RenderDiagnostic(std::string_view source, const Diagnostic& d) {
+  std::string out = d.ToString();
+  out += '\n';
+  out += RenderSourceContext(source, d.span);
+  return out;
+}
+
+}  // namespace graphql::sema

@@ -1,0 +1,65 @@
+#ifndef GRAPHQL_SEMA_DIAGNOSTIC_H_
+#define GRAPHQL_SEMA_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/token.h"
+
+namespace graphql::sema {
+
+/// How bad a finding is. Errors make the program unrunnable (the evaluator
+/// refuses to execute it); warnings flag constructs that run but are almost
+/// certainly mistakes; notes carry classification facts (e.g. "this query
+/// is in the non-recursive fragment").
+enum class Severity {
+  kError = 0,
+  kWarning,
+  kNote,
+};
+
+const char* SeverityName(Severity severity);
+
+/// One finding of the semantic analyzer: a stable machine-readable code
+/// (dot-separated, e.g. "sema.unbound-name", "lint.cartesian-product"), a
+/// human message, the source span it points at, and — for errors — the
+/// StatusCode the evaluator would have failed with at runtime, so that
+/// static rejection preserves the error contract of the execution path.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::string message;
+  lang::SourceSpan span;
+  StatusCode status = StatusCode::kInvalidArgument;
+  /// Index of the program statement the finding belongs to (size_t(-1)
+  /// when it is not tied to one).
+  size_t statement = static_cast<size_t>(-1);
+
+  /// "error[sema.unbound-name]: message (line 3, column 7)".
+  std::string ToString() const;
+
+  /// The Status the evaluator returns for this (error) diagnostic; the
+  /// message keeps the runtime wording plus the source location.
+  Status ToStatus() const;
+};
+
+/// True if any diagnostic is an error.
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders the offending source line with a caret marker underneath:
+///
+///   3 |   edge e1 (a, missing);
+///     |               ^~~~~~~
+///
+/// Returns an empty string when the span is invalid or out of range.
+std::string RenderSourceContext(std::string_view source,
+                                const lang::SourceSpan& span);
+
+/// ToString() plus the caret block (when the span resolves into `source`).
+std::string RenderDiagnostic(std::string_view source, const Diagnostic& d);
+
+}  // namespace graphql::sema
+
+#endif  // GRAPHQL_SEMA_DIAGNOSTIC_H_

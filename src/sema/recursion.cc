@@ -1,0 +1,196 @@
+#include "sema/recursion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace graphql::sema {
+
+namespace {
+
+/// Collects the named motifs reachable from `body` (transitively, through
+/// `lookup`) into `out`.
+void CollectReachable(const lang::GraphBody& body, const MotifLookup& lookup,
+                      std::set<std::string>* out) {
+  for (const lang::MemberDecl& member : body.members) {
+    if (member.kind == lang::MemberDecl::Kind::kGraphRef) {
+      const std::string& name = member.graph_ref.graph_name;
+      if (out->count(name)) continue;
+      const lang::GraphDecl* target = lookup(name);
+      if (target == nullptr) continue;
+      out->insert(name);
+      CollectReachable(target->body, lookup, out);
+    } else if (member.kind == lang::MemberDecl::Kind::kDisjunction) {
+      for (const auto& alt : member.alternatives) {
+        CollectReachable(*alt, lookup, out);
+      }
+    }
+  }
+}
+
+/// True if a DFS from `body` re-enters a name already on `stack`.
+bool HasCycle(const lang::GraphBody& body, const MotifLookup& lookup,
+              std::vector<std::string>* stack) {
+  for (const lang::MemberDecl& member : body.members) {
+    if (member.kind == lang::MemberDecl::Kind::kGraphRef) {
+      const std::string& name = member.graph_ref.graph_name;
+      if (std::find(stack->begin(), stack->end(), name) != stack->end()) {
+        return true;
+      }
+      const lang::GraphDecl* target = lookup(name);
+      if (target == nullptr) continue;
+      stack->push_back(name);
+      bool cyclic = HasCycle(target->body, lookup, stack);
+      stack->pop_back();
+      if (cyclic) return true;
+    } else if (member.kind == lang::MemberDecl::Kind::kDisjunction) {
+      for (const auto& alt : member.alternatives) {
+        if (HasCycle(*alt, lookup, stack)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Monotone termination transfer function: a body terminates when every
+/// member does; a (≥2-way) disjunction when at least one alternative does;
+/// a motif reference when its target does under the current assumption.
+bool BodyTerminates(const lang::GraphBody& body, const MotifLookup& lookup,
+                    const std::map<std::string, bool>& term) {
+  for (const lang::MemberDecl& member : body.members) {
+    switch (member.kind) {
+      case lang::MemberDecl::Kind::kGraphRef: {
+        auto it = term.find(member.graph_ref.graph_name);
+        if (it != term.end() && !it->second) return false;
+        break;  // Unknown names: name resolution reports them.
+      }
+      case lang::MemberDecl::Kind::kDisjunction: {
+        if (member.alternatives.size() == 1) {
+          // Parser encoding for grouping / multi-declarator statements.
+          if (!BodyTerminates(*member.alternatives[0], lookup, term)) {
+            return false;
+          }
+          break;
+        }
+        bool any = false;
+        for (const auto& alt : member.alternatives) {
+          if (BodyTerminates(*alt, lookup, term)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) return false;
+        break;
+      }
+      default:
+        break;  // Nodes, edges, unify, export always terminate.
+    }
+  }
+  return true;
+}
+
+constexpr size_t kMaxEstimateNesting = 64;
+
+size_t SatAdd(size_t a, size_t b, size_t cap) {
+  return (a > cap - b || a + b > cap) ? cap : a + b;
+}
+
+size_t SatMul(size_t a, size_t b, size_t cap) {
+  if (a == 0 || b == 0) return 0;
+  if (a > cap / b) return cap;
+  return std::min(a * b, cap);
+}
+
+/// Derivation-count estimate for one body; 0 means "every derivation dies"
+/// (recursion with no remaining depth and no base case on this path).
+size_t EstimateBody(const lang::GraphBody& body, const MotifLookup& lookup,
+                    size_t depth_left, size_t cap,
+                    std::vector<std::string>* stack) {
+  size_t product = 1;
+  for (const lang::MemberDecl& member : body.members) {
+    size_t factor = 1;
+    switch (member.kind) {
+      case lang::MemberDecl::Kind::kGraphRef: {
+        const std::string& name = member.graph_ref.graph_name;
+        const lang::GraphDecl* target = lookup(name);
+        if (target == nullptr) break;
+        if (stack->size() > kMaxEstimateNesting) return cap;
+        bool recursive =
+            std::find(stack->begin(), stack->end(), name) != stack->end();
+        if (recursive && depth_left == 0) return 0;  // Derivation dies.
+        stack->push_back(name);
+        factor = EstimateBody(target->body, lookup,
+                              recursive ? depth_left - 1 : depth_left, cap,
+                              stack);
+        stack->pop_back();
+        break;
+      }
+      case lang::MemberDecl::Kind::kDisjunction: {
+        if (member.alternatives.size() == 1) {
+          factor = EstimateBody(*member.alternatives[0], lookup, depth_left,
+                                cap, stack);
+          break;
+        }
+        factor = 0;
+        for (const auto& alt : member.alternatives) {
+          factor = SatAdd(
+              factor, EstimateBody(*alt, lookup, depth_left, cap, stack),
+              cap);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    product = SatMul(product, factor, cap);
+    if (product == 0 || product >= cap) return product;
+  }
+  return product;
+}
+
+}  // namespace
+
+RecursionInfo ClassifyRecursion(const lang::GraphDecl& decl,
+                                const MotifLookup& lookup) {
+  RecursionInfo info;
+  std::vector<std::string> stack;
+  if (!decl.name.empty()) stack.push_back(decl.name);
+  info.recursive = HasCycle(decl.body, lookup, &stack);
+  if (!info.recursive) return info;
+
+  // Least fixpoint: start from "nothing terminates" and iterate the
+  // monotone transfer function until stable; motifs whose flag stays false
+  // have no derivation that escapes the cycle.
+  std::set<std::string> reachable;
+  if (!decl.name.empty() && lookup(decl.name) != nullptr) {
+    reachable.insert(decl.name);
+  }
+  CollectReachable(decl.body, lookup, &reachable);
+  std::map<std::string, bool> term;
+  for (const std::string& name : reachable) term[name] = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& name : reachable) {
+      if (term[name]) continue;
+      const lang::GraphDecl* d = lookup(name);
+      if (d != nullptr && BodyTerminates(d->body, lookup, term)) {
+        term[name] = true;
+        changed = true;
+      }
+    }
+  }
+  info.terminates = BodyTerminates(decl.body, lookup, term);
+  return info;
+}
+
+size_t EstimateDerivations(const lang::GraphDecl& decl,
+                           const MotifLookup& lookup, size_t max_depth,
+                           size_t cap) {
+  std::vector<std::string> stack;
+  if (!decl.name.empty()) stack.push_back(decl.name);
+  return EstimateBody(decl.body, lookup, max_depth, cap, &stack);
+}
+
+}  // namespace graphql::sema

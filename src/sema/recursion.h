@@ -1,0 +1,54 @@
+#ifndef GRAPHQL_SEMA_RECURSION_H_
+#define GRAPHQL_SEMA_RECURSION_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace graphql::sema {
+
+/// Resolves a motif name to its declaration; null when unknown. The sema
+/// layer abstracts the lookup so it can layer program-local declarations
+/// over a session registry.
+using MotifLookup =
+    std::function<const lang::GraphDecl*(const std::string&)>;
+
+/// Classification of one motif/pattern against the paper's language
+/// hierarchy (Section 4): the non-recursive fragment is equivalent to
+/// relational algebra (Theorem 4.5); recursive motif composition needs the
+/// fixpoint of the Datalog translation (Theorem 4.6).
+struct RecursionInfo {
+  /// The motif (transitively) references itself: repetition, Section 2.3.
+  bool recursive = false;
+  /// The derivation fixpoint is non-empty: every recursive cycle can be
+  /// exited through a base case (a disjunction alternative that derives
+  /// without re-entering the cycle). Non-recursive motifs trivially
+  /// terminate. A recursive motif with no base case is the analogue of an
+  /// unstratified Datalog program here: its least fixpoint derives no
+  /// graphs, so the query can never produce a result.
+  bool terminates = true;
+
+  /// Non-recursive fragment of GraphQL (nr-GraphQL, Theorem 4.5).
+  bool nr() const { return !recursive; }
+};
+
+/// Classifies `decl` by walking its body through `lookup`. Unknown motif
+/// references are treated as terminating leaves (their absence is reported
+/// by name resolution, not here).
+RecursionInfo ClassifyRecursion(const lang::GraphDecl& decl,
+                                const MotifLookup& lookup);
+
+/// Upper-bound estimate of how many concrete graphs the motif derives
+/// under `max_depth` recursive expansions (disjunctions multiply, each
+/// recursion level multiplies by the branching of the cycle). The estimate
+/// saturates at `cap`; use it to warn when repetition bounds explode past
+/// BuildOptions::max_graphs before the builder burns through the work.
+size_t EstimateDerivations(const lang::GraphDecl& decl,
+                           const MotifLookup& lookup, size_t max_depth,
+                           size_t cap);
+
+}  // namespace graphql::sema
+
+#endif  // GRAPHQL_SEMA_RECURSION_H_

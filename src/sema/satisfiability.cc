@@ -1,0 +1,181 @@
+#include "sema/satisfiability.h"
+
+namespace graphql::sema {
+
+namespace {
+
+std::optional<Value> FoldBinary(lang::BinaryOp op, const Value& a,
+                                const Value& b) {
+  using lang::BinaryOp;
+  switch (op) {
+    case BinaryOp::kOr:
+      return Value(a.Truthy() || b.Truthy());
+    case BinaryOp::kAnd:
+      return Value(a.Truthy() && b.Truthy());
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: {
+      Result<Value> r = op == BinaryOp::kAdd   ? Value::Add(a, b)
+                        : op == BinaryOp::kSub ? Value::Sub(a, b)
+                        : op == BinaryOp::kMul ? Value::Mul(a, b)
+                                               : Value::Div(a, b);
+      if (!r.ok()) return std::nullopt;
+      return std::move(r).value();
+    }
+    case BinaryOp::kEq:
+      return Value(a == b);
+    case BinaryOp::kNe:
+      return Value(a != b);
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      // a < b == b > a; a >= b == b <= a.
+      bool flip = op == BinaryOp::kGt || op == BinaryOp::kGe;
+      bool strict = op == BinaryOp::kLt || op == BinaryOp::kGt;
+      const Value& lhs = flip ? b : a;
+      const Value& rhs = flip ? a : b;
+      Result<bool> r =
+          strict ? Value::Less(lhs, rhs) : Value::LessEq(lhs, rhs);
+      if (!r.ok()) return std::nullopt;
+      return Value(r.value());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Value> FoldConst(const lang::Expr& expr) {
+  switch (expr.kind) {
+    case lang::Expr::Kind::kLiteral:
+      return expr.literal;
+    case lang::Expr::Kind::kName:
+      return std::nullopt;
+    case lang::Expr::Kind::kBinary: {
+      if (expr.lhs == nullptr || expr.rhs == nullptr) return std::nullopt;
+      // `&`/`|` could short-circuit on one constant side, but runtime
+      // evaluation (algebra::EvalExpr) evaluates both sides and propagates
+      // their errors; folding only a fully-constant tree keeps the fold
+      // behavior-preserving.
+      std::optional<Value> a = FoldConst(*expr.lhs);
+      if (!a) return std::nullopt;
+      std::optional<Value> b = FoldConst(*expr.rhs);
+      if (!b) return std::nullopt;
+      return FoldBinary(expr.op, *a, *b);
+    }
+  }
+  return std::nullopt;
+}
+
+bool ConstraintSet::Fail(const std::string& attr, const std::string& why) {
+  unsat_ = true;
+  reason_ = "attribute '" + attr + "': " + why;
+  return false;
+}
+
+bool ConstraintSet::Add(const std::string& attr, lang::BinaryOp op,
+                        const Value& value) {
+  using lang::BinaryOp;
+  if (unsat_) return false;
+  AttrConstraint& c = attrs_[attr];
+
+  KindClass kind;
+  if (value.is_numeric()) {
+    kind = KindClass::kNumeric;
+  } else if (value.is_string()) {
+    kind = KindClass::kString;
+  } else if (value.is_bool()) {
+    kind = KindClass::kBool;
+  } else {
+    return true;  // Null literals: no useful constraint.
+  }
+
+  // `!=` against a different-kind constant is vacuously true; every other
+  // op commits the attribute to the constant's kind (equality with a
+  // different kind can never hold, ordered comparison would not evaluate).
+  if (c.kind && *c.kind != kind) {
+    if (op == BinaryOp::kNe) return true;
+    return Fail(attr, "constraints require both " +
+                          std::string(*c.kind == KindClass::kNumeric
+                                          ? "a numeric"
+                                          : *c.kind == KindClass::kString
+                                                ? "a string"
+                                                : "a boolean") +
+                          " and a " +
+                          (kind == KindClass::kNumeric  ? "numeric"
+                           : kind == KindClass::kString ? "string"
+                                                        : "boolean") +
+                          " value");
+  }
+  if (op != BinaryOp::kNe) c.kind = kind;
+
+  auto in_interval = [&c](const Value& v) {
+    if (!v.is_numeric()) return true;
+    double x = v.NumericAsDouble();
+    if (c.has_lo && (x < c.lo || (x == c.lo && c.lo_open))) return false;
+    if (c.has_hi && (x > c.hi || (x == c.hi && c.hi_open))) return false;
+    return true;
+  };
+
+  switch (op) {
+    case BinaryOp::kEq:
+      if (c.eq && *c.eq != value) {
+        return Fail(attr, "pinned to both " + c.eq->ToString() + " and " +
+                              value.ToString());
+      }
+      for (const Value& x : c.ne) {
+        if (x == value) {
+          return Fail(attr, "pinned to excluded value " + value.ToString());
+        }
+      }
+      if (!in_interval(value)) {
+        return Fail(attr, "pinned value " + value.ToString() +
+                              " lies outside the required interval");
+      }
+      c.eq = value;
+      return true;
+    case BinaryOp::kNe:
+      if (c.eq && *c.eq == value) {
+        return Fail(attr, "pinned to excluded value " + value.ToString());
+      }
+      c.ne.push_back(value);
+      return true;
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (!value.is_numeric()) return true;  // String order: not tracked.
+      double x = value.NumericAsDouble();
+      bool strict = op == BinaryOp::kLt || op == BinaryOp::kGt;
+      if (op == BinaryOp::kLt || op == BinaryOp::kLe) {
+        // attr < x / attr <= x: tighten the upper bound.
+        if (!c.has_hi || x < c.hi || (x == c.hi && strict)) {
+          c.hi = x;
+          c.hi_open = strict;
+          c.has_hi = true;
+        }
+      } else {
+        if (!c.has_lo || x > c.lo || (x == c.lo && strict)) {
+          c.lo = x;
+          c.lo_open = strict;
+          c.has_lo = true;
+        }
+      }
+      if (c.has_lo && c.has_hi &&
+          (c.lo > c.hi || (c.lo == c.hi && (c.lo_open || c.hi_open)))) {
+        return Fail(attr, "required interval is empty");
+      }
+      if (c.eq && !in_interval(*c.eq)) {
+        return Fail(attr, "pinned value " + c.eq->ToString() +
+                              " lies outside the required interval");
+      }
+      return true;
+    }
+    default:
+      return true;  // Arithmetic/boolean ops carry no direct constraint.
+  }
+}
+
+}  // namespace graphql::sema

@@ -1,0 +1,68 @@
+#ifndef GRAPHQL_SEMA_SATISFIABILITY_H_
+#define GRAPHQL_SEMA_SATISFIABILITY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "lang/ast.h"
+
+namespace graphql::sema {
+
+/// Constant-folds an expression bottom-up: literals, arithmetic,
+/// comparisons, and boolean connectives over constant operands. Returns
+/// nullopt when the expression references names or when evaluation would
+/// error (division by zero, mixed types) — folding never reports errors,
+/// it only answers "is this provably a constant, and which one".
+///
+/// Folding builds fresh values and never mutates the (shared) AST.
+std::optional<Value> FoldConst(const lang::Expr& expr);
+
+/// Conjunction of constraints on the attributes of a single entity (one
+/// pattern node or edge). Built from tuple equalities, inline `where`
+/// clauses, and single-entity conjuncts routed from graph-wide predicates;
+/// detects provable unsatisfiability by interval analysis:
+///   - pinned-value conflicts        (a = 1 AND a = 2)
+///   - equality outside an interval  (a = 5 AND a < 3)
+///   - empty intervals               (a > 5 AND a < 3, a < 3 AND a >= 3)
+///   - excluded pins                 (a = 1 AND a != 1)
+///   - kind conflicts                (a = "x" AND a > 3)
+class ConstraintSet {
+ public:
+  /// Adds `attr <op> literal` (op one of ==, !=, <, <=, >, >=). Returns
+  /// false — and records a reason — when the set becomes unsatisfiable.
+  /// Non-orderable combinations (e.g. `<` on a bool) add nothing: runtime
+  /// evaluation of such predicates is an error or a non-match, never a
+  /// reason to prune statically.
+  bool Add(const std::string& attr, lang::BinaryOp op, const Value& value);
+
+  bool unsat() const { return unsat_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  /// The value-kind class a constraint commits an attribute to. Numeric
+  /// spans int and double (Value compares them numerically).
+  enum class KindClass { kNumeric, kString, kBool };
+
+  struct AttrConstraint {
+    std::optional<KindClass> kind;
+    std::optional<Value> eq;       ///< Pinned value.
+    std::vector<Value> ne;         ///< Excluded values.
+    // Numeric interval; open/closed per end.
+    double lo = 0, hi = 0;
+    bool has_lo = false, has_hi = false;
+    bool lo_open = false, hi_open = false;
+  };
+
+  bool Fail(const std::string& attr, const std::string& why);
+
+  std::map<std::string, AttrConstraint> attrs_;
+  bool unsat_ = false;
+  std::string reason_;
+};
+
+}  // namespace graphql::sema
+
+#endif  // GRAPHQL_SEMA_SATISFIABILITY_H_

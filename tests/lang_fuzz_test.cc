@@ -167,5 +167,113 @@ TEST(LangFuzzTest, HugeTokenIsHandled) {
   EXPECT_EQ(r->statements[0].graph.name.size(), 100000u);
 }
 
+// ------------------------------------------------------- span sanity
+//
+// Error positions must point into the source: a 1-based line no greater
+// than the line count, and a column within that line (one past the end is
+// legal — it is where an unexpected end-of-input sits).
+
+/// Extracts "line L, column C" from a parse error message; false when the
+/// message carries no position.
+bool ExtractPosition(const std::string& message, int* line, int* column) {
+  size_t at = message.rfind("line ");
+  if (at == std::string::npos) return false;
+  return std::sscanf(message.c_str() + at, "line %d, column %d", line,
+                     column) == 2;
+}
+
+/// True when (line, column) is a real position in `source` (column may be
+/// one past the last character of its line).
+bool PositionInBounds(const std::string& source, int line, int column) {
+  if (line < 1 || column < 1) return false;
+  int current = 1;
+  size_t line_start = 0;
+  for (size_t i = 0; i <= source.size(); ++i) {
+    if (i == source.size() || source[i] == '\n') {
+      if (current == line) {
+        return static_cast<size_t>(column) <= i - line_start + 1;
+      }
+      ++current;
+      line_start = i + 1;
+    }
+  }
+  // One line past the end: only column 1 (end-of-input after a newline).
+  return line == current && column == 1;
+}
+
+TEST(LangFuzzTest, ErrorSpansPointIntoTheSource) {
+  static const char* kFragments[] = {
+      "graph",  "node",   "edge",  "{",      "}",    "(",     ")",
+      ";",      ",",      "<",     ">",      "=",    "==",    "|",
+      "&",      "where",  "for",   "in",     "doc",  "let",   ":=",
+      "return", "unify",  "export", "as",    "\"s\"", "42",   "3.5",
+      "P",      "v1",     ".",     "exhaustive", "\n"};
+  Rng rng(789);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string program;
+    size_t len = 1 + rng.NextBounded(40);
+    for (size_t i = 0; i < len; ++i) {
+      program += kFragments[rng.NextBounded(std::size(kFragments))];
+      program += ' ';
+    }
+    auto r = Parser::ParseProgram(program);
+    if (r.ok()) continue;
+    int line = 0;
+    int column = 0;
+    ASSERT_TRUE(ExtractPosition(r.status().message(), &line, &column))
+        << r.status() << "\nprogram: " << program;
+    EXPECT_TRUE(PositionInBounds(program, line, column))
+        << r.status() << "\nprogram: " << program;
+  }
+}
+
+TEST(LangFuzzTest, TruncationErrorSpansStayInBounds) {
+  std::string program = kValidProgram;
+  for (size_t cut = 0; cut < program.size(); cut += 3) {
+    std::string prefix = program.substr(0, cut);
+    auto r = Parser::ParseProgram(prefix);
+    if (r.ok()) continue;
+    int line = 0;
+    int column = 0;
+    ASSERT_TRUE(ExtractPosition(r.status().message(), &line, &column))
+        << r.status();
+    EXPECT_TRUE(PositionInBounds(prefix, line, column))
+        << r.status() << "\ncut at " << cut;
+  }
+}
+
+TEST(LangFuzzTest, ErrorSpanPointsAtTheOffendingToken) {
+  // The error position is the unexpected token itself, not the statement
+  // start or the token after it.
+  std::string program = "graph G {\n  node a;\n  edge e (a, 42);\n};";
+  auto r = Parser::ParseProgram(program);
+  ASSERT_FALSE(r.ok());
+  int line = 0;
+  int column = 0;
+  ASSERT_TRUE(ExtractPosition(r.status().message(), &line, &column))
+      << r.status();
+  EXPECT_EQ(line, 3);
+  EXPECT_EQ(column, 14);  // The `42` where a node name must appear.
+}
+
+TEST(LangFuzzTest, AstSpansOfValidProgramsAreInBounds) {
+  auto program = Parser::ParseProgram(kValidProgram);
+  ASSERT_TRUE(program.ok());
+  std::string source = kValidProgram;
+  for (const Statement& stmt : program->statements) {
+    ASSERT_TRUE(stmt.span.valid());
+    EXPECT_TRUE(PositionInBounds(source, stmt.span.line, stmt.span.column));
+  }
+  // Node/edge declarator spans land on the declared names.
+  const GraphBody& body = program->statements[0].graph.body;
+  for (const MemberDecl& m : body.members) {
+    if (m.kind == MemberDecl::Kind::kNode && !m.node.name.empty()) {
+      ASSERT_TRUE(m.node.span.valid());
+      EXPECT_TRUE(
+          PositionInBounds(source, m.node.span.line, m.node.span.column));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace graphql::lang

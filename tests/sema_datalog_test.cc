@@ -1,0 +1,173 @@
+// The sema classifier promises exactly what the Datalog layer delivers:
+// nr-GraphQL patterns translate to single non-recursive rules equivalent
+// to relational algebra (Theorem 4.5); recursive motif composition needs
+// the fixpoint of the translated program (Theorem 4.6); and a recursive
+// motif with no base case has an empty fixpoint — it derives no motifs.
+// These tests pin the classifier to the observable behavior of the
+// translator and the motif deriver.
+#include <gtest/gtest.h>
+
+#include "algebra/pattern.h"
+#include "datalog/translator.h"
+#include "lang/parser.h"
+#include "match/pipeline.h"
+#include "motif/builder.h"
+#include "motif/deriver.h"
+#include "sema/analyzer.h"
+#include "sema/recursion.h"
+
+namespace graphql::sema {
+namespace {
+
+class SemaDatalogTest : public ::testing::Test {
+ protected:
+  void Load(const char* source) {
+    auto program = lang::Parser::ParseProgram(source);
+    ASSERT_TRUE(program.ok()) << program.status();
+    ASSERT_TRUE(registry_.RegisterProgram(*program).ok());
+  }
+
+  RecursionInfo Classify(const std::string& name) {
+    const lang::GraphDecl* decl = registry_.Find(name);
+    EXPECT_NE(decl, nullptr);
+    return ClassifyRecursion(
+        *decl, [this](const std::string& n) { return registry_.Find(n); });
+  }
+
+  motif::MotifRegistry registry_;
+};
+
+constexpr char kPath[] = R"(
+  graph Path {
+    graph Path;
+    node v1;
+    edge e1 (v1, Path.v1);
+    export Path.v2 as v2;
+  } | {
+    node v1, v2;
+    edge e1 (v1, v2);
+  };
+)";
+
+constexpr char kLoop[] = R"(
+  graph Loop {
+    graph Loop;
+    node v1;
+    edge e1 (v1, Loop.v1);
+  };
+)";
+
+TEST_F(SemaDatalogTest, ClassificationAgreesWithDeriverRecursionCheck) {
+  Load(kPath);
+  Load(R"(graph Triangle {
+    node a; node b; node c;
+    edge e1 (a, b); edge e2 (b, c); edge e3 (c, a);
+  };)");
+  EXPECT_EQ(Classify("Path").recursive,
+            motif::IsRecursive(*registry_.Find("Path"), registry_));
+  EXPECT_EQ(Classify("Triangle").recursive,
+            motif::IsRecursive(*registry_.Find("Triangle"), registry_));
+  EXPECT_TRUE(Classify("Path").recursive);
+  EXPECT_FALSE(Classify("Triangle").recursive);
+}
+
+TEST_F(SemaDatalogTest, NrPatternAdmitsTheDatalogTranslation) {
+  // Theorem 4.5: a non-recursive pattern is one relational selection; its
+  // Datalog translation is a single rule whose evaluation agrees with the
+  // native matcher.
+  auto g = motif::GraphFromSource(R"(
+    graph D {
+      node x <label="A">;
+      node y <label="B">;
+      node z <label="B">;
+      edge (x, y); edge (x, z);
+    })");
+  ASSERT_TRUE(g.ok()) << g.status();
+  GraphCollection coll;
+  coll.Add(*g);
+
+  const char kQuery[] = "graph P { node u; node v; edge (u, v); }";
+  auto program = lang::Parser::ParseProgram(std::string(kQuery) + ";");
+  ASSERT_TRUE(program.ok());
+  Analysis a = Analyze(*program);
+  ASSERT_EQ(a.statements.size(), 1u);
+  EXPECT_TRUE(a.statements[0].nr());
+
+  auto p = algebra::GraphPattern::Parse(kQuery);
+  ASSERT_TRUE(p.ok()) << p.status();
+  auto rule = datalog::PatternToRule(*p, "q");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  auto native = match::SelectCollection(*p, coll);
+  ASSERT_TRUE(native.ok());
+  auto translated = datalog::EvaluatePatternQuery(*p, coll);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  EXPECT_EQ(native->size(), translated->size());
+}
+
+TEST_F(SemaDatalogTest, TerminatingRecursionHasANonEmptyFixpoint) {
+  Load(kPath);
+  RecursionInfo info = Classify("Path");
+  EXPECT_TRUE(info.recursive);
+  EXPECT_TRUE(info.terminates);
+
+  motif::BuildOptions options;
+  options.max_depth = 3;
+  motif::MotifBuilder builder(&registry_, options);
+  auto graphs = builder.Build(*registry_.Find("Path"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  // The bounded unrolling of the fixpoint derives one path per depth.
+  EXPECT_EQ(graphs->size(), 4u);
+}
+
+TEST_F(SemaDatalogTest, UnstratifiedRecursionHasAnEmptyFixpoint) {
+  // No base case: every derivation re-enters the cycle and dies at the
+  // depth bound — the least fixpoint is empty, exactly what the
+  // sema.unstratified-recursion error promises.
+  Load(kLoop);
+  RecursionInfo info = Classify("Loop");
+  EXPECT_TRUE(info.recursive);
+  EXPECT_FALSE(info.terminates);
+
+  motif::MotifBuilder builder(&registry_, motif::BuildOptions{});
+  auto graphs = builder.Build(*registry_.Find("Loop"));
+  ASSERT_TRUE(graphs.ok()) << graphs.status();
+  EXPECT_TRUE(graphs->empty());
+}
+
+TEST_F(SemaDatalogTest, AnalyzerFlagsUnstratifiedUseAsError) {
+  auto program = lang::Parser::ParseProgram(
+      std::string(kLoop) + "for Loop in doc(\"D\") return Loop;");
+  ASSERT_TRUE(program.ok());
+  Analysis a = Analyze(*program);
+  EXPECT_FALSE(a.ok());
+  bool found = false;
+  for (const Diagnostic& d : a.diagnostics) {
+    if (d.code == "sema.unstratified-recursion") {
+      found = true;
+      EXPECT_EQ(d.status, StatusCode::kInvalidArgument);
+    }
+  }
+  EXPECT_TRUE(found);
+  ASSERT_EQ(a.statements.size(), 2u);
+  EXPECT_TRUE(a.statements[1].recursive);
+  EXPECT_FALSE(a.statements[1].terminates);
+}
+
+TEST_F(SemaDatalogTest, MixedProgramClassifiesPerStatement) {
+  auto program = lang::Parser::ParseProgram(
+      std::string(kPath) +
+      R"(
+        graph Pair { node a; node b; edge e (a, b); };
+        for Path in doc("D") return Path;
+        for Pair in doc("D") return Pair;
+      )");
+  ASSERT_TRUE(program.ok());
+  Analysis a = Analyze(*program);
+  ASSERT_EQ(a.statements.size(), 4u);
+  EXPECT_TRUE(a.statements[2].recursive);   // for Path
+  EXPECT_TRUE(a.statements[2].terminates);
+  EXPECT_TRUE(a.statements[3].nr());        // for Pair
+}
+
+}  // namespace
+}  // namespace graphql::sema

@@ -1,0 +1,115 @@
+// qlint: standalone static checker for GraphQL query programs.
+//
+// Usage:
+//   qlint FILE...        lint each file (use '-' for stdin)
+//   qlint < program.gql  lint stdin
+//
+// Options:
+//   --werror   treat warnings (lints, provable unsatisfiability) as errors
+//   --quiet    print only the per-file summary lines
+//
+// For every file: parse, run the semantic analyzer (name/scope resolution,
+// constant folding and satisfiability, structural lints, recursion
+// classification), and print caret diagnostics. Since qlint runs outside a
+// session, document registration and session-variable checks are skipped —
+// only the program's own structure is validated.
+//
+// Exit status: 0 when every file is clean (warnings allowed unless
+// --werror), 1 when any file has errors, 2 on usage or I/O problems.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "sema/analyzer.h"
+#include "sema/diagnostic.h"
+
+namespace {
+
+struct FileReport {
+  size_t errors = 0;
+  size_t warnings = 0;
+};
+
+FileReport LintSource(const std::string& label, const std::string& source,
+                      bool quiet) {
+  FileReport report;
+  auto program = graphql::lang::Parser::ParseProgram(source);
+  if (!program.ok()) {
+    std::printf("%s: parse error: %s\n", label.c_str(),
+                program.status().ToString().c_str());
+    report.errors = 1;
+    return report;
+  }
+  graphql::sema::Analysis analysis = graphql::sema::Analyze(*program);
+  for (const graphql::sema::Diagnostic& d : analysis.diagnostics) {
+    if (d.severity == graphql::sema::Severity::kError) ++report.errors;
+    if (d.severity == graphql::sema::Severity::kWarning) ++report.warnings;
+    if (!quiet) {
+      std::printf("%s: %s\n", label.c_str(),
+                  graphql::sema::RenderDiagnostic(source, d).c_str());
+    }
+  }
+  std::printf("%s: %zu error%s, %zu warning%s\n", label.c_str(),
+              report.errors, report.errors == 1 ? "" : "s", report.warnings,
+              report.warnings == 1 ? "" : "s");
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: qlint [--werror] [--quiet] FILE...  ('-' = stdin)\n");
+      return 0;
+    } else if (argv[i][0] == '-' && std::strcmp(argv[i], "-") != 0) {
+      std::fprintf(stderr, "qlint: unknown option %s\n", argv[i]);
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) paths.emplace_back("-");
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  for (const std::string& path : paths) {
+    std::string source;
+    std::string label = path;
+    if (path == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      source = buf.str();
+      label = "<stdin>";
+    } else {
+      std::ifstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "qlint: cannot open %s\n", path.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << file.rdbuf();
+      source = buf.str();
+    }
+    FileReport report = LintSource(label, source, quiet);
+    total_errors += report.errors;
+    total_warnings += report.warnings;
+  }
+  if (total_errors > 0) return 1;
+  if (werror && total_warnings > 0) return 1;
+  return 0;
+}
