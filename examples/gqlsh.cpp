@@ -191,12 +191,14 @@ struct Shell {
 
   void PrintLimits() {
     const GovernorLimits& l = *evaluator.mutable_limits();
-    std::printf("timeout_ms=%lld max_steps=%llu max_memory_mb=%llu%s\n",
+    std::printf("timeout_ms=%lld max_steps=%llu max_memory_mb=%llu%s "
+                "threads=%d\n",
                 static_cast<long long>(l.timeout_ms),
                 static_cast<unsigned long long>(l.max_steps),
                 static_cast<unsigned long long>(l.max_memory_bytes /
                                                 (1024 * 1024)),
-                l.Unlimited() ? " (unlimited)" : "");
+                l.Unlimited() ? " (unlimited)" : "",
+                evaluator.mutable_match_options()->num_threads);
   }
 
   enum class Keyword { kNone, kExplain, kProfile, kCheck };
@@ -235,6 +237,8 @@ struct Shell {
           ":set timeout_ms N      wall-clock deadline per query (0 = off)\n"
           ":set max_steps N       unified step budget per query (0 = off)\n"
           ":set max_memory_mb N   approximate memory budget (0 = off)\n"
+          ":set threads N         workers for parallel selection (0 = "
+          "serial; default $GQL_THREADS)\n"
           "Ctrl-C cancels the running query, not the shell.\n"
           "EXPLAIN <program>  print the query plan without executing\n"
           "PROFILE <program>  execute, then print trace + metric deltas\n"
@@ -249,8 +253,8 @@ struct Shell {
       long long n = value.empty() ? -1 : std::strtoll(value.c_str(), &end, 10);
       if (n < 0 || end == nullptr || *end != '\0') {
         std::printf(
-            "usage: :set {timeout_ms|max_steps|max_memory_mb} N  (N >= 0, "
-            "0 = unlimited)\n");
+            "usage: :set {timeout_ms|max_steps|max_memory_mb|threads} N  "
+            "(N >= 0, 0 = unlimited/serial)\n");
         return;
       }
       GovernorLimits* limits = evaluator.mutable_limits();
@@ -260,9 +264,11 @@ struct Shell {
         limits->max_steps = static_cast<uint64_t>(n);
       } else if (key == "max_memory_mb") {
         limits->max_memory_bytes = static_cast<uint64_t>(n) * 1024 * 1024;
+      } else if (key == "threads") {
+        evaluator.mutable_match_options()->num_threads = static_cast<int>(n);
       } else {
         std::printf("unknown limit '%s' (timeout_ms, max_steps, "
-                    "max_memory_mb)\n", key.c_str());
+                    "max_memory_mb, threads)\n", key.c_str());
         return;
       }
       PrintLimits();

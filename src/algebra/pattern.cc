@@ -136,6 +136,37 @@ void GraphPattern::RouteConjunct(const lang::ExprPtr& conjunct) {
 
 bool GraphPattern::NodeCompatible(NodeId u, const Graph& data,
                                   NodeId v) const {
+  return NodeCompatibleWith(u, data, v, &scratch_mapping_);
+}
+
+bool GraphPattern::EdgeCompatible(EdgeId pe, const Graph& data,
+                                  EdgeId de) const {
+  return EdgeCompatibleWith(pe, data, de, &scratch_mapping_,
+                            &scratch_edge_mapping_);
+}
+
+bool GraphPattern::NodeCompatible(NodeId u, const Graph& data, NodeId v,
+                                  PatternScratch* scratch) const {
+  if (scratch->mapping_.size() < built_.graph.NumNodes()) {
+    scratch->mapping_.resize(built_.graph.NumNodes(), kInvalidNode);
+  }
+  return NodeCompatibleWith(u, data, v, &scratch->mapping_);
+}
+
+bool GraphPattern::EdgeCompatible(EdgeId pe, const Graph& data, EdgeId de,
+                                  PatternScratch* scratch) const {
+  if (scratch->mapping_.size() < built_.graph.NumNodes()) {
+    scratch->mapping_.resize(built_.graph.NumNodes(), kInvalidNode);
+  }
+  if (scratch->edge_mapping_.size() < built_.graph.NumEdges()) {
+    scratch->edge_mapping_.resize(built_.graph.NumEdges(), kInvalidEdge);
+  }
+  return EdgeCompatibleWith(pe, data, de, &scratch->mapping_,
+                            &scratch->edge_mapping_);
+}
+
+bool GraphPattern::NodeCompatibleWith(NodeId u, const Graph& data, NodeId v,
+                                      std::vector<NodeId>* mapping) const {
   const AttrTuple& want = built_.graph.node(u).attrs;
   const AttrTuple& have = data.node(v).attrs;
   if (want.has_tag() && want.tag() != have.tag()) return false;
@@ -149,11 +180,11 @@ bool GraphPattern::NodeCompatible(NodeId u, const Graph& data,
   BoundGraph bound;
   bound.attr_graph = &data;
   bound.names = &built_.node_names;
-  bound.mapping = &scratch_mapping_;
+  bound.mapping = mapping;
   bindings.SetDefault(bound);
   if (!name_.empty()) bindings.Bind(name_, bound);
   bindings.SetCurrentNode(&data, v);
-  scratch_mapping_[u] = v;
+  (*mapping)[u] = v;
   bool ok = true;
   for (const lang::ExprPtr& pred : node_preds_[u]) {
     Result<bool> r = EvalPredicate(*pred, bindings);
@@ -162,12 +193,13 @@ bool GraphPattern::NodeCompatible(NodeId u, const Graph& data,
       break;
     }
   }
-  scratch_mapping_[u] = kInvalidNode;
+  (*mapping)[u] = kInvalidNode;
   return ok;
 }
 
-bool GraphPattern::EdgeCompatible(EdgeId pe, const Graph& data,
-                                  EdgeId de) const {
+bool GraphPattern::EdgeCompatibleWith(EdgeId pe, const Graph& data, EdgeId de,
+                                      std::vector<NodeId>* mapping,
+                                      std::vector<EdgeId>* edge_mapping) const {
   const AttrTuple& want = built_.graph.edge(pe).attrs;
   const AttrTuple& have = data.edge(de).attrs;
   if (want.has_tag() && want.tag() != have.tag()) return false;
@@ -181,13 +213,13 @@ bool GraphPattern::EdgeCompatible(EdgeId pe, const Graph& data,
   BoundGraph bound;
   bound.attr_graph = &data;
   bound.names = &built_.node_names;
-  bound.mapping = &scratch_mapping_;
+  bound.mapping = mapping;
   bound.edge_names = &built_.edge_names;
-  bound.edge_mapping = &scratch_edge_mapping_;
+  bound.edge_mapping = edge_mapping;
   bindings.SetDefault(bound);
   if (!name_.empty()) bindings.Bind(name_, bound);
   bindings.SetCurrentEdge(&data, de);
-  scratch_edge_mapping_[pe] = de;
+  (*edge_mapping)[pe] = de;
   bool ok = true;
   for (const lang::ExprPtr& pred : edge_preds_[pe]) {
     Result<bool> r = EvalPredicate(*pred, bindings);
@@ -196,7 +228,7 @@ bool GraphPattern::EdgeCompatible(EdgeId pe, const Graph& data,
       break;
     }
   }
-  scratch_edge_mapping_[pe] = kInvalidEdge;
+  (*edge_mapping)[pe] = kInvalidEdge;
   return ok;
 }
 

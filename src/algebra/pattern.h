@@ -23,9 +23,13 @@ namespace graphql::algebra {
 ///    or one edge — the paper's predicate pushdown, Section 4.1),
 ///  - the residual graph-wide predicate (e.g. `u1.label == u2.label`).
 ///
-/// Thread-compatibility: NodeCompatible/EdgeCompatible use an internal
-/// scratch mapping, so a GraphPattern must not be shared across threads
-/// without external synchronization.
+/// Thread-compatibility: the two-argument NodeCompatible/EdgeCompatible
+/// overloads use an internal scratch mapping, so they must not be called
+/// concurrently on one pattern. Concurrent callers (the parallel pipeline
+/// stages) pass their own per-worker PatternScratch to the overloads below;
+/// everything else on a compiled pattern is read-only.
+class PatternScratch;
+
 class GraphPattern {
  public:
   /// Compiles a declaration into a single pattern. Fails if the motif uses
@@ -70,6 +74,14 @@ class GraphPattern {
   /// True if data edge `de` can host pattern edge `pe` (tag, attribute
   /// equality, pushed edge predicates F_e).
   bool EdgeCompatible(EdgeId pe, const Graph& data, EdgeId de) const;
+
+  /// Thread-safe variants: evaluate pushed predicates through the caller's
+  /// scratch instead of the shared internal one. Each concurrent worker
+  /// owns one PatternScratch (resized to this pattern on first use).
+  bool NodeCompatible(NodeId u, const Graph& data, NodeId v,
+                      PatternScratch* scratch) const;
+  bool EdgeCompatible(EdgeId pe, const Graph& data, EdgeId de,
+                      PatternScratch* scratch) const;
 
   /// True if some conjunct could not be pushed down to a node or edge.
   bool has_global_pred() const { return !global_preds_.empty(); }
@@ -119,9 +131,31 @@ class GraphPattern {
   std::vector<std::vector<lang::ExprPtr>> edge_preds_;
   std::vector<lang::ExprPtr> global_preds_;
 
+  bool NodeCompatibleWith(NodeId u, const Graph& data, NodeId v,
+                          std::vector<NodeId>* mapping) const;
+  bool EdgeCompatibleWith(EdgeId pe, const Graph& data, EdgeId de,
+                          std::vector<NodeId>* mapping,
+                          std::vector<EdgeId>* edge_mapping) const;
+
   // Scratch state for predicate evaluation (see class comment).
   mutable std::vector<NodeId> scratch_mapping_;
   mutable std::vector<EdgeId> scratch_edge_mapping_;
+};
+
+/// Per-worker scratch mappings for the thread-safe compatibility overloads.
+/// Grown lazily to the pattern it is used with; entries are invalid outside
+/// a call, so one scratch can be reused across patterns and stages.
+class PatternScratch {
+ public:
+  void Reset() {
+    mapping_.clear();
+    edge_mapping_.clear();
+  }
+
+ private:
+  friend class GraphPattern;
+  std::vector<NodeId> mapping_;
+  std::vector<EdgeId> edge_mapping_;
 };
 
 }  // namespace graphql::algebra

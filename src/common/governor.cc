@@ -194,6 +194,27 @@ bool ResourceGovernor::CheckNow(GovernPoint point) {
   return SlowCheck(point);
 }
 
+bool ResourceGovernor::ChargeBatch(uint64_t steps, GovernPoint point) {
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  // Record the batch even when already tripped: GovernorShard::charged()
+  // must equal what actually landed in steps_used_, or the refine
+  // degrade-fallback refund would drift.
+  steps_used_ += steps;
+  if (tripped()) return false;
+  if (limits_.max_steps != 0 && steps_used_ > limits_.max_steps) {
+    Trip(TripKind::kSteps, point);
+    return false;
+  }
+  // A batch stands for ~kCheckIntervalSteps charges: always take the slow
+  // path so deadline/cancel/injection latency matches the serial cadence.
+  return SlowCheck(point);
+}
+
+void ResourceGovernor::ReserveShared(size_t bytes, GovernPoint point) {
+  std::lock_guard<std::mutex> lock(shared_mu_);
+  Reserve(bytes, point);
+}
+
 void ResourceGovernor::Reserve(size_t bytes, GovernPoint point) {
   memory_used_ += bytes;
   if (memory_used_ > peak_memory_) peak_memory_ = memory_used_;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -99,8 +100,12 @@ class FaultInjector {
 /// Per-query resource governor: a wall-clock deadline, a cooperative
 /// cancellation token, a unified step budget, and approximate memory
 /// accounting. One governor belongs to one evaluating thread; Cancel() is
-/// the only member callable from other threads (or a signal handler — it
-/// is a single relaxed atomic store).
+/// the only member callable from arbitrary other threads (or a signal
+/// handler — it is a single relaxed atomic store). Parallel pipeline
+/// stages additionally charge from their workers through the mutex-backed
+/// ChargeBatch()/ReserveShared() (see GovernorShard below); the protocol
+/// is that while workers are active the owning thread participates as a
+/// worker itself, so the unsynchronized fast paths never race them.
 ///
 /// The hot-path check is Charge(): a couple of integer additions and
 /// compares, with the clock read (and fault-injector lookup) amortized to
@@ -159,6 +164,19 @@ class ResourceGovernor {
   /// Forces the slow-path check (deadline, cancellation, fault injection)
   /// regardless of the amortization counter. Returns true to continue.
   bool CheckNow(GovernPoint point);
+
+  /// Thread-safe batched charge for parallel pipeline workers: takes an
+  /// internal mutex, adds the whole batch to the step budget, and always
+  /// runs the slow-path check (a batch stands for ~kCheckIntervalSteps
+  /// charges, matching the serial amortization cadence). Workers accumulate
+  /// steps in a GovernorShard and flush through here, so contention is one
+  /// lock per ~1024 steps per worker. Must not race the single-threaded
+  /// Charge(): during a parallel stage every participant (including the
+  /// coordinating thread) charges through shards.
+  bool ChargeBatch(uint64_t steps, GovernPoint point);
+
+  /// Thread-safe Reserve(), for allocations made on worker threads.
+  void ReserveShared(size_t bytes, GovernPoint point);
 
   /// Approximate memory accounting for big transient structures. Soft:
   /// Reserve() always records the bytes; exceeding the budget trips the
@@ -226,6 +244,68 @@ class ResourceGovernor {
   std::atomic<TripKind> trip_kind_{TripKind::kNone};
   GovernPoint trip_point_ = GovernPoint::kOther;
   std::vector<std::string> degradations_;
+  /// Serializes ChargeBatch()/ReserveShared() against each other. The
+  /// single-threaded fast paths never take it.
+  std::mutex shared_mu_;
+};
+
+/// Per-worker charge accumulator for parallel pipeline stages. Each worker
+/// owns one shard: steps count locally (a register increment) and flush to
+/// the governor through the thread-safe ChargeBatch() every
+/// kCheckIntervalSteps, so the budget/deadline/cancel checks keep the
+/// serial path's amortization while workers stay contention-free between
+/// flushes. A trip is observed by every shard within one batch: Charge()
+/// polls the governor's sticky atomic trip flag on each call.
+///
+/// A null governor makes every operation a no-op that reports "continue";
+/// parallel code can therefore run ungoverned without branching.
+class GovernorShard {
+ public:
+  GovernorShard() = default;
+  GovernorShard(ResourceGovernor* gov, GovernPoint point)
+      : gov_(gov), point_(point) {}
+  GovernorShard(const GovernorShard&) = delete;
+  GovernorShard& operator=(const GovernorShard&) = delete;
+  GovernorShard(GovernorShard&&) = default;
+  GovernorShard& operator=(GovernorShard&&) = default;
+
+  /// Charges `steps`; returns false once the governor has tripped (either
+  /// from this shard's flush or any other thread). Callers must Flush()
+  /// when their task batch ends so partially accumulated steps reach the
+  /// budget.
+  bool Charge(uint64_t steps = 1) {
+    if (gov_ == nullptr) return true;
+    pending_ += steps;
+    if (pending_ >= ResourceGovernor::kCheckIntervalSteps) return Flush();
+    return !gov_->tripped();
+  }
+
+  /// Flushes accumulated steps to the governor; returns false on a trip.
+  bool Flush() {
+    if (gov_ == nullptr) return true;
+    if (pending_ == 0) return !gov_->tripped();
+    uint64_t n = pending_;
+    pending_ = 0;
+    charged_ += n;
+    return gov_->ChargeBatch(n, point_);
+  }
+
+  /// True while the governor (if any) has not tripped.
+  bool ok() const { return gov_ == nullptr || !gov_->tripped(); }
+
+  /// Thread-safe memory accounting against the shared budget.
+  void Reserve(size_t bytes) {
+    if (gov_ != nullptr && bytes > 0) gov_->ReserveShared(bytes, point_);
+  }
+
+  /// Steps this shard has flushed into the governor (for refunds).
+  uint64_t charged() const { return charged_; }
+
+ private:
+  ResourceGovernor* gov_ = nullptr;
+  GovernPoint point_ = GovernPoint::kOther;
+  uint64_t pending_ = 0;
+  uint64_t charged_ = 0;
 };
 
 /// Null-safe charge helpers: an ungoverned call site passes a null

@@ -1,0 +1,110 @@
+#ifndef GRAPHQL_COMMON_THREAD_POOL_H_
+#define GRAPHQL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphql {
+
+/// Fixed-size worker pool with per-participant work-stealing deques, shared
+/// by every parallel pipeline stage (retrieve / refine / search).
+///
+/// Each ParallelFor call forms one job: the item indices are dealt in
+/// contiguous blocks into one deque per participating worker; a worker pops
+/// from the bottom of its own deque (LIFO, cache-friendly) and, when that
+/// runs dry, steals from the top of another worker's deque (FIFO, so
+/// thieves take the oldest — largest remaining — blocks of work first).
+/// The calling thread always participates as worker 0, so a pool is usable
+/// even with zero background threads and `max_workers == 1` degenerates to
+/// an inline loop over the items.
+///
+/// Item functions must not throw; engine code reports failures through
+/// Status values captured per item. Jobs on one pool are serialized (a
+/// second concurrent ParallelFor blocks until the first finishes), which
+/// keeps worker ids dense per job so callers can use them to index
+/// per-worker shards (metrics, governor charge batches, search states).
+class ThreadPool {
+ public:
+  /// Per-job execution counters, reported back to the caller so trace
+  /// spans can be annotated with `threads` / `tasks_stolen`.
+  struct RunStats {
+    int workers = 0;         ///< Participants (including the caller).
+    uint64_t tasks = 0;      ///< Items executed.
+    uint64_t stolen = 0;     ///< Items taken from another worker's deque.
+  };
+
+  /// `num_threads` background threads (clamped to >= 0); the pool then
+  /// supports up to num_threads + 1 participants per job.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+  /// Largest participant count a job can use.
+  int max_workers() const { return num_threads() + 1; }
+
+  /// Runs fn(item, worker) for every item in [0, n), blocking until all
+  /// items finished. `max_workers` caps the participants (values < 1 or
+  /// beyond the pool's capacity are clamped); worker ids are dense in
+  /// [0, workers) with the calling thread as worker 0.
+  RunStats ParallelFor(size_t n, int max_workers,
+                       const std::function<void(size_t, int)>& fn);
+
+  /// Process-wide pool sized for hardware_concurrency total workers
+  /// (hardware_concurrency - 1 background threads), created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  struct Job {
+    const std::function<void(size_t, int)>* fn = nullptr;
+    int workers = 0;
+    std::vector<std::deque<size_t>> queues;        // One per participant.
+    std::unique_ptr<std::mutex[]> queue_mu;        // One per participant.
+    std::atomic<size_t> remaining{0};
+    std::atomic<int> claimed{1};  // Next worker id; 0 is the caller's.
+    std::atomic<uint64_t> stolen{0};
+  };
+
+  void WorkerLoop();
+  /// Drains tasks for participant `w` until every deque is empty.
+  void RunWorker(Job* job, int w);
+  /// Pops the next task: own deque bottom first, then steal scan. False
+  /// when every deque is empty.
+  bool NextTask(Job* job, int w, size_t* item, bool* was_steal);
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< Pool threads wait for a job.
+  std::condition_variable cv_done_;  ///< Caller waits for job completion.
+  Job* job_ = nullptr;               ///< Guarded by mu_.
+  uint64_t generation_ = 0;          ///< Bumped per job; guarded by mu_.
+  int active_ = 0;                   ///< Pool threads inside RunWorker.
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+  std::mutex submit_mu_;             ///< Serializes jobs on this pool.
+};
+
+/// The process-default intra-query worker count: $GQL_THREADS parsed once
+/// (0 when unset, empty, or unparseable). This seeds
+/// PipelineOptions::num_threads so `GQL_THREADS=4 ctest` exercises the
+/// parallel path without touching any call site; explicit assignment still
+/// overrides it either way.
+int DefaultNumThreads();
+
+/// Clamps a PipelineOptions::num_threads-style knob to what `pool` (null =
+/// the shared pool) can serve: values < 1 mean serial (returns 0), values
+/// beyond the pool's capacity are capped at it.
+int ResolveWorkers(int num_threads, const ThreadPool* pool = nullptr);
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_THREAD_POOL_H_

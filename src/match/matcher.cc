@@ -1,6 +1,8 @@
 #include "match/matcher.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace graphql::match {
 
@@ -20,7 +22,7 @@ class SearchEngine {
         candidates_(candidates),
         order_(order),
         options_(options),
-        sink_(sink),
+        sink_(&sink),
         stats_(stats),
         metrics_(metrics) {
     assign_.assign(p_.NumNodes(), kInvalidNode);
@@ -58,10 +60,31 @@ class SearchEngine {
     return status_;
   }
 
- private:
+  /// Parallel-mode plumbing: charge through a worker's governor shard and
+  /// evaluate edge predicates through its private pattern scratch, so the
+  /// engine never touches thread-unsafe shared state.
+  void set_shard(GovernorShard* shard) { shard_ = shard; }
+  void set_scratch(algebra::PatternScratch* scratch) { scratch_ = scratch; }
+
+  /// Explores one pinned root: order[0] is mapped to `root` only, matches
+  /// stream to `sink`. Match/status state resets per call; counters keep
+  /// accumulating across calls (one Flush per engine when the worker's
+  /// batch ends).
+  Status RunRoot(NodeId root,
+                 const std::function<bool(const algebra::MatchedGraph&)>& sink) {
+    sink_ = &sink;
+    matches_ = 0;
+    status_ = Status::OK();
+    pinned_root_ = root;
+    Dfs(0);
+    pinned_root_ = kInvalidNode;
+    return status_;
+  }
+
   /// Counters accumulate in `local_` during the DFS (register increments,
   /// no sharing); one flush at the end feeds the caller's stats and the
-  /// metrics registry.
+  /// metrics registry. Run() flushes itself; RunRoot callers flush once
+  /// per engine after their last root.
   void Flush() {
     if (stats_ != nullptr) {
       stats_->steps += local_.steps;
@@ -77,7 +100,7 @@ class SearchEngine {
           ->Increment(local_.edge_checks);
       metrics_->GetCounter("match.search.backtracks")
           ->Increment(local_.backtracks);
-      metrics_->GetCounter("match.search.matches")->Increment(matches_);
+      metrics_->GetCounter("match.search.matches")->Increment(emitted_);
       if (local_.budget_exhausted) {
         metrics_->GetCounter("match.search.budget_exhausted")->Increment();
       }
@@ -87,10 +110,18 @@ class SearchEngine {
     }
   }
 
+ private:
   bool Budget() {
     if (options_.max_steps != 0 && local_.steps >= options_.max_steps) {
       local_.budget_exhausted = true;
       return false;
+    }
+    if (shard_ != nullptr) {
+      if (!shard_->Charge()) {
+        local_.governor_tripped = true;
+        return false;
+      }
+      return true;
     }
     if (options_.governor != nullptr &&
         !options_.governor->Charge(1, GovernPoint::kSearch)) {
@@ -116,7 +147,10 @@ class SearchEngine {
       if (data_.directed()) {
         // neighbors() lists outgoing edges of `from`; direction holds.
       }
-      if (pattern_.EdgeCompatible(pe, data_, a.edge)) return a.edge;
+      bool compatible = scratch_ != nullptr
+                            ? pattern_.EdgeCompatible(pe, data_, a.edge, scratch_)
+                            : pattern_.EdgeCompatible(pe, data_, a.edge);
+      if (compatible) return a.edge;
     }
     return kInvalidEdge;
   }
@@ -161,16 +195,18 @@ class SearchEngine {
       }
     }
     ++matches_;
-    if (options_.governor != nullptr) {
-      // Account the emitted mapping vectors against the memory budget; the
-      // reservation lives until the governor is re-armed (matches belong to
-      // the query's transient result set).
-      options_.governor->Reserve(
-          m.node_mapping.size() * sizeof(NodeId) +
-              m.edge_mapping.size() * sizeof(EdgeId),
-          GovernPoint::kSearch);
+    ++emitted_;
+    // Account the emitted mapping vectors against the memory budget; the
+    // reservation lives until the governor is re-armed (matches belong to
+    // the query's transient result set).
+    size_t match_bytes = m.node_mapping.size() * sizeof(NodeId) +
+                         m.edge_mapping.size() * sizeof(EdgeId);
+    if (shard_ != nullptr) {
+      shard_->Reserve(match_bytes);
+    } else if (options_.governor != nullptr) {
+      options_.governor->Reserve(match_bytes, GovernPoint::kSearch);
     }
-    if (!sink_(m)) return false;
+    if (!(*sink_)(m)) return false;
     if (!options_.exhaustive) return false;
     if (matches_ >= options_.max_matches) {
       local_.truncated = true;
@@ -194,7 +230,16 @@ class SearchEngine {
       return Emit();
     }
     NodeId u = order_[pos];
-    for (NodeId v : candidates_[u]) {
+    // A pinned root replaces Phi(order[0]) with one candidate (parallel
+    // fan-out); deeper levels always draw from the full candidate lists.
+    const NodeId* begin = candidates_[u].data();
+    const NodeId* end = begin + candidates_[u].size();
+    if (pos == 0 && pinned_root_ != kInvalidNode) {
+      begin = &pinned_root_;
+      end = begin + 1;
+    }
+    for (const NodeId* it = begin; it != end; ++it) {
+      NodeId v = *it;
       if (used_[v]) continue;
       ++local_.steps;
       if (!Budget()) return false;
@@ -216,9 +261,12 @@ class SearchEngine {
   const std::vector<std::vector<NodeId>>& candidates_;
   const std::vector<NodeId>& order_;
   const MatchOptions& options_;
-  const std::function<bool(const algebra::MatchedGraph&)>& sink_;
+  const std::function<bool(const algebra::MatchedGraph&)>* sink_;
   SearchStats* stats_;
   obs::MetricsRegistry* metrics_;
+  GovernorShard* shard_ = nullptr;
+  algebra::PatternScratch* scratch_ = nullptr;
+  NodeId pinned_root_ = kInvalidNode;
 
   std::vector<NodeId> assign_;
   std::vector<EdgeId> edge_assign_;
@@ -227,7 +275,8 @@ class SearchEngine {
   std::vector<std::vector<EdgeId>> back_edges_;
   std::vector<char> trivial_edge_;
   SearchStats local_;
-  size_t matches_ = 0;
+  size_t matches_ = 0;   ///< Matches this run (reset per pinned root).
+  size_t emitted_ = 0;   ///< Matches across the engine's lifetime.
   Status status_;
 };
 
@@ -257,6 +306,135 @@ Status SearchMatchesStreaming(
   SearchEngine engine(pattern, data, candidates, order, options, sink, stats,
                       metrics);
   return engine.Run();
+}
+
+Result<std::vector<algebra::MatchedGraph>> SearchMatchesParallel(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const std::vector<NodeId>& order, const MatchOptions& options,
+    int num_threads, ThreadPool* pool, SearchStats* stats,
+    obs::MetricsRegistry* metrics, ParallelSearchStats* pstats) {
+  int workers = ResolveWorkers(num_threads, pool);
+  // The local step budget counts candidate tries in global DFS order — a
+  // per-root split cannot reproduce where it stops, so that knob stays on
+  // the serial path.
+  if (workers <= 0 || options.max_steps != 0 ||
+      pattern.graph().NumNodes() == 0 ||
+      order.size() != pattern.graph().NumNodes()) {
+    return SearchMatches(pattern, data, candidates, order, options, stats,
+                         metrics);
+  }
+  const std::vector<NodeId>& roots = candidates[order[0]];
+  if (roots.empty()) return std::vector<algebra::MatchedGraph>{};
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::Shared();
+
+  const size_t n = roots.size();
+  std::vector<std::vector<algebra::MatchedGraph>> per_root(n);
+  std::vector<Status> per_status(n, Status::OK());
+
+  struct WorkerState {
+    std::unique_ptr<SearchEngine> engine;
+    std::unique_ptr<obs::MetricsRegistry> metric_shard;
+    algebra::PatternScratch scratch;
+    GovernorShard shard;
+    SearchStats stats;
+    std::function<bool(const algebra::MatchedGraph&)> null_sink;
+  };
+  std::vector<WorkerState> ws(static_cast<size_t>(workers));
+
+  // In first-match mode roots ordered after a known hit cannot contribute:
+  // skip them cheaply instead of searching them to completion.
+  std::atomic<size_t> first_hit{SIZE_MAX};
+
+  auto run_root = [&](size_t r, int w) {
+    if (!options.exhaustive &&
+        first_hit.load(std::memory_order_relaxed) < r) {
+      return;
+    }
+    WorkerState& s = ws[static_cast<size_t>(w)];
+    if (s.engine == nullptr) {
+      s.shard = GovernorShard(options.governor, GovernPoint::kSearch);
+      if (metrics != nullptr) {
+        s.metric_shard = std::make_unique<obs::MetricsRegistry>();
+      }
+      s.null_sink = [](const algebra::MatchedGraph&) { return true; };
+      s.engine = std::make_unique<SearchEngine>(
+          pattern, data, candidates, order, options, s.null_sink, &s.stats,
+          s.metric_shard.get());
+      s.engine->set_shard(&s.shard);
+      s.engine->set_scratch(&s.scratch);
+    }
+    std::vector<algebra::MatchedGraph>& out = per_root[r];
+    std::function<bool(const algebra::MatchedGraph&)> sink =
+        [&out](const algebra::MatchedGraph& m) {
+          out.push_back(m);
+          return true;
+        };
+    per_status[r] = s.engine->RunRoot(roots[r], sink);
+    if (!options.exhaustive && !out.empty()) {
+      size_t cur = first_hit.load(std::memory_order_relaxed);
+      while (r < cur && !first_hit.compare_exchange_weak(
+                            cur, r, std::memory_order_relaxed)) {
+      }
+    }
+  };
+  ThreadPool::RunStats run = tp.ParallelFor(n, workers, run_root);
+
+  for (WorkerState& s : ws) {
+    if (s.engine == nullptr) continue;
+    s.shard.Flush();
+    s.engine->Flush();
+    if (stats != nullptr) {
+      stats->steps += s.stats.steps;
+      stats->edge_checks += s.stats.edge_checks;
+      stats->backtracks += s.stats.backtracks;
+      stats->budget_exhausted |= s.stats.budget_exhausted;
+      stats->governor_tripped |= s.stats.governor_tripped;
+    }
+    if (metrics != nullptr && s.metric_shard != nullptr) {
+      metrics->Merge(s.metric_shard->Snapshot());
+    }
+  }
+  if (pstats != nullptr) {
+    pstats->workers = run.workers;
+    pstats->tasks_stolen = run.stolen;
+  }
+
+  // Deterministic merge in root order. Per-root lists hold matches in that
+  // root's DFS order, and the serial search visits roots in this same
+  // order, so concatenation + the stop rules below reproduce its output
+  // exactly: the max_matches cap cuts at the same match, first-match mode
+  // takes the first non-empty root, and an error surfaces only if the
+  // serial search would have reached it before stopping.
+  std::vector<algebra::MatchedGraph> out;
+  bool truncated = false;
+  Status status = Status::OK();
+  for (size_t r = 0; r < n; ++r) {
+    bool stop = false;
+    for (algebra::MatchedGraph& m : per_root[r]) {
+      out.push_back(std::move(m));
+      if (!options.exhaustive) {
+        stop = true;
+        break;
+      }
+      if (out.size() >= options.max_matches) {
+        truncated = true;
+        stop = true;
+        break;
+      }
+    }
+    if (stop) break;
+    if (!per_status[r].ok()) {
+      status = per_status[r];
+      break;
+    }
+  }
+  if (stats != nullptr) stats->truncated |= truncated;
+  if (metrics != nullptr && truncated) {
+    metrics->GetCounter("match.search.truncated")->Increment();
+  }
+  if (!status.ok()) return status;
+  return out;
 }
 
 std::vector<std::vector<NodeId>> ScanCandidates(

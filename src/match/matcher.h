@@ -9,6 +9,7 @@
 #include "algebra/pattern.h"
 #include "common/governor.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -65,6 +66,32 @@ Result<std::vector<algebra::MatchedGraph>> SearchMatches(
     const std::vector<std::vector<NodeId>>& candidates,
     const std::vector<NodeId>& order, const MatchOptions& options = {},
     SearchStats* stats = nullptr, obs::MetricsRegistry* metrics = nullptr);
+
+/// Execution counters specific to the parallel search fan-out.
+struct ParallelSearchStats {
+  int workers = 0;  ///< Participants (0 when the serial path was taken).
+  uint64_t tasks_stolen = 0;  ///< Root tasks run off their home deque.
+};
+
+/// Work-stealing parallel search: the cost-ordered root candidate list
+/// Phi(order[0]) is dealt across up to `num_threads` workers (the caller
+/// participates; see ThreadPool), each root explored by an independent DFS
+/// with per-worker match state, governor shard, and metric shard. Per-root
+/// match lists are merged in root order, so the returned matches — set AND
+/// ordering — are bit-identical to SearchMatches on the same inputs
+/// (including max_matches truncation, non-exhaustive first-match selection,
+/// and error precedence).
+///
+/// Falls back to the serial SearchMatches when `num_threads` < 1 resolves
+/// to no parallelism or when MatchOptions::max_steps is set (the local
+/// step budget is inherently sequential). `pool` null = the shared pool.
+Result<std::vector<algebra::MatchedGraph>> SearchMatchesParallel(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const std::vector<std::vector<NodeId>>& candidates,
+    const std::vector<NodeId>& order, const MatchOptions& options,
+    int num_threads, ThreadPool* pool = nullptr, SearchStats* stats = nullptr,
+    obs::MetricsRegistry* metrics = nullptr,
+    ParallelSearchStats* pstats = nullptr);
 
 /// Streaming variant: invokes `sink` for every match; return false from the
 /// sink to stop the search. Used by the FLWR evaluator's accumulating let.

@@ -83,6 +83,7 @@ struct SubIsoState {
   uint64_t budget = 0;  // 0 = unlimited.
   bool budget_hit = false;
   ResourceGovernor* governor = nullptr;
+  GovernorShard* shard = nullptr;  // Charges replace `governor` when set.
 
   bool NodeOk(NodeId qu, NodeId dv) const {
     std::string_view ql = q->Label(qu);
@@ -97,7 +98,10 @@ struct SubIsoState {
       budget_hit = true;
       return true;  // Conservative: give up pruning.
     }
-    if (!GovCharge(governor, 1, GovernPoint::kNeighborhood)) {
+    bool charged = shard != nullptr
+                       ? shard->Charge()
+                       : GovCharge(governor, 1, GovernPoint::kNeighborhood);
+    if (!charged) {
       budget_hit = true;
       return true;  // Conservative; the trip is reported by the caller.
     }
@@ -137,7 +141,8 @@ bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
                                const NeighborhoodSubgraph& data,
                                uint64_t step_budget,
                                obs::MetricsRegistry* metrics,
-                               ResourceGovernor* governor) {
+                               ResourceGovernor* governor,
+                               GovernorShard* shard) {
   if (metrics != nullptr) {
     metrics->GetCounter("match.neighborhood.tests")->Increment();
   }
@@ -153,6 +158,7 @@ bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
   state.used.assign(d.NumNodes(), 0);
   state.budget = step_budget;
   state.governor = governor;
+  state.shard = shard;
 
   if (!state.NodeOk(query.center, data.center)) return false;
   state.assign[query.center] = data.center;

@@ -42,11 +42,16 @@ NeighborhoodSubgraph ExtractNeighborhood(const Graph& g, NodeId v,
 ///
 /// When `metrics` is given, the test emits match.neighborhood.{tests,
 /// steps, budget_hits} counters.
+///
+/// When `shard` is given (parallel retrieve workers), DFS steps are charged
+/// through the worker's GovernorShard instead of directly on `governor`,
+/// so unsynchronized governor fields are never touched from worker threads.
 bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
                                const NeighborhoodSubgraph& data,
-                               uint64_t step_budget = 100000,
+                               uint64_t step_budget = 0,
                                obs::MetricsRegistry* metrics = nullptr,
-                               ResourceGovernor* governor = nullptr);
+                               ResourceGovernor* governor = nullptr,
+                               GovernorShard* shard = nullptr);
 
 }  // namespace graphql::match
 

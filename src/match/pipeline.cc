@@ -1,5 +1,6 @@
 #include "match/pipeline.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -139,6 +140,223 @@ std::optional<std::vector<NodeId>> AttrIndexBaseList(
                          hi ? &*hi : nullptr, hi_inclusive);
 }
 
+/// Stage-level parallel-execution report for the pipeline's trace spans.
+struct RetrieveParallelInfo {
+  int workers = 0;
+  uint64_t tasks_stolen = 0;
+};
+
+/// Parallel retrieval: one task per pattern node runs the feasible-mate
+/// scan (and profile filter) with per-worker pattern scratch and governor
+/// shard; in neighborhood mode the per-candidate sub-isomorphism tests of
+/// every Phi(u) are additionally chunked into stealable ranges, since one
+/// hub node's tests can dominate the whole stage. Anything that touches
+/// non-thread-safe structures (B+-tree lookups, pattern profile /
+/// neighborhood construction, the lazily built all-nodes list) runs on the
+/// coordinator before the fan-out.
+std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
+    const algebra::GraphPattern& pattern, const Graph& data,
+    const LabelIndex& index, const PipelineOptions& options,
+    PipelineStats* stats, int workers, RetrieveParallelInfo* info) {
+  const Graph& p = pattern.graph();
+  const size_t k = p.NumNodes();
+  std::vector<std::vector<NodeId>> out(k);
+  if (stats != nullptr) {
+    stats->size_attr.assign(k, 0);
+    stats->size_retrieved.assign(k, 0);
+  }
+  if (k == 0) return out;
+  ThreadPool& tp =
+      options.pool != nullptr ? *options.pool : ThreadPool::Shared();
+  obs::MetricsRegistry* metrics = options.metrics;
+  ResourceGovernor* gov = options.governor;
+
+  // Coordinator-side preparation (serial).
+  std::vector<NodeId> all_nodes;
+  std::vector<std::vector<NodeId>> owned_base(k);
+  std::vector<const std::vector<NodeId>*> base(k, nullptr);
+  for (size_t u = 0; u < k; ++u) {
+    NodeId pu = static_cast<NodeId>(u);
+    std::string_view label = p.Label(pu);
+    if (!label.empty()) {
+      base[u] = &index.NodesWithLabel(label);
+    } else if (auto from_attr = AttrIndexBaseList(pattern, pu, index)) {
+      owned_base[u] = std::move(*from_attr);
+      base[u] = &owned_base[u];
+    } else {
+      if (all_nodes.empty() && data.NumNodes() > 0) {
+        all_nodes.resize(data.NumNodes());
+        for (size_t v = 0; v < data.NumNodes(); ++v) {
+          all_nodes[v] = static_cast<NodeId>(v);
+        }
+      }
+      base[u] = &all_nodes;
+    }
+  }
+  const bool use_profiles =
+      options.candidate_mode == CandidateMode::kProfile && index.has_profiles();
+  const bool use_neighborhoods =
+      options.candidate_mode == CandidateMode::kNeighborhood &&
+      index.has_neighborhoods();
+  std::vector<Profile> want_profile;
+  std::vector<NeighborhoodSubgraph> want_nbh;
+  if (use_profiles) {
+    want_profile.resize(k);
+    for (size_t u = 0; u < k; ++u) {
+      want_profile[u] = PatternProfile(p, static_cast<NodeId>(u),
+                                       index.options().radius, index.dict());
+    }
+  } else if (use_neighborhoods) {
+    want_nbh.resize(k);
+    for (size_t u = 0; u < k; ++u) {
+      want_nbh[u] = ExtractNeighborhood(p, static_cast<NodeId>(u),
+                                        index.options().radius);
+    }
+  }
+
+  struct WorkerState {
+    GovernorShard shard;      // Feasible-mate probes (GovernPoint::kRetrieve).
+    GovernorShard nbh_shard;  // Sub-iso DFS steps (GovernPoint::kNeighborhood).
+    algebra::PatternScratch scratch;
+    std::unique_ptr<obs::MetricsRegistry> metric_shard;
+    uint64_t feasible_hits = 0;
+    uint64_t feasible_misses = 0;
+    uint64_t profile_pruned = 0;
+  };
+  std::vector<WorkerState> ws(static_cast<size_t>(workers));
+  for (WorkerState& s : ws) {
+    s.shard = GovernorShard(gov, GovernPoint::kRetrieve);
+    s.nbh_shard = GovernorShard(gov, GovernPoint::kNeighborhood);
+    if (metrics != nullptr && use_neighborhoods) {
+      s.metric_shard = std::make_unique<obs::MetricsRegistry>();
+    }
+  }
+
+  uint64_t stolen = 0;
+  int workers_seen = 0;
+
+  // Phase A: per-pattern-node feasible-mate scans (+ profile filter).
+  // Neighborhood mode stops at the attribute stage; its per-candidate
+  // tests fan out again below.
+  std::vector<std::vector<NodeId>> attr_stage(k);
+  auto scan_node = [&](size_t u, int w) {
+    WorkerState& s = ws[static_cast<size_t>(w)];
+    NodeId pu = static_cast<NodeId>(u);
+    // One charge per feasible-mate probe; a tripped governor leaves this
+    // node's candidate list empty (partial-result semantics, as serial).
+    if (!s.shard.Charge(base[u]->size())) return;
+    std::vector<NodeId> stage;
+    stage.reserve(base[u]->size());
+    for (NodeId v : *base[u]) {
+      if (pattern.NodeCompatible(pu, data, v, &s.scratch)) {
+        stage.push_back(v);
+      }
+    }
+    s.feasible_hits += stage.size();
+    s.feasible_misses += base[u]->size() - stage.size();
+    if (stats != nullptr) stats->size_attr[u] = stage.size();
+    if (use_profiles) {
+      out[u].reserve(stage.size());
+      for (NodeId v : stage) {
+        if (ProfileContains(index.profile(v), want_profile[u])) {
+          out[u].push_back(v);
+        }
+      }
+      s.profile_pruned += stage.size() - out[u].size();
+    } else if (use_neighborhoods) {
+      attr_stage[u] = std::move(stage);
+    } else {
+      out[u] = std::move(stage);
+    }
+  };
+  ThreadPool::RunStats run = tp.ParallelFor(k, workers, scan_node);
+  stolen += run.stolen;
+  workers_seen = run.workers;
+
+  uint64_t neighborhood_pruned = 0;
+  if (use_neighborhoods) {
+    // Phase B: chunk each Phi(u)'s sub-isomorphism tests into stealable
+    // ranges. keep defaults to 1 so a governor trip degrades to "no
+    // pruning", matching the serial conservative fallback.
+    struct Chunk {
+      size_t u;
+      size_t begin;
+      size_t end;
+    };
+    constexpr size_t kChunk = 64;
+    std::vector<Chunk> chunks;
+    std::vector<std::vector<char>> keep(k);
+    for (size_t u = 0; u < k; ++u) {
+      keep[u].assign(attr_stage[u].size(), 1);
+      for (size_t b = 0; b < attr_stage[u].size(); b += kChunk) {
+        chunks.push_back(
+            Chunk{u, b, std::min(b + kChunk, attr_stage[u].size())});
+      }
+    }
+    auto test_chunk = [&](size_t ci, int w) {
+      WorkerState& s = ws[static_cast<size_t>(w)];
+      const Chunk& c = chunks[ci];
+      for (size_t i = c.begin; i < c.end; ++i) {
+        if (!s.nbh_shard.ok()) return;  // Tripped: keep the rest unpruned.
+        NodeId v = attr_stage[c.u][i];
+        if (!NeighborhoodSubIsomorphic(want_nbh[c.u], index.neighborhood(v),
+                                       options.neighborhood_step_budget,
+                                       s.metric_shard.get(),
+                                       /*governor=*/nullptr, &s.nbh_shard)) {
+          keep[c.u][i] = 0;
+        }
+      }
+    };
+    ThreadPool::RunStats nbh_run =
+        tp.ParallelFor(chunks.size(), workers, test_chunk);
+    stolen += nbh_run.stolen;
+    workers_seen = std::max(workers_seen, nbh_run.workers);
+    for (size_t u = 0; u < k; ++u) {
+      out[u].reserve(attr_stage[u].size());
+      for (size_t i = 0; i < attr_stage[u].size(); ++i) {
+        if (keep[u][i]) out[u].push_back(attr_stage[u][i]);
+      }
+      neighborhood_pruned += attr_stage[u].size() - out[u].size();
+    }
+  }
+
+  uint64_t feasible_hits = 0;
+  uint64_t feasible_misses = 0;
+  uint64_t profile_pruned = 0;
+  for (WorkerState& s : ws) {
+    s.shard.Flush();
+    s.nbh_shard.Flush();
+    feasible_hits += s.feasible_hits;
+    feasible_misses += s.feasible_misses;
+    profile_pruned += s.profile_pruned;
+    if (metrics != nullptr && s.metric_shard != nullptr) {
+      metrics->Merge(s.metric_shard->Snapshot());
+    }
+  }
+  if (stats != nullptr) {
+    for (size_t u = 0; u < k; ++u) stats->size_retrieved[u] = out[u].size();
+    stats->tasks_stolen += stolen;
+  }
+  if (info != nullptr) {
+    info->workers = workers_seen;
+    info->tasks_stolen = stolen;
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.retrieve.feasible_hits")
+        ->Increment(feasible_hits);
+    metrics->GetCounter("match.retrieve.feasible_misses")
+        ->Increment(feasible_misses);
+    if (options.candidate_mode == CandidateMode::kProfile) {
+      metrics->GetCounter("match.retrieve.profile_pruned")
+          ->Increment(profile_pruned);
+    } else if (options.candidate_mode == CandidateMode::kNeighborhood) {
+      metrics->GetCounter("match.retrieve.neighborhood_pruned")
+          ->Increment(neighborhood_pruned);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* CandidateModeName(CandidateMode mode) {
@@ -163,6 +381,13 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     const algebra::GraphPattern& pattern, const Graph& data,
     const LabelIndex* index, const PipelineOptions& options,
     PipelineStats* stats) {
+  if (index != nullptr) {
+    int workers = ResolveWorkers(options.num_threads, options.pool);
+    if (workers > 0) {
+      return RetrieveCandidatesParallel(pattern, data, *index, options, stats,
+                                        workers, /*info=*/nullptr);
+    }
+  }
   const Graph& p = pattern.graph();
   size_t k = p.NumNodes();
   std::vector<std::vector<NodeId>> out(k);
@@ -303,6 +528,9 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   // Trip counters are emitted on the not-tripped -> tripped transition so
   // collection loops over many member graphs count each trip once.
   const bool was_tripped = gov != nullptr && gov->tripped();
+  // Intra-query parallelism: 0 = the bit-exact serial path. Parallel runs
+  // produce the same match set and order (see SearchMatchesParallel).
+  const int workers = ResolveWorkers(options.num_threads, options.pool);
 
   // One span per pipeline stage; PipelineStats stage micros are the span
   // durations, so EXPLAIN/PROFILE and the figure benchmarks report the
@@ -315,15 +543,28 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
                        static_cast<int64_t>(data.NumNodes()));
     query_span.SetAttr("mode", CandidateModeName(options.candidate_mode));
     query_span.SetAttr("indexed", static_cast<int64_t>(index != nullptr));
+    if (workers > 0) {
+      query_span.SetAttr("threads", static_cast<int64_t>(workers));
+    }
   }
 
   obs::Span retrieve_span(tracer, "retrieve", obs::Span::Timing::kAlways);
+  RetrieveParallelInfo retrieve_info;
   std::vector<std::vector<NodeId>> candidates =
-      RetrieveCandidates(pattern, data, index, options, stats);
+      workers > 0 && index != nullptr
+          ? RetrieveCandidatesParallel(pattern, data, *index, options, stats,
+                                       workers, &retrieve_info)
+          : RetrieveCandidates(pattern, data, index, options, stats);
   if (retrieve_span.active()) {
     size_t total = 0;
     for (const auto& c : candidates) total += c.size();
     retrieve_span.SetAttr("candidates", static_cast<int64_t>(total));
+    if (retrieve_info.workers > 0) {
+      retrieve_span.SetAttr("threads",
+                            static_cast<int64_t>(retrieve_info.workers));
+      retrieve_span.SetAttr("tasks_stolen",
+                            static_cast<int64_t>(retrieve_info.tasks_stolen));
+    }
   }
   retrieve_span.End();
 
@@ -331,6 +572,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   int level = options.refine_level;
   if (level < 0) level = static_cast<int>(k);
   RefineStats refine_stats;
+  ParallelRefineStats refine_parallel;
   bool refine_degraded = false;
   if (level > 0 && GovOk(gov)) {
     // Snapshot the candidate sets so a degradable budget trip can fall
@@ -338,8 +580,15 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     std::vector<std::vector<NodeId>> snapshot;
     const bool can_degrade = gov != nullptr && gov->HasLimits();
     if (can_degrade) snapshot = candidates;
-    RefineSearchSpace(pattern, data, level, &candidates, &refine_stats,
-                      options.refine_use_marking, metrics, gov);
+    if (workers > 0) {
+      RefineSearchSpaceParallel(pattern, data, level, &candidates,
+                                &refine_stats, options.refine_use_marking,
+                                metrics, gov, options.num_threads, options.pool,
+                                &refine_parallel);
+    } else {
+      RefineSearchSpace(pattern, data, level, &candidates, &refine_stats,
+                        options.refine_use_marking, metrics, gov);
+    }
     if (refine_stats.aborted && can_degrade && gov->DegradableTrip()) {
       candidates = std::move(snapshot);
       gov->RefundSteps(refine_stats.pairs_charged);
@@ -360,6 +609,12 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
                         static_cast<int64_t>(refine_stats.removed));
     refine_span.SetAttr("dirty_skips",
                         static_cast<int64_t>(refine_stats.dirty_skips));
+    if (refine_parallel.workers > 0) {
+      refine_span.SetAttr("threads",
+                          static_cast<int64_t>(refine_parallel.workers));
+      refine_span.SetAttr("tasks_stolen",
+                          static_cast<int64_t>(refine_parallel.tasks_stolen));
+    }
     if (refine_degraded) refine_span.SetAttr("degraded", "fallback-unrefined");
   }
   refine_span.End();
@@ -390,11 +645,17 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
 
   obs::Span search_span(tracer, "search", obs::Span::Timing::kAlways);
   SearchStats search_stats;
+  ParallelSearchStats search_parallel;
   MatchOptions match_options = options.match;
   if (match_options.governor == nullptr) match_options.governor = gov;
   Result<std::vector<algebra::MatchedGraph>> matches =
-      SearchMatches(pattern, data, candidates, order, match_options,
-                    &search_stats, metrics);
+      workers > 0
+          ? SearchMatchesParallel(pattern, data, candidates, order,
+                                  match_options, options.num_threads,
+                                  options.pool, &search_stats, metrics,
+                                  &search_parallel)
+          : SearchMatches(pattern, data, candidates, order, match_options,
+                          &search_stats, metrics);
   if (search_span.active()) {
     search_span.SetAttr("steps", static_cast<int64_t>(search_stats.steps));
     search_span.SetAttr("backtracks",
@@ -406,6 +667,12 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
         static_cast<int64_t>(matches.ok() ? matches.value().size() : 0));
     if (search_stats.governor_tripped) {
       search_span.SetAttr("governor_tripped", static_cast<int64_t>(1));
+    }
+    if (search_parallel.workers > 0) {
+      search_span.SetAttr("threads",
+                          static_cast<int64_t>(search_parallel.workers));
+      search_span.SetAttr("tasks_stolen",
+                          static_cast<int64_t>(search_parallel.tasks_stolen));
     }
   }
   search_span.End();
@@ -440,6 +707,10 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     stats->search.governor_tripped |= search_stats.governor_tripped;
     stats->order = order;
     stats->num_matches = matches.ok() ? matches.value().size() : 0;
+    stats->threads = workers;
+    // Retrieve-stage steals were already added by RetrieveCandidatesParallel.
+    stats->tasks_stolen +=
+        refine_parallel.tasks_stolen + search_parallel.tasks_stolen;
   }
   if (metrics != nullptr) {
     metrics->GetCounter("match.queries")->Increment();

@@ -7,6 +7,7 @@
 #include "algebra/matched_graph.h"
 #include "algebra/pattern.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "graph/collection.h"
 #include "match/cost.h"
 #include "match/label_index.h"
@@ -48,8 +49,18 @@ struct PipelineOptions {
   OrderOptions order;
   MatchOptions match;
   /// Step budget for each neighborhood sub-isomorphism test; 0 = unlimited
-  /// (the engine-wide budget convention).
-  uint64_t neighborhood_step_budget = 100000;
+  /// (the engine-wide budget convention — deadline and step limits come
+  /// from the governor; set this only to bound individual tests).
+  uint64_t neighborhood_step_budget = 0;
+  /// Intra-query parallelism: total workers (including the calling thread)
+  /// for the parallel retrieve / refine / search stages. 0 runs the
+  /// bit-exact serial path; 1 runs the parallel code path on the calling
+  /// thread alone (useful for determinism tests); N > 1 adds pool threads,
+  /// capped at the pool's capacity. Defaults to $GQL_THREADS (0 if unset).
+  /// Parallel match results — set and order — are identical to serial.
+  int num_threads = DefaultNumThreads();
+  /// Pool serving the parallel stages; null = the process-wide shared pool.
+  ThreadPool* pool = nullptr;
   /// Optional per-query resource governor; null = ungoverned. All stages
   /// charge it (retrieve/refine/neighborhood/search); a refinement trip on
   /// a degradable budget falls back to the unrefined candidate sets
@@ -87,6 +98,10 @@ struct PipelineStats {
   /// Refinement tripped a degradable budget and the pipeline fell back to
   /// the unrefined candidate sets (search still ran to completion).
   bool refine_degraded = false;
+  /// Workers serving the parallel stages (0 = serial run).
+  int threads = 0;
+  /// Work-stealing events summed across the retrieve/refine/search stages.
+  uint64_t tasks_stolen = 0;
 
   /// Search-space size as a product of per-node candidate counts.
   static double Space(const std::vector<size_t>& sizes);

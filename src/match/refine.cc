@@ -1,6 +1,7 @@
 #include "match/refine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "match/bipartite.h"
@@ -159,6 +160,183 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
     metrics->GetCounter("match.refine.removed")->Increment(local.removed);
     metrics->GetCounter("match.refine.dirty_skips")
         ->Increment(local.dirty_skips);
+    metrics->GetCounter("match.refine.levels")
+        ->Increment(static_cast<uint64_t>(local.levels_run));
+  }
+}
+
+void RefineSearchSpaceParallel(const algebra::GraphPattern& pattern,
+                               const Graph& data, int level,
+                               std::vector<std::vector<NodeId>>* candidates,
+                               RefineStats* stats, bool use_marking,
+                               obs::MetricsRegistry* metrics,
+                               ResourceGovernor* governor, int num_threads,
+                               ThreadPool* pool, ParallelRefineStats* pstats) {
+  int workers = ResolveWorkers(num_threads, pool);
+  if (workers <= 0) {
+    RefineSearchSpace(pattern, data, level, candidates, stats, use_marking,
+                      metrics, governor);
+    return;
+  }
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  if (k == 0 || level <= 0) return;
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::Shared();
+  RefineStats local;
+
+  ScopedReserve bitmap_mem(governor, k * data.NumNodes(), GovernPoint::kRefine);
+
+  std::vector<std::vector<NodeId>> pnbr(k);
+  for (size_t u = 0; u < k; ++u) {
+    pnbr[u] = UniqueNeighbors(p, static_cast<NodeId>(u));
+  }
+
+  // The candidate bitmaps are written only at level barriers by the
+  // coordinator; during a level the workers read them concurrently.
+  std::vector<std::vector<char>> in_cand(k,
+                                         std::vector<char>(data.NumNodes(), 0));
+  for (size_t u = 0; u < k; ++u) {
+    for (NodeId v : (*candidates)[u]) in_cand[u][v] = 1;
+  }
+
+  using MarkedSet =
+      std::unordered_set<uint64_t, std::hash<uint64_t>, std::equal_to<uint64_t>,
+                         GovernedAllocator<uint64_t>>;
+  MarkedSet marked(0, std::hash<uint64_t>(), std::equal_to<uint64_t>(),
+                   GovernedAllocator<uint64_t>(governor, GovernPoint::kRefine));
+  for (size_t u = 0; u < k; ++u) {
+    for (NodeId v : (*candidates)[u]) {
+      marked.insert(PairKey(static_cast<NodeId>(u), v));
+    }
+  }
+
+  struct WorkerState {
+    GovernorShard shard;
+    std::vector<std::vector<int>> adj;  // Reused bipartite buffer.
+    uint64_t bipartite_checks = 0;
+  };
+  std::vector<WorkerState> ws(static_cast<size_t>(workers));
+  for (WorkerState& s : ws) {
+    s.shard = GovernorShard(governor, GovernPoint::kRefine);
+  }
+
+  uint64_t tasks_stolen = 0;
+  int max_workers_seen = 0;
+  std::atomic<bool> aborted{false};
+
+  for (int l = 0; l < level; ++l) {
+    local.levels_run = l + 1;
+    std::vector<uint64_t> todo;
+    if (use_marking) {
+      todo.assign(marked.begin(), marked.end());
+      std::sort(todo.begin(), todo.end());
+    } else {
+      for (size_t u = 0; u < k; ++u) {
+        for (NodeId v : (*candidates)[u]) {
+          if (in_cand[u][v]) todo.push_back(PairKey(static_cast<NodeId>(u), v));
+        }
+      }
+    }
+    if (todo.empty()) break;
+
+    // Jacobi check phase: every pair is tested against the level-start
+    // bitmaps; failing pairs are buffered, never applied in-flight.
+    std::vector<char> remove(todo.size(), 0);
+    auto check_pair = [&](size_t i, int w) {
+      if (aborted.load(std::memory_order_relaxed)) return;
+      WorkerState& s = ws[static_cast<size_t>(w)];
+      if (!s.shard.Charge()) {
+        aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      NodeId u = static_cast<NodeId>(todo[i] >> 32);
+      NodeId v = static_cast<NodeId>(todo[i] & 0xffffffffu);
+      const std::vector<NodeId>& nu = pnbr[u];
+      if (nu.empty()) return;  // Isolated pattern node: keep.
+      std::vector<NodeId> nv = UniqueNeighbors(data, v);
+      s.adj.assign(nu.size(), {});
+      for (size_t a = 0; a < nu.size(); ++a) {
+        const std::vector<char>& row = in_cand[nu[a]];
+        for (size_t b = 0; b < nv.size(); ++b) {
+          if (row[nv[b]]) s.adj[a].push_back(static_cast<int>(b));
+        }
+      }
+      ++s.bipartite_checks;
+      if (!HasSemiPerfectMatching(static_cast<int>(nu.size()),
+                                  static_cast<int>(nv.size()), s.adj)) {
+        remove[i] = 1;
+      }
+    };
+    ThreadPool::RunStats run = tp.ParallelFor(todo.size(), workers, check_pair);
+    tasks_stolen += run.stolen;
+    max_workers_seen = std::max(max_workers_seen, run.workers);
+
+    if (aborted.load(std::memory_order_relaxed)) {
+      // The level's verdicts are incomplete: discard them (earlier levels'
+      // removals stand and are sound).
+      local.aborted = true;
+      break;
+    }
+
+    // Barrier: apply buffered removals in deterministic pair order and
+    // re-mark the neighbors whose bipartite test they can affect.
+    bool changed = false;
+    for (size_t i = 0; i < todo.size(); ++i) {
+      uint64_t key = todo[i];
+      NodeId u = static_cast<NodeId>(key >> 32);
+      NodeId v = static_cast<NodeId>(key & 0xffffffffu);
+      if (!remove[i]) {
+        marked.erase(key);
+        continue;
+      }
+      in_cand[u][v] = 0;
+      marked.erase(key);
+      changed = true;
+      ++local.removed;
+      std::vector<NodeId> nv = UniqueNeighbors(data, v);
+      for (NodeId u2 : pnbr[u]) {
+        for (NodeId v2 : nv) {
+          if (in_cand[u2][v2]) marked.insert(PairKey(u2, v2));
+        }
+      }
+    }
+    if (!changed && use_marking && marked.empty()) break;
+    if (!changed && !use_marking) break;
+  }
+
+  for (size_t u = 0; u < k; ++u) {
+    std::vector<NodeId>& list = (*candidates)[u];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](NodeId v) { return !in_cand[u][v]; }),
+               list.end());
+  }
+
+  for (WorkerState& s : ws) {
+    // A trip surfacing only at this final flush (small workloads never
+    // reach an in-stage flush) still aborts the refinement: the pipeline's
+    // degrade fallback then restores the snapshot and refunds the charge,
+    // matching the serial per-pair cadence.
+    if (!s.shard.Flush()) local.aborted = true;
+    local.bipartite_checks += s.bipartite_checks;
+    local.pairs_charged += s.shard.charged();
+  }
+  if (pstats != nullptr) {
+    pstats->workers = max_workers_seen;
+    pstats->tasks_stolen = tasks_stolen;
+  }
+
+  if (stats != nullptr) {
+    stats->bipartite_checks += local.bipartite_checks;
+    stats->removed += local.removed;
+    stats->dirty_skips += local.dirty_skips;
+    stats->levels_run = local.levels_run;
+    stats->pairs_charged += local.pairs_charged;
+    stats->aborted |= local.aborted;
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.refine.bipartite_checks")
+        ->Increment(local.bipartite_checks);
+    metrics->GetCounter("match.refine.removed")->Increment(local.removed);
     metrics->GetCounter("match.refine.levels")
         ->Increment(static_cast<uint64_t>(local.levels_run));
   }

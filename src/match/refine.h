@@ -6,6 +6,7 @@
 
 #include "algebra/pattern.h"
 #include "common/governor.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -56,6 +57,33 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
                        RefineStats* stats = nullptr, bool use_marking = true,
                        obs::MetricsRegistry* metrics = nullptr,
                        ResourceGovernor* governor = nullptr);
+
+/// Execution counters specific to the parallel refinement fan-out.
+struct ParallelRefineStats {
+  int workers = 0;  ///< Participants (0 when the serial path was taken).
+  uint64_t tasks_stolen = 0;  ///< Pair checks run off their home deque.
+};
+
+/// Parallel refinement: within each level the (u, v) pair checks are
+/// independent reads of the level-start candidate bitmaps, so they fan out
+/// across workers; removals are buffered per pair and applied at a level
+/// barrier by the coordinator (which also re-marks dirty neighbors).
+///
+/// Semantics: the serial pass is Gauss-Seidel within a level (a removal is
+/// visible to later pairs of the same level) while this pass is Jacobi (it
+/// becomes visible at the barrier), so the candidate sets after a BOUNDED
+/// level count can differ — both are sound over-approximations and
+/// converge to the same fixpoint, and the final match sets are identical.
+/// Workers charge the governor through per-worker shards; on a trip the
+/// current level's buffered removals are discarded (`stats->aborted`), and
+/// `stats->pairs_charged` reports exactly the steps flushed so the
+/// degrade-fallback refund stays balanced.
+void RefineSearchSpaceParallel(
+    const algebra::GraphPattern& pattern, const Graph& data, int level,
+    std::vector<std::vector<NodeId>>* candidates, RefineStats* stats = nullptr,
+    bool use_marking = true, obs::MetricsRegistry* metrics = nullptr,
+    ResourceGovernor* governor = nullptr, int num_threads = 0,
+    ThreadPool* pool = nullptr, ParallelRefineStats* pstats = nullptr);
 
 }  // namespace graphql::match
 

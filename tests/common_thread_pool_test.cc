@@ -1,0 +1,128 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace graphql {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryItemExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  ThreadPool::RunStats stats = pool.ParallelFor(
+      kN, 4, [&](size_t i, int) { hits[i].fetch_add(1); });
+  EXPECT_EQ(stats.tasks, kN);
+  EXPECT_EQ(stats.workers, 4);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreDenseAndBounded) {
+  ThreadPool pool(3);
+  constexpr int kWorkers = 4;
+  std::vector<std::atomic<uint64_t>> per_worker(kWorkers);
+  for (auto& c : per_worker) c.store(0);
+  pool.ParallelFor(5000, kWorkers, [&](size_t, int w) {
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, kWorkers);
+    per_worker[w].fetch_add(1);
+  });
+  // Worker 0 is the caller and always participates.
+  EXPECT_GT(per_worker[0].load(), 0u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineInOrder) {
+  ThreadPool pool(3);
+  std::vector<size_t> seen;
+  ThreadPool::RunStats stats = pool.ParallelFor(
+      100, 1, [&](size_t i, int w) {
+        EXPECT_EQ(w, 0);
+        seen.push_back(i);
+      });
+  EXPECT_EQ(stats.workers, 1);
+  EXPECT_EQ(stats.stolen, 0u);
+  ASSERT_EQ(seen.size(), 100u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ThreadPoolTest, EmptyRangeMakesNoCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ThreadPool::RunStats stats =
+      pool.ParallelFor(0, 4, [&](size_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, WorkerCountClampsToCapacityAndItems) {
+  ThreadPool pool(2);  // Capacity: 2 background + caller = 3.
+  EXPECT_EQ(pool.max_workers(), 3);
+  std::atomic<int> calls{0};
+  ThreadPool::RunStats stats =
+      pool.ParallelFor(1000, 64, [&](size_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(stats.workers, 3);
+  EXPECT_EQ(calls.load(), 1000);
+  // Never more workers than items.
+  stats = pool.ParallelFor(2, 8, [&](size_t, int) {});
+  EXPECT_EQ(stats.workers, 2);
+}
+
+TEST(ThreadPoolTest, SkewedWorkIsStolen) {
+  ThreadPool pool(3);
+  // Items in worker 0's slice sleep; a pool thread must steal the rest of
+  // the slice for the run to finish well under the serial time.
+  std::atomic<uint64_t> slow_done{0};
+  ThreadPool::RunStats stats = pool.ParallelFor(
+      64, 4, [&](size_t i, int) {
+        if (i < 16) {  // Worker 0's dealt block.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          slow_done.fetch_add(1);
+        }
+      });
+  EXPECT_EQ(slow_done.load(), 16u);
+  EXPECT_GT(stats.stolen, 0u);
+}
+
+TEST(ThreadPoolTest, BackToBackJobsReuseThePool) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> calls{0};
+    pool.ParallelFor(97, 3, [&](size_t, int) { calls.fetch_add(1); });
+    ASSERT_EQ(calls.load(), 97) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ResolveWorkersSemantics) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ResolveWorkers(0, &pool), 0);    // 0 = serial path.
+  EXPECT_EQ(ResolveWorkers(-5, &pool), 0);   // Negative = serial.
+  EXPECT_EQ(ResolveWorkers(1, &pool), 1);
+  EXPECT_EQ(ResolveWorkers(2, &pool), 2);
+  EXPECT_EQ(ResolveWorkers(100, &pool), 4);  // Clamped to capacity.
+  // Null pool resolves against the shared pool: at least one background
+  // thread even on a 1-core machine.
+  EXPECT_GE(ResolveWorkers(100, nullptr), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolStillRunsViaCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.max_workers(), 1);
+  std::atomic<int> calls{0};
+  ThreadPool::RunStats stats =
+      pool.ParallelFor(10, 4, [&](size_t, int w) {
+        EXPECT_EQ(w, 0);
+        calls.fetch_add(1);
+      });
+  EXPECT_EQ(stats.workers, 1);
+  EXPECT_EQ(calls.load(), 10);
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,223 @@
+// Parallel-selection tests: bit-exact determinism of the work-stealing
+// pipeline against the serial path, metric-sink-free operation, and the
+// concurrency scenarios the TSan CI job hammers (concurrent governor
+// trips, cross-thread cancellation, steal-heavy skew).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "algebra/pattern.h"
+#include "common/governor.h"
+#include "common/thread_pool.h"
+#include "match/pipeline.h"
+#include "obs/metrics.h"
+#include "workload/erdos_renyi.h"
+#include "workload/queries.h"
+
+namespace graphql {
+namespace {
+
+using Binding = std::pair<std::vector<NodeId>, std::vector<EdgeId>>;
+
+std::vector<Binding> Bindings(
+    const std::vector<algebra::MatchedGraph>& matches) {
+  std::vector<Binding> out;
+  out.reserve(matches.size());
+  for (const algebra::MatchedGraph& m : matches) {
+    out.emplace_back(m.node_mapping, m.edge_mapping);
+  }
+  return out;
+}
+
+Graph MakeData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  workload::ErdosRenyiOptions opts;
+  opts.num_nodes = n;
+  opts.num_edges = 5 * n;
+  opts.num_labels = 6;
+  return workload::MakeErdosRenyi(opts, &rng);
+}
+
+/// Serial (threads = 0) vs parallel (threads = 1, 2, 8) over a property
+/// corpus: the match list — bindings AND their order — must be identical,
+/// in every candidate mode, in exhaustive, capped, and first-match modes.
+TEST(MatchParallelTest, DeterministicAcrossThreadCounts) {
+  ThreadPool pool(7);
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    Graph g = MakeData(40, seed * 1013u);
+    match::LabelIndex index = match::LabelIndex::Build(g);
+    Rng qrng(seed);
+    for (size_t qsize : {3u, 4u}) {
+      auto q = workload::ExtractConnectedQuery(g, qsize, &qrng);
+      if (!q.ok()) continue;
+      algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+      for (auto mode : {match::CandidateMode::kLabelOnly,
+                        match::CandidateMode::kProfile,
+                        match::CandidateMode::kNeighborhood}) {
+        for (bool exhaustive : {true, false}) {
+          for (size_t cap : {size_t{SIZE_MAX}, size_t{3}}) {
+            match::PipelineOptions serial;
+            serial.candidate_mode = mode;
+            serial.match.exhaustive = exhaustive;
+            serial.match.max_matches = cap;
+            serial.num_threads = 0;
+            auto want = match::MatchPattern(p, g, &index, serial);
+            ASSERT_TRUE(want.ok()) << want.status();
+            for (int threads : {1, 2, 8}) {
+              match::PipelineOptions par = serial;
+              par.num_threads = threads;
+              par.pool = &pool;
+              match::PipelineStats stats;
+              auto got = match::MatchPattern(p, g, &index, par, &stats);
+              ASSERT_TRUE(got.ok()) << got.status();
+              EXPECT_EQ(stats.threads, std::min(threads, 8));
+              EXPECT_EQ(Bindings(*got), Bindings(*want))
+                  << "seed=" << seed << " qsize=" << qsize
+                  << " mode=" << static_cast<int>(mode)
+                  << " exhaustive=" << exhaustive << " cap=" << cap
+                  << " threads=" << threads;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Satellite: every stage must tolerate a null metric sink and no tracer —
+/// the parallel workers shard and merge metrics only when a sink exists.
+TEST(MatchParallelTest, RunsWithNullMetricsAndNoTracer) {
+  ThreadPool pool(3);
+  Graph g = MakeData(30, 99);
+  match::LabelIndex index = match::LabelIndex::Build(g);
+  Rng qrng(5);
+  auto q = workload::ExtractConnectedQuery(g, 3, &qrng);
+  ASSERT_TRUE(q.ok());
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+  for (int threads : {0, 4}) {
+    match::PipelineOptions o;
+    o.candidate_mode = match::CandidateMode::kNeighborhood;
+    o.metrics = nullptr;
+    o.tracer = nullptr;
+    o.num_threads = threads;
+    o.pool = &pool;
+    auto got = match::MatchPattern(p, g, &index, o);
+    ASSERT_TRUE(got.ok()) << got.status();
+  }
+}
+
+/// TSan target: a deterministic injected trip lands while several workers
+/// are charging their shards concurrently; the query must end cleanly with
+/// the governor tripped exactly once at the search point.
+TEST(MatchParallelTest, ConcurrentGovernorTripMidSearch) {
+  ThreadPool pool(7);
+  Graph g = MakeData(60, 4242);
+  match::LabelIndex index = match::LabelIndex::Build(g);
+  Rng qrng(11);
+  auto q = workload::ExtractConnectedQuery(g, 4, &qrng);
+  ASSERT_TRUE(q.ok());
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+
+  FaultInjector injector;
+  injector.AddRule(GovernPoint::kSearch, /*at=*/2, TripKind::kSteps);
+  ResourceGovernor gov;
+  gov.set_fault_injector(&injector);
+
+  match::PipelineOptions o;
+  o.candidate_mode = match::CandidateMode::kLabelOnly;
+  o.refine_level = 0;
+  o.governor = &gov;
+  o.num_threads = 8;
+  o.pool = &pool;
+  auto got = match::MatchPattern(p, g, &index, o);
+  ASSERT_TRUE(got.ok()) << got.status();  // Partial matches, not an error.
+  EXPECT_TRUE(gov.tripped());
+  EXPECT_EQ(gov.trip_kind(), TripKind::kSteps);
+}
+
+/// TSan target: cancellation arrives from a foreign thread mid-query.
+/// Whether it lands before or after completion, there must be no race and
+/// the observable state must be consistent.
+TEST(MatchParallelTest, CrossThreadCancelMidSearch) {
+  ThreadPool pool(7);
+  Graph g = MakeData(120, 777);
+  match::LabelIndex index = match::LabelIndex::Build(g);
+  Rng qrng(3);
+  auto q = workload::ExtractConnectedQuery(g, 5, &qrng);
+  ASSERT_TRUE(q.ok());
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+
+  ResourceGovernor gov;
+  gov.Arm(GovernorLimits{});
+  std::thread canceller([&gov] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    gov.Cancel();
+  });
+
+  match::PipelineOptions o;
+  o.candidate_mode = match::CandidateMode::kLabelOnly;
+  o.refine_level = 0;
+  o.governor = &gov;
+  o.num_threads = 8;
+  o.pool = &pool;
+  auto got = match::MatchPattern(p, g, &index, o);
+  canceller.join();
+  ASSERT_TRUE(got.ok()) << got.status();
+  if (gov.tripped()) {
+    EXPECT_EQ(gov.trip_kind(), TripKind::kCancelled);
+  }
+}
+
+/// TSan + scheduler target: one root's subtree dwarfs the others, so pool
+/// threads must steal from the loaded worker's deque while it is popping
+/// from the other end. Results still have to be bit-identical to serial.
+TEST(MatchParallelTest, StealHeavySkewedRootsStayExact) {
+  ThreadPool pool(7);
+  Graph g = MakeData(150, 31337);
+  match::LabelIndex index = match::LabelIndex::Build(g);
+  Rng qrng(9);
+  auto q = workload::ExtractConnectedQuery(g, 4, &qrng);
+  ASSERT_TRUE(q.ok());
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+
+  match::PipelineOptions serial;
+  serial.candidate_mode = match::CandidateMode::kLabelOnly;
+  serial.refine_level = 0;
+  serial.optimize_order = false;  // Declaration order: fat root lists.
+  serial.num_threads = 0;
+  auto want = match::MatchPattern(p, g, &index, serial);
+  ASSERT_TRUE(want.ok()) << want.status();
+
+  match::PipelineOptions par = serial;
+  par.num_threads = 8;
+  par.pool = &pool;
+  auto got = match::MatchPattern(p, g, &index, par);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(Bindings(*got), Bindings(*want));
+}
+
+/// The shared pool honors an explicit thread ask even on small machines:
+/// PipelineOptions defaulted from $GQL_THREADS must actually produce
+/// multi-worker runs (this is what the GQL_THREADS=4 CI lane exercises).
+TEST(MatchParallelTest, SharedPoolServesExplicitAsk) {
+  Graph g = MakeData(30, 55);
+  match::LabelIndex index = match::LabelIndex::Build(g);
+  Rng qrng(2);
+  auto q = workload::ExtractConnectedQuery(g, 3, &qrng);
+  ASSERT_TRUE(q.ok());
+  algebra::GraphPattern p = algebra::GraphPattern::FromGraph(*q);
+  match::PipelineOptions o;
+  o.num_threads = 2;  // Resolved against the shared pool.
+  match::PipelineStats stats;
+  auto got = match::MatchPattern(p, g, &index, o, &stats);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(stats.threads, 2);
+}
+
+}  // namespace
+}  // namespace graphql

@@ -59,6 +59,28 @@ def histogram_percentile(buckets, count, p):
     return bucket_upper_bound(len(buckets) - 1)
 
 
+def summarize_parallel(path, data):
+    """Renders a bench_parallel_scaling dump (BENCH_parallel.json)."""
+    print(f"\n== parallel scaling: {path} ==")
+    print(f"  workload: {data.get('workload', '?')}  "
+          f"queries={data.get('queries', '?')}  "
+          f"reps={data.get('reps', '?')}  "
+          f"hw_threads={data.get('hardware_concurrency', '?')}")
+    ident = data.get("identical")
+    print(f"  match lists identical across sweep: {ident}")
+    results = data.get("results", [])
+    if results:
+        print(f"  {'threads':>8} {'ms':>10} {'speedup':>9} {'stolen':>10} "
+              f"{'retr_ms':>9} {'refine_ms':>10} {'search_ms':>10}")
+        for r in results:
+            print(f"  {r.get('threads', 0):>8} {r.get('ms', 0):>10.2f} "
+                  f"{r.get('speedup', 0):>8.2f}x "
+                  f"{r.get('tasks_stolen', 0):>10} "
+                  f"{r.get('ms_retrieve', 0):>9.2f} "
+                  f"{r.get('ms_refine', 0):>10.2f} "
+                  f"{r.get('ms_search', 0):>10.2f}")
+
+
 def summarize_metrics(path):
     with open(path) as f:
         try:
@@ -66,6 +88,9 @@ def summarize_metrics(path):
         except json.JSONDecodeError as e:
             print(f"\n== metrics: {path} ==\n  not a metrics dump: {e}")
             return
+    if data.get("bench") == "parallel_scaling":
+        summarize_parallel(path, data)
+        return
     print(f"\n== metrics: {path} ==")
     counters = data.get("counters", {})
     if counters:
