@@ -134,7 +134,7 @@ inline const ProteinWorkload& GetProteinWorkload() {
     w->index = match::LabelIndex::Build(w->graph);
     auto top = w->index.LabelsByFrequency();
     for (size_t i = 0; i < 40 && i < top.size(); ++i) {
-      w->top_labels.push_back(w->index.dict().Name(top[i]));
+      w->top_labels.push_back(std::string(w->index.LabelName(top[i])));
     }
     return w;
   }();

@@ -43,12 +43,10 @@ BENCHMARK(BM_ProfileContains);
 
 void BM_BuildProfileRadius1(benchmark::State& state) {
   const Graph& g = GetProteinWorkload().graph;
-  match::LabelDictionary dict;
   std::vector<int> scratch(g.NumNodes(), -1);
   NodeId v = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        match::BuildProfile(g, v, 1, &dict, &scratch));
+    benchmark::DoNotOptimize(match::BuildProfile(g, v, 1, &scratch));
     v = static_cast<NodeId>((v + 1) % g.NumNodes());
   }
 }

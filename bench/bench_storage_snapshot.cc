@@ -1,0 +1,210 @@
+// Storage-core ablation: the selection pipeline over the mutable Graph
+// structures (use_snapshot=false) versus the compiled GraphSnapshot (CSR
+// adjacency, interned symbols, packed refinement bitmaps). Measures
+// retrieve+refine+search throughput and the governed peak transient bytes
+// per query, verifies the two lanes produce bit-identical match lists,
+// and dumps machine-readable results for tools/summarize_bench.py.
+//
+// The snapshot lane pre-compiles the data graph's snapshot before the
+// governed measurement (a warm cache is the steady state; the build cost
+// is reported separately), so the governed peak compares the per-query
+// transient memory — where the packed refinement bitmaps replace the
+// legacy byte-per-pair bitmap.
+//
+// Knobs (environment):
+//   GQL_BENCH_STORAGE_JSON   output path (default BENCH_storage.json)
+//   GQL_BENCH_STORAGE_REPS   timed repetitions per lane, best-of (default 3)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/governor.h"
+#include "graph/snapshot.h"
+#include "match/pipeline.h"
+#include "motif/deriver.h"
+#include "workload/erdos_renyi.h"
+
+namespace graphql::bench {
+namespace {
+
+constexpr size_t kMaxMatchesPerQuery = 100;
+
+Graph MakeData() {
+  Rng rng(20080610);
+  workload::ErdosRenyiOptions opts;
+  opts.num_nodes = 20000;
+  opts.num_edges = 60000;
+  opts.num_labels = 6;
+  return workload::MakeErdosRenyi(opts, &rng);
+}
+
+std::vector<algebra::GraphPattern> MakeQueries() {
+  std::vector<algebra::GraphPattern> out;
+  for (const char* source : {
+           R"(graph P { node a <label="L0">; node b <label="L1">;
+                        node c <label="L2">;
+                        edge (a, b); edge (b, c); edge (c, a); })",
+           R"(graph P { node a <label="L3">; node b <label="L4">;
+                        node c <label="L5">; node d <label="L0">;
+                        edge (a, b); edge (b, c); edge (c, d); })",
+           R"(graph P { node h <label="L1">; node s1 <label="L2">;
+                        node s2 <label="L3">; node s3 <label="L4">;
+                        edge (h, s1); edge (h, s2); edge (h, s3); })",
+           R"(graph P { node a <label="L5">; node b <label="L5">;
+                        edge (a, b); })",
+       }) {
+    auto g = motif::GraphFromSource(source);
+    if (!g.ok()) {
+      std::fprintf(stderr, "bad query: %s\n", g.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.push_back(algebra::GraphPattern::FromGraph(*g));
+  }
+  return out;
+}
+
+std::string Signature(const std::vector<algebra::MatchedGraph>& matches) {
+  std::string sig;
+  for (const algebra::MatchedGraph& m : matches) {
+    for (NodeId v : m.node_mapping) sig += std::to_string(v) + ",";
+    for (EdgeId e : m.edge_mapping) sig += std::to_string(e) + ";";
+    sig += "|";
+  }
+  return sig;
+}
+
+struct LaneResult {
+  double ms = -1;           ///< Best-of-reps wall time for all queries.
+  size_t peak_bytes = 0;    ///< Max governed peak across queries.
+  size_t sum_peak_bytes = 0;///< Sum of per-query governed peaks.
+  size_t matches = 0;
+  std::vector<std::string> sigs;
+};
+
+LaneResult RunLane(const Graph& data, const match::LabelIndex& index,
+                   const std::vector<algebra::GraphPattern>& queries,
+                   bool use_snapshot, int reps) {
+  LaneResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    ResourceGovernor gov;
+    size_t peak = 0;
+    size_t sum_peak = 0;
+    size_t matches = 0;
+    std::vector<std::string> sigs;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const algebra::GraphPattern& p : queries) {
+      gov.Arm(GovernorLimits{});
+      match::PipelineOptions o;
+      o.use_snapshot = use_snapshot;
+      o.candidate_mode = match::CandidateMode::kProfile;
+      o.match.max_matches = kMaxMatchesPerQuery;
+      o.governor = &gov;
+      o.metrics = nullptr;
+      auto m = match::MatchPattern(p, data, &index, o);
+      if (m.ok()) {
+        matches += m->size();
+        sigs.push_back(Signature(*m));
+      } else {
+        sigs.push_back("error:" + m.status().ToString());
+      }
+      peak = std::max(peak, gov.peak_memory());
+      sum_peak += gov.peak_memory();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r.ms < 0 || ms < r.ms) r.ms = ms;
+    r.peak_bytes = peak;
+    r.sum_peak_bytes = sum_peak;
+    r.matches = matches;
+    if (rep == 0) r.sigs = std::move(sigs);
+  }
+  return r;
+}
+
+int Main() {
+  int reps = 3;
+  if (const char* v = std::getenv("GQL_BENCH_STORAGE_REPS")) {
+    int n = std::atoi(v);
+    if (n > 0) reps = n;
+  }
+  std::printf("building synthetic workload (ER 20k nodes / 60k edges, "
+              "6 labels)...\n");
+  Graph data = MakeData();
+  match::LabelIndex index = match::LabelIndex::Build(data);
+  std::vector<algebra::GraphPattern> queries = MakeQueries();
+
+  // Warm the snapshot cache outside the timed/governed region; report the
+  // one-time build cost separately.
+  bool fresh = false;
+  std::shared_ptr<const GraphSnapshot> snap = data.snapshot(&fresh);
+  std::printf("snapshot: %zu bytes (csr %zu, columns %zu, symbols %zu), "
+              "built in %lld us\n",
+              snap->bytes(), snap->csr_bytes(), snap->column_bytes(),
+              snap->sym_bytes(),
+              static_cast<long long>(snap->build_micros()));
+
+  LaneResult legacy = RunLane(data, index, queries, false, reps);
+  LaneResult snapshot = RunLane(data, index, queries, true, reps);
+
+  bool identical = legacy.sigs == snapshot.sigs;
+  double reduction =
+      legacy.sum_peak_bytes == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(snapshot.sum_peak_bytes) /
+                      static_cast<double>(legacy.sum_peak_bytes);
+
+  std::printf("\n%10s %10s %14s %16s %8s\n", "lane", "ms", "peak_bytes",
+              "sum_peak_bytes", "matches");
+  std::printf("%10s %10.2f %14zu %16zu %8zu\n", "legacy", legacy.ms,
+              legacy.peak_bytes, legacy.sum_peak_bytes, legacy.matches);
+  std::printf("%10s %10.2f %14zu %16zu %8zu\n", "snapshot", snapshot.ms,
+              snapshot.peak_bytes, snapshot.sum_peak_bytes,
+              snapshot.matches);
+  std::printf("\ngoverned peak bytes reduction: %.1f%%  "
+              "(throughput %.2fx, match lists %s)\n",
+              reduction * 100.0, legacy.ms / snapshot.ms,
+              identical ? "bit-identical" : "DIVERGED");
+
+  const char* path = std::getenv("GQL_BENCH_STORAGE_JSON");
+  std::string out_path =
+      path != nullptr && *path != '\0' ? path : "BENCH_storage.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"storage_snapshot\",\n"
+      << "  \"workload\": \"erdos-renyi 20k/60k, 6 labels, "
+      << queries.size() << " queries, max " << kMaxMatchesPerQuery
+      << " matches each\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"snapshot_bytes\": " << snap->bytes() << ",\n"
+      << "  \"snapshot_csr_bytes\": " << snap->csr_bytes() << ",\n"
+      << "  \"snapshot_column_bytes\": " << snap->column_bytes() << ",\n"
+      << "  \"snapshot_build_us\": " << snap->build_micros() << ",\n"
+      << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"peak_reduction\": " << reduction << ",\n"
+      << "  \"lanes\": [\n"
+      << "    {\"lane\": \"legacy\", \"ms\": " << legacy.ms
+      << ", \"peak_bytes\": " << legacy.peak_bytes
+      << ", \"sum_peak_bytes\": " << legacy.sum_peak_bytes
+      << ", \"matches\": " << legacy.matches << "},\n"
+      << "    {\"lane\": \"snapshot\", \"ms\": " << snapshot.ms
+      << ", \"peak_bytes\": " << snapshot.peak_bytes
+      << ", \"sum_peak_bytes\": " << snapshot.sum_peak_bytes
+      << ", \"matches\": " << snapshot.matches << "}\n"
+      << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) return 2;
+  return reduction >= 0.30 ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace graphql::bench
+
+int main() { return graphql::bench::Main(); }

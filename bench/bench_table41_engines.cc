@@ -49,7 +49,7 @@ const Fixture& GetFixture() {
     Graph q("P");
     for (int i = 0; i < 3; ++i) {
       AttrTuple attrs;
-      attrs.Set("label", Value(f->index.dict().Name(top[i])));
+      attrs.Set("label", Value(std::string(f->index.LabelName(top[i]))));
       q.AddNode("u" + std::to_string(i), attrs);
     }
     q.AddEdge(0, 1);

@@ -10,6 +10,9 @@
 //   :save VAR PATH     save a graph variable to a file
 //   :show VAR          print a graph variable
 //   :docs              list registered documents
+//   :stats             per-document node/edge counts plus compiled
+//                      GraphSnapshot sizes (CSR / attribute columns /
+//                      symbol maps) and build time
 //   :vars              list bound graph variables
 //   :metrics [json]    dump the session's metric counters/histograms
 //   :metrics reset     zero the session metrics
@@ -230,9 +233,11 @@ struct Shell {
     in >> cmd;
     if (cmd == ":help") {
       std::printf(
-          ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :vars | "
-          ":metrics [json|reset] | :check PATH | :set KEY VALUE | :limits | "
-          ":quit\n"
+          ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :stats | "
+          ":vars | :metrics [json|reset] | :check PATH | :set KEY VALUE | "
+          ":limits | :quit\n"
+          ":stats                 per-document node/edge counts and compiled "
+          "snapshot sizes\n"
           ":check PATH            statically analyze a file (no execution)\n"
           ":set timeout_ms N      wall-clock deadline per query (0 = off)\n"
           ":set max_steps N       unified step budget per query (0 = off)\n"
@@ -358,6 +363,36 @@ struct Shell {
     if (cmd == ":docs") {
       for (const auto& [name, size] : doc_sizes) {
         std::printf("doc(\"%s\"): %zu graphs\n", name.c_str(), size);
+      }
+      return;
+    }
+    if (cmd == ":stats") {
+      if (doc_sizes.empty()) {
+        std::printf("no documents loaded (use :load NAME PATH)\n");
+        return;
+      }
+      for (const auto& [name, size] : doc_sizes) {
+        const GraphCollection* c = docs.Find(name);
+        if (c == nullptr) continue;
+        c->CompileAll();
+        size_t csr = 0;
+        size_t cols = 0;
+        size_t syms = 0;
+        int64_t build_us = 0;
+        for (const Graph& g : *c) {
+          auto snap = g.snapshot();
+          csr += snap->csr_bytes();
+          cols += snap->column_bytes();
+          syms += snap->sym_bytes();
+          build_us += snap->build_micros();
+        }
+        std::printf(
+            "doc(\"%s\"): %zu graphs, %zu nodes, %zu edges\n"
+            "  snapshot: %zu bytes (csr %zu, columns %zu, symbols %zu), "
+            "built in %lld us\n",
+            name.c_str(), size, c->TotalNodes(), c->TotalEdges(),
+            csr + cols + syms, csr, cols, syms,
+            static_cast<long long>(build_us));
       }
       return;
     }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   auto top = index.LabelsByFrequency();
   std::vector<std::string> labels;
   for (size_t i = 0; i < 40 && i < top.size(); ++i) {
-    labels.push_back(index.dict().Name(top[i]));
+    labels.push_back(std::string(index.LabelName(top[i])));
   }
 
   // Try queries until one has answers (the paper discards empty queries).

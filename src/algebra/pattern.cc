@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "graph/snapshot.h"
 #include "lang/parser.h"
 
 namespace graphql::algebra {
@@ -65,6 +66,7 @@ GraphPattern GraphPattern::FromGraph(Graph motif) {
   p.scratch_mapping_.assign(built.graph.NumNodes(), kInvalidNode);
   p.scratch_edge_mapping_.assign(built.graph.NumEdges(), kInvalidEdge);
   p.built_ = std::move(built);
+  p.InternSymbols();
   return p;
 }
 
@@ -84,11 +86,39 @@ Result<GraphPattern> GraphPattern::Compile(std::string pattern_name,
   p.scratch_mapping_.assign(built.graph.NumNodes(), kInvalidNode);
   p.scratch_edge_mapping_.assign(built.graph.NumEdges(), kInvalidEdge);
   p.built_ = std::move(built);
+  p.InternSymbols();
 
   std::vector<lang::ExprPtr> conjuncts;
   SplitConjuncts(where, &conjuncts);
   for (const lang::ExprPtr& c : conjuncts) p.RouteConjunct(c);
   return p;
+}
+
+void GraphPattern::InternSymbols() {
+  SymbolTable& syms = SymbolTable::Global();
+  const Graph& g = built_.graph;
+  auto intern_tuple = [&syms](const AttrTuple& t, SymbolId* tag_sym,
+                              std::vector<SymReq>* reqs) {
+    *tag_sym = t.has_tag() ? syms.Intern(t.tag()) : kNoSymbol;
+    reqs->reserve(t.attrs().size());
+    for (const auto& [k, val] : t.attrs()) {
+      reqs->push_back(SymReq{
+          syms.Intern(k), val,
+          val.is_string() ? syms.Intern(val.AsString()) : kNoSymbol});
+    }
+  };
+  node_tag_syms_.resize(g.NumNodes());
+  node_reqs_.resize(g.NumNodes());
+  for (size_t u = 0; u < g.NumNodes(); ++u) {
+    intern_tuple(g.node(static_cast<NodeId>(u)).attrs, &node_tag_syms_[u],
+                 &node_reqs_[u]);
+  }
+  edge_tag_syms_.resize(g.NumEdges());
+  edge_reqs_.resize(g.NumEdges());
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    intern_tuple(g.edge(static_cast<EdgeId>(e)).attrs, &edge_tag_syms_[e],
+                 &edge_reqs_[e]);
+  }
 }
 
 void GraphPattern::RouteConjunct(const lang::ExprPtr& conjunct) {
@@ -175,7 +205,11 @@ bool GraphPattern::NodeCompatibleWith(NodeId u, const Graph& data, NodeId v,
     if (!got || !(*got == val)) return false;
   }
   if (node_preds_[u].empty()) return true;
+  return NodePredsOk(u, data, v, mapping);
+}
 
+bool GraphPattern::NodePredsOk(NodeId u, const Graph& data, NodeId v,
+                               std::vector<NodeId>* mapping) const {
   Bindings bindings;
   BoundGraph bound;
   bound.attr_graph = &data;
@@ -208,7 +242,12 @@ bool GraphPattern::EdgeCompatibleWith(EdgeId pe, const Graph& data, EdgeId de,
     if (!got || !(*got == val)) return false;
   }
   if (edge_preds_[pe].empty()) return true;
+  return EdgePredsOk(pe, data, de, mapping, edge_mapping);
+}
 
+bool GraphPattern::EdgePredsOk(EdgeId pe, const Graph& data, EdgeId de,
+                               std::vector<NodeId>* mapping,
+                               std::vector<EdgeId>* edge_mapping) const {
   Bindings bindings;
   BoundGraph bound;
   bound.attr_graph = &data;
@@ -230,6 +269,89 @@ bool GraphPattern::EdgeCompatibleWith(EdgeId pe, const Graph& data, EdgeId de,
   }
   (*edge_mapping)[pe] = kInvalidEdge;
   return ok;
+}
+
+// The Snap paths mirror the tuple probes in NodeCompatibleWith /
+// EdgeCompatibleWith exactly: the attribute must exist and compare equal
+// under Value semantics. String-vs-string equality reduces to symbol
+// equality; everything else (numbers, bools, nulls, cross-kind numeric
+// equality) goes through Value::operator== on the column's stored Value.
+
+bool GraphPattern::NodeCompatibleSnap(NodeId u, const GraphSnapshot& snap,
+                                      const Graph& data, NodeId v,
+                                      std::vector<NodeId>* mapping) const {
+  if (node_tag_syms_[u] != kNoSymbol &&
+      node_tag_syms_[u] != snap.node_tag_sym(v)) {
+    return false;
+  }
+  for (const SymReq& r : node_reqs_[u]) {
+    const GraphSnapshot::Column* col = snap.NodeColumn(r.attr_sym);
+    if (col == nullptr) return false;
+    if (r.val_sym != kNoSymbol) {
+      // String constant: equal iff the stored value is the same string.
+      if (col->FindValSym(v) != r.val_sym) return false;
+    } else {
+      const Value* got = col->Find(v);
+      if (got == nullptr || !(*got == r.value)) return false;
+    }
+  }
+  if (node_preds_[u].empty()) return true;
+  return NodePredsOk(u, data, v, mapping);
+}
+
+bool GraphPattern::EdgeCompatibleSnap(EdgeId pe, const GraphSnapshot& snap,
+                                      const Graph& data, EdgeId de,
+                                      std::vector<NodeId>* mapping,
+                                      std::vector<EdgeId>* edge_mapping) const {
+  if (edge_tag_syms_[pe] != kNoSymbol &&
+      edge_tag_syms_[pe] != snap.edge_tag_sym(de)) {
+    return false;
+  }
+  for (const SymReq& r : edge_reqs_[pe]) {
+    const GraphSnapshot::Column* col = snap.EdgeColumn(r.attr_sym);
+    if (col == nullptr) return false;
+    if (r.val_sym != kNoSymbol) {
+      if (col->FindValSym(de) != r.val_sym) return false;
+    } else {
+      const Value* got = col->Find(de);
+      if (got == nullptr || !(*got == r.value)) return false;
+    }
+  }
+  if (edge_preds_[pe].empty()) return true;
+  return EdgePredsOk(pe, data, de, mapping, edge_mapping);
+}
+
+bool GraphPattern::NodeCompatible(NodeId u, const GraphSnapshot& snap,
+                                  const Graph& data, NodeId v) const {
+  return NodeCompatibleSnap(u, snap, data, v, &scratch_mapping_);
+}
+
+bool GraphPattern::NodeCompatible(NodeId u, const GraphSnapshot& snap,
+                                  const Graph& data, NodeId v,
+                                  PatternScratch* scratch) const {
+  if (scratch->mapping_.size() < built_.graph.NumNodes()) {
+    scratch->mapping_.resize(built_.graph.NumNodes(), kInvalidNode);
+  }
+  return NodeCompatibleSnap(u, snap, data, v, &scratch->mapping_);
+}
+
+bool GraphPattern::EdgeCompatible(EdgeId pe, const GraphSnapshot& snap,
+                                  const Graph& data, EdgeId de) const {
+  return EdgeCompatibleSnap(pe, snap, data, de, &scratch_mapping_,
+                            &scratch_edge_mapping_);
+}
+
+bool GraphPattern::EdgeCompatible(EdgeId pe, const GraphSnapshot& snap,
+                                  const Graph& data, EdgeId de,
+                                  PatternScratch* scratch) const {
+  if (scratch->mapping_.size() < built_.graph.NumNodes()) {
+    scratch->mapping_.resize(built_.graph.NumNodes(), kInvalidNode);
+  }
+  if (scratch->edge_mapping_.size() < built_.graph.NumEdges()) {
+    scratch->edge_mapping_.resize(built_.graph.NumEdges(), kInvalidEdge);
+  }
+  return EdgeCompatibleSnap(pe, snap, data, de, &scratch->mapping_,
+                            &scratch->edge_mapping_);
 }
 
 Result<bool> GraphPattern::EvalGlobalPred(

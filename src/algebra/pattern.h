@@ -8,8 +8,13 @@
 
 #include "algebra/expr.h"
 #include "common/result.h"
+#include "common/symbols.h"
 #include "graph/graph.h"
 #include "motif/builder.h"
+
+namespace graphql {
+class GraphSnapshot;
+}
 
 namespace graphql::algebra {
 
@@ -83,6 +88,25 @@ class GraphPattern {
   bool EdgeCompatible(EdgeId pe, const Graph& data, EdgeId de,
                       PatternScratch* scratch) const;
 
+  /// Snapshot fast paths: identical verdicts to the Graph overloads, but
+  /// tag and attribute-equality checks compare pre-interned symbol ids
+  /// against the snapshot's columns — no std::string is touched unless
+  /// the node/edge carries pushed predicates (which still evaluate
+  /// against `data` through the expression engine). `data` must be the
+  /// graph `snap` was compiled from.
+  bool NodeCompatible(NodeId u, const GraphSnapshot& snap, const Graph& data,
+                      NodeId v) const;
+  bool NodeCompatible(NodeId u, const GraphSnapshot& snap, const Graph& data,
+                      NodeId v, PatternScratch* scratch) const;
+  bool EdgeCompatible(EdgeId pe, const GraphSnapshot& snap, const Graph& data,
+                      EdgeId de) const;
+  bool EdgeCompatible(EdgeId pe, const GraphSnapshot& snap, const Graph& data,
+                      EdgeId de, PatternScratch* scratch) const;
+
+  /// Pre-interned tuple tag of a pattern node/edge (kNoSymbol = untagged).
+  SymbolId node_tag_sym(NodeId u) const { return node_tag_syms_[u]; }
+  SymbolId edge_tag_sym(EdgeId e) const { return edge_tag_syms_[e]; }
+
   /// True if some conjunct could not be pushed down to a node or edge.
   bool has_global_pred() const { return !global_preds_.empty(); }
 
@@ -125,17 +149,46 @@ class GraphPattern {
   /// references, or pushes it to the residual global list.
   void RouteConjunct(const lang::ExprPtr& conjunct);
 
+  /// One attribute-equality constraint in interned form: the data entity
+  /// must carry attribute `attr_sym` with a value equal to `value`
+  /// (`val_sym` short-circuits the comparison for string constants).
+  struct SymReq {
+    SymbolId attr_sym;
+    Value value;
+    SymbolId val_sym;  // kNoSymbol when `value` is not a string.
+  };
+
+  /// Interns tags and attribute constraints into SymbolTable::Global()
+  /// (called once at compile; the snapshot compatibility paths read these).
+  void InternSymbols();
+
   std::string name_;
   motif::BuiltGraph built_;
   std::vector<std::vector<lang::ExprPtr>> node_preds_;
   std::vector<std::vector<lang::ExprPtr>> edge_preds_;
   std::vector<lang::ExprPtr> global_preds_;
+  std::vector<SymbolId> node_tag_syms_;
+  std::vector<SymbolId> edge_tag_syms_;
+  std::vector<std::vector<SymReq>> node_reqs_;
+  std::vector<std::vector<SymReq>> edge_reqs_;
 
   bool NodeCompatibleWith(NodeId u, const Graph& data, NodeId v,
                           std::vector<NodeId>* mapping) const;
   bool EdgeCompatibleWith(EdgeId pe, const Graph& data, EdgeId de,
                           std::vector<NodeId>* mapping,
                           std::vector<EdgeId>* edge_mapping) const;
+  bool NodeCompatibleSnap(NodeId u, const GraphSnapshot& snap,
+                          const Graph& data, NodeId v,
+                          std::vector<NodeId>* mapping) const;
+  bool EdgeCompatibleSnap(EdgeId pe, const GraphSnapshot& snap,
+                          const Graph& data, EdgeId de,
+                          std::vector<NodeId>* mapping,
+                          std::vector<EdgeId>* edge_mapping) const;
+  bool NodePredsOk(NodeId u, const Graph& data, NodeId v,
+                   std::vector<NodeId>* mapping) const;
+  bool EdgePredsOk(EdgeId pe, const Graph& data, EdgeId de,
+                   std::vector<NodeId>* mapping,
+                   std::vector<EdgeId>* edge_mapping) const;
 
   // Scratch state for predicate evaluation (see class comment).
   mutable std::vector<NodeId> scratch_mapping_;

@@ -1,0 +1,44 @@
+#include "common/symbols.h"
+
+#include <mutex>
+
+namespace graphql {
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+SymbolId SymbolTable::Intern(std::string_view s) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = ids_.find(s);  // Re-check: another thread may have won the race.
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+SymbolId SymbolTable::Lookup(std::string_view s) const {
+  std::shared_lock lock(mu_);
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+std::string_view SymbolTable::Name(SymbolId id) const {
+  std::shared_lock lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= names_.size()) return {};
+  return names_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock lock(mu_);
+  return names_.size();
+}
+
+}  // namespace graphql

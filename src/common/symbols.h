@@ -1,0 +1,67 @@
+#ifndef GRAPHQL_COMMON_SYMBOLS_H_
+#define GRAPHQL_COMMON_SYMBOLS_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace graphql {
+
+/// Dense symbol id. Ids are assigned consecutively starting at 0 by the
+/// process-wide SymbolTable and never recycled.
+using SymbolId = int32_t;
+
+/// Sentinel for "no symbol": unknown strings (Lookup misses), empty tags,
+/// anonymous names, and non-string attribute values all map here.
+inline constexpr SymbolId kNoSymbol = -1;
+
+/// Process-wide string interner. Every label, tag, attribute name,
+/// node/edge variable name, and string attribute value that flows through
+/// the storage layer is interned here exactly once, so any two structures
+/// that talk about the same string agree on its id regardless of which was
+/// built first (this replaces the per-structure LabelDictionary that could
+/// assign the same label different ids in the profile builder and the
+/// label index).
+///
+/// Thread-safe: Intern takes a writer lock only on first sight of a
+/// string; Lookup/Name take reader locks. Interned strings are never
+/// freed, so `Name` views stay valid for the process lifetime.
+class SymbolTable {
+ public:
+  /// The shared process-wide table. All storage-layer interning goes
+  /// through this instance so symbol ids are comparable across graphs,
+  /// patterns, and indexes.
+  static SymbolTable& Global();
+
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `s`, interning it if new. Empty strings intern
+  /// like any other string; callers that want "absent" semantics should
+  /// map empty to kNoSymbol themselves (GraphSnapshot does).
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id for `s`, or kNoSymbol if it has never been interned.
+  SymbolId Lookup(std::string_view s) const;
+
+  /// The string for an id previously returned by Intern. The view remains
+  /// valid for the lifetime of the table. Returns an empty view for
+  /// kNoSymbol or out-of-range ids.
+  std::string_view Name(SymbolId id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  // Keys are views into `names_`; deque never reallocates stored strings.
+  std::unordered_map<std::string_view, SymbolId> ids_;
+  std::deque<std::string> names_;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_SYMBOLS_H_

@@ -1,17 +1,24 @@
 #include "gindex/path_features.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/symbols.h"
+#include "graph/snapshot.h"
 
 namespace graphql::gindex {
 
 namespace {
 
 struct Enumerator {
-  const Graph& g;
+  const GraphSnapshot& snap;
   int max_length;
   FeatureCounts* out;
   std::vector<NodeId> path;
   std::vector<char> on_path;
+  // Label views resolved once per visited node from the symbol table (its
+  // views are stable); the canonical feature keys stay literal label-path
+  // strings, so persisted/expected feature sets are unchanged.
   std::vector<std::string_view> labels;
 
   void Emit() {
@@ -27,7 +34,7 @@ struct Enumerator {
       rev += labels[path.size() - 1 - i];
       rev += '/';
     }
-    if (!g.directed() && path.size() > 1) {
+    if (!snap.directed() && path.size() > 1) {
       if (rev < fwd) return;  // The reverse traversal will emit it.
       if (rev == fwd && path.back() < path.front()) {
         return;  // Palindrome: let the lower-id endpoint traversal emit.
@@ -37,14 +44,16 @@ struct Enumerator {
   }
 
   void Dfs(NodeId v) {
-    std::string_view label = g.Label(v);
-    if (label.empty()) return;  // Unlabeled nodes break label paths.
+    SymbolId sym = snap.node_label_sym(v);
+    if (sym == kNoSymbol) return;  // Unlabeled nodes break label paths.
     path.push_back(v);
     on_path[v] = 1;
-    labels.push_back(label);
+    labels.push_back(SymbolTable::Global().Name(sym));
     Emit();
     if (static_cast<int>(path.size()) <= max_length) {
-      for (const Graph::Adj& a : g.neighbors(v)) {
+      // One CSR entry per incident edge (parallel edges enumerate
+      // separately), matching the adjacency-list multiplicity.
+      for (const GraphSnapshot::AdjEntry& a : snap.out(v)) {
         if (!on_path[a.node]) Dfs(a.node);
       }
     }
@@ -59,9 +68,10 @@ struct Enumerator {
 FeatureCounts ExtractPathFeatures(const Graph& g,
                                   const PathFeatureOptions& options) {
   FeatureCounts out;
-  Enumerator e{g, options.max_length, &out, {}, {}, {}};
-  e.on_path.assign(g.NumNodes(), 0);
-  for (size_t v = 0; v < g.NumNodes(); ++v) {
+  std::shared_ptr<const GraphSnapshot> snap = g.snapshot();
+  Enumerator e{*snap, options.max_length, &out, {}, {}, {}};
+  e.on_path.assign(snap->num_nodes(), 0);
+  for (size_t v = 0; v < snap->num_nodes(); ++v) {
     e.Dfs(static_cast<NodeId>(v));
   }
   return out;

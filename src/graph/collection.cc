@@ -1,5 +1,7 @@
 #include "graph/collection.h"
 
+#include "graph/snapshot.h"
+
 namespace graphql {
 
 size_t GraphCollection::TotalNodes() const {
@@ -12,6 +14,22 @@ size_t GraphCollection::TotalEdges() const {
   size_t m = 0;
   for (const Graph& g : graphs_) m += g.NumEdges();
   return m;
+}
+
+size_t GraphCollection::CompileAll() const {
+  size_t fresh_count = 0;
+  for (const Graph& g : graphs_) {
+    bool fresh = false;
+    g.snapshot(&fresh);
+    if (fresh) ++fresh_count;
+  }
+  return fresh_count;
+}
+
+size_t GraphCollection::TotalSnapshotBytes() const {
+  size_t bytes = 0;
+  for (const Graph& g : graphs_) bytes += g.snapshot()->bytes();
+  return bytes;
 }
 
 }  // namespace graphql

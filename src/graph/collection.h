@@ -41,6 +41,14 @@ class GraphCollection {
   size_t TotalNodes() const;
   size_t TotalEdges() const;
 
+  /// Compiles every member's snapshot that is not already cached (lazy:
+  /// members keep their own caches; this just forces them warm). Returns
+  /// the number of members that were freshly compiled.
+  size_t CompileAll() const;
+
+  /// Sum of snapshot bytes across members; compiles lazily as needed.
+  size_t TotalSnapshotBytes() const;
+
  private:
   std::string name_;
   std::vector<Graph> graphs_;

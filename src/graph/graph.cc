@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "graph/snapshot.h"
+
 namespace graphql {
 
 namespace {
@@ -13,7 +15,82 @@ uint64_t EdgeKey(NodeId u, NodeId v) {
 
 }  // namespace
 
+Graph::Graph(const Graph& other)
+    : name_(other.name_),
+      directed_(other.directed_),
+      attrs_(other.attrs_),
+      nodes_(other.nodes_),
+      edges_(other.edges_),
+      adj_(other.adj_),
+      in_adj_(other.in_adj_),
+      node_by_name_(other.node_by_name_),
+      edge_by_name_(other.edge_by_name_),
+      edge_keys_(other.edge_keys_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  directed_ = other.directed_;
+  attrs_ = other.attrs_;
+  nodes_ = other.nodes_;
+  edges_ = other.edges_;
+  adj_ = other.adj_;
+  in_adj_ = other.in_adj_;
+  node_by_name_ = other.node_by_name_;
+  edge_by_name_ = other.edge_by_name_;
+  edge_keys_ = other.edge_keys_;
+  ++version_;  // version_ only grows, so the cached snapshot goes stale.
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : name_(std::move(other.name_)),
+      directed_(other.directed_),
+      attrs_(std::move(other.attrs_)),
+      nodes_(std::move(other.nodes_)),
+      edges_(std::move(other.edges_)),
+      adj_(std::move(other.adj_)),
+      in_adj_(std::move(other.in_adj_)),
+      node_by_name_(std::move(other.node_by_name_)),
+      edge_by_name_(std::move(other.edge_by_name_)),
+      edge_keys_(std::move(other.edge_keys_)) {
+  ++other.version_;
+  other.snap_cache_.reset();
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  directed_ = other.directed_;
+  attrs_ = std::move(other.attrs_);
+  nodes_ = std::move(other.nodes_);
+  edges_ = std::move(other.edges_);
+  adj_ = std::move(other.adj_);
+  in_adj_ = std::move(other.in_adj_);
+  node_by_name_ = std::move(other.node_by_name_);
+  edge_by_name_ = std::move(other.edge_by_name_);
+  edge_keys_ = std::move(other.edge_keys_);
+  ++version_;
+  snap_cache_.reset();
+  ++other.version_;
+  other.snap_cache_.reset();
+  return *this;
+}
+
+std::shared_ptr<const GraphSnapshot> Graph::snapshot(
+    bool* freshly_built) const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  bool fresh = snap_cache_ == nullptr || snap_version_ != version_;
+  if (fresh) {
+    snap_cache_ = std::make_shared<const GraphSnapshot>(*this);
+    snap_version_ = version_;
+  }
+  if (freshly_built != nullptr) *freshly_built = fresh;
+  return snap_cache_;
+}
+
 NodeId Graph::AddNode(std::string name, AttrTuple attrs) {
+  ++version_;
   NodeId id = static_cast<NodeId>(nodes_.size());
   if (!name.empty()) node_by_name_[name] = id;
   nodes_.push_back(Node{std::move(name), std::move(attrs)});
@@ -24,6 +101,7 @@ NodeId Graph::AddNode(std::string name, AttrTuple attrs) {
 
 EdgeId Graph::AddEdge(NodeId src, NodeId dst, std::string name,
                       AttrTuple attrs) {
+  ++version_;
   assert(src >= 0 && static_cast<size_t>(src) < nodes_.size());
   assert(dst >= 0 && static_cast<size_t>(dst) < nodes_.size());
   EdgeId id = static_cast<EdgeId>(edges_.size());
@@ -90,6 +168,7 @@ std::string_view Graph::Label(NodeId v) const {
 }
 
 void Graph::SetLabel(NodeId v, std::string label) {
+  ++version_;
   nodes_[v].attrs.Set("label", Value(std::move(label)));
 }
 

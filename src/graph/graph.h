@@ -2,6 +2,8 @@
 #define GRAPHQL_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -11,6 +13,8 @@
 #include "graph/tuple.h"
 
 namespace graphql {
+
+class GraphSnapshot;
 
 /// Dense node identifier within one Graph. Ids are assigned consecutively
 /// starting at 0 and are stable: removal is not supported on Graph itself
@@ -58,11 +62,26 @@ class Graph {
   explicit Graph(std::string name, bool directed = false)
       : name_(std::move(name)), directed_(directed) {}
 
+  // Value semantics are preserved, but the special members are user-defined
+  // because the cached snapshot (and the mutex guarding it) must not travel
+  // with the copy: a copy starts with a cold cache and version 0.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  ~Graph() = default;
+
   const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  void set_name(std::string name) {
+    name_ = std::move(name);
+    ++version_;
+  }
   bool directed() const { return directed_; }
 
-  AttrTuple& attrs() { return attrs_; }
+  AttrTuple& attrs() {
+    ++version_;
+    return attrs_;
+  }
   const AttrTuple& attrs() const { return attrs_; }
 
   // ---- Construction ----
@@ -85,9 +104,15 @@ class Graph {
   size_t NumEdges() const { return edges_.size(); }
 
   const Node& node(NodeId v) const { return nodes_[v]; }
-  Node& node(NodeId v) { return nodes_[v]; }
+  Node& node(NodeId v) {
+    ++version_;  // Caller may mutate through the reference.
+    return nodes_[v];
+  }
   const Edge& edge(EdgeId e) const { return edges_[e]; }
-  Edge& edge(EdgeId e) { return edges_[e]; }
+  Edge& edge(EdgeId e) {
+    ++version_;
+    return edges_[e];
+  }
 
   /// Adjacency of v: undirected graphs list every incident edge once per
   /// endpoint; directed graphs list outgoing edges only (use InNeighbors
@@ -137,6 +162,26 @@ class Graph {
   /// Multi-line GraphQL-source rendering of the graph.
   std::string ToString() const;
 
+  // ---- Compiled snapshot ----
+
+  /// Monotonic mutation counter: bumped by every mutating operation
+  /// (including handing out a non-const node/edge/attrs reference). The
+  /// cached snapshot is keyed by this, so mutation invalidates it lazily.
+  uint64_t version() const { return version_; }
+
+  /// The compiled read-only form of this graph (interned symbols, CSR
+  /// adjacency, columnar attributes). Built on first call and cached;
+  /// rebuilt automatically after any mutation. Thread-safe; the returned
+  /// shared_ptr keeps the snapshot alive even if the graph is mutated or
+  /// destroyed while readers hold it. When `freshly_built` is non-null it
+  /// is set to whether this call compiled a new snapshot (callers use it
+  /// to account build cost exactly once).
+  std::shared_ptr<const GraphSnapshot> snapshot(
+      bool* freshly_built = nullptr) const;
+
+  /// Alias for snapshot(): compiles (or returns the cached) frozen form.
+  std::shared_ptr<const GraphSnapshot> Compile() const { return snapshot(); }
+
  private:
   void RegisterEdgeKey(NodeId u, NodeId v);
 
@@ -150,6 +195,11 @@ class Graph {
   std::unordered_map<std::string, NodeId> node_by_name_;
   std::unordered_map<std::string, EdgeId> edge_by_name_;
   std::unordered_set<uint64_t> edge_keys_;
+
+  uint64_t version_ = 0;
+  mutable std::mutex snap_mu_;
+  mutable std::shared_ptr<const GraphSnapshot> snap_cache_;
+  mutable uint64_t snap_version_ = 0;
 };
 
 }  // namespace graphql

@@ -1,0 +1,190 @@
+#ifndef GRAPHQL_GRAPH_SNAPSHOT_H_
+#define GRAPHQL_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/symbols.h"
+#include "common/value.h"
+#include "graph/graph.h"
+
+namespace graphql {
+
+/// An immutable, cache-friendly compiled form of one Graph: every string
+/// (tag, attribute name, variable name, string attribute value, node
+/// label) interned to a dense SymbolId through the process-wide
+/// SymbolTable; adjacency in CSR form (offset array plus packed
+/// {neighbor, edge, tag_sym} triples, separate in/out arrays for directed
+/// graphs); attributes stored columnarly, one column per attribute symbol
+/// keyed by node/edge id.
+///
+/// The snapshot is a pure read model: it is built once from a Graph (the
+/// mutable builder) and never mutated afterwards, so concurrent readers
+/// need no synchronization. Accessors are defined to agree exactly with
+/// the builder API they mirror — same edge found by FindFirstEdge as
+/// Graph::FindEdge, same multiset of adjacency entries as
+/// Graph::neighbors — so the selection pipeline produces bit-identical
+/// results on either representation.
+class GraphSnapshot {
+ public:
+  /// One CSR adjacency entry. Entries for a node are sorted by `node`
+  /// (stable on insertion order, i.e. edge id) so parallel edges between
+  /// the same endpoints form a contiguous run in ascending edge-id order.
+  struct AdjEntry {
+    NodeId node;        ///< Neighbor node id.
+    EdgeId edge;        ///< Edge realizing the adjacency.
+    SymbolId tag_sym;   ///< Interned edge tag; kNoSymbol when untagged.
+  };
+
+  /// A sparse attribute column: the ids (node or edge, strictly
+  /// ascending) that carry the attribute, the stored values, and for
+  /// string values their interned symbol (kNoSymbol for non-strings).
+  struct Column {
+    SymbolId attr_sym = kNoSymbol;  ///< Interned attribute name.
+    std::vector<int32_t> ids;
+    std::vector<Value> values;
+    std::vector<SymbolId> val_syms;
+
+    /// The value stored for `id`, or nullptr when the column misses it.
+    const Value* Find(int32_t id) const;
+    /// The interned string value for `id`; kNoSymbol when absent or not
+    /// a string.
+    SymbolId FindValSym(int32_t id) const;
+  };
+
+  /// Compiles `g`. The graph must not be mutated while the build runs.
+  explicit GraphSnapshot(const Graph& g);
+
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+  // ---- Shape ----
+
+  bool directed() const { return directed_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edge_src_.size(); }
+
+  // ---- Interned per-entity strings ----
+
+  SymbolId graph_name_sym() const { return graph_name_sym_; }
+  SymbolId graph_tag_sym() const { return graph_tag_sym_; }
+  SymbolId node_name_sym(NodeId v) const { return node_name_sym_[v]; }
+  SymbolId node_tag_sym(NodeId v) const { return node_tag_sym_[v]; }
+  /// Interned "label" string attribute (the paper's conventional node
+  /// label); kNoSymbol when absent or non-string.
+  SymbolId node_label_sym(NodeId v) const { return node_label_sym_[v]; }
+  SymbolId edge_name_sym(EdgeId e) const { return edge_name_sym_[e]; }
+  SymbolId edge_tag_sym(EdgeId e) const { return edge_tag_sym_[e]; }
+  NodeId edge_src(EdgeId e) const { return edge_src_[e]; }
+  NodeId edge_dst(EdgeId e) const { return edge_dst_[e]; }
+
+  /// Distinct node label symbols in first-appearance (node id) order.
+  /// Consumers that need a deterministic label order independent of
+  /// global interning history (e.g. frequency tie-breaking in the label
+  /// index) iterate this.
+  const std::vector<SymbolId>& labels_in_order() const {
+    return labels_in_order_;
+  }
+
+  // ---- CSR adjacency ----
+
+  /// Same entry multiset as Graph::neighbors(v) (undirected graphs list
+  /// every incident edge once per endpoint; directed list out-edges),
+  /// but sorted by neighbor id, ties in edge-id order.
+  std::span<const AdjEntry> out(NodeId v) const {
+    return {out_entries_.data() + out_offsets_[v],
+            out_entries_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Incoming adjacency; only populated for directed graphs.
+  std::span<const AdjEntry> in(NodeId v) const {
+    if (!directed_) return {};
+    return {in_entries_.data() + in_offsets_[v],
+            in_entries_.data() + in_offsets_[v + 1]};
+  }
+
+  size_t Degree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  /// Sorted, duplicate-free neighbor set of v over edges in either
+  /// direction — exactly the set match::UniqueNeighbors computes from the
+  /// builder graph, precomputed once.
+  std::span<const NodeId> unique_neighbors(NodeId v) const {
+    return {uniq_nbrs_.data() + uniq_offsets_[v],
+            uniq_nbrs_.data() + uniq_offsets_[v + 1]};
+  }
+
+  /// True iff some edge connects u to v (respecting direction when
+  /// directed) — agrees with Graph::HasEdgeBetween.
+  bool HasEdgeBetween(NodeId u, NodeId v) const;
+
+  /// The contiguous run of adjacency entries from u to v (empty when no
+  /// such edge). Entries appear in ascending edge-id order.
+  std::span<const AdjEntry> EdgesBetween(NodeId u, NodeId v) const;
+
+  /// Lowest-id edge connecting u to v, or kInvalidEdge — agrees with
+  /// Graph::FindEdge (whose adjacency-list scan also finds the
+  /// earliest-added edge).
+  EdgeId FindFirstEdge(NodeId u, NodeId v) const;
+
+  // ---- Columnar attributes ----
+
+  const std::vector<Column>& node_columns() const { return node_columns_; }
+  const std::vector<Column>& edge_columns() const { return edge_columns_; }
+  /// The node column for an attribute symbol, or nullptr.
+  const Column* NodeColumn(SymbolId attr_sym) const;
+  /// The edge column for an attribute symbol, or nullptr.
+  const Column* EdgeColumn(SymbolId attr_sym) const;
+
+  // ---- Cost accounting ----
+
+  /// Heap bytes held by the snapshot, split so :stats can report the
+  /// breakdown. `bytes()` is what the governor reserves for a fresh
+  /// build.
+  size_t bytes() const { return csr_bytes_ + column_bytes_ + sym_bytes_; }
+  size_t csr_bytes() const { return csr_bytes_; }
+  size_t column_bytes() const { return column_bytes_; }
+  size_t sym_bytes() const { return sym_bytes_; }
+  /// Wall-clock build time in microseconds.
+  int64_t build_micros() const { return build_micros_; }
+  /// Graph::version() at build time; the cache compares this to decide
+  /// staleness.
+  uint64_t source_version() const { return source_version_; }
+
+ private:
+  bool directed_ = false;
+  size_t num_nodes_ = 0;
+  uint64_t source_version_ = 0;
+
+  SymbolId graph_name_sym_ = kNoSymbol;
+  SymbolId graph_tag_sym_ = kNoSymbol;
+  std::vector<SymbolId> node_name_sym_;
+  std::vector<SymbolId> node_tag_sym_;
+  std::vector<SymbolId> node_label_sym_;
+  std::vector<SymbolId> labels_in_order_;
+  std::vector<SymbolId> edge_name_sym_;
+  std::vector<SymbolId> edge_tag_sym_;
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+
+  std::vector<uint32_t> out_offsets_;
+  std::vector<AdjEntry> out_entries_;
+  std::vector<uint32_t> in_offsets_;   // Directed graphs only.
+  std::vector<AdjEntry> in_entries_;   // Directed graphs only.
+  std::vector<uint32_t> uniq_offsets_;
+  std::vector<NodeId> uniq_nbrs_;
+
+  std::vector<Column> node_columns_;
+  std::vector<Column> edge_columns_;
+
+  size_t csr_bytes_ = 0;
+  size_t column_bytes_ = 0;
+  size_t sym_bytes_ = 0;
+  int64_t build_micros_ = 0;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_GRAPH_SNAPSHOT_H_

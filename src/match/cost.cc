@@ -8,13 +8,13 @@ namespace graphql::match {
 
 namespace {
 
-/// Interned label of each pattern node (kUnknownLabel for wildcards).
-std::vector<int32_t> PatternLabels(const Graph& p, const LabelIndex* index) {
-  std::vector<int32_t> labels(p.NumNodes(), LabelDictionary::kUnknownLabel);
+/// Interned label of each pattern node (kNoSymbol for wildcards).
+std::vector<SymbolId> PatternLabels(const Graph& p, const LabelIndex* index) {
+  std::vector<SymbolId> labels(p.NumNodes(), kNoSymbol);
   if (index == nullptr) return labels;
   for (size_t u = 0; u < p.NumNodes(); ++u) {
     std::string_view l = p.Label(static_cast<NodeId>(u));
-    if (!l.empty()) labels[u] = index->dict().Lookup(l);
+    if (!l.empty()) labels[u] = SymbolTable::Global().Lookup(l);
   }
   return labels;
 }
@@ -23,7 +23,7 @@ std::vector<int32_t> PatternLabels(const Graph& p, const LabelIndex* index) {
 /// the product of edge probabilities over pattern edges between u and
 /// joined nodes (Definition 4.11).
 double JoinGamma(const Graph& p, NodeId u, const std::vector<char>& joined,
-                 const std::vector<int32_t>& labels, const LabelIndex* index,
+                 const std::vector<SymbolId>& labels, const LabelIndex* index,
                  const OrderOptions& options) {
   double gamma = 1.0;
   bool any = false;
@@ -32,8 +32,7 @@ double JoinGamma(const Graph& p, NodeId u, const std::vector<char>& joined,
     any = true;
     double p_edge = options.constant_gamma;
     if (options.use_edge_probs && index != nullptr &&
-        labels[u] != LabelDictionary::kUnknownLabel &&
-        labels[w] != LabelDictionary::kUnknownLabel) {
+        labels[u] != kNoSymbol && labels[w] != kNoSymbol) {
       p_edge = index->EdgeProbability(labels[u], labels[w],
                                       options.constant_gamma);
     }
@@ -58,7 +57,7 @@ std::vector<NodeId> GreedySearchOrder(
   std::vector<NodeId> order;
   order.reserve(k);
   std::vector<char> joined(k, 0);
-  std::vector<int32_t> labels = PatternLabels(p, index);
+  std::vector<SymbolId> labels = PatternLabels(p, index);
 
   double size = 1.0;  // Estimated cardinality of the joined prefix.
   for (size_t step = 0; step < k; ++step) {
@@ -99,7 +98,7 @@ Result<std::vector<NodeId>> DpSearchOrder(
         std::to_string(k));
   }
   if (k == 0) return std::vector<NodeId>{};
-  std::vector<int32_t> labels = PatternLabels(p, index);
+  std::vector<SymbolId> labels = PatternLabels(p, index);
 
   size_t num_subsets = size_t{1} << k;
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -159,7 +158,7 @@ double EstimateOrderCost(const algebra::GraphPattern& pattern,
                          const OrderOptions& options) {
   const Graph& p = pattern.graph();
   std::vector<char> joined(p.NumNodes(), 0);
-  std::vector<int32_t> labels = PatternLabels(p, index);
+  std::vector<SymbolId> labels = PatternLabels(p, index);
   double size = 1.0;
   double total = 0.0;
   bool first = true;

@@ -6,7 +6,7 @@ namespace graphql::match {
 
 namespace {
 
-uint64_t PairKey(int32_t a, int32_t b) {
+uint64_t PairKey(SymbolId a, SymbolId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
          static_cast<uint32_t>(b);
@@ -17,56 +17,54 @@ uint64_t PairKey(int32_t a, int32_t b) {
 LabelIndex LabelIndex::Build(const Graph& g, LabelIndexOptions options) {
   LabelIndex index;
   index.graph_ = &g;
+  index.snap_ = g.snapshot();
   index.options_ = options;
+  const GraphSnapshot& snap = *index.snap_;
+  const size_t n = snap.num_nodes();
 
-  std::vector<int32_t> node_label(g.NumNodes(), LabelDictionary::kUnknownLabel);
-  for (size_t v = 0; v < g.NumNodes(); ++v) {
-    std::string_view label = g.Label(static_cast<NodeId>(v));
-    if (label.empty()) {
+  for (size_t v = 0; v < n; ++v) {
+    SymbolId label = snap.node_label_sym(static_cast<NodeId>(v));
+    if (label == kNoSymbol) {
       index.unlabeled_.push_back(static_cast<NodeId>(v));
       continue;
     }
-    int32_t id = index.dict_.Intern(label);
-    node_label[v] = id;
-    if (static_cast<size_t>(id) >= index.by_label_.size()) {
-      index.by_label_.resize(id + 1);
-    }
-    index.by_label_[id].push_back(static_cast<NodeId>(v));
+    index.by_label_[label].push_back(static_cast<NodeId>(v));
   }
 
-  for (size_t e = 0; e < g.NumEdges(); ++e) {
-    const Graph::Edge& ed = g.edge(static_cast<EdgeId>(e));
-    int32_t a = node_label[ed.src];
-    int32_t b = node_label[ed.dst];
-    if (a == LabelDictionary::kUnknownLabel ||
-        b == LabelDictionary::kUnknownLabel) {
-      continue;
-    }
+  for (size_t e = 0; e < snap.num_edges(); ++e) {
+    SymbolId a = snap.node_label_sym(snap.edge_src(static_cast<EdgeId>(e)));
+    SymbolId b = snap.node_label_sym(snap.edge_dst(static_cast<EdgeId>(e)));
+    if (a == kNoSymbol || b == kNoSymbol) continue;
     ++index.edge_pair_freq_[PairKey(a, b)];
   }
 
   if (options.build_profiles) {
-    index.profiles_.resize(g.NumNodes());
-    std::vector<int> scratch(g.NumNodes(), -1);
-    for (size_t v = 0; v < g.NumNodes(); ++v) {
-      index.profiles_[v] = BuildProfile(g, static_cast<NodeId>(v),
-                                        options.radius, &index.dict_,
-                                        &scratch);
+    index.profiles_.resize(n);
+    std::vector<int> scratch(n, -1);
+    for (size_t v = 0; v < n; ++v) {
+      index.profiles_[v] =
+          BuildProfile(snap, static_cast<NodeId>(v), options.radius, &scratch);
     }
   }
   for (const std::string& attr : options.indexed_attributes) {
     rel::BPlusTree tree;
-    for (size_t v = 0; v < g.NumNodes(); ++v) {
-      auto value = g.node(static_cast<NodeId>(v)).attrs.Get(attr);
-      if (value) tree.Insert(*value, v);
+    // Column entries are in ascending node-id order — the same insertion
+    // order as a node scan, so tree iteration order is unchanged.
+    SymbolId attr_sym = SymbolTable::Global().Lookup(attr);
+    const GraphSnapshot::Column* col =
+        attr_sym == kNoSymbol ? nullptr : snap.NodeColumn(attr_sym);
+    if (col != nullptr) {
+      for (size_t i = 0; i < col->ids.size(); ++i) {
+        tree.Insert(col->values[i], static_cast<uint64_t>(col->ids[i]));
+      }
     }
     index.attr_trees_.emplace(attr, std::move(tree));
   }
 
   if (options.build_neighborhoods) {
-    index.neighborhoods_.resize(g.NumNodes());
-    std::vector<NodeId> scratch(g.NumNodes(), kInvalidNode);
-    for (size_t v = 0; v < g.NumNodes(); ++v) {
+    index.neighborhoods_.resize(n);
+    std::vector<NodeId> scratch(n, kInvalidNode);
+    for (size_t v = 0; v < n; ++v) {
       index.neighborhoods_[v] = ExtractNeighborhood(
           g, static_cast<NodeId>(v), options.radius, &scratch);
     }
@@ -74,31 +72,42 @@ LabelIndex LabelIndex::Build(const Graph& g, LabelIndexOptions options) {
   return index;
 }
 
-const std::vector<NodeId>& LabelIndex::NodesWithLabel(
-    std::string_view label) const {
-  int32_t id = dict_.Lookup(label);
-  if (id == LabelDictionary::kUnknownLabel ||
-      static_cast<size_t>(id) >= by_label_.size()) {
-    return empty_;
-  }
-  return by_label_[id];
+std::string_view LabelIndex::LabelName(SymbolId label) const {
+  return SymbolTable::Global().Name(label);
 }
 
-size_t LabelIndex::LabelFrequency(int32_t label) const {
-  if (label < 0 || static_cast<size_t>(label) >= by_label_.size()) return 0;
-  return by_label_[label].size();
+SymbolId LabelIndex::LabelSym(std::string_view label) const {
+  return SymbolTable::Global().Lookup(label);
+}
+
+const std::vector<NodeId>& LabelIndex::NodesWithLabelSym(
+    SymbolId label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? empty_ : it->second;
+}
+
+const std::vector<NodeId>& LabelIndex::NodesWithLabel(
+    std::string_view label) const {
+  SymbolId id = SymbolTable::Global().Lookup(label);
+  return id == kNoSymbol ? empty_ : NodesWithLabelSym(id);
+}
+
+size_t LabelIndex::LabelFrequency(SymbolId label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? 0 : it->second.size();
 }
 
 size_t LabelIndex::LabelFrequency(std::string_view label) const {
-  return LabelFrequency(dict_.Lookup(label));
+  SymbolId id = SymbolTable::Global().Lookup(label);
+  return id == kNoSymbol ? 0 : LabelFrequency(id);
 }
 
-size_t LabelIndex::EdgePairFrequency(int32_t a, int32_t b) const {
+size_t LabelIndex::EdgePairFrequency(SymbolId a, SymbolId b) const {
   auto it = edge_pair_freq_.find(PairKey(a, b));
   return it == edge_pair_freq_.end() ? 0 : it->second;
 }
 
-double LabelIndex::EdgeProbability(int32_t a, int32_t b,
+double LabelIndex::EdgeProbability(SymbolId a, SymbolId b,
                                    double fallback) const {
   size_t fa = LabelFrequency(a);
   size_t fb = LabelFrequency(b);
@@ -132,13 +141,14 @@ std::vector<NodeId> LabelIndex::AttrRange(std::string_view attr,
   return std::vector<NodeId>(raw.begin(), raw.end());
 }
 
-std::vector<int32_t> LabelIndex::LabelsByFrequency() const {
-  std::vector<int32_t> labels(by_label_.size());
-  for (size_t i = 0; i < labels.size(); ++i) {
-    labels[i] = static_cast<int32_t>(i);
-  }
-  std::stable_sort(labels.begin(), labels.end(), [&](int32_t a, int32_t b) {
-    return by_label_[a].size() > by_label_[b].size();
+std::vector<SymbolId> LabelIndex::LabelsByFrequency() const {
+  // First-appearance order from the snapshot, stably re-sorted by
+  // frequency: identical tie-breaking to the historical per-graph
+  // dictionary (whose ids were assigned in first-appearance order), and
+  // independent of what else the process has interned.
+  std::vector<SymbolId> labels = snap_->labels_in_order();
+  std::stable_sort(labels.begin(), labels.end(), [&](SymbolId a, SymbolId b) {
+    return LabelFrequency(a) > LabelFrequency(b);
   });
   return labels;
 }

@@ -2,10 +2,14 @@
 #define GRAPHQL_MATCH_LABEL_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/symbols.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 #include "match/neighborhood.h"
 #include "match/profile.h"
 #include "rel/btree.h"
@@ -34,19 +38,37 @@ struct LabelIndexOptions {
 /// with optional per-node neighborhood subgraphs and profiles, plus the
 /// label / label-pair frequency statistics that drive the cost model of
 /// Section 4.4.
+///
+/// Labels are keyed by process-wide SymbolId (SymbolTable::Global()), the
+/// same id space used by GraphSnapshot and profiles, so every structure
+/// agrees on what id a label has. The index is built from the graph's
+/// compiled snapshot and keeps it alive; B+-trees for indexed attributes
+/// are loaded straight from the snapshot's columns.
 class LabelIndex {
  public:
-  /// Builds the index in one pass over `g`. The graph must outlive the
-  /// index (neighborhood extraction and statistics reference it).
+  /// Builds the index in one pass over `g`'s snapshot. The graph must
+  /// outlive the index (neighborhood extraction and statistics reference
+  /// it).
   static LabelIndex Build(const Graph& g, LabelIndexOptions options = {});
 
   const Graph& graph() const { return *graph_; }
   const LabelIndexOptions& options() const { return options_; }
-  const LabelDictionary& dict() const { return dict_; }
-  LabelDictionary* mutable_dict() { return &dict_; }
+  /// The compiled snapshot the index was built from.
+  const GraphSnapshot& snapshot() const { return *snap_; }
+
+  /// Number of distinct labels appearing in this graph.
+  size_t NumLabels() const { return by_label_.size(); }
+
+  /// The label string for a symbol id (empty for kNoSymbol / unknown).
+  std::string_view LabelName(SymbolId label) const;
+
+  /// The symbol id for a label string; kNoSymbol if the string was never
+  /// interned anywhere in the process (in particular, not in this graph).
+  SymbolId LabelSym(std::string_view label) const;
 
   /// Nodes whose "label" attribute equals `label`; empty list if none.
   const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
+  const std::vector<NodeId>& NodesWithLabelSym(SymbolId label) const;
 
   /// Nodes with no label attribute (wildcard pattern nodes must scan all
   /// nodes; unlabeled data nodes are still reachable through this list).
@@ -59,22 +81,24 @@ class LabelIndex {
     return neighborhoods_[v];
   }
 
-  /// Number of nodes carrying the interned label id (0 if unknown).
-  size_t LabelFrequency(int32_t label) const;
+  /// Number of nodes carrying the label symbol (0 if unknown).
+  size_t LabelFrequency(SymbolId label) const;
   size_t LabelFrequency(std::string_view label) const;
 
   /// Number of edges whose endpoint labels are (a, b), order-insensitive
   /// for undirected graphs.
-  size_t EdgePairFrequency(int32_t a, int32_t b) const;
+  size_t EdgePairFrequency(SymbolId a, SymbolId b) const;
 
   /// The cost model's edge probability P(e(u,v)) = freq(e) /
   /// (freq(u) * freq(v)) for endpoint labels (a, b) (Section 4.4).
   /// Returns `fallback` when either label is unknown or unlabeled.
-  double EdgeProbability(int32_t a, int32_t b, double fallback) const;
+  double EdgeProbability(SymbolId a, SymbolId b, double fallback) const;
 
-  /// Labels sorted by descending frequency (used by the clique-query
-  /// generator: the paper samples from the top 40 most frequent labels).
-  std::vector<int32_t> LabelsByFrequency() const;
+  /// Label symbols sorted by descending frequency, ties broken by first
+  /// appearance in the graph (deterministic regardless of global
+  /// interning history; used by the clique-query generator, which samples
+  /// from the top 40 most frequent labels).
+  std::vector<SymbolId> LabelsByFrequency() const;
 
   /// True if `attr` was listed in LabelIndexOptions::indexed_attributes.
   bool HasAttributeIndex(std::string_view attr) const;
@@ -91,9 +115,9 @@ class LabelIndex {
 
  private:
   const Graph* graph_ = nullptr;
+  std::shared_ptr<const GraphSnapshot> snap_;
   LabelIndexOptions options_;
-  LabelDictionary dict_;
-  std::vector<std::vector<NodeId>> by_label_;  // label id -> nodes
+  std::unordered_map<SymbolId, std::vector<NodeId>> by_label_;
   std::vector<NodeId> unlabeled_;
   std::vector<Profile> profiles_;
   std::vector<NeighborhoodSubgraph> neighborhoods_;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "graph/snapshot.h"
+
 namespace graphql::match {
 
 namespace {
@@ -19,6 +21,7 @@ class SearchEngine {
       : pattern_(pattern),
         p_(pattern.graph()),
         data_(data),
+        snap_(options.snapshot),
         candidates_(candidates),
         order_(order),
         options_(options),
@@ -107,6 +110,11 @@ class SearchEngine {
       if (local_.truncated) {
         metrics_->GetCounter("match.search.truncated")->Increment();
       }
+      if (local_csr_probes_ != 0) {
+        metrics_->GetCounter("match.search.csr_edge_probes")
+            ->Increment(local_csr_probes_);
+        local_csr_probes_ = 0;
+      }
     }
   }
 
@@ -134,6 +142,7 @@ class SearchEngine {
   /// Finds a data edge between v and w compatible with pattern edge pe
   /// (direction-aware for directed graphs). kInvalidEdge if none.
   EdgeId FindCompatibleEdge(EdgeId pe, NodeId from, NodeId to) {
+    if (snap_ != nullptr) return FindCompatibleEdgeSnap(pe, from, to);
     // Scan the smaller adjacency; for undirected graphs both lists carry
     // the edge.
     const std::vector<Graph::Adj>* list = &data_.neighbors(from);
@@ -155,6 +164,25 @@ class SearchEngine {
     return kInvalidEdge;
   }
 
+  /// Snapshot variant: the (from, to) run in the CSR is contiguous and
+  /// ascending in edge id — exactly the edge-id order the legacy adjacency
+  /// scan visits parallel edges in — so the first compatible edge is the
+  /// same edge. The pattern edge's interned tag prefilters the run without
+  /// touching strings.
+  EdgeId FindCompatibleEdgeSnap(EdgeId pe, NodeId from, NodeId to) {
+    SymbolId want_tag = pattern_.edge_tag_sym(pe);
+    for (const GraphSnapshot::AdjEntry& a : snap_->EdgesBetween(from, to)) {
+      ++local_csr_probes_;
+      if (want_tag != kNoSymbol && a.tag_sym != want_tag) continue;
+      bool compatible =
+          scratch_ != nullptr
+              ? pattern_.EdgeCompatible(pe, *snap_, data_, a.edge, scratch_)
+              : pattern_.EdgeCompatible(pe, *snap_, data_, a.edge);
+      if (compatible) return a.edge;
+    }
+    return kInvalidEdge;
+  }
+
   /// Check(u_i, v) of Algorithm 4.1: every pattern edge into the mapped
   /// prefix must have a compatible data edge.
   bool Check(size_t pos, NodeId u, NodeId v) {
@@ -170,7 +198,9 @@ class SearchEngine {
         to = v;
       }
       ++local_.edge_checks;
-      if (!data_.HasEdgeBetween(from, to)) return false;
+      bool exists = snap_ != nullptr ? snap_->HasEdgeBetween(from, to)
+                                     : data_.HasEdgeBetween(from, to);
+      if (!exists) return false;
       if (trivial_edge_[pe]) {
         edge_assign_[pe] = kInvalidEdge;  // Resolved lazily on emit.
         continue;
@@ -191,7 +221,12 @@ class SearchEngine {
     for (size_t e = 0; e < p_.NumEdges(); ++e) {
       if (m.edge_mapping[e] == kInvalidEdge) {
         const Graph::Edge& pe = p_.edge(static_cast<EdgeId>(e));
-        m.edge_mapping[e] = data_.FindEdge(assign_[pe.src], assign_[pe.dst]);
+        // FindFirstEdge returns the lowest edge id in the (u, v) run —
+        // the same edge the adjacency-order FindEdge scan yields.
+        m.edge_mapping[e] =
+            snap_ != nullptr
+                ? snap_->FindFirstEdge(assign_[pe.src], assign_[pe.dst])
+                : data_.FindEdge(assign_[pe.src], assign_[pe.dst]);
       }
     }
     ++matches_;
@@ -258,6 +293,7 @@ class SearchEngine {
   const algebra::GraphPattern& pattern_;
   const Graph& p_;
   const Graph& data_;
+  const GraphSnapshot* snap_;
   const std::vector<std::vector<NodeId>>& candidates_;
   const std::vector<NodeId>& order_;
   const MatchOptions& options_;
@@ -275,6 +311,7 @@ class SearchEngine {
   std::vector<std::vector<EdgeId>> back_edges_;
   std::vector<char> trivial_edge_;
   SearchStats local_;
+  uint64_t local_csr_probes_ = 0;  ///< Snapshot edge-run entries examined.
   size_t matches_ = 0;   ///< Matches this run (reset per pinned root).
   size_t emitted_ = 0;   ///< Matches across the engine's lifetime.
   Status status_;

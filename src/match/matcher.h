@@ -33,6 +33,12 @@ struct MatchOptions {
   /// step is charged to GovernPoint::kSearch; a trip ends the search with
   /// the matches found so far and `SearchStats::governor_tripped` set.
   ResourceGovernor* governor = nullptr;
+  /// Compiled snapshot of the data graph being searched. When set, edge
+  /// existence / compatibility probes run over the snapshot's CSR spans and
+  /// interned symbol ids instead of the mutable adjacency lists — same
+  /// verdicts, same first-edge resolution, no std::string in the inner
+  /// loop. Must have been compiled from `data` (same version).
+  const GraphSnapshot* snapshot = nullptr;
 };
 
 struct SearchStats {

@@ -35,10 +35,13 @@ NeighborhoodSubgraph ExtractNeighborhood(const Graph& g, NodeId v, int radius,
   // with only the label attribute retained.
   out.sub = Graph("", g.directed());
   out.sub.Reserve(members.size(), members.size() * 2);
+  out.label_syms.reserve(members.size());
   for (NodeId x : members) {
     std::string_view label = g.Label(x);
     AttrTuple attrs;
     if (!label.empty()) attrs.Set("label", Value(std::string(label)));
+    out.label_syms.push_back(
+        label.empty() ? kNoSymbol : SymbolTable::Global().Intern(label));
     out.sub.AddNode("", std::move(attrs));
   }
   out.center = 0;
@@ -77,6 +80,8 @@ namespace {
 struct SubIsoState {
   const Graph* q;
   const Graph* d;
+  const std::vector<SymbolId>* q_syms;  // Pre-interned labels; never strings
+  const std::vector<SymbolId>* d_syms;  // in the match loop.
   std::vector<NodeId> assign;   // query node -> data node
   std::vector<char> used;       // data node used
   uint64_t steps = 0;
@@ -86,9 +91,9 @@ struct SubIsoState {
   GovernorShard* shard = nullptr;  // Charges replace `governor` when set.
 
   bool NodeOk(NodeId qu, NodeId dv) const {
-    std::string_view ql = q->Label(qu);
-    if (ql.empty()) return true;
-    return ql == d->Label(dv);
+    SymbolId ql = (*q_syms)[qu];
+    if (ql == kNoSymbol) return true;  // Unlabeled query node: wildcard.
+    return ql == (*d_syms)[dv];
   }
 
   bool Dfs(size_t i, const std::vector<NodeId>& order) {
@@ -154,6 +159,8 @@ bool NeighborhoodSubIsomorphic(const NeighborhoodSubgraph& query,
   SubIsoState state;
   state.q = &q;
   state.d = &d;
+  state.q_syms = &query.label_syms;
+  state.d_syms = &data.label_syms;
   state.assign.assign(q.NumNodes(), kInvalidNode);
   state.used.assign(d.NumNodes(), 0);
   state.budget = step_budget;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/governor.h"
+#include "common/symbols.h"
 #include "graph/graph.h"
 #include "obs/metrics.h"
 
@@ -13,9 +14,14 @@ namespace graphql::match {
 /// hops of a center node and all edges between them, with the center
 /// distinguished. Only the "label" attribute is retained — that is what
 /// the pruning test consults — keeping stored neighborhoods small.
+/// Labels are additionally pre-interned through SymbolTable::Global() so
+/// the sub-isomorphism inner loop compares symbol ids, never strings.
 struct NeighborhoodSubgraph {
   Graph sub;
   NodeId center = kInvalidNode;  ///< Center's id within `sub`.
+  /// Interned label per sub node (kNoSymbol when unlabeled), parallel to
+  /// `sub`'s node ids.
+  std::vector<SymbolId> label_syms;
 };
 
 /// Extracts the radius-r neighborhood subgraph of v. `scratch_local` must

@@ -4,24 +4,20 @@
 #include <optional>
 #include <string>
 
+#include "graph/snapshot.h"
+
 namespace graphql::match {
 
 namespace {
 
-/// Profile of a pattern node against the data dictionary: labels within
-/// `radius` hops in the pattern graph, looked up (never interned) so that
-/// labels absent from the data yield kUnknownLabel and fail containment.
-Profile PatternProfile(const Graph& p, NodeId u, int radius,
-                       const LabelDictionary& dict) {
-  LabelDictionary scratch;  // Intern into a throwaway, then translate.
-  Profile raw = BuildProfile(p, u, radius, &scratch);
-  Profile out;
-  out.reserve(raw.size());
-  for (int32_t local : raw) {
-    out.push_back(dict.Lookup(scratch.Name(local)));
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+/// Profile of a pattern node: labels within `radius` hops in the pattern
+/// graph, interned into the process-wide symbol table (the same id space
+/// data profiles use). A pattern label absent from the data simply never
+/// occurs in any data profile, so containment fails for it naturally —
+/// the same verdict the historical per-graph dictionary reached through
+/// its kUnknownLabel sentinel.
+Profile PatternProfile(const Graph& p, NodeId u, int radius) {
+  return BuildProfile(p, u, radius);
 }
 
 
@@ -157,7 +153,8 @@ struct RetrieveParallelInfo {
 std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
     const algebra::GraphPattern& pattern, const Graph& data,
     const LabelIndex& index, const PipelineOptions& options,
-    PipelineStats* stats, int workers, RetrieveParallelInfo* info) {
+    PipelineStats* stats, int workers, RetrieveParallelInfo* info,
+    const GraphSnapshot* snap) {
   const Graph& p = pattern.graph();
   const size_t k = p.NumNodes();
   std::vector<std::vector<NodeId>> out(k);
@@ -203,8 +200,8 @@ std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
   if (use_profiles) {
     want_profile.resize(k);
     for (size_t u = 0; u < k; ++u) {
-      want_profile[u] = PatternProfile(p, static_cast<NodeId>(u),
-                                       index.options().radius, index.dict());
+      want_profile[u] =
+          PatternProfile(p, static_cast<NodeId>(u), index.options().radius);
     }
   } else if (use_neighborhoods) {
     want_nbh.resize(k);
@@ -248,9 +245,10 @@ std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
     std::vector<NodeId> stage;
     stage.reserve(base[u]->size());
     for (NodeId v : *base[u]) {
-      if (pattern.NodeCompatible(pu, data, v, &s.scratch)) {
-        stage.push_back(v);
-      }
+      bool ok = snap != nullptr
+                    ? pattern.NodeCompatible(pu, *snap, data, v, &s.scratch)
+                    : pattern.NodeCompatible(pu, data, v, &s.scratch);
+      if (ok) stage.push_back(v);
     }
     s.feasible_hits += stage.size();
     s.feasible_misses += base[u]->size() - stage.size();
@@ -380,12 +378,12 @@ double PipelineStats::Space(const std::vector<size_t>& sizes) {
 std::vector<std::vector<NodeId>> RetrieveCandidates(
     const algebra::GraphPattern& pattern, const Graph& data,
     const LabelIndex* index, const PipelineOptions& options,
-    PipelineStats* stats) {
+    PipelineStats* stats, const GraphSnapshot* snap) {
   if (index != nullptr) {
     int workers = ResolveWorkers(options.num_threads, options.pool);
     if (workers > 0) {
       return RetrieveCandidatesParallel(pattern, data, *index, options, stats,
-                                        workers, /*info=*/nullptr);
+                                        workers, /*info=*/nullptr, snap);
     }
   }
   const Graph& p = pattern.graph();
@@ -408,7 +406,18 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     if (!GovCharge(gov, k * data.NumNodes(), GovernPoint::kRetrieve)) {
       return out;
     }
-    out = ScanCandidates(pattern, data);
+    if (snap != nullptr) {
+      for (size_t u = 0; u < k; ++u) {
+        for (size_t v = 0; v < data.NumNodes(); ++v) {
+          if (pattern.NodeCompatible(static_cast<NodeId>(u), *snap, data,
+                                     static_cast<NodeId>(v))) {
+            out[u].push_back(static_cast<NodeId>(v));
+          }
+        }
+      }
+    } else {
+      out = ScanCandidates(pattern, data);
+    }
     size_t kept = 0;
     for (size_t u = 0; u < k; ++u) {
       kept += out[u].size();
@@ -455,7 +464,9 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     std::vector<NodeId> attr_stage;
     attr_stage.reserve(base->size());
     for (NodeId v : *base) {
-      if (pattern.NodeCompatible(pu, data, v)) attr_stage.push_back(v);
+      bool ok = snap != nullptr ? pattern.NodeCompatible(pu, *snap, data, v)
+                                : pattern.NodeCompatible(pu, data, v);
+      if (ok) attr_stage.push_back(v);
     }
     feasible_hits += attr_stage.size();
     feasible_misses += base->size() - attr_stage.size();
@@ -471,8 +482,7 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
           out[u] = std::move(attr_stage);
           break;
         }
-        Profile want =
-            PatternProfile(p, pu, index->options().radius, index->dict());
+        Profile want = PatternProfile(p, pu, index->options().radius);
         for (NodeId v : attr_stage) {
           if (ProfileContains(index->profile(v), want)) {
             out[u].push_back(v);
@@ -532,6 +542,29 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   // produce the same match set and order (see SearchMatchesParallel).
   const int workers = ResolveWorkers(options.num_threads, options.pool);
 
+  // Compile (or fetch) the data graph's snapshot on the coordinator before
+  // any fan-out, so worker threads only ever read the finished immutable
+  // structure. A caller-provided MatchOptions::snapshot wins.
+  std::shared_ptr<const GraphSnapshot> snap_holder;
+  const GraphSnapshot* snap = options.match.snapshot;
+  bool snap_fresh = false;
+  if (snap == nullptr && options.use_snapshot) {
+    snap_holder = data.snapshot(&snap_fresh);
+    snap = snap_holder.get();
+    if (snap_fresh && metrics != nullptr) {
+      metrics->GetCounter("snapshot.builds")->Increment();
+      metrics->GetCounter("snapshot.bytes")->Increment(snap->bytes());
+      metrics->GetHistogram("snapshot.build_us")
+          ->Record(static_cast<uint64_t>(snap->build_micros()));
+    }
+  }
+  // A freshly compiled snapshot is new memory this query caused; account
+  // it for the query's duration. Cache hits were paid for by the query
+  // that built them.
+  ScopedReserve snap_mem(snap_fresh ? gov : nullptr,
+                         snap_fresh ? snap->bytes() : 0,
+                         GovernPoint::kRetrieve);
+
   // One span per pipeline stage; PipelineStats stage micros are the span
   // durations, so EXPLAIN/PROFILE and the figure benchmarks report the
   // same numbers from the same clock.
@@ -543,6 +576,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
                        static_cast<int64_t>(data.NumNodes()));
     query_span.SetAttr("mode", CandidateModeName(options.candidate_mode));
     query_span.SetAttr("indexed", static_cast<int64_t>(index != nullptr));
+    query_span.SetAttr("snapshot", static_cast<int64_t>(snap != nullptr));
     if (workers > 0) {
       query_span.SetAttr("threads", static_cast<int64_t>(workers));
     }
@@ -553,8 +587,8 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   std::vector<std::vector<NodeId>> candidates =
       workers > 0 && index != nullptr
           ? RetrieveCandidatesParallel(pattern, data, *index, options, stats,
-                                       workers, &retrieve_info)
-          : RetrieveCandidates(pattern, data, index, options, stats);
+                                       workers, &retrieve_info, snap)
+          : RetrieveCandidates(pattern, data, index, options, stats, snap);
   if (retrieve_span.active()) {
     size_t total = 0;
     for (const auto& c : candidates) total += c.size();
@@ -584,10 +618,10 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
       RefineSearchSpaceParallel(pattern, data, level, &candidates,
                                 &refine_stats, options.refine_use_marking,
                                 metrics, gov, options.num_threads, options.pool,
-                                &refine_parallel);
+                                &refine_parallel, snap);
     } else {
       RefineSearchSpace(pattern, data, level, &candidates, &refine_stats,
-                        options.refine_use_marking, metrics, gov);
+                        options.refine_use_marking, metrics, gov, snap);
     }
     if (refine_stats.aborted && can_degrade && gov->DegradableTrip()) {
       candidates = std::move(snapshot);
@@ -648,6 +682,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   ParallelSearchStats search_parallel;
   MatchOptions match_options = options.match;
   if (match_options.governor == nullptr) match_options.governor = gov;
+  if (match_options.snapshot == nullptr) match_options.snapshot = snap;
   Result<std::vector<algebra::MatchedGraph>> matches =
       workers > 0
           ? SearchMatchesParallel(pattern, data, candidates, order,

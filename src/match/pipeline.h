@@ -46,6 +46,12 @@ struct PipelineOptions {
   bool refine_use_marking = true;
   /// Greedy cost-based search order (Section 4.4) vs declaration order.
   bool optimize_order = true;
+  /// Run retrieval, refinement, and search over the data graph's compiled
+  /// GraphSnapshot (interned symbols, CSR adjacency, columnar attributes).
+  /// The snapshot is compiled lazily on first use and cached on the graph;
+  /// results — content and order — are bit-identical to the legacy path.
+  /// Disable to force the mutable-structure code paths (ablation/bench).
+  bool use_snapshot = true;
   OrderOptions order;
   MatchOptions match;
   /// Step budget for each neighborhood sub-isomorphism test; 0 = unlimited
@@ -116,10 +122,12 @@ struct PipelineStats {
 /// Retrieval of feasible mates (first phase of Algorithm 4.1 + Section 4.2
 /// pruning). Exposed separately so benchmarks can measure it; stats may be
 /// null. When `index` is null, falls back to a full scan (label-only).
+/// When `snap` is given (compiled from `data`), feasible-mate tests run
+/// through the snapshot's symbol/column fast path.
 std::vector<std::vector<NodeId>> RetrieveCandidates(
     const algebra::GraphPattern& pattern, const Graph& data,
     const LabelIndex* index, const PipelineOptions& options,
-    PipelineStats* stats = nullptr);
+    PipelineStats* stats = nullptr, const GraphSnapshot* snap = nullptr);
 
 /// Full selection over a single large graph: retrieve, refine, order,
 /// search. This is sigma_P({G}) with all graph-specific optimizations.

@@ -4,29 +4,16 @@
 
 namespace graphql::match {
 
-int32_t LabelDictionary::Intern(std::string_view label) {
-  auto it = ids_.find(std::string(label));
-  if (it != ids_.end()) return it->second;
-  int32_t id = static_cast<int32_t>(names_.size());
-  names_.emplace_back(label);
-  ids_.emplace(names_.back(), id);
-  return id;
-}
-
-int32_t LabelDictionary::Lookup(std::string_view label) const {
-  auto it = ids_.find(std::string(label));
-  return it == ids_.end() ? kUnknownLabel : it->second;
-}
-
 Profile BuildProfile(const Graph& g, NodeId v, int radius,
-                     LabelDictionary* dict, std::vector<int>* scratch_dist) {
+                     std::vector<int>* scratch_dist) {
+  SymbolTable& syms = SymbolTable::Global();
   Profile profile;
   std::vector<int>& dist = *scratch_dist;
   std::vector<NodeId> frontier = {v};
   std::vector<NodeId> touched = {v};
   dist[v] = 0;
   std::string_view center = g.Label(v);
-  if (!center.empty()) profile.push_back(dict->Intern(center));
+  if (!center.empty()) profile.push_back(syms.Intern(center));
   for (int d = 1; d <= radius && !frontier.empty(); ++d) {
     std::vector<NodeId> next;
     for (NodeId x : frontier) {
@@ -36,7 +23,7 @@ Profile BuildProfile(const Graph& g, NodeId v, int radius,
         touched.push_back(a.node);
         next.push_back(a.node);
         std::string_view label = g.Label(a.node);
-        if (!label.empty()) profile.push_back(dict->Intern(label));
+        if (!label.empty()) profile.push_back(syms.Intern(label));
       }
       if (g.directed()) {
         for (const Graph::Adj& a : g.in_neighbors(x)) {
@@ -45,7 +32,7 @@ Profile BuildProfile(const Graph& g, NodeId v, int radius,
           touched.push_back(a.node);
           next.push_back(a.node);
           std::string_view label = g.Label(a.node);
-          if (!label.empty()) profile.push_back(dict->Intern(label));
+          if (!label.empty()) profile.push_back(syms.Intern(label));
         }
       }
     }
@@ -56,16 +43,49 @@ Profile BuildProfile(const Graph& g, NodeId v, int radius,
   return profile;
 }
 
-Profile BuildProfile(const Graph& g, NodeId v, int radius,
-                     LabelDictionary* dict) {
+Profile BuildProfile(const Graph& g, NodeId v, int radius) {
   std::vector<int> dist(g.NumNodes(), -1);
-  return BuildProfile(g, v, radius, dict, &dist);
+  return BuildProfile(g, v, radius, &dist);
+}
+
+Profile BuildProfile(const GraphSnapshot& snap, NodeId v, int radius,
+                     std::vector<int>* scratch_dist) {
+  Profile profile;
+  std::vector<int>& dist = *scratch_dist;
+  std::vector<NodeId> frontier = {v};
+  std::vector<NodeId> touched = {v};
+  dist[v] = 0;
+  if (SymbolId s = snap.node_label_sym(v); s != kNoSymbol) {
+    profile.push_back(s);
+  }
+  for (int d = 1; d <= radius && !frontier.empty(); ++d) {
+    std::vector<NodeId> next;
+    for (NodeId x : frontier) {
+      auto visit = [&](NodeId nbr) {
+        if (dist[nbr] >= 0) return;
+        dist[nbr] = d;
+        touched.push_back(nbr);
+        next.push_back(nbr);
+        if (SymbolId s = snap.node_label_sym(nbr); s != kNoSymbol) {
+          profile.push_back(s);
+        }
+      };
+      for (const GraphSnapshot::AdjEntry& a : snap.out(x)) visit(a.node);
+      if (snap.directed()) {
+        for (const GraphSnapshot::AdjEntry& a : snap.in(x)) visit(a.node);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (NodeId x : touched) dist[x] = -1;
+  std::sort(profile.begin(), profile.end());
+  return profile;
 }
 
 bool ProfileContains(const Profile& haystack, const Profile& needle) {
   size_t i = 0;
-  for (int32_t want : needle) {
-    if (want == LabelDictionary::kUnknownLabel) return false;
+  for (SymbolId want : needle) {
+    if (want == kNoSymbol) return false;
     while (i < haystack.size() && haystack[i] < want) ++i;
     if (i == haystack.size() || haystack[i] != want) return false;
     ++i;

@@ -2,41 +2,26 @@
 #define GRAPHQL_MATCH_PROFILE_H_
 
 #include <cstdint>
-#include <string>
-#include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/symbols.h"
 #include "graph/graph.h"
+#include "graph/snapshot.h"
 
 namespace graphql::match {
 
-/// Interns label strings to dense int32 ids so that profiles and frequency
-/// statistics operate on integers instead of strings.
-class LabelDictionary {
- public:
-  /// Returns the id for `label`, assigning a fresh one if unseen.
-  int32_t Intern(std::string_view label);
-
-  /// Returns the id for `label`, or kUnknownLabel if it was never interned.
-  int32_t Lookup(std::string_view label) const;
-
-  const std::string& Name(int32_t id) const { return names_[id]; }
-  size_t size() const { return names_.size(); }
-
-  static constexpr int32_t kUnknownLabel = -1;
-
- private:
-  std::unordered_map<std::string, int32_t> ids_;
-  std::vector<std::string> names_;
-};
-
 /// A neighborhood profile (Section 4.2): the multiset of labels occurring
 /// in the radius-r neighborhood of a node (including the node itself),
-/// represented as a sorted vector of interned label ids. Profiles are the
-/// light-weight alternative to full neighborhood subgraphs: node v can host
-/// node u only if profile(u) is a sub-multiset of profile(v).
-using Profile = std::vector<int32_t>;
+/// represented as a sorted vector of label symbols from the process-wide
+/// SymbolTable. Profiles are the light-weight alternative to full
+/// neighborhood subgraphs: node v can host node u only if profile(u) is a
+/// sub-multiset of profile(v).
+///
+/// Labels are interned through SymbolTable::Global() — the same id space
+/// as GraphSnapshot and LabelIndex — so a label always maps to one id no
+/// matter which structure interned it first (previously each structure
+/// kept its own LabelDictionary and could disagree).
+using Profile = std::vector<SymbolId>;
 
 /// Builds the profile of node v in graph g: labels of every node within
 /// `radius` hops (hop 0 = v itself), sorted. Unlabeled nodes contribute
@@ -44,16 +29,21 @@ using Profile = std::vector<int32_t>;
 /// with -1; it is restored before returning (amortizes allocation across a
 /// whole graph).
 Profile BuildProfile(const Graph& g, NodeId v, int radius,
-                     LabelDictionary* dict, std::vector<int>* scratch_dist);
+                     std::vector<int>* scratch_dist);
 
 /// Convenience overload that allocates its own scratch space.
-Profile BuildProfile(const Graph& g, NodeId v, int radius,
-                     LabelDictionary* dict);
+Profile BuildProfile(const Graph& g, NodeId v, int radius);
+
+/// Snapshot overload: BFS over the CSR arrays reading pre-interned label
+/// symbols — no string hashing in the loop. Produces exactly the profile
+/// the builder overload produces for the source graph.
+Profile BuildProfile(const GraphSnapshot& snap, NodeId v, int radius,
+                     std::vector<int>* scratch_dist);
 
 /// True if sorted multiset `needle` is contained in sorted multiset
-/// `haystack` (the profile pruning test). An element equal to
-/// LabelDictionary::kUnknownLabel in `needle` makes the test fail, since no
-/// data node carries an unknown label.
+/// `haystack` (the profile pruning test). An element equal to kNoSymbol in
+/// `needle` makes the test fail, since no data node carries an unknown
+/// label.
 bool ProfileContains(const Profile& haystack, const Profile& needle);
 
 }  // namespace graphql::match

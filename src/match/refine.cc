@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <unordered_set>
 
+#include "graph/snapshot.h"
 #include "match/bipartite.h"
 
 namespace graphql::match {
@@ -14,6 +16,49 @@ uint64_t PairKey(NodeId u, NodeId v) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
          static_cast<uint32_t>(v);
 }
+
+/// Packed k x n bit matrix: the snapshot refinement path stores candidate
+/// membership and the dirty marks in one bit each instead of a byte bitmap
+/// plus a hashed pair set — the dominant transient allocation of a
+/// refinement pass shrinks ~8x and its size is known up front, so the whole
+/// footprint is reserved once against the governor.
+class PackedBits {
+ public:
+  PackedBits(size_t rows, size_t cols)
+      : row_words_((cols + 63) / 64), words_(rows * row_words_, 0) {}
+
+  bool Test(size_t r, size_t c) const {
+    return (words_[r * row_words_ + (c >> 6)] >> (c & 63)) & 1;
+  }
+  void Set(size_t r, size_t c) {
+    words_[r * row_words_ + (c >> 6)] |= uint64_t{1} << (c & 63);
+  }
+  void Clear(size_t r, size_t c) {
+    words_[r * row_words_ + (c >> 6)] &= ~(uint64_t{1} << (c & 63));
+  }
+  void CopyFrom(const PackedBits& other) { words_ = other.words_; }
+  size_t bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Set bits of row `r` in ascending column order — the same (u, v)
+  /// ascending order the legacy path gets from sorting PairKeys.
+  template <typename Fn>
+  bool ForEachInRow(size_t r, Fn&& fn) const {
+    const uint64_t* row = words_.data() + r * row_words_;
+    for (size_t w = 0; w < row_words_; ++w) {
+      uint64_t bits = row[w];
+      while (bits != 0) {
+        size_t c = (w << 6) + static_cast<size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        if (!fn(c)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  size_t row_words_;
+  std::vector<uint64_t> words_;
+};
 
 /// Unique undirected neighbor list of a node (parallel edges collapsed;
 /// for directed graphs, in- and out-neighbors are merged — this weakens
@@ -30,13 +75,175 @@ std::vector<NodeId> UniqueNeighbors(const Graph& g, NodeId v) {
   return out;
 }
 
+void FlushRefineStats(const RefineStats& local, RefineStats* stats,
+                      obs::MetricsRegistry* metrics) {
+  if (stats != nullptr) {
+    stats->bipartite_checks += local.bipartite_checks;
+    stats->removed += local.removed;
+    stats->dirty_skips += local.dirty_skips;
+    stats->levels_run = local.levels_run;
+    stats->pairs_charged += local.pairs_charged;
+    stats->aborted |= local.aborted;
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.refine.bipartite_checks")
+        ->Increment(local.bipartite_checks);
+    metrics->GetCounter("match.refine.removed")->Increment(local.removed);
+    metrics->GetCounter("match.refine.dirty_skips")
+        ->Increment(local.dirty_skips);
+    metrics->GetCounter("match.refine.levels")
+        ->Increment(static_cast<uint64_t>(local.levels_run));
+  }
+}
+
+/// Snapshot (packed-bitmap) serial refinement. Decisions and their order
+/// are identical to the legacy path: marked pairs drain in ascending
+/// (u, v) order (what the legacy sort over PairKeys produces), the
+/// no-marking ablation walks candidate-list order against a level-start
+/// copy, and neighbor sets come from the snapshot's sorted unique-neighbor
+/// spans (the same sorted+deduped lists UniqueNeighbors builds per pair).
+void RefineSnapSerial(const algebra::GraphPattern& pattern,
+                      const GraphSnapshot& snap, int level,
+                      std::vector<std::vector<NodeId>>* candidates,
+                      RefineStats* stats, bool use_marking,
+                      obs::MetricsRegistry* metrics,
+                      ResourceGovernor* governor) {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  if (k == 0 || level <= 0) return;
+  const size_t n = snap.num_nodes();
+  RefineStats local;
+
+  PackedBits in_cand(k, n);
+  PackedBits marked(k, n);
+  PackedBits todo(k, n);  // Level-start copy (marked or in_cand).
+  ScopedReserve bitmap_mem(governor,
+                           in_cand.bytes() + marked.bytes() + todo.bytes(),
+                           GovernPoint::kRefine);
+
+  std::vector<std::vector<NodeId>> pnbr(k);
+  for (size_t u = 0; u < k; ++u) {
+    pnbr[u] = UniqueNeighbors(p, static_cast<NodeId>(u));
+  }
+
+  size_t marked_count = 0;
+  for (size_t u = 0; u < k; ++u) {
+    for (NodeId v : (*candidates)[u]) {
+      in_cand.Set(u, v);
+      if (!marked.Test(u, v)) {
+        marked.Set(u, v);
+        ++marked_count;
+      }
+    }
+  }
+
+  auto clear_mark = [&](size_t u, size_t v) {
+    if (marked.Test(u, v)) {
+      marked.Clear(u, v);
+      --marked_count;
+    }
+  };
+
+  std::vector<std::vector<int>> adj;  // Reused bipartite adjacency buffer.
+  bool changed = false;
+  // Returns false to stop the level (governor trip).
+  auto process = [&](NodeId u, NodeId v) {
+    ++local.pairs_charged;
+    if (!GovCharge(governor, 1, GovernPoint::kRefine)) {
+      local.aborted = true;
+      return false;
+    }
+    if (!in_cand.Test(u, v)) {  // Already removed this level.
+      ++local.dirty_skips;
+      return true;
+    }
+    const std::vector<NodeId>& nu = pnbr[u];
+    if (nu.empty()) {
+      clear_mark(u, v);
+      return true;  // Isolated pattern node: trivially matchable.
+    }
+    std::span<const NodeId> nv = snap.unique_neighbors(v);
+    adj.assign(nu.size(), {});
+    for (size_t i = 0; i < nu.size(); ++i) {
+      for (size_t j = 0; j < nv.size(); ++j) {
+        if (in_cand.Test(nu[i], nv[j])) adj[i].push_back(static_cast<int>(j));
+      }
+    }
+    ++local.bipartite_checks;
+    if (HasSemiPerfectMatching(static_cast<int>(nu.size()),
+                               static_cast<int>(nv.size()), adj)) {
+      clear_mark(u, v);
+      return true;
+    }
+    in_cand.Clear(u, v);
+    clear_mark(u, v);
+    changed = true;
+    ++local.removed;
+    for (NodeId u2 : nu) {
+      for (NodeId v2 : nv) {
+        if (in_cand.Test(u2, v2) && !marked.Test(u2, v2)) {
+          marked.Set(u2, v2);
+          ++marked_count;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (int l = 0; l < level; ++l) {
+    local.levels_run = l + 1;
+    changed = false;
+    if (use_marking) {
+      if (marked_count == 0) break;
+      todo.CopyFrom(marked);
+      for (size_t u = 0; u < k && !local.aborted; ++u) {
+        todo.ForEachInRow(u, [&](size_t v) {
+          return process(static_cast<NodeId>(u), static_cast<NodeId>(v));
+        });
+      }
+    } else {
+      todo.CopyFrom(in_cand);
+      bool any = false;
+      for (size_t u = 0; u < k && !local.aborted; ++u) {
+        for (NodeId v : (*candidates)[u]) {
+          if (!todo.Test(u, v)) continue;
+          any = true;
+          if (!process(static_cast<NodeId>(u), v)) break;
+        }
+      }
+      if (!any) break;
+    }
+    if (local.aborted) break;
+    if (!changed && use_marking && marked_count == 0) break;
+    if (!changed && !use_marking) break;
+  }
+
+  // Write the surviving candidates back, preserving order.
+  for (size_t u = 0; u < k; ++u) {
+    std::vector<NodeId>& list = (*candidates)[u];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](NodeId v) { return !in_cand.Test(u, v); }),
+               list.end());
+  }
+
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.refine.snapshot_passes")->Increment();
+  }
+  FlushRefineStats(local, stats, metrics);
+}
+
 }  // namespace
 
 void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
                        int level, std::vector<std::vector<NodeId>>* candidates,
                        RefineStats* stats, bool use_marking,
                        obs::MetricsRegistry* metrics,
-                       ResourceGovernor* governor) {
+                       ResourceGovernor* governor, const GraphSnapshot* snap) {
+  if (snap != nullptr) {
+    RefineSnapSerial(pattern, *snap, level, candidates, stats, use_marking,
+                     metrics, governor);
+    return;
+  }
   const Graph& p = pattern.graph();
   size_t k = p.NumNodes();
   if (k == 0 || level <= 0) return;
@@ -165,17 +372,195 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
   }
 }
 
+namespace {
+
+/// Snapshot (packed-bitmap) parallel refinement: the same Jacobi
+/// level-barrier scheme as the legacy parallel path, with the byte bitmap
+/// and hashed marked set replaced by bit matrices and per-pair neighbor
+/// lists replaced by snapshot spans. The todo vector (needed to index the
+/// fan-out) is built by draining the marked bitmap in ascending (u, v)
+/// order — the order the legacy path gets by sorting.
+void RefineSnapParallel(const algebra::GraphPattern& pattern,
+                        const GraphSnapshot& snap, int level,
+                        std::vector<std::vector<NodeId>>* candidates,
+                        RefineStats* stats, bool use_marking,
+                        obs::MetricsRegistry* metrics,
+                        ResourceGovernor* governor, int workers,
+                        ThreadPool& tp, ParallelRefineStats* pstats) {
+  const Graph& p = pattern.graph();
+  size_t k = p.NumNodes();
+  if (k == 0 || level <= 0) return;
+  const size_t n = snap.num_nodes();
+  RefineStats local;
+
+  PackedBits in_cand(k, n);
+  PackedBits marked(k, n);
+  ScopedReserve bitmap_mem(governor, in_cand.bytes() + marked.bytes(),
+                           GovernPoint::kRefine);
+
+  std::vector<std::vector<NodeId>> pnbr(k);
+  for (size_t u = 0; u < k; ++u) {
+    pnbr[u] = UniqueNeighbors(p, static_cast<NodeId>(u));
+  }
+
+  size_t marked_count = 0;
+  for (size_t u = 0; u < k; ++u) {
+    for (NodeId v : (*candidates)[u]) {
+      in_cand.Set(u, v);
+      if (!marked.Test(u, v)) {
+        marked.Set(u, v);
+        ++marked_count;
+      }
+    }
+  }
+
+  struct WorkerState {
+    GovernorShard shard;
+    std::vector<std::vector<int>> adj;  // Reused bipartite buffer.
+    uint64_t bipartite_checks = 0;
+  };
+  std::vector<WorkerState> ws(static_cast<size_t>(workers));
+  for (WorkerState& s : ws) {
+    s.shard = GovernorShard(governor, GovernPoint::kRefine);
+  }
+
+  uint64_t tasks_stolen = 0;
+  int max_workers_seen = 0;
+  std::atomic<bool> aborted{false};
+
+  for (int l = 0; l < level; ++l) {
+    local.levels_run = l + 1;
+    std::vector<uint64_t> todo;
+    if (use_marking) {
+      todo.reserve(marked_count);
+      for (size_t u = 0; u < k; ++u) {
+        marked.ForEachInRow(u, [&](size_t v) {
+          todo.push_back(PairKey(static_cast<NodeId>(u),
+                                 static_cast<NodeId>(v)));
+          return true;
+        });
+      }
+    } else {
+      for (size_t u = 0; u < k; ++u) {
+        for (NodeId v : (*candidates)[u]) {
+          if (in_cand.Test(u, v)) {
+            todo.push_back(PairKey(static_cast<NodeId>(u), v));
+          }
+        }
+      }
+    }
+    if (todo.empty()) break;
+
+    std::vector<char> remove(todo.size(), 0);
+    // The materialized worklist and verdict buffer are the level's real
+    // transient allocations (up to k*n pairs); charge them so a memory
+    // budget smaller than the refinement state trips here, not only at
+    // the bitmap reserve above. Released at the level barrier.
+    ScopedReserve level_mem(governor,
+                            todo.size() * sizeof(uint64_t) + remove.size(),
+                            GovernPoint::kRefine);
+    auto check_pair = [&](size_t i, int w) {
+      if (aborted.load(std::memory_order_relaxed)) return;
+      WorkerState& s = ws[static_cast<size_t>(w)];
+      if (!s.shard.Charge()) {
+        aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      NodeId u = static_cast<NodeId>(todo[i] >> 32);
+      NodeId v = static_cast<NodeId>(todo[i] & 0xffffffffu);
+      const std::vector<NodeId>& nu = pnbr[u];
+      if (nu.empty()) return;  // Isolated pattern node: keep.
+      std::span<const NodeId> nv = snap.unique_neighbors(v);
+      s.adj.assign(nu.size(), {});
+      for (size_t a = 0; a < nu.size(); ++a) {
+        for (size_t b = 0; b < nv.size(); ++b) {
+          if (in_cand.Test(nu[a], nv[b])) {
+            s.adj[a].push_back(static_cast<int>(b));
+          }
+        }
+      }
+      ++s.bipartite_checks;
+      if (!HasSemiPerfectMatching(static_cast<int>(nu.size()),
+                                  static_cast<int>(nv.size()), s.adj)) {
+        remove[i] = 1;
+      }
+    };
+    ThreadPool::RunStats run = tp.ParallelFor(todo.size(), workers, check_pair);
+    tasks_stolen += run.stolen;
+    max_workers_seen = std::max(max_workers_seen, run.workers);
+
+    if (aborted.load(std::memory_order_relaxed)) {
+      local.aborted = true;
+      break;
+    }
+
+    bool changed = false;
+    for (size_t i = 0; i < todo.size(); ++i) {
+      NodeId u = static_cast<NodeId>(todo[i] >> 32);
+      NodeId v = static_cast<NodeId>(todo[i] & 0xffffffffu);
+      if (marked.Test(u, v)) {
+        marked.Clear(u, v);
+        --marked_count;
+      }
+      if (!remove[i]) continue;
+      in_cand.Clear(u, v);
+      changed = true;
+      ++local.removed;
+      for (NodeId u2 : pnbr[u]) {
+        for (NodeId v2 : snap.unique_neighbors(v)) {
+          if (in_cand.Test(u2, v2) && !marked.Test(u2, v2)) {
+            marked.Set(u2, v2);
+            ++marked_count;
+          }
+        }
+      }
+    }
+    if (!changed && use_marking && marked_count == 0) break;
+    if (!changed && !use_marking) break;
+  }
+
+  for (size_t u = 0; u < k; ++u) {
+    std::vector<NodeId>& list = (*candidates)[u];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](NodeId v) { return !in_cand.Test(u, v); }),
+               list.end());
+  }
+
+  for (WorkerState& s : ws) {
+    if (!s.shard.Flush()) local.aborted = true;
+    local.bipartite_checks += s.bipartite_checks;
+    local.pairs_charged += s.shard.charged();
+  }
+  if (pstats != nullptr) {
+    pstats->workers = max_workers_seen;
+    pstats->tasks_stolen = tasks_stolen;
+  }
+  if (metrics != nullptr) {
+    metrics->GetCounter("match.refine.snapshot_passes")->Increment();
+  }
+  FlushRefineStats(local, stats, metrics);
+}
+
+}  // namespace
+
 void RefineSearchSpaceParallel(const algebra::GraphPattern& pattern,
                                const Graph& data, int level,
                                std::vector<std::vector<NodeId>>* candidates,
                                RefineStats* stats, bool use_marking,
                                obs::MetricsRegistry* metrics,
                                ResourceGovernor* governor, int num_threads,
-                               ThreadPool* pool, ParallelRefineStats* pstats) {
+                               ThreadPool* pool, ParallelRefineStats* pstats,
+                               const GraphSnapshot* snap) {
   int workers = ResolveWorkers(num_threads, pool);
   if (workers <= 0) {
     RefineSearchSpace(pattern, data, level, candidates, stats, use_marking,
-                      metrics, governor);
+                      metrics, governor, snap);
+    return;
+  }
+  if (snap != nullptr) {
+    ThreadPool& stp = pool != nullptr ? *pool : ThreadPool::Shared();
+    RefineSnapParallel(pattern, *snap, level, candidates, stats, use_marking,
+                       metrics, governor, workers, stp, pstats);
     return;
   }
   const Graph& p = pattern.graph();
@@ -242,6 +627,11 @@ void RefineSearchSpaceParallel(const algebra::GraphPattern& pattern,
     // Jacobi check phase: every pair is tested against the level-start
     // bitmaps; failing pairs are buffered, never applied in-flight.
     std::vector<char> remove(todo.size(), 0);
+    // Charge the level's worklist and verdict buffers (mirrors the
+    // snapshot parallel path); released at the level barrier.
+    ScopedReserve level_mem(governor,
+                            todo.size() * sizeof(uint64_t) + remove.size(),
+                            GovernPoint::kRefine);
     auto check_pair = [&](size_t i, int w) {
       if (aborted.load(std::memory_order_relaxed)) return;
       WorkerState& s = ws[static_cast<size_t>(w)];

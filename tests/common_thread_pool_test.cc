@@ -34,8 +34,11 @@ TEST(ThreadPoolTest, WorkerIdsAreDenseAndBounded) {
     ASSERT_LT(w, kWorkers);
     per_worker[w].fetch_add(1);
   });
-  // Worker 0 is the caller and always participates.
-  EXPECT_GT(per_worker[0].load(), 0u);
+  // The caller runs the worker-0 loop, but its block may be fully stolen
+  // on a loaded machine before it pops — only the total is guaranteed.
+  uint64_t total = 0;
+  for (auto& c : per_worker) total += c.load();
+  EXPECT_EQ(total, 5000u);
 }
 
 TEST(ThreadPoolTest, SingleWorkerRunsInlineInOrder) {

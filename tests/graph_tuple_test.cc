@@ -88,6 +88,67 @@ TEST(AttrTupleTest, InequalityOnTagOrValue) {
   EXPECT_NE(a, c);  // Value differs.
 }
 
+TEST(AttrTupleTest, EmptyTagIsNoTag) {
+  // The empty string is not a distinct tag: AttrTuple("") behaves exactly
+  // like the default-constructed tuple (serialization formats rely on this
+  // to encode "untagged" as an empty-string reference).
+  AttrTuple explicit_empty("");
+  AttrTuple defaulted;
+  EXPECT_FALSE(explicit_empty.has_tag());
+  EXPECT_EQ(explicit_empty, defaulted);
+  explicit_empty.Set("x", Value(int64_t{1}));
+  EXPECT_FALSE(explicit_empty.has_tag());
+  // set_tag("") clears an existing tag the same way.
+  AttrTuple tagged("t");
+  tagged.set_tag("");
+  EXPECT_FALSE(tagged.has_tag());
+  EXPECT_EQ(tagged, defaulted);
+}
+
+TEST(AttrTupleTest, MergeFromOverwriteChangesValueKind) {
+  // An overwrite through MergeFrom may change the value's kind, not just
+  // its payload; the old kind must not survive.
+  AttrTuple a;
+  a.Set("x", Value(int64_t{7}));
+  AttrTuple b;
+  b.Set("x", Value("seven"));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_TRUE(a.GetOrNull("x").is_string());
+  EXPECT_EQ(*a.Get("x"), Value("seven"));
+}
+
+TEST(AttrTupleTest, MergeFromEmptyTupleIsIdentity) {
+  AttrTuple a("t");
+  a.Set("x", Value(int64_t{1}));
+  AttrTuple before = a;
+  a.MergeFrom(AttrTuple());
+  EXPECT_EQ(a, before);
+}
+
+TEST(AttrTupleTest, EqualityIgnoresEraseReinsertOrderDrift) {
+  // Erasing and re-adding a key moves it to the back of the insertion
+  // order; equality (a mapping comparison) must not notice.
+  AttrTuple a;
+  a.Set("x", Value(int64_t{1}));
+  a.Set("y", Value(int64_t{2}));
+  AttrTuple b = a;
+  b.Erase("x");
+  b.Set("x", Value(int64_t{1}));
+  EXPECT_NE(a.attrs(), b.attrs());  // Storage order differs...
+  EXPECT_EQ(a, b);                  // ...the tuples do not.
+}
+
+TEST(AttrTupleTest, InequalityOnSubsetKeys) {
+  AttrTuple a;
+  a.Set("x", Value(int64_t{1}));
+  AttrTuple b;
+  b.Set("x", Value(int64_t{1}));
+  b.Set("y", Value(int64_t{2}));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, a);
+}
+
 TEST(AttrTupleTest, ToStringWithTagAndAttrs) {
   AttrTuple t("author");
   t.Set("name", Value("A"));

@@ -133,7 +133,7 @@ TEST(IntegrationTest, ThreeEnginesAgreeOnProteinClique) {
   auto top = index.LabelsByFrequency();
   std::vector<std::string> labels;
   for (size_t i = 0; i < std::min<size_t>(10, top.size()); ++i) {
-    labels.push_back(index.dict().Name(top[i]));
+    labels.push_back(std::string(index.LabelName(top[i])));
   }
   size_t found = 0;
   for (int trial = 0; trial < 50; ++trial) {

@@ -203,6 +203,87 @@ TEST(BinarySerializeTest, OverpromisingStringLengthRejected) {
   EXPECT_EQ(back.status().code(), StatusCode::kParseError);
 }
 
+TEST(BinarySerializeTest, LegacyV1StillReadable) {
+  // The writer now emits version 2 (string table + columns), but version-1
+  // files in the wild must keep loading. WriteGraphBinaryV1 produces the
+  // exact legacy encoding.
+  Graph g = SampleGraph();
+  std::stringstream stream;
+  ASSERT_TRUE(WriteGraphBinaryV1(g, &stream).ok());
+  auto back = ReadGraphBinary(&stream);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectEquivalent(g, *back);
+  EXPECT_EQ(back->node(0).name, g.node(0).name);
+}
+
+TEST(BinarySerializeTest, V2DeduplicatesStrings) {
+  // 100 nodes sharing one tag and one attribute key/value must store those
+  // strings once: the v2 stream stays well under the v1 stream's size.
+  Graph g;
+  for (int i = 0; i < 100; ++i) {
+    AttrTuple t("espresso-machine");
+    t.Set("manufacturer", Value(std::string("acme-corporation-intl")));
+    g.AddNode("", t);
+  }
+  std::stringstream v2;
+  std::stringstream v1;
+  ASSERT_TRUE(WriteGraphBinary(g, &v2).ok());
+  ASSERT_TRUE(WriteGraphBinaryV1(g, &v1).ok());
+  EXPECT_LT(v2.str().size() * 2, v1.str().size());
+  auto back = ReadGraphBinary(&v2);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectEquivalent(g, *back);
+}
+
+TEST(BinarySerializeTest, TruncatedStringTableRejected) {
+  // A v2 header promising 2^20 table entries with no payload must fail the
+  // remaining-bytes check before any proportional allocation.
+  std::string data;
+  data += "GQLB";
+  data += '\x02';                              // Version 2.
+  data += '\x00';                              // Undirected.
+  data += std::string("\x00\x00\x10\x00", 4);  // 2^20 strings (LE)...
+  std::stringstream stream(data);              // ...and nothing else.
+  auto back = ReadGraphBinary(&stream);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kParseError);
+}
+
+TEST(BinarySerializeTest, OutOfRangeStringRefRejected) {
+  // A v2 stream whose graph-name reference points past the (one-entry)
+  // string table must be rejected, not indexed.
+  std::string data;
+  data += "GQLB";
+  data += '\x02';
+  data += '\x00';
+  data += std::string("\x01\x00\x00\x00", 4);  // 1 string in the table.
+  data.append(4, '\x00');                      // That string: length 0.
+  data += std::string("\x07\x00\x00\x00", 4);  // Graph name ref = 7.
+  std::stringstream stream(data);
+  auto back = ReadGraphBinary(&stream);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kParseError);
+}
+
+TEST(BinarySerializeTest, V2OverpromisingNodeCountRejected) {
+  // Valid table and name, then a node count far beyond the payload.
+  std::string data;
+  data += "GQLB";
+  data += '\x02';
+  data += '\x00';
+  data += std::string("\x01\x00\x00\x00", 4);  // 1 string: "".
+  data.append(4, '\x00');
+  data.append(4, '\x00');                      // Name ref = 0.
+  data.append(4, '\x00');                      // Graph tag ref = 0.
+  data.append(4, '\x00');                      // Graph attr count = 0.
+  data += std::string("\x00\x00\x00\x80", 4);  // num_nodes = 2^31.
+  data.append(4, '\x00');                      // num_edges = 0.
+  std::stringstream stream(data);
+  auto back = ReadGraphBinary(&stream);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kParseError);
+}
+
 TEST(BinarySerializeTest, CorruptionSweepNeverCrashes) {
   // Bit-flips and truncations at every offset of a serialized collection
   // must either round-trip to a detectably different value or fail with a

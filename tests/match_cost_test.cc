@@ -88,9 +88,9 @@ TEST(CostTest, EdgeProbabilitiesFromIndex) {
     })");
   ASSERT_TRUE(g.ok());
   LabelIndex index = LabelIndex::Build(*g);
-  int32_t a = index.dict().Lookup("A");
-  int32_t b = index.dict().Lookup("B");
-  int32_t c = index.dict().Lookup("C");
+  SymbolId a = index.LabelSym("A");
+  SymbolId b = index.LabelSym("B");
+  SymbolId c = index.LabelSym("C");
   // P(A-B) = 1 / (3*3); P(A-C) = 3 / (3*1).
   EXPECT_DOUBLE_EQ(index.EdgeProbability(a, b, 0.5), 1.0 / 9.0);
   EXPECT_DOUBLE_EQ(index.EdgeProbability(a, c, 0.5), 1.0);
@@ -104,7 +104,7 @@ TEST(CostTest, EdgeProbabilityFallbackForUnknownLabel) {
   ASSERT_TRUE(g.ok());
   LabelIndex index = LabelIndex::Build(*g);
   EXPECT_DOUBLE_EQ(
-      index.EdgeProbability(LabelDictionary::kUnknownLabel, 0, 0.25), 0.25);
+      index.EdgeProbability(kNoSymbol, 0, 0.25), 0.25);
 }
 
 TEST(CostTest, GreedyUsesEdgeProbTieBreak) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/symbols.h"
+#include "graph/snapshot.h"
 #include "motif/deriver.h"
 
 namespace graphql::match {
@@ -22,36 +26,36 @@ Graph Sample() {
   return std::move(g).value();
 }
 
-TEST(LabelDictionaryTest, InternAndLookup) {
-  LabelDictionary dict;
-  int32_t a = dict.Intern("A");
-  int32_t b = dict.Intern("B");
+std::string LabelsOf(const Profile& p) {
+  std::string s;
+  for (SymbolId id : p) s += SymbolTable::Global().Name(id);
+  return s;
+}
+
+TEST(SymbolTableTest, InternAndLookup) {
+  SymbolTable& table = SymbolTable::Global();
+  SymbolId a = table.Intern("A");
+  SymbolId b = table.Intern("B");
   EXPECT_NE(a, b);
-  EXPECT_EQ(dict.Intern("A"), a);
-  EXPECT_EQ(dict.Lookup("A"), a);
-  EXPECT_EQ(dict.Lookup("nope"), LabelDictionary::kUnknownLabel);
-  EXPECT_EQ(dict.Name(a), "A");
-  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(table.Intern("A"), a);
+  EXPECT_EQ(table.Lookup("A"), a);
+  EXPECT_EQ(table.Lookup("surely-never-interned-label"), kNoSymbol);
+  EXPECT_EQ(table.Name(a), "A");
 }
 
 TEST(ProfileTest, RadiusZeroIsOwnLabel) {
   Graph g = Sample();
-  LabelDictionary dict;
-  Profile p = BuildProfile(g, g.FindNode("a1"), 0, &dict);
+  Profile p = BuildProfile(g, g.FindNode("a1"), 0);
   ASSERT_EQ(p.size(), 1u);
-  EXPECT_EQ(dict.Name(p[0]), "A");
+  EXPECT_EQ(SymbolTable::Global().Name(p[0]), "A");
 }
 
 TEST(ProfileTest, RadiusOneMatchesFigure417) {
   // Figure 4.17: profile(A1) = ABC, profile(B1) = ABBCC (paper lists ABCC
   // over its 4-neighbor variant; ours follows the Figure 4.16 edges).
   Graph g = Sample();
-  LabelDictionary dict;
   auto labels_of = [&](const char* name) {
-    Profile p = BuildProfile(g, g.FindNode(name), 1, &dict);
-    std::string s;
-    for (int32_t id : p) s += dict.Name(id);
-    return s;
+    return LabelsOf(BuildProfile(g, g.FindNode(name), 1));
   };
   EXPECT_EQ(labels_of("a1"), "ABC");
   EXPECT_EQ(labels_of("a2"), "AB");
@@ -61,9 +65,8 @@ TEST(ProfileTest, RadiusOneMatchesFigure417) {
 
 TEST(ProfileTest, RadiusTwoGrows) {
   Graph g = Sample();
-  LabelDictionary dict;
-  Profile p1 = BuildProfile(g, g.FindNode("c1"), 1, &dict);
-  Profile p2 = BuildProfile(g, g.FindNode("c1"), 2, &dict);
+  Profile p1 = BuildProfile(g, g.FindNode("c1"), 1);
+  Profile p2 = BuildProfile(g, g.FindNode("c1"), 2);
   EXPECT_GT(p2.size(), p1.size());
   EXPECT_TRUE(ProfileContains(p2, p1));
 }
@@ -74,17 +77,32 @@ TEST(ProfileTest, UnlabeledNodesContributeNothing) {
   g.SetLabel(a, "A");
   NodeId b = g.AddNode("b");  // No label.
   g.AddEdge(a, b);
-  LabelDictionary dict;
-  Profile p = BuildProfile(g, a, 1, &dict);
+  Profile p = BuildProfile(g, a, 1);
   EXPECT_EQ(p.size(), 1u);
 }
 
 TEST(ProfileTest, ScratchIsRestored) {
   Graph g = Sample();
-  LabelDictionary dict;
   std::vector<int> scratch(g.NumNodes(), -1);
-  BuildProfile(g, 0, 2, &dict, &scratch);
+  BuildProfile(g, 0, 2, &scratch);
   for (int d : scratch) EXPECT_EQ(d, -1);
+}
+
+TEST(ProfileTest, SnapshotOverloadMatchesGraphOverload) {
+  // The CSR/pre-interned-symbol fast path must produce exactly the same
+  // sorted symbol multiset as the adjacency-list walk, at every radius.
+  Graph g = Sample();
+  std::shared_ptr<const GraphSnapshot> snap = g.snapshot();
+  std::vector<int> scratch(g.NumNodes(), -1);
+  for (int radius = 0; radius <= 3; ++radius) {
+    for (size_t v = 0; v < g.NumNodes(); ++v) {
+      Profile from_graph = BuildProfile(g, static_cast<NodeId>(v), radius);
+      Profile from_snap =
+          BuildProfile(*snap, static_cast<NodeId>(v), radius, &scratch);
+      EXPECT_EQ(from_graph, from_snap)
+          << "radius " << radius << " node " << v;
+    }
+  }
 }
 
 TEST(ProfileContainsTest, BasicContainment) {
@@ -104,8 +122,7 @@ TEST(ProfileContainsTest, MissingElementFails) {
 }
 
 TEST(ProfileContainsTest, UnknownLabelAlwaysFails) {
-  EXPECT_FALSE(
-      ProfileContains({1, 2, 3}, {LabelDictionary::kUnknownLabel}));
+  EXPECT_FALSE(ProfileContains({1, 2, 3}, {kNoSymbol}));
 }
 
 TEST(ProfileContainsTest, SoundForSubgraphs) {
@@ -113,12 +130,12 @@ TEST(ProfileContainsTest, SoundForSubgraphs) {
   // any radius-1 neighborhood of a node within a subgraph embeds in the
   // host's neighborhood of the image.
   Graph g = Sample();
-  LabelDictionary dict;
+  SymbolTable& table = SymbolTable::Global();
   // b1's pattern-side neighborhood in the triangle {a1,b1,c2} has labels
   // {A,B,C}; the full graph's profile of b1 must contain it.
-  Profile sub = {dict.Intern("A"), dict.Intern("B"), dict.Intern("C")};
+  Profile sub = {table.Intern("A"), table.Intern("B"), table.Intern("C")};
   std::sort(sub.begin(), sub.end());
-  Profile host = BuildProfile(g, g.FindNode("b1"), 1, &dict);
+  Profile host = BuildProfile(g, g.FindNode("b1"), 1);
   EXPECT_TRUE(ProfileContains(host, sub));
 }
 

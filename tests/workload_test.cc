@@ -76,8 +76,8 @@ TEST(ProteinNetworkTest, PaperShapeDefaults) {
       g, match::LabelIndexOptions{.radius = 0,
                                   .build_profiles = false,
                                   .build_neighborhoods = false});
-  EXPECT_GT(index.dict().size(), 150u);
-  EXPECT_LE(index.dict().size(), 183u);
+  EXPECT_GT(index.NumLabels(), 150u);
+  EXPECT_LE(index.NumLabels(), 183u);
 }
 
 TEST(ProteinNetworkTest, DegreeDistributionIsSkewed) {

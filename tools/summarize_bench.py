@@ -81,6 +81,32 @@ def summarize_parallel(path, data):
                   f"{r.get('ms_search', 0):>10.2f}")
 
 
+def summarize_storage(path, data):
+    """Renders a bench_storage_snapshot dump (BENCH_storage.json)."""
+    print(f"\n== storage snapshot: {path} ==")
+    print(f"  workload: {data.get('workload', '?')}  "
+          f"reps={data.get('reps', '?')}")
+    print(f"  snapshot: {data.get('snapshot_bytes', 0)} bytes "
+          f"(csr {data.get('snapshot_csr_bytes', 0)}, "
+          f"columns {data.get('snapshot_column_bytes', 0)}), "
+          f"built in {data.get('snapshot_build_us', 0)} us")
+    print(f"  match lists identical across lanes: {data.get('identical')}")
+    lanes = data.get("lanes", [])
+    if lanes:
+        print(f"  {'lane':>10} {'ms':>10} {'peak_bytes':>12} "
+              f"{'sum_peak_bytes':>15} {'matches':>8}")
+        for lane in lanes:
+            print(f"  {lane.get('lane', '?'):>10} {lane.get('ms', 0):>10.2f} "
+                  f"{lane.get('peak_bytes', 0):>12} "
+                  f"{lane.get('sum_peak_bytes', 0):>15} "
+                  f"{lane.get('matches', 0):>8}")
+    if len(lanes) == 2 and lanes[1].get("ms"):
+        speedup = lanes[0].get("ms", 0) / lanes[1]["ms"]
+        print(f"  governed peak reduction: "
+              f"{data.get('peak_reduction', 0) * 100:.1f}%  "
+              f"throughput: {speedup:.2f}x")
+
+
 def summarize_metrics(path):
     with open(path) as f:
         try:
@@ -90,6 +116,9 @@ def summarize_metrics(path):
             return
     if data.get("bench") == "parallel_scaling":
         summarize_parallel(path, data)
+        return
+    if data.get("bench") == "storage_snapshot":
+        summarize_storage(path, data)
         return
     print(f"\n== metrics: {path} ==")
     counters = data.get("counters", {})
