@@ -16,10 +16,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algebra/pattern.h"
 #include "common/governor.h"
+#include "common/thread_pool.h"
 #include "match/pipeline.h"
 #include "obs/metrics.h"
 #include "rel/sql_plan.h"
@@ -29,11 +31,34 @@
 
 namespace graphql::bench {
 
+/// Provenance stamp embedded in every BENCH_*.json dump: the machine's
+/// hardware thread count, the effective $GQL_THREADS default the engine
+/// would use, and the compiler's build type — enough to tell two runs of
+/// the same bench apart when comparing numbers across machines or configs.
+inline std::string BuildStampJson() {
+#ifdef GQL_BUILD_TYPE
+  const char* build_type = GQL_BUILD_TYPE;
+#elif defined(NDEBUG)
+  const char* build_type = "Release(NDEBUG)";
+#else
+  const char* build_type = "Debug";
+#endif
+  std::string out = "{\"hardware_concurrency\": ";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ", \"gql_threads\": ";
+  out += std::to_string(DefaultNumThreads());
+  out += ", \"build_type\": \"";
+  out += build_type;
+  out += "\"}";
+  return out;
+}
+
 /// When GQL_BENCH_METRICS_JSON names a file, every bench binary dumps the
 /// global metric registry there as JSON at exit (counters and latency
-/// histograms accumulated by the pipeline during the run); feed the file
-/// to tools/summarize_bench.py. Registered from a header so each binary
-/// picks it up just by including bench_common.h.
+/// histograms accumulated by the pipeline during the run), stamped with
+/// BuildStampJson(); feed the file to tools/summarize_bench.py. Registered
+/// from a header so each binary picks it up just by including
+/// bench_common.h.
 struct MetricsDumpAtExit {
   MetricsDumpAtExit() {
     static bool registered = [] {
@@ -41,7 +66,13 @@ struct MetricsDumpAtExit {
         const char* path = std::getenv("GQL_BENCH_METRICS_JSON");
         if (path == nullptr || *path == '\0') return;
         std::ofstream out(path);
-        if (out) out << obs::MetricsRegistry::Global().ToJson() << "\n";
+        if (!out) return;
+        std::string json = obs::MetricsRegistry::Global().ToJson();
+        // Splice the stamp in as the first member of the top-level object.
+        if (!json.empty() && json.front() == '{') {
+          json.insert(1, "\"stamp\":" + BuildStampJson() + ",");
+        }
+        out << json << "\n";
       });
       return true;
     }();

@@ -189,6 +189,7 @@ int Main() {
     return 1;
   }
   out << "{\n  \"bench\": \"parallel_scaling\",\n"
+      << "  \"stamp\": " << BuildStampJson() << ",\n"
       << "  \"workload\": \"protein clique low-hit (sizes 5-6)\",\n"
       << "  \"hardware_concurrency\": " << hw << ",\n"
       << "  \"queries\": " << qs.patterns.size() << ",\n"

@@ -21,8 +21,17 @@
 //                      it; prints caret diagnostics and the nr-GraphQL /
 //                      recursive classification of each query
 //   :set KEY VALUE     set a resource limit for subsequent queries:
-//                      timeout_ms, max_steps, max_memory_mb (0 = unlimited)
+//                      timeout_ms, max_steps, max_memory_mb (0 = unlimited),
+//                      threads, slow_ms (slow-query-log threshold)
 //   :limits            show the current resource limits
+//   :recent [N]        flight recorder: the last N query records
+//   :slow [N]          slow-query log: records over the slow_ms threshold
+//                      (or governor-tripped), with their full trace trees
+//   :top [N]           heaviest query shapes by total wall time, plus the
+//                      session's wall-time percentiles
+//   :trace PATH|off    export every query's span tree as Chrome trace JSON
+//                      (chrome://tracing / Perfetto) to PATH; also set by
+//                      $GQL_TRACE_EXPORT
 //   :help              this text
 //   :quit              exit
 //
@@ -32,10 +41,14 @@
 // Anything else accumulates into a statement buffer that executes when the
 // input forms a complete (semicolon-terminated, brace-balanced) program.
 // A complete program may be prefixed with a keyword:
-//   EXPLAIN <program>  print the query plan without executing
-//   PROFILE <program>  execute, then print the trace tree + metric deltas
-//   CHECK   <program>  statically analyze without executing (like :check
-//                      but for inline source)
+//   EXPLAIN <program>          print the query plan without executing
+//   EXPLAIN ANALYZE <program>  execute, then print the plan annotated with
+//                              measured actuals (stage times, candidate
+//                              counts, estimated vs actual cost)
+//   PROFILE <program>          execute, then print the trace tree + metric
+//                              deltas
+//   CHECK   <program>          statically analyze without executing (like
+//                              :check but for inline source)
 
 #include <atomic>
 #include <cctype>
@@ -90,6 +103,18 @@ struct Shell {
     switch (LeadingKeyword(source, &body)) {
       case Keyword::kExplain: {
         auto plan = evaluator.ExplainSource(body);
+        if (!plan.ok()) {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+          any_error = true;
+          return;
+        }
+        std::printf("%s", plan->c_str());
+        return;
+      }
+      case Keyword::kExplainAnalyze: {
+        // ANALYZE executes the program (state mutations included).
+        CancelScope scope(evaluator.governor());
+        auto plan = evaluator.ExplainAnalyzeSource(body);
         if (!plan.ok()) {
           std::printf("error: %s\n", plan.status().ToString().c_str());
           any_error = true;
@@ -204,26 +229,44 @@ struct Shell {
                 evaluator.mutable_match_options()->num_threads);
   }
 
-  enum class Keyword { kNone, kExplain, kProfile, kCheck };
+  enum class Keyword { kNone, kExplain, kExplainAnalyze, kProfile, kCheck };
 
-  /// Detects a leading EXPLAIN/PROFILE/CHECK word (case-insensitive); on a
-  /// hit, *body receives the program with the keyword stripped.
+  /// Detects a leading EXPLAIN [ANALYZE] / PROFILE / CHECK keyword
+  /// (case-insensitive); on a hit, *body receives the program with the
+  /// keyword(s) stripped.
   static Keyword LeadingKeyword(const std::string& source,
                                 std::string* body) {
-    size_t start = source.find_first_not_of(" \t\r\n");
-    if (start == std::string::npos) return Keyword::kNone;
-    size_t end = start;
-    while (end < source.size() &&
-           std::isalpha(static_cast<unsigned char>(source[end]))) {
-      ++end;
-    }
-    std::string word = source.substr(start, end - start);
-    for (char& c : word) c = std::toupper(static_cast<unsigned char>(c));
+    auto next_word = [&source](size_t* pos) -> std::string {
+      size_t start = source.find_first_not_of(" \t\r\n", *pos);
+      if (start == std::string::npos) {
+        *pos = source.size();
+        return "";
+      }
+      size_t end = start;
+      while (end < source.size() &&
+             std::isalpha(static_cast<unsigned char>(source[end]))) {
+        ++end;
+      }
+      std::string word = source.substr(start, end - start);
+      for (char& c : word) c = std::toupper(static_cast<unsigned char>(c));
+      *pos = end;
+      return word;
+    };
+    size_t pos = 0;
+    std::string word = next_word(&pos);
     if (word != "EXPLAIN" && word != "PROFILE" && word != "CHECK") {
       return Keyword::kNone;
     }
-    *body = source.substr(end);
-    if (word == "EXPLAIN") return Keyword::kExplain;
+    if (word == "EXPLAIN") {
+      size_t after = pos;
+      if (next_word(&after) == "ANALYZE") {
+        *body = source.substr(after);
+        return Keyword::kExplainAnalyze;
+      }
+      *body = source.substr(pos);
+      return Keyword::kExplain;
+    }
+    *body = source.substr(pos);
     return word == "PROFILE" ? Keyword::kProfile : Keyword::kCheck;
   }
 
@@ -235,7 +278,8 @@ struct Shell {
       std::printf(
           ":load NAME PATH | :save VAR PATH | :show VAR | :docs | :stats | "
           ":vars | :metrics [json|reset] | :check PATH | :set KEY VALUE | "
-          ":limits | :quit\n"
+          ":limits | :recent [N] | :slow [N] | :top [N] | :trace PATH|off | "
+          ":quit\n"
           ":stats                 per-document node/edge counts and compiled "
           "snapshot sizes\n"
           ":check PATH            statically analyze a file (no execution)\n"
@@ -244,10 +288,23 @@ struct Shell {
           ":set max_memory_mb N   approximate memory budget (0 = off)\n"
           ":set threads N         workers for parallel selection (0 = "
           "serial; default $GQL_THREADS)\n"
+          ":set slow_ms N         slow-query-log threshold (0 = only "
+          "governor trips retained)\n"
+          ":recent [N]            last N query records from the flight "
+          "recorder\n"
+          ":slow [N]              slow-query log with full trace trees\n"
+          ":top [N]               heaviest query shapes + wall percentiles\n"
+          ":trace PATH|off        Chrome-trace export of every query "
+          "($GQL_TRACE_EXPORT)\n"
           "Ctrl-C cancels the running query, not the shell.\n"
-          "EXPLAIN <program>  print the query plan without executing\n"
-          "PROFILE <program>  execute, then print trace + metric deltas\n"
-          "CHECK   <program>  statically analyze without executing\n");
+          "EXPLAIN <program>          print the query plan without "
+          "executing\n"
+          "EXPLAIN ANALYZE <program>  execute, then print the plan with "
+          "measured actuals\n"
+          "PROFILE <program>          execute, then print trace + metric "
+          "deltas\n"
+          "CHECK   <program>          statically analyze without "
+          "executing\n");
       return;
     }
     if (cmd == ":set") {
@@ -271,9 +328,15 @@ struct Shell {
         limits->max_memory_bytes = static_cast<uint64_t>(n) * 1024 * 1024;
       } else if (key == "threads") {
         evaluator.mutable_match_options()->num_threads = static_cast<int>(n);
+      } else if (key == "slow_ms") {
+        evaluator.recorder()->set_slow_threshold_us(n * 1000);
+        std::printf("slow-query log: retaining queries >= %lld ms "
+                    "(governor trips are always retained)\n",
+                    static_cast<long long>(n));
+        return;
       } else {
         std::printf("unknown limit '%s' (timeout_ms, max_steps, "
-                    "max_memory_mb, threads)\n", key.c_str());
+                    "max_memory_mb, threads, slow_ms)\n", key.c_str());
         return;
       }
       PrintLimits();
@@ -281,6 +344,93 @@ struct Shell {
     }
     if (cmd == ":limits") {
       PrintLimits();
+      return;
+    }
+    if (cmd == ":recent" || cmd == ":slow" || cmd == ":top") {
+      long long n = 10;
+      std::string arg;
+      if (in >> arg) {
+        char* end = nullptr;
+        n = std::strtoll(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n <= 0) {
+          std::printf("usage: %s [N]\n", cmd.c_str());
+          return;
+        }
+      }
+      const obs::FlightRecorder* rec = evaluator.recorder();
+      if (cmd == ":recent") {
+        auto records = rec->Recent(static_cast<size_t>(n));
+        if (records.empty()) {
+          std::printf("no queries recorded yet\n");
+          return;
+        }
+        for (const obs::QueryRecord& r : records) {
+          std::printf("%s\n", r.ToLine().c_str());
+        }
+        if (rec->dropped() > 0) {
+          std::printf("(%llu older records dropped from the ring)\n",
+                      static_cast<unsigned long long>(rec->dropped()));
+        }
+        return;
+      }
+      if (cmd == ":slow") {
+        auto entries = rec->Slow(static_cast<size_t>(n));
+        if (entries.empty()) {
+          std::printf("slow-query log is empty (\":set slow_ms N\" sets the "
+                      "threshold; governor-tripped queries are always "
+                      "retained)\n");
+          return;
+        }
+        for (const obs::SlowQueryEntry& e : entries) {
+          std::printf("%s\n", e.record.ToLine().c_str());
+          if (!e.record.trip.empty()) {
+            std::printf("  trip: %s\n", e.record.trip.c_str());
+          }
+          if (!e.trace_text.empty()) {
+            std::printf("%s", e.trace_text.c_str());
+          }
+        }
+        return;
+      }
+      auto top = rec->Top(static_cast<size_t>(n));
+      if (top.empty()) {
+        std::printf("no queries recorded yet\n");
+        return;
+      }
+      for (const obs::ShapeAggregate& s : top) {
+        std::printf("count=%-5llu total=%.2fms mean=%.2fms max=%.2fms "
+                    "tripped=%llu  %s\n",
+                    static_cast<unsigned long long>(s.count),
+                    static_cast<double>(s.total_us) / 1e3,
+                    static_cast<double>(s.MeanMicros()) / 1e3,
+                    static_cast<double>(s.max_us) / 1e3,
+                    static_cast<unsigned long long>(s.tripped),
+                    s.shape.c_str());
+      }
+      obs::HistogramSnapshot wall = rec->WallHistogram();
+      std::printf("wall: p50~%lluus p95~%lluus p99~%lluus over %llu "
+                  "queries\n",
+                  static_cast<unsigned long long>(wall.P50()),
+                  static_cast<unsigned long long>(wall.P95()),
+                  static_cast<unsigned long long>(wall.P99()),
+                  static_cast<unsigned long long>(wall.count));
+      return;
+    }
+    if (cmd == ":trace") {
+      std::string arg;
+      in >> arg;
+      if (arg.empty()) {
+        const std::string& path = evaluator.trace_export_path();
+        std::printf("trace export: %s\n",
+                    path.empty() ? "off" : path.c_str());
+      } else if (arg == "off") {
+        evaluator.set_trace_export_path("");
+        std::printf("trace export: off\n");
+      } else {
+        evaluator.set_trace_export_path(arg);
+        std::printf("trace export: %s (rewritten after every query)\n",
+                    arg.c_str());
+      }
       return;
     }
     if (cmd == ":metrics") {

@@ -2,8 +2,49 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
+
+#include "obs/clock.h"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 namespace graphql {
+
+int64_t CurrentOsThreadId() {
+  static thread_local const int64_t kTid = [] {
+#if defined(__linux__)
+    return static_cast<int64_t>(syscall(SYS_gettid));
+#else
+    return static_cast<int64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+  }();
+  return kTid;
+}
+
+void MergeWorkerLanes(std::vector<ThreadPool::WorkerLane>* into,
+                      const std::vector<ThreadPool::WorkerLane>& from) {
+  for (const ThreadPool::WorkerLane& lane : from) {
+    ThreadPool::WorkerLane* slot = nullptr;
+    for (ThreadPool::WorkerLane& existing : *into) {
+      if (existing.os_tid == lane.os_tid) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      into->push_back(lane);
+      continue;
+    }
+    slot->start_us = std::min(slot->start_us, lane.start_us);
+    slot->end_us = std::max(slot->end_us, lane.end_us);
+    slot->tasks += lane.tasks;
+    slot->stolen += lane.stolen;
+  }
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 0) num_threads = 0;
@@ -50,7 +91,13 @@ ThreadPool::RunStats ThreadPool::ParallelFor(
   stats.workers = workers;
 
   if (workers == 1) {  // Inline: no queues, no wakeups.
+    WorkerLane lane;
+    lane.os_tid = CurrentOsThreadId();
+    lane.start_us = obs::NowMicros();
     for (size_t i = 0; i < n; ++i) fn(i, 0);
+    lane.end_us = obs::NowMicros();
+    lane.tasks = n;
+    stats.lanes.push_back(lane);
     return stats;
   }
 
@@ -63,6 +110,7 @@ ThreadPool::RunStats ThreadPool::ParallelFor(
   job.remaining.store(n, std::memory_order_relaxed);
   job.queues.resize(static_cast<size_t>(workers));
   job.queue_mu.reset(new std::mutex[workers]);
+  job.lanes.resize(static_cast<size_t>(workers));
   // Deal contiguous blocks: worker w starts on its own slice, thieves
   // steal whole items from the top (oldest) end of a victim's block.
   size_t base = n / static_cast<size_t>(workers);
@@ -91,6 +139,12 @@ ThreadPool::RunStats ThreadPool::ParallelFor(
     job_ = nullptr;
   }
   stats.stolen = job.stolen.load(std::memory_order_relaxed);
+  // The cv_done_ wait above synchronizes with every participant's exit
+  // from RunWorker, so the per-slot lane writes are visible here. Workers
+  // that never claimed a slot (the job finished first) stay zeroed.
+  for (const WorkerLane& lane : job.lanes) {
+    if (lane.os_tid != 0) stats.lanes.push_back(lane);
+  }
   return stats;
 }
 
@@ -121,11 +175,18 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::RunWorker(Job* job, int w) {
+  WorkerLane& lane = job->lanes[static_cast<size_t>(w)];
+  lane.os_tid = CurrentOsThreadId();
+  lane.start_us = obs::NowMicros();
   for (;;) {
     size_t item = 0;
     bool was_steal = false;
-    if (!NextTask(job, w, &item, &was_steal)) return;
-    if (was_steal) job->stolen.fetch_add(1, std::memory_order_relaxed);
+    if (!NextTask(job, w, &item, &was_steal)) break;
+    if (was_steal) {
+      job->stolen.fetch_add(1, std::memory_order_relaxed);
+      ++lane.stolen;
+    }
+    ++lane.tasks;
     (*job->fn)(item, w);
     if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last item: wake the caller (it may be asleep in ParallelFor).
@@ -133,6 +194,7 @@ void ThreadPool::RunWorker(Job* job, int w) {
       cv_done_.notify_all();
     }
   }
+  lane.end_us = obs::NowMicros();
 }
 
 bool ThreadPool::NextTask(Job* job, int w, size_t* item, bool* was_steal) {

@@ -33,12 +33,26 @@ namespace graphql {
 /// per-worker shards (metrics, governor charge batches, search states).
 class ThreadPool {
  public:
+  /// What one participant did during a job: which OS thread it ran on,
+  /// when it was active, and how much work it executed. Captured on every
+  /// ParallelFor (two clock reads per worker per job) so trace exports can
+  /// draw real worker-thread lanes.
+  struct WorkerLane {
+    int64_t os_tid = 0;    ///< Kernel thread id (see CurrentOsThreadId).
+    int64_t start_us = 0;  ///< NowMicros when the worker joined the job.
+    int64_t end_us = 0;    ///< NowMicros when its deques ran dry.
+    uint64_t tasks = 0;    ///< Items this worker executed.
+    uint64_t stolen = 0;   ///< Of those, items taken from another deque.
+  };
+
   /// Per-job execution counters, reported back to the caller so trace
   /// spans can be annotated with `threads` / `tasks_stolen`.
   struct RunStats {
     int workers = 0;         ///< Participants (including the caller).
     uint64_t tasks = 0;      ///< Items executed.
     uint64_t stolen = 0;     ///< Items taken from another worker's deque.
+    /// One lane per participant (dense worker ids; [0] is the caller).
+    std::vector<WorkerLane> lanes;
   };
 
   /// `num_threads` background threads (clamped to >= 0); the pool then
@@ -70,6 +84,7 @@ class ThreadPool {
     int workers = 0;
     std::vector<std::deque<size_t>> queues;        // One per participant.
     std::unique_ptr<std::mutex[]> queue_mu;        // One per participant.
+    std::vector<WorkerLane> lanes;                 // Slot w: worker w only.
     std::atomic<size_t> remaining{0};
     std::atomic<int> claimed{1};  // Next worker id; 0 is the caller's.
     std::atomic<uint64_t> stolen{0};
@@ -104,6 +119,18 @@ int DefaultNumThreads();
 /// the shared pool) can serve: values < 1 mean serial (returns 0), values
 /// beyond the pool's capacity are capped at it.
 int ResolveWorkers(int num_threads, const ThreadPool* pool = nullptr);
+
+/// The calling thread's kernel thread id (gettid on Linux), cached per
+/// thread; falls back to a stable per-thread token elsewhere. These ids
+/// name the lanes in Chrome-trace exports.
+int64_t CurrentOsThreadId();
+
+/// Accumulates `from` into `into`, keyed by os_tid: tasks/stolen add,
+/// active windows union. A pipeline stage that issues several ParallelFor
+/// jobs (refinement levels, retrieve phases) merges them into one lane per
+/// OS thread for the stage's trace span.
+void MergeWorkerLanes(std::vector<ThreadPool::WorkerLane>* into,
+                      const std::vector<ThreadPool::WorkerLane>& from);
 
 }  // namespace graphql
 

@@ -1,8 +1,16 @@
 #include "exec/evaluator.h"
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
+#include "common/thread_pool.h"
+#include "lang/lexer.h"
 #include "lang/parser.h"
+#include "lang/printer.h"
+#include "obs/clock.h"
+#include "obs/trace_export.h"
 
 namespace graphql::exec {
 
@@ -26,7 +34,116 @@ std::string FormatSize(size_t n) {
   return buf;
 }
 
+std::string_view PunctuationLexeme(lang::TokenKind kind) {
+  using lang::TokenKind;
+  switch (kind) {
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLAngle: return "<";
+    case TokenKind::kRAngle: return ">";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kColonEq: return ":=";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kLe: return "<=";
+    default: return "";
+  }
+}
+
+/// The flight recorder's query shape: the printed AST re-tokenized with
+/// every literal replaced by `?`, so runs differing only in constants
+/// share one shape (and one `:top` aggregate).
+std::string NormalizeShape(const lang::Program& program) {
+  std::string printed = lang::PrintProgram(program);
+  Result<std::vector<lang::Token>> tokens = lang::Lexer(printed).Tokenize();
+  if (!tokens.ok()) return printed;  // Printer output always lexes.
+  std::string out;
+  for (const lang::Token& t : tokens.value()) {
+    if (t.kind == lang::TokenKind::kEnd) break;
+    std::string_view piece;
+    switch (t.kind) {
+      case lang::TokenKind::kInt:
+      case lang::TokenKind::kFloat:
+      case lang::TokenKind::kString:
+        piece = "?";
+        break;
+      default:
+        piece = t.text.empty() ? PunctuationLexeme(t.kind) : t.text;
+        break;
+    }
+    if (piece.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out.append(piece);
+  }
+  return out;
+}
+
+void AppendMs(int64_t us, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(us) / 1e3);
+  out->append(buf);
+}
+
+/// The per-statement "actual:" lines of EXPLAIN ANALYZE.
+void AppendActualLines(const StatementActuals& a, std::string* out) {
+  char buf[256];
+  if (!a.is_flwr) {
+    out->append("    actual: ");
+    AppendMs(a.wall_us, out);
+    out->push_back('\n');
+    return;
+  }
+  out->append("    actual: ");
+  AppendMs(a.wall_us, out);
+  out->append(" (retrieve=");
+  AppendMs(a.us_retrieve, out);
+  out->append(" refine=");
+  AppendMs(a.us_refine, out);
+  out->append(" order=");
+  AppendMs(a.us_order, out);
+  out->append(" search=");
+  AppendMs(a.us_search, out);
+  std::snprintf(buf, sizeof(buf), ") over %zu member graph%s\n", a.members,
+                a.members == 1 ? "" : "s");
+  out->append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "    actual: candidates attr=%" PRIu64 " -> retrieved=%" PRIu64
+                " -> refined=%" PRIu64 "\n",
+                a.candidates_attr, a.candidates_retrieved,
+                a.candidates_refined);
+  out->append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "    actual: est-cost=%.1f vs search steps=%" PRIu64
+                " (edge-checks=%" PRIu64 ", backtracks=%" PRIu64
+                "), matches=%" PRIu64 "\n",
+                a.est_cost, a.steps, a.edge_checks, a.backtracks, a.matches);
+  out->append(buf);
+  std::snprintf(buf, sizeof(buf),
+                "    actual: snapshot-probes=%" PRIu64
+                ", threads=%d, tasks-stolen=%" PRIu64 "%s\n",
+                a.snapshot_probes, a.threads, a.tasks_stolen,
+                a.refine_degraded ? ", refine-degraded" : "");
+  out->append(buf);
+}
+
 }  // namespace
+
+Evaluator::Evaluator(const DocumentRegistry* docs) : docs_(docs) {
+  const char* path = std::getenv("GQL_TRACE_EXPORT");
+  if (path != nullptr && *path != '\0') trace_export_path_ = path;
+}
 
 std::string LimitReport::ToString() const {
   if (!tripped && !truncated && !budget_exhausted && degradations.empty()) {
@@ -72,33 +189,49 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   sema::Analysis analysis = Analyze(program);
   result.diagnostics = std::move(analysis.diagnostics);
   governor_.Arm(limits_);
+  // Tracing is on when anyone consumes the span tree this run: PROFILE,
+  // the Chrome-trace export, or the flight recorder's slow-query log
+  // (which retains full traces of slow or governor-tripped runs).
+  const bool want_trace = profiling_ || !trace_export_path_.empty() ||
+                          recorder_.WantsTrace(governor_.HasLimits());
+  tracer_.set_enabled(want_trace);
+  if (want_trace) tracer_.Reset();
   obs::MetricsSnapshot before;
-  if (profiling_) {
-    before = metrics_.Snapshot();
-    tracer_.set_enabled(true);
-    tracer_.Reset();
+  if (profiling_) before = metrics_.Snapshot();
+  const int64_t start_us = obs::NowMicros();
+  const int64_t cpu_start_us = obs::ThreadCpuMicros();
+  Status run_status = Status::OK();
+  obs::Span program_span(ActiveTracer(), "program",
+                         obs::Span::Timing::kAlways);
+  if (program_span.active()) {
+    program_span.SetAttr("statements",
+                         static_cast<int64_t>(program.statements.size()));
   }
-  {
-    obs::Span program_span(ActiveTracer(), "program");
-    if (program_span.active()) {
-      program_span.SetAttr("statements",
-                           static_cast<int64_t>(program.statements.size()));
+  for (size_t i = 0; i < program.statements.size(); ++i) {
+    const lang::Statement& stmt = program.statements[i];
+    // A sticky trip ends the program between statements; the work done
+    // so far stays in `result` (partial-result semantics). CheckNow also
+    // catches deadline/cancellation between statements that never charge.
+    if (!governor_.CheckNow(GovernPoint::kEval)) break;
+    obs::Span stmt_span(ActiveTracer(), "statement",
+                        obs::Span::Timing::kAlways);
+    if (stmt_span.active()) {
+      stmt_span.SetAttr("kind", StatementKindName(stmt.kind));
     }
-    for (size_t i = 0; i < program.statements.size(); ++i) {
-      const lang::Statement& stmt = program.statements[i];
-      // A sticky trip ends the program between statements; the work done
-      // so far stays in `result` (partial-result semantics). CheckNow also
-      // catches deadline/cancellation between statements that never charge.
-      if (!governor_.CheckNow(GovernPoint::kEval)) break;
-      obs::Span stmt_span(ActiveTracer(), "statement");
-      if (stmt_span.active()) {
-        stmt_span.SetAttr("kind", StatementKindName(stmt.kind));
-      }
-      const sema::StatementInfo* info =
-          i < analysis.statements.size() ? &analysis.statements[i] : nullptr;
-      GQL_RETURN_IF_ERROR(RunStatement(stmt, &result, info));
-    }
+    const sema::StatementInfo* info =
+        i < analysis.statements.size() ? &analysis.statements[i] : nullptr;
+    result.actuals.emplace_back();
+    result.actuals.back().is_flwr =
+        stmt.kind == lang::Statement::Kind::kFlwr;
+    run_status = RunStatement(stmt, &result, info);
+    stmt_span.End();
+    result.actuals.back().wall_us = stmt_span.DurationMicros();
+    // A failed statement still ends the span tree and reaches the flight
+    // recorder below (the record carries the error), then the Status
+    // propagates to the caller as before.
+    if (!run_status.ok()) break;
   }
+  program_span.End();
   result.variables = variables_;
   result.limits.steps_used = governor_.steps_used();
   result.limits.peak_memory_bytes = governor_.peak_memory();
@@ -129,6 +262,49 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
     result.profile_text = "-- trace --\n" + tracer_.ToText() +
                           "-- metrics (this run) --\n" + delta.ToText();
   }
+
+  // Flight-record the run — successes, trips, and failures alike.
+  obs::QueryRecord rec;
+  rec.start_us = start_us;
+  rec.shape = NormalizeShape(program);
+  rec.shape_hash = obs::FlightRecorder::HashShape(rec.shape);
+  rec.wall_us = program_span.DurationMicros();
+  rec.cpu_us = obs::ThreadCpuMicros() - cpu_start_us;
+  for (const StatementActuals& a : result.actuals) {
+    rec.us_retrieve += a.us_retrieve;
+    rec.us_refine += a.us_refine;
+    rec.us_order += a.us_order;
+    rec.us_search += a.us_search;
+    rec.matches += a.matches;
+    rec.tasks_stolen += a.tasks_stolen;
+    rec.threads = std::max(rec.threads, a.threads);
+    rec.degraded |= a.refine_degraded;
+  }
+  rec.steps = result.limits.steps_used;
+  rec.peak_memory_bytes = result.limits.peak_memory_bytes;
+  rec.returned = result.returned.size();
+  rec.ok = run_status.ok();
+  if (!run_status.ok()) rec.error = run_status.message();
+  rec.tripped = result.limits.tripped;
+  if (rec.tripped) {
+    rec.trip = std::string(TripKindName(result.limits.kind)) + "@" +
+               GovernPointName(result.limits.point);
+  }
+  rec.truncated = result.limits.truncated;
+  rec.degraded |= !result.limits.degradations.empty();
+  recorder_.Append(std::move(rec), ActiveTracer(), result.profile_json);
+
+  // Rewrite the Chrome-trace export with this run's spans appended.
+  if (!trace_export_path_.empty() && tracer_.enabled()) {
+    obs::ChromeTraceOptions topts;
+    topts.default_tid = CurrentOsThreadId();
+    obs::AppendChromeTraceEvents(tracer_, topts, &trace_events_);
+    if (!obs::WriteChromeTraceFile(trace_export_path_, trace_events_)) {
+      metrics_.GetCounter("obs.trace_export.errors")->Increment();
+    }
+  }
+
+  if (!run_status.ok()) return run_status;
   return result;
 }
 
@@ -150,6 +326,32 @@ Result<std::string> Evaluator::ExplainSource(std::string_view source) const {
 }
 
 Result<std::string> Evaluator::Explain(const lang::Program& program) const {
+  return RenderExplain(program, /*actual=*/nullptr);
+}
+
+Result<std::string> Evaluator::ExplainAnalyzeSource(std::string_view source) {
+  GQL_ASSIGN_OR_RETURN(lang::Program program,
+                       lang::Parser::ParseProgram(source));
+  return ExplainAnalyze(program);
+}
+
+Result<std::string> Evaluator::ExplainAnalyze(const lang::Program& program) {
+  // Execute first (full Run semantics: state mutations, governor, flight
+  // recorder), then render the plan with the measured actuals inlined.
+  // Re-registering the program's motifs in the render's scratch registry
+  // is a no-op overwrite of what Run just registered.
+  GQL_ASSIGN_OR_RETURN(QueryResult result, Run(program));
+  GQL_ASSIGN_OR_RETURN(std::string out, RenderExplain(program, &result));
+  std::string limits = result.limits.ToString();
+  if (!limits.empty()) {
+    out.append("-- limits --\n");
+    out.append(limits);
+  }
+  return out;
+}
+
+Result<std::string> Evaluator::RenderExplain(const lang::Program& program,
+                                             const QueryResult* actual) const {
   // Motifs declared by the program are resolved against a scratch copy so
   // EXPLAIN never mutates session state.
   motif::MotifRegistry scratch = motifs_;
@@ -288,6 +490,14 @@ Result<std::string> Evaluator::Explain(const lang::Program& program) const {
           }
         }
         break;
+      }
+    }
+    if (actual != nullptr) {
+      if (index - 1 < actual->actuals.size()) {
+        AppendActualLines(actual->actuals[index - 1], &out);
+      } else {
+        // The governor (or an error) ended the run before this statement.
+        out.append("    actual: not executed\n");
       }
     }
   }
@@ -467,6 +677,13 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
   }
   if (ActiveTracer() != nullptr) options.tracer = ActiveTracer();
   obs::Span select_span(ActiveTracer(), "select");
+  // Snapshot-probe delta around the selection, for EXPLAIN ANALYZE.
+  obs::Counter* probe_counter =
+      options.metrics != nullptr
+          ? options.metrics->GetCounter("match.search.csr_edge_probes")
+          : nullptr;
+  const uint64_t probes_before =
+      probe_counter != nullptr ? probe_counter->Value() : 0;
   match::PipelineStats select_stats;
   GQL_ASSIGN_OR_RETURN(std::vector<algebra::MatchedGraph> matches,
                        SelectWithAutoIndex(alternatives, *collection, options,
@@ -481,6 +698,29 @@ Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
   if (options.metrics != nullptr) {
     options.metrics->GetCounter("exec.select.matches")
         ->Increment(matches.size());
+  }
+  if (!result->actuals.empty()) {
+    StatementActuals& a = result->actuals.back();
+    a.is_flwr = true;
+    a.us_retrieve = select_stats.us_retrieve;
+    a.us_refine = select_stats.us_refine;
+    a.us_order = select_stats.us_order;
+    a.us_search = select_stats.us_search;
+    a.members = select_stats.members;
+    a.candidates_attr = select_stats.sum_candidates_attr;
+    a.candidates_retrieved = select_stats.sum_candidates_retrieved;
+    a.candidates_refined = select_stats.sum_candidates_refined;
+    a.est_cost = select_stats.est_cost;
+    a.steps = select_stats.search.steps;
+    a.edge_checks = select_stats.search.edge_checks;
+    a.backtracks = select_stats.search.backtracks;
+    a.matches = matches.size();
+    a.threads = select_stats.threads;
+    a.tasks_stolen = select_stats.tasks_stolen;
+    a.refine_degraded = select_stats.refine_degraded;
+    if (probe_counter != nullptr) {
+      a.snapshot_probes = probe_counter->Value() - probes_before;
+    }
   }
 
   // The `let` accumulator starts from the variable's current value (or an

@@ -16,6 +16,7 @@
 #include "match/pipeline.h"
 #include "motif/builder.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "sema/analyzer.h"
 
@@ -47,6 +48,37 @@ struct LimitReport {
   std::string ToString() const;
 };
 
+/// Measured execution of one statement — the "actual" side of EXPLAIN
+/// ANALYZE. Filled for every statement a Run executes; only FLWR
+/// statements carry the pipeline breakdown (the rest report wall time).
+/// All stage numbers are sums over the statement's MatchPattern calls
+/// (one per member graph per alternative).
+struct StatementActuals {
+  bool is_flwr = false;
+  int64_t wall_us = 0;      ///< Statement span duration.
+  int64_t us_retrieve = 0;  ///< Stage micros, summed over members.
+  int64_t us_refine = 0;
+  int64_t us_order = 0;
+  int64_t us_search = 0;
+  size_t members = 0;       ///< MatchPattern invocations.
+  /// Candidate counts summed over pattern nodes and members: after the
+  /// attribute stage, after retrieval pruning, after global refinement.
+  uint64_t candidates_attr = 0;
+  uint64_t candidates_retrieved = 0;
+  uint64_t candidates_refined = 0;
+  /// Cost-model estimate for the chosen search orders (Definition 4.13),
+  /// comparable against the actual `steps`.
+  double est_cost = 0.0;
+  uint64_t steps = 0;
+  uint64_t edge_checks = 0;
+  uint64_t backtracks = 0;
+  uint64_t matches = 0;
+  uint64_t snapshot_probes = 0;  ///< CSR edge probes served by snapshots.
+  int threads = 0;
+  uint64_t tasks_stolen = 0;
+  bool refine_degraded = false;
+};
+
 /// Result of running a program: the final values of `let`-accumulated /
 /// assigned graph variables, plus every graph produced by `return`-style
 /// FLWR expressions, in order.
@@ -70,6 +102,9 @@ struct QueryResult {
   /// reaches the diagnosed construct; warnings (lints, provable
   /// unsatisfiability) are informational.
   std::vector<sema::Diagnostic> diagnostics;
+  /// One entry per statement executed (in program order); feeds EXPLAIN
+  /// ANALYZE and the flight recorder.
+  std::vector<StatementActuals> actuals;
 };
 
 /// The GraphQL query evaluator: executes programs of graph declarations,
@@ -88,7 +123,9 @@ struct QueryResult {
 ///    accumulating co-authorship construction).
 class Evaluator {
  public:
-  explicit Evaluator(const DocumentRegistry* docs) : docs_(docs) {}
+  /// `docs` may be null (programs then cannot reference doc("...")).
+  /// Reads $GQL_TRACE_EXPORT as the initial Chrome-trace export path.
+  explicit Evaluator(const DocumentRegistry* docs);
 
   /// Selection options used for pattern matching inside FLWR loops.
   match::PipelineOptions* mutable_match_options() { return &match_options_; }
@@ -131,6 +168,23 @@ class Evaluator {
   /// runs (unless mutable_match_options()->metrics was redirected).
   obs::MetricsRegistry* metrics() { return &metrics_; }
 
+  /// The session's flight recorder: every Run appends one QueryRecord
+  /// (wall/CPU time, per-stage micros, governor outcome, normalized query
+  /// shape); runs over the slow threshold — or tripped by the governor —
+  /// additionally retain their full trace tree. See obs::FlightRecorder.
+  obs::FlightRecorder* recorder() { return &recorder_; }
+  const obs::FlightRecorder* recorder() const { return &recorder_; }
+
+  /// Chrome-trace (Perfetto) export: when a path is set — explicitly or
+  /// via $GQL_TRACE_EXPORT — every Run records a span tree (even without
+  /// profiling) and the accumulated session trace is rewritten to the path
+  /// after each run. Empty disables. Worker spans carry real OS thread
+  /// ids, so parallel stages render as distinct lanes.
+  void set_trace_export_path(std::string path) {
+    trace_export_path_ = std::move(path);
+  }
+  const std::string& trace_export_path() const { return trace_export_path_; }
+
   /// The query plan as text, without executing: per statement, the derived
   /// pattern alternatives, predicate pushdown, data source, index
   /// decision, and pipeline configuration. Does not mutate evaluator
@@ -138,6 +192,14 @@ class Evaluator {
   /// scratch registry).
   Result<std::string> Explain(const lang::Program& program) const;
   Result<std::string> ExplainSource(std::string_view source) const;
+
+  /// EXPLAIN ANALYZE: renders the plan, EXECUTES the program (state
+  /// mutations included, exactly as Run), and annotates each statement
+  /// with measured actuals — stage times, candidate counts before/after
+  /// refinement, estimated cost vs actual search steps, snapshot probes,
+  /// parallelism — followed by the run's limit report.
+  Result<std::string> ExplainAnalyze(const lang::Program& program);
+  Result<std::string> ExplainAnalyzeSource(std::string_view source);
 
   /// Statically analyzes a program against this session's state
   /// (registered motifs, bound variables, registered documents) without
@@ -161,10 +223,15 @@ class Evaluator {
                       const sema::StatementInfo* info);
   Status RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
                  bool prune_unsat);
+  /// Shared renderer behind Explain / ExplainAnalyze: the static plan,
+  /// plus per-statement actual lines when `actual` is non-null.
+  Result<std::string> RenderExplain(const lang::Program& program,
+                                    const QueryResult* actual) const;
 
-  /// Tracer destination while profiling; null otherwise.
+  /// Tracer destination for the current Run; null when the run records no
+  /// spans (no profiling, no trace export, recorder not retaining traces).
   obs::Tracer* ActiveTracer() {
-    return profiling_ ? &tracer_ : nullptr;
+    return tracer_.enabled() ? &tracer_ : nullptr;
   }
 
   /// Selection over a collection with per-member auto-indexing; semantics
@@ -186,6 +253,13 @@ class Evaluator {
   bool profiling_ = false;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_{false};
+  obs::FlightRecorder recorder_;
+  /// Chrome-trace destination; seeded from $GQL_TRACE_EXPORT (see the
+  /// constructor), overridable per session via set_trace_export_path.
+  std::string trace_export_path_;
+  /// Chrome-trace events accumulated across this session's runs (the
+  /// export file is rewritten whole after each traced run).
+  std::string trace_events_;
   /// Cache key is the member graph's address; the stored shape guards
   /// against a re-registered document reusing the same address (the cache
   /// entry is rebuilt when node/edge counts changed). Re-registering a

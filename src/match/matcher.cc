@@ -435,6 +435,7 @@ Result<std::vector<algebra::MatchedGraph>> SearchMatchesParallel(
   if (pstats != nullptr) {
     pstats->workers = run.workers;
     pstats->tasks_stolen = run.stolen;
+    pstats->lanes = run.lanes;
   }
 
   // Deterministic merge in root order. Per-root lists hold matches in that

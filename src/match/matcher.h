@@ -77,6 +77,9 @@ Result<std::vector<algebra::MatchedGraph>> SearchMatches(
 struct ParallelSearchStats {
   int workers = 0;  ///< Participants (0 when the serial path was taken).
   uint64_t tasks_stolen = 0;  ///< Root tasks run off their home deque.
+  /// One lane per OS thread that served the search fan-out; drawn by the
+  /// trace exporter.
+  std::vector<ThreadPool::WorkerLane> lanes;
 };
 
 /// Work-stealing parallel search: the cost-ordered root candidate list

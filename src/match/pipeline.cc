@@ -140,7 +140,28 @@ std::optional<std::vector<NodeId>> AttrIndexBaseList(
 struct RetrieveParallelInfo {
   int workers = 0;
   uint64_t tasks_stolen = 0;
+  std::vector<ThreadPool::WorkerLane> lanes;
 };
+
+/// Records one completed "worker" child span per OS thread that served the
+/// enclosing stage's ParallelFor jobs. Must run while the stage span is
+/// still open so the lanes nest under it; the Chrome-trace exporter routes
+/// each one onto its thread's lane via the "tid" attribute.
+void EmitWorkerLanes(obs::Tracer* tracer,
+                     const std::vector<ThreadPool::WorkerLane>& lanes) {
+  if (tracer == nullptr) return;
+  for (const ThreadPool::WorkerLane& lane : lanes) {
+    if (lane.os_tid == 0 || lane.end_us < lane.start_us) continue;
+    obs::TraceNode* node = tracer->AddCompleted("worker", lane.start_us,
+                                                lane.end_us - lane.start_us);
+    if (node == nullptr) continue;
+    node->SetAttr("tid", lane.os_tid);
+    node->SetAttr("tasks", static_cast<int64_t>(lane.tasks));
+    if (lane.stolen > 0) {
+      node->SetAttr("stolen", static_cast<int64_t>(lane.stolen));
+    }
+  }
+}
 
 /// Parallel retrieval: one task per pattern node runs the feasible-mate
 /// scan (and profile filter) with per-worker pattern scratch and governor
@@ -270,6 +291,7 @@ std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
   ThreadPool::RunStats run = tp.ParallelFor(k, workers, scan_node);
   stolen += run.stolen;
   workers_seen = run.workers;
+  if (info != nullptr) MergeWorkerLanes(&info->lanes, run.lanes);
 
   uint64_t neighborhood_pruned = 0;
   if (use_neighborhoods) {
@@ -309,6 +331,7 @@ std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
         tp.ParallelFor(chunks.size(), workers, test_chunk);
     stolen += nbh_run.stolen;
     workers_seen = std::max(workers_seen, nbh_run.workers);
+    if (info != nullptr) MergeWorkerLanes(&info->lanes, nbh_run.lanes);
     for (size_t u = 0; u < k; ++u) {
       out[u].reserve(attr_stage[u].size());
       for (size_t i = 0; i < attr_stage[u].size(); ++i) {
@@ -600,6 +623,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
                             static_cast<int64_t>(retrieve_info.tasks_stolen));
     }
   }
+  EmitWorkerLanes(tracer, retrieve_info.lanes);
   retrieve_span.End();
 
   obs::Span refine_span(tracer, "refine", obs::Span::Timing::kAlways);
@@ -651,6 +675,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
     }
     if (refine_degraded) refine_span.SetAttr("degraded", "fallback-unrefined");
   }
+  EmitWorkerLanes(tracer, refine_parallel.lanes);
   refine_span.End();
   if (stats != nullptr) {
     stats->refine.bipartite_checks += refine_stats.bipartite_checks;
@@ -710,6 +735,7 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
                           static_cast<int64_t>(search_parallel.tasks_stolen));
     }
   }
+  EmitWorkerLanes(tracer, search_parallel.lanes);
   search_span.End();
 
   const bool newly_tripped = gov != nullptr && gov->tripped() && !was_tripped;
@@ -730,10 +756,19 @@ Result<std::vector<algebra::MatchedGraph>> MatchPattern(
   query_span.End();
 
   if (stats != nullptr) {
-    stats->us_retrieve = retrieve_span.DurationMicros();
-    stats->us_refine = refine_span.DurationMicros();
-    stats->us_order = order_span.DurationMicros();
-    stats->us_search = search_span.DurationMicros();
+    stats->us_retrieve += retrieve_span.DurationMicros();
+    stats->us_refine += refine_span.DurationMicros();
+    stats->us_order += order_span.DurationMicros();
+    stats->us_search += search_span.DurationMicros();
+    ++stats->members;
+    for (size_t v : stats->size_attr) stats->sum_candidates_attr += v;
+    for (size_t v : stats->size_retrieved) {
+      stats->sum_candidates_retrieved += v;
+    }
+    for (size_t v : stats->size_refined) stats->sum_candidates_refined += v;
+    stats->est_cost +=
+        EstimateOrderCost(pattern, stats->size_refined, order, index,
+                          options.order);
     stats->search.steps += search_stats.steps;
     stats->search.edge_checks += search_stats.edge_checks;
     stats->search.backtracks += search_stats.backtracks;

@@ -108,6 +108,20 @@ struct PipelineStats {
   int threads = 0;
   /// Work-stealing events summed across the retrieve/refine/search stages.
   uint64_t tasks_stolen = 0;
+  /// MatchPattern invocations accumulated into this stats object (a
+  /// collection select runs one per member graph). All counters below and
+  /// the us_* stage timers above accumulate across calls; the size_* and
+  /// order vectors reflect the most recent call.
+  size_t members = 0;
+  /// Candidate counts summed over pattern nodes and calls — the "before /
+  /// after refine" totals EXPLAIN ANALYZE prints.
+  uint64_t sum_candidates_attr = 0;
+  uint64_t sum_candidates_retrieved = 0;
+  uint64_t sum_candidates_refined = 0;
+  /// Estimated cost of the chosen search order (EstimateOrderCost over the
+  /// refined candidate sizes), summed across calls; compare with
+  /// search.steps for estimated-vs-actual.
+  double est_cost = 0.0;
 
   /// Search-space size as a product of per-node candidate counts.
   static double Space(const std::vector<size_t>& sizes);

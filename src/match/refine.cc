@@ -426,6 +426,7 @@ void RefineSnapParallel(const algebra::GraphPattern& pattern,
 
   uint64_t tasks_stolen = 0;
   int max_workers_seen = 0;
+  std::vector<ThreadPool::WorkerLane> lanes;
   std::atomic<bool> aborted{false};
 
   for (int l = 0; l < level; ++l) {
@@ -488,6 +489,7 @@ void RefineSnapParallel(const algebra::GraphPattern& pattern,
     ThreadPool::RunStats run = tp.ParallelFor(todo.size(), workers, check_pair);
     tasks_stolen += run.stolen;
     max_workers_seen = std::max(max_workers_seen, run.workers);
+    MergeWorkerLanes(&lanes, run.lanes);
 
     if (aborted.load(std::memory_order_relaxed)) {
       local.aborted = true;
@@ -534,6 +536,7 @@ void RefineSnapParallel(const algebra::GraphPattern& pattern,
   if (pstats != nullptr) {
     pstats->workers = max_workers_seen;
     pstats->tasks_stolen = tasks_stolen;
+    pstats->lanes = std::move(lanes);
   }
   if (metrics != nullptr) {
     metrics->GetCounter("match.refine.snapshot_passes")->Increment();
@@ -607,6 +610,7 @@ void RefineSearchSpaceParallel(const algebra::GraphPattern& pattern,
 
   uint64_t tasks_stolen = 0;
   int max_workers_seen = 0;
+  std::vector<ThreadPool::WorkerLane> lanes;
   std::atomic<bool> aborted{false};
 
   for (int l = 0; l < level; ++l) {
@@ -660,6 +664,7 @@ void RefineSearchSpaceParallel(const algebra::GraphPattern& pattern,
     ThreadPool::RunStats run = tp.ParallelFor(todo.size(), workers, check_pair);
     tasks_stolen += run.stolen;
     max_workers_seen = std::max(max_workers_seen, run.workers);
+    MergeWorkerLanes(&lanes, run.lanes);
 
     if (aborted.load(std::memory_order_relaxed)) {
       // The level's verdicts are incomplete: discard them (earlier levels'
@@ -713,6 +718,7 @@ void RefineSearchSpaceParallel(const algebra::GraphPattern& pattern,
   if (pstats != nullptr) {
     pstats->workers = max_workers_seen;
     pstats->tasks_stolen = tasks_stolen;
+    pstats->lanes = std::move(lanes);
   }
 
   if (stats != nullptr) {

@@ -70,6 +70,9 @@ void RefineSearchSpace(const algebra::GraphPattern& pattern, const Graph& data,
 struct ParallelRefineStats {
   int workers = 0;  ///< Participants (0 when the serial path was taken).
   uint64_t tasks_stolen = 0;  ///< Pair checks run off their home deque.
+  /// One lane per OS thread that served the refinement's ParallelFor jobs
+  /// (levels merged via MergeWorkerLanes); drawn by the trace exporter.
+  std::vector<ThreadPool::WorkerLane> lanes;
 };
 
 /// Parallel refinement: within each level the (u, v) pair checks are

@@ -1,0 +1,19 @@
+#include "obs/clock.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
+namespace graphql::obs {
+
+int64_t ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace graphql::obs

@@ -15,6 +15,11 @@ inline int64_t NowMicros() {
       .count();
 }
 
+/// CPU time consumed by the calling thread, in microseconds; 0 where the
+/// platform offers no thread CPU clock. Used by the flight recorder to
+/// report wall vs. CPU micros per query.
+int64_t ThreadCpuMicros();
+
 }  // namespace graphql::obs
 
 #endif  // GRAPHQL_OBS_CLOCK_H_

@@ -38,15 +38,49 @@ uint64_t Histogram::BucketUpperBound(int i) {
   return (uint64_t{1} << i) - 1;
 }
 
+uint64_t Histogram::BucketLowerBound(int i) {
+  if (i <= 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+namespace {
+
+void AtomicStoreMin(std::atomic<uint64_t>* a, uint64_t value) {
+  uint64_t prev = a->load(std::memory_order_relaxed);
+  while (value < prev &&
+         !a->compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicStoreMax(std::atomic<uint64_t>* a, uint64_t value) {
+  uint64_t prev = a->load(std::memory_order_relaxed);
+  while (value > prev &&
+         !a->compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+uint64_t Histogram::Min() const {
+  uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
 void Histogram::Record(uint64_t value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicStoreMin(&min_, value);
+  AtomicStoreMax(&max_, value);
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
 }
 
 void Histogram::Merge(const HistogramSnapshot& other) {
   count_.fetch_add(other.count, std::memory_order_relaxed);
   sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  if (other.count != 0) {
+    AtomicStoreMin(&min_, other.min);
+    AtomicStoreMax(&max_, other.max);
+  }
   for (int i = 0; i < kNumBuckets; ++i) {
     if (other.buckets[i] != 0) {
       buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
@@ -57,6 +91,8 @@ void Histogram::Merge(const HistogramSnapshot& other) {
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
@@ -74,10 +110,24 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t before = seen;
     seen += buckets[i];
-    if (seen >= rank) return Histogram::BucketUpperBound(i);
+    if (seen < rank) continue;
+    // Interpolate linearly within the bucket: the rank-th recording is
+    // (rank - before) of this bucket's `buckets[i]` values. The exact
+    // extrema clamp the estimate (in particular for the open-ended last
+    // bucket, whose nominal upper bound is UINT64_MAX).
+    uint64_t lo = std::max(Histogram::BucketLowerBound(i), min);
+    uint64_t hi = std::min(Histogram::BucketUpperBound(i), max);
+    if (hi <= lo) return std::clamp(lo, min, max);
+    double fraction = static_cast<double>(rank - before) /
+                      static_cast<double>(buckets[i]);
+    uint64_t v = lo + static_cast<uint64_t>(
+                          static_cast<double>(hi - lo) * fraction + 0.5);
+    return std::clamp(v, min, max);
   }
-  return Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
+  return max;
 }
 
 MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
@@ -97,6 +147,12 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
     HistogramSnapshot d;
     d.count = hist.count >= before.count ? hist.count - before.count : 0;
     d.sum = hist.sum >= before.sum ? hist.sum - before.sum : 0;
+    // Extrema are not invertible: the delta carries the whole-history
+    // min/max (a conservative envelope for the interval's recordings).
+    if (d.count != 0) {
+      d.min = hist.min;
+      d.max = hist.max;
+    }
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
       d.buckets[i] = hist.buckets[i] >= before.buckets[i]
                          ? hist.buckets[i] - before.buckets[i]
@@ -127,6 +183,10 @@ std::string MetricsSnapshot::ToJson() const {
     out.append(FormatU64(hist.count));
     out.append(",\"sum\":");
     out.append(FormatU64(hist.sum));
+    out.append(",\"min\":");
+    out.append(FormatU64(hist.min));
+    out.append(",\"max\":");
+    out.append(FormatU64(hist.max));
     out.append(",\"buckets\":[");
     // Trailing empty buckets are elided; bucket i covers [2^(i-1), 2^i).
     int last = Histogram::kNumBuckets - 1;
@@ -157,12 +217,16 @@ std::string MetricsSnapshot::ToText() const {
     out.append(FormatU64(hist.sum));
     out.append(" mean=");
     out.append(FormatDouble(hist.Mean()));
-    out.append(" p50<=");
+    out.append(" min=");
+    out.append(FormatU64(hist.min));
+    out.append(" p50~");
     out.append(FormatU64(hist.Percentile(50)));
-    out.append(" p90<=");
+    out.append(" p90~");
     out.append(FormatU64(hist.Percentile(90)));
-    out.append(" p99<=");
+    out.append(" p99~");
     out.append(FormatU64(hist.Percentile(99)));
+    out.append(" max=");
+    out.append(FormatU64(hist.max));
     out.push_back('\n');
   }
   return out;
@@ -198,6 +262,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     HistogramSnapshot s;
     s.count = hist->Count();
     s.sum = hist->Sum();
+    s.min = hist->Min();
+    s.max = hist->Max();
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
       s.buckets[i] = hist->BucketCount(i);
     }

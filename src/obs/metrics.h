@@ -43,6 +43,9 @@ class Histogram {
   void Merge(const HistogramSnapshot& other);
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest value recorded so far; 0 when empty.
+  uint64_t Min() const;
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
   uint64_t BucketCount(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
@@ -52,10 +55,16 @@ class Histogram {
   static int BucketOf(uint64_t value);
   /// Inclusive upper bound of a bucket's value range.
   static uint64_t BucketUpperBound(int i);
+  /// Smallest value a bucket can hold (2^(i-1) for i >= 1, else 0).
+  static uint64_t BucketLowerBound(int i);
 
  private:
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+  /// Exact extrema of the recorded values (min_ is UINT64_MAX while
+  /// empty); they bound the interpolated percentile estimates below.
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
 
@@ -63,12 +72,20 @@ class Histogram {
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
+  /// Exact extrema of the recorded values (both 0 when empty).
+  uint64_t min = 0;
+  uint64_t max = 0;
   std::array<uint64_t, Histogram::kNumBuckets> buckets{};
 
   double Mean() const;
-  /// Approximate percentile (p in [0,100]): the upper bound of the first
-  /// bucket whose cumulative count reaches p% of the total. 0 when empty.
+  /// Approximate percentile (p in [0,100]): linear interpolation within
+  /// the log2 bucket holding the requested rank, clamped to the exact
+  /// [min, max] recorded. (The former upper-bound-only estimate overstated
+  /// p50/p99 by up to 2x.) 0 when empty.
   uint64_t Percentile(double p) const;
+  uint64_t P50() const { return Percentile(50); }
+  uint64_t P95() const { return Percentile(95); }
+  uint64_t P99() const { return Percentile(99); }
 };
 
 /// Point-in-time copy of a whole registry; also the unit of export.

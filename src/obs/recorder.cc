@@ -1,0 +1,328 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace graphql::obs {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long n = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || n <= 0) return fallback;
+  return static_cast<size_t>(n);
+}
+
+int64_t EnvSlowThresholdUs() {
+  const char* v = std::getenv("GQL_SLOW_QUERY_MS");
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  long long n = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || n < 0) return 0;
+  return n * 1000;
+}
+
+void AppendDurationMs(int64_t us, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(us) / 1e3);
+  out->append(buf);
+}
+
+}  // namespace
+
+uint64_t FlightRecorder::HashShape(std::string_view shape) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis.
+  for (char c : shape) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
+std::string QueryRecord::ToLine() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "#%-4" PRIu64 " ", id);
+  out.append(buf);
+  AppendDurationMs(wall_us, &out);
+  std::snprintf(buf, sizeof(buf),
+                "  steps=%" PRIu64 "  matches=%" PRIu64 "  threads=%d",
+                steps, matches, threads);
+  out.append(buf);
+  if (!ok) out.append("  ERROR");
+  if (tripped) {
+    out.append("  tripped:");
+    out.append(trip);
+  }
+  if (truncated) out.append("  truncated");
+  if (degraded) out.append("  degraded");
+  out.append("  ");
+  constexpr size_t kMaxShape = 72;
+  if (shape.size() > kMaxShape) {
+    out.append(shape, 0, kMaxShape - 3);
+    out.append("...");
+  } else {
+    out.append(shape);
+  }
+  return out;
+}
+
+std::string QueryRecord::ToJson() const {
+  std::string out = "{\"id\":";
+  char buf[64];
+  auto num = [&](const char* key, int64_t v) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRId64, key, v);
+    out.append(buf);
+  };
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, id);
+  out.append(buf);
+  out.append(",\"shape\":");
+  AppendJsonString(shape, &out);
+  std::snprintf(buf, sizeof(buf), ",\"shape_hash\":%" PRIu64, shape_hash);
+  out.append(buf);
+  num("start_us", start_us);
+  num("wall_us", wall_us);
+  num("cpu_us", cpu_us);
+  num("us_retrieve", us_retrieve);
+  num("us_refine", us_refine);
+  num("us_order", us_order);
+  num("us_search", us_search);
+  num("steps", static_cast<int64_t>(steps));
+  num("peak_memory_bytes", static_cast<int64_t>(peak_memory_bytes));
+  num("threads", threads);
+  num("tasks_stolen", static_cast<int64_t>(tasks_stolen));
+  num("matches", static_cast<int64_t>(matches));
+  num("returned", static_cast<int64_t>(returned));
+  out.append(",\"ok\":");
+  out.append(ok ? "true" : "false");
+  out.append(",\"tripped\":");
+  out.append(tripped ? "true" : "false");
+  out.append(",\"truncated\":");
+  out.append(truncated ? "true" : "false");
+  out.append(",\"degraded\":");
+  out.append(degraded ? "true" : "false");
+  if (!trip.empty()) {
+    out.append(",\"trip\":");
+    AppendJsonString(trip, &out);
+  }
+  if (!error.empty()) {
+    out.append(",\"error\":");
+    AppendJsonString(error, &out);
+  }
+  out.push_back('}');
+  return out;
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(0, 0) {}
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t slow_capacity)
+    : capacity_(capacity > 0
+                    ? capacity
+                    : EnvSize("GQL_RECORDER_CAPACITY", kDefaultCapacity)),
+      slow_capacity_(slow_capacity > 0 ? slow_capacity
+                                       : kDefaultSlowCapacity),
+      slow_threshold_us_(EnvSlowThresholdUs()) {}
+
+void FlightRecorder::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+}
+
+bool FlightRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void FlightRecorder::set_slow_threshold_us(int64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_us_ = us < 0 ? 0 : us;
+}
+
+int64_t FlightRecorder::slow_threshold_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_us_;
+}
+
+bool FlightRecorder::WantsTrace(bool governed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return false;
+  return slow_threshold_us_ > 0 || governed;
+}
+
+void FlightRecorder::FoldShapeLocked(const QueryRecord& record) {
+  uint64_t key = record.shape_hash;
+  auto it = shapes_.find(key);
+  if (it == shapes_.end()) {
+    if (shapes_.size() >= kMaxShapes) {
+      // Table full: fold into the shared overflow bucket.
+      key = HashShape("(other)");
+      it = shapes_.find(key);
+      if (it == shapes_.end()) {
+        ShapeAggregate other;
+        other.shape = "(other)";
+        other.shape_hash = key;
+        it = shapes_.emplace(key, std::move(other)).first;
+      }
+    } else {
+      ShapeAggregate agg;
+      agg.shape = record.shape;
+      agg.shape_hash = key;
+      it = shapes_.emplace(key, std::move(agg)).first;
+    }
+  }
+  ShapeAggregate& agg = it->second;
+  ++agg.count;
+  agg.total_us += record.wall_us;
+  agg.max_us = std::max(agg.max_us, record.wall_us);
+  if (record.tripped) ++agg.tripped;
+}
+
+uint64_t FlightRecorder::Append(QueryRecord record, const Tracer* tracer,
+                                std::string profile_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return 0;
+  record.id = next_id_++;
+  wall_us_.Record(static_cast<uint64_t>(std::max<int64_t>(record.wall_us, 0)));
+  FoldShapeLocked(record);
+
+  const bool slow =
+      (slow_threshold_us_ > 0 && record.wall_us >= slow_threshold_us_) ||
+      record.tripped;
+  if (slow) {
+    SlowQueryEntry entry;
+    entry.record = record;
+    if (tracer != nullptr) {
+      entry.trace_text = tracer->ToText();
+      entry.trace_json = tracer->ToJson();
+    }
+    entry.profile_json = std::move(profile_json);
+    slow_.push_back(std::move(entry));
+    while (slow_.size() > slow_capacity_) slow_.pop_front();
+  }
+
+  uint64_t id = record.id;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  return id;
+}
+
+std::vector<QueryRecord> FlightRecorder::Recent(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryRecord> out;
+  size_t take = std::min(n, records_.size());
+  out.reserve(take);
+  for (auto it = records_.rbegin(); it != records_.rend() && take > 0;
+       ++it, --take) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<SlowQueryEntry> FlightRecorder::Slow(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out;
+  size_t take = std::min(n, slow_.size());
+  out.reserve(take);
+  for (auto it = slow_.rbegin(); it != slow_.rend() && take > 0;
+       ++it, --take) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<ShapeAggregate> FlightRecorder::Top(size_t n) const {
+  std::vector<ShapeAggregate> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(shapes_.size());
+    for (const auto& [hash, agg] : shapes_) out.push_back(agg);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ShapeAggregate& a, const ShapeAggregate& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.shape < b.shape;  // Deterministic tie-break.
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+HistogramSnapshot FlightRecorder::WallHistogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot s;
+  s.count = wall_us_.Count();
+  s.sum = wall_us_.Sum();
+  s.min = wall_us_.Min();
+  s.max = wall_us_.Max();
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    s.buckets[i] = wall_us_.BucketCount(i);
+  }
+  return s;
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t FlightRecorder::slow_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_.size();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  slow_.clear();
+  shapes_.clear();
+  dropped_ = 0;
+  wall_us_.Reset();
+}
+
+std::string FlightRecorder::ToJson(size_t n) const {
+  std::vector<QueryRecord> recent = Recent(n);
+  std::string out = "{\"records\":[";
+  bool first = true;
+  for (const QueryRecord& r : recent) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(r.ToJson());
+  }
+  out.append("],\"slow_count\":");
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%zu", slow_size());
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf), ",\"dropped\":%" PRIu64, dropped());
+  out.append(buf);
+  out.append(",\"wall_us\":");
+  HistogramSnapshot wall = WallHistogram();
+  std::snprintf(buf, sizeof(buf),
+                "{\"p50\":%" PRIu64 ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64
+                "}",
+                wall.P50(), wall.P95(), wall.P99());
+  out.append(buf);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace graphql::obs

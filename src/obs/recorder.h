@@ -1,0 +1,174 @@
+#ifndef GRAPHQL_OBS_RECORDER_H_
+#define GRAPHQL_OBS_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace graphql::obs {
+
+class Tracer;
+
+/// Everything the flight recorder keeps about one query execution. Small
+/// and self-contained (a few ints plus the normalized query shape), so a
+/// full ring of them costs on the order of tens of kilobytes.
+struct QueryRecord {
+  uint64_t id = 0;        ///< Monotonic per-recorder sequence number.
+  int64_t start_us = 0;   ///< NowMicros() when the run began.
+  /// Query text with literals replaced by `?`, so executions of the same
+  /// statement with different constants aggregate together (`:top`).
+  std::string shape;
+  uint64_t shape_hash = 0;  ///< FNV-1a of `shape`.
+  int64_t wall_us = 0;      ///< Wall-clock duration of the whole program.
+  int64_t cpu_us = 0;       ///< Coordinator-thread CPU time consumed.
+  /// Per-stage wall micros summed over the program's FLWR selections
+  /// (lifted from the retrieve/refine/order/search span durations).
+  int64_t us_retrieve = 0;
+  int64_t us_refine = 0;
+  int64_t us_order = 0;
+  int64_t us_search = 0;
+  uint64_t steps = 0;              ///< Governor steps charged.
+  uint64_t peak_memory_bytes = 0;  ///< Governor peak reserved bytes.
+  int threads = 0;                 ///< Max workers across selections.
+  uint64_t tasks_stolen = 0;       ///< Work-stealing events, all stages.
+  uint64_t matches = 0;            ///< Subgraphs matched by selections.
+  uint64_t returned = 0;           ///< Graphs in QueryResult::returned.
+  bool ok = true;                  ///< Run finished without an error Status.
+  bool tripped = false;            ///< A governor limit ended the query.
+  bool truncated = false;          ///< A selection hit max_matches.
+  bool degraded = false;           ///< Graceful degradation occurred.
+  std::string trip;  ///< "kind@point" when tripped, else empty.
+  std::string error;  ///< Error Status message when !ok.
+
+  /// Single-line rendering for `:recent` style listings.
+  std::string ToLine() const;
+  /// One JSON object (the admin-endpoint export unit).
+  std::string ToJson() const;
+};
+
+/// Aggregate of every recorded execution of one query shape (`:top`).
+struct ShapeAggregate {
+  std::string shape;
+  uint64_t shape_hash = 0;
+  uint64_t count = 0;
+  int64_t total_us = 0;
+  int64_t max_us = 0;
+  uint64_t tripped = 0;  ///< Executions that hit a governor limit.
+
+  int64_t MeanMicros() const {
+    return count == 0 ? 0 : total_us / static_cast<int64_t>(count);
+  }
+};
+
+/// A slow-query-log entry: the record plus the full trace tree captured
+/// at completion (text for shells, JSON for exports) and the profile JSON
+/// when the run was profiled.
+struct SlowQueryEntry {
+  QueryRecord record;
+  std::string trace_text;
+  std::string trace_json;
+  std::string profile_json;
+};
+
+/// Fixed-capacity, thread-safe ring buffer of per-query telemetry — the
+/// always-on flight recorder every Evaluator::Run appends to. Appends are
+/// a mutex acquire plus a couple of copies; there is no per-query
+/// allocation beyond the record itself, so recording is cheap enough to
+/// leave on in production (see bench_storage_snapshot's recorder lane).
+///
+/// Three views over the stream:
+///  - Recent(n): the last n records, newest first (`:recent`).
+///  - Slow(n):  the retained slow-query entries with full traces
+///    (`:slow`) — a query is retained when its wall time reaches
+///    slow_threshold_us, or when it tripped a governor limit.
+///  - Top(n):   per-shape aggregates over the recorder's whole history,
+///    by total wall time (`:top`).
+///
+/// Environment defaults: GQL_RECORDER_CAPACITY (records kept),
+/// GQL_SLOW_QUERY_MS (slow threshold; 0 disables the wall-time trigger —
+/// limit trips are always retained).
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kDefaultSlowCapacity = 32;
+  /// Shape aggregation is bounded; the least-recently-created shapes fold
+  /// into an "(other)" bucket once the table is full.
+  static constexpr size_t kMaxShapes = 1024;
+
+  /// Capacities <= 0 fall back to the defaults; env knobs override.
+  FlightRecorder();
+  FlightRecorder(size_t capacity, size_t slow_capacity);
+
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Wall-time threshold for slow-log retention; 0 disables it (limit
+  /// trips are still retained).
+  void set_slow_threshold_us(int64_t us);
+  int64_t slow_threshold_us() const;
+
+  /// True when an upcoming query should run with tracing enabled so a
+  /// slow-log entry can carry its full trace: the recorder is on and
+  /// either the wall-time trigger or the governed-query trigger is in
+  /// scope. `governed` says whether the query runs under resource limits.
+  bool WantsTrace(bool governed) const;
+
+  /// Records one finished query. Fills record.id, appends to the ring,
+  /// folds the shape aggregate, and — when the record qualifies as slow —
+  /// retains a SlowQueryEntry rendering the tracer's current tree
+  /// (`tracer` may be null; `profile_json` may be empty). Returns the
+  /// assigned id.
+  uint64_t Append(QueryRecord record, const Tracer* tracer,
+                  std::string profile_json);
+
+  /// The last min(n, size) records, newest first.
+  std::vector<QueryRecord> Recent(size_t n) const;
+  /// Retained slow-query entries, newest first.
+  std::vector<SlowQueryEntry> Slow(size_t n) const;
+  /// Shape aggregates ordered by total wall time, heaviest first.
+  std::vector<ShapeAggregate> Top(size_t n) const;
+  /// Snapshot of the wall-time histogram over every recorded query
+  /// (P50/P95/P99 for `:top` footers and admin endpoints).
+  HistogramSnapshot WallHistogram() const;
+
+  size_t size() const;
+  size_t capacity() const;
+  /// Records that fell off the ring so far.
+  uint64_t dropped() const;
+  size_t slow_size() const;
+
+  /// Clears records, slow entries, and aggregates (capacity, threshold,
+  /// and the id sequence are unchanged).
+  void Clear();
+
+  /// {"records":[...],"slow_count":N,...} for admin-style consumers.
+  std::string ToJson(size_t n) const;
+
+  /// FNV-1a, the shape hash used by QueryRecord.
+  static uint64_t HashShape(std::string_view shape);
+
+ private:
+  void FoldShapeLocked(const QueryRecord& record);
+
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  size_t capacity_;
+  size_t slow_capacity_;
+  int64_t slow_threshold_us_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+  std::deque<QueryRecord> records_;     ///< Oldest first.
+  std::deque<SlowQueryEntry> slow_;     ///< Oldest first.
+  std::unordered_map<uint64_t, ShapeAggregate> shapes_;
+  Histogram wall_us_;
+};
+
+}  // namespace graphql::obs
+
+#endif  // GRAPHQL_OBS_RECORDER_H_

@@ -22,6 +22,21 @@ int64_t TraceNode::Attr(std::string_view key, int64_t fallback) const {
   return fallback;
 }
 
+void TraceNode::SetAttr(std::string_view key, int64_t value) {
+  TraceAttr a;
+  a.key = std::string(key);
+  a.num = value;
+  a.is_num = true;
+  attrs.push_back(std::move(a));
+}
+
+void TraceNode::SetAttr(std::string_view key, std::string_view value) {
+  TraceAttr a;
+  a.key = std::string(key);
+  a.text = std::string(value);
+  attrs.push_back(std::move(a));
+}
+
 void Tracer::Reset() {
   roots_.clear();
   stack_.clear();
@@ -45,6 +60,27 @@ TraceNode* Tracer::BeginSpan(std::string_view name, int64_t start_us) {
     stack_.back()->children.push_back(std::move(node));
   }
   stack_.push_back(raw);
+  ++num_nodes_;
+  return raw;
+}
+
+TraceNode* Tracer::AddCompleted(std::string_view name, int64_t start_us,
+                                int64_t duration_us) {
+  if (!enabled_) return nullptr;
+  if (num_nodes_ >= max_nodes_) {
+    ++dropped_;
+    return nullptr;
+  }
+  auto node = std::make_unique<TraceNode>();
+  node->name = std::string(name);
+  node->start_us = start_us;
+  node->duration_us = duration_us;
+  TraceNode* raw = node.get();
+  if (stack_.empty()) {
+    roots_.push_back(std::move(node));
+  } else {
+    stack_.back()->children.push_back(std::move(node));
+  }
   ++num_nodes_;
   return raw;
 }

@@ -30,6 +30,10 @@ struct TraceNode {
   const TraceNode* Child(std::string_view child_name) const;
   /// Value of a numeric attribute; `fallback` if absent.
   int64_t Attr(std::string_view key, int64_t fallback = 0) const;
+  /// Appends a numeric / string attribute (see Span::SetAttr for the RAII
+  /// path; this direct form serves Tracer::AddCompleted nodes).
+  void SetAttr(std::string_view key, int64_t value);
+  void SetAttr(std::string_view key, std::string_view value);
 };
 
 /// Collects a tree of spans for one query/program. Not thread-safe: one
@@ -68,6 +72,15 @@ class Tracer {
   // Span internals (use the Span RAII type instead of calling these).
   TraceNode* BeginSpan(std::string_view name, int64_t start_us);
   void EndSpan(TraceNode* node);
+
+  /// Appends an already-measured span as a child of the innermost open
+  /// span (or as a root) without touching the open-span stack. Used by
+  /// coordinators to record per-worker lanes after a parallel stage: the
+  /// workers ran while the stage span was open, but only the coordinator
+  /// may write the (single-threaded) tracer. Returns null when disabled
+  /// or over the node cap.
+  TraceNode* AddCompleted(std::string_view name, int64_t start_us,
+                          int64_t duration_us);
 
  private:
   bool enabled_;

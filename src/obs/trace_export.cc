@@ -1,0 +1,137 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "obs/json.h"
+
+namespace graphql::obs {
+
+namespace {
+
+void AppendComma(std::string* out) {
+  if (!out->empty()) out->push_back(',');
+}
+
+void AppendEventHeader(std::string_view name, char phase, int64_t ts,
+                       int64_t pid, int64_t tid, std::string* out) {
+  out->append("{\"name\":");
+  AppendJsonString(name, out);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"cat\":\"gql\",\"ph\":\"%c\",\"ts\":%" PRId64
+                ",\"pid\":%" PRId64 ",\"tid\":%" PRId64,
+                phase, ts, pid, tid);
+  out->append(buf);
+}
+
+void AppendMetadata(std::string_view kind, std::string_view value,
+                    int64_t pid, int64_t tid, std::string* out) {
+  AppendComma(out);
+  out->append("{\"name\":");
+  AppendJsonString(kind, out);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf),
+                ",\"ph\":\"M\",\"pid\":%" PRId64 ",\"tid\":%" PRId64
+                ",\"args\":{\"name\":",
+                pid, tid);
+  out->append(buf);
+  AppendJsonString(value, out);
+  out->append("}}");
+}
+
+struct ExportState {
+  const ChromeTraceOptions* options;
+  std::string* events;
+  std::set<int64_t> worker_tids;
+};
+
+void ExportNode(const TraceNode& node, int64_t inherited_tid,
+                ExportState* state) {
+  int64_t tid = node.Attr("tid", inherited_tid);
+  if (tid != inherited_tid) state->worker_tids.insert(tid);
+  std::string* out = state->events;
+
+  AppendComma(out);
+  AppendEventHeader(node.name, 'B', node.start_us, state->options->pid, tid,
+                    out);
+  if (!node.attrs.empty()) {
+    out->append(",\"args\":{");
+    bool first = true;
+    char buf[32];
+    for (const TraceAttr& a : node.attrs) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendJsonString(a.key, out);
+      out->push_back(':');
+      if (a.is_num) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64, a.num);
+        out->append(buf);
+      } else {
+        AppendJsonString(a.text, out);
+      }
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+
+  for (const auto& child : node.children) {
+    ExportNode(*child, tid, state);
+  }
+
+  AppendComma(out);
+  AppendEventHeader(node.name, 'E', node.start_us + node.duration_us,
+                    state->options->pid, tid, out);
+  out->push_back('}');
+}
+
+}  // namespace
+
+void AppendChromeTraceEvents(const Tracer& tracer,
+                             const ChromeTraceOptions& options,
+                             std::string* events) {
+  ExportState state;
+  state.options = &options;
+  state.events = events;
+  for (const auto& root : tracer.roots()) {
+    ExportNode(*root, options.default_tid, &state);
+  }
+  // Lane labels. Re-emitted per call; trace viewers take the last value.
+  AppendMetadata("process_name", "gql", options.pid, options.default_tid,
+                 events);
+  AppendMetadata("thread_name", "evaluator", options.pid,
+                 options.default_tid, events);
+  char buf[48];
+  for (int64_t tid : state.worker_tids) {
+    std::snprintf(buf, sizeof(buf), "worker-%" PRId64, tid);
+    AppendMetadata("thread_name", buf, options.pid, tid, events);
+  }
+}
+
+std::string WrapChromeTrace(std::string_view events) {
+  std::string out = "{\"traceEvents\":[";
+  out.append(events);
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path, std::string_view events,
+                          std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  std::string doc = WrapChromeTrace(events);
+  file.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+  file.flush();
+  if (!file) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace graphql::obs

@@ -1,0 +1,44 @@
+#ifndef GRAPHQL_OBS_TRACE_EXPORT_H_
+#define GRAPHQL_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace graphql::obs {
+
+/// Serialization of Tracer span trees to the Chrome trace-event JSON
+/// format (chrome://tracing, Perfetto). Each span becomes a B/E event
+/// pair; a span carrying a numeric "tid" attribute — the per-worker lanes
+/// the parallel pipeline stages record — lands on that thread lane, other
+/// spans inherit their parent's lane (ultimately `default_tid`, the
+/// evaluating thread). Thread-name metadata events label the lanes.
+struct ChromeTraceOptions {
+  int64_t pid = 1;
+  /// Lane for spans without a worker tid; pass the evaluating thread's
+  /// CurrentOsThreadId() so the coordinator lane is a real thread id too.
+  int64_t default_tid = 1;
+};
+
+/// Appends the tracer's recorded span trees as comma-separated Chrome
+/// trace events (no enclosing brackets) to *events. May be called after
+/// every run with the same buffer: a session accumulates one growing
+/// event stream on a shared monotonic clock.
+void AppendChromeTraceEvents(const Tracer& tracer,
+                             const ChromeTraceOptions& options,
+                             std::string* events);
+
+/// Wraps an accumulated event stream into the full JSON document:
+/// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+std::string WrapChromeTrace(std::string_view events);
+
+/// Writes WrapChromeTrace(events) to `path`, replacing any existing file.
+/// False on I/O failure, with *error describing it (error may be null).
+bool WriteChromeTraceFile(const std::string& path, std::string_view events,
+                          std::string* error = nullptr);
+
+}  // namespace graphql::obs
+
+#endif  // GRAPHQL_OBS_TRACE_EXPORT_H_

@@ -69,11 +69,59 @@ TEST(HistogramTest, RecordAndSnapshot) {
   const HistogramSnapshot& hs = snap.histograms.at("lat.us");
   EXPECT_EQ(hs.count, 4u);
   EXPECT_EQ(hs.sum, 201u);
+  EXPECT_EQ(hs.min, 0u);
+  EXPECT_EQ(hs.max, 100u);
   EXPECT_DOUBLE_EQ(hs.Mean(), 201.0 / 4.0);
-  // p100 is the upper bound of the last non-empty bucket; 100 falls in
-  // bucket 7 = [64,128), so the bound is 127.
-  EXPECT_EQ(hs.Percentile(100), 127u);
+  // The exact max clamps the top percentile (bucket 7 = [64,128) alone
+  // would report 127).
+  EXPECT_EQ(hs.Percentile(100), 100u);
   EXPECT_EQ(hs.Percentile(25), 0u);  // First recording is the value 0.
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat.us");
+  // 100 values spread across [64, 128): all land in bucket 7, where the
+  // old upper-bound estimate returned 127 for every percentile.
+  for (uint64_t v = 0; v < 100; ++v) h->Record(64 + (v * 64) / 100);
+  HistogramSnapshot hs = registry.Snapshot().histograms.at("lat.us");
+  uint64_t p50 = hs.P50();
+  EXPECT_GE(p50, 64u);
+  EXPECT_LT(p50, 127u);  // Strictly better than the bucket bound.
+  EXPECT_LE(hs.P50(), hs.P95());
+  EXPECT_LE(hs.P95(), hs.P99());
+  EXPECT_LE(hs.P99(), hs.max);
+  EXPECT_GE(hs.Percentile(0), hs.min);
+}
+
+TEST(HistogramTest, SingleValuePercentilesAreExact) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat.us");
+  h->Record(5);
+  HistogramSnapshot hs = registry.Snapshot().histograms.at("lat.us");
+  EXPECT_EQ(hs.min, 5u);
+  EXPECT_EQ(hs.max, 5u);
+  EXPECT_EQ(hs.P50(), 5u);
+  EXPECT_EQ(hs.P99(), 5u);
+}
+
+TEST(HistogramTest, MinMaxResetAndMerge) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat.us");
+  h->Record(7);
+  h->Record(900);
+  EXPECT_EQ(h->Min(), 7u);
+  EXPECT_EQ(h->Max(), 900u);
+  h->Reset();
+  EXPECT_EQ(h->Min(), 0u);
+  EXPECT_EQ(h->Max(), 0u);
+
+  MetricsRegistry shard;
+  shard.GetHistogram("lat.us")->Record(3);
+  shard.GetHistogram("lat.us")->Record(50);
+  registry.Merge(shard.Snapshot());
+  EXPECT_EQ(h->Min(), 3u);
+  EXPECT_EQ(h->Max(), 50u);
 }
 
 TEST(HistogramTest, PercentileOnEmptyIsZero) {
@@ -115,6 +163,66 @@ TEST(MetricsRegistryTest, DeltaSince) {
   EXPECT_EQ(delta.histograms.at("h").count, 2u);
   EXPECT_EQ(delta.histograms.at("h").sum, 8u);
   EXPECT_EQ(delta.histograms.at("h").buckets[Histogram::BucketOf(4)], 2u);
+}
+
+TEST(MetricsRegistryTest, DeltaSinceMetricsAbsentFromBase) {
+  MetricsRegistry registry;
+  MetricsSnapshot before = registry.Snapshot();  // Empty base.
+
+  registry.GetCounter("new.counter")->Increment(11);
+  registry.GetHistogram("new.hist")->Record(6);
+  registry.GetHistogram("new.hist")->Record(20);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  // Metrics the base never saw pass through whole.
+  EXPECT_EQ(delta.counters.at("new.counter"), 11u);
+  const HistogramSnapshot& h = delta.histograms.at("new.hist");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 26u);
+  EXPECT_EQ(h.min, 6u);
+  EXPECT_EQ(h.max, 20u);
+  EXPECT_EQ(h.buckets[Histogram::BucketOf(6)], 1u);
+  EXPECT_EQ(h.buckets[Histogram::BucketOf(20)], 1u);
+}
+
+TEST(HistogramTest, MergeRacingConcurrentRecords) {
+  // Exercised under TSan in CI: Merge's bucket-wise adds and min/max
+  // folds must be safe against concurrent Record calls.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("race.hist");
+  MetricsRegistry shard_registry;
+  Histogram* shard_hist = shard_registry.GetHistogram("race.hist");
+  constexpr int kRecorders = 4;
+  constexpr int kPerThread = 5000;
+  constexpr int kMerges = 200;
+  for (int i = 0; i < 100; ++i) {
+    shard_hist->Record(static_cast<uint64_t>(i));
+  }
+  HistogramSnapshot shard = shard_registry.Snapshot().histograms.at(
+      "race.hist");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kRecorders; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  threads.emplace_back([h, &shard] {
+    for (int i = 0; i < kMerges; ++i) h->Merge(shard);
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(h->Count(),
+            uint64_t{kRecorders} * kPerThread + uint64_t{kMerges} * 100);
+  EXPECT_EQ(h->Min(), 0u);
+  EXPECT_EQ(h->Max(), uint64_t{kRecorders} * kPerThread - 1);
+  uint64_t bucket_total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucket_total += h->BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, h->Count());
 }
 
 TEST(MetricsRegistryTest, JsonExport) {

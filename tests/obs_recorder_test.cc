@@ -1,0 +1,217 @@
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace graphql::obs {
+namespace {
+
+QueryRecord MakeRecord(int64_t wall_us, const std::string& shape) {
+  QueryRecord r;
+  r.shape = shape;
+  r.shape_hash = FlightRecorder::HashShape(shape);
+  r.wall_us = wall_us;
+  return r;
+}
+
+TEST(FlightRecorderTest, AppendAssignsIdsAndRecentIsNewestFirst) {
+  FlightRecorder rec(/*capacity=*/8, /*slow_capacity=*/4);
+  EXPECT_EQ(rec.Append(MakeRecord(100, "q1"), nullptr, ""), 1u);
+  EXPECT_EQ(rec.Append(MakeRecord(200, "q2"), nullptr, ""), 2u);
+  EXPECT_EQ(rec.Append(MakeRecord(300, "q3"), nullptr, ""), 3u);
+  std::vector<QueryRecord> recent = rec.Recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].shape, "q3");
+  EXPECT_EQ(recent[1].shape, "q2");
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestAndCountsDropped) {
+  FlightRecorder rec(/*capacity=*/3, /*slow_capacity=*/4);
+  for (int i = 0; i < 5; ++i) {
+    rec.Append(MakeRecord(i, "q" + std::to_string(i)), nullptr, "");
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  std::vector<QueryRecord> recent = rec.Recent(10);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].shape, "q4");
+  EXPECT_EQ(recent[2].shape, "q2");
+}
+
+TEST(FlightRecorderTest, SlowRetentionByThresholdWithTrace) {
+  FlightRecorder rec(8, 4);
+  rec.set_slow_threshold_us(1000);
+  Tracer tracer(true);
+  {
+    Span s(&tracer, "program");
+    Span inner(&tracer, "select");
+  }
+  rec.Append(MakeRecord(500, "fast"), &tracer, "");
+  EXPECT_EQ(rec.slow_size(), 0u);
+  rec.Append(MakeRecord(1500, "slow"), &tracer, "{\"trace\":[]}");
+  ASSERT_EQ(rec.slow_size(), 1u);
+  std::vector<SlowQueryEntry> slow = rec.Slow(4);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].record.shape, "slow");
+  // The full trace tree was rendered at retention time.
+  EXPECT_NE(slow[0].trace_text.find("program"), std::string::npos);
+  EXPECT_NE(slow[0].trace_text.find("select"), std::string::npos);
+  EXPECT_NE(slow[0].trace_json.find("\"name\":\"program\""),
+            std::string::npos);
+  EXPECT_EQ(slow[0].profile_json, "{\"trace\":[]}");
+}
+
+TEST(FlightRecorderTest, TrippedQueriesAlwaysRetainedEvenWithoutThreshold) {
+  FlightRecorder rec(8, 4);
+  ASSERT_EQ(rec.slow_threshold_us(), 0);
+  QueryRecord r = MakeRecord(10, "tripped");
+  r.tripped = true;
+  r.trip = "steps@search";
+  rec.Append(std::move(r), nullptr, "");
+  ASSERT_EQ(rec.slow_size(), 1u);
+  EXPECT_EQ(rec.Slow(1)[0].record.trip, "steps@search");
+}
+
+TEST(FlightRecorderTest, SlowLogIsBounded) {
+  FlightRecorder rec(64, /*slow_capacity=*/2);
+  rec.set_slow_threshold_us(1);
+  for (int i = 0; i < 5; ++i) {
+    rec.Append(MakeRecord(100 + i, "s" + std::to_string(i)), nullptr, "");
+  }
+  EXPECT_EQ(rec.slow_size(), 2u);
+  std::vector<SlowQueryEntry> slow = rec.Slow(10);
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].record.shape, "s4");  // Newest first.
+  EXPECT_EQ(slow[1].record.shape, "s3");
+}
+
+TEST(FlightRecorderTest, TopAggregatesByShapeHeaviestFirst) {
+  FlightRecorder rec(64, 4);
+  rec.Append(MakeRecord(100, "light"), nullptr, "");
+  rec.Append(MakeRecord(300, "heavy"), nullptr, "");
+  QueryRecord tripped = MakeRecord(400, "heavy");
+  tripped.tripped = true;
+  rec.Append(std::move(tripped), nullptr, "");
+  std::vector<ShapeAggregate> top = rec.Top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].shape, "heavy");
+  EXPECT_EQ(top[0].count, 2u);
+  EXPECT_EQ(top[0].total_us, 700);
+  EXPECT_EQ(top[0].max_us, 400);
+  EXPECT_EQ(top[0].MeanMicros(), 350);
+  EXPECT_EQ(top[0].tripped, 1u);
+  EXPECT_EQ(top[1].shape, "light");
+  // Top(1) truncates.
+  EXPECT_EQ(rec.Top(1).size(), 1u);
+}
+
+TEST(FlightRecorderTest, WallHistogramTracksPercentiles) {
+  FlightRecorder rec(256, 4);
+  for (int i = 1; i <= 100; ++i) {
+    rec.Append(MakeRecord(i * 10, "q"), nullptr, "");
+  }
+  HistogramSnapshot wall = rec.WallHistogram();
+  EXPECT_EQ(wall.count, 100u);
+  EXPECT_EQ(wall.min, 10u);
+  EXPECT_EQ(wall.max, 1000u);
+  EXPECT_LE(wall.P50(), wall.P95());
+  EXPECT_LE(wall.P95(), wall.P99());
+  EXPECT_LE(wall.P99(), wall.max);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder rec(8, 4);
+  rec.set_enabled(false);
+  EXPECT_EQ(rec.Append(MakeRecord(100, "q"), nullptr, ""), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_FALSE(rec.WantsTrace(/*governed=*/true));
+  rec.set_enabled(true);
+  EXPECT_NE(rec.Append(MakeRecord(100, "q"), nullptr, ""), 0u);
+}
+
+TEST(FlightRecorderTest, WantsTraceFollowsThresholdAndGovernance) {
+  FlightRecorder rec(8, 4);
+  ASSERT_EQ(rec.slow_threshold_us(), 0);
+  EXPECT_FALSE(rec.WantsTrace(/*governed=*/false));
+  EXPECT_TRUE(rec.WantsTrace(/*governed=*/true));  // Trips are retained.
+  rec.set_slow_threshold_us(5000);
+  EXPECT_TRUE(rec.WantsTrace(/*governed=*/false));
+}
+
+TEST(FlightRecorderTest, ClearResetsRecordsButNotIdSequence) {
+  FlightRecorder rec(8, 4);
+  rec.Append(MakeRecord(100, "q"), nullptr, "");
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.Top(10).size(), 0u);
+  EXPECT_EQ(rec.WallHistogram().count, 0u);
+  EXPECT_EQ(rec.Append(MakeRecord(100, "q"), nullptr, ""), 2u);
+}
+
+TEST(FlightRecorderTest, ShapeTableOverflowFoldsIntoOther) {
+  FlightRecorder rec(FlightRecorder::kMaxShapes + 64, 4);
+  for (size_t i = 0; i < FlightRecorder::kMaxShapes + 10; ++i) {
+    rec.Append(MakeRecord(1, "shape" + std::to_string(i)), nullptr, "");
+  }
+  std::vector<ShapeAggregate> top =
+      rec.Top(FlightRecorder::kMaxShapes + 16);
+  // The table never exceeds kMaxShapes + the "(other)" bucket.
+  EXPECT_LE(top.size(), FlightRecorder::kMaxShapes + 1);
+  uint64_t other_count = 0;
+  for (const ShapeAggregate& s : top) {
+    if (s.shape == "(other)") other_count = s.count;
+  }
+  EXPECT_GE(other_count, 10u);
+}
+
+TEST(FlightRecorderTest, ToJsonAndToLineRenderKeyFields) {
+  FlightRecorder rec(8, 4);
+  QueryRecord r = MakeRecord(1234, "graph P { } ;");
+  r.steps = 42;
+  r.matches = 7;
+  r.threads = 4;
+  r.truncated = true;
+  rec.Append(r, nullptr, "");
+  std::string json = rec.ToJson(8);
+  EXPECT_NE(json.find("\"records\":["), std::string::npos);
+  EXPECT_NE(json.find("\"wall_us\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_us\":{\"p50\":"), std::string::npos)
+      << json;
+  std::string line = rec.Recent(1)[0].ToLine();
+  EXPECT_NE(line.find("steps=42"), std::string::npos);
+  EXPECT_NE(line.find("matches=7"), std::string::npos);
+  EXPECT_NE(line.find("truncated"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentAppendsAreSafe) {
+  FlightRecorder rec(128, 8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.Append(MakeRecord(i, "t" + std::to_string(t)), nullptr, "");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(rec.size(), 128u);
+  EXPECT_EQ(rec.dropped(),
+            static_cast<uint64_t>(kThreads * kPerThread - 128));
+  uint64_t total = 0;
+  for (const ShapeAggregate& s : rec.Top(8)) total += s.count;
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace graphql::obs

@@ -1,0 +1,147 @@
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace graphql::obs {
+namespace {
+
+/// Counts occurrences of a substring.
+size_t CountOf(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceExportTest, EmitsBalancedBeginEndPairs) {
+  Tracer tracer(true);
+  {
+    Span program(&tracer, "program");
+    Span select(&tracer, "select");
+    Span match(&tracer, "match");
+  }
+  std::string events;
+  AppendChromeTraceEvents(tracer, ChromeTraceOptions{}, &events);
+  EXPECT_EQ(CountOf(events, "\"ph\":\"B\""), 3u);
+  EXPECT_EQ(CountOf(events, "\"ph\":\"E\""), 3u);
+  EXPECT_EQ(CountOf(events, "\"name\":\"program\""), 2u);  // B and E.
+  // Metadata labels the process and the evaluator lane.
+  EXPECT_NE(events.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(events.find("process_name"), std::string::npos);
+  EXPECT_NE(events.find("\"name\":\"evaluator\""), std::string::npos);
+}
+
+TEST(TraceExportTest, WorkerTidAttributeRoutesToItsOwnLane) {
+  Tracer tracer(true);
+  {
+    Span stage(&tracer, "search");
+    TraceNode* w1 = tracer.AddCompleted("worker", 10, 100);
+    ASSERT_NE(w1, nullptr);
+    w1->SetAttr("tid", static_cast<int64_t>(7001));
+    w1->SetAttr("tasks", static_cast<int64_t>(5));
+    TraceNode* w2 = tracer.AddCompleted("worker", 12, 90);
+    ASSERT_NE(w2, nullptr);
+    w2->SetAttr("tid", static_cast<int64_t>(7002));
+  }
+  ChromeTraceOptions options;
+  options.default_tid = 42;
+  std::string events;
+  AppendChromeTraceEvents(tracer, options, &events);
+  // The stage span stays on the evaluator lane; each worker span lands on
+  // its own tid, labeled by a thread_name metadata event.
+  EXPECT_NE(events.find("\"name\":\"search\",\"cat\":\"gql\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_EQ(CountOf(events, "\"tid\":42"), 4u);  // search B/E + 2 metadata.
+  // Worker spans: B header + the tid arg + E header + thread_name.
+  EXPECT_EQ(CountOf(events, "\"tid\":7001"), 4u);
+  EXPECT_EQ(CountOf(events, "\"tid\":7002"), 4u);
+  EXPECT_NE(events.find("worker-7001"), std::string::npos);
+  EXPECT_NE(events.find("worker-7002"), std::string::npos);
+  // Worker args survived the export.
+  EXPECT_NE(events.find("\"tasks\":5"), std::string::npos);
+}
+
+TEST(TraceExportTest, EventsAccumulateAcrossRuns) {
+  Tracer tracer(true);
+  std::string events;
+  {
+    Span a(&tracer, "run1");
+  }
+  AppendChromeTraceEvents(tracer, ChromeTraceOptions{}, &events);
+  tracer.Reset();
+  {
+    Span b(&tracer, "run2");
+  }
+  AppendChromeTraceEvents(tracer, ChromeTraceOptions{}, &events);
+  EXPECT_NE(events.find("\"name\":\"run1\""), std::string::npos);
+  EXPECT_NE(events.find("\"name\":\"run2\""), std::string::npos);
+}
+
+TEST(TraceExportTest, WrapProducesSingleJsonDocument) {
+  Tracer tracer(true);
+  {
+    Span s(&tracer, "q");
+    s.SetAttr("pattern", "P\"quoted\"");
+  }
+  std::string events;
+  AppendChromeTraceEvents(tracer, ChromeTraceOptions{}, &events);
+  std::string doc = WrapChromeTrace(events);
+  EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The attribute string was escaped.
+  EXPECT_NE(doc.find("P\\\"quoted\\\""), std::string::npos);
+  // Braces/brackets balance (no nested-string braces in this input).
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < doc.size(); ++i) {
+    char c = doc[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExportTest, WriteChromeTraceFileRoundTrips) {
+  Tracer tracer(true);
+  {
+    Span s(&tracer, "q");
+  }
+  std::string events;
+  AppendChromeTraceEvents(tracer, ChromeTraceOptions{}, &events);
+  std::string path = ::testing::TempDir() + "/gql_trace_export_test.json";
+  ASSERT_TRUE(WriteChromeTraceFile(path, events));
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good());
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  EXPECT_EQ(contents.str(), WrapChromeTrace(events));
+  std::remove(path.c_str());
+
+  std::string error;
+  EXPECT_FALSE(WriteChromeTraceFile(
+      ::testing::TempDir() + "/no/such/dir/trace.json", events, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace graphql::obs

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validates a Chrome-trace (Perfetto) file written by GQL_TRACE_EXPORT.
+
+Usage:
+    python3 tools/check_trace.py trace.json [--require-workers]
+
+Checks the invariants the exporter (src/obs/trace_export.cc) guarantees,
+so CI catches a malformed export before a human tries to load it:
+
+  - the file is one JSON object with a "traceEvents" array;
+  - every event carries a non-empty string "name", a "ph" in {B, E, M},
+    and integer "pid"/"tid" fields;
+  - duration events (B/E) carry a non-negative numeric "ts", and within
+    each tid the B/E sequence is stack-balanced (every E closes the most
+    recent open B of the same name; nothing stays open at the end);
+  - at least one metadata event names the process, and every tid that
+    appears on a duration event also appears on a thread_name metadata
+    event or is the default evaluator lane.
+
+With --require-workers, additionally fails unless at least one
+"worker-<tid>" lane is present (used by CI lanes that force GQL_THREADS
+so parallel stages must emit worker spans).
+
+Exits 0 when valid; prints the first violation and exits 1 otherwise.
+"""
+
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "M"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}")
+    sys.exit(1)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    require_workers = "--require-workers" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__)
+        sys.exit(2)
+    path = args[0]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' must be a non-empty array")
+
+    stacks = {}          # tid -> list of open span names
+    duration_tids = set()
+    named_tids = set()   # tids labeled by thread_name metadata
+    worker_lanes = set()
+    saw_process_name = False
+
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing or empty 'name'")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            fail(f"{where} ({name!r}): 'ph' is {ph!r}, expected B/E/M")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"{where} ({name!r}): missing integer {key!r}")
+
+        if ph == "M":
+            if name == "process_name":
+                saw_process_name = True
+            if name == "thread_name":
+                named_tids.add(ev["tid"])
+                label = ev.get("args", {}).get("name", "")
+                if isinstance(label, str) and label.startswith("worker-"):
+                    worker_lanes.add(ev["tid"])
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where} ({name!r}): B/E event needs non-negative 'ts'")
+        tid = ev["tid"]
+        duration_tids.add(tid)
+        stack = stacks.setdefault(tid, [])
+        if ph == "B":
+            stack.append(name)
+        else:
+            if not stack:
+                fail(f"{where}: E {name!r} on tid {tid} with no open span")
+            top = stack.pop()
+            if top != name:
+                fail(f"{where}: E {name!r} closes open span {top!r} "
+                     f"on tid {tid}")
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"{path}: tid {tid} ends with unclosed spans {stack}")
+    if not saw_process_name:
+        fail(f"{path}: no process_name metadata event")
+    unnamed = duration_tids - named_tids
+    if unnamed:
+        fail(f"{path}: duration tids without thread_name metadata: "
+             f"{sorted(unnamed)}")
+    if require_workers and not worker_lanes:
+        fail(f"{path}: --require-workers set but no worker-<tid> lanes")
+
+    begins = sum(1 for e in events if e.get("ph") == "B")
+    lanes = len(duration_tids)
+    workers = len(worker_lanes)
+    print(f"check_trace: OK: {path}: {begins} spans across {lanes} lane(s)"
+          f" ({workers} worker lane(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,8 @@ by running a bench binary with GQL_BENCH_METRICS_JSON=<path>, or saved
 from gqlsh's `:metrics json`) and summarized as counter totals plus
 histogram count/sum/mean/p50/p90/p99. Histogram percentiles are derived
 from the registry's log2 buckets (bucket 0 holds value 0, bucket i holds
-[2^(i-1), 2^i)), so they are upper bounds accurate to a factor of 2.
+[2^(i-1), 2^i)) by interpolating within the bucket and clamping to the
+recorded [min, max] — mirroring obs::HistogramSnapshot::Percentile.
 """
 
 import json
@@ -41,27 +42,59 @@ def parse_counter_value(text):
     return float(text)
 
 
+def bucket_lower_bound(i):
+    """Lower bound of log2 bucket i (see obs::Histogram::BucketLowerBound)."""
+    return 0 if i == 0 else 1 << (i - 1)
+
+
 def bucket_upper_bound(i):
     """Upper bound of log2 bucket i (see obs::Histogram::BucketUpperBound)."""
     return 0 if i == 0 else (1 << i) - 1
 
 
-def histogram_percentile(buckets, count, p):
-    """Value upper bound below which fraction p of recordings fall."""
+def histogram_percentile(buckets, count, p, lo=0, hi=None):
+    """Percentile estimate mirroring obs::HistogramSnapshot::Percentile:
+    linear interpolation within the covering bucket, clamped to the
+    recorded [lo, hi] extrema (exact for min/max, a factor-of-2 estimate
+    in between)."""
     if count == 0:
         return 0
-    rank = max(1, int(p * count + 0.999999))
+    if hi is None:
+        hi = bucket_upper_bound(len(buckets) - 1)
+    rank = max(1, int(p * count))
     seen = 0
     for i, c in enumerate(buckets):
+        if c == 0:
+            continue
+        before = seen
         seen += c
-        if seen >= rank:
-            return bucket_upper_bound(i)
-    return bucket_upper_bound(len(buckets) - 1)
+        if seen < rank:
+            continue
+        blo = max(bucket_lower_bound(i), lo)
+        bhi = min(bucket_upper_bound(i), hi)
+        if bhi <= blo:
+            return min(max(blo, lo), hi)
+        v = blo + int((bhi - blo) * (rank - before) / c + 0.5)
+        return min(max(v, lo), hi)
+    return hi
+
+
+def format_stamp(data):
+    """One-line rendering of a BENCH_*.json provenance stamp, if present."""
+    stamp = data.get("stamp")
+    if not isinstance(stamp, dict):
+        return ""
+    return (f"  stamp: build={stamp.get('build_type', '?')}  "
+            f"hw_threads={stamp.get('hardware_concurrency', '?')}  "
+            f"gql_threads={stamp.get('gql_threads', '?')}")
 
 
 def summarize_parallel(path, data):
     """Renders a bench_parallel_scaling dump (BENCH_parallel.json)."""
     print(f"\n== parallel scaling: {path} ==")
+    stamp = format_stamp(data)
+    if stamp:
+        print(stamp)
     print(f"  workload: {data.get('workload', '?')}  "
           f"queries={data.get('queries', '?')}  "
           f"reps={data.get('reps', '?')}  "
@@ -84,6 +117,9 @@ def summarize_parallel(path, data):
 def summarize_storage(path, data):
     """Renders a bench_storage_snapshot dump (BENCH_storage.json)."""
     print(f"\n== storage snapshot: {path} ==")
+    stamp = format_stamp(data)
+    if stamp:
+        print(stamp)
     print(f"  workload: {data.get('workload', '?')}  "
           f"reps={data.get('reps', '?')}")
     print(f"  snapshot: {data.get('snapshot_bytes', 0)} bytes "
@@ -100,11 +136,14 @@ def summarize_storage(path, data):
                   f"{lane.get('peak_bytes', 0):>12} "
                   f"{lane.get('sum_peak_bytes', 0):>15} "
                   f"{lane.get('matches', 0):>8}")
-    if len(lanes) == 2 and lanes[1].get("ms"):
+    if len(lanes) >= 2 and lanes[1].get("ms"):
         speedup = lanes[0].get("ms", 0) / lanes[1]["ms"]
         print(f"  governed peak reduction: "
               f"{data.get('peak_reduction', 0) * 100:.1f}%  "
               f"throughput: {speedup:.2f}x")
+    if "recorder_overhead" in data:
+        print(f"  flight-recorder overhead: "
+              f"{data['recorder_overhead'] * 100:+.2f}% (budget 2%)")
 
 
 def summarize_metrics(path):
@@ -121,6 +160,9 @@ def summarize_metrics(path):
         summarize_storage(path, data)
         return
     print(f"\n== metrics: {path} ==")
+    stamp = format_stamp(data)
+    if stamp:
+        print(stamp)
     counters = data.get("counters", {})
     if counters:
         print("  counters:")
@@ -129,16 +171,19 @@ def summarize_metrics(path):
             print(f"    {name:<{width}}  {counters[name]}")
     histograms = data.get("histograms", {})
     if histograms:
-        print("  histograms (count / sum / mean / p50 / p90 / p99):")
+        print("  histograms (count / sum / mean / min / max / "
+              "p50 / p90 / p99):")
         for name in sorted(histograms):
             h = histograms[name]
             count, total = h.get("count", 0), h.get("sum", 0)
             buckets = h.get("buckets", [])
+            lo, hi = h.get("min", 0), h.get("max")
             mean = total / count if count else 0
-            p50, p90, p99 = (histogram_percentile(buckets, count, p)
+            p50, p90, p99 = (histogram_percentile(buckets, count, p, lo, hi)
                              for p in (0.5, 0.9, 0.99))
             print(f"    {name}  count={count}  sum={total}  "
-                  f"mean={mean:.1f}  p50<={p50}  p90<={p90}  p99<={p99}")
+                  f"mean={mean:.1f}  min={lo}  max={hi if count else 0}  "
+                  f"p50~{p50}  p90~{p90}  p99~{p99}")
 
 
 def summarize_console(path):
