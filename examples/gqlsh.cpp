@@ -50,9 +50,7 @@
 //   CHECK   <program>          statically analyze without executing (like
 //                              :check but for inline source)
 
-#include <atomic>
 #include <cctype>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -61,6 +59,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/signals.h"
 #include "exec/evaluator.h"
 #include "io/serialize.h"
 #include "lang/parser.h"
@@ -70,26 +69,12 @@ using namespace graphql;
 
 namespace {
 
-/// Governor of the query currently executing, if any. The SIGINT handler
-/// cancels it (Cancel() is a single relaxed atomic store, so it is
-/// async-signal-safe); with no query in flight the signal is ignored and
-/// the shell survives.
-std::atomic<ResourceGovernor*> g_active_governor{nullptr};
-
-extern "C" void HandleSigint(int) {
-  ResourceGovernor* gov = g_active_governor.load(std::memory_order_relaxed);
-  if (gov != nullptr) gov->Cancel();
-}
-
-/// RAII: publishes the governor for the duration of a Run.
-struct CancelScope {
-  explicit CancelScope(ResourceGovernor* gov) {
-    g_active_governor.store(gov, std::memory_order_relaxed);
-  }
-  ~CancelScope() {
-    g_active_governor.store(nullptr, std::memory_order_relaxed);
-  }
-};
+// Ctrl-C cancels the running query through common/signals.h: main()
+// installs a scoped SIGINT handler (SigintCancelScope), and each Run
+// publishes its governor via CancelScope. The handler used to live here
+// as a static std::signal install, which claimed SIGINT for any process
+// linking the shell code; the scoped form leaves server processes (gqld)
+// free to own SIGINT/SIGTERM for graceful drain.
 
 struct Shell {
   exec::DocumentRegistry docs;
@@ -593,7 +578,11 @@ bool IsCompleteProgram(const std::string& buffer) {
 
 int main(int argc, char** argv) {
   Shell shell;
-  std::signal(SIGINT, HandleSigint);
+  shell.evaluator.set_session_label("shell");
+  // Scoped, restorable SIGINT-cancel handler: per-process and explicit
+  // (see common/signals.h) — the shell wants Ctrl-C to kill the query,
+  // a server owns its signals by simply not creating this scope.
+  SigintCancelScope sigint_scope;
 
   if (argc > 1) {
     // Batch mode: process the script line-by-line so that ':' shell

@@ -39,6 +39,12 @@ const char* GovernPointName(GovernPoint point) {
       return "gindex";
     case GovernPoint::kEval:
       return "eval";
+    case GovernPoint::kAccept:
+      return "accept";
+    case GovernPoint::kFrameRead:
+      return "frame_read";
+    case GovernPoint::kCommit:
+      return "commit";
     case GovernPoint::kOther:
       return "other";
   }
@@ -130,7 +136,9 @@ void FaultInjector::AddRule(GovernPoint point, uint64_t at, TripKind kind) {
 }
 
 TripKind FaultInjector::OnCharge(GovernPoint point) {
-  uint64_t count = ++counts_[static_cast<int>(point)];
+  uint64_t count = counts_[static_cast<int>(point)].fetch_add(
+                       1, std::memory_order_relaxed) +
+                   1;
   for (const Rule& rule : rules_) {
     if (rule.point == point && rule.at == count) return rule.kind;
   }

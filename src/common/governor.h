@@ -35,6 +35,12 @@ enum class GovernPoint {
   kDatalog,       ///< Datalog fixpoint evaluation.
   kGindex,        ///< Collection-index filter+verify.
   kEval,          ///< FLWR evaluator (statements, instantiation).
+  // Server-side points (src/server/). These never fire from the engine's
+  // governor checks; the query server charges them directly against the
+  // fault injector to make connection/commit failures deterministic.
+  kAccept,        ///< gqld accept loop: the N-th accepted connection fails.
+  kFrameRead,     ///< Wire framing: the N-th request frame read fails.
+  kCommit,        ///< GraphStore commit: the N-th commit aborts.
   kOther,
 };
 inline constexpr int kNumGovernPoints = static_cast<int>(GovernPoint::kOther) + 1;
@@ -64,11 +70,34 @@ struct GovernorLimits {
 /// that point trips with the given kind (default `steps`), e.g.
 ///   GQL_FAULT=refine@3            third refine charge trips the budget
 ///   GQL_FAULT=search@1:deadline   first search charge trips the deadline
-/// Points: search, refine, retrieve, neighborhood, datalog, gindex, eval.
-/// Kinds: steps, deadline, cancel, memory.
+/// Points: search, refine, retrieve, neighborhood, datalog, gindex, eval,
+/// plus the server-side points accept, frame_read, and commit:
+///   GQL_FAULT=accept@3            gqld drops the third accepted connection
+///   GQL_FAULT=frame_read@5        the fifth request frame reads as corrupt
+///   GQL_FAULT=commit@2            the second GraphStore commit aborts
+///                                 (kResourceExhausted; nothing published)
+/// Server points are charged by src/server/ code, not by governor checks;
+/// the injected kind maps onto the failure (cancel → connection torn down,
+/// anything else → a structured error response). Kinds: steps, deadline,
+/// cancel, memory.
+///
+/// OnCharge() is thread-safe (the server charges accept/frame_read/commit
+/// from different threads than the evaluating sessions); counts are
+/// per-point atomics.
 class FaultInjector {
  public:
   FaultInjector() = default;
+  FaultInjector(const FaultInjector& other) { *this = other; }
+  FaultInjector& operator=(const FaultInjector& other) {
+    if (this != &other) {
+      rules_ = other.rules_;
+      for (int i = 0; i < kNumGovernPoints; ++i) {
+        counts_[i].store(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      }
+    }
+    return *this;
+  }
 
   /// Parses a spec; kInvalidArgument on malformed input.
   static Result<FaultInjector> Parse(std::string_view spec);
@@ -82,7 +111,7 @@ class FaultInjector {
   void AddRule(GovernPoint point, uint64_t at, TripKind kind);
 
   /// Counts a charge against `point`; returns the kind to inject when a
-  /// rule matches this exact count, kNone otherwise.
+  /// rule matches this exact count, kNone otherwise. Thread-safe.
   TripKind OnCharge(GovernPoint point);
 
   bool empty() const { return rules_.empty(); }
@@ -94,7 +123,7 @@ class FaultInjector {
     TripKind kind;
   };
   std::vector<Rule> rules_;
-  std::array<uint64_t, kNumGovernPoints> counts_{};
+  std::array<std::atomic<uint64_t>, kNumGovernPoints> counts_{};
 };
 
 /// Per-query resource governor: a wall-clock deadline, a cooperative

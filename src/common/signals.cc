@@ -1,0 +1,39 @@
+#include "common/signals.h"
+
+namespace graphql {
+
+namespace {
+
+std::atomic<ResourceGovernor*> g_cancel_governor{nullptr};
+
+extern "C" void HandleSigintCancel(int) {
+  ResourceGovernor* gov = g_cancel_governor.load(std::memory_order_relaxed);
+  if (gov != nullptr) gov->Cancel();
+}
+
+}  // namespace
+
+void SetActiveCancelGovernor(ResourceGovernor* gov) {
+  g_cancel_governor.store(gov, std::memory_order_relaxed);
+}
+
+ResourceGovernor* ActiveCancelGovernor() {
+  return g_cancel_governor.load(std::memory_order_relaxed);
+}
+
+SigintCancelScope::SigintCancelScope() {
+  struct sigaction action {};
+  action.sa_handler = HandleSigintCancel;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: a Ctrl-C at the prompt must not make the shell's blocking
+  // stdin read fail with EINTR (the shell would exit); the running query
+  // is cancelled through the governor, not through interrupted syscalls.
+  action.sa_flags = SA_RESTART;
+  installed_ = sigaction(SIGINT, &action, &previous_) == 0;
+}
+
+SigintCancelScope::~SigintCancelScope() {
+  if (installed_) sigaction(SIGINT, &previous_, nullptr);
+}
+
+}  // namespace graphql

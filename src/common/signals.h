@@ -1,0 +1,55 @@
+#ifndef GRAPHQL_COMMON_SIGNALS_H_
+#define GRAPHQL_COMMON_SIGNALS_H_
+
+#include <atomic>
+#include <csignal>
+
+#include "common/governor.h"
+
+namespace graphql {
+
+/// Process-wide slot naming the governor a SIGINT-cancel handler should
+/// target. Publishing is a single relaxed atomic store, so both the
+/// publisher (the shell, around each Run) and the consumer (the signal
+/// handler) are async-signal-safe.
+///
+/// This used to live as a static inside gqlsh, which implicitly claimed
+/// SIGINT for the whole process; hoisted here so the handler is installed
+/// *explicitly and scoped* (SigintCancelScope below) — a process that
+/// embeds the evaluator AND runs the query server leaves SIGINT/SIGTERM
+/// to the server's drain logic by simply not creating the scope.
+void SetActiveCancelGovernor(ResourceGovernor* gov);
+ResourceGovernor* ActiveCancelGovernor();
+
+/// RAII: publishes `gov` as the cancel target for the duration of a query.
+class CancelScope {
+ public:
+  explicit CancelScope(ResourceGovernor* gov) { SetActiveCancelGovernor(gov); }
+  ~CancelScope() { SetActiveCancelGovernor(nullptr); }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+};
+
+/// Installs (via sigaction) a SIGINT handler that cancels the active
+/// governor — the query dies, the process survives — and restores the
+/// previous disposition on destruction. Construct one at the top of an
+/// interactive shell's main(); do NOT construct one in a server process,
+/// which owns its signals for graceful drain.
+class SigintCancelScope {
+ public:
+  SigintCancelScope();
+  ~SigintCancelScope();
+  SigintCancelScope(const SigintCancelScope&) = delete;
+  SigintCancelScope& operator=(const SigintCancelScope&) = delete;
+
+  /// True when the handler was installed (sigaction succeeded).
+  bool installed() const { return installed_; }
+
+ private:
+  struct sigaction previous_ {};
+  bool installed_ = false;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_SIGNALS_H_

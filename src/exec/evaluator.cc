@@ -193,7 +193,7 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   // the Chrome-trace export, or the flight recorder's slow-query log
   // (which retains full traces of slow or governor-tripped runs).
   const bool want_trace = profiling_ || !trace_export_path_.empty() ||
-                          recorder_.WantsTrace(governor_.HasLimits());
+                          recorder()->WantsTrace(governor_.HasLimits());
   tracer_.set_enabled(want_trace);
   if (want_trace) tracer_.Reset();
   obs::MetricsSnapshot before;
@@ -266,6 +266,7 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   // Flight-record the run — successes, trips, and failures alike.
   obs::QueryRecord rec;
   rec.start_us = start_us;
+  rec.session = session_label_;
   rec.shape = NormalizeShape(program);
   rec.shape_hash = obs::FlightRecorder::HashShape(rec.shape);
   rec.wall_us = program_span.DurationMicros();
@@ -292,7 +293,7 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   }
   rec.truncated = result.limits.truncated;
   rec.degraded |= !result.limits.degradations.empty();
-  recorder_.Append(std::move(rec), ActiveTracer(), result.profile_json);
+  recorder()->Append(std::move(rec), ActiveTracer(), result.profile_json);
 
   // Rewrite the Chrome-trace export with this run's spans appended.
   if (!trace_export_path_.empty() && tracer_.enabled()) {

@@ -172,8 +172,38 @@ class Evaluator {
   /// (wall/CPU time, per-stage micros, governor outcome, normalized query
   /// shape); runs over the slow threshold — or tripped by the governor —
   /// additionally retain their full trace tree. See obs::FlightRecorder.
-  obs::FlightRecorder* recorder() { return &recorder_; }
-  const obs::FlightRecorder* recorder() const { return &recorder_; }
+  /// When a shared recorder was installed (the query server points every
+  /// session at one process-wide recorder), that one is returned instead
+  /// of the built-in per-evaluator ring.
+  obs::FlightRecorder* recorder() {
+    return shared_recorder_ != nullptr ? shared_recorder_ : &recorder_;
+  }
+  const obs::FlightRecorder* recorder() const {
+    return shared_recorder_ != nullptr ? shared_recorder_ : &recorder_;
+  }
+
+  /// Routes flight records into an external recorder shared across
+  /// evaluators (null restores the built-in one). The recorder is
+  /// thread-safe; the server shares one across all sessions so `:recent`/
+  /// `:slow` see the whole process's traffic.
+  void set_shared_recorder(obs::FlightRecorder* recorder) {
+    shared_recorder_ = recorder;
+  }
+
+  /// Label stamped into every QueryRecord this evaluator appends
+  /// (QueryRecord::session) — the server sets "s<connection-id>", gqlsh
+  /// sets "shell". Empty (default) leaves records unattributed.
+  void set_session_label(std::string label) {
+    session_label_ = std::move(label);
+  }
+  const std::string& session_label() const { return session_label_; }
+
+  /// Drops every cached per-graph LabelIndex. The server calls this when
+  /// the shared GraphStore publishes a new version: cache keys are graph
+  /// addresses, and a freed collection's addresses may be reused by a
+  /// later commit (the classic ABA), so the cache must not outlive the
+  /// store version it was built against.
+  void InvalidateIndexCache() { index_cache_.clear(); }
 
   /// Chrome-trace (Perfetto) export: when a path is set — explicitly or
   /// via $GQL_TRACE_EXPORT — every Run records a span tree (even without
@@ -254,6 +284,8 @@ class Evaluator {
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_{false};
   obs::FlightRecorder recorder_;
+  obs::FlightRecorder* shared_recorder_ = nullptr;
+  std::string session_label_;
   /// Chrome-trace destination; seeded from $GQL_TRACE_EXPORT (see the
   /// constructor), overridable per session via set_trace_export_path.
   std::string trace_export_path_;

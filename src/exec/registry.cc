@@ -4,6 +4,12 @@ namespace graphql::exec {
 
 void DocumentRegistry::Register(std::string name, GraphCollection collection) {
   collection.set_name(name);
+  docs_[std::move(name)] =
+      std::make_shared<const GraphCollection>(std::move(collection));
+}
+
+void DocumentRegistry::RegisterShared(
+    std::string name, std::shared_ptr<const GraphCollection> collection) {
   docs_[std::move(name)] = std::move(collection);
 }
 
@@ -15,7 +21,13 @@ void DocumentRegistry::RegisterGraph(std::string name, Graph graph) {
 
 const GraphCollection* DocumentRegistry::Find(const std::string& name) const {
   auto it = docs_.find(name);
-  return it == docs_.end() ? nullptr : &it->second;
+  return it == docs_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<const GraphCollection> DocumentRegistry::FindShared(
+    const std::string& name) const {
+  auto it = docs_.find(name);
+  return it == docs_.end() ? nullptr : it->second;
 }
 
 }  // namespace graphql::exec

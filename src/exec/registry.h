@@ -1,6 +1,7 @@
 #ifndef GRAPHQL_EXEC_REGISTRY_H_
 #define GRAPHQL_EXEC_REGISTRY_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -11,21 +12,43 @@ namespace graphql::exec {
 /// Named graph collections addressable from queries via `doc("name")`.
 /// A single large graph is registered as a one-member collection — the
 /// paper treats both database categories uniformly (Section 3.3).
+///
+/// Collections are held by shared_ptr-to-const, so a registry is a cheap
+/// *view*: copying one (or rebuilding a per-query view from a pinned
+/// GraphStore snapshot, see src/server/store.h) copies pointers, not
+/// graphs, and a collection referenced by an in-flight query stays alive
+/// even after the registry re-registers or drops the name.
 class DocumentRegistry {
  public:
   /// Registers (or replaces) a collection under `name`.
   void Register(std::string name, GraphCollection collection);
 
+  /// Registers an already-frozen shared collection. The collection is
+  /// immutable from here on (readers may be scanning it concurrently);
+  /// its name is not rewritten — set it before freezing.
+  void RegisterShared(std::string name,
+                      std::shared_ptr<const GraphCollection> collection);
+
   /// Convenience: registers a single graph as a one-member collection.
   void RegisterGraph(std::string name, Graph graph);
 
-  /// Returns the collection, or null if unknown.
+  /// Returns the collection, or null if unknown. The pointer is valid
+  /// until this name is re-registered or the registry dies; callers that
+  /// need the collection to outlive either hold FindShared().
   const GraphCollection* Find(const std::string& name) const;
+
+  /// Shared handle for the collection, or null.
+  std::shared_ptr<const GraphCollection> FindShared(
+      const std::string& name) const;
+
+  /// Removes every registration (in-flight shared handles stay valid).
+  void Clear() { docs_.clear(); }
 
   size_t size() const { return docs_.size(); }
 
  private:
-  std::unordered_map<std::string, GraphCollection> docs_;
+  std::unordered_map<std::string, std::shared_ptr<const GraphCollection>>
+      docs_;
 };
 
 }  // namespace graphql::exec

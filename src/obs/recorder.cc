@@ -52,6 +52,11 @@ std::string QueryRecord::ToLine() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf), "#%-4" PRIu64 " ", id);
   out.append(buf);
+  if (!session.empty()) {
+    out.append("[");
+    out.append(session);
+    out.append("] ");
+  }
   AppendDurationMs(wall_us, &out);
   std::snprintf(buf, sizeof(buf),
                 "  steps=%" PRIu64 "  matches=%" PRIu64 "  threads=%d",
@@ -116,6 +121,10 @@ std::string QueryRecord::ToJson() const {
   if (!error.empty()) {
     out.append(",\"error\":");
     AppendJsonString(error, &out);
+  }
+  if (!session.empty()) {
+    out.append(",\"session\":");
+    AppendJsonString(session, &out);
   }
   out.push_back('}');
   return out;

@@ -21,6 +21,11 @@ class Tracer;
 struct QueryRecord {
   uint64_t id = 0;        ///< Monotonic per-recorder sequence number.
   int64_t start_us = 0;   ///< NowMicros() when the run began.
+  /// Session/connection label ("s17" for server connection 17, "shell"
+  /// for gqlsh). Empty for unattributed embedded use. With a recorder
+  /// shared across server sessions this is what makes `:recent`/`:slow`
+  /// and the slow-query log attributable per client.
+  std::string session;
   /// Query text with literals replaced by `?`, so executions of the same
   /// statement with different constants aggregate together (`:top`).
   std::string shape;

@@ -1,0 +1,78 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace graphql::server {
+
+namespace {
+
+int DefaultMaxConcurrent() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max(4, static_cast<int>(hw) * 2);
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : max_concurrent_(config.max_concurrent > 0 ? config.max_concurrent
+                                                : DefaultMaxConcurrent()),
+      memory_pool_bytes_(config.memory_pool_bytes),
+      default_query_bytes_(config.default_query_bytes),
+      retry_after_ms_(config.retry_after_ms) {}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot(bytes_);
+    controller_ = nullptr;
+  }
+}
+
+std::optional<AdmissionController::Ticket> AdmissionController::TryAdmit(
+    uint64_t bytes) {
+  if (bytes == 0) bytes = default_query_bytes_;
+  if (memory_pool_bytes_ != 0) {
+    bytes = std::min(bytes, memory_pool_bytes_);
+  } else {
+    bytes = 0;  // Unlimited pool: track concurrency only.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ >= max_concurrent_ ||
+      (memory_pool_bytes_ != 0 &&
+       pool_used_ + bytes > memory_pool_bytes_)) {
+    ++shed_;
+    return std::nullopt;
+  }
+  ++active_;
+  pool_used_ += bytes;
+  ++admitted_;
+  return Ticket(this, bytes);
+}
+
+void AdmissionController::ReleaseSlot(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  pool_used_ -= std::min(bytes, pool_used_);
+}
+
+int AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+uint64_t AdmissionController::pool_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_used_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace graphql::server

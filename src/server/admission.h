@@ -1,0 +1,98 @@
+#ifndef GRAPHQL_SERVER_ADMISSION_H_
+#define GRAPHQL_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+namespace graphql::server {
+
+/// Admission-control configuration. Zeroes mean "derive a default" where
+/// noted; the derived values are visible through AdmissionController's
+/// accessors.
+struct AdmissionConfig {
+  /// Queries allowed to execute concurrently across all sessions
+  /// (0 → 2 × hardware_concurrency, minimum 4).
+  int max_concurrent = 0;
+  /// Shared memory pool queries reserve their budget slices from
+  /// (0 = unlimited pool; admission then gates on concurrency alone).
+  uint64_t memory_pool_bytes = 0;
+  /// Slice charged for a query whose session has no max_memory limit set.
+  uint64_t default_query_bytes = 64ull * 1024 * 1024;
+  /// Retry hint returned with shed responses.
+  uint32_t retry_after_ms = 100;
+};
+
+/// The server's global admission gate: a concurrency limit plus a shared
+/// memory pool, with *explicit load shedding* — TryAdmit never blocks and
+/// never queues. When the gate is saturated the caller turns the refusal
+/// into a structured kResourceExhausted response carrying retry_after_ms,
+/// so overload degrades into fast, bounded-latency rejections instead of
+/// an unbounded queue of doomed work. In-flight queries keep their
+/// admission slot until the RAII ticket drops.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission slot: releases the concurrency slot and the memory
+  /// reservation on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(AdmissionController* controller, uint64_t bytes)
+        : controller_(controller), bytes_(bytes) {}
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      bytes_ = other.bytes_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    void Release();
+
+   private:
+    AdmissionController* controller_ = nullptr;
+    uint64_t bytes_ = 0;
+  };
+
+  /// Tries to admit one query that wants `bytes` of the memory pool
+  /// (0 → the configured default slice; demands above the whole pool are
+  /// clamped to it, so an over-budget session degrades to exclusive
+  /// admission rather than being unschedulable). Returns a ticket, or
+  /// nullopt when the gate is saturated (the caller sheds).
+  std::optional<Ticket> TryAdmit(uint64_t bytes);
+
+  int max_concurrent() const { return max_concurrent_; }
+  uint64_t memory_pool_bytes() const { return memory_pool_bytes_; }
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+  int active() const;
+  uint64_t pool_used() const;
+  uint64_t admitted() const;
+  uint64_t shed() const;
+
+ private:
+  friend class Ticket;
+  void ReleaseSlot(uint64_t bytes);
+
+  const int max_concurrent_;
+  const uint64_t memory_pool_bytes_;
+  const uint64_t default_query_bytes_;
+  const uint32_t retry_after_ms_;
+
+  mutable std::mutex mu_;
+  int active_ = 0;
+  uint64_t pool_used_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace graphql::server
+
+#endif  // GRAPHQL_SERVER_ADMISSION_H_

@@ -1,0 +1,64 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphql::server {
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal(std::string("connect ") + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    Close();
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::Call(const Request& req) {
+  GQL_RETURN_IF_ERROR(SendRaw(EncodeRequest(req)));
+  return ReadResponse();
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  return WriteAll(fd_, bytes);
+}
+
+Result<Response> Client::ReadResponse() {
+  if (fd_ < 0) return Status::Internal("not connected");
+  std::string body;
+  Status st = ReadFrame(fd_, &body);
+  if (st.code() == StatusCode::kNotFound) {
+    return Status::Internal("server closed the connection");
+  }
+  GQL_RETURN_IF_ERROR(st);
+  return DecodeResponse(body);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace graphql::server

@@ -1,0 +1,50 @@
+#ifndef GRAPHQL_SERVER_CLIENT_H_
+#define GRAPHQL_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace graphql::server {
+
+/// Minimal blocking gqld client: one TCP connection, synchronous
+/// request/response. Shared by tools/loadgen and the end-to-end tests;
+/// deliberately transport-only (no retry, no pooling) so tests control
+/// every frame on the wire.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    return *this;
+  }
+
+  Status Connect(const std::string& host, int port);
+
+  /// Sends one request and reads one response.
+  Result<Response> Call(const Request& req);
+
+  /// Raw frame write (tests feeding hostile bytes).
+  Status SendRaw(std::string_view bytes);
+  /// Reads one response frame.
+  Result<Response> ReadResponse();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace graphql::server
+
+#endif  // GRAPHQL_SERVER_CLIENT_H_

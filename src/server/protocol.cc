@@ -1,0 +1,371 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphql::server {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHello:
+      return "hello";
+    case Op::kQuery:
+      return "query";
+    case Op::kPrepare:
+      return "prepare";
+    case Op::kExecute:
+      return "execute";
+    case Op::kSet:
+      return "set";
+    case Op::kLoadText:
+      return "load_text";
+    case Op::kPublish:
+      return "publish";
+    case Op::kDrop:
+      return "drop";
+    case Op::kPing:
+      return "ping";
+    case Op::kStats:
+      return "stats";
+    case Op::kRecent:
+      return "recent";
+    case Op::kClose:
+      return "close";
+  }
+  return "?";
+}
+
+namespace {
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader over one frame body. Every Read*
+/// validates the remaining byte count before touching the buffer, and
+/// ReadString validates the length prefix against the remaining bytes
+/// before allocating — the serialize.cc hardening discipline.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (pos_ + 2 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_++])) <<
+            (8 * i);
+    }
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) <<
+            (8 * i);
+    }
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) <<
+            (8 * i);
+    }
+    return true;
+  }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > data_.size() - pos_) return false;  // Checked before alloc.
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+std::string Framed(std::string body) {
+  std::string out;
+  PutU32(static_cast<uint32_t>(body.size()), &out);
+  out += body;
+  return out;
+}
+
+bool DecodeParam(Reader* r, Value* out) {
+  uint8_t kind = 0;
+  if (!r->ReadU8(&kind)) return false;
+  switch (kind) {
+    case 0:
+      *out = Value();
+      return true;
+    case 1: {
+      uint8_t b = 0;
+      if (!r->ReadU8(&b)) return false;
+      *out = Value(b != 0);
+      return true;
+    }
+    case 2: {
+      uint64_t bits = 0;
+      if (!r->ReadU64(&bits)) return false;
+      *out = Value(static_cast<int64_t>(bits));
+      return true;
+    }
+    case 3: {
+      uint64_t bits = 0;
+      if (!r->ReadU64(&bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value(d);
+      return true;
+    }
+    case 4: {
+      std::string s;
+      if (!r->ReadString(&s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void EncodeParam(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      PutU8(0, out);
+      return;
+    case Value::Kind::kBool:
+      PutU8(1, out);
+      PutU8(v.AsBool() ? 1 : 0, out);
+      return;
+    case Value::Kind::kInt:
+      PutU8(2, out);
+      PutU64(static_cast<uint64_t>(v.AsInt()), out);
+      return;
+    case Value::Kind::kDouble: {
+      PutU8(3, out);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits, out);
+      return;
+    }
+    case Value::Kind::kString:
+      PutU8(4, out);
+      PutString(v.AsString(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& req) {
+  std::string body;
+  PutU8(static_cast<uint8_t>(req.op), &body);
+  switch (req.op) {
+    case Op::kHello:
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kClose:
+      break;
+    case Op::kQuery:
+    case Op::kSet:
+    case Op::kDrop:
+      PutString(req.a, &body);
+      break;
+    case Op::kPrepare:
+    case Op::kLoadText:
+    case Op::kPublish:
+      PutString(req.a, &body);
+      PutString(req.b, &body);
+      break;
+    case Op::kRecent:
+      PutU32(req.n, &body);
+      break;
+    case Op::kExecute:
+      PutString(req.a, &body);
+      PutU16(static_cast<uint16_t>(req.params.size()), &body);
+      for (const Value& v : req.params) EncodeParam(v, &body);
+      break;
+  }
+  return Framed(std::move(body));
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string body;
+  PutU8(static_cast<uint8_t>(resp.code), &body);
+  PutU32(resp.retry_after_ms, &body);
+  PutString(resp.body, &body);
+  return Framed(std::move(body));
+}
+
+Result<Request> DecodeRequest(std::string_view body) {
+  Reader r(body);
+  uint8_t op = 0;
+  if (!r.ReadU8(&op)) {
+    return Status::ParseError("empty request frame");
+  }
+  if (op < static_cast<uint8_t>(Op::kHello) ||
+      op > static_cast<uint8_t>(Op::kClose)) {
+    return Status::ParseError("unknown request op " + std::to_string(op));
+  }
+  Request req;
+  req.op = static_cast<Op>(op);
+  bool ok = true;
+  switch (req.op) {
+    case Op::kHello:
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kClose:
+      break;
+    case Op::kQuery:
+    case Op::kSet:
+    case Op::kDrop:
+      ok = r.ReadString(&req.a);
+      break;
+    case Op::kPrepare:
+    case Op::kLoadText:
+    case Op::kPublish:
+      ok = r.ReadString(&req.a) && r.ReadString(&req.b);
+      break;
+    case Op::kRecent:
+      ok = r.ReadU32(&req.n);
+      break;
+    case Op::kExecute: {
+      uint16_t n = 0;
+      ok = r.ReadString(&req.a) && r.ReadU16(&n);
+      // A param is at least 1 byte; a count promising more params than
+      // remaining bytes is hostile — reject before reserving.
+      if (ok && n > body.size()) ok = false;
+      for (uint16_t i = 0; ok && i < n; ++i) {
+        Value v;
+        ok = DecodeParam(&r, &v);
+        if (ok) req.params.push_back(std::move(v));
+      }
+      break;
+    }
+  }
+  if (!ok || !r.AtEnd()) {
+    return Status::ParseError(std::string("malformed ") + OpName(req.op) +
+                              " request payload");
+  }
+  return req;
+}
+
+Result<Response> DecodeResponse(std::string_view body) {
+  Reader r(body);
+  uint8_t code = 0;
+  Response resp;
+  if (!r.ReadU8(&code) || !r.ReadU32(&resp.retry_after_ms) ||
+      !r.ReadString(&resp.body) || !r.AtEnd()) {
+    return Status::ParseError("malformed response frame");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::ParseError("unknown response status code " +
+                              std::to_string(code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  return resp;
+}
+
+namespace {
+
+/// Reads exactly n bytes; 1 on success, 0 on EOF before any byte, -1 on
+/// EOF mid-buffer or socket error.
+int ReadExact(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) return got == 0 ? 0 : -1;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* body) {
+  char prefix[4];
+  int r = ReadExact(fd, prefix, sizeof(prefix));
+  if (r == 0) return Status::NotFound("peer closed");
+  if (r < 0) return Status::ParseError("eof inside frame length prefix");
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::ParseError("frame length " + std::to_string(len) +
+                              " exceeds the " +
+                              std::to_string(kMaxFrameBytes) + "-byte cap");
+  }
+  body->resize(len);
+  if (len > 0 && ReadExact(fd, body->data(), len) != 1) {
+    return Status::ParseError("eof inside frame body");
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a client that hung up must surface as EPIPE, not kill
+    // the server with SIGPIPE.
+    ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("socket write failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace graphql::server

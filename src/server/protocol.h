@@ -1,0 +1,121 @@
+#ifndef GRAPHQL_SERVER_PROTOCOL_H_
+#define GRAPHQL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace graphql::server {
+
+/// The gqld wire protocol: a symmetric stream of length-prefixed frames
+/// over TCP, little-endian throughout.
+///
+///   frame    := u32 length, body            (length = |body|, bytes)
+///   request  := u8 op, op-specific payload
+///   response := u8 status_code, u32 retry_after_ms, u32 body_len, body
+///
+/// Strings inside payloads are u32-length-prefixed byte runs. Parsing
+/// follows the serialize.cc discipline: every length is validated against
+/// the bytes actually remaining BEFORE any allocation, so a hostile
+/// 0xFFFFFFFF prefix yields kParseError, never a multi-gigabyte reserve.
+/// Frames over kMaxFrameBytes are rejected at the length prefix without
+/// reading the body.
+///
+/// Ops (request payloads):
+///   kHello    ()                    → banner "gqld <proto> ready"
+///   kQuery    (str program)         → run a program in this session
+///   kPrepare  (str name, str text)  → store a parameterized query; $1..$9
+///                                     placeholders stand for literals
+///   kExecute  (str name, u16 n, n×param) → run a prepared query
+///   kSet      (str "key value")     → session limit, like gqlsh :set
+///   kLoadText (str doc, str text)   → session-local collection from
+///                                     WriteCollectionText source
+///   kPublish  (str doc, str var)    → commit a session graph variable
+///                                     into the shared store (write path)
+///   kDrop     (str doc)             → remove a shared doc (write path)
+///   kPing     ()                    → "pong"
+///   kStats    ()                    → server/store/admission stats text
+///   kRecent   (u32 n)               → last n flight-recorder lines
+///   kClose    ()                    → orderly session end
+///
+/// param := u8 kind (0 null, 1 bool, 2 int, 3 double, 4 string), payload
+/// (bool: u8; int: u64 two's complement; double: u64 bit pattern; string:
+/// u32-prefixed bytes).
+///
+/// A response's status_code is the engine StatusCode (common/status.h).
+/// kResourceExhausted with a nonzero retry_after_ms is the load-shed
+/// signal: the server refused admission and the client should back off
+/// for that many milliseconds before retrying.
+constexpr uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+constexpr uint8_t kProtocolVersion = 1;
+
+enum class Op : uint8_t {
+  kHello = 1,
+  kQuery = 2,
+  kPrepare = 3,
+  kExecute = 4,
+  kSet = 5,
+  kLoadText = 6,
+  kPublish = 7,
+  kDrop = 8,
+  kPing = 9,
+  kStats = 10,
+  kRecent = 11,
+  kClose = 12,
+};
+const char* OpName(Op op);
+
+/// A decoded request frame. `a`/`b` carry the op's string payloads (query
+/// text, names); `n` carries kRecent's count; `params` kExecute's values.
+struct Request {
+  Op op = Op::kPing;
+  std::string a;
+  std::string b;
+  uint32_t n = 0;
+  std::vector<Value> params;
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  /// Load-shed hint: nonzero only with kResourceExhausted admission
+  /// refusals ("retry after this many ms").
+  uint32_t retry_after_ms = 0;
+  std::string body;
+};
+
+// ---- Buffer-level encode/decode (unit-testable without sockets) ----
+
+/// Serializes a request as one frame (length prefix included).
+std::string EncodeRequest(const Request& req);
+/// Serializes a response as one frame (length prefix included).
+std::string EncodeResponse(const Response& resp);
+
+/// Decodes one request frame *body* (the bytes after the length prefix).
+/// kParseError on any malformed payload.
+Result<Request> DecodeRequest(std::string_view body);
+/// Decodes one response frame body.
+Result<Response> DecodeResponse(std::string_view body);
+
+// ---- Blocking socket framing ----
+
+/// Reads one frame body from `fd` (validating the length prefix against
+/// kMaxFrameBytes before allocating). Returns:
+///   kOk          frame read into *body
+///   kNotFound    clean EOF before any byte of a new frame (peer closed)
+///   kParseError  oversized length prefix or mid-frame EOF
+///   kInternal    socket error
+/// Handles EINTR and short reads.
+Status ReadFrame(int fd, std::string* body);
+
+/// Writes a fully framed buffer; handles EINTR/short writes. kInternal on
+/// socket error.
+Status WriteAll(int fd, std::string_view bytes);
+
+}  // namespace graphql::server
+
+#endif  // GRAPHQL_SERVER_PROTOCOL_H_

@@ -1,0 +1,331 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace graphql::server {
+
+namespace {
+
+int DefaultWorkers() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2, static_cast<int>(hw));
+}
+
+StatusCode TripToStatusCode(TripKind kind) {
+  switch (kind) {
+    case TripKind::kDeadline:
+      return StatusCode::kDeadlineExceeded;
+    case TripKind::kCancelled:
+      return StatusCode::kCancelled;
+    default:
+      return StatusCode::kResourceExhausted;
+  }
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      admission_(options.admission),
+      injector_(FaultInjector::FromEnv()) {
+  if (options_.worker_threads <= 0) {
+    options_.worker_threads = DefaultWorkers();
+  }
+  if (options_.max_pending_connections <= 0) {
+    options_.max_pending_connections = options_.worker_threads * 2;
+  }
+  store_.set_fault_injector(injector_);
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal(std::string("bind ") + options_.host + ":" +
+                                 std::to_string(options_.port) + ": " +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status st = Status::Internal(std::string("listen: ") +
+                                 std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (stop_.exchange(true)) {
+    // Second caller: the first one is (or was) draining; just join.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    return;
+  }
+  draining_.store(true, std::memory_order_relaxed);
+
+  // Stop accepting: closing the listener unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Half-close every active connection: in-flight queries finish and
+  // write their responses, but the next frame read sees EOF and the
+  // serve loop ends.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection* c : active_) {
+      ::shutdown(c->fd, SHUT_RD);
+    }
+  }
+  queue_cv_.notify_all();
+
+  // Grace period for in-flight queries, then cancel stragglers.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    bool drained = conns_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_grace_ms),
+        [this] { return active_.empty(); });
+    if (!drained) {
+      for (Connection* c : active_) {
+        if (c->session != nullptr) c->session->governor()->Cancel();
+      }
+    }
+  }
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  // Anything still parked in the accept queue never got a worker.
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (int fd : pending_fds_) {
+    ShedConnection(fd, "server shutting down");
+  }
+  pending_fds_.clear();
+}
+
+int Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return static_cast<int>(active_.size());
+}
+
+void Server::ShedConnection(int fd, const std::string& why) {
+  Response resp;
+  resp.code = StatusCode::kResourceExhausted;
+  resp.retry_after_ms = admission_.retry_after_ms();
+  resp.body = why;
+  // Best effort: the peer may already be gone.
+  (void)WriteAll(fd, EncodeResponse(resp));
+  ::close(fd);
+  counters_.shed_connections.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed (shutdown) or fatal accept error: stop accepting.
+      return;
+    }
+    counters_.connections.fetch_add(1, std::memory_order_relaxed);
+    // accept@N: the N-th accepted connection fails deterministically — the
+    // injected stand-in for fd exhaustion / handshake failures.
+    if (injector_ != nullptr &&
+        injector_->OnCharge(GovernPoint::kAccept) != TripKind::kNone) {
+      counters_.injected_accept_faults.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      ShedConnection(fd, "server draining");
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (pending_fds_.size() >=
+        static_cast<size_t>(options_.max_pending_connections)) {
+      lock.unlock();
+      // Bounded handoff: beyond the cap we shed instead of queueing —
+      // the client gets a fast structured refusal, not a slow timeout.
+      ShedConnection(fd, "server saturated (connection backlog full)");
+      continue;
+    }
+    pending_fds_.push_back(fd);
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !pending_fds_.empty();
+      });
+      if (pending_fds_.empty()) return;  // stop_ and nothing queued.
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      ShedConnection(fd, "server draining");
+      continue;
+    }
+    ServeConnection(fd);
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  SessionContext ctx;
+  ctx.store = &store_;
+  ctx.admission = &admission_;
+  ctx.recorder = &recorder_;
+  ctx.counters = &counters_;
+  ctx.default_limits = options_.default_limits;
+  ctx.max_timeout_ms = options_.max_timeout_ms;
+  ctx.draining = &draining_;
+  Session session(next_session_id_.fetch_add(1, std::memory_order_relaxed),
+                  ctx);
+  session.governor()->set_fault_injector(injector_);
+
+  Connection conn;
+  conn.id = session.id();
+  conn.fd = fd;
+  conn.session = &session;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active_.push_back(&conn);
+  }
+
+  std::string body;
+  while (!session.closed()) {
+    Status st = ReadFrame(fd, &body);
+    if (st.code() == StatusCode::kNotFound) break;  // Clean EOF.
+    if (!st.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      Response resp;
+      resp.code = st.code();
+      resp.body = st.ToString();
+      (void)WriteAll(fd, EncodeResponse(resp));
+      break;  // Framing is unrecoverable: byte position is unknown.
+    }
+    // frame_read@N: the N-th successfully read frame is treated as a
+    // deterministic read failure. Cancel kind tears the connection down
+    // (the "client vanished" shape); any other kind surfaces as a
+    // structured error response and the connection survives.
+    if (injector_ != nullptr) {
+      TripKind injected = injector_->OnCharge(GovernPoint::kFrameRead);
+      if (injected != TripKind::kNone) {
+        counters_.injected_frame_faults.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        if (injected == TripKind::kCancelled) break;
+        Response resp;
+        resp.code = TripToStatusCode(injected);
+        resp.body = std::string("injected ") + TripKindName(injected) +
+                    " fault at frame_read";
+        if (!WriteAll(fd, EncodeResponse(resp)).ok()) break;
+        continue;
+      }
+    }
+    auto req = DecodeRequest(body);
+    Response resp;
+    if (!req.ok()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      resp.code = req.status().code();
+      resp.body = req.status().ToString();
+    } else {
+      resp = session.Handle(*req);
+    }
+    if (conn.hangup.load(std::memory_order_relaxed)) break;
+    if (!WriteAll(fd, EncodeResponse(resp)).ok()) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    active_.erase(std::find(active_.begin(), active_.end(), &conn));
+  }
+  conns_cv_.notify_all();
+  ::close(fd);
+}
+
+void Server::WatchdogLoop() {
+  // Polls every active connection for a peer hangup. recv with
+  // MSG_PEEK|MSG_DONTWAIT returns 0 exactly when the peer closed its
+  // write side: pending pipelined requests read > 0, an idle healthy
+  // connection reads -1/EAGAIN. On hangup the session's governor is
+  // cancelled, so a query whose client vanished stops within one governor
+  // check interval and releases its admission slot — instead of running
+  // to completion for nobody.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Shutdown() half-closes every connection (SHUT_RD), which also
+      // makes MSG_PEEK read 0 — stop scanning so drain does not get
+      // mistaken for a client hangup and cancel in-flight queries early.
+      if (draining_.load(std::memory_order_relaxed)) break;
+      for (Connection* c : active_) {
+        if (c->hangup.load(std::memory_order_relaxed)) continue;
+        char b;
+        ssize_t r = ::recv(c->fd, &b, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (r == 0) {
+          c->hangup.store(true, std::memory_order_relaxed);
+          c->session->governor()->Cancel();
+          counters_.disconnect_cancels.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.watchdog_interval_ms));
+  }
+}
+
+}  // namespace graphql::server

@@ -1,0 +1,154 @@
+#ifndef GRAPHQL_SERVER_SERVER_H_
+#define GRAPHQL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/governor.h"
+#include "common/status.h"
+#include "obs/recorder.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "server/store.h"
+
+namespace graphql::server {
+
+struct ServerOptions {
+  /// Listen address. Loopback by default — gqld has no authentication;
+  /// exposing it wider is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (tests); bound port via port().
+  int port = 0;
+  /// Connection-serving worker threads (0 → hardware_concurrency, min 2).
+  int worker_threads = 0;
+  /// Accepted connections waiting for a worker beyond this are *shed*:
+  /// they get a best-effort kResourceExhausted frame and a close, never a
+  /// place in an unbounded queue (0 → 2 × workers).
+  int max_pending_connections = 0;
+  /// Query admission gate (see AdmissionController).
+  AdmissionConfig admission;
+  /// Starting limits for new sessions.
+  GovernorLimits default_limits;
+  /// Server-wide cap on any session's per-query deadline (0 = none).
+  int64_t max_timeout_ms = 0;
+  /// How long Shutdown() waits for in-flight work before cancelling it.
+  int drain_grace_ms = 2000;
+  /// Disconnect-watchdog poll interval.
+  int watchdog_interval_ms = 25;
+};
+
+/// The gqld TCP server: one listener, a pool of connection-serving
+/// workers, and a disconnect watchdog, all over one shared GraphStore +
+/// AdmissionController + FlightRecorder.
+///
+/// Lifecycle:
+///   * Start() binds, listens, and spawns the threads; returns kInternal
+///     on bind/listen failure.
+///   * The accept loop hands each connection to the worker pool through a
+///     *bounded* queue; overflow sheds the connection with a structured
+///     kResourceExhausted frame (admission control starts at accept).
+///     The `accept@N` fault point fires here: an injected fault closes
+///     the N-th accepted connection immediately (a deterministic stand-in
+///     for accept()/fd exhaustion failures).
+///   * Each worker serves one connection at a time: read frame → decode →
+///     Session::Handle → write response, until EOF/close/error. The
+///     `frame_read@N` point makes the N-th frame read fail
+///     deterministically (cancel kind → connection torn down; other kinds
+///     → structured error response, connection survives).
+///   * The watchdog polls every active connection with
+///     recv(MSG_PEEK|MSG_DONTWAIT); a hangup mid-query maps to
+///     ResourceGovernor::Cancel() on that session, so a vanished client
+///     frees its admission slot within one governor check interval.
+///   * Shutdown() drains gracefully: the draining flag sheds new queries,
+///     the listener closes, every active connection gets shutdown(SHUT_RD)
+///     (in-flight queries finish and their responses still go out), and
+///     after drain_grace_ms stragglers are cancelled. Idempotent; also
+///     run by the destructor.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start();
+
+  /// Graceful drain; blocks until every thread has joined.
+  void Shutdown();
+
+  /// The bound port (after Start(); with options.port == 0 this is the
+  /// kernel-assigned one).
+  int port() const { return port_; }
+
+  /// Overrides the process-wide $GQL_FAULT injector (tests inject
+  /// accept@/frame_read@/commit@ rules directly). Call before Start().
+  void set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+    store_.set_fault_injector(injector);
+  }
+
+  /// Worker-pool size after defaulting (0 in the options → derived).
+  int worker_threads() const { return options_.worker_threads; }
+
+  GraphStore* store() { return &store_; }
+  AdmissionController* admission() { return &admission_; }
+  obs::FlightRecorder* recorder() { return &recorder_; }
+  ServerCounters* counters() { return &counters_; }
+
+  /// Connections currently being served (observability/tests).
+  int active_connections() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    Session* session = nullptr;       ///< Owned by the serving worker.
+    std::atomic<bool> hangup{false};  ///< Watchdog saw the peer close.
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void WatchdogLoop();
+  void ServeConnection(int fd);
+  /// Best-effort shed frame + close (accept-queue overflow / draining).
+  void ShedConnection(int fd, const std::string& why);
+
+  ServerOptions options_;
+  GraphStore store_;
+  AdmissionController admission_;
+  obs::FlightRecorder recorder_;
+  ServerCounters counters_;
+  FaultInjector* injector_ = nullptr;  ///< Process-wide, from $GQL_FAULT.
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  /// Bounded accept → worker handoff.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_fds_;
+
+  /// Connections currently being served (watchdog's scan list).
+  mutable std::mutex conns_mu_;
+  std::condition_variable conns_cv_;
+  std::vector<Connection*> active_;
+
+  std::thread accept_thread_;
+  std::thread watchdog_thread_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace graphql::server
+
+#endif  // GRAPHQL_SERVER_SERVER_H_

@@ -1,0 +1,86 @@
+#include "server/store.h"
+
+#include <functional>
+#include <utility>
+
+namespace graphql::server {
+
+void GraphStore::StoreSnapshot::FillRegistry(
+    exec::DocumentRegistry* reg) const {
+  for (const auto& [name, collection] : docs) {
+    reg->RegisterShared(name, collection);
+  }
+}
+
+GraphStore::GraphStore()
+    : published_(std::make_shared<const StoreSnapshot>()) {}
+
+std::shared_ptr<const GraphStore::StoreSnapshot> GraphStore::Pin() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return published_;
+}
+
+Result<uint64_t> GraphStore::Commit(
+    const std::function<Status(StoreSnapshot*)>& mutate) {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  // Stage: copy the current map (shared_ptr copies, not graph copies) and
+  // apply the mutation to the private copy.
+  auto next = std::make_shared<StoreSnapshot>();
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    next->docs = published_->docs;
+    next->version = published_->version + 1;
+  }
+  Status st = mutate(next.get());
+  if (!st.ok()) {
+    aborted_commits_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  // Fault point: a `commit@N` rule aborts this commit after staging but
+  // before publication — nothing becomes visible, the version stands.
+  if (injector_ != nullptr) {
+    TripKind injected = injector_->OnCharge(GovernPoint::kCommit);
+    if (injected != TripKind::kNone) {
+      aborted_commits_.fetch_add(1, std::memory_order_relaxed);
+      if (injected == TripKind::kCancelled) {
+        return Status::Cancelled("commit cancelled (injected fault)");
+      }
+      return Status::ResourceExhausted(
+          std::string("commit aborted (injected ") + TripKindName(injected) +
+          " fault)");
+    }
+  }
+  uint64_t v = next->version;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    published_ = std::move(next);
+  }
+  version_.store(v, std::memory_order_release);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return v;
+}
+
+Result<uint64_t> GraphStore::Publish(std::string name,
+                                     GraphCollection collection) {
+  collection.set_name(name);
+  // Compile member snapshots outside the commit lock: publication should
+  // not serialize behind CSR builds, and readers then never pay the
+  // first-touch build either.
+  collection.CompileAll();
+  auto frozen = std::make_shared<const GraphCollection>(std::move(collection));
+  return Commit([&name, &frozen](StoreSnapshot* s) {
+    s->docs[name] = frozen;
+    return Status::OK();
+  });
+}
+
+Result<uint64_t> GraphStore::Drop(const std::string& name) {
+  return Commit([&name](StoreSnapshot* s) {
+    if (s->docs.erase(name) == 0) {
+      return Status::NotFound("no shared document '" + name + "'");
+    }
+    return Status::OK();
+  });
+}
+
+}  // namespace graphql::server

@@ -1,0 +1,99 @@
+#ifndef GRAPHQL_SERVER_STORE_H_
+#define GRAPHQL_SERVER_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/governor.h"
+#include "common/result.h"
+#include "exec/registry.h"
+#include "graph/collection.h"
+
+namespace graphql::server {
+
+/// The shared, versioned document store behind every server session — the
+/// explicit form of the engine's implicit snapshot story.
+///
+/// Commit protocol (single-writer / multi-reader):
+///   * The published state is an immutable StoreSnapshot: a version number
+///     plus a name → shared_ptr<const GraphCollection> map. Collections
+///     are frozen at publish time and never mutated afterwards, so a
+///     pinned snapshot needs no further synchronization — the same
+///     property GraphSnapshot established for a single graph, lifted to
+///     the whole store.
+///   * Readers call Pin() once per query and resolve every doc("...")
+///     against that snapshot for the query's entire lifetime: snapshot-
+///     isolation reads. A reader never observes a half-applied commit,
+///     and a commit never invalidates a running query — the old snapshot
+///     stays alive until its last pin drops.
+///   * Writers serialize through commit_mu_: copy the current doc map
+///     (pointer copies), apply the mutation to the copy, bump the version
+///     by exactly one, and publish the new snapshot with a single pointer
+///     swap under publish_mu_. Version v+1 therefore differs from v by
+///     exactly one commit — the serial history the hammer test replays.
+///   * The fault injector's `commit@N` point fires inside the commit
+///     lock, after the mutation is staged but before publication: an
+///     aborted commit publishes nothing and leaves the version unchanged.
+///
+/// Pin() and Publish()/Drop() are thread-safe; any number of concurrent
+/// readers run against any number of serialized writers.
+class GraphStore {
+ public:
+  struct StoreSnapshot {
+    uint64_t version = 0;
+    std::map<std::string, std::shared_ptr<const GraphCollection>> docs;
+
+    /// Re-registers every doc into `reg` (cheap: pointer copies).
+    void FillRegistry(exec::DocumentRegistry* reg) const;
+  };
+
+  GraphStore();
+
+  /// The current published snapshot. The returned pointer keeps every
+  /// collection in it alive for as long as the caller holds it.
+  std::shared_ptr<const StoreSnapshot> Pin() const;
+
+  /// Version of the current published snapshot (0 = empty initial store).
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Commits `collection` under `name` (replacing any previous doc of that
+  /// name). Returns the committed version. The collection's member
+  /// snapshots are compiled before the commit lock is taken so readers
+  /// never contend on first-touch compilation.
+  Result<uint64_t> Publish(std::string name, GraphCollection collection);
+
+  /// Commits removal of `name`. kNotFound if absent.
+  Result<uint64_t> Drop(const std::string& name);
+
+  /// Injector consulted at the commit point (`commit@N`); null disables.
+  /// Set once at startup, before concurrent use.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
+  uint64_t aborted_commits() const {
+    return aborted_commits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Runs the staged mutation as one commit; returns the new version.
+  Result<uint64_t> Commit(
+      const std::function<Status(StoreSnapshot*)>& mutate);
+
+  FaultInjector* injector_ = nullptr;
+  /// Serializes writers (held across copy-mutate-publish).
+  std::mutex commit_mu_;
+  /// Guards the published_ pointer only; held for a pointer copy.
+  mutable std::mutex publish_mu_;
+  std::shared_ptr<const StoreSnapshot> published_;
+  std::atomic<uint64_t> version_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborted_commits_{0};
+};
+
+}  // namespace graphql::server
+
+#endif  // GRAPHQL_SERVER_STORE_H_

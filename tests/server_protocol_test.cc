@@ -1,0 +1,221 @@
+// Wire-protocol hardening tests: encode/decode roundtrips for every op,
+// plus hostile-frame decoding (lying length prefixes, truncation, trailing
+// bytes, absurd param counts) and the blocking socket framing. The
+// discipline under test is serialize.cc's: validate every length against
+// the bytes actually present BEFORE allocating.
+
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace graphql::server {
+namespace {
+
+/// Strips the u32 frame length prefix, returning the body.
+std::string Body(const std::string& frame) {
+  EXPECT_GE(frame.size(), 4u);
+  return frame.substr(4);
+}
+
+TEST(ServerProtocolTest, RequestRoundTripsEveryOp) {
+  std::vector<Request> reqs;
+  for (Op op : {Op::kHello, Op::kPing, Op::kStats, Op::kClose}) {
+    Request r;
+    r.op = op;
+    reqs.push_back(r);
+  }
+  for (Op op : {Op::kQuery, Op::kSet, Op::kDrop}) {
+    Request r;
+    r.op = op;
+    r.a = "for P in doc(\"D\") return P;";
+    reqs.push_back(r);
+  }
+  for (Op op : {Op::kPrepare, Op::kLoadText, Op::kPublish}) {
+    Request r;
+    r.op = op;
+    r.a = "name";
+    r.b = "graph G { node a; };";
+    reqs.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kRecent;
+    r.n = 42;
+    reqs.push_back(r);
+  }
+  {
+    Request r;
+    r.op = Op::kExecute;
+    r.a = "q1";
+    r.params.push_back(Value());
+    r.params.push_back(Value(true));
+    r.params.push_back(Value(int64_t{-7}));
+    r.params.push_back(Value(3.5));
+    r.params.push_back(Value(std::string("str with \"quotes\" and \0 nul",
+                                         27)));
+    reqs.push_back(r);
+  }
+
+  for (const Request& req : reqs) {
+    auto decoded = DecodeRequest(Body(EncodeRequest(req)));
+    ASSERT_TRUE(decoded.ok()) << OpName(req.op) << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->op, req.op);
+    EXPECT_EQ(decoded->a, req.a);
+    EXPECT_EQ(decoded->b, req.b);
+    EXPECT_EQ(decoded->n, req.n);
+    ASSERT_EQ(decoded->params.size(), req.params.size());
+    for (size_t i = 0; i < req.params.size(); ++i) {
+      EXPECT_EQ(decoded->params[i], req.params[i]) << "param " << i;
+    }
+  }
+}
+
+TEST(ServerProtocolTest, ResponseRoundTrips) {
+  Response resp;
+  resp.code = StatusCode::kResourceExhausted;
+  resp.retry_after_ms = 250;
+  resp.body = "server saturated";
+  auto decoded = DecodeResponse(Body(EncodeResponse(resp)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, resp.code);
+  EXPECT_EQ(decoded->retry_after_ms, 250u);
+  EXPECT_EQ(decoded->body, resp.body);
+}
+
+TEST(ServerProtocolTest, RejectsEmptyAndUnknownOps) {
+  EXPECT_FALSE(DecodeRequest("").ok());
+  EXPECT_FALSE(DecodeRequest(std::string(1, '\0')).ok());  // Op 0.
+  EXPECT_FALSE(DecodeRequest(std::string(1, '\x63')).ok());  // Op 99.
+}
+
+TEST(ServerProtocolTest, RejectsLyingStringLength) {
+  // kQuery frame whose string claims 0xFFFFFFFF bytes but carries 3.
+  std::string body;
+  body.push_back(static_cast<char>(Op::kQuery));
+  body += std::string("\xff\xff\xff\xff", 4);
+  body += "abc";
+  auto r = DecodeRequest(body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ServerProtocolTest, RejectsTruncatedPayloads) {
+  // Truncate a valid frame at every byte boundary; none may crash, and
+  // every proper prefix must fail to decode.
+  Request req;
+  req.op = Op::kPrepare;
+  req.a = "q";
+  req.b = "for P in doc(\"D\") return P;";
+  std::string body = Body(EncodeRequest(req));
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    auto r = DecodeRequest(body.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << cut << " decoded";
+  }
+}
+
+TEST(ServerProtocolTest, RejectsTrailingBytes) {
+  Request req;
+  req.op = Op::kPing;
+  std::string body = Body(EncodeRequest(req)) + "x";
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(ServerProtocolTest, RejectsAbsurdParamCount) {
+  // kExecute claiming 65535 params in a tiny frame must fail fast, not
+  // loop or allocate.
+  std::string body;
+  body.push_back(static_cast<char>(Op::kExecute));
+  body += std::string("\x01\x00\x00\x00q", 5);  // name "q"
+  body += std::string("\xff\xff", 2);           // 65535 params
+  auto r = DecodeRequest(body);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ServerProtocolTest, RejectsBadParamKind) {
+  std::string body;
+  body.push_back(static_cast<char>(Op::kExecute));
+  body += std::string("\x01\x00\x00\x00q", 5);
+  body += std::string("\x01\x00", 2);  // 1 param
+  body.push_back('\x09');              // kind 9: unknown
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(ServerProtocolTest, RejectsBadResponseCode) {
+  Response resp;
+  resp.body = "x";
+  std::string body = Body(EncodeResponse(resp));
+  body[0] = '\x7f';  // Beyond the last StatusCode.
+  EXPECT_FALSE(DecodeResponse(body).ok());
+}
+
+class FramingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramingTest, FrameRoundTripsOverSocket) {
+  Request req;
+  req.op = Op::kQuery;
+  req.a = std::string(100000, 'q');  // Forces short reads/writes.
+  std::thread writer(
+      [&] { ASSERT_TRUE(WriteAll(fds_[0], EncodeRequest(req)).ok()); });
+  std::string body;
+  ASSERT_TRUE(ReadFrame(fds_[1], &body).ok());
+  writer.join();
+  auto decoded = DecodeRequest(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->a, req.a);
+}
+
+TEST_F(FramingTest, CleanEofIsNotFound) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string body;
+  EXPECT_EQ(ReadFrame(fds_[1], &body).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FramingTest, EofInsidePrefixIsParseError) {
+  ASSERT_EQ(::send(fds_[0], "\x08\x00", 2, 0), 2);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string body;
+  EXPECT_EQ(ReadFrame(fds_[1], &body).code(), StatusCode::kParseError);
+}
+
+TEST_F(FramingTest, EofInsideBodyIsParseError) {
+  // Prefix promises 8 bytes, only 3 arrive.
+  ASSERT_EQ(::send(fds_[0], "\x08\x00\x00\x00" "abc", 7, 0), 7);
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  std::string body;
+  EXPECT_EQ(ReadFrame(fds_[1], &body).code(), StatusCode::kParseError);
+}
+
+TEST_F(FramingTest, OversizedPrefixRejectedBeforeAllocation) {
+  // 0xFFFFFFFF-byte frame: rejected from the prefix alone — no body read,
+  // no resize to 4 GiB.
+  ASSERT_EQ(::send(fds_[0], "\xff\xff\xff\xff", 4, 0), 4);
+  std::string body;
+  Status st = ReadFrame(fds_[1], &body);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("cap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphql::server

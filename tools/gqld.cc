@@ -1,0 +1,176 @@
+// gqld: the GraphQL query server daemon.
+//
+// Usage:
+//   gqld [--host H] [--port N] [--workers N] [--max-concurrent N]
+//        [--pool-mb N] [--timeout-cap-ms N] [--drain-grace-ms N]
+//        [--load NAME=PATH ...] [--print-port]
+//
+//   --host H            listen address (default 127.0.0.1; gqld has no
+//                       authentication — widen deliberately)
+//   --port N            listen port (default 7411; 0 = kernel-assigned,
+//                       printed on stdout)
+//   --workers N         connection-serving threads (default: cores)
+//   --max-concurrent N  queries admitted concurrently (default 2x cores)
+//   --pool-mb N         shared query-memory pool (default unlimited)
+//   --timeout-cap-ms N  server-wide cap on per-query deadlines
+//   --drain-grace-ms N  SIGTERM drain grace before cancelling (default 2000)
+//   --load NAME=PATH    publish a collection file as shared doc("NAME")
+//                       before serving (repeatable)
+//   --print-port        print "PORT <n>" once listening (for harnesses)
+//
+// Signals: SIGTERM and SIGINT both trigger a graceful drain — new queries
+// are shed with kResourceExhausted, in-flight queries finish (up to the
+// grace period, then they are cancelled), responses are flushed, and the
+// process exits 0. The SIGINT-cancels-a-query behavior belongs to gqlsh
+// (common/signals.h SigintCancelScope); a server process owns its signals
+// for lifecycle, which is exactly why that handler is installed scoped
+// and explicitly rather than ambiently.
+//
+// Wire protocol: see src/server/protocol.h; clients: tools/loadgen,
+// server::Client.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/serialize.h"
+#include "server/server.h"
+
+using namespace graphql;
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+
+long long ParseNum(const char* flag, const char* value) {
+  char* end = nullptr;
+  long long n = std::strtoll(value, &end, 10);
+  if (end == nullptr || *end != '\0' || n < 0) {
+    std::fprintf(stderr, "gqld: %s wants a non-negative integer, got %s\n",
+                 flag, value);
+    std::exit(2);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  options.port = 7411;
+  bool print_port = false;
+  std::vector<std::pair<std::string, std::string>> preload;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gqld: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = static_cast<int>(ParseNum("--port", next()));
+    } else if (arg == "--workers") {
+      options.worker_threads = static_cast<int>(ParseNum("--workers", next()));
+    } else if (arg == "--max-concurrent") {
+      options.admission.max_concurrent =
+          static_cast<int>(ParseNum("--max-concurrent", next()));
+    } else if (arg == "--pool-mb") {
+      options.admission.memory_pool_bytes =
+          static_cast<uint64_t>(ParseNum("--pool-mb", next())) * 1024 * 1024;
+    } else if (arg == "--timeout-cap-ms") {
+      options.max_timeout_ms = ParseNum("--timeout-cap-ms", next());
+    } else if (arg == "--drain-grace-ms") {
+      options.drain_grace_ms =
+          static_cast<int>(ParseNum("--drain-grace-ms", next()));
+    } else if (arg == "--load") {
+      std::string spec = next();
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "gqld: --load wants NAME=PATH, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      preload.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--print-port") {
+      print_port = true;
+    } else {
+      std::fprintf(stderr, "gqld: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  server::Server srv(options);
+
+  for (const auto& [name, path] : preload) {
+    auto c = io::LoadCollection(path);
+    if (!c.ok()) {
+      std::fprintf(stderr, "gqld: --load %s=%s: %s\n", name.c_str(),
+                   path.c_str(), c.status().ToString().c_str());
+      return 1;
+    }
+    auto v = srv.store()->Publish(name, std::move(c).value());
+    if (!v.ok()) {
+      std::fprintf(stderr, "gqld: publish %s: %s\n", name.c_str(),
+                   v.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "gqld: doc(\"%s\") published at version %llu\n",
+                 name.c_str(), static_cast<unsigned long long>(*v));
+  }
+
+  Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "gqld: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::fprintf(stderr, "gqld: listening on %s:%d (workers=%d, "
+               "max_concurrent=%d)\n",
+               options.host.c_str(), srv.port(), srv.worker_threads(),
+               srv.admission()->max_concurrent());
+  if (print_port) {
+    std::printf("PORT %d\n", srv.port());
+    std::fflush(stdout);
+  }
+
+  while (!g_shutdown_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "gqld: draining...\n");
+  srv.Shutdown();
+  const server::ServerCounters* c = srv.counters();
+  std::fprintf(
+      stderr,
+      "gqld: drained. connections=%llu queries=%llu shed_queries=%llu "
+      "shed_connections=%llu protocol_errors=%llu disconnect_cancels=%llu "
+      "commits=%llu aborted_commits=%llu\n",
+      static_cast<unsigned long long>(c->connections.load()),
+      static_cast<unsigned long long>(c->queries.load()),
+      static_cast<unsigned long long>(c->shed_queries.load()),
+      static_cast<unsigned long long>(c->shed_connections.load()),
+      static_cast<unsigned long long>(c->protocol_errors.load()),
+      static_cast<unsigned long long>(c->disconnect_cancels.load()),
+      static_cast<unsigned long long>(srv.store()->commits()),
+      static_cast<unsigned long long>(srv.store()->aborted_commits()));
+  return 0;
+}

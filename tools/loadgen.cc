@@ -1,0 +1,446 @@
+// loadgen: load generator for gqld (tools/gqld.cc).
+//
+// Usage:
+//   loadgen --port N [--host H] [--connections N] [--duration-ms N]
+//           [--mode closed|open] [--rate QPS] [--program FILE] [--doc NAME]
+//           [--publish-every N] [--stats-every N] [--kill-every N]
+//           [--json PATH]
+//
+//   --connections N    concurrent client connections (default 8)
+//   --duration-ms N    run length (default 2000)
+//   --mode closed      each connection sends the next request as soon as
+//                      the previous response lands (default)
+//   --mode open        each connection issues requests on a fixed schedule
+//                      (--rate per-connection QPS, default 50) regardless
+//                      of response latency — the saturation probe: when
+//                      the server falls behind, shed responses must come
+//                      back instead of unbounded queueing
+//   --program FILE     query program to send (default: a built-in
+//                      two-author pattern selection)
+//   --doc NAME         doc the built-in program queries (default "LG";
+//                      ignored with --program)
+//   --publish-every N  every N-th request on a connection is a kPublish
+//                      commit instead of a query (0 = never; exercises the
+//                      writer path under reader load)
+//   --stats-every N    every N-th request is a kStats (0 = never)
+//   --kill-every N     every N-th query, the connection hangs up *without
+//                      reading the response* and reconnects — exercising
+//                      the server's disconnect watchdog / query-cancel
+//                      path (0 = never)
+//   --json PATH        write a BENCH_server.json summary (qps, latency
+//                      percentiles, shed rate) for summarize_bench.py
+//
+// Unless --program is given, loadgen first publishes a small built-in
+// collection as doc(NAME) through one setup connection, so it can be
+// pointed at a completely empty gqld.
+//
+// Exit status: 0 when every response was either OK or a structured
+// governed outcome (shed / deadline / cancelled); torn connections that
+// reconnected cleanly (drain, injected accept faults, kill mode fallout)
+// are reported but don't fail the run. 1 on protocol errors, unexpected
+// statuses, or connect failures.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace graphql;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 8;
+  int duration_ms = 2000;
+  bool open_loop = false;
+  double rate = 50.0;  // Per-connection, open loop only.
+  std::string program;
+  std::string doc = "LG";
+  int publish_every = 0;
+  int stats_every = 0;
+  int kill_every = 0;
+  std::string json_path;
+};
+
+struct WorkerStats {
+  std::vector<int64_t> latencies_us;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t governed = 0;  // deadline / cancelled / partial-result trips.
+  uint64_t torn = 0;      // Connection died mid-exchange; reconnected.
+  uint64_t errors = 0;
+  uint64_t kills = 0;
+  uint64_t sent = 0;
+};
+
+/// Built-in shared collection: enough structure for the default pattern
+/// query to produce matches.
+std::string BuiltinCollectionText() {
+  return R"(graph G1 {
+  node a1 <author name="A">;
+  node a2 <author name="B">;
+  node p1 <paper>;
+  edge e1 (a1, p1);
+  edge e2 (a2, p1);
+};
+graph G2 {
+  node a1 <author name="B">;
+  node a2 <author name="C">;
+  node a3 <author name="A">;
+  node p1 <paper>;
+  edge e1 (a1, p1);
+  edge e2 (a2, p1);
+  edge e3 (a3, p1);
+};
+)";
+}
+
+std::string BuiltinProgram(const std::string& doc) {
+  return "for graph Q {\n"
+         "  node a <author>;\n"
+         "  node p <paper>;\n"
+         "  edge e (a, p);\n"
+         "} in doc(\"" + doc + "\") return Q;\n";
+}
+
+/// A variable-publishing program: binds V so a follow-up kPublish has
+/// something to commit.
+std::string PublishSetupProgram() {
+  return "V := graph { node x <probe>; };\n";
+}
+
+bool GovernedOutcome(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted;
+}
+
+void RunWorker(const Options& opt, int worker_id, const std::string& program,
+               std::atomic<bool>* stop, WorkerStats* stats) {
+  server::Client client;
+  if (!client.Connect(opt.host, opt.port).ok()) {
+    // The server may be saturated at accept; retry once before counting
+    // a hard failure.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (!client.Connect(opt.host, opt.port).ok()) {
+      ++stats->errors;
+      return;
+    }
+  }
+  bool published_var = false;
+  uint64_t seq = 0;
+  const auto period = std::chrono::duration<double>(
+      opt.rate > 0 ? 1.0 / opt.rate : 0.02);
+  auto next_send = Clock::now();
+
+  while (!stop->load(std::memory_order_relaxed)) {
+    if (opt.open_loop) {
+      // Fixed schedule: do not adapt to response latency. If the server
+      // stalls, requests pile into the kernel buffers and the server must
+      // shed — that is the point of the probe.
+      std::this_thread::sleep_until(next_send);
+      next_send += std::chrono::duration_cast<Clock::duration>(period);
+    }
+    ++seq;
+    server::Request req;
+    req.op = server::Op::kQuery;
+    req.a = program;
+    bool is_kill = opt.kill_every > 0 && seq % opt.kill_every == 0;
+    if (!is_kill && opt.publish_every > 0 && seq % opt.publish_every == 0) {
+      if (!published_var) {
+        server::Request setup;
+        setup.op = server::Op::kQuery;
+        setup.a = PublishSetupProgram();
+        auto r = client.Call(setup);
+        if (r.ok()) published_var = true;
+      }
+      req.op = server::Op::kPublish;
+      req.a = "probe_" + std::to_string(worker_id);
+      req.b = "V";
+    } else if (!is_kill && opt.stats_every > 0 &&
+               seq % opt.stats_every == 0) {
+      req.op = server::Op::kStats;
+      req.a.clear();
+    }
+
+    ++stats->sent;
+    auto t0 = Clock::now();
+    if (is_kill) {
+      // Send the query, then vanish without reading the response: the
+      // server's watchdog must cancel the in-flight query and free its
+      // admission slot. Reconnect and keep going.
+      if (!client.SendRaw(server::EncodeRequest(req)).ok()) {
+        ++stats->errors;
+      } else {
+        ++stats->kills;
+      }
+      client.Close();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      if (!client.Connect(opt.host, opt.port).ok()) {
+        ++stats->errors;
+        return;
+      }
+      published_var = false;
+      continue;
+    }
+    auto resp = client.Call(req);
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count();
+    if (!resp.ok()) {
+      // Torn connection (shed at accept, drain, injected fault): count
+      // and reconnect rather than abort — overload is expected here.
+      ++stats->torn;
+      client.Close();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (!client.Connect(opt.host, opt.port).ok()) return;
+      published_var = false;
+      continue;
+    }
+    stats->latencies_us.push_back(us);
+    if (resp->code == StatusCode::kOk) {
+      ++stats->ok;
+    } else if (resp->code == StatusCode::kResourceExhausted &&
+               resp->retry_after_ms > 0) {
+      ++stats->shed;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::min(resp->retry_after_ms, 50u)));
+    } else if (GovernedOutcome(resp->code)) {
+      ++stats->governed;
+    } else if (req.op == server::Op::kPublish &&
+               resp->code == StatusCode::kNotFound) {
+      // The publish setup query itself was shed; try again later.
+      ++stats->governed;
+    } else {
+      ++stats->errors;
+    }
+  }
+  server::Request close_req;
+  close_req.op = server::Op::kClose;
+  (void)client.Call(close_req);
+}
+
+int64_t Percentile(std::vector<int64_t>* xs, double p) {
+  if (xs->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs->size() - 1));
+  std::nth_element(xs->begin(), xs->begin() + static_cast<long>(idx),
+                   xs->end());
+  return (*xs)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "loadgen: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opt.host = next();
+    } else if (arg == "--port") {
+      opt.port = std::atoi(next());
+    } else if (arg == "--connections") {
+      opt.connections = std::atoi(next());
+    } else if (arg == "--duration-ms") {
+      opt.duration_ms = std::atoi(next());
+    } else if (arg == "--mode") {
+      std::string mode = next();
+      if (mode == "open") {
+        opt.open_loop = true;
+      } else if (mode == "closed") {
+        opt.open_loop = false;
+      } else {
+        std::fprintf(stderr, "loadgen: --mode wants open|closed\n");
+        return 2;
+      }
+    } else if (arg == "--rate") {
+      opt.rate = std::atof(next());
+    } else if (arg == "--program") {
+      opt.program = next();
+    } else if (arg == "--doc") {
+      opt.doc = next();
+    } else if (arg == "--publish-every") {
+      opt.publish_every = std::atoi(next());
+    } else if (arg == "--stats-every") {
+      opt.stats_every = std::atoi(next());
+    } else if (arg == "--kill-every") {
+      opt.kill_every = std::atoi(next());
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      std::fprintf(stderr, "loadgen: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (opt.port == 0) {
+    std::fprintf(stderr, "loadgen: --port is required\n");
+    return 2;
+  }
+
+  std::string program;
+  if (!opt.program.empty()) {
+    std::ifstream file(opt.program);
+    if (!file) {
+      std::fprintf(stderr, "loadgen: cannot open %s\n", opt.program.c_str());
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << file.rdbuf();
+    program = contents.str();
+  } else {
+    program = BuiltinProgram(opt.doc);
+    // Publish the built-in collection so the program has data. Retries
+    // cover a server that is still coming up.
+    server::Client setup;
+    Status st;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      st = setup.Connect(opt.host, opt.port);
+      if (st.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "loadgen: cannot reach gqld at %s:%d: %s\n",
+                   opt.host.c_str(), opt.port, st.ToString().c_str());
+      return 1;
+    }
+    server::Request load;
+    load.op = server::Op::kLoadText;
+    load.a = opt.doc;
+    load.b = BuiltinCollectionText();
+    auto lr = setup.Call(load);
+    if (!lr.ok() || lr->code != StatusCode::kOk) {
+      std::fprintf(stderr, "loadgen: load_text failed: %s\n",
+                   lr.ok() ? lr->body.c_str()
+                           : lr.status().ToString().c_str());
+      return 1;
+    }
+    server::Request publish;
+    publish.op = server::Op::kPublish;
+    publish.a = opt.doc;
+    publish.b = opt.doc;  // Publish the session-local doc store-wide.
+    // A kResourceExhausted here is a transient, structured refusal
+    // (admission shed or an injected commit abort) — retry, like any
+    // well-behaved client.
+    bool published = false;
+    for (int attempt = 0; attempt < 20 && !published; ++attempt) {
+      auto pr = setup.Call(publish);
+      if (pr.ok() && pr->code == StatusCode::kOk) {
+        published = true;
+      } else if (pr.ok() && pr->code == StatusCode::kResourceExhausted) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            pr->retry_after_ms > 0 ? std::min(pr->retry_after_ms, 200u)
+                                   : 100));
+      } else {
+        std::fprintf(stderr, "loadgen: publish failed: %s\n",
+                     pr.ok() ? pr->body.c_str()
+                             : pr.status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (!published) {
+      std::fprintf(stderr, "loadgen: publish kept getting shed; giving up\n");
+      return 1;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerStats> stats(static_cast<size_t>(opt.connections));
+  std::vector<std::thread> workers;
+  auto t0 = Clock::now();
+  for (int i = 0; i < opt.connections; ++i) {
+    workers.emplace_back(RunWorker, std::cref(opt), i, std::cref(program),
+                         &stop, &stats[static_cast<size_t>(i)]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : workers) w.join();
+  double elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  WorkerStats total;
+  for (const WorkerStats& s : stats) {
+    total.ok += s.ok;
+    total.shed += s.shed;
+    total.governed += s.governed;
+    total.torn += s.torn;
+    total.errors += s.errors;
+    total.kills += s.kills;
+    total.sent += s.sent;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              s.latencies_us.begin(), s.latencies_us.end());
+  }
+  uint64_t answered = total.ok + total.shed + total.governed;
+  double qps = elapsed_s > 0 ? static_cast<double>(answered) / elapsed_s : 0;
+  double shed_rate =
+      answered > 0 ? static_cast<double>(total.shed) /
+                         static_cast<double>(answered)
+                   : 0;
+  int64_t p50 = Percentile(&total.latencies_us, 0.50);
+  int64_t p95 = Percentile(&total.latencies_us, 0.95);
+  int64_t p99 = Percentile(&total.latencies_us, 0.99);
+
+  std::printf(
+      "loadgen: mode=%s connections=%d duration=%.2fs\n"
+      "  sent=%llu ok=%llu shed=%llu governed=%llu torn=%llu errors=%llu "
+      "kills=%llu\n"
+      "  qps=%.1f shed_rate=%.3f p50=%lldus p95=%lldus p99=%lldus\n",
+      opt.open_loop ? "open" : "closed", opt.connections, elapsed_s,
+      static_cast<unsigned long long>(total.sent),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.shed),
+      static_cast<unsigned long long>(total.governed),
+      static_cast<unsigned long long>(total.torn),
+      static_cast<unsigned long long>(total.errors),
+      static_cast<unsigned long long>(total.kills), qps, shed_rate,
+      static_cast<long long>(p50), static_cast<long long>(p95),
+      static_cast<long long>(p99));
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (out) {
+#ifdef GQL_BUILD_TYPE
+      const char* build_type = GQL_BUILD_TYPE;
+#else
+      const char* build_type = "unknown";
+#endif
+      out << "{\"bench\": \"server_load\",\n"
+          << " \"stamp\": {\"hardware_concurrency\": "
+          << std::thread::hardware_concurrency()
+          << ", \"build_type\": \"" << build_type << "\"},\n"
+          << " \"mode\": \"" << (opt.open_loop ? "open" : "closed")
+          << "\", \"connections\": " << opt.connections
+          << ", \"duration_s\": " << elapsed_s << ",\n"
+          << " \"sent\": " << total.sent << ", \"ok\": " << total.ok
+          << ", \"shed\": " << total.shed
+          << ", \"governed\": " << total.governed
+          << ", \"torn\": " << total.torn
+          << ", \"errors\": " << total.errors
+          << ", \"kills\": " << total.kills << ",\n"
+          << " \"qps\": " << qps << ", \"shed_rate\": " << shed_rate
+          << ", \"p50_us\": " << p50 << ", \"p95_us\": " << p95
+          << ", \"p99_us\": " << p99 << "}\n";
+    }
+  }
+
+  // Overload outcomes (shed/governed) are successes for a load generator;
+  // only protocol-level failures fail the run.
+  return total.errors == 0 ? 0 : 1;
+}

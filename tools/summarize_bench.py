@@ -146,6 +146,28 @@ def summarize_storage(path, data):
               f"{data['recorder_overhead'] * 100:+.2f}% (budget 2%)")
 
 
+def summarize_server(path, data):
+    """Renders a tools/loadgen dump (BENCH_server.json)."""
+    print(f"\n== server load: {path} ==")
+    stamp = format_stamp(data)
+    if stamp:
+        print(stamp)
+    print(f"  mode={data.get('mode', '?')}  "
+          f"connections={data.get('connections', '?')}  "
+          f"duration={data.get('duration_s', 0):.2f}s")
+    sent = data.get("sent", 0)
+    ok = data.get("ok", 0)
+    shed = data.get("shed", 0)
+    governed = data.get("governed", 0)
+    print(f"  sent={sent}  ok={ok}  shed={shed}  governed={governed}  "
+          f"torn={data.get('torn', 0)}  errors={data.get('errors', 0)}  "
+          f"kills={data.get('kills', 0)}")
+    print(f"  qps={data.get('qps', 0):.1f}  "
+          f"shed_rate={data.get('shed_rate', 0) * 100:.1f}%  "
+          f"p50={data.get('p50_us', 0)}us  p95={data.get('p95_us', 0)}us  "
+          f"p99={data.get('p99_us', 0)}us")
+
+
 def summarize_metrics(path):
     with open(path) as f:
         try:
@@ -158,6 +180,9 @@ def summarize_metrics(path):
         return
     if data.get("bench") == "storage_snapshot":
         summarize_storage(path, data)
+        return
+    if data.get("bench") == "server_load":
+        summarize_server(path, data)
         return
     print(f"\n== metrics: {path} ==")
     stamp = format_stamp(data)
