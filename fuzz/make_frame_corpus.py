@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in fuzz seed corpora.
+
+fuzz/corpus/frame_decoder/: wire-protocol frame bodies (protocol.h
+format) prefixed with the harness steering byte (even = DecodeRequest,
+odd = DecodeResponse). Covers every op, each param kind, and the
+adversarial shapes the decoder must refuse (truncated strings, hostile
+length prefixes).
+
+fuzz/corpus/parser/: query sources — copies of examples/queries/*.gql
+plus hand-written edge-case snippets.
+
+Deterministic: running it twice produces identical bytes, so diffs on
+these binary files are always intentional.
+"""
+
+import os
+import shutil
+import struct
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+
+def u8(v):
+    return struct.pack("<B", v)
+
+
+def u16(v):
+    return struct.pack("<H", v)
+
+
+def u32(v):
+    return struct.pack("<I", v)
+
+
+def u64(v):
+    return struct.pack("<Q", v)
+
+
+def s(text):
+    raw = text.encode()
+    return u32(len(raw)) + raw
+
+
+REQ = b"\x00"  # steering byte: even → DecodeRequest
+RESP = b"\x01"  # odd → DecodeResponse
+
+FRAMES = {
+    # One well-formed body per op (op codes from protocol.h).
+    "req_hello.bin": REQ + u8(1),
+    "req_query.bin": REQ + u8(2) + s("select P from doc(\"g\");"),
+    "req_prepare.bin": REQ + u8(3) + s("q1") + s("select P where $1;"),
+    "req_execute.bin": REQ + u8(4) + s("q1") + u16(5)
+        + u8(0)                                   # null
+        + u8(1) + u8(1)                           # bool true
+        + u8(2) + u64(42)                         # int
+        + u8(3) + struct.pack("<d", 2.5)          # double
+        + u8(4) + s("name"),                      # string
+    "req_set.bin": REQ + u8(5) + s("max_steps 1000"),
+    "req_load_text.bin": REQ + u8(6) + s("doc") + s("graph g {node a;}"),
+    "req_publish.bin": REQ + u8(7) + s("doc") + s("G"),
+    "req_drop.bin": REQ + u8(8) + s("doc"),
+    "req_ping.bin": REQ + u8(9),
+    "req_stats.bin": REQ + u8(10),
+    "req_recent.bin": REQ + u8(11) + u32(10),
+    "req_close.bin": REQ + u8(12),
+    # Adversarial shapes: must come back as kParseError, not a crash or
+    # a giant allocation.
+    "req_bad_op.bin": REQ + u8(200),
+    "req_truncated_string.bin": REQ + u8(2) + u32(1000) + b"short",
+    "req_hostile_length.bin": REQ + u8(2) + u32(0xFFFFFFFF),
+    "req_trailing_garbage.bin": REQ + u8(9) + b"extra bytes",
+    "req_empty.bin": REQ,
+    "req_param_bad_kind.bin": REQ + u8(4) + s("q1") + u16(1) + u8(9),
+    # Responses: u8 status_code, u32 retry_after_ms, u32 body_len, body.
+    "resp_ok.bin": RESP + u8(0) + u32(0) + s("pong"),
+    "resp_shed.bin": RESP + u8(8) + u32(100) + s("server saturated"),
+    "resp_truncated.bin": RESP + u8(0) + u32(0) + u32(50) + b"x",
+    "resp_hostile_length.bin": RESP + u8(0) + u32(0) + u32(0xFFFFFFF0),
+    "resp_empty.bin": RESP,
+}
+
+PARSER_EXTRAS = {
+    "empty.gql": "",
+    "unterminated_string.gql": 'graph g {node a ("x, 1);}',
+    "deep_nesting.gql": "select P from doc(\"g\") where "
+                        + "(" * 40 + "1" + ")" * 40 + ";",
+    "disjunction.gql": "graph g {{node a;} | {node b;}};",
+    "assignment.gql": "C := graph {node a; node b; edge (a, b);};",
+    "bad_token.gql": "select \x01\x02 \xff from;",
+}
+
+
+def main():
+    frame_dir = os.path.join(HERE, "corpus", "frame_decoder")
+    parser_dir = os.path.join(HERE, "corpus", "parser")
+    os.makedirs(frame_dir, exist_ok=True)
+    os.makedirs(parser_dir, exist_ok=True)
+
+    for name, data in FRAMES.items():
+        with open(os.path.join(frame_dir, name), "wb") as f:
+            f.write(data)
+
+    examples = os.path.join(ROOT, "examples", "queries")
+    for name in sorted(os.listdir(examples)):
+        if name.endswith(".gql"):
+            shutil.copyfile(os.path.join(examples, name),
+                            os.path.join(parser_dir, name))
+    for name, text in PARSER_EXTRAS.items():
+        with open(os.path.join(parser_dir, name), "wb") as f:
+            f.write(text.encode("latin-1"))
+
+    print(f"wrote {len(FRAMES)} frame seeds, "
+          f"{len(PARSER_EXTRAS)} parser extras + examples")
+
+
+if __name__ == "__main__":
+    main()

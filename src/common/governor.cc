@@ -122,6 +122,7 @@ Result<FaultInjector> FaultInjector::Parse(std::string_view spec) {
 
 FaultInjector* FaultInjector::FromEnv() {
   static FaultInjector* const kInjector = []() -> FaultInjector* {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup; no setenv anywhere
     const char* spec = std::getenv("GQL_FAULT");
     if (spec == nullptr || *spec == '\0') return nullptr;
     Result<FaultInjector> parsed = Parse(spec);
@@ -203,7 +204,7 @@ bool ResourceGovernor::CheckNow(GovernPoint point) {
 }
 
 bool ResourceGovernor::ChargeBatch(uint64_t steps, GovernPoint point) {
-  std::lock_guard<std::mutex> lock(shared_mu_);
+  MutexLock lock(&shared_mu_);
   // Record the batch even when already tripped: GovernorShard::charged()
   // must equal what actually landed in steps_used_, or the refine
   // degrade-fallback refund would drift.
@@ -219,7 +220,7 @@ bool ResourceGovernor::ChargeBatch(uint64_t steps, GovernPoint point) {
 }
 
 void ResourceGovernor::ReserveShared(size_t bytes, GovernPoint point) {
-  std::lock_guard<std::mutex> lock(shared_mu_);
+  MutexLock lock(&shared_mu_);
   Reserve(bytes, point);
 }
 

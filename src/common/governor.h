@@ -5,13 +5,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace graphql {
 
@@ -202,10 +202,10 @@ class ResourceGovernor {
   /// lock per ~1024 steps per worker. Must not race the single-threaded
   /// Charge(): during a parallel stage every participant (including the
   /// coordinating thread) charges through shards.
-  bool ChargeBatch(uint64_t steps, GovernPoint point);
+  bool ChargeBatch(uint64_t steps, GovernPoint point) GQL_EXCLUDES(shared_mu_);
 
   /// Thread-safe Reserve(), for allocations made on worker threads.
-  void ReserveShared(size_t bytes, GovernPoint point);
+  void ReserveShared(size_t bytes, GovernPoint point) GQL_EXCLUDES(shared_mu_);
 
   /// Approximate memory accounting for big transient structures. Soft:
   /// Reserve() always records the bytes; exceeding the budget trips the
@@ -274,8 +274,12 @@ class ResourceGovernor {
   GovernPoint trip_point_ = GovernPoint::kOther;
   std::vector<std::string> degradations_;
   /// Serializes ChargeBatch()/ReserveShared() against each other. The
-  /// single-threaded fast paths never take it.
-  std::mutex shared_mu_;
+  /// single-threaded fast paths never take it, so the consumption counters
+  /// above cannot be GQL_GUARDED_BY it — their safety contract is the
+  /// stage protocol (while workers are active, every participant charges
+  /// through shards; the unsynchronized fast paths run only between
+  /// parallel stages), asserted by the TSan lane rather than the compiler.
+  Mutex shared_mu_;
 };
 
 /// Per-worker charge accumulator for parallel pipeline stages. Each worker

@@ -1,7 +1,5 @@
 #include "common/symbols.h"
 
-#include <mutex>
-
 namespace graphql {
 
 SymbolTable& SymbolTable::Global() {
@@ -11,11 +9,11 @@ SymbolTable& SymbolTable::Global() {
 
 SymbolId SymbolTable::Intern(std::string_view s) {
   {
-    std::shared_lock lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = ids_.find(s);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto it = ids_.find(s);  // Re-check: another thread may have won the race.
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
@@ -25,19 +23,19 @@ SymbolId SymbolTable::Intern(std::string_view s) {
 }
 
 SymbolId SymbolTable::Lookup(std::string_view s) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   auto it = ids_.find(s);
   return it == ids_.end() ? kNoSymbol : it->second;
 }
 
 std::string_view SymbolTable::Name(SymbolId id) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   if (id < 0 || static_cast<size_t>(id) >= names_.size()) return {};
   return names_[id];
 }
 
 size_t SymbolTable::size() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return names_.size();
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace graphql {
 
@@ -56,10 +57,10 @@ class SymbolTable {
   size_t size() const;
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   // Keys are views into `names_`; deque never reallocates stored strings.
-  std::unordered_map<std::string_view, SymbolId> ids_;
-  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> ids_ GQL_GUARDED_BY(mu_);
+  std::deque<std::string> names_ GQL_GUARDED_BY(mu_);
 };
 
 }  // namespace graphql

@@ -1,0 +1,237 @@
+#ifndef GRAPHQL_COMMON_THREAD_ANNOTATIONS_H_
+#define GRAPHQL_COMMON_THREAD_ANNOTATIONS_H_
+
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) turned into a
+// first-class static-analysis pass over the engine.
+//
+// Every mutex in the codebase is one of the capability-annotated wrappers
+// below (Mutex, SharedMutex, CondVar) and every guarded structure declares
+// its guard with GQL_GUARDED_BY — so lock-discipline bugs ("touched
+// records_ without mu_", "called FoldShapeLocked without holding mu_",
+// "forgot to unlock on the early return") are *compile errors* under
+// clang, not interleavings TSan may or may not sample. The CI lane
+// `thread-safety` builds the whole tree with -Werror=thread-safety; under
+// GCC (and any compiler without the attributes) every macro expands to
+// nothing and the wrappers are zero-overhead shims over the std
+// primitives — tests/common_thread_annotations_test.cc proves that no-op
+// path behaves identically.
+//
+// tools/invariant_lint.py's `naked-mutex` rule closes the loop: raw
+// std::mutex / std::lock_guard / std::condition_variable outside this
+// header is a lint error, so nothing can bypass the analysis.
+//
+// The lock hierarchy itself (which of these capabilities may be held
+// while acquiring which) is documented in DESIGN.md section 6i.
+
+#include <condition_variable>
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+
+// Capability attributes are a Clang extension; GCC defines __GNUC__ but
+// not __clang__ and silently has no thread_safety analysis, so the macros
+// vanish there.
+#if defined(__clang__) && defined(__has_attribute)
+#define GQL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GQL_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define GQL_CAPABILITY(x) GQL_THREAD_ANNOTATION(capability(x))
+/// RAII types that acquire on construction and release on destruction.
+#define GQL_SCOPED_CAPABILITY GQL_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define GQL_GUARDED_BY(x) GQL_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field: the *pointee* is guarded by the given capability.
+#define GQL_PT_GUARDED_BY(x) GQL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held (exclusively / shared) on entry.
+#define GQL_REQUIRES(...) \
+  GQL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GQL_REQUIRES_SHARED(...) \
+  GQL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define GQL_ACQUIRE(...) \
+  GQL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GQL_ACQUIRE_SHARED(...) \
+  GQL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either).
+#define GQL_RELEASE(...) \
+  GQL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GQL_RELEASE_SHARED(...) \
+  GQL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define GQL_RELEASE_GENERIC(...) \
+  GQL_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function returns true when it acquired the capability.
+#define GQL_TRY_ACQUIRE(...) \
+  GQL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard;
+/// documents "takes this lock internally").
+#define GQL_EXCLUDES(...) GQL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion hook: tells the analysis the capability is held from
+/// here on (used inside predicate lambdas the REQUIRES annotation of the
+/// enclosing wait cannot reach).
+#define GQL_ASSERT_CAPABILITY(x) \
+  GQL_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define GQL_RETURN_CAPABILITY(x) GQL_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch. Every use must carry a comment justifying why the
+/// analysis cannot see the invariant (and what enforces it instead).
+#define GQL_NO_THREAD_SAFETY_ANALYSIS \
+  GQL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace graphql {
+
+class CondVar;
+
+/// Capability-annotated exclusive mutex. The only mutex type engine code
+/// may declare (invariant_lint `naked-mutex`); zero overhead over
+/// std::mutex — the wrapper exists so the capability attributes have a
+/// type to hang off.
+class GQL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GQL_ACQUIRE() { mu_.lock(); }
+  void Unlock() GQL_RELEASE() { mu_.unlock(); }
+  bool TryLock() GQL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// No-op at runtime; tells the analysis this thread holds the mutex.
+  /// For wait-predicate lambdas and callees whose callers' REQUIRES the
+  /// analysis cannot propagate.
+  void AssertHeld() const GQL_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Capability-annotated reader/writer mutex (SymbolTable's sharded
+/// interning is the canonical user: writer lock on first sight of a
+/// string, reader locks everywhere else).
+class GQL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() GQL_ACQUIRE() { mu_.lock(); }
+  void Unlock() GQL_RELEASE() { mu_.unlock(); }
+  /// const so a reader lock composes with const accessors (the underlying
+  /// std::shared_mutex is mutable).
+  void LockShared() const GQL_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() const GQL_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const GQL_ASSERT_CAPABILITY(this) {}
+
+ private:
+  mutable std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over Mutex (the std::lock_guard replacement).
+class GQL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) GQL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() GQL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII exclusive lock over SharedMutex (std::unique_lock replacement).
+class GQL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) GQL_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() GQL_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII shared lock over SharedMutex (std::shared_lock replacement).
+class GQL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(const SharedMutex* mu) GQL_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() GQL_RELEASE_GENERIC() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  const SharedMutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() takes the annotated mutex
+/// the caller already holds (GQL_REQUIRES), so waiting code stays inside
+/// one MutexLock scope and the analysis sees the lock held across the
+/// wait — the std::unique_lock juggling lives in here, adopt/release, and
+/// never escapes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, waits, and re-acquires before returning.
+  void Wait(Mutex& mu) GQL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // Still locked: ownership returns to the caller's scope.
+  }
+
+  /// Waits until pred() holds. The predicate runs with `mu` held; inside
+  /// the lambda call mu.AssertHeld() before touching guarded fields (the
+  /// REQUIRES here does not propagate into the lambda's own analysis).
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) GQL_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Waits until pred() holds or `ms` elapsed; returns pred()'s final
+  /// verdict (the std::condition_variable::wait_for contract).
+  template <typename Pred>
+  bool WaitForMs(Mutex& mu, int64_t ms, Pred pred) GQL_REQUIRES(mu) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (!pred()) {
+      std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+      std::cv_status st = cv_.wait_until(lk, deadline);
+      lk.release();
+      if (st == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace graphql
+
+#endif  // GRAPHQL_COMMON_THREAD_ANNOTATIONS_H_

@@ -56,10 +56,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -102,14 +102,14 @@ ThreadPool::RunStats ThreadPool::ParallelFor(
   }
 
   // One job at a time per pool keeps worker ids dense for shard indexing.
-  std::lock_guard<std::mutex> submit(submit_mu_);
+  MutexLock submit(&submit_mu_);
 
   Job job;
   job.fn = &fn;
   job.workers = workers;
   job.remaining.store(n, std::memory_order_relaxed);
   job.queues.resize(static_cast<size_t>(workers));
-  job.queue_mu.reset(new std::mutex[workers]);
+  job.queue_mu.reset(new Mutex[workers]);
   job.lanes.resize(static_cast<size_t>(workers));
   // Deal contiguous blocks: worker w starts on its own slice, thieves
   // steal whole items from the top (oldest) end of a victim's block.
@@ -122,17 +122,18 @@ ThreadPool::RunStats ThreadPool::ParallelFor(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_ = &job;
     ++generation_;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
 
   RunWorker(&job, /*w=*/0);  // The caller is always worker 0.
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] {
+    MutexLock lock(&mu_);
+    cv_done_.Wait(mu_, [&] {
+      mu_.AssertHeld();
       return job.remaining.load(std::memory_order_acquire) == 0 &&
              active_ == 0;
     });
@@ -154,8 +155,9 @@ void ThreadPool::WorkerLoop() {
     Job* job = nullptr;
     int id = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] {
+      MutexLock lock(&mu_);
+      cv_work_.Wait(mu_, [&] {
+        mu_.AssertHeld();
         return stop_ || (job_ != nullptr && generation_ != seen);
       });
       if (stop_) return;
@@ -167,10 +169,10 @@ void ThreadPool::WorkerLoop() {
     }
     RunWorker(job, id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
     }
-    cv_done_.notify_all();
+    cv_done_.NotifyAll();
   }
 }
 
@@ -190,8 +192,8 @@ void ThreadPool::RunWorker(Job* job, int w) {
     (*job->fn)(item, w);
     if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last item: wake the caller (it may be asleep in ParallelFor).
-      std::lock_guard<std::mutex> lock(mu_);
-      cv_done_.notify_all();
+      MutexLock lock(&mu_);
+      cv_done_.NotifyAll();
     }
   }
   lane.end_us = obs::NowMicros();
@@ -199,7 +201,7 @@ void ThreadPool::RunWorker(Job* job, int w) {
 
 bool ThreadPool::NextTask(Job* job, int w, size_t* item, bool* was_steal) {
   {  // Own deque: pop the bottom (most recently dealt / LIFO).
-    std::lock_guard<std::mutex> lock(job->queue_mu[w]);
+    MutexLock lock(&job->queue_mu[w]);
     std::deque<size_t>& q = job->queues[w];
     if (!q.empty()) {
       *item = q.back();
@@ -212,7 +214,7 @@ bool ThreadPool::NextTask(Job* job, int w, size_t* item, bool* was_steal) {
   // starting just after ourselves so thieves spread across victims.
   for (int step = 1; step < job->workers; ++step) {
     int victim = (w + step) % job->workers;
-    std::lock_guard<std::mutex> lock(job->queue_mu[victim]);
+    MutexLock lock(&job->queue_mu[victim]);
     std::deque<size_t>& q = job->queues[victim];
     if (!q.empty()) {
       *item = q.front();
@@ -226,6 +228,7 @@ bool ThreadPool::NextTask(Job* job, int w, size_t* item, bool* was_steal) {
 
 int DefaultNumThreads() {
   static const int kDefault = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup; no setenv anywhere
     const char* v = std::getenv("GQL_THREADS");
     if (v == nullptr || *v == '\0') return 0;
     char* end = nullptr;

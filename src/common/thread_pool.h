@@ -2,15 +2,15 @@
 #define GRAPHQL_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace graphql {
 
@@ -82,30 +82,35 @@ class ThreadPool {
   struct Job {
     const std::function<void(size_t, int)>* fn = nullptr;
     int workers = 0;
+    /// queues[w] is guarded by queue_mu[w]; the analysis cannot express a
+    /// per-element guard over parallel arrays, so NextTask is the single
+    /// audited accessor (every touch of queues[i] sits inside a
+    /// MutexLock(&queue_mu[i]) scope there and in ParallelFor's dealing
+    /// phase, which runs before any worker can see the job).
     std::vector<std::deque<size_t>> queues;        // One per participant.
-    std::unique_ptr<std::mutex[]> queue_mu;        // One per participant.
+    std::unique_ptr<Mutex[]> queue_mu;             // One per participant.
     std::vector<WorkerLane> lanes;                 // Slot w: worker w only.
     std::atomic<size_t> remaining{0};
     std::atomic<int> claimed{1};  // Next worker id; 0 is the caller's.
     std::atomic<uint64_t> stolen{0};
   };
 
-  void WorkerLoop();
+  void WorkerLoop() GQL_EXCLUDES(mu_);
   /// Drains tasks for participant `w` until every deque is empty.
-  void RunWorker(Job* job, int w);
+  void RunWorker(Job* job, int w) GQL_EXCLUDES(mu_);
   /// Pops the next task: own deque bottom first, then steal scan. False
   /// when every deque is empty.
   bool NextTask(Job* job, int w, size_t* item, bool* was_steal);
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;  ///< Pool threads wait for a job.
-  std::condition_variable cv_done_;  ///< Caller waits for job completion.
-  Job* job_ = nullptr;               ///< Guarded by mu_.
-  uint64_t generation_ = 0;          ///< Bumped per job; guarded by mu_.
-  int active_ = 0;                   ///< Pool threads inside RunWorker.
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_work_;  ///< Pool threads wait for a job.
+  CondVar cv_done_;  ///< Caller waits for job completion.
+  Job* job_ GQL_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ GQL_GUARDED_BY(mu_) = 0;  ///< Bumped per job.
+  int active_ GQL_GUARDED_BY(mu_) = 0;  ///< Pool threads inside RunWorker.
+  bool stop_ GQL_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
-  std::mutex submit_mu_;             ///< Serializes jobs on this pool.
+  Mutex submit_mu_;  ///< Serializes jobs on this pool.
 };
 
 /// The process-default intra-query worker count: $GQL_THREADS parsed once

@@ -141,6 +141,7 @@ void AppendActualLines(const StatementActuals& a, std::string* out) {
 }  // namespace
 
 Evaluator::Evaluator(const DocumentRegistry* docs) : docs_(docs) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup; no setenv anywhere
   const char* path = std::getenv("GQL_TRACE_EXPORT");
   if (path != nullptr && *path != '\0') trace_export_path_ = path;
 }

@@ -55,6 +55,10 @@ Graph::Graph(Graph&& other) noexcept
       edge_by_name_(std::move(other.edge_by_name_)),
       edge_keys_(std::move(other.edge_keys_)) {
   ++other.version_;
+  // Moves are externally synchronized like any other mutation, but the
+  // cache fields are formally guarded: take the (uncontended) lock so the
+  // thread-safety analysis stays sound without an escape hatch.
+  MutexLock other_lock(&other.snap_mu_);
   other.snap_cache_.reset();
 }
 
@@ -71,15 +75,21 @@ Graph& Graph::operator=(Graph&& other) noexcept {
   edge_by_name_ = std::move(other.edge_by_name_);
   edge_keys_ = std::move(other.edge_keys_);
   ++version_;
-  snap_cache_.reset();
+  {
+    MutexLock lock(&snap_mu_);
+    snap_cache_.reset();
+  }
   ++other.version_;
-  other.snap_cache_.reset();
+  {
+    MutexLock other_lock(&other.snap_mu_);
+    other.snap_cache_.reset();
+  }
   return *this;
 }
 
 std::shared_ptr<const GraphSnapshot> Graph::snapshot(
     bool* freshly_built) const {
-  std::lock_guard<std::mutex> lock(snap_mu_);
+  MutexLock lock(&snap_mu_);
   bool fresh = snap_cache_ == nullptr || snap_version_ != version_;
   if (fresh) {
     snap_cache_ = std::make_shared<const GraphSnapshot>(*this);
@@ -124,6 +134,8 @@ void Graph::Reserve(size_t n, size_t m) {
   edge_keys_.reserve(m * 2);
 }
 
+// invariant-lint: allow(graph-version-bump) private helper; every caller
+// (AddEdge) bumps version_ itself.
 void Graph::RegisterEdgeKey(NodeId u, NodeId v) {
   edge_keys_.insert(EdgeKey(u, v));
   if (!directed_) edge_keys_.insert(EdgeKey(v, u));

@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "graph/tuple.h"
 
 namespace graphql {
@@ -197,9 +197,10 @@ class Graph {
   std::unordered_set<uint64_t> edge_keys_;
 
   uint64_t version_ = 0;
-  mutable std::mutex snap_mu_;
-  mutable std::shared_ptr<const GraphSnapshot> snap_cache_;
-  mutable uint64_t snap_version_ = 0;
+  mutable Mutex snap_mu_;
+  mutable std::shared_ptr<const GraphSnapshot> snap_cache_
+      GQL_GUARDED_BY(snap_mu_);
+  mutable uint64_t snap_version_ GQL_GUARDED_BY(snap_mu_) = 0;
 };
 
 }  // namespace graphql

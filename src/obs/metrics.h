@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace graphql::obs {
 
@@ -116,10 +117,10 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Finds or creates the named metric. A name must stay one kind.
-  Counter* GetCounter(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) GQL_EXCLUDES(mu_);
+  Histogram* GetHistogram(std::string_view name) GQL_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const GQL_EXCLUDES(mu_);
   /// Adds every metric in `shard` into this registry (counters add,
   /// histograms merge bucket-wise), creating metrics as needed. The
   /// parallel pipeline stages give each worker a private registry and fold
@@ -137,9 +138,11 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
-  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_
+      GQL_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_
+      GQL_GUARDED_BY(mu_);
 };
 
 }  // namespace graphql::obs

@@ -13,6 +13,7 @@ namespace graphql::obs {
 namespace {
 
 size_t EnvSize(const char* name, size_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup; no setenv anywhere
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
@@ -22,6 +23,7 @@ size_t EnvSize(const char* name, size_t fallback) {
 }
 
 int64_t EnvSlowThresholdUs() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup; no setenv anywhere
   const char* v = std::getenv("GQL_SLOW_QUERY_MS");
   if (v == nullptr || *v == '\0') return 0;
   char* end = nullptr;
@@ -141,27 +143,27 @@ FlightRecorder::FlightRecorder(size_t capacity, size_t slow_capacity)
       slow_threshold_us_(EnvSlowThresholdUs()) {}
 
 void FlightRecorder::set_enabled(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enabled_ = on;
 }
 
 bool FlightRecorder::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return enabled_;
 }
 
 void FlightRecorder::set_slow_threshold_us(int64_t us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   slow_threshold_us_ = us < 0 ? 0 : us;
 }
 
 int64_t FlightRecorder::slow_threshold_us() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slow_threshold_us_;
 }
 
 bool FlightRecorder::WantsTrace(bool governed) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_) return false;
   return slow_threshold_us_ > 0 || governed;
 }
@@ -196,7 +198,7 @@ void FlightRecorder::FoldShapeLocked(const QueryRecord& record) {
 
 uint64_t FlightRecorder::Append(QueryRecord record, const Tracer* tracer,
                                 std::string profile_json) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_) return 0;
   record.id = next_id_++;
   wall_us_.Record(static_cast<uint64_t>(std::max<int64_t>(record.wall_us, 0)));
@@ -227,7 +229,7 @@ uint64_t FlightRecorder::Append(QueryRecord record, const Tracer* tracer,
 }
 
 std::vector<QueryRecord> FlightRecorder::Recent(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<QueryRecord> out;
   size_t take = std::min(n, records_.size());
   out.reserve(take);
@@ -239,7 +241,7 @@ std::vector<QueryRecord> FlightRecorder::Recent(size_t n) const {
 }
 
 std::vector<SlowQueryEntry> FlightRecorder::Slow(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SlowQueryEntry> out;
   size_t take = std::min(n, slow_.size());
   out.reserve(take);
@@ -253,7 +255,7 @@ std::vector<SlowQueryEntry> FlightRecorder::Slow(size_t n) const {
 std::vector<ShapeAggregate> FlightRecorder::Top(size_t n) const {
   std::vector<ShapeAggregate> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.reserve(shapes_.size());
     for (const auto& [hash, agg] : shapes_) out.push_back(agg);
   }
@@ -267,7 +269,7 @@ std::vector<ShapeAggregate> FlightRecorder::Top(size_t n) const {
 }
 
 HistogramSnapshot FlightRecorder::WallHistogram() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   HistogramSnapshot s;
   s.count = wall_us_.Count();
   s.sum = wall_us_.Sum();
@@ -280,27 +282,27 @@ HistogramSnapshot FlightRecorder::WallHistogram() const {
 }
 
 size_t FlightRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_.size();
 }
 
 size_t FlightRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return capacity_;
 }
 
 uint64_t FlightRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dropped_;
 }
 
 size_t FlightRecorder::slow_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slow_.size();
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   records_.clear();
   slow_.clear();
   shapes_.clear();

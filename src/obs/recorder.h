@@ -4,11 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace graphql::obs {
@@ -159,19 +159,19 @@ class FlightRecorder {
   static uint64_t HashShape(std::string_view shape);
 
  private:
-  void FoldShapeLocked(const QueryRecord& record);
+  void FoldShapeLocked(const QueryRecord& record) GQL_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  bool enabled_ = true;
-  size_t capacity_;
-  size_t slow_capacity_;
-  int64_t slow_threshold_us_ = 0;
-  uint64_t next_id_ = 1;
-  uint64_t dropped_ = 0;
-  std::deque<QueryRecord> records_;     ///< Oldest first.
-  std::deque<SlowQueryEntry> slow_;     ///< Oldest first.
-  std::unordered_map<uint64_t, ShapeAggregate> shapes_;
-  Histogram wall_us_;
+  mutable Mutex mu_;
+  bool enabled_ GQL_GUARDED_BY(mu_) = true;
+  size_t capacity_ GQL_GUARDED_BY(mu_);
+  size_t slow_capacity_ GQL_GUARDED_BY(mu_);
+  int64_t slow_threshold_us_ GQL_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GQL_GUARDED_BY(mu_) = 1;
+  uint64_t dropped_ GQL_GUARDED_BY(mu_) = 0;
+  std::deque<QueryRecord> records_ GQL_GUARDED_BY(mu_);  ///< Oldest first.
+  std::deque<SlowQueryEntry> slow_ GQL_GUARDED_BY(mu_);  ///< Oldest first.
+  std::unordered_map<uint64_t, ShapeAggregate> shapes_ GQL_GUARDED_BY(mu_);
+  Histogram wall_us_ GQL_GUARDED_BY(mu_);
 };
 
 }  // namespace graphql::obs

@@ -36,7 +36,7 @@ std::optional<AdmissionController::Ticket> AdmissionController::TryAdmit(
   } else {
     bytes = 0;  // Unlimited pool: track concurrency only.
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (active_ >= max_concurrent_ ||
       (memory_pool_bytes_ != 0 &&
        pool_used_ + bytes > memory_pool_bytes_)) {
@@ -50,28 +50,28 @@ std::optional<AdmissionController::Ticket> AdmissionController::TryAdmit(
 }
 
 void AdmissionController::ReleaseSlot(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --active_;
   pool_used_ -= std::min(bytes, pool_used_);
 }
 
 int AdmissionController::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return active_;
 }
 
 uint64_t AdmissionController::pool_used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pool_used_;
 }
 
 uint64_t AdmissionController::admitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return admitted_;
 }
 
 uint64_t AdmissionController::shed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return shed_;
 }
 

@@ -2,8 +2,9 @@
 #define GRAPHQL_SERVER_ADMISSION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
+
+#include "common/thread_annotations.h"
 
 namespace graphql::server {
 
@@ -86,11 +87,11 @@ class AdmissionController {
   const uint64_t default_query_bytes_;
   const uint32_t retry_after_ms_;
 
-  mutable std::mutex mu_;
-  int active_ = 0;
-  uint64_t pool_used_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t shed_ = 0;
+  mutable Mutex mu_;
+  int active_ GQL_GUARDED_BY(mu_) = 0;
+  uint64_t pool_used_ GQL_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ GQL_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ GQL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace graphql::server

@@ -14,6 +14,7 @@ Status Client::Connect(const std::string& host, int port) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) error path; message raced at worst
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
@@ -26,6 +27,7 @@ Status Client::Connect(const std::string& host, int port) {
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status st = Status::Internal(std::string("connect ") + host + ":" +
                                  std::to_string(port) + ": " +
+                                 // NOLINTNEXTLINE(concurrency-mt-unsafe) error path; message raced at worst
                                  std::strerror(errno));
     Close();
     return st;

@@ -361,6 +361,7 @@ Status WriteAll(int fd, std::string_view bytes) {
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(std::string("socket write failed: ") +
+                              // NOLINTNEXTLINE(concurrency-mt-unsafe) error path; message raced at worst
                               std::strerror(errno));
     }
     sent += static_cast<size_t>(w);

@@ -48,40 +48,43 @@ Server::Server(const ServerOptions& options)
 Server::~Server() { Shutdown(); }
 
 Status Server::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  // Set the listener up on a local fd first: listen_fd_ is read by
+  // AcceptLoop() concurrently with Shutdown(), so it is published exactly
+  // once, fully configured, right before the accept thread starts.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) error path; message raced at worst
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return Status::InvalidArgument("bad listen address " + options_.host);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status st = Status::Internal(std::string("bind ") + options_.host + ":" +
                                  std::to_string(options_.port) + ": " +
+                                 // NOLINTNEXTLINE(concurrency-mt-unsafe) error path; message raced at worst
                                  std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return st;
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(fd, 64) != 0) {
     Status st = Status::Internal(std::string("listen: ") +
+                                 // NOLINTNEXTLINE(concurrency-mt-unsafe) error path; message raced at worst
                                  std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return st;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
 
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
@@ -104,30 +107,33 @@ void Server::Shutdown() {
   }
   draining_.store(true, std::memory_order_relaxed);
 
-  // Stop accepting: closing the listener unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // Stop accepting: closing the listener unblocks accept(). The exchange
+  // keeps the only write concurrent with AcceptLoop()'s reads atomic.
+  int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
   }
 
   // Half-close every active connection: in-flight queries finish and
   // write their responses, but the next frame read sees EOF and the
   // serve loop ends.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (Connection* c : active_) {
       ::shutdown(c->fd, SHUT_RD);
     }
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 
   // Grace period for in-flight queries, then cancel stragglers.
   {
-    std::unique_lock<std::mutex> lock(conns_mu_);
-    bool drained = conns_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.drain_grace_ms),
-        [this] { return active_.empty(); });
+    MutexLock lock(&conns_mu_);
+    bool drained =
+        conns_cv_.WaitForMs(conns_mu_, options_.drain_grace_ms, [this] {
+          conns_mu_.AssertHeld();
+          return active_.empty();
+        });
     if (!drained) {
       for (Connection* c : active_) {
         if (c->session != nullptr) c->session->governor()->Cancel();
@@ -136,14 +142,14 @@ void Server::Shutdown() {
   }
 
   if (accept_thread_.joinable()) accept_thread_.join();
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
 
   // Anything still parked in the accept queue never got a worker.
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  MutexLock lock(&queue_mu_);
   for (int fd : pending_fds_) {
     ShedConnection(fd, "server shutting down");
   }
@@ -151,7 +157,7 @@ void Server::Shutdown() {
 }
 
 int Server::active_connections() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(&conns_mu_);
   return static_cast<int>(active_.size());
 }
 
@@ -168,7 +174,9 @@ void Server::ShedConnection(int fd, const std::string& why) {
 
 void Server::AcceptLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;  // Shutdown() already closed the listener.
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       // Listener closed (shutdown) or fatal accept error: stop accepting.
@@ -188,18 +196,22 @@ void Server::AcceptLoop() {
       ShedConnection(fd, "server draining");
       continue;
     }
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    if (pending_fds_.size() >=
-        static_cast<size_t>(options_.max_pending_connections)) {
-      lock.unlock();
+    bool queued = false;
+    {
+      MutexLock lock(&queue_mu_);
+      if (pending_fds_.size() <
+          static_cast<size_t>(options_.max_pending_connections)) {
+        pending_fds_.push_back(fd);
+        queued = true;
+      }
+    }
+    if (!queued) {
       // Bounded handoff: beyond the cap we shed instead of queueing —
       // the client gets a fast structured refusal, not a slow timeout.
       ShedConnection(fd, "server saturated (connection backlog full)");
       continue;
     }
-    pending_fds_.push_back(fd);
-    lock.unlock();
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -207,8 +219,9 @@ void Server::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
+      MutexLock lock(&queue_mu_);
+      queue_cv_.Wait(queue_mu_, [this] {
+        queue_mu_.AssertHeld();
         return stop_.load(std::memory_order_relaxed) || !pending_fds_.empty();
       });
       if (pending_fds_.empty()) return;  // stop_ and nothing queued.
@@ -241,7 +254,7 @@ void Server::ServeConnection(int fd) {
   conn.fd = fd;
   conn.session = &session;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     active_.push_back(&conn);
   }
 
@@ -289,10 +302,10 @@ void Server::ServeConnection(int fd) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     active_.erase(std::find(active_.begin(), active_.end(), &conn));
   }
-  conns_cv_.notify_all();
+  conns_cv_.NotifyAll();
   ::close(fd);
 }
 
@@ -306,7 +319,7 @@ void Server::WatchdogLoop() {
   // to completion for nobody.
   while (!stop_.load(std::memory_order_relaxed)) {
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       // Shutdown() half-closes every connection (SHUT_RD), which also
       // makes MSG_PEEK read 0 — stop scanning so drain does not get
       // mistaken for a client hangup and cancel in-flight queries early.

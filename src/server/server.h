@@ -2,16 +2,15 @@
 #define GRAPHQL_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/governor.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "obs/recorder.h"
 #include "server/admission.h"
@@ -128,21 +127,24 @@ class Server {
   ServerCounters counters_;
   FaultInjector* injector_ = nullptr;  ///< Process-wide, from $GQL_FAULT.
 
-  int listen_fd_ = -1;
+  /// Written by Start()/Shutdown() while AcceptLoop() reads it, so it
+  /// must be atomic: Shutdown() closes the listener and swaps in -1 to
+  /// unblock and stop the accept loop.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> next_session_id_{1};
 
   /// Bounded accept → worker handoff.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_fds_;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<int> pending_fds_ GQL_GUARDED_BY(queue_mu_);
 
   /// Connections currently being served (watchdog's scan list).
-  mutable std::mutex conns_mu_;
-  std::condition_variable conns_cv_;
-  std::vector<Connection*> active_;
+  mutable Mutex conns_mu_;
+  CondVar conns_cv_;
+  std::vector<Connection*> active_ GQL_GUARDED_BY(conns_mu_);
 
   std::thread accept_thread_;
   std::thread watchdog_thread_;

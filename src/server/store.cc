@@ -16,18 +16,18 @@ GraphStore::GraphStore()
     : published_(std::make_shared<const StoreSnapshot>()) {}
 
 std::shared_ptr<const GraphStore::StoreSnapshot> GraphStore::Pin() const {
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(&publish_mu_);
   return published_;
 }
 
 Result<uint64_t> GraphStore::Commit(
     const std::function<Status(StoreSnapshot*)>& mutate) {
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  MutexLock commit_lock(&commit_mu_);
   // Stage: copy the current map (shared_ptr copies, not graph copies) and
   // apply the mutation to the private copy.
   auto next = std::make_shared<StoreSnapshot>();
   {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    MutexLock lock(&publish_mu_);
     next->docs = published_->docs;
     next->version = published_->version + 1;
   }
@@ -52,7 +52,7 @@ Result<uint64_t> GraphStore::Commit(
   }
   uint64_t v = next->version;
   {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    MutexLock lock(&publish_mu_);
     published_ = std::move(next);
   }
   version_.store(v, std::memory_order_release);

@@ -5,10 +5,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/governor.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "exec/registry.h"
 #include "graph/collection.h"
@@ -84,11 +84,12 @@ class GraphStore {
       const std::function<Status(StoreSnapshot*)>& mutate);
 
   FaultInjector* injector_ = nullptr;
-  /// Serializes writers (held across copy-mutate-publish).
-  std::mutex commit_mu_;
+  /// Serializes writers (held across copy-mutate-publish). Lock order:
+  /// commit_mu_ before publish_mu_ — the only nesting in the engine.
+  Mutex commit_mu_;
   /// Guards the published_ pointer only; held for a pointer copy.
-  mutable std::mutex publish_mu_;
-  std::shared_ptr<const StoreSnapshot> published_;
+  mutable Mutex publish_mu_;
+  std::shared_ptr<const StoreSnapshot> published_ GQL_GUARDED_BY(publish_mu_);
   std::atomic<uint64_t> version_{0};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborted_commits_{0};

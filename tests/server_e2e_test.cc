@@ -85,6 +85,11 @@ class ServerE2E : public ::testing::Test {
         << (pub.ok() ? pub->body : pub.status().ToString());
   }
 
+  /// Declared before server_ on purpose: members are destroyed in
+  /// reverse order, so the server (whose worker threads read the
+  /// injector) is torn down first. A test-body-local FaultInjector would
+  /// die at the end of TestBody while the server is still serving.
+  FaultInjector injector_;
   std::unique_ptr<Server> server_;
 };
 
@@ -270,9 +275,8 @@ TEST_F(ServerE2E, DrainShedsNewQueriesDuringGrace) {
 }
 
 TEST_F(ServerE2E, AcceptFaultClosesNthConnection) {
-  FaultInjector injector;
-  injector.AddRule(GovernPoint::kAccept, 2, TripKind::kMemory);
-  StartServer({}, &injector);
+  injector_.AddRule(GovernPoint::kAccept, 2, TripKind::kMemory);
+  StartServer({}, &injector_);
 
   Client first = Connect();
   auto pong = first.Call(Req(Op::kPing));
@@ -290,9 +294,8 @@ TEST_F(ServerE2E, AcceptFaultClosesNthConnection) {
 }
 
 TEST_F(ServerE2E, FrameReadFaultAnswersStructuredErrorAndSurvives) {
-  FaultInjector injector;
-  injector.AddRule(GovernPoint::kFrameRead, 2, TripKind::kMemory);
-  StartServer({}, &injector);
+  injector_.AddRule(GovernPoint::kFrameRead, 2, TripKind::kMemory);
+  StartServer({}, &injector_);
 
   Client c = Connect();
   ASSERT_TRUE(c.Call(Req(Op::kPing)).ok());
@@ -309,17 +312,15 @@ TEST_F(ServerE2E, FrameReadFaultAnswersStructuredErrorAndSurvives) {
 }
 
 TEST_F(ServerE2E, FrameReadCancelFaultTearsConnectionDown) {
-  FaultInjector injector;
-  injector.AddRule(GovernPoint::kFrameRead, 1, TripKind::kCancelled);
-  StartServer({}, &injector);
+  injector_.AddRule(GovernPoint::kFrameRead, 1, TripKind::kCancelled);
+  StartServer({}, &injector_);
   Client c = Connect();
   EXPECT_FALSE(c.Call(Req(Op::kPing)).ok());
 }
 
 TEST_F(ServerE2E, CommitFaultAbortsPublishButNotTheStore) {
-  FaultInjector injector;
-  injector.AddRule(GovernPoint::kCommit, 1, TripKind::kMemory);
-  StartServer({}, &injector);
+  injector_.AddRule(GovernPoint::kCommit, 1, TripKind::kMemory);
+  StartServer({}, &injector_);
 
   Client c = Connect();
   ASSERT_TRUE(c.Call(Req(Op::kLoadText, "L", kCollectionText)).ok());

@@ -1,0 +1,27 @@
+// Seeded violation corpus: an unbounded worklist loop that never charges
+// the governor, so a runaway query in it could not be cancelled. Never
+// compiled; drives the governor-charge-loop rule test.
+#include <deque>
+
+namespace graphql {
+
+int DrainWithoutCharging(std::deque<int>* work) {
+  int sum = 0;
+  while (!work->empty()) {
+    sum += work->front();
+    work->pop_front();
+  }
+  return sum;
+}
+
+int DrainWithCharging(std::deque<int>* work, int* budget) {
+  int sum = 0;
+  while (!work->empty()) {
+    if (ChargeStep(budget)) break;
+    sum += work->front();
+    work->pop_front();
+  }
+  return sum;
+}
+
+}  // namespace graphql

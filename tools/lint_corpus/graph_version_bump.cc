@@ -1,0 +1,18 @@
+// Seeded violation corpus: a Graph mutator that forgets to bump the
+// version counter, so the cached snapshot would serve stale data. Never
+// compiled; drives the graph-version-bump rule test.
+#include "graph/graph.h"
+
+namespace graphql {
+
+void Graph::RemoveLastNode() {
+  nodes_.pop_back();
+  adj_.pop_back();
+}
+
+void Graph::RenameOk(std::string name) {
+  name_ = std::move(name);
+  ++version_;
+}
+
+}  // namespace graphql

@@ -1,0 +1,22 @@
+// Seeded violation corpus: an allocation sized directly by a wire-format
+// length field with no validation, so a tiny frame could demand a huge
+// buffer. Never compiled; drives the length-validated-alloc rule test.
+#include <cstdint>
+#include <string>
+
+namespace graphql {
+
+void DecodeUnchecked(uint32_t len, std::string* body) {
+  body->resize(len);
+}
+
+void DecodeChecked(uint32_t len, std::string* body) {
+  if (len > kMaxFrameBytes) return;
+  body->resize(len);
+}
+
+void FixedAlloc(std::string* body) {
+  body->reserve(4096);
+}
+
+}  // namespace graphql

@@ -1,0 +1,20 @@
+// Seeded violation corpus: raw std synchronization primitives. Never
+// compiled — exists so invariant_lint_test.py can prove the naked-mutex
+// rule catches each primitive the wrappers replace.
+#include <mutex>
+
+#include <condition_variable>
+
+struct BadCache {
+  void Put(int k, int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_key_ = k;
+    last_value_ = v;
+    cv_.notify_one();
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int last_key_ = 0;
+  int last_value_ = 0;
+};

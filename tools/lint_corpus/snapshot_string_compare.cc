@@ -1,0 +1,22 @@
+// Seeded violation corpus: a snapshot hot-path helper that compares raw
+// strings instead of interned symbol ids. Never compiled; drives the
+// snapshot-string-compare rule test.
+#include <string>
+
+namespace graphql {
+
+struct FakeSnap {
+  std::string label;
+};
+
+bool LabelMatchesSnap(const FakeSnap& snap) {
+  std::string wanted = "person";
+  return snap.label == "person" || snap.label.compare(wanted) == 0;
+}
+
+int PlainHelper(const FakeSnap& snap) {
+  // Same comparison outside a *Snap* function is out of scope.
+  return snap.label == "ok" ? 1 : 0;
+}
+
+}  // namespace graphql

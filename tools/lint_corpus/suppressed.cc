@@ -1,0 +1,28 @@
+// Seeded corpus: the same violations as the other files, silenced by
+// allow() comments carrying a reason — must lint clean. The final
+// function carries a bare allow() with no reason, which is itself a
+// violation regardless of rule.
+#include <deque>
+
+namespace graphql {
+
+int DrainSuppressed(std::deque<int>* work) {
+  int sum = 0;
+  // invariant-lint: allow(governor-charge-loop) drains a queue bounded
+  // by the caller; at most kMaxPending entries.
+  while (!work->empty()) {
+    sum += work->front();
+    work->pop_front();
+  }
+  return sum;
+}
+
+int BareAllow(std::deque<int>* work) {
+  // invariant-lint: allow(governor-charge-loop)
+  while (!work->empty()) {
+    work->pop_front();
+  }
+  return 0;
+}
+
+}  // namespace graphql
