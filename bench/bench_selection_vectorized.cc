@@ -1,0 +1,247 @@
+// Selection-kernel ablation: candidate selection over the compiled
+// snapshot with the scalar per-candidate probes (the pre-vectorization
+// baseline), the column-at-a-time bitmap kernel, the compiled predicate
+// bytecode, and the automatic per-node choice. Measures both the isolated
+// retrieve stage (where the kernels differ) and the full MatchPattern
+// wall time, verifies every kernel produces bit-identical match lists,
+// and dumps machine-readable results for tools/summarize_bench.py.
+//
+// The workload mixes label-only patterns (structural columns) with
+// attribute-predicate patterns inside and outside the bytecode ISA, so
+// the sweep exercises the bitmap fill, the compiled programs, and the
+// AST-interpreter fallback.
+//
+// Knobs (environment / argv):
+//   GQL_BENCH_SELECTION_JSON  output path (default BENCH_selection.json)
+//   GQL_BENCH_SELECTION_REPS  timed repetitions per lane, best-of (default 3)
+//   --quick / GQL_BENCH_QUICK smaller graph, 1 rep (CI smoke)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/snapshot.h"
+#include "match/pipeline.h"
+#include "match/vectorized.h"
+#include "workload/erdos_renyi.h"
+
+namespace graphql::bench {
+namespace {
+
+constexpr size_t kMaxMatchesPerQuery = 100;
+
+constexpr match::SelectionKernel kKernels[] = {
+    match::SelectionKernel::kScalar, match::SelectionKernel::kBitmap,
+    match::SelectionKernel::kBytecode, match::SelectionKernel::kAuto};
+
+Graph MakeData(bool quick) {
+  Rng rng(20080610);
+  workload::ErdosRenyiOptions opts;
+  opts.num_nodes = quick ? 2000 : 20000;
+  opts.num_edges = quick ? 8000 : 80000;
+  opts.num_labels = 6;
+  Graph data = workload::MakeErdosRenyi(opts, &rng);
+  // Numeric and (sparse) string attributes give the predicate kernels
+  // real columns: "score" feeds comparisons, "tier" feeds the interned
+  // string-equality path, and its absence on 2/3 of nodes exercises the
+  // absent-attribute reject.
+  for (NodeId v = 0; v < static_cast<NodeId>(data.NumNodes()); ++v) {
+    data.node(v).attrs.Set("score", Value(int64_t{(v * 13) % 100}));
+    if (v % 3 == 0) {
+      data.node(v).attrs.Set("tier", Value(v % 6 == 0 ? "gold" : "silver"));
+    }
+  }
+  return data;
+}
+
+std::vector<algebra::GraphPattern> MakeQueries() {
+  std::vector<algebra::GraphPattern> out;
+  for (const char* source : {
+           // Label-only: pure structural columns.
+           R"(graph P { node a <label="L0">; node b <label="L1">;
+                        node c <label="L2">;
+                        edge (a, b); edge (b, c); edge (c, a); })",
+           // Comparison predicates (compiled bytecode).
+           R"(graph P { node a <label="L0"> where score > 50;
+                        node b <label="L1"> where score <= 80;
+                        edge (a, b); })",
+           // Interned string equality + dense unlabeled node.
+           R"(graph P { node a where tier == "gold"; node b <label="L2">;
+                        edge (a, b); })",
+           // Arithmetic predicate: AST-interpreter fallback.
+           R"(graph P { node a <label="L3"> where score + 0 > 50; node b;
+                        edge (a, b); })",
+       }) {
+    auto p = algebra::GraphPattern::Parse(source);
+    if (!p.ok()) {
+      std::fprintf(stderr, "bad query: %s\n", p.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.push_back(std::move(p).value());
+  }
+  return out;
+}
+
+std::string Signature(const std::vector<algebra::MatchedGraph>& matches) {
+  std::string sig;
+  for (const algebra::MatchedGraph& m : matches) {
+    for (NodeId v : m.node_mapping) sig += std::to_string(v) + ",";
+    for (EdgeId e : m.edge_mapping) sig += std::to_string(e) + ";";
+    sig += "|";
+  }
+  return sig;
+}
+
+struct LaneResult {
+  double retrieve_ms = -1;  ///< Best-of-reps, isolated retrieve stage.
+  double match_ms = -1;     ///< Best-of-reps, full MatchPattern.
+  size_t matches = 0;
+  size_t candidates = 0;  ///< Sum of retrieved candidate-set sizes.
+  std::vector<std::string> sigs;
+};
+
+LaneResult RunLane(const Graph& data, const match::LabelIndex& index,
+                   const GraphSnapshot* snap,
+                   const std::vector<algebra::GraphPattern>& queries,
+                   match::SelectionKernel kernel, int reps) {
+  LaneResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    match::PipelineOptions o;
+    o.selection = kernel;
+    o.candidate_mode = match::CandidateMode::kProfile;
+    o.match.max_matches = kMaxMatchesPerQuery;
+    o.metrics = nullptr;
+
+    // Isolated selection stage (label/tag/attribute predicates — exactly
+    // what the kernels vectorize): retrieve in kLabelOnly mode, so the
+    // kernel-independent profile pruning does not dilute the ratio.
+    match::PipelineOptions sel = o;
+    sel.candidate_mode = match::CandidateMode::kLabelOnly;
+    auto t0 = std::chrono::steady_clock::now();
+    size_t candidates = 0;
+    for (const algebra::GraphPattern& p : queries) {
+      auto cand =
+          match::RetrieveCandidates(p, data, &index, sel, nullptr, snap);
+      for (const auto& c : cand) candidates += c.size();
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double retrieve_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r.retrieve_ms < 0 || retrieve_ms < r.retrieve_ms) {
+      r.retrieve_ms = retrieve_ms;
+    }
+    r.candidates = candidates;
+
+    // Full pipeline, for the end-to-end view.
+    size_t matches = 0;
+    std::vector<std::string> sigs;
+    auto t2 = std::chrono::steady_clock::now();
+    for (const algebra::GraphPattern& p : queries) {
+      auto m = match::MatchPattern(p, data, &index, o);
+      if (m.ok()) {
+        matches += m->size();
+        sigs.push_back(Signature(*m));
+      } else {
+        sigs.push_back("error:" + m.status().ToString());
+      }
+    }
+    auto t3 = std::chrono::steady_clock::now();
+    double match_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    if (r.match_ms < 0 || match_ms < r.match_ms) r.match_ms = match_ms;
+    r.matches = matches;
+    if (rep == 0) r.sigs = std::move(sigs);
+  }
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = std::getenv("GQL_BENCH_QUICK") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  int reps = quick ? 1 : 3;
+  if (const char* v = std::getenv("GQL_BENCH_SELECTION_REPS")) {
+    int n = std::atoi(v);
+    if (n > 0) reps = n;
+  }
+
+  std::printf("building synthetic workload (ER %s, 6 labels, score/tier "
+              "attrs)...\n",
+              quick ? "2k/8k" : "20k/80k");
+  Graph data = MakeData(quick);
+  match::LabelIndex index = match::LabelIndex::Build(data);
+  std::vector<algebra::GraphPattern> queries = MakeQueries();
+  // Warm the snapshot outside the timed region — every lane (including
+  // scalar) runs over it; the kernels are the only variable.
+  std::shared_ptr<const GraphSnapshot> snap = data.snapshot();
+
+  std::vector<LaneResult> lanes;
+  for (match::SelectionKernel kernel : kKernels) {
+    lanes.push_back(RunLane(data, index, snap.get(), queries, kernel, reps));
+  }
+
+  bool identical = true;
+  for (const LaneResult& lane : lanes) {
+    identical = identical && lane.sigs == lanes[0].sigs &&
+                lane.candidates == lanes[0].candidates;
+  }
+
+  std::printf("\n%10s %12s %10s %12s %8s %10s\n", "kernel", "retrieve_ms",
+              "match_ms", "candidates", "matches", "speedup");
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    double speedup = lanes[i].retrieve_ms > 0
+                         ? lanes[0].retrieve_ms / lanes[i].retrieve_ms
+                         : 0.0;
+    std::printf("%10s %12.3f %10.2f %12zu %8zu %9.2fx\n",
+                match::SelectionKernelName(kKernels[i]),
+                lanes[i].retrieve_ms, lanes[i].match_ms, lanes[i].candidates,
+                lanes[i].matches, speedup);
+  }
+  std::printf("\nmatch lists %s across kernels\n",
+              identical ? "bit-identical" : "DIVERGED");
+
+  const char* path = std::getenv("GQL_BENCH_SELECTION_JSON");
+  std::string out_path =
+      path != nullptr && *path != '\0' ? path : "BENCH_selection.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"selection_vectorized\",\n"
+      << "  \"stamp\": " << BuildStampJson() << ",\n"
+      << "  \"workload\": \"erdos-renyi " << (quick ? "2k/8k" : "20k/80k")
+      << ", 6 labels, score/tier attrs, " << queries.size()
+      << " queries, max " << kMaxMatchesPerQuery << " matches each\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"lanes\": [\n";
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    double speedup = lanes[i].retrieve_ms > 0
+                         ? lanes[0].retrieve_ms / lanes[i].retrieve_ms
+                         : 0.0;
+    out << "    {\"lane\": \"" << match::SelectionKernelName(kKernels[i])
+        << "\", \"retrieve_ms\": " << lanes[i].retrieve_ms
+        << ", \"match_ms\": " << lanes[i].match_ms
+        << ", \"candidates\": " << lanes[i].candidates
+        << ", \"matches\": " << lanes[i].matches
+        << ", \"retrieve_speedup\": " << speedup << "}"
+        << (i + 1 < lanes.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return identical ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace graphql::bench
+
+int main(int argc, char** argv) { return graphql::bench::Main(argc, argv); }

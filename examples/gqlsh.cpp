@@ -22,7 +22,8 @@
 //                      recursive classification of each query
 //   :set KEY VALUE     set a resource limit for subsequent queries:
 //                      timeout_ms, max_steps, max_memory_mb (0 = unlimited),
-//                      threads, slow_ms (slow-query-log threshold)
+//                      threads, slow_ms (slow-query-log threshold),
+//                      plan_cache (capacity in MB, 0 = off)
 //   :limits            show the current resource limits
 //   :recent [N]        flight recorder: the last N query records
 //   :slow [N]          slow-query log: records over the slow_ms threshold
@@ -275,6 +276,8 @@ struct Shell {
           "serial; default $GQL_THREADS)\n"
           ":set slow_ms N         slow-query-log threshold (0 = only "
           "governor trips retained)\n"
+          ":set plan_cache N      plan-cache capacity in MB (0 = off; "
+          "default $GQL_PLAN_CACHE or 8)\n"
           ":recent [N]            last N query records from the flight "
           "recorder\n"
           ":slow [N]              slow-query log with full trace trees\n"
@@ -319,9 +322,16 @@ struct Shell {
                     "(governor trips are always retained)\n",
                     static_cast<long long>(n));
         return;
+      } else if (key == "plan_cache") {
+        evaluator.set_plan_cache_capacity(static_cast<size_t>(n) << 20);
+        std::printf(n == 0 ? "plan cache: off\n"
+                           : "plan cache: %lld MB (entries dropped)\n",
+                    static_cast<long long>(n));
+        return;
       } else {
         std::printf("unknown limit '%s' (timeout_ms, max_steps, "
-                    "max_memory_mb, threads, slow_ms)\n", key.c_str());
+                    "max_memory_mb, threads, slow_ms, plan_cache)\n",
+                    key.c_str());
         return;
       }
       PrintLimits();
@@ -502,6 +512,19 @@ struct Shell {
       return;
     }
     if (cmd == ":stats") {
+      // Plan-cache line first: present even with no documents loaded.
+      if (const exec::PlanCache* pc = evaluator.plan_cache(); pc != nullptr) {
+        obs::Counter* hits = evaluator.metrics()->GetCounter("plan_cache.hit");
+        obs::Counter* misses =
+            evaluator.metrics()->GetCounter("plan_cache.miss");
+        std::printf("plan cache: %zu plans, %zu/%zu KB, hits=%llu "
+                    "misses=%llu\n",
+                    pc->entries(), pc->bytes() / 1024, pc->max_bytes() / 1024,
+                    static_cast<unsigned long long>(hits->Value()),
+                    static_cast<unsigned long long>(misses->Value()));
+      } else {
+        std::printf("plan cache: off\n");
+      }
       if (doc_sizes.empty()) {
         std::printf("no documents loaded (use :load NAME PATH)\n");
         return;

@@ -231,6 +231,35 @@ bool GraphPattern::NodePredsOk(NodeId u, const Graph& data, NodeId v,
   return ok;
 }
 
+bool GraphPattern::NodePredsOkSubset(NodeId u, const Graph& data, NodeId v,
+                                     const std::vector<uint32_t>& indices,
+                                     PatternScratch* scratch) const {
+  if (indices.empty()) return true;
+  if (scratch->mapping_.size() < built_.graph.NumNodes()) {
+    scratch->mapping_.resize(built_.graph.NumNodes(), kInvalidNode);
+  }
+  std::vector<NodeId>* mapping = &scratch->mapping_;
+  Bindings bindings;
+  BoundGraph bound;
+  bound.attr_graph = &data;
+  bound.names = &built_.node_names;
+  bound.mapping = mapping;
+  bindings.SetDefault(bound);
+  if (!name_.empty()) bindings.Bind(name_, bound);
+  bindings.SetCurrentNode(&data, v);
+  (*mapping)[u] = v;
+  bool ok = true;
+  for (uint32_t i : indices) {
+    Result<bool> r = EvalPredicate(*node_preds_[u][i], bindings);
+    if (!r.ok() || !r.value()) {
+      ok = false;
+      break;
+    }
+  }
+  (*mapping)[u] = kInvalidNode;
+  return ok;
+}
+
 bool GraphPattern::EdgeCompatibleWith(EdgeId pe, const Graph& data, EdgeId de,
                                       std::vector<NodeId>* mapping,
                                       std::vector<EdgeId>* edge_mapping) const {

@@ -107,6 +107,30 @@ class GraphPattern {
   SymbolId node_tag_sym(NodeId u) const { return node_tag_syms_[u]; }
   SymbolId edge_tag_sym(EdgeId e) const { return edge_tag_syms_[e]; }
 
+  /// One attribute-equality constraint in interned form: the data entity
+  /// must carry attribute `attr_sym` with a value equal to `value`
+  /// (`val_sym` short-circuits the comparison for string constants).
+  struct SymReq {
+    SymbolId attr_sym;
+    Value value;
+    SymbolId val_sym;  // kNoSymbol when `value` is not a string.
+  };
+
+  /// Interned attribute-equality constraints of node `u` — the exact
+  /// probes NodeCompatibleSnap runs per candidate, exposed so the
+  /// vectorized kernels can evaluate them column-at-a-time instead.
+  const std::vector<SymReq>& NodeReqs(NodeId u) const {
+    return node_reqs_[u];
+  }
+
+  /// Evaluates a subset of the predicates pushed to node `u` (indices into
+  /// NodePreds(u)), with bindings and verdict identical to the full
+  /// NodePredsOk pass. The vectorized kernels route only the conjuncts the
+  /// bytecode compiler did not cover through this AST-interpreter path.
+  bool NodePredsOkSubset(NodeId u, const Graph& data, NodeId v,
+                         const std::vector<uint32_t>& indices,
+                         PatternScratch* scratch) const;
+
   /// True if some conjunct could not be pushed down to a node or edge.
   bool has_global_pred() const { return !global_preds_.empty(); }
 
@@ -148,15 +172,6 @@ class GraphPattern {
   /// Classifies a conjunct: returns the single pattern node (or edge) it
   /// references, or pushes it to the residual global list.
   void RouteConjunct(const lang::ExprPtr& conjunct);
-
-  /// One attribute-equality constraint in interned form: the data entity
-  /// must carry attribute `attr_sym` with a value equal to `value`
-  /// (`val_sym` short-circuits the comparison for string constants).
-  struct SymReq {
-    SymbolId attr_sym;
-    Value value;
-    SymbolId val_sym;  // kNoSymbol when `value` is not a string.
-  };
 
   /// Interns tags and attribute constraints into SymbolTable::Global()
   /// (called once at compile; the snapshot compatibility paths read these).

@@ -144,6 +144,22 @@ Evaluator::Evaluator(const DocumentRegistry* docs) : docs_(docs) {
   // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup; no setenv anywhere
   const char* path = std::getenv("GQL_TRACE_EXPORT");
   if (path != nullptr && *path != '\0') trace_export_path_ = path;
+  size_t cache_bytes = size_t{8} << 20;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) read-only env lookup
+  const char* cache_env = std::getenv("GQL_PLAN_CACHE");
+  if (cache_env != nullptr && *cache_env != '\0') {
+    cache_bytes = std::string_view(cache_env) == "off"
+                      ? 0
+                      : static_cast<size_t>(
+                            std::strtoull(cache_env, nullptr, 10))
+                            << 20;
+  }
+  if (cache_bytes > 0) plan_cache_ = std::make_unique<PlanCache>(cache_bytes);
+}
+
+void Evaluator::set_plan_cache_capacity(size_t bytes) {
+  plan_cache_ =
+      bytes == 0 ? nullptr : std::make_unique<PlanCache>(bytes);
 }
 
 std::string LimitReport::ToString() const {
@@ -186,9 +202,15 @@ sema::Analysis Evaluator::Analyze(const lang::Program& program) const {
 }
 
 Result<QueryResult> Evaluator::Run(const lang::Program& program) {
+  return RunInternal(program, /*plan=*/nullptr, /*cache_hit=*/false,
+                     /*parse_us=*/0, /*sema_us=*/0);
+}
+
+Result<QueryResult> Evaluator::RunInternal(const lang::Program& program,
+                                           const CachedPlan* plan,
+                                           bool cache_hit, int64_t parse_us,
+                                           int64_t sema_us) {
   QueryResult result;
-  sema::Analysis analysis = Analyze(program);
-  result.diagnostics = std::move(analysis.diagnostics);
   governor_.Arm(limits_);
   // Tracing is on when anyone consumes the span tree this run: PROFILE,
   // the Chrome-trace export, or the flight recorder's slow-query log
@@ -207,7 +229,30 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   if (program_span.active()) {
     program_span.SetAttr("statements",
                          static_cast<int64_t>(program.statements.size()));
+    if (plan != nullptr) {
+      program_span.SetAttr("plan", cache_hit ? "cached" : "cold");
+    }
   }
+  // Semantic analysis: reused from the plan when the caller came through
+  // the cache — a hit records neither a "parse" nor a "sema" span (the
+  // skip is observable in the trace); a cold source run replays its
+  // measured front-end durations as completed spans; plain Run analyzes
+  // inline.
+  sema::Analysis inline_analysis;
+  const sema::Analysis* analysis = nullptr;
+  if (plan != nullptr) {
+    analysis = &plan->analysis;
+    if (!cache_hit && tracer_.enabled()) {
+      tracer_.AddCompleted("parse", start_us - parse_us - sema_us, parse_us);
+      tracer_.AddCompleted("sema", start_us - sema_us, sema_us);
+    }
+  } else {
+    obs::Span sema_span(ActiveTracer(), "sema", obs::Span::Timing::kAlways);
+    inline_analysis = Analyze(program);
+    metrics_.GetCounter("exec.frontend.semas")->Increment();
+    analysis = &inline_analysis;
+  }
+  result.diagnostics = analysis->diagnostics;
   for (size_t i = 0; i < program.statements.size(); ++i) {
     const lang::Statement& stmt = program.statements[i];
     // A sticky trip ends the program between statements; the work done
@@ -220,11 +265,16 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
       stmt_span.SetAttr("kind", StatementKindName(stmt.kind));
     }
     const sema::StatementInfo* info =
-        i < analysis.statements.size() ? &analysis.statements[i] : nullptr;
+        i < analysis->statements.size() ? &analysis->statements[i] : nullptr;
+    const std::vector<algebra::GraphPattern>* precompiled =
+        plan != nullptr && i < plan->alternatives.size() &&
+                !plan->alternatives[i].empty()
+            ? &plan->alternatives[i]
+            : nullptr;
     result.actuals.emplace_back();
     result.actuals.back().is_flwr =
         stmt.kind == lang::Statement::Kind::kFlwr;
-    run_status = RunStatement(stmt, &result, info);
+    run_status = RunStatement(stmt, &result, info, precompiled);
     stmt_span.End();
     result.actuals.back().wall_us = stmt_span.DurationMicros();
     // A failed statement still ends the span tree and reaches the flight
@@ -268,9 +318,10 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
   obs::QueryRecord rec;
   rec.start_us = start_us;
   rec.session = session_label_;
-  rec.shape = NormalizeShape(program);
+  rec.shape = plan != nullptr ? plan->shape : NormalizeShape(program);
   rec.shape_hash = obs::FlightRecorder::HashShape(rec.shape);
   rec.wall_us = program_span.DurationMicros();
+  result.exec_us = rec.wall_us;
   rec.cpu_us = obs::ThreadCpuMicros() - cpu_start_us;
   for (const StatementActuals& a : result.actuals) {
     rec.us_retrieve += a.us_retrieve;
@@ -311,9 +362,118 @@ Result<QueryResult> Evaluator::Run(const lang::Program& program) {
 }
 
 Result<QueryResult> Evaluator::RunSource(std::string_view source) {
-  GQL_ASSIGN_OR_RETURN(lang::Program program,
-                       lang::Parser::ParseProgram(source));
-  return Run(program);
+  const int64_t frontend_start = obs::NowMicros();
+  PlanKey key;
+  if (plan_cache_ == nullptr || !PlanKey::From(source, &key)) {
+    // Cache off, or the text does not lex (the parser owns the error).
+    GQL_ASSIGN_OR_RETURN(lang::Program program,
+                         lang::Parser::ParseProgram(source));
+    metrics_.GetCounter("exec.frontend.parses")->Increment();
+    const int64_t parse_us = obs::NowMicros() - frontend_start;
+    Result<QueryResult> run = Run(program);
+    if (run.ok()) {
+      // Run() timed the inline semantic analysis as part of exec_us; the
+      // parse is the front-end share this path can attribute.
+      run.value().front_end_us = parse_us;
+    }
+    return run;
+  }
+
+  if (std::shared_ptr<const CachedPlan> hit =
+          plan_cache_->Lookup(key, plan_epoch_)) {
+    metrics_.GetCounter("plan_cache.hit")->Increment();
+    const int64_t frontend_us = obs::NowMicros() - frontend_start;
+    Result<QueryResult> run =
+        RunInternal(hit->program, hit.get(), /*cache_hit=*/true, 0, 0);
+    if (run.ok()) {
+      run.value().front_end_us = frontend_us;
+      run.value().plan_source = "hit";
+    }
+    return run;
+  }
+  metrics_.GetCounter("plan_cache.miss")->Increment();
+
+  // Cold: run the front-end once and keep what it produced.
+  auto plan = std::make_shared<CachedPlan>();
+  int64_t parse_us = 0;
+  int64_t sema_us = 0;
+  {
+    const int64_t t0 = obs::NowMicros();
+    GQL_ASSIGN_OR_RETURN(plan->program, lang::Parser::ParseProgram(source));
+    parse_us = obs::NowMicros() - t0;
+  }
+  metrics_.GetCounter("exec.frontend.parses")->Increment();
+  {
+    const int64_t t0 = obs::NowMicros();
+    plan->analysis = Analyze(plan->program);
+    sema_us = obs::NowMicros() - t0;
+  }
+  metrics_.GetCounter("exec.frontend.semas")->Increment();
+  plan->shape = NormalizeShape(plan->program);
+
+  // Cacheability gate: only pure programs — every statement a non-`let`
+  // FLWR — may be replayed from cache. Anything that mutates session
+  // state (graph-decl, assign, let) both bumps the epoch when it runs and
+  // would make a cached replay observable, so such programs stay cold.
+  bool cacheable = true;
+  for (const lang::Statement& stmt : plan->program.statements) {
+    if (stmt.kind != lang::Statement::Kind::kFlwr || stmt.flwr.is_let) {
+      cacheable = false;
+      break;
+    }
+  }
+  if (cacheable) {
+    // Precompile every FLWR's pattern alternatives (with the FLWR-level
+    // where folded in, exactly as RunFlwr would). Any failure falls back
+    // to cold execution, which reproduces the error with full context.
+    plan->alternatives.resize(plan->program.statements.size());
+    for (size_t i = 0; i < plan->program.statements.size() && cacheable;
+         ++i) {
+      const lang::FlwrExpr& flwr = plan->program.statements[i].flwr;
+      const lang::GraphDecl* pattern_decl =
+          flwr.pattern ? &*flwr.pattern : motifs_.Find(flwr.pattern_ref);
+      if (pattern_decl == nullptr) {
+        cacheable = false;
+        break;
+      }
+      lang::GraphDecl pushed;
+      if (flwr.where != nullptr) {
+        pushed = *pattern_decl;
+        pushed.where = pushed.where == nullptr
+                           ? flwr.where
+                           : lang::Expr::Binary(lang::BinaryOp::kAnd,
+                                                pushed.where, flwr.where);
+        pattern_decl = &pushed;
+      }
+      Result<std::vector<algebra::GraphPattern>> alts =
+          algebra::GraphPattern::CreateAll(*pattern_decl, &motifs_,
+                                           build_options_);
+      if (!alts.ok()) {
+        cacheable = false;
+        break;
+      }
+      plan->alternatives[i] = std::move(alts).value();
+    }
+    if (!cacheable) plan->alternatives.clear();
+  }
+  if (cacheable) {
+    plan->bytes = CachedPlan::EstimateBytes(key, *plan);
+    size_t evicted = plan_cache_->Insert(key, plan_epoch_, plan);
+    if (evicted > 0) {
+      metrics_.GetCounter("plan_cache.evict")->Increment(evicted);
+    }
+  } else {
+    metrics_.GetCounter("plan_cache.uncacheable")->Increment();
+  }
+
+  const int64_t frontend_us = obs::NowMicros() - frontend_start;
+  Result<QueryResult> run = RunInternal(plan->program, plan.get(),
+                                        /*cache_hit=*/false, parse_us, sema_us);
+  if (run.ok()) {
+    run.value().front_end_us = frontend_us;
+    run.value().plan_source = cacheable ? "miss" : "uncacheable";
+  }
+  return run;
 }
 
 const Graph* Evaluator::Variable(const std::string& name) const {
@@ -332,9 +492,24 @@ Result<std::string> Evaluator::Explain(const lang::Program& program) const {
 }
 
 Result<std::string> Evaluator::ExplainAnalyzeSource(std::string_view source) {
+  // Route through RunSource so the run exercises (and reports) the plan
+  // cache; the parse here only feeds the static plan rendering.
   GQL_ASSIGN_OR_RETURN(lang::Program program,
                        lang::Parser::ParseProgram(source));
-  return ExplainAnalyze(program);
+  GQL_ASSIGN_OR_RETURN(QueryResult result, RunSource(source));
+  GQL_ASSIGN_OR_RETURN(std::string out, RenderExplain(program, &result));
+  std::string limits = result.limits.ToString();
+  if (!limits.empty()) {
+    out.append("-- limits --\n");
+    out.append(limits);
+  }
+  out.append("-- plan cache --\nplan: " + result.plan_source +
+             ", front-end=");
+  AppendMs(result.front_end_us, &out);
+  out.append(", exec=");
+  AppendMs(result.exec_us, &out);
+  out.push_back('\n');
+  return out;
 }
 
 Result<std::string> Evaluator::ExplainAnalyze(const lang::Program& program) {
@@ -506,13 +681,16 @@ Result<std::string> Evaluator::RenderExplain(const lang::Program& program,
   return out;
 }
 
-Status Evaluator::RunStatement(const lang::Statement& stmt,
-                               QueryResult* result,
-                               const sema::StatementInfo* info) {
+Status Evaluator::RunStatement(
+    const lang::Statement& stmt, QueryResult* result,
+    const sema::StatementInfo* info,
+    const std::vector<algebra::GraphPattern>* precompiled) {
   switch (stmt.kind) {
     case lang::Statement::Kind::kGraphDecl:
+      ++plan_epoch_;  // Motif registration changes pattern resolution.
       return motifs_.Register(stmt.graph);
     case lang::Statement::Kind::kAssign: {
+      ++plan_epoch_;  // Variable bindings feed sema and templates.
       // Instantiate the right-hand side as a parameter-free template; this
       // covers both plain graph literals and computed bodies.
       GQL_ASSIGN_OR_RETURN(algebra::GraphTemplate tmpl,
@@ -527,8 +705,9 @@ Status Evaluator::RunStatement(const lang::Statement& stmt,
       return Status::OK();
     }
     case lang::Statement::Kind::kFlwr:
-      return RunFlwr(stmt.flwr, result,
-                     info != nullptr && info->unsatisfiable);
+      if (stmt.flwr.is_let) ++plan_epoch_;  // `let` binds a variable.
+      return RunFlwr(stmt.flwr, result, info != nullptr && info->unsatisfiable,
+                     precompiled);
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -585,36 +764,47 @@ Result<std::vector<algebra::MatchedGraph>> Evaluator::SelectWithAutoIndex(
   return out;
 }
 
-Status Evaluator::RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
-                          bool prune_unsat) {
+Status Evaluator::RunFlwr(
+    const lang::FlwrExpr& flwr, QueryResult* result, bool prune_unsat,
+    const std::vector<algebra::GraphPattern>* precompiled) {
   obs::Span flwr_span(ActiveTracer(), "flwr");
-  // Resolve the pattern.
-  const lang::GraphDecl* pattern_decl = nullptr;
-  if (flwr.pattern) {
-    pattern_decl = &*flwr.pattern;
-  } else {
-    pattern_decl = motifs_.Find(flwr.pattern_ref);
-    if (pattern_decl == nullptr) {
-      return Status::NotFound("FLWR pattern '" + flwr.pattern_ref +
-                              "' is not declared");
+  // Pattern alternatives: reused from the cached plan when available
+  // (where-pushdown already folded at compile), otherwise resolved and
+  // compiled here.
+  std::vector<algebra::GraphPattern> compiled_here;
+  const std::vector<algebra::GraphPattern>* alternatives_ptr = precompiled;
+  if (alternatives_ptr == nullptr) {
+    // Resolve the pattern.
+    const lang::GraphDecl* pattern_decl = nullptr;
+    if (flwr.pattern) {
+      pattern_decl = &*flwr.pattern;
+    } else {
+      pattern_decl = motifs_.Find(flwr.pattern_ref);
+      if (pattern_decl == nullptr) {
+        return Status::NotFound("FLWR pattern '" + flwr.pattern_ref +
+                                "' is not declared");
+      }
     }
+    // Algebraic pushdown: sigma_f(sigma_P(C)) = sigma_{P AND f}(C).
+    // Folding the FLWR-level where into the pattern predicate lets its
+    // single-node conjuncts prune candidate sets instead of filtering
+    // whole matches.
+    lang::GraphDecl pushed;
+    if (flwr.where != nullptr) {
+      pushed = *pattern_decl;
+      pushed.where = pushed.where == nullptr
+                         ? flwr.where
+                         : lang::Expr::Binary(lang::BinaryOp::kAnd,
+                                              pushed.where, flwr.where);
+      pattern_decl = &pushed;
+    }
+    GQL_ASSIGN_OR_RETURN(
+        compiled_here,
+        algebra::GraphPattern::CreateAll(*pattern_decl, &motifs_,
+                                         build_options_));
+    alternatives_ptr = &compiled_here;
   }
-  // Algebraic pushdown: sigma_f(sigma_P(C)) = sigma_{P AND f}(C). Folding
-  // the FLWR-level where into the pattern predicate lets its single-node
-  // conjuncts prune candidate sets instead of filtering whole matches.
-  lang::GraphDecl pushed;
-  if (flwr.where != nullptr) {
-    pushed = *pattern_decl;
-    pushed.where = pushed.where == nullptr
-                       ? flwr.where
-                       : lang::Expr::Binary(lang::BinaryOp::kAnd,
-                                            pushed.where, flwr.where);
-    pattern_decl = &pushed;
-  }
-  GQL_ASSIGN_OR_RETURN(
-      std::vector<algebra::GraphPattern> alternatives,
-      algebra::GraphPattern::CreateAll(*pattern_decl, &motifs_,
-                                       build_options_));
+  const std::vector<algebra::GraphPattern>& alternatives = *alternatives_ptr;
   if (alternatives.empty()) {
     return Status::InvalidArgument("FLWR pattern derives no motifs");
   }

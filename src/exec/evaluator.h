@@ -10,6 +10,7 @@
 #include "algebra/pattern.h"
 #include "common/governor.h"
 #include "common/result.h"
+#include "exec/plan_cache.h"
 #include "exec/registry.h"
 #include "graph/collection.h"
 #include "lang/ast.h"
@@ -105,6 +106,19 @@ struct QueryResult {
   /// One entry per statement executed (in program order); feeds EXPLAIN
   /// ANALYZE and the flight recorder.
   std::vector<StatementActuals> actuals;
+  /// Micros spent in the front-end for this run — parse, semantic
+  /// analysis, pattern compilation, plan-cache bookkeeping. Filled by
+  /// RunSource; a plan-cache hit reduces it to one lexer pass. Plain Run
+  /// leaves it 0 (the caller already parsed).
+  int64_t front_end_us = 0;
+  /// Micros of the execution phase (the program span: statements, match
+  /// pipeline, instantiation, flight recording).
+  int64_t exec_us = 0;
+  /// Plan-cache provenance of this run: "hit", "miss", "uncacheable"
+  /// (impure program — mutates session state — or unlexable text), or
+  /// "off" (cache disabled, or entered through Run with a pre-parsed
+  /// program).
+  std::string plan_source = "off";
 };
 
 /// The GraphQL query evaluator: executes programs of graph declarations,
@@ -154,7 +168,10 @@ class Evaluator {
   /// `sema.pruned.unsat` counter.
   Result<QueryResult> Run(const lang::Program& program);
 
-  /// Parses and runs source text.
+  /// Parses and runs source text. When the plan cache is enabled and the
+  /// text's normalized shape + literal signature matches a plan compiled
+  /// at the current epoch, the parse/sema/pattern-compile front-end is
+  /// skipped entirely (plan_cache.hit; QueryResult::plan_source = "hit").
   Result<QueryResult> RunSource(std::string_view source);
 
   /// When enabled, every Run records a per-statement trace tree (FLWR
@@ -203,7 +220,26 @@ class Evaluator {
   /// addresses, and a freed collection's addresses may be reused by a
   /// later commit (the classic ABA), so the cache must not outlive the
   /// store version it was built against.
-  void InvalidateIndexCache() { index_cache_.clear(); }
+  void InvalidateIndexCache() {
+    index_cache_.clear();
+    // New store version: cached plans were analyzed against documents that
+    // may no longer exist (or changed shape), so they expire with it.
+    ++plan_epoch_;
+  }
+
+  /// Plan cache over RunSource: front-end artifacts (parsed AST, semantic
+  /// analysis, compiled pattern alternatives) keyed on normalized query
+  /// shape + literal signature. Entries are invalidated by any
+  /// session-state mutation: graph-decl / assign / let statements and
+  /// InvalidateIndexCache all bump the epoch. Capacity is in bytes; 0
+  /// disables the cache (and drops its entries). The initial capacity
+  /// comes from $GQL_PLAN_CACHE (in MB, "off" or "0" disables; unset
+  /// keeps the 8 MB default).
+  void set_plan_cache_capacity(size_t bytes);
+  bool plan_cache_enabled() const { return plan_cache_ != nullptr; }
+  /// The cache itself (null when disabled) — entry/byte counts for
+  /// `:stats` lines and tests.
+  const PlanCache* plan_cache() const { return plan_cache_.get(); }
 
   /// Chrome-trace (Perfetto) export: when a path is set — explicitly or
   /// via $GQL_TRACE_EXPORT — every Run records a span tree (even without
@@ -250,9 +286,20 @@ class Evaluator {
 
  private:
   Status RunStatement(const lang::Statement& stmt, QueryResult* result,
-                      const sema::StatementInfo* info);
+                      const sema::StatementInfo* info,
+                      const std::vector<algebra::GraphPattern>* precompiled);
   Status RunFlwr(const lang::FlwrExpr& flwr, QueryResult* result,
-                 bool prune_unsat);
+                 bool prune_unsat,
+                 const std::vector<algebra::GraphPattern>* precompiled);
+  /// The body shared by Run and RunSource. `plan` carries the front-end
+  /// artifacts when the caller came through the plan cache (null for plain
+  /// Run — semantic analysis then runs inline under a "sema" span);
+  /// `cache_hit` distinguishes a reused plan from a freshly compiled one
+  /// (cold runs replay their measured parse/sema durations as completed
+  /// trace spans; hits record neither).
+  Result<QueryResult> RunInternal(const lang::Program& program,
+                                  const CachedPlan* plan, bool cache_hit,
+                                  int64_t parse_us, int64_t sema_us);
   /// Shared renderer behind Explain / ExplainAnalyze: the static plan,
   /// plus per-statement actual lines when `actual` is non-null.
   Result<std::string> RenderExplain(const lang::Program& program,
@@ -303,6 +350,11 @@ class Evaluator {
     std::unique_ptr<match::LabelIndex> index;
   };
   std::unordered_map<const Graph*, CachedIndex> index_cache_;
+  /// Plan cache (null = disabled) and its invalidation epoch. The epoch
+  /// counts session-state mutations; a cached plan is only served while
+  /// the epoch it was compiled at is still current.
+  std::unique_ptr<PlanCache> plan_cache_;
+  uint64_t plan_epoch_ = 0;
 };
 
 }  // namespace graphql::exec

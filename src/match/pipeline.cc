@@ -232,10 +232,19 @@ std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
     }
   }
 
+  // Vectorized selection: one read-only plan shared by all workers; each
+  // worker owns its bitmap scratch (allocated lazily — the auto kernel may
+  // never resolve to bitmap for selective base lists).
+  std::optional<SelectionPlan> sel_plan;
+  if (snap != nullptr && options.selection != SelectionKernel::kScalar) {
+    sel_plan.emplace(pattern, *snap, metrics);
+  }
+
   struct WorkerState {
     GovernorShard shard;      // Feasible-mate probes (GovernPoint::kRetrieve).
     GovernorShard nbh_shard;  // Sub-iso DFS steps (GovernPoint::kNeighborhood).
     algebra::PatternScratch scratch;
+    std::unique_ptr<PackedBits> bits;  // Bitmap-kernel scratch (2 x n).
     std::unique_ptr<obs::MetricsRegistry> metric_shard;
     uint64_t feasible_hits = 0;
     uint64_t feasible_misses = 0;
@@ -265,11 +274,22 @@ std::vector<std::vector<NodeId>> RetrieveCandidatesParallel(
     if (!s.shard.Charge(base[u]->size())) return;
     std::vector<NodeId> stage;
     stage.reserve(base[u]->size());
-    for (NodeId v : *base[u]) {
-      bool ok = snap != nullptr
-                    ? pattern.NodeCompatible(pu, *snap, data, v, &s.scratch)
-                    : pattern.NodeCompatible(pu, data, v, &s.scratch);
-      if (ok) stage.push_back(v);
+    if (sel_plan.has_value()) {
+      SelectionKernel ku =
+          ResolveSelectionKernel(options.selection, base[u]->size(),
+                                 snap->num_nodes(), base[u] == &all_nodes);
+      if (ku == SelectionKernel::kBitmap && s.bits == nullptr) {
+        s.bits = std::make_unique<PackedBits>(2, snap->num_nodes());
+      }
+      ScanBaseList(*sel_plan, pu, data, *base[u], ku, &s.scratch, s.bits.get(),
+                   &stage);
+    } else {
+      for (NodeId v : *base[u]) {
+        bool ok = snap != nullptr
+                      ? pattern.NodeCompatible(pu, *snap, data, v, &s.scratch)
+                      : pattern.NodeCompatible(pu, data, v, &s.scratch);
+        if (ok) stage.push_back(v);
+      }
     }
     s.feasible_hits += stage.size();
     s.feasible_misses += base[u]->size() - stage.size();
@@ -429,7 +449,41 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     if (!GovCharge(gov, k * data.NumNodes(), GovernPoint::kRetrieve)) {
       return out;
     }
-    if (snap != nullptr) {
+    if (snap != nullptr &&
+        options.selection != SelectionKernel::kScalar) {
+      // Full scans are the densest base list possible, so auto resolves to
+      // the bitmap kernel; iterating set bits ascending reproduces the
+      // scalar v-loop order exactly.
+      SelectionPlan plan(pattern, *snap, metrics);
+      const size_t n = data.NumNodes();
+      SelectionKernel ku = ResolveSelectionKernel(options.selection, n, n,
+                                                  /*dense_base=*/true);
+      algebra::PatternScratch scratch;
+      if (ku == SelectionKernel::kBitmap) {
+        PackedBits bits(2, n);
+        for (size_t u = 0; u < k; ++u) {
+          NodeId pu = static_cast<NodeId>(u);
+          plan.FillStructuralBitmap(pu, &bits);
+          const bool preds = plan.HasPreds(pu);
+          bits.ForEachInRow(0, [&](size_t v) {
+            NodeId dv = static_cast<NodeId>(v);
+            if (!preds || plan.PredsOk(pu, data, dv, &scratch)) {
+              out[u].push_back(dv);
+            }
+            return true;
+          });
+        }
+      } else {
+        for (size_t u = 0; u < k; ++u) {
+          for (size_t v = 0; v < n; ++v) {
+            if (plan.NodeCompatible(static_cast<NodeId>(u), data,
+                                    static_cast<NodeId>(v), &scratch)) {
+              out[u].push_back(static_cast<NodeId>(v));
+            }
+          }
+        }
+      }
+    } else if (snap != nullptr) {
       for (size_t u = 0; u < k; ++u) {
         for (size_t v = 0; v < data.NumNodes(); ++v) {
           if (pattern.NodeCompatible(static_cast<NodeId>(u), *snap, data,
@@ -459,6 +513,14 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
   }
 
   std::vector<NodeId> all_nodes;  // Lazy: built only for wildcard nodes.
+  // Vectorized selection state (plan compiled once per retrieve; bitmap
+  // scratch allocated on first bitmap-resolved node).
+  std::optional<SelectionPlan> sel_plan;
+  std::optional<PackedBits> sel_bits;
+  algebra::PatternScratch sel_scratch;
+  if (snap != nullptr && options.selection != SelectionKernel::kScalar) {
+    sel_plan.emplace(pattern, *snap, metrics);
+  }
   for (size_t u = 0; u < k; ++u) {
     NodeId pu = static_cast<NodeId>(u);
     std::string_view label = p.Label(pu);
@@ -486,10 +548,21 @@ std::vector<std::vector<NodeId>> RetrieveCandidates(
     // Stage 1: attribute retrieval + remaining feasible-mate predicates.
     std::vector<NodeId> attr_stage;
     attr_stage.reserve(base->size());
-    for (NodeId v : *base) {
-      bool ok = snap != nullptr ? pattern.NodeCompatible(pu, *snap, data, v)
-                                : pattern.NodeCompatible(pu, data, v);
-      if (ok) attr_stage.push_back(v);
+    if (sel_plan.has_value()) {
+      SelectionKernel ku =
+          ResolveSelectionKernel(options.selection, base->size(),
+                                 snap->num_nodes(), base == &all_nodes);
+      if (ku == SelectionKernel::kBitmap && !sel_bits.has_value()) {
+        sel_bits.emplace(2, snap->num_nodes());
+      }
+      ScanBaseList(*sel_plan, pu, data, *base, ku, &sel_scratch,
+                   sel_bits.has_value() ? &*sel_bits : nullptr, &attr_stage);
+    } else {
+      for (NodeId v : *base) {
+        bool ok = snap != nullptr ? pattern.NodeCompatible(pu, *snap, data, v)
+                                  : pattern.NodeCompatible(pu, data, v);
+        if (ok) attr_stage.push_back(v);
+      }
     }
     feasible_hits += attr_stage.size();
     feasible_misses += base->size() - attr_stage.size();

@@ -13,6 +13,7 @@
 #include "match/label_index.h"
 #include "match/matcher.h"
 #include "match/refine.h"
+#include "match/vectorized.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -52,6 +53,14 @@ struct PipelineOptions {
   /// results — content and order — are bit-identical to the legacy path.
   /// Disable to force the mutable-structure code paths (ablation/bench).
   bool use_snapshot = true;
+  /// Candidate-selection kernel for the snapshot retrieve stage: scalar
+  /// per-candidate probes, column-at-a-time bitmap evaluation over
+  /// PackedBits, compiled predicate bytecode, or a per-node automatic
+  /// choice. Verdicts, candidate order, governor charge sites/amounts,
+  /// and stage metrics are identical across kernels; non-scalar kernels
+  /// require the snapshot path (ignored when use_snapshot is off or no
+  /// snapshot is supplied). Defaults to $GQL_SELECTION (auto if unset).
+  SelectionKernel selection = DefaultSelectionKernel();
   OrderOptions order;
   MatchOptions match;
   /// Step budget for each neighborhood sub-isomorphism test; 0 = unlimited

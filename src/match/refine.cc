@@ -5,6 +5,7 @@
 #include <bit>
 #include <unordered_set>
 
+#include "common/packed_bits.h"
 #include "graph/snapshot.h"
 #include "match/bipartite.h"
 
@@ -16,49 +17,6 @@ uint64_t PairKey(NodeId u, NodeId v) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
          static_cast<uint32_t>(v);
 }
-
-/// Packed k x n bit matrix: the snapshot refinement path stores candidate
-/// membership and the dirty marks in one bit each instead of a byte bitmap
-/// plus a hashed pair set — the dominant transient allocation of a
-/// refinement pass shrinks ~8x and its size is known up front, so the whole
-/// footprint is reserved once against the governor.
-class PackedBits {
- public:
-  PackedBits(size_t rows, size_t cols)
-      : row_words_((cols + 63) / 64), words_(rows * row_words_, 0) {}
-
-  bool Test(size_t r, size_t c) const {
-    return (words_[r * row_words_ + (c >> 6)] >> (c & 63)) & 1;
-  }
-  void Set(size_t r, size_t c) {
-    words_[r * row_words_ + (c >> 6)] |= uint64_t{1} << (c & 63);
-  }
-  void Clear(size_t r, size_t c) {
-    words_[r * row_words_ + (c >> 6)] &= ~(uint64_t{1} << (c & 63));
-  }
-  void CopyFrom(const PackedBits& other) { words_ = other.words_; }
-  size_t bytes() const { return words_.size() * sizeof(uint64_t); }
-
-  /// Set bits of row `r` in ascending column order — the same (u, v)
-  /// ascending order the legacy path gets from sorting PairKeys.
-  template <typename Fn>
-  bool ForEachInRow(size_t r, Fn&& fn) const {
-    const uint64_t* row = words_.data() + r * row_words_;
-    for (size_t w = 0; w < row_words_; ++w) {
-      uint64_t bits = row[w];
-      while (bits != 0) {
-        size_t c = (w << 6) + static_cast<size_t>(std::countr_zero(bits));
-        bits &= bits - 1;
-        if (!fn(c)) return false;
-      }
-    }
-    return true;
-  }
-
- private:
-  size_t row_words_;
-  std::vector<uint64_t> words_;
-};
 
 /// Unique undirected neighbor list of a node (parallel edges collapsed;
 /// for directed graphs, in- and out-neighbors are merged — this weakens

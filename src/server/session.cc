@@ -279,10 +279,12 @@ Response Session::HandleSet(const std::string& spec) {
     limits_.max_memory_bytes = static_cast<uint64_t>(n) * 1024 * 1024;
   } else if (key == "threads") {
     evaluator_.mutable_match_options()->num_threads = static_cast<int>(n);
+  } else if (key == "plan_cache") {
+    evaluator_.set_plan_cache_capacity(static_cast<size_t>(n) * 1024 * 1024);
   } else {
     return ErrorResponse(Status::InvalidArgument(
         "unknown limit '" + key +
-        "' (timeout_ms, max_steps, max_memory_mb, threads)"));
+        "' (timeout_ms, max_steps, max_memory_mb, threads, plan_cache)"));
   }
   Response resp;
   resp.body = RenderLimitsLine();

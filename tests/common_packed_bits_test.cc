@@ -1,0 +1,148 @@
+#include "common/packed_bits.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace graphql {
+namespace {
+
+TEST(PackedBitsTest, StartsAllZero) {
+  PackedBits b(3, 130);
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_EQ(b.cols(), 130u);
+  EXPECT_EQ(b.row_words(), 3u);  // ceil(130 / 64)
+  EXPECT_EQ(b.PopCount(), 0u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 130; ++c) EXPECT_FALSE(b.Test(r, c));
+  }
+}
+
+TEST(PackedBitsTest, SetTestClearAcrossWordBoundaries) {
+  PackedBits b(2, 130);
+  const size_t probes[] = {0, 1, 63, 64, 65, 127, 128, 129};
+  for (size_t c : probes) b.Set(1, c);
+  for (size_t c : probes) {
+    EXPECT_TRUE(b.Test(1, c)) << c;
+    EXPECT_FALSE(b.Test(0, c)) << c;  // Row isolation.
+  }
+  EXPECT_EQ(b.PopCountRow(1), 8u);
+  b.Clear(1, 64);
+  EXPECT_FALSE(b.Test(1, 64));
+  EXPECT_EQ(b.PopCountRow(1), 7u);
+}
+
+TEST(PackedBitsTest, BytesMatchesWordFootprint) {
+  PackedBits b(4, 100);  // 2 words per row.
+  EXPECT_EQ(b.bytes(), 4 * 2 * sizeof(uint64_t));
+}
+
+TEST(PackedBitsTest, CopyFromSameShape) {
+  PackedBits a(2, 70);
+  a.Set(0, 5);
+  a.Set(1, 69);
+  PackedBits b(2, 70);
+  b.Set(0, 1);  // Overwritten by the copy.
+  b.CopyFrom(a);
+  EXPECT_TRUE(b.Test(0, 5));
+  EXPECT_TRUE(b.Test(1, 69));
+  EXPECT_FALSE(b.Test(0, 1));
+  EXPECT_EQ(b.PopCount(), 2u);
+}
+
+#ifndef NDEBUG
+TEST(PackedBitsDeathTest, CopyFromRejectsShapeMismatch) {
+  // The pre-hoist private class silently adopted the source's word vector
+  // on mismatch, corrupting row indexing; now it asserts.
+  PackedBits a(2, 70);
+  PackedBits b(3, 70);
+  EXPECT_DEATH(b.CopyFrom(a), "identical shapes");
+  PackedBits c(2, 128);
+  EXPECT_DEATH(c.CopyFrom(a), "identical shapes");
+}
+#endif
+
+TEST(PackedBitsTest, SetRowLeavesTailBitsZero) {
+  PackedBits b(2, 70);  // 6 ghost bits in the second word.
+  b.SetRow(0);
+  EXPECT_EQ(b.PopCountRow(0), 70u);
+  EXPECT_EQ(b.PopCountRow(1), 0u);
+  // The last word must not carry bits past col 69 or PopCount would lie.
+  EXPECT_EQ(b.RowWord(0, 1), (uint64_t{1} << 6) - 1);
+  b.ClearRow(0);
+  EXPECT_EQ(b.PopCount(), 0u);
+}
+
+TEST(PackedBitsTest, SetRowExactWordMultiple) {
+  PackedBits b(1, 128);
+  b.SetRow(0);
+  EXPECT_EQ(b.PopCountRow(0), 128u);
+  EXPECT_EQ(b.RowWord(0, 1), ~uint64_t{0});
+}
+
+TEST(PackedBitsTest, AndOrAndNotRows) {
+  PackedBits b(3, 130);
+  b.Set(0, 3);
+  b.Set(0, 64);
+  b.Set(0, 129);
+  b.Set(1, 64);
+  b.Set(1, 100);
+
+  PackedBits acc(1, 130);
+  acc.OrRow(0, b, 0);
+  acc.OrRow(0, b, 1);
+  EXPECT_EQ(acc.PopCountRow(0), 4u);  // {3, 64, 100, 129}
+
+  acc.AndRow(0, b, 0);
+  EXPECT_TRUE(acc.Test(0, 3));
+  EXPECT_TRUE(acc.Test(0, 64));
+  EXPECT_TRUE(acc.Test(0, 129));
+  EXPECT_FALSE(acc.Test(0, 100));
+
+  acc.AndNotRow(0, b, 1);  // Drop 64.
+  EXPECT_TRUE(acc.Test(0, 3));
+  EXPECT_FALSE(acc.Test(0, 64));
+  EXPECT_TRUE(acc.Test(0, 129));
+  EXPECT_EQ(acc.PopCountRow(0), 2u);
+}
+
+TEST(PackedBitsTest, SelfAndRowIsIdentity) {
+  PackedBits b(1, 90);
+  b.Set(0, 10);
+  b.Set(0, 80);
+  b.AndRow(0, b, 0);
+  EXPECT_EQ(b.PopCountRow(0), 2u);
+}
+
+TEST(PackedBitsTest, ForEachInRowAscendingAndEarlyStop) {
+  PackedBits b(1, 200);
+  const std::vector<size_t> want = {0, 7, 63, 64, 128, 199};
+  for (size_t c : want) b.Set(0, c);
+
+  std::vector<size_t> got;
+  EXPECT_TRUE(b.ForEachInRow(0, [&](size_t c) {
+    got.push_back(c);
+    return true;
+  }));
+  EXPECT_EQ(got, want);
+
+  got.clear();
+  EXPECT_FALSE(b.ForEachInRow(0, [&](size_t c) {
+    got.push_back(c);
+    return got.size() < 3;  // Stop after three.
+  }));
+  EXPECT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[2], 63u);
+}
+
+TEST(PackedBitsTest, RowWordExposesBlocks) {
+  PackedBits b(1, 130);
+  b.Set(0, 1);
+  b.Set(0, 65);
+  EXPECT_EQ(b.RowWord(0, 0), uint64_t{2});
+  EXPECT_EQ(b.RowWord(0, 1), uint64_t{2});
+  EXPECT_EQ(b.RowWord(0, 2), uint64_t{0});
+}
+
+}  // namespace
+}  // namespace graphql

@@ -1,0 +1,382 @@
+// Differential acceptance tests for the vectorized selection kernels:
+// MatchPattern must produce byte-for-byte identical results — the same
+// matches, in the same order — whether candidate selection runs the
+// scalar per-candidate probes, the column-at-a-time bitmap kernel, the
+// compiled predicate bytecode, or the automatic per-node choice. The
+// sweep covers candidate modes, serial and parallel runs, predicates
+// inside and outside the bytecode ISA, and governed queries (where the
+// identical charge schedule must make every kernel trip at the same
+// point and return the same partial results). A final sweep runs every
+// example query under all kernels through the full Evaluator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/governor.h"
+#include "exec/evaluator.h"
+#include "io/serialize.h"
+#include "match/pipeline.h"
+#include "match/vectorized.h"
+#include "motif/deriver.h"
+#include "obs/metrics.h"
+#include "workload/dblp.h"
+#include "workload/erdos_renyi.h"
+
+namespace graphql::match {
+namespace {
+
+constexpr SelectionKernel kAllKernels[] = {
+    SelectionKernel::kScalar, SelectionKernel::kBitmap,
+    SelectionKernel::kBytecode, SelectionKernel::kAuto};
+
+/// A flat, order-sensitive fingerprint of a match list: any difference in
+/// content OR order shows up as a string diff.
+std::string Fingerprint(const std::vector<algebra::MatchedGraph>& matches) {
+  std::ostringstream out;
+  for (const algebra::MatchedGraph& m : matches) {
+    out << "[";
+    for (NodeId v : m.node_mapping) out << v << " ";
+    out << "|";
+    for (EdgeId e : m.edge_mapping) out << e << " ";
+    out << "]";
+  }
+  return out.str();
+}
+
+/// Zipf-labeled random graph with numeric and (sparse) string attributes,
+/// so label reqs, string-symbol columns, and comparison predicates all
+/// have real columns to run against.
+Graph MakeData() {
+  Rng rng(424242);
+  workload::ErdosRenyiOptions opts;
+  opts.num_nodes = 150;
+  opts.num_edges = 450;
+  opts.num_labels = 4;
+  Graph data = workload::MakeErdosRenyi(opts, &rng);
+  for (NodeId v = 0; v < static_cast<NodeId>(data.NumNodes()); ++v) {
+    data.node(v).attrs.Set("score", Value(int64_t{(v * 7) % 50}));
+    if (v % 3 == 0) {
+      data.node(v).attrs.Set("tier", Value(v % 6 == 0 ? "gold" : "silver"));
+    }
+  }
+  return data;
+}
+
+std::vector<algebra::GraphPattern> MakePatterns() {
+  std::vector<algebra::GraphPattern> out;
+  for (const char* source : {
+           // Labeled triangle (structural reqs only).
+           R"(graph P { node a <label="L0">; node b <label="L1">;
+                        node c <label="L2">;
+                        edge (a, b); edge (b, c); edge (c, a); })",
+           // Path with a repeated label (tests injectivity ordering).
+           R"(graph P { node a <label="L0">; node b <label="L1">;
+                        node c <label="L0">;
+                        edge (a, b); edge (b, c); })",
+           // Comparison predicate inside the bytecode ISA.
+           R"(graph P { node a <label="L0"> where score > 10;
+                        node b where score <= 40; edge (a, b); })",
+           // String equality (compiles to an interned-symbol compare);
+           // absent attributes must reject on every kernel.
+           R"(graph P { node a where tier == "gold"; node b;
+                        edge (a, b); })",
+           // Arithmetic predicate outside the ISA: forces the AST
+           // interpreter fallback on the bytecode/bitmap kernels.
+           R"(graph P { node a where score + 0 > 10; node b <label="L1">;
+                        edge (a, b); })",
+       }) {
+    auto p = algebra::GraphPattern::Parse(source);
+    EXPECT_TRUE(p.ok()) << p.status();
+    out.push_back(std::move(p).value());
+  }
+  return out;
+}
+
+TEST(VectorizedDifferentialTest, KernelsBitIdenticalAcrossConfigs) {
+  Graph data = MakeData();
+  LabelIndex index = LabelIndex::Build(data);
+  std::vector<algebra::GraphPattern> patterns = MakePatterns();
+
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    for (CandidateMode mode : {CandidateMode::kLabelOnly,
+                               CandidateMode::kProfile,
+                               CandidateMode::kNeighborhood}) {
+      for (int threads : {0, 1, 3}) {
+        PipelineOptions base;
+        base.candidate_mode = mode;
+        base.num_threads = threads;
+        base.metrics = nullptr;
+        base.selection = SelectionKernel::kScalar;
+        auto scalar = MatchPattern(patterns[pi], data, &index, base);
+        ASSERT_TRUE(scalar.ok()) << scalar.status();
+        std::string want = Fingerprint(*scalar);
+        if (mode == CandidateMode::kProfile && threads == 0 && pi < 4) {
+          EXPECT_FALSE(scalar->empty()) << "vacuous differential, pattern "
+                                        << pi;
+        }
+        for (SelectionKernel kernel : kAllKernels) {
+          if (kernel == SelectionKernel::kScalar) continue;
+          PipelineOptions options = base;
+          options.selection = kernel;
+          auto got = MatchPattern(patterns[pi], data, &index, options);
+          ASSERT_TRUE(got.ok()) << got.status();
+          EXPECT_EQ(want, Fingerprint(*got))
+              << "pattern " << pi << " mode " << CandidateModeName(mode)
+              << " threads " << threads << " kernel "
+              << SelectionKernelName(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(VectorizedDifferentialTest, RetrieveCandidatesIdenticalAcrossKernels) {
+  Graph data = MakeData();
+  LabelIndex index = LabelIndex::Build(data);
+  auto snap = data.snapshot();
+  for (const algebra::GraphPattern& p : MakePatterns()) {
+    for (CandidateMode mode : {CandidateMode::kLabelOnly,
+                               CandidateMode::kProfile,
+                               CandidateMode::kNeighborhood}) {
+      PipelineOptions options;
+      options.candidate_mode = mode;
+      options.metrics = nullptr;
+      options.selection = SelectionKernel::kScalar;
+      auto want = RetrieveCandidates(p, data, &index, options, nullptr,
+                                     snap.get());
+      for (SelectionKernel kernel : kAllKernels) {
+        options.selection = kernel;
+        auto got = RetrieveCandidates(p, data, &index, options, nullptr,
+                                      snap.get());
+        EXPECT_EQ(want, got) << CandidateModeName(mode) << " kernel "
+                             << SelectionKernelName(kernel);
+      }
+    }
+  }
+}
+
+TEST(VectorizedDifferentialTest, FullScanPathIdenticalAcrossKernels) {
+  // index == nullptr exercises the full-scan retrieve, which has its own
+  // kernel dispatch (dense base: every node is a candidate).
+  Graph data = MakeData();
+  std::vector<algebra::GraphPattern> patterns = MakePatterns();
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    PipelineOptions base;
+    base.metrics = nullptr;
+    base.selection = SelectionKernel::kScalar;
+    auto scalar = MatchPattern(patterns[pi], data, nullptr, base);
+    ASSERT_TRUE(scalar.ok()) << scalar.status();
+    for (SelectionKernel kernel : kAllKernels) {
+      PipelineOptions options = base;
+      options.selection = kernel;
+      auto got = MatchPattern(patterns[pi], data, nullptr, options);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(Fingerprint(*scalar), Fingerprint(*got))
+          << "pattern " << pi << " kernel " << SelectionKernelName(kernel);
+    }
+  }
+}
+
+TEST(VectorizedDifferentialTest, GovernedTripsBitIdenticalAcrossKernels) {
+  // The kernels charge the governor at the same sites with the same
+  // amounts, so a step budget must trip at the same point on every kernel
+  // and the degraded/partial results must match bit-for-bit.
+  Graph data = MakeData();
+  LabelIndex index = LabelIndex::Build(data);
+  std::vector<algebra::GraphPattern> patterns = MakePatterns();
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    for (uint64_t max_steps : {50u, 400u, 5000u}) {
+      std::string want;
+      TripKind want_trip = TripKind::kNone;
+      bool first = true;
+      for (SelectionKernel kernel : kAllKernels) {
+        ResourceGovernor governor(GovernorLimits{.max_steps = max_steps});
+        PipelineOptions options;
+        options.metrics = nullptr;
+        options.selection = kernel;
+        options.governor = &governor;
+        auto got = MatchPattern(patterns[pi], data, &index, options);
+        ASSERT_TRUE(got.ok()) << got.status();
+        if (first) {
+          want = Fingerprint(*got);
+          want_trip = governor.trip_kind();
+          first = false;
+        } else {
+          EXPECT_EQ(want, Fingerprint(*got))
+              << "pattern " << pi << " max_steps " << max_steps << " kernel "
+              << SelectionKernelName(kernel);
+          EXPECT_EQ(want_trip, governor.trip_kind())
+              << "pattern " << pi << " max_steps " << max_steps << " kernel "
+              << SelectionKernelName(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(VectorizedDifferentialTest, BytecodeCoverageCounters) {
+  Graph data = MakeData();
+  LabelIndex index = LabelIndex::Build(data);
+
+  // Comparison + string-equality predicates are inside the ISA: every
+  // pushed conjunct compiles, none falls back.
+  auto covered = algebra::GraphPattern::Parse(
+      R"(graph P { node a <label="L0"> where score > 10;
+                   node b where tier == "gold"; edge (a, b); })");
+  ASSERT_TRUE(covered.ok()) << covered.status();
+  obs::MetricsRegistry covered_reg;
+  PipelineOptions options;
+  options.selection = SelectionKernel::kBytecode;
+  options.metrics = &covered_reg;
+  ASSERT_TRUE(MatchPattern(*covered, data, &index, options).ok());
+  EXPECT_GT(covered_reg.GetCounter("match.bytecode.pred_compiled")->Value(),
+            0u);
+  EXPECT_EQ(covered_reg.GetCounter("match.bytecode.pred_fallback")->Value(),
+            0u);
+
+  // Arithmetic is outside the ISA: the conjunct falls back to the AST
+  // interpreter, observable through the fallback counter.
+  auto fallback = algebra::GraphPattern::Parse(
+      R"(graph P { node a where score + 0 > 10; node b; edge (a, b); })");
+  ASSERT_TRUE(fallback.ok()) << fallback.status();
+  obs::MetricsRegistry fallback_reg;
+  options.metrics = &fallback_reg;
+  ASSERT_TRUE(MatchPattern(*fallback, data, &index, options).ok());
+  EXPECT_GT(fallback_reg.GetCounter("match.bytecode.pred_fallback")->Value(),
+            0u);
+
+  // The scalar kernel never builds a plan, so neither counter moves.
+  obs::MetricsRegistry scalar_reg;
+  options.selection = SelectionKernel::kScalar;
+  options.metrics = &scalar_reg;
+  ASSERT_TRUE(MatchPattern(*covered, data, &index, options).ok());
+  EXPECT_EQ(scalar_reg.GetCounter("match.bytecode.pred_compiled")->Value(),
+            0u);
+  EXPECT_EQ(scalar_reg.GetCounter("match.bytecode.pred_fallback")->Value(),
+            0u);
+}
+
+TEST(VectorizedDifferentialTest, DefaultKernelParsesEnvironment) {
+  ::setenv("GQL_SELECTION", "scalar", 1);
+  EXPECT_EQ(DefaultSelectionKernel(), SelectionKernel::kScalar);
+  ::setenv("GQL_SELECTION", "bitmap", 1);
+  EXPECT_EQ(DefaultSelectionKernel(), SelectionKernel::kBitmap);
+  ::setenv("GQL_SELECTION", "bytecode", 1);
+  EXPECT_EQ(DefaultSelectionKernel(), SelectionKernel::kBytecode);
+  ::setenv("GQL_SELECTION", "nonsense", 1);
+  EXPECT_EQ(DefaultSelectionKernel(), SelectionKernel::kAuto);
+  ::unsetenv("GQL_SELECTION");
+  EXPECT_EQ(DefaultSelectionKernel(), SelectionKernel::kAuto);
+}
+
+/// Synthetic documents that give every example query real matches.
+void RegisterExampleDocs(exec::DocumentRegistry* docs) {
+  {
+    Rng rng(7);
+    workload::DblpOptions opts;
+    opts.num_papers = 12;
+    docs->Register("DBLP", workload::MakeDblpCollection(opts, &rng));
+  }
+  {
+    Rng rng(9);
+    workload::ErdosRenyiOptions opts;
+    opts.num_nodes = 12;
+    opts.num_edges = 18;
+    opts.num_labels = 2;
+    GraphCollection network("Network");
+    network.Add(workload::MakeErdosRenyi(opts, &rng));
+    docs->Register("Network", std::move(network));
+  }
+  {
+    auto g = motif::GraphFromSource(R"(
+      graph Catalog {
+        node a <item weight=5>; node b <item weight=3>;
+        node c <item weight=12>; node d <item weight=1>;
+        edge (a, b); edge (a, c); edge (b, d); edge (c, d);
+      })");
+    ASSERT_TRUE(g.ok()) << g.status();
+    GraphCollection c("Catalog");
+    c.Add(std::move(g).value());
+    docs->Register("Catalog", std::move(c));
+  }
+  {
+    auto g = motif::GraphFromSource(R"(
+      graph Shipping {
+        node oslo <port country="NO">; node bergen <port country="NO">;
+        node hamburg <port country="DE">; node rotterdam <port country="NL">;
+        edge leg1 (oslo, hamburg); edge leg2 (hamburg, rotterdam);
+        edge leg3 (bergen, oslo);
+      })");
+    ASSERT_TRUE(g.ok()) << g.status();
+    GraphCollection c("Shipping");
+    c.Add(std::move(g).value());
+    docs->Register("Shipping", std::move(c));
+  }
+  {
+    auto g = motif::GraphFromSource(R"(
+      graph Topology {
+        node r1 <router name="r1">; node r2 <router name="r2">;
+        node r3 <router name="r3">;
+        edge (r1, r2) <capacity=400>; edge (r2, r3) <capacity=40>;
+        edge (r3, r1) <capacity=1000>;
+      })");
+    ASSERT_TRUE(g.ok()) << g.status();
+    GraphCollection c("Topology");
+    c.Add(std::move(g).value());
+    docs->Register("Topology", std::move(c));
+  }
+}
+
+TEST(VectorizedDifferentialTest, ExampleQueriesBitIdenticalAcrossKernels) {
+  namespace fs = std::filesystem;
+  fs::path dir(GQL_EXAMPLE_QUERIES_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  size_t ran = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".gql") continue;
+    std::ifstream file(entry.path());
+    ASSERT_TRUE(file.good()) << entry.path();
+    std::ostringstream source;
+    source << file.rdbuf();
+
+    std::string want;
+    for (SelectionKernel kernel : kAllKernels) {
+      exec::DocumentRegistry docs;
+      RegisterExampleDocs(&docs);
+      exec::Evaluator evaluator(&docs);
+      evaluator.mutable_match_options()->selection = kernel;
+      evaluator.mutable_match_options()->metrics = nullptr;
+      auto result = evaluator.RunSource(source.str());
+      ASSERT_TRUE(result.ok()) << entry.path() << ": " << result.status();
+      std::ostringstream text;
+      text << io::WriteCollectionText(result->returned);
+      std::vector<std::string> names;
+      for (const auto& [name, graph] : result->variables) {
+        names.push_back(name);
+      }
+      std::sort(names.begin(), names.end());
+      for (const std::string& name : names) {
+        text << "--- " << name << "\n"
+             << io::WriteGraphText(result->variables.at(name)) << "\n";
+      }
+      if (kernel == SelectionKernel::kScalar) {
+        want = text.str();
+      } else {
+        EXPECT_EQ(want, text.str())
+            << entry.path() << " kernel " << SelectionKernelName(kernel);
+      }
+    }
+    ++ran;
+  }
+  EXPECT_GE(ran, 5u) << "example queries missing from " << dir;
+}
+
+}  // namespace
+}  // namespace graphql::match

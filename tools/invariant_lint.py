@@ -300,7 +300,8 @@ TREE_SCOPE = {
         ["src/match"], set()),
     "governor-charge-loop": (
         ["src/match/matcher.cc", "src/match/refine.cc",
-         "src/match/neighborhood.cc", "src/match/pipeline.cc"], set()),
+         "src/match/neighborhood.cc", "src/match/pipeline.cc",
+         "src/match/vectorized.cc", "src/match/pred_bytecode.cc"], set()),
     "length-validated-alloc": (
         ["src/io/serialize.cc", "src/server/protocol.cc"], set()),
 }

@@ -77,6 +77,22 @@ class GovernorChargeLoopTest(unittest.TestCase):
         # DrainWithCharging's identical loop charges and stays clean.
         self.assertEqual(vs[0].line, 10)
 
+    def test_catches_unchecked_bitmap_fill_loop(self):
+        # The vectorized-kernel shape: a column-scan loop filling
+        # candidate bitmaps with no charge token in its body.
+        vs = run_rule("governor-charge-loop",
+                      "governor_charge_loop_vectorized.cc")
+        self.assertEqual(len(vs), 1)
+        self.assertEqual(vs[0].line, 13)  # FillBitmapsWithoutCharging.
+
+    def test_vectorized_kernels_are_in_tree_scope(self):
+        # The batch kernels moved candidate iteration away from the
+        # per-candidate charge sites, so they must stay under the rule.
+        scopes, exclude = invariant_lint.TREE_SCOPE["governor-charge-loop"]
+        paths = list(invariant_lint.iter_sources(ROOT, scopes, exclude))
+        self.assertTrue(any(p.endswith("vectorized.cc") for p in paths))
+        self.assertTrue(any(p.endswith("pred_bytecode.cc") for p in paths))
+
 
 class LengthValidatedAllocTest(unittest.TestCase):
     def test_catches_unvalidated_length(self):

@@ -1,0 +1,30 @@
+// Seeded violation corpus for the vectorized selection kernels: a
+// column-scan worklist loop that fills candidate bitmaps without ever
+// charging the governor — exactly the shape a batch kernel could smuggle
+// past review, since the per-candidate charge no longer sits next to the
+// per-candidate probe. Never compiled; drives the governor-charge-loop
+// rule test over the src/match/vectorized.cc scope.
+#include <deque>
+
+namespace graphql::match {
+
+int FillBitmapsWithoutCharging(std::deque<int>* columns) {
+  int words = 0;
+  while (!columns->empty()) {
+    words += columns->front();
+    columns->pop_front();
+  }
+  return words;
+}
+
+int FillBitmapsWithCharging(std::deque<int>* columns, int* budget) {
+  int words = 0;
+  while (!columns->empty()) {
+    if (ChargeStep(budget)) break;
+    words += columns->front();
+    columns->pop_front();
+  }
+  return words;
+}
+
+}  // namespace graphql::match

@@ -144,6 +144,35 @@ def summarize_storage(path, data):
     if "recorder_overhead" in data:
         print(f"  flight-recorder overhead: "
               f"{data['recorder_overhead'] * 100:+.2f}% (budget 2%)")
+    pc = data.get("plan_cache")
+    if isinstance(pc, dict):
+        print(f"  plan cache: cold={pc.get('cold_ms', 0):.2f}ms "
+              f"warm={pc.get('warm_ms', 0):.2f}ms "
+              f"hits={pc.get('warm_hits', 0)}  "
+              f"warm front-end {pc.get('warm_frontend_fraction', 0) * 100:.2f}%"
+              f" of time (budget 5%)")
+
+
+def summarize_selection(path, data):
+    """Renders a bench_selection_vectorized dump (BENCH_selection.json)."""
+    print(f"\n== selection kernels: {path} ==")
+    stamp = format_stamp(data)
+    if stamp:
+        print(stamp)
+    print(f"  workload: {data.get('workload', '?')}  "
+          f"reps={data.get('reps', '?')}  quick={data.get('quick')}")
+    print(f"  match lists identical across kernels: {data.get('identical')}")
+    lanes = data.get("lanes", [])
+    if lanes:
+        print(f"  {'kernel':>10} {'retrieve_ms':>12} {'match_ms':>10} "
+              f"{'candidates':>11} {'matches':>8} {'speedup':>8}")
+        for lane in lanes:
+            print(f"  {lane.get('lane', '?'):>10} "
+                  f"{lane.get('retrieve_ms', 0):>12.3f} "
+                  f"{lane.get('match_ms', 0):>10.2f} "
+                  f"{lane.get('candidates', 0):>11} "
+                  f"{lane.get('matches', 0):>8} "
+                  f"{lane.get('retrieve_speedup', 0):>7.2f}x")
 
 
 def summarize_server(path, data):
@@ -180,6 +209,9 @@ def summarize_metrics(path):
         return
     if data.get("bench") == "storage_snapshot":
         summarize_storage(path, data)
+        return
+    if data.get("bench") == "selection_vectorized":
+        summarize_selection(path, data)
         return
     if data.get("bench") == "server_load":
         summarize_server(path, data)
