@@ -23,6 +23,15 @@
 // from the cache. The warm lane's time outside execution (front-end
 // micros over total) is the PR's <5% acceptance number.
 //
+// Durable lanes measure the persistence stack on the same collection:
+// open latency to query-ready state for v2 text (full parse +
+// CompileAll), v2 binary (decode + CompileAll), and v3 (page-checksummed
+// mmap, zero-copy snapshot views — no parse, no CSR rebuild); the PR's
+// acceptance is v3 >= 10x faster than the v2 text parse. Two recovery
+// lanes time DurableStore::Open on a copy of a directory left by a
+// "crash" (no shutdown checkpoint): wal_only replays every commit from
+// the log, checkpointed loads the latest checkpoint and replays the tail.
+//
 // Knobs (environment):
 //   GQL_BENCH_STORAGE_JSON   output path (default BENCH_storage.json)
 //   GQL_BENCH_STORAGE_REPS   timed repetitions per lane, best-of (default 3)
@@ -30,6 +39,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -41,9 +51,12 @@
 #include "graph/collection.h"
 #include "graph/snapshot.h"
 #include "io/serialize.h"
+#include "io/snapshot_v3.h"
 #include "match/pipeline.h"
 #include "motif/deriver.h"
 #include "obs/recorder.h"
+#include "server/store.h"
+#include "storage/engine.h"
 #include "workload/erdos_renyi.h"
 
 namespace graphql::bench {
@@ -258,6 +271,175 @@ PlanLaneResult RunPlanLane(const exec::DocumentRegistry& docs,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Durable lanes: open latency v2 vs v3, and crash-recovery time.
+// ---------------------------------------------------------------------------
+
+struct DurableResult {
+  double open_v2_text_ms = -1;  ///< LoadCollection(.gql) + CompileAll.
+  double open_v2_bin_ms = -1;   ///< LoadCollection(.gqlb) + CompileAll.
+  double open_v3_ms = -1;       ///< OpenCollectionV3 (zero-copy views).
+  double recovery_wal_ms = -1;  ///< Open(): replay every commit from WAL.
+  double recovery_chk_ms = -1;  ///< Open(): checkpoint + WAL tail.
+  size_t v2_text_bytes = 0;
+  size_t v2_bin_bytes = 0;
+  size_t v3_bytes = 0;
+  uint64_t wal_lane_records = 0;  ///< Records replayed, wal_only lane.
+  uint64_t chk_lane_records = 0;  ///< Tail records, checkpointed lane.
+  uint64_t chk_lane_docs = 0;     ///< Docs loaded from the checkpoint.
+  bool identical = false;  ///< v3-materialized text == v2-parsed text.
+  bool ok = false;
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void MergeMs(double* best, double ms) {
+  if (*best < 0 || ms < *best) *best = ms;
+}
+
+GraphCollection MakeDelta(int i) {
+  std::string src = "graph D" + std::to_string(i) + " {\n";
+  for (int n = 0; n < 8; ++n) {
+    src += "  node n" + std::to_string(n) + " <i=" +
+           std::to_string(i * 8 + n) + ">;\n";
+  }
+  src += "  edge e (n0, n1);\n}";
+  GraphCollection c;
+  auto g = motif::GraphFromSource(src);
+  if (g.ok()) c.Add(std::move(g).value());
+  return c;
+}
+
+/// Populates `dir` with the bench collection plus 32 small delta commits
+/// and tears the engine down without a shutdown checkpoint — the on-disk
+/// state a crash leaves.
+bool BuildRecoveryDir(const std::filesystem::path& dir,
+                      const GraphCollection& bench,
+                      uint64_t checkpoint_every) {
+  storage::DurableStore::Options opts;
+  opts.dir = dir.string();
+  opts.checkpoint_every = checkpoint_every;
+  auto ds = storage::DurableStore::Open(opts);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "durable open: %s\n",
+                 ds.status().ToString().c_str());
+    return false;
+  }
+  server::GraphStore store;
+  store.set_durable_store(ds.value().get());
+  if (!store.Publish("bench", bench).ok()) return false;
+  for (int i = 0; i < 32; ++i) {
+    if (!store.Publish("delta" + std::to_string(i), MakeDelta(i)).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DurableResult RunDurableLanes(const Graph& data, int reps) {
+  namespace fs = std::filesystem;
+  DurableResult r;
+  char buf[] = "/tmp/gql_bench_durable_XXXXXX";
+  if (::mkdtemp(buf) == nullptr) {
+    std::perror("mkdtemp");
+    return r;
+  }
+  fs::path tmp(buf);
+  GraphCollection bench("bench");
+  bench.Add(data);
+
+  const std::string p_text = (tmp / "bench.gql").string();
+  const std::string p_bin = (tmp / "bench.gqlb").string();
+  const std::string p_v3 = (tmp / "bench.gqls").string();
+  if (!io::SaveCollection(bench, p_text).ok() ||
+      !io::SaveCollection(bench, p_bin).ok() ||
+      !io::WriteCollectionV3(bench, /*store_version=*/1, p_v3).ok()) {
+    std::fprintf(stderr, "durable lane: write failed\n");
+    fs::remove_all(tmp);
+    return r;
+  }
+  r.v2_text_bytes = fs::file_size(p_text);
+  r.v2_bin_bytes = fs::file_size(p_bin);
+  r.v3_bytes = fs::file_size(p_v3);
+
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      auto t0 = std::chrono::steady_clock::now();
+      auto c = io::LoadCollection(p_text);
+      if (!c.ok()) break;
+      c->CompileAll();
+      MergeMs(&r.open_v2_text_ms, ElapsedMs(t0));
+    }
+    {
+      auto t0 = std::chrono::steady_clock::now();
+      auto c = io::LoadCollection(p_bin);
+      if (!c.ok()) break;
+      c->CompileAll();
+      MergeMs(&r.open_v2_bin_ms, ElapsedMs(t0));
+    }
+    {
+      auto t0 = std::chrono::steady_clock::now();
+      auto opened = io::OpenCollectionV3(p_v3);
+      if (!opened.ok() || opened->snapshots.size() != bench.size()) break;
+      MergeMs(&r.open_v3_ms, ElapsedMs(t0));
+    }
+  }
+
+  // Equivalence (untimed): the graphs materialized from the v3 image must
+  // render bit-identically to the v2 parse.
+  {
+    auto v2 = io::LoadCollection(p_text);
+    auto opened = io::OpenCollectionV3(p_v3);
+    if (v2.ok() && opened.ok()) {
+      auto mat = io::MaterializeGraphs(*opened);
+      r.identical = mat.ok() && io::WriteCollectionText(*v2) ==
+                                    io::WriteCollectionText(*mat);
+    }
+  }
+
+  // Recovery lanes: each rep opens a pristine copy of the crashed
+  // directory (Open truncates torn tails and reopens the WAL, so reusing
+  // one copy would time a different, cleaner state after rep 1).
+  if (BuildRecoveryDir(tmp / "wal_only", bench, /*checkpoint_every=*/
+                       uint64_t{1} << 30) &&
+      BuildRecoveryDir(tmp / "checkpointed", bench, /*checkpoint_every=*/8)) {
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const char* lane : {"wal_only", "checkpointed"}) {
+        fs::path copy = tmp / (std::string(lane) + "_rep");
+        fs::remove_all(copy);
+        fs::copy(tmp / lane, copy, fs::copy_options::recursive);
+        storage::DurableStore::Options opts;
+        opts.dir = copy.string();
+        auto t0 = std::chrono::steady_clock::now();
+        auto ds = storage::DurableStore::Open(opts);
+        double ms = ElapsedMs(t0);
+        if (!ds.ok()) {
+          std::fprintf(stderr, "recovery %s: %s\n", lane,
+                       ds.status().ToString().c_str());
+          fs::remove_all(tmp);
+          return r;
+        }
+        const auto& stats = ds.value()->recovery_stats();
+        if (std::string(lane) == "wal_only") {
+          MergeMs(&r.recovery_wal_ms, ms);
+          r.wal_lane_records = stats.wal_records_replayed;
+        } else {
+          MergeMs(&r.recovery_chk_ms, ms);
+          r.chk_lane_records = stats.wal_records_replayed;
+          r.chk_lane_docs = stats.docs_loaded;
+        }
+      }
+    }
+    r.ok = true;
+  }
+  fs::remove_all(tmp);
+  return r;
+}
+
 int Main() {
   int reps = 3;
   if (const char* v = std::getenv("GQL_BENCH_STORAGE_REPS")) {
@@ -359,6 +541,33 @@ int Main() {
                         static_cast<double>(plan_warm.front_end_us)
                   : 0.0);
 
+  DurableResult durable = RunDurableLanes(data, reps);
+  double open_speedup_text =
+      durable.open_v3_ms > 0 ? durable.open_v2_text_ms / durable.open_v3_ms
+                             : 0.0;
+  double open_speedup_bin =
+      durable.open_v3_ms > 0 ? durable.open_v2_bin_ms / durable.open_v3_ms
+                             : 0.0;
+  std::printf("\n%14s %10s %12s\n", "open lane", "ms", "file_bytes");
+  std::printf("%14s %10.2f %12zu\n", "v2_text", durable.open_v2_text_ms,
+              durable.v2_text_bytes);
+  std::printf("%14s %10.2f %12zu\n", "v2_binary", durable.open_v2_bin_ms,
+              durable.v2_bin_bytes);
+  std::printf("%14s %10.2f %12zu\n", "v3_mmap", durable.open_v3_ms,
+              durable.v3_bytes);
+  std::printf("v3 open speedup: %.1fx vs v2 text parse (budget 10x), "
+              "%.1fx vs v2 binary; materialized graphs %s\n",
+              open_speedup_text, open_speedup_bin,
+              durable.identical ? "bit-identical" : "DIVERGED");
+  std::printf("recovery: wal_only %.2f ms (%llu records replayed), "
+              "checkpointed %.2f ms (%llu docs from checkpoint + %llu "
+              "tail records)\n",
+              durable.recovery_wal_ms,
+              static_cast<unsigned long long>(durable.wal_lane_records),
+              durable.recovery_chk_ms,
+              static_cast<unsigned long long>(durable.chk_lane_docs),
+              static_cast<unsigned long long>(durable.chk_lane_records));
+
   const char* path = std::getenv("GQL_BENCH_STORAGE_JSON");
   std::string out_path =
       path != nullptr && *path != '\0' ? path : "BENCH_storage.json";
@@ -401,12 +610,36 @@ int Main() {
       << ", \"warm_exec_us\": " << plan_warm.exec_us
       << ", \"warm_hits\": " << plan_warm.hits
       << ", \"warm_frontend_fraction\": " << warm_frontend_fraction
-      << "}\n}\n";
+      << "},\n"
+      << "  \"durable\": {\n"
+      << "    \"identical\": " << (durable.identical ? "true" : "false")
+      << ",\n"
+      << "    \"open_lanes\": [\n"
+      << "      {\"lane\": \"v2_text\", \"ms\": " << durable.open_v2_text_ms
+      << ", \"file_bytes\": " << durable.v2_text_bytes << "},\n"
+      << "      {\"lane\": \"v2_binary\", \"ms\": " << durable.open_v2_bin_ms
+      << ", \"file_bytes\": " << durable.v2_bin_bytes << "},\n"
+      << "      {\"lane\": \"v3_mmap\", \"ms\": " << durable.open_v3_ms
+      << ", \"file_bytes\": " << durable.v3_bytes << "}\n"
+      << "    ],\n"
+      << "    \"open_speedup_vs_text\": " << open_speedup_text << ",\n"
+      << "    \"open_speedup_vs_binary\": " << open_speedup_bin << ",\n"
+      << "    \"recovery_lanes\": [\n"
+      << "      {\"lane\": \"wal_only\", \"ms\": " << durable.recovery_wal_ms
+      << ", \"wal_records\": " << durable.wal_lane_records
+      << ", \"checkpoint_docs\": 0},\n"
+      << "      {\"lane\": \"checkpointed\", \"ms\": "
+      << durable.recovery_chk_ms
+      << ", \"wal_records\": " << durable.chk_lane_records
+      << ", \"checkpoint_docs\": " << durable.chk_lane_docs << "}\n"
+      << "    ]\n  }\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!identical) return 2;
   if (reduction < 0.30) return 3;
-  return warm_frontend_fraction < 0.05 ? 0 : 4;
+  if (warm_frontend_fraction >= 0.05) return 4;
+  if (!durable.ok || !durable.identical) return 5;
+  return open_speedup_text >= 10.0 ? 0 : 6;
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Regenerates the seed corpora for fuzz_wal_replay and fuzz_v3_reader by
+// running the real writers, then damaging copies the way crashes and disk
+// corruption do: truncation (torn tail), payload bit flips (CRC must
+// catch), and header damage (magic/length words).
+//
+//   make_storage_corpus <fuzz/corpus directory>
+//
+// Built alongside the fuzzers (-DGRAPHQL_FUZZ=ON); run it from the build
+// dir and check the seeds in whenever the on-disk formats change.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/collection.h"
+#include "io/snapshot_v3.h"
+#include "motif/deriver.h"
+#include "storage/wal.h"
+
+namespace fs = std::filesystem;
+using graphql::GraphCollection;
+
+namespace {
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string s((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  return {s.begin(), s.end()};
+}
+
+void WriteSeed(const fs::path& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("  %s (%zu bytes)\n", name.c_str(), bytes.size());
+}
+
+std::vector<uint8_t> Truncated(std::vector<uint8_t> b, size_t drop) {
+  b.resize(b.size() > drop ? b.size() - drop : 0);
+  return b;
+}
+
+std::vector<uint8_t> BitFlipped(std::vector<uint8_t> b, size_t at) {
+  if (at < b.size()) b[at] ^= 0x40;
+  return b;
+}
+
+int MakeWalSeeds(const fs::path& out_dir) {
+  fs::create_directories(out_dir);
+  std::printf("wal_replay seeds -> %s\n", out_dir.c_str());
+  fs::path tmp = fs::temp_directory_path() / "gql_corpus_wal.bin";
+  fs::remove(tmp);
+  auto w = graphql::storage::WalWriter::Open(tmp.string(), /*next_lsn=*/1,
+                                             /*valid_bytes=*/0);
+  if (!w.ok()) {
+    std::fprintf(stderr, "WalWriter::Open: %s\n",
+                 w.status().ToString().c_str());
+    return 1;
+  }
+  // A few records with the shapes the engine writes: small bodies of
+  // varying length and kind (the vocabulary bytes are opaque here).
+  for (uint8_t kind = 1; kind <= 3; ++kind) {
+    std::vector<uint8_t> body;
+    for (int i = 0; i < 8 * kind; ++i) {
+      body.push_back(static_cast<uint8_t>(kind * 16 + i));
+    }
+    if (auto st = w->Append(kind, body); !st.ok()) {
+      std::fprintf(stderr, "Append: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::vector<uint8_t> good = ReadFile(tmp.string());
+  fs::remove(tmp);
+  WriteSeed(out_dir, "wal_three_records.bin", good);
+  WriteSeed(out_dir, "wal_torn_tail.bin", Truncated(good, 5));
+  WriteSeed(out_dir, "wal_bad_crc.bin",
+            BitFlipped(good, good.size() - 3));       // Last record body.
+  WriteSeed(out_dir, "wal_bad_length.bin", BitFlipped(good, 1));
+  WriteSeed(out_dir, "wal_empty.bin", {});
+  return 0;
+}
+
+int MakeV3Seeds(const fs::path& out_dir) {
+  fs::create_directories(out_dir);
+  std::printf("v3_reader seeds -> %s\n", out_dir.c_str());
+  GraphCollection c;
+  c.set_name("corpus");
+  auto g = graphql::motif::GraphFromSource(
+      "graph Seed <tag=\"fuzz\"> {\n"
+      "  node a <label=\"A\", n=1>;\n"
+      "  node b <label=\"B\", s=\"two\">;\n"
+      "  node c1 <label=\"A\">;\n"
+      "  edge e1 (a, b) <rel=\"knows\", w=1.5>;\n"
+      "  edge e2 (b, c1) <rel=\"cites\">;\n"
+      "}");
+  if (!g.ok()) {
+    std::fprintf(stderr, "GraphFromSource: %s\n",
+                 g.status().ToString().c_str());
+    return 1;
+  }
+  c.Add(std::move(g).value());
+  auto image = graphql::io::BuildCollectionV3(c, /*store_version=*/7);
+  if (!image.ok()) {
+    std::fprintf(stderr, "BuildCollectionV3: %s\n",
+                 image.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint8_t>& good = *image;
+  WriteSeed(out_dir, "v3_small.gqls", good);
+  WriteSeed(out_dir, "v3_truncated_page.gqls", Truncated(good, 4096));
+  WriteSeed(out_dir, "v3_torn_mid_page.gqls", Truncated(good, 100));
+  WriteSeed(out_dir, "v3_bad_magic.gqls", BitFlipped(good, 0));
+  WriteSeed(out_dir, "v3_flipped_header.gqls", BitFlipped(good, 24));
+  WriteSeed(out_dir, "v3_flipped_body.gqls",
+            BitFlipped(good, good.size() / 2));
+  WriteSeed(out_dir, "v3_empty.gqls", {});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <fuzz/corpus dir>\n", argv[0]);
+    return 2;
+  }
+  fs::path corpus(argv[1]);
+  int rc = MakeWalSeeds(corpus / "wal_replay");
+  if (rc == 0) rc = MakeV3Seeds(corpus / "v3_reader");
+  return rc;
+}

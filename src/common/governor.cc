@@ -45,6 +45,10 @@ const char* GovernPointName(GovernPoint point) {
       return "frame_read";
     case GovernPoint::kCommit:
       return "commit";
+    case GovernPoint::kWalAppend:
+      return "wal_append";
+    case GovernPoint::kCheckpoint:
+      return "checkpoint";
     case GovernPoint::kOther:
       return "other";
   }

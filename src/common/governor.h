@@ -41,6 +41,8 @@ enum class GovernPoint {
   kAccept,        ///< gqld accept loop: the N-th accepted connection fails.
   kFrameRead,     ///< Wire framing: the N-th request frame read fails.
   kCommit,        ///< GraphStore commit: the N-th commit aborts.
+  kWalAppend,     ///< Durable store: the N-th WAL append tears mid-record.
+  kCheckpoint,    ///< Durable store: the N-th checkpoint aborts mid-write.
   kOther,
 };
 inline constexpr int kNumGovernPoints = static_cast<int>(GovernPoint::kOther) + 1;
@@ -76,6 +78,10 @@ struct GovernorLimits {
 ///   GQL_FAULT=frame_read@5        the fifth request frame reads as corrupt
 ///   GQL_FAULT=commit@2            the second GraphStore commit aborts
 ///                                 (kResourceExhausted; nothing published)
+///   GQL_FAULT=wal_append@4        the fourth WAL append tears mid-record
+///                                 (a half-written record reaches disk)
+///   GQL_FAULT=checkpoint@2        the second checkpoint aborts after its
+///                                 files are written but before MANIFEST
 /// Server points are charged by src/server/ code, not by governor checks;
 /// the injected kind maps onto the failure (cancel → connection torn down,
 /// anything else → a structured error response). Kinds: steps, deadline,

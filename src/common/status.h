@@ -21,6 +21,7 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< The query's wall-clock deadline passed.
   kCancelled,         ///< The query was cancelled cooperatively.
   kResourceExhausted, ///< A governed step/memory budget ran out.
+  kDataLoss,          ///< Stored bytes failed checksum/structure validation.
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -71,6 +72,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,6 +16,147 @@ namespace graphql::exec {
 
 namespace {
 
+/// Collects every literal Expr node in `e` (in-order) into `out`. Used by
+/// RunPrepared to locate the Expr nodes the substituted parameters parsed
+/// into.
+void CollectLiteralExprs(const lang::ExprPtr& e,
+                         std::vector<lang::Expr*>* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case lang::Expr::Kind::kLiteral:
+      out->push_back(e.get());
+      break;
+    case lang::Expr::Kind::kBinary:
+      CollectLiteralExprs(e->lhs, out);
+      CollectLiteralExprs(e->rhs, out);
+      break;
+    case lang::Expr::Kind::kName:
+      break;
+  }
+}
+
+/// Literal nodes of a graph body that are *evaluated per run* when the
+/// body is used as a PATTERN: the node/edge where-clauses (routed into
+/// pattern predicates as shared Expr nodes, EvalPredicate reads them at
+/// match time). Deliberately excluded: tuple-literal values (baked into
+/// attribute requirements when the pattern compiles) and unify
+/// where-clauses (resolved during motif construction) — a parameter
+/// landing there cannot be patched after compilation.
+void CollectPatternBodyLiterals(const lang::GraphBody& body,
+                                std::vector<lang::Expr*>* out) {
+  for (const lang::MemberDecl& m : body.members) {
+    switch (m.kind) {
+      case lang::MemberDecl::Kind::kNode:
+        CollectLiteralExprs(m.node.where, out);
+        break;
+      case lang::MemberDecl::Kind::kEdge:
+        CollectLiteralExprs(m.edge.where, out);
+        break;
+      case lang::MemberDecl::Kind::kDisjunction:
+        for (const auto& alt : m.alternatives) {
+          if (alt != nullptr) CollectPatternBodyLiterals(*alt, out);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// Literal nodes of a graph decl used as a TEMPLATE (return/let): the
+/// whole decl — tuple entries included — is instantiated from the AST on
+/// every run (GraphTemplate::Create inside RunFlwr), so every literal in
+/// it is patchable.
+void CollectTemplateLiterals(const lang::GraphDecl& decl,
+                             std::vector<lang::Expr*>* out);
+
+void CollectTemplateBodyLiterals(const lang::GraphBody& body,
+                                 std::vector<lang::Expr*>* out) {
+  for (const lang::MemberDecl& m : body.members) {
+    switch (m.kind) {
+      case lang::MemberDecl::Kind::kNode:
+        if (m.node.tuple) {
+          for (const auto& [k, v] : m.node.tuple->entries) {
+            CollectLiteralExprs(v, out);
+          }
+        }
+        CollectLiteralExprs(m.node.where, out);
+        break;
+      case lang::MemberDecl::Kind::kEdge:
+        if (m.edge.tuple) {
+          for (const auto& [k, v] : m.edge.tuple->entries) {
+            CollectLiteralExprs(v, out);
+          }
+        }
+        CollectLiteralExprs(m.edge.where, out);
+        break;
+      case lang::MemberDecl::Kind::kUnify:
+        CollectLiteralExprs(m.unify.where, out);
+        break;
+      case lang::MemberDecl::Kind::kDisjunction:
+        for (const auto& alt : m.alternatives) {
+          if (alt != nullptr) CollectTemplateBodyLiterals(*alt, out);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void CollectTemplateLiterals(const lang::GraphDecl& decl,
+                             std::vector<lang::Expr*>* out) {
+  if (decl.tuple) {
+    for (const auto& [k, v] : decl.tuple->entries) {
+      CollectLiteralExprs(v, out);
+    }
+  }
+  CollectTemplateBodyLiterals(decl.body, out);
+  CollectLiteralExprs(decl.where, out);
+}
+
+/// Every literal Expr in `program` that the execution pipeline re-reads
+/// from the AST on each run — the positions where a prepared parameter
+/// may soundly be patched between replays.
+std::vector<lang::Expr*> CollectPatchableLiterals(lang::Program* program) {
+  std::vector<lang::Expr*> out;
+  for (lang::Statement& stmt : program->statements) {
+    if (stmt.kind != lang::Statement::Kind::kFlwr) continue;
+    lang::FlwrExpr& flwr = stmt.flwr;
+    CollectLiteralExprs(flwr.where, &out);
+    if (flwr.pattern) {
+      CollectLiteralExprs(flwr.pattern->where, &out);
+      CollectPatternBodyLiterals(flwr.pattern->body, &out);
+    }
+    if (flwr.template_decl) {
+      CollectTemplateLiterals(*flwr.template_decl, &out);
+    }
+  }
+  return out;
+}
+
+/// One character per parameter type for the prepared-plan key: rebinding
+/// a slot to a different type recompiles (the cached semantic analysis is
+/// type-sensitive); same-type rebinds share the entry.
+std::string ParamKindSignature(const std::vector<Value>& params) {
+  std::string kinds;
+  kinds.reserve(params.size());
+  for (const Value& v : params) {
+    if (v.is_int()) {
+      kinds.push_back('i');
+    } else if (v.is_double()) {
+      kinds.push_back('f');
+    } else if (v.is_string()) {
+      kinds.push_back('s');
+    } else if (v.is_bool()) {
+      kinds.push_back('b');
+    } else {
+      kinds.push_back('?');
+    }
+  }
+  return kinds;
+}
+
 const char* StatementKindName(lang::Statement::Kind kind) {
   switch (kind) {
     case lang::Statement::Kind::kGraphDecl:
@@ -266,6 +407,11 @@ Result<QueryResult> Evaluator::RunInternal(const lang::Program& program,
     }
     const sema::StatementInfo* info =
         i < analysis->statements.size() ? &analysis->statements[i] : nullptr;
+    // Parameterized (prepared) plans were analyzed against the first
+    // execution's literal values, so the unsatisfiability verdict — the
+    // only value-dependent conclusion RunStatement acts on — must not
+    // prune a replay that may have bound satisfiable values.
+    if (plan != nullptr && plan->parameterized) info = nullptr;
     const std::vector<algebra::GraphPattern>* precompiled =
         plan != nullptr && i < plan->alternatives.size() &&
                 !plan->alternatives[i].empty()
@@ -411,6 +557,28 @@ Result<QueryResult> Evaluator::RunSource(std::string_view source) {
   metrics_.GetCounter("exec.frontend.semas")->Increment();
   plan->shape = NormalizeShape(plan->program);
 
+  bool cacheable = CompileAlternatives(plan.get());
+  if (cacheable) {
+    plan->bytes = CachedPlan::EstimateBytes(key, *plan);
+    size_t evicted = plan_cache_->Insert(key, plan_epoch_, plan);
+    if (evicted > 0) {
+      metrics_.GetCounter("plan_cache.evict")->Increment(evicted);
+    }
+  } else {
+    metrics_.GetCounter("plan_cache.uncacheable")->Increment();
+  }
+
+  const int64_t frontend_us = obs::NowMicros() - frontend_start;
+  Result<QueryResult> run = RunInternal(plan->program, plan.get(),
+                                        /*cache_hit=*/false, parse_us, sema_us);
+  if (run.ok()) {
+    run.value().front_end_us = frontend_us;
+    run.value().plan_source = cacheable ? "miss" : "uncacheable";
+  }
+  return run;
+}
+
+bool Evaluator::CompileAlternatives(CachedPlan* plan) {
   // Cacheability gate: only pure programs — every statement a non-`let`
   // FLWR — may be replayed from cache. Anything that mutates session
   // state (graph-decl, assign, let) both bumps the epoch when it runs and
@@ -456,12 +624,112 @@ Result<QueryResult> Evaluator::RunSource(std::string_view source) {
     }
     if (!cacheable) plan->alternatives.clear();
   }
+  return cacheable;
+}
+
+Result<QueryResult> Evaluator::RunPrepared(
+    std::string_view template_text, std::string_view substituted,
+    const std::vector<PreparedParam>& sites,
+    const std::vector<Value>& params) {
+  // No placeholders (or no cache) means nothing to share: the substituted
+  // text IS the query, and RunSource's per-text keying is exactly right.
+  if (plan_cache_ == nullptr || sites.empty()) {
+    return RunSource(substituted);
+  }
+  const int64_t frontend_start = obs::NowMicros();
+  PlanKey key;
+  PlanKey::FromPrepared(template_text, ParamKindSignature(params), &key);
+
+  if (std::shared_ptr<const CachedPlan> hit =
+          plan_cache_->Lookup(key, plan_epoch_)) {
+    // Rebind: write this execution's values into the literal nodes the
+    // parameters parsed into on the cold run. The nodes are shared into
+    // the compiled pattern predicates and the per-run template
+    // instantiation, so the new values flow without recompiling. (The
+    // slot indices were validated against the placeholder set when the
+    // entry was built; SubstituteParams already rejected executions that
+    // bind fewer parameters than the template references.)
+    for (const CachedPlan::ParamSlot& slot : hit->param_slots) {
+      if (slot.param >= params.size()) {
+        return RunSource(substituted);  // Defensive; cannot happen today.
+      }
+      slot.expr->literal = params[slot.param];
+    }
+    metrics_.GetCounter("plan_cache.hit")->Increment();
+    const int64_t frontend_us = obs::NowMicros() - frontend_start;
+    Result<QueryResult> run =
+        RunInternal(hit->program, hit.get(), /*cache_hit=*/true, 0, 0);
+    if (run.ok()) {
+      run.value().front_end_us = frontend_us;
+      run.value().plan_source = "hit";
+    }
+    return run;
+  }
+
+  // Cold: run the front-end once on the substituted text, then find the
+  // literal Expr node each parameter landed on. A rendered literal's
+  // token starts exactly where the substitution wrote it, so a slot is a
+  // patchable literal whose span matches the recorded site and whose
+  // parsed value round-trips the bound parameter (the value check rejects
+  // structural mismatches, e.g. a negative number parsed as unary minus
+  // over a positive literal — patching the inner literal would double the
+  // sign).
+  auto plan = std::make_shared<CachedPlan>();
+  int64_t parse_us = 0;
+  int64_t sema_us = 0;
+  {
+    const int64_t t0 = obs::NowMicros();
+    GQL_ASSIGN_OR_RETURN(plan->program,
+                         lang::Parser::ParseProgram(substituted));
+    parse_us = obs::NowMicros() - t0;
+  }
+  metrics_.GetCounter("exec.frontend.parses")->Increment();
+
+  std::vector<lang::Expr*> patchable = CollectPatchableLiterals(&plan->program);
+  bool shareable = true;
+  plan->param_slots.reserve(sites.size());
+  for (const PreparedParam& site : sites) {
+    lang::Expr* found = nullptr;
+    for (lang::Expr* e : patchable) {
+      if (e->span.line == site.line && e->span.column == site.column &&
+          site.index < params.size() && e->literal == params[site.index]) {
+        found = e;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      shareable = false;
+      break;
+    }
+    plan->param_slots.push_back({found, site.index});
+  }
+  if (!shareable) {
+    // At least one parameter landed somewhere the pipeline does not
+    // re-read per run (pattern tuple literal, doc name, ...): this
+    // execution cannot share a plan across values. Fall back to plain
+    // per-value caching; the parse above is repeated, which is the cold
+    // path's price, not the steady state's.
+    metrics_.GetCounter("plan_cache.prepared_fallback")->Increment();
+    return RunSource(substituted);
+  }
+
+  {
+    const int64_t t0 = obs::NowMicros();
+    plan->analysis = Analyze(plan->program);
+    sema_us = obs::NowMicros() - t0;
+  }
+  metrics_.GetCounter("exec.frontend.semas")->Increment();
+  plan->shape = NormalizeShape(plan->program);
+  plan->parameterized = true;
+
+  bool cacheable = CompileAlternatives(plan.get());
   if (cacheable) {
     plan->bytes = CachedPlan::EstimateBytes(key, *plan);
     size_t evicted = plan_cache_->Insert(key, plan_epoch_, plan);
     if (evicted > 0) {
       metrics_.GetCounter("plan_cache.evict")->Increment(evicted);
     }
+    metrics_.GetCounter("plan_cache.miss")->Increment();
   } else {
     metrics_.GetCounter("plan_cache.uncacheable")->Increment();
   }

@@ -121,6 +121,19 @@ struct QueryResult {
   std::string plan_source = "off";
 };
 
+/// One $N placeholder occurrence in a prepared statement, located in the
+/// *substituted* text: `line`/`column` are the 1-based position where the
+/// rendered literal begins (rendered literals never contain newlines —
+/// strings escape them — so the position is exactly where the lexer puts
+/// the literal token's span), and `index` is the 0-based parameter it was
+/// rendered from. Produced by server::SubstituteParams, consumed by
+/// Evaluator::RunPrepared.
+struct PreparedParam {
+  int line = 0;
+  int column = 0;
+  size_t index = 0;
+};
+
 /// The GraphQL query evaluator: executes programs of graph declarations,
 /// assignments, and FLWR expressions (Section 3.4) against a document
 /// registry.
@@ -173,6 +186,37 @@ class Evaluator {
   /// at the current epoch, the parse/sema/pattern-compile front-end is
   /// skipped entirely (plan_cache.hit; QueryResult::plan_source = "hit").
   Result<QueryResult> RunSource(std::string_view source);
+
+  /// Runs one execution of a prepared statement. `template_text` is the
+  /// prepared source with its $N placeholders intact; `substituted` is the
+  /// same text with every placeholder replaced by the rendered literal of
+  /// params[N-1]; `sites` records where in `substituted` each rendered
+  /// literal begins (1-based line/column, matching lexer spans) and which
+  /// parameter it came from.
+  ///
+  /// Unlike RunSource — where every distinct literal value compiles and
+  /// caches its own plan — all executions of one prepared template share a
+  /// single cache entry keyed on the template itself (plus the parameter
+  /// *types*). The cold run records which literal Expr nodes the
+  /// parameters landed on (CachedPlan::param_slots); a hit patches those
+  /// Values in place and replays the compiled plan, so rebinding $1 from
+  /// "SIGMOD" to "VLDB" skips the whole front-end.
+  ///
+  /// Patching is only sound where the execution pipeline reads the literal
+  /// per run: where-clause predicates (FLWR-level, graph/node/edge-level —
+  /// routed into pattern predicates as shared Expr nodes and evaluated at
+  /// match time) and return/let templates (instantiated from the AST every
+  /// run). A parameter that lands anywhere else — a pattern tuple literal
+  /// (baked into attribute requirements at compile time), a doc("...")
+  /// name (consumed by the parser) — is detected on the cold run and the
+  /// execution falls back to RunSource(substituted), i.e. per-value cache
+  /// entries (plan_cache.prepared_fallback counts these). Value-dependent
+  /// analysis (unsatisfiability pruning) is disabled for shared prepared
+  /// plans; see CachedPlan::parameterized.
+  Result<QueryResult> RunPrepared(std::string_view template_text,
+                                  std::string_view substituted,
+                                  const std::vector<PreparedParam>& sites,
+                                  const std::vector<Value>& params);
 
   /// When enabled, every Run records a per-statement trace tree (FLWR
   /// selection down to the retrieve/refine/order/search stages) and fills
@@ -300,6 +344,11 @@ class Evaluator {
   Result<QueryResult> RunInternal(const lang::Program& program,
                                   const CachedPlan* plan, bool cache_hit,
                                   int64_t parse_us, int64_t sema_us);
+  /// The cacheability gate + pattern precompilation shared by RunSource
+  /// and RunPrepared: true (and plan->alternatives filled) only for pure
+  /// programs — every statement a non-`let` FLWR whose pattern resolves
+  /// and compiles. False leaves plan->alternatives empty.
+  bool CompileAlternatives(CachedPlan* plan);
   /// Shared renderer behind Explain / ExplainAnalyze: the static plan,
   /// plus per-statement actual lines when `actual` is non-null.
   Result<std::string> RenderExplain(const lang::Program& program,

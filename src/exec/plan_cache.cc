@@ -42,6 +42,13 @@ std::string_view KeyPunctuationLexeme(lang::TokenKind kind) {
   }
 }
 
+/// Standard hash combine; either half alone would collide "same shape,
+/// different constants" into one slot.
+uint64_t CombineKeyHash(uint64_t shape_hash, uint64_t lit_hash) {
+  return shape_hash ^ (lit_hash + 0x9e3779b97f4a7c15ull +
+                       (shape_hash << 6) + (shape_hash >> 2));
+}
+
 }  // namespace
 
 bool PlanKey::From(std::string_view source, PlanKey* out) {
@@ -82,13 +89,22 @@ bool PlanKey::From(std::string_view source, PlanKey* out) {
     if (!out->shape.empty()) out->shape.push_back(' ');
     out->shape.append(piece);
   }
-  const uint64_t shape_hash = obs::FlightRecorder::HashShape(out->shape);
-  const uint64_t lit_hash = obs::FlightRecorder::HashShape(out->literals);
-  // Standard hash combine; either half alone would collide "same shape,
-  // different constants" into one slot.
-  out->hash = shape_hash ^ (lit_hash + 0x9e3779b97f4a7c15ull +
-                            (shape_hash << 6) + (shape_hash >> 2));
+  out->hash = CombineKeyHash(obs::FlightRecorder::HashShape(out->shape),
+                             obs::FlightRecorder::HashShape(out->literals));
   return true;
+}
+
+void PlanKey::FromPrepared(std::string_view template_text,
+                           std::string_view param_kinds, PlanKey* out) {
+  // The raw template (placeholders intact) is the shape: one entry per
+  // prepared text. The '$' prefix on the literal signature keeps prepared
+  // keys disjoint from From()'s 'i'/'f'/'s'-record signatures even if a
+  // query's token-joined shape string happened to equal a template text.
+  out->shape.assign(template_text);
+  out->literals.assign("$");
+  out->literals.append(param_kinds);
+  out->hash = CombineKeyHash(obs::FlightRecorder::HashShape(out->shape),
+                             obs::FlightRecorder::HashShape(out->literals));
 }
 
 size_t CachedPlan::EstimateBytes(const PlanKey& key, const CachedPlan& plan) {
@@ -99,6 +115,7 @@ size_t CachedPlan::EstimateBytes(const PlanKey& key, const CachedPlan& plan) {
     bytes += sizeof(sema::Diagnostic) + d.message.size();
   }
   bytes += plan.analysis.statements.size() * sizeof(sema::StatementInfo);
+  bytes += plan.param_slots.size() * sizeof(CachedPlan::ParamSlot);
   for (const auto& alts : plan.alternatives) {
     for (const algebra::GraphPattern& alt : alts) {
       // Per-node/edge structures (preds, reqs, interned tags) dominate.

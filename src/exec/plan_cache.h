@@ -33,6 +33,17 @@ struct PlanKey {
   /// parser will produce the real diagnostic; such queries bypass the
   /// cache).
   static bool From(std::string_view source, PlanKey* out);
+
+  /// Key for a prepared statement: the template text itself (with its $N
+  /// placeholders still in place) is the shape, so every execution of the
+  /// same prepared query shares ONE cache entry no matter what literal
+  /// values are bound. `param_kinds` is one character per bound parameter
+  /// ('i'/'f'/'s'/'b'/'?') — executions that rebind a slot to a different
+  /// *type* get their own entry, keeping the cached semantic analysis
+  /// type-consistent. Never fails: no lexing happens (the $N placeholders
+  /// would not lex anyway).
+  static void FromPrepared(std::string_view template_text,
+                           std::string_view param_kinds, PlanKey* out);
 };
 
 /// Everything the front-end produced for one query text: the parsed AST,
@@ -40,6 +51,15 @@ struct PlanKey {
 /// alternatives of every FLWR statement (where-pushdown already folded).
 /// Entries are immutable and shared: a hit hands out a shared_ptr the
 /// executor reads while the cache may concurrently evict the entry.
+///
+/// Parameterized entries (prepared $N statements) are the one exception
+/// to immutability: `param_slots` points at literal Expr nodes inside
+/// `program` whose Values the evaluator overwrites with the bound
+/// parameters before each replay. That is safe under the evaluator's
+/// thread-compatibility contract — the cache is per-evaluator, the
+/// evaluator is single-threaded, and every prepared execution writes all
+/// slots before running — but it is why a parameterized entry must only
+/// ever be executed through Evaluator::RunPrepared.
 struct CachedPlan {
   lang::Program program;
   sema::Analysis analysis;
@@ -51,6 +71,21 @@ struct CachedPlan {
   /// Parallel to program.statements; non-empty only for FLWR statements of
   /// pure programs (see Evaluator's cacheability gate).
   std::vector<std::vector<algebra::GraphPattern>> alternatives;
+  /// One literal Expr inside `program` that carries a bound parameter
+  /// value: before each replay the evaluator writes params[param] into
+  /// expr->literal. The node is shared (shared_ptr) into the compiled
+  /// pattern predicates, so the write flows into match-time predicate
+  /// evaluation without recompiling anything.
+  struct ParamSlot {
+    lang::Expr* expr = nullptr;
+    size_t param = 0;  ///< 0-based index into the bound parameter vector.
+  };
+  std::vector<ParamSlot> param_slots;
+  /// True for prepared-statement entries. The cached semantic analysis was
+  /// computed against the *first* execution's literal values, so its
+  /// value-dependent conclusions (the unsatisfiability verdict) must not
+  /// prune replays with different parameters.
+  bool parameterized = false;
   /// Approximate heap footprint used for the cache's byte bound.
   size_t bytes = 0;
 

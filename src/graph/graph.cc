@@ -99,6 +99,12 @@ std::shared_ptr<const GraphSnapshot> Graph::snapshot(
   return snap_cache_;
 }
 
+void Graph::AdoptSnapshot(std::shared_ptr<const GraphSnapshot> snap) const {
+  MutexLock lock(&snap_mu_);
+  snap_cache_ = std::move(snap);
+  snap_version_ = version_;
+}
+
 NodeId Graph::AddNode(std::string name, AttrTuple attrs) {
   ++version_;
   NodeId id = static_cast<NodeId>(nodes_.size());

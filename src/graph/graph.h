@@ -182,6 +182,15 @@ class Graph {
   /// Alias for snapshot(): compiles (or returns the cached) frozen form.
   std::shared_ptr<const GraphSnapshot> Compile() const { return snapshot(); }
 
+  /// Installs `snap` as the cached snapshot for the graph's current
+  /// version, so the next snapshot() call returns it instead of
+  /// recompiling. Used by the storage layer after recovery: the mapped
+  /// zero-copy snapshot from a format-v3 file stands in for the compile
+  /// the graph would otherwise redo. The caller asserts that `snap`
+  /// describes exactly this graph's current contents; any later mutation
+  /// invalidates it through the usual version check.
+  void AdoptSnapshot(std::shared_ptr<const GraphSnapshot> snap) const;
+
  private:
   void RegisterEdgeKey(NodeId u, NodeId v);
 

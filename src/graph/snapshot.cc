@@ -43,13 +43,13 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
   graph_tag_sym_ = InternOrNone(g.attrs().tag());
 
   // ---- Per-node interned strings + node columns ----
-  node_name_sym_.resize(n);
-  node_tag_sym_.resize(n);
-  node_label_sym_.assign(n, kNoSymbol);
+  own_node_name_sym_.resize(n);
+  own_node_tag_sym_.resize(n);
+  own_node_label_sym_.assign(n, kNoSymbol);
   for (size_t v = 0; v < n; ++v) {
     const Graph::Node& node = g.node(static_cast<NodeId>(v));
-    node_name_sym_[v] = InternOrNone(node.name);
-    node_tag_sym_[v] = InternOrNone(node.attrs.tag());
+    own_node_name_sym_[v] = InternOrNone(node.name);
+    own_node_tag_sym_[v] = InternOrNone(node.attrs.tag());
     for (const auto& [k, val] : node.attrs.attrs()) {
       SymbolId attr_sym = syms.Intern(k);
       Column* col = nullptr;
@@ -66,12 +66,12 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
       }
       SymbolId val_sym =
           val.is_string() ? syms.Intern(val.AsString()) : kNoSymbol;
-      col->ids.push_back(static_cast<int32_t>(v));
+      col->own_ids.push_back(static_cast<int32_t>(v));
       col->values.push_back(val);
-      col->val_syms.push_back(val_sym);
+      col->own_val_syms.push_back(val_sym);
       if (k == "label" && val.is_string()) {
-        if (node_label_sym_[v] == kNoSymbol) {
-          node_label_sym_[v] = val_sym;
+        if (own_node_label_sym_[v] == kNoSymbol) {
+          own_node_label_sym_[v] = val_sym;
           if (std::find(labels_in_order_.begin(), labels_in_order_.end(),
                         val_sym) == labels_in_order_.end()) {
             labels_in_order_.push_back(val_sym);
@@ -82,16 +82,16 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
   }
 
   // ---- Per-edge interned strings + edge columns ----
-  edge_name_sym_.resize(m);
-  edge_tag_sym_.resize(m);
-  edge_src_.resize(m);
-  edge_dst_.resize(m);
+  own_edge_name_sym_.resize(m);
+  own_edge_tag_sym_.resize(m);
+  own_edge_src_.resize(m);
+  own_edge_dst_.resize(m);
   for (size_t e = 0; e < m; ++e) {
     const Graph::Edge& edge = g.edge(static_cast<EdgeId>(e));
-    edge_name_sym_[e] = InternOrNone(edge.name);
-    edge_tag_sym_[e] = InternOrNone(edge.attrs.tag());
-    edge_src_[e] = edge.src;
-    edge_dst_[e] = edge.dst;
+    own_edge_name_sym_[e] = InternOrNone(edge.name);
+    own_edge_tag_sym_[e] = InternOrNone(edge.attrs.tag());
+    own_edge_src_[e] = edge.src;
+    own_edge_dst_[e] = edge.dst;
     for (const auto& [k, val] : edge.attrs.attrs()) {
       SymbolId attr_sym = syms.Intern(k);
       Column* col = nullptr;
@@ -106,9 +106,9 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
         col = &edge_columns_.back();
         col->attr_sym = attr_sym;
       }
-      col->ids.push_back(static_cast<int32_t>(e));
+      col->own_ids.push_back(static_cast<int32_t>(e));
       col->values.push_back(val);
-      col->val_syms.push_back(
+      col->own_val_syms.push_back(
           val.is_string() ? syms.Intern(val.AsString()) : kNoSymbol);
     }
   }
@@ -123,7 +123,7 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
   std::vector<uint32_t> out_deg(n + 1, 0);
   std::vector<uint32_t> in_deg(directed_ ? n + 1 : 0, 0);
   for (size_t e = 0; e < m; ++e) {
-    NodeId src = edge_src_[e], dst = edge_dst_[e];
+    NodeId src = own_edge_src_[e], dst = own_edge_dst_[e];
     ++out_deg[src + 1];
     if (directed_) {
       ++in_deg[dst + 1];
@@ -131,43 +131,58 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
       ++out_deg[dst + 1];
     }
   }
-  out_offsets_.assign(n + 1, 0);
-  for (size_t v = 0; v < n; ++v) out_offsets_[v + 1] = out_offsets_[v] + out_deg[v + 1];
-  out_entries_.resize(out_offsets_[n]);
-  std::vector<uint32_t> fill(out_offsets_.begin(), out_offsets_.end() - 1);
-  if (directed_) {
-    in_offsets_.assign(n + 1, 0);
-    for (size_t v = 0; v < n; ++v) in_offsets_[v + 1] = in_offsets_[v] + in_deg[v + 1];
-    in_entries_.resize(in_offsets_[n]);
+  own_out_offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    own_out_offsets_[v + 1] = own_out_offsets_[v] + out_deg[v + 1];
   }
-  std::vector<uint32_t> in_fill(in_offsets_.begin(),
-                                in_offsets_.empty() ? in_offsets_.begin()
-                                                    : in_offsets_.end() - 1);
+  own_out_entries_.resize(own_out_offsets_[n]);
+  std::vector<uint32_t> fill(own_out_offsets_.begin(),
+                             own_out_offsets_.end() - 1);
+  if (directed_) {
+    own_in_offsets_.assign(n + 1, 0);
+    for (size_t v = 0; v < n; ++v) {
+      own_in_offsets_[v + 1] = own_in_offsets_[v] + in_deg[v + 1];
+    }
+    own_in_entries_.resize(own_in_offsets_[n]);
+  }
+  std::vector<uint32_t> in_fill(own_in_offsets_.begin(),
+                                own_in_offsets_.empty()
+                                    ? own_in_offsets_.begin()
+                                    : own_in_offsets_.end() - 1);
   for (size_t e = 0; e < m; ++e) {
-    NodeId src = edge_src_[e], dst = edge_dst_[e];
+    NodeId src = own_edge_src_[e], dst = own_edge_dst_[e];
     EdgeId id = static_cast<EdgeId>(e);
-    SymbolId tag = edge_tag_sym_[e];
-    out_entries_[fill[src]++] = AdjEntry{dst, id, tag};
+    SymbolId tag = own_edge_tag_sym_[e];
+    own_out_entries_[fill[src]++] = AdjEntry{dst, id, tag};
     if (directed_) {
-      in_entries_[in_fill[dst]++] = AdjEntry{src, id, tag};
+      own_in_entries_[in_fill[dst]++] = AdjEntry{src, id, tag};
     } else if (src != dst) {
-      out_entries_[fill[dst]++] = AdjEntry{src, id, tag};
+      own_out_entries_[fill[dst]++] = AdjEntry{src, id, tag};
     }
   }
   auto by_neighbor = [](const AdjEntry& a, const AdjEntry& b) {
     return a.node < b.node;
   };
   for (size_t v = 0; v < n; ++v) {
-    std::stable_sort(out_entries_.begin() + out_offsets_[v],
-                     out_entries_.begin() + out_offsets_[v + 1], by_neighbor);
+    std::stable_sort(own_out_entries_.begin() + own_out_offsets_[v],
+                     own_out_entries_.begin() + own_out_offsets_[v + 1],
+                     by_neighbor);
     if (directed_) {
-      std::stable_sort(in_entries_.begin() + in_offsets_[v],
-                       in_entries_.begin() + in_offsets_[v + 1], by_neighbor);
+      std::stable_sort(own_in_entries_.begin() + own_in_offsets_[v],
+                       own_in_entries_.begin() + own_in_offsets_[v + 1],
+                       by_neighbor);
     }
   }
 
+  // The CSR arrays are final; bind their read views so out()/in() work
+  // for the unique-neighbor pass below.
+  out_offsets_ = own_out_offsets_;
+  out_entries_ = own_out_entries_;
+  in_offsets_ = own_in_offsets_;
+  in_entries_ = own_in_entries_;
+
   // ---- Unique-neighbor CSR (out ∪ in, sorted, deduplicated) ----
-  uniq_offsets_.assign(n + 1, 0);
+  own_uniq_offsets_.assign(n + 1, 0);
   std::vector<NodeId> scratch;
   for (size_t v = 0; v < n; ++v) {
     scratch.clear();
@@ -181,11 +196,65 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
       std::sort(scratch.begin(), scratch.end());
     }
     scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-    uniq_offsets_[v + 1] = uniq_offsets_[v] + scratch.size();
-    uniq_nbrs_.insert(uniq_nbrs_.end(), scratch.begin(), scratch.end());
+    own_uniq_offsets_[v + 1] = own_uniq_offsets_[v] + scratch.size();
+    own_uniq_nbrs_.insert(own_uniq_nbrs_.end(), scratch.begin(),
+                          scratch.end());
   }
 
-  // ---- Byte accounting ----
+  BindOwnedSpans();
+  ComputeByteAccounting();
+
+  auto t1 = std::chrono::steady_clock::now();
+  build_micros_ =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+}
+
+GraphSnapshot::GraphSnapshot(MappedParts parts) {
+  directed_ = parts.directed;
+  num_nodes_ = parts.num_nodes;
+  source_version_ = parts.source_version;
+  graph_name_sym_ = parts.graph_name_sym;
+  graph_tag_sym_ = parts.graph_tag_sym;
+  node_name_sym_ = parts.node_name_sym;
+  node_tag_sym_ = parts.node_tag_sym;
+  node_label_sym_ = parts.node_label_sym;
+  labels_in_order_ = std::move(parts.labels_in_order);
+  edge_name_sym_ = parts.edge_name_sym;
+  edge_tag_sym_ = parts.edge_tag_sym;
+  edge_src_ = parts.edge_src;
+  edge_dst_ = parts.edge_dst;
+  out_offsets_ = parts.out_offsets;
+  out_entries_ = parts.out_entries;
+  in_offsets_ = parts.in_offsets;
+  in_entries_ = parts.in_entries;
+  uniq_offsets_ = parts.uniq_offsets;
+  uniq_nbrs_ = parts.uniq_nbrs;
+  node_columns_ = std::move(parts.node_columns);
+  edge_columns_ = std::move(parts.edge_columns);
+  mapped_bytes_ = parts.mapped_bytes;
+  backing_ = std::move(parts.backing);
+  ComputeByteAccounting();
+}
+
+void GraphSnapshot::BindOwnedSpans() {
+  node_name_sym_ = own_node_name_sym_;
+  node_tag_sym_ = own_node_tag_sym_;
+  node_label_sym_ = own_node_label_sym_;
+  edge_name_sym_ = own_edge_name_sym_;
+  edge_tag_sym_ = own_edge_tag_sym_;
+  edge_src_ = own_edge_src_;
+  edge_dst_ = own_edge_dst_;
+  out_offsets_ = own_out_offsets_;
+  out_entries_ = own_out_entries_;
+  in_offsets_ = own_in_offsets_;
+  in_entries_ = own_in_entries_;
+  uniq_offsets_ = own_uniq_offsets_;
+  uniq_nbrs_ = own_uniq_nbrs_;
+  for (Column& c : node_columns_) c.BindOwned();
+  for (Column& c : edge_columns_) c.BindOwned();
+}
+
+void GraphSnapshot::ComputeByteAccounting() {
   csr_bytes_ = out_entries_.size() * sizeof(AdjEntry) +
                in_entries_.size() * sizeof(AdjEntry) +
                (out_offsets_.size() + in_offsets_.size() +
@@ -205,10 +274,6 @@ GraphSnapshot::GraphSnapshot(const Graph& g) {
                 edge_name_sym_.size() + edge_tag_sym_.size()) *
                    sizeof(SymbolId) +
                (edge_src_.size() + edge_dst_.size()) * sizeof(NodeId);
-
-  auto t1 = std::chrono::steady_clock::now();
-  build_micros_ =
-      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
 }
 
 bool GraphSnapshot::HasEdgeBetween(NodeId u, NodeId v) const {

@@ -2,6 +2,7 @@
 #define GRAPHQL_GRAPH_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,6 +27,13 @@ namespace graphql {
 /// Graph::FindEdge, same multiset of adjacency entries as
 /// Graph::neighbors — so the selection pipeline produces bit-identical
 /// results on either representation.
+///
+/// Storage: every array is accessed through a std::span. A snapshot built
+/// from a Graph owns its arrays (the spans view the `own_*` vectors); a
+/// snapshot opened from a format-v3 paged file views checksummed mapped
+/// pages directly (zero-copy — see io/snapshot_v3.h) and holds the
+/// mapping alive through `backing_`. The two modes are indistinguishable
+/// to readers.
 class GraphSnapshot {
  public:
   /// One CSR adjacency entry. Entries for a node are sorted by `node`
@@ -36,15 +44,30 @@ class GraphSnapshot {
     EdgeId edge;        ///< Edge realizing the adjacency.
     SymbolId tag_sym;   ///< Interned edge tag; kNoSymbol when untagged.
   };
+  static_assert(sizeof(AdjEntry) == 12,
+                "AdjEntry is a POD written verbatim into snapshot files");
 
   /// A sparse attribute column: the ids (node or edge, strictly
   /// ascending) that carry the attribute, the stored values, and for
   /// string values their interned symbol (kNoSymbol for non-strings).
+  /// `ids`/`val_syms` may view mapped pages; `values` is always
+  /// materialized (a Value owns its string payload and cannot view raw
+  /// bytes).
   struct Column {
     SymbolId attr_sym = kNoSymbol;  ///< Interned attribute name.
-    std::vector<int32_t> ids;
+    std::span<const int32_t> ids;
     std::vector<Value> values;
-    std::vector<SymbolId> val_syms;
+    std::span<const SymbolId> val_syms;
+
+    /// Owned backing for `ids`/`val_syms` (empty in mapped mode). Bound
+    /// by BindOwned after building completes (vector growth would move
+    /// the data the spans point at).
+    std::vector<int32_t> own_ids;
+    std::vector<SymbolId> own_val_syms;
+    void BindOwned() {
+      ids = own_ids;
+      val_syms = own_val_syms;
+    }
 
     /// The value stored for `id`, or nullptr when the column misses it.
     const Value* Find(int32_t id) const;
@@ -53,8 +76,44 @@ class GraphSnapshot {
     SymbolId FindValSym(int32_t id) const;
   };
 
+  /// All parts of a snapshot opened from mapped storage. Array spans view
+  /// pages owned by `backing` (verified by the pager before they were
+  /// handed out); the io layer fills this and the constructor below
+  /// adopts it wholesale. Invariants (CSR sorted by neighbor, column ids
+  /// ascending, labels in first-appearance order) are the writer's
+  /// responsibility — the file stores exactly what a Graph-built snapshot
+  /// contained.
+  struct MappedParts {
+    bool directed = false;
+    size_t num_nodes = 0;
+    uint64_t source_version = 0;
+    SymbolId graph_name_sym = kNoSymbol;
+    SymbolId graph_tag_sym = kNoSymbol;
+    std::span<const SymbolId> node_name_sym;
+    std::span<const SymbolId> node_tag_sym;
+    std::span<const SymbolId> node_label_sym;
+    std::vector<SymbolId> labels_in_order;
+    std::span<const SymbolId> edge_name_sym;
+    std::span<const SymbolId> edge_tag_sym;
+    std::span<const NodeId> edge_src;
+    std::span<const NodeId> edge_dst;
+    std::span<const uint32_t> out_offsets;
+    std::span<const AdjEntry> out_entries;
+    std::span<const uint32_t> in_offsets;
+    std::span<const AdjEntry> in_entries;
+    std::span<const uint32_t> uniq_offsets;
+    std::span<const NodeId> uniq_nbrs;
+    std::vector<Column> node_columns;
+    std::vector<Column> edge_columns;
+    size_t mapped_bytes = 0;  ///< Bytes of mapped pages this graph views.
+    std::shared_ptr<const void> backing;  ///< Keeps the mapping alive.
+  };
+
   /// Compiles `g`. The graph must not be mutated while the build runs.
   explicit GraphSnapshot(const Graph& g);
+
+  /// Adopts views over mapped storage (zero-copy open path).
+  explicit GraphSnapshot(MappedParts parts);
 
   GraphSnapshot(const GraphSnapshot&) = delete;
   GraphSnapshot& operator=(const GraphSnapshot&) = delete;
@@ -138,51 +197,109 @@ class GraphSnapshot {
   /// The edge column for an attribute symbol, or nullptr.
   const Column* EdgeColumn(SymbolId attr_sym) const;
 
+  // ---- Raw array views (storage serialization; also useful in tests) ----
+
+  std::span<const SymbolId> raw_node_name_syms() const {
+    return node_name_sym_;
+  }
+  std::span<const SymbolId> raw_node_tag_syms() const {
+    return node_tag_sym_;
+  }
+  std::span<const SymbolId> raw_node_label_syms() const {
+    return node_label_sym_;
+  }
+  std::span<const SymbolId> raw_edge_name_syms() const {
+    return edge_name_sym_;
+  }
+  std::span<const SymbolId> raw_edge_tag_syms() const {
+    return edge_tag_sym_;
+  }
+  std::span<const NodeId> raw_edge_src() const { return edge_src_; }
+  std::span<const NodeId> raw_edge_dst() const { return edge_dst_; }
+  std::span<const uint32_t> raw_out_offsets() const { return out_offsets_; }
+  std::span<const AdjEntry> raw_out_entries() const { return out_entries_; }
+  std::span<const uint32_t> raw_in_offsets() const { return in_offsets_; }
+  std::span<const AdjEntry> raw_in_entries() const { return in_entries_; }
+  std::span<const uint32_t> raw_uniq_offsets() const { return uniq_offsets_; }
+  std::span<const NodeId> raw_uniq_nbrs() const { return uniq_nbrs_; }
+
   // ---- Cost accounting ----
 
-  /// Heap bytes held by the snapshot, split so :stats can report the
+  /// Bytes held by the snapshot (heap in owned mode, mapped pages plus
+  /// materialized values in mapped mode), split so :stats can report the
   /// breakdown. `bytes()` is what the governor reserves for a fresh
   /// build.
   size_t bytes() const { return csr_bytes_ + column_bytes_ + sym_bytes_; }
   size_t csr_bytes() const { return csr_bytes_; }
   size_t column_bytes() const { return column_bytes_; }
   size_t sym_bytes() const { return sym_bytes_; }
-  /// Wall-clock build time in microseconds.
+  /// Bytes of mapped file pages this snapshot views (0 when built from a
+  /// Graph). Counted by the server's resident-memory accounting.
+  size_t mapped_bytes() const { return mapped_bytes_; }
+  /// True when the arrays view mapped storage instead of owned heap.
+  bool is_mapped() const { return backing_ != nullptr; }
+  /// Wall-clock build time in microseconds (0 for mapped opens).
   int64_t build_micros() const { return build_micros_; }
   /// Graph::version() at build time; the cache compares this to decide
   /// staleness.
   uint64_t source_version() const { return source_version_; }
 
  private:
+  /// Points every span member at its own_* vector and computes the byte
+  /// accounting (owned mode).
+  void BindOwnedSpans();
+  void ComputeByteAccounting();
+
   bool directed_ = false;
   size_t num_nodes_ = 0;
   uint64_t source_version_ = 0;
 
   SymbolId graph_name_sym_ = kNoSymbol;
   SymbolId graph_tag_sym_ = kNoSymbol;
-  std::vector<SymbolId> node_name_sym_;
-  std::vector<SymbolId> node_tag_sym_;
-  std::vector<SymbolId> node_label_sym_;
-  std::vector<SymbolId> labels_in_order_;
-  std::vector<SymbolId> edge_name_sym_;
-  std::vector<SymbolId> edge_tag_sym_;
-  std::vector<NodeId> edge_src_;
-  std::vector<NodeId> edge_dst_;
 
-  std::vector<uint32_t> out_offsets_;
-  std::vector<AdjEntry> out_entries_;
-  std::vector<uint32_t> in_offsets_;   // Directed graphs only.
-  std::vector<AdjEntry> in_entries_;   // Directed graphs only.
-  std::vector<uint32_t> uniq_offsets_;
-  std::vector<NodeId> uniq_nbrs_;
+  // Read views: all accessors go through these. Either they point at the
+  // own_* twins below (owned mode) or at mapped pages (mapped mode).
+  std::span<const SymbolId> node_name_sym_;
+  std::span<const SymbolId> node_tag_sym_;
+  std::span<const SymbolId> node_label_sym_;
+  std::span<const SymbolId> edge_name_sym_;
+  std::span<const SymbolId> edge_tag_sym_;
+  std::span<const NodeId> edge_src_;
+  std::span<const NodeId> edge_dst_;
+  std::span<const uint32_t> out_offsets_;
+  std::span<const AdjEntry> out_entries_;
+  std::span<const uint32_t> in_offsets_;   // Directed graphs only.
+  std::span<const AdjEntry> in_entries_;   // Directed graphs only.
+  std::span<const uint32_t> uniq_offsets_;
+  std::span<const NodeId> uniq_nbrs_;
 
+  // Owned backing (owned mode only).
+  std::vector<SymbolId> own_node_name_sym_;
+  std::vector<SymbolId> own_node_tag_sym_;
+  std::vector<SymbolId> own_node_label_sym_;
+  std::vector<SymbolId> own_edge_name_sym_;
+  std::vector<SymbolId> own_edge_tag_sym_;
+  std::vector<NodeId> own_edge_src_;
+  std::vector<NodeId> own_edge_dst_;
+  std::vector<uint32_t> own_out_offsets_;
+  std::vector<AdjEntry> own_out_entries_;
+  std::vector<uint32_t> own_in_offsets_;
+  std::vector<AdjEntry> own_in_entries_;
+  std::vector<uint32_t> own_uniq_offsets_;
+  std::vector<NodeId> own_uniq_nbrs_;
+
+  std::vector<SymbolId> labels_in_order_;  // Small; owned in both modes.
   std::vector<Column> node_columns_;
   std::vector<Column> edge_columns_;
 
   size_t csr_bytes_ = 0;
   size_t column_bytes_ = 0;
   size_t sym_bytes_ = 0;
+  size_t mapped_bytes_ = 0;
   int64_t build_micros_ = 0;
+  /// Keeps the mapped file alive for the snapshot's lifetime (mapped
+  /// mode). Type-erased so graph/ does not depend on storage/.
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace graphql

@@ -1,0 +1,108 @@
+#ifndef GRAPHQL_IO_SNAPSHOT_V3_H_
+#define GRAPHQL_IO_SNAPSHOT_V3_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/collection.h"
+#include "graph/snapshot.h"
+#include "storage/pager.h"
+
+namespace graphql::io {
+
+/// Snapshot format v3: a whole collection in one paged, checksummed file
+/// (extension ".gqls") laid out so a reader can serve queries from the
+/// mapped bytes without deserializing.
+///
+/// Built on storage::PageFile. Sections:
+///
+///   1  collection meta    format version, graph count, store version,
+///                         collection name, per-graph section directory
+///   2  symbol table       (written SymbolId, string) pairs for every
+///                         symbol the file references
+///   16+ per graph         meta blob; the v2-serialized builder graph
+///                         (io::WriteGraphBinary bytes, used to
+///                         materialize a mutable Graph bit-identically);
+///                         and one page-aligned section per snapshot
+///                         array (CSR offsets/entries, interned-symbol
+///                         arrays, column ids/val_syms) plus a serialized
+///                         values blob per attribute column
+///
+/// All scalars little-endian; array sections are the in-memory
+/// representation written verbatim, so on open a GraphSnapshot's spans can
+/// point straight at the (checksum-verified) pages — zero copy. The one
+/// subtlety is symbol identity: arrays store process-global SymbolIds as
+/// of write time. The reader interns the symbol-table section in file
+/// order and checks that every id came back identical; when it did (the
+/// common case — the durable store loads its symbol dump before anything
+/// else interns), arrays are viewed in place, otherwise symbol-bearing
+/// arrays are translated into owned copies and everything else still maps
+/// (correct, counted, slower).
+///
+/// Decoding is hostile-input hardened in the repo's usual way: every
+/// count is validated against the remaining bytes before any allocation,
+/// and no section byte is interpreted before its page checksums verify
+/// (checksum-before-trust; see tools/invariant_lint.py).
+
+/// True for paths that should use format v3 (".gqls").
+bool IsV3Path(const std::string& path);
+
+/// One collection opened from a v3 file: zero-copy snapshots plus what is
+/// needed to materialize builder graphs on demand.
+struct OpenedCollectionV3 {
+  std::string name;
+  /// Store version recorded at write time (0 for standalone files).
+  uint64_t store_version = 0;
+  /// True when symbol identity held and arrays are viewed in place.
+  bool symbols_identical = false;
+  /// The mapped file; snapshots keep it alive through their backing.
+  std::shared_ptr<storage::PageFile> file;
+  /// One compiled snapshot per member graph, in collection order.
+  std::vector<std::shared_ptr<const GraphSnapshot>> snapshots;
+  /// Section id of each graph's v2 builder blob (for materialization).
+  std::vector<uint32_t> blob_sections;
+};
+
+/// Serializes `c` (compiling member snapshots as needed) to a v3 image.
+Result<std::vector<uint8_t>> BuildCollectionV3(const GraphCollection& c,
+                                               uint64_t store_version);
+
+/// BuildCollectionV3 + atomic durable write to `path`.
+Status WriteCollectionV3(const GraphCollection& c, uint64_t store_version,
+                         const std::string& path);
+
+/// Opens a v3 file: verifies metadata, maps sections, validates every
+/// structural invariant the query layer relies on (offset monotonicity,
+/// ids in range, sorted adjacency runs), and builds zero-copy snapshots.
+/// Cost is O(data actually touched), dominated by checksum verification —
+/// no parsing, no interning of per-entity strings, no CSR rebuild.
+Result<OpenedCollectionV3> OpenCollectionV3(const std::string& path);
+
+/// Same, over an in-memory image (tests, fuzz harnesses).
+Result<OpenedCollectionV3> OpenCollectionV3FromBuffer(
+    std::vector<uint8_t> bytes);
+
+namespace internal {
+/// Test hook: open from a buffer but force the symbol-translation
+/// fallback even when identity holds. The translation map degenerates to
+/// the identity, so the result must be indistinguishable from the
+/// zero-copy path — which is exactly what the differential test asserts.
+Result<OpenedCollectionV3> OpenFromBufferForTesting(
+    std::vector<uint8_t> bytes, bool force_translate);
+}  // namespace internal
+
+/// Materializes the mutable builder graphs from their embedded v2 blobs —
+/// bit-identical to what was saved (same attribute insertion order, same
+/// names) — and adopts the opened snapshots so no recompilation happens
+/// when the graphs are queried.
+Result<GraphCollection> MaterializeGraphs(const OpenedCollectionV3& opened);
+
+/// OpenCollectionV3 + MaterializeGraphs.
+Result<GraphCollection> LoadCollectionV3(const std::string& path);
+
+}  // namespace graphql::io
+
+#endif  // GRAPHQL_IO_SNAPSHOT_V3_H_

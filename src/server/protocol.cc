@@ -302,7 +302,7 @@ Result<Response> DecodeResponse(std::string_view body) {
       !r.ReadString(&resp.body) || !r.AtEnd()) {
     return Status::ParseError("malformed response frame");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDataLoss)) {
     return Status::ParseError("unknown response status code " +
                               std::to_string(code));
   }

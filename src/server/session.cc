@@ -8,6 +8,7 @@
 #include "io/serialize.h"
 #include "lang/parser.h"
 #include "sema/diagnostic.h"
+#include "storage/engine.h"
 
 namespace graphql::server {
 
@@ -62,22 +63,38 @@ std::string RenderLiteral(const Value& v) {
 }  // namespace
 
 Result<std::string> SubstituteParams(const std::string& text,
-                                     const std::vector<Value>& params) {
+                                     const std::vector<Value>& params,
+                                     std::vector<exec::PreparedParam>* sites) {
   std::string out;
   out.reserve(text.size());
   bool in_string = false;
   bool in_comment = false;
+  // 1-based position of the NEXT output character, tracked so each
+  // substitution can record where its rendered literal starts — the exact
+  // line/column the lexer will give that literal's token, which is how
+  // the evaluator finds the parameter's Expr node (exec::PreparedParam).
+  int line = 1;
+  int column = 1;
+  auto emit = [&](char c) {
+    out.push_back(c);
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  };
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     if (in_comment) {
-      out.push_back(c);
+      emit(c);
       if (c == '\n') in_comment = false;
       continue;
     }
     if (in_string) {
-      out.push_back(c);
+      emit(c);
       if (c == '\\' && i + 1 < text.size()) {
-        out.push_back(text[++i]);
+        emit(text[++i]);
       } else if (c == '"') {
         in_string = false;
       }
@@ -85,12 +102,12 @@ Result<std::string> SubstituteParams(const std::string& text,
     }
     if (c == '"') {
       in_string = true;
-      out.push_back(c);
+      emit(c);
       continue;
     }
     if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
       in_comment = true;
-      out.push_back(c);
+      emit(c);
       continue;
     }
     if (c == '$' && i + 1 < text.size() &&
@@ -107,13 +124,25 @@ Result<std::string> SubstituteParams(const std::string& text,
             "placeholder $" + std::to_string(idx) + " has no bound parameter (" +
             std::to_string(params.size()) + " supplied)");
       }
-      out += RenderLiteral(params[idx - 1]);
+      if (sites != nullptr) {
+        sites->push_back({line, column, static_cast<size_t>(idx - 1)});
+      }
+      // Rendered literals never contain a raw newline (RenderLiteral
+      // escapes them), so the position advances within the line.
+      std::string rendered = RenderLiteral(params[idx - 1]);
+      out += rendered;
+      column += static_cast<int>(rendered.size());
       i = end - 1;
       continue;
     }
-    out.push_back(c);
+    emit(c);
   }
   return out;
+}
+
+Result<std::string> SubstituteParams(const std::string& text,
+                                     const std::vector<Value>& params) {
+  return SubstituteParams(text, params, nullptr);
 }
 
 Session::Session(uint64_t id, const SessionContext& ctx)
@@ -176,6 +205,10 @@ Response Session::Handle(const Request& req) {
 }
 
 Response Session::RunQueryText(const std::string& text) {
+  return RunQuery(text, nullptr);
+}
+
+Response Session::RunQuery(const std::string& text, const PreparedRun* prep) {
   if (Draining()) {
     return ShedResponse(ctx_.admission->retry_after_ms(),
                         "server is draining; no new queries");
@@ -222,7 +255,10 @@ Response Session::RunQueryText(const std::string& text) {
   }
   evaluator_.set_limits(effective);
 
-  auto result = evaluator_.RunSource(text);
+  auto result = prep != nullptr
+                    ? evaluator_.RunPrepared(*prep->template_text, text,
+                                             *prep->sites, *prep->params)
+                    : evaluator_.RunSource(text);
   if (!result.ok()) return ErrorResponse(result.status());
 
   Response resp;
@@ -343,9 +379,14 @@ Response Session::HandleExecute(const Request& req) {
     return ErrorResponse(
         Status::NotFound("no prepared query '" + req.a + "'"));
   }
-  auto substituted = SubstituteParams(it->second, req.params);
+  std::vector<exec::PreparedParam> sites;
+  auto substituted = SubstituteParams(it->second, req.params, &sites);
   if (!substituted.ok()) return ErrorResponse(substituted.status());
-  return RunQueryText(*substituted);
+  // Prepared executions share one plan-cache entry across parameter
+  // values (the evaluator patches the bound literals into the cached
+  // plan); see Evaluator::RunPrepared.
+  PreparedRun prep{&it->second, &sites, &req.params};
+  return RunQuery(*substituted, &prep);
 }
 
 Response Session::HandleLoadText(const std::string& name,
@@ -405,6 +446,17 @@ Response Session::HandleStats() {
             std::to_string(collection->size()) + " graphs, " +
             std::to_string(collection->TotalNodes()) + " nodes, " +
             std::to_string(collection->TotalEdges()) + " edges\n";
+  }
+  if (const storage::DurableStore* ds = ctx_.store->durable();
+      ds != nullptr) {
+    body += "durable: dir=" + ds->dir() +
+            " wal_records=" + std::to_string(ds->wal_records()) +
+            " wal_bytes=" + std::to_string(ds->wal_bytes()) +
+            " checkpoints=" + std::to_string(ds->checkpoints()) +
+            " failed_checkpoints=" + std::to_string(ds->failed_checkpoints()) +
+            " resident_mapped_bytes=" +
+            std::to_string(ds->resident_mapped_bytes()) +
+            (ds->poisoned() ? " POISONED" : "") + "\n";
   }
   body += "admission: active=" + std::to_string(ctx_.admission->active()) +
           "/" + std::to_string(ctx_.admission->max_concurrent()) +

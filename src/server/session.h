@@ -85,7 +85,21 @@ class Session {
   exec::Evaluator* evaluator() { return &evaluator_; }
 
  private:
+  /// A prepared execution's identity, threaded from HandleExecute through
+  /// RunQuery to Evaluator::RunPrepared: the template text (placeholders
+  /// intact — the shared plan-cache key), where each rendered parameter
+  /// landed in the substituted text, and the bound values.
+  struct PreparedRun {
+    const std::string* template_text;
+    const std::vector<exec::PreparedParam>* sites;
+    const std::vector<Value>* params;
+  };
+
   Response RunQueryText(const std::string& text);
+  /// The shared query path (admission, snapshot pinning, registry
+  /// rebuild, response rendering). `prep` non-null routes evaluation
+  /// through the prepared-statement plan cache.
+  Response RunQuery(const std::string& text, const PreparedRun* prep);
   Response HandleSet(const std::string& spec);
   Response HandlePrepare(const std::string& name, const std::string& text);
   Response HandleExecute(const Request& req);
@@ -120,6 +134,15 @@ class Session {
 /// placeholder's parameter is missing. Exposed for tests.
 Result<std::string> SubstituteParams(const std::string& text,
                                      const std::vector<Value>& params);
+
+/// As above, and records into `sites` (when non-null) the 1-based
+/// line/column in the OUTPUT text where each rendered literal begins plus
+/// the 0-based parameter it came from — the hand-off that lets the
+/// evaluator find (and later rebind) the literal Expr node each parameter
+/// parsed into. Sites are recorded in placeholder order of appearance.
+Result<std::string> SubstituteParams(const std::string& text,
+                                     const std::vector<Value>& params,
+                                     std::vector<exec::PreparedParam>* sites);
 
 }  // namespace graphql::server
 

@@ -21,7 +21,8 @@ std::shared_ptr<const GraphStore::StoreSnapshot> GraphStore::Pin() const {
 }
 
 Result<uint64_t> GraphStore::Commit(
-    const std::function<Status(StoreSnapshot*)>& mutate) {
+    const std::function<Status(StoreSnapshot*)>& mutate,
+    const std::function<Status(uint64_t)>& log) {
   MutexLock commit_lock(&commit_mu_);
   // Stage: copy the current map (shared_ptr copies, not graph copies) and
   // apply the mutation to the private copy.
@@ -50,14 +51,55 @@ Result<uint64_t> GraphStore::Commit(
           " fault)");
     }
   }
+  // Durability point: the WAL record for this commit reaches disk before
+  // anyone can observe the version it produces. A failed append aborts
+  // the commit — version stands, nothing published, nothing on disk that
+  // replay would trust (a torn record fails its checksum).
+  if (durable_ != nullptr && log != nullptr) {
+    Status ws = log(next->version);
+    if (!ws.ok()) {
+      aborted_commits_.fetch_add(1, std::memory_order_relaxed);
+      return ws;
+    }
+  }
   uint64_t v = next->version;
   {
     MutexLock lock(&publish_mu_);
-    published_ = std::move(next);
+    published_ = next;  // Copy: `next` feeds the checkpoint below.
   }
   version_.store(v, std::memory_order_release);
   commits_.fetch_add(1, std::memory_order_relaxed);
+  // Periodic checkpoint, still under commit_mu_ so it cannot interleave
+  // with another commit's WAL append. Failure is non-fatal: the commit
+  // is already durable in the WAL; the engine counts the miss.
+  if (durable_ != nullptr) {
+    (void)durable_->MaybeCheckpoint(next->docs, v);
+  }
   return v;
+}
+
+void GraphStore::Bootstrap(storage::DurableStore::DocMap docs,
+                           uint64_t version) {
+  MutexLock commit_lock(&commit_mu_);
+  auto snap = std::make_shared<StoreSnapshot>();
+  snap->version = version;
+  snap->docs = std::move(docs);
+  {
+    MutexLock lock(&publish_mu_);
+    published_ = std::move(snap);
+  }
+  version_.store(version, std::memory_order_release);
+}
+
+Status GraphStore::CheckpointNow() {
+  if (durable_ == nullptr) return Status::OK();
+  MutexLock commit_lock(&commit_mu_);
+  std::shared_ptr<const StoreSnapshot> snap;
+  {
+    MutexLock lock(&publish_mu_);
+    snap = published_;
+  }
+  return durable_->Checkpoint(snap->docs, snap->version);
 }
 
 Result<uint64_t> GraphStore::Publish(std::string name,
@@ -68,19 +110,27 @@ Result<uint64_t> GraphStore::Publish(std::string name,
   // first-touch build either.
   collection.CompileAll();
   auto frozen = std::make_shared<const GraphCollection>(std::move(collection));
-  return Commit([&name, &frozen](StoreSnapshot* s) {
-    s->docs[name] = frozen;
-    return Status::OK();
-  });
+  return Commit(
+      [&name, &frozen](StoreSnapshot* s) {
+        s->docs[name] = frozen;
+        return Status::OK();
+      },
+      [this, &name, &frozen](uint64_t version) {
+        return durable_->LogPublish(name, *frozen, version);
+      });
 }
 
 Result<uint64_t> GraphStore::Drop(const std::string& name) {
-  return Commit([&name](StoreSnapshot* s) {
-    if (s->docs.erase(name) == 0) {
-      return Status::NotFound("no shared document '" + name + "'");
-    }
-    return Status::OK();
-  });
+  return Commit(
+      [&name](StoreSnapshot* s) {
+        if (s->docs.erase(name) == 0) {
+          return Status::NotFound("no shared document '" + name + "'");
+        }
+        return Status::OK();
+      },
+      [this, &name](uint64_t version) {
+        return durable_->LogDrop(name, version);
+      });
 }
 
 }  // namespace graphql::server

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "exec/registry.h"
 #include "graph/collection.h"
+#include "storage/engine.h"
 
 namespace graphql::server {
 
@@ -38,6 +39,12 @@ namespace graphql::server {
 ///   * The fault injector's `commit@N` point fires inside the commit
 ///     lock, after the mutation is staged but before publication: an
 ///     aborted commit publishes nothing and leaves the version unchanged.
+///   * With a durable store attached, the commit's WAL record is appended
+///     and fsynced between the fault point and the publish swap — a
+///     version readers can observe is always on disk first, and a commit
+///     that failed to reach disk is never published. Checkpointing also
+///     runs under commit_mu_ (after the swap), so WAL appends, MANIFEST
+///     swaps, and WAL resets are all serialized with commits.
 ///
 /// Pin() and Publish()/Drop() are thread-safe; any number of concurrent
 /// readers run against any number of serialized writers.
@@ -73,6 +80,24 @@ class GraphStore {
   /// Set once at startup, before concurrent use.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Attaches the durable engine. From then on every commit appends a
+  /// WAL record — fsynced before the version is published to readers —
+  /// and commits periodically fold into a v3 checkpoint. Set once at
+  /// startup, before concurrent use; null (the default) keeps the store
+  /// purely in-memory.
+  void set_durable_store(storage::DurableStore* ds) { durable_ = ds; }
+  storage::DurableStore* durable() const { return durable_; }
+
+  /// Installs recovered state as the published snapshot. Startup only
+  /// (before serving): the version jump is not a commit and is not
+  /// WAL-logged — it IS the log's contents.
+  void Bootstrap(storage::DurableStore::DocMap docs, uint64_t version);
+
+  /// Writes an unconditional checkpoint of the current published state
+  /// (clean shutdown: the next start recovers without replaying). No-op
+  /// without a durable store.
+  Status CheckpointNow();
+
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
   uint64_t aborted_commits() const {
     return aborted_commits_.load(std::memory_order_relaxed);
@@ -80,10 +105,15 @@ class GraphStore {
 
  private:
   /// Runs the staged mutation as one commit; returns the new version.
+  /// `log` makes the commit durable (WAL append + fsync) after the
+  /// mutation is staged but before publication — a commit that fails to
+  /// log publishes nothing.
   Result<uint64_t> Commit(
-      const std::function<Status(StoreSnapshot*)>& mutate);
+      const std::function<Status(StoreSnapshot*)>& mutate,
+      const std::function<Status(uint64_t)>& log);
 
   FaultInjector* injector_ = nullptr;
+  storage::DurableStore* durable_ = nullptr;
   /// Serializes writers (held across copy-mutate-publish). Lock order:
   /// commit_mu_ before publish_mu_ — the only nesting in the engine.
   Mutex commit_mu_;

@@ -1,0 +1,35 @@
+#include "storage/checksum.h"
+
+#include <array>
+
+namespace graphql::storage {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // CRC-32C, reflected.
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace graphql::storage

@@ -1,0 +1,27 @@
+#ifndef GRAPHQL_STORAGE_CHECKSUM_H_
+#define GRAPHQL_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace graphql::storage {
+
+/// CRC-32C (Castagnoli polynomial, reflected). Every page and WAL record
+/// the storage layer writes carries one of these; readers verify it before
+/// trusting a single byte of the payload (the `checksum-before-trust`
+/// invariant, linted by tools/invariant_lint.py).
+///
+/// Software slicing-by-one implementation: the storage layer checksums at
+/// file-open and commit frequency, not per-query, so portability beats the
+/// last factor of throughput here.
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0) {
+  return Crc32c(
+      std::span<const uint8_t>(static_cast<const uint8_t*>(data), len), seed);
+}
+
+}  // namespace graphql::storage
+
+#endif  // GRAPHQL_STORAGE_CHECKSUM_H_

@@ -1,0 +1,133 @@
+#ifndef GRAPHQL_STORAGE_PAGER_H_
+#define GRAPHQL_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_annotations.h"
+
+namespace graphql::storage {
+
+/// Fixed page size of every paged file the storage layer writes. 4 KiB
+/// matches the kernel page size on every platform we target, so a mapped
+/// section span is always correctly aligned for the POD arrays snapshot
+/// format v3 views in place (int32/uint32/12-byte AdjEntry).
+inline constexpr size_t kPageSize = 4096;
+
+/// A paged, checksummed, section-addressed file: the physical layer under
+/// snapshot format v3.
+///
+/// Layout (little-endian):
+///   page 0             file header (magic "GQP3", geometry, region CRCs)
+///   directory pages    {section id, byte offset, byte length} entries
+///   checksum table     one CRC-32C per data page
+///   data pages         each section starts on a page boundary,
+///                      zero-padded to the next boundary
+///
+/// The open path reads metadata only — header, directory, and checksum
+/// table are verified eagerly (they are O(sections + pages/1024) bytes);
+/// data pages are verified lazily, once per section, the first time the
+/// section is requested. Open cost is therefore O(metadata), and a reader
+/// that touches two sections of a multi-GB file checksums exactly those
+/// sections' pages — "O(pages touched)".
+class PageFile {
+ public:
+  /// Opens and maps `path` read-only. Prefers mmap; falls back to reading
+  /// the whole file into memory when mapping fails or $GQL_NO_MMAP is set
+  /// (the fallback changes cost, not behavior). Fails on any metadata
+  /// checksum mismatch.
+  static Result<std::shared_ptr<PageFile>> Open(const std::string& path);
+
+  /// Wraps an in-memory image (fuzz harnesses, tests). Same validation as
+  /// Open.
+  static Result<std::shared_ptr<PageFile>> FromBuffer(
+      std::vector<uint8_t> bytes);
+
+  ~PageFile();
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// The section's bytes, or kNotFound / kDataLoss. The first request for
+  /// a section verifies the CRC of every page it spans; the span is only
+  /// handed out after verification succeeds. Returned spans stay valid for
+  /// the PageFile's lifetime (callers that outlive the call hold the
+  /// shared_ptr).
+  Result<std::span<const uint8_t>> Section(uint32_t id) const;
+
+  /// True when the section exists (without verifying it).
+  bool HasSection(uint32_t id) const;
+
+  /// Section ids in file order (directory order).
+  std::vector<uint32_t> SectionIds() const;
+
+  /// Verifies every data page (fsck / recovery / tests); kDataLoss names
+  /// the first bad page.
+  Status VerifyAllPages() const;
+
+  /// True when the file is served by mmap (false: malloc+read fallback).
+  bool mapped() const { return mapped_; }
+
+  /// Bytes this file pins in memory: the mapped extent (or the fallback
+  /// buffer). What the server accounts against resident memory for
+  /// adopted snapshots.
+  size_t resident_bytes() const { return bytes_.size(); }
+
+ private:
+  PageFile() = default;
+
+  static Result<std::shared_ptr<PageFile>> Validate(
+      std::shared_ptr<PageFile> file);
+  Status VerifyPages(uint64_t first_page, uint64_t page_count) const;
+
+  struct SectionEntry {
+    uint64_t offset = 0;  ///< Absolute byte offset (page-aligned).
+    uint64_t length = 0;
+    uint32_t index = 0;   ///< Directory position (verification flag slot).
+  };
+
+  std::span<const uint8_t> bytes_;   ///< Whole-file image.
+  std::vector<uint8_t> owned_;       ///< Backing store in fallback mode.
+  void* map_base_ = nullptr;         ///< mmap base (mapped mode).
+  size_t map_len_ = 0;
+  bool mapped_ = false;
+  uint64_t data_start_page_ = 0;
+  std::span<const uint8_t> crc_table_;  ///< u32 per data page.
+  std::map<uint32_t, SectionEntry> sections_;
+  mutable Mutex verify_mu_;
+  mutable std::vector<uint8_t> section_verified_ GQL_GUARDED_BY(verify_mu_);
+};
+
+/// Builds a PageFile image: sections are accumulated in memory, then laid
+/// out and written in one pass. Collections here are MBs, not the multi-GB
+/// read side, so a buffered writer keeps the format code in one place.
+class PageFileWriter {
+ public:
+  /// Adds a section (ids must be unique; content may be empty).
+  void AddSection(uint32_t id, std::vector<uint8_t> bytes);
+
+  /// The serialized image (also what WriteTo persists).
+  std::vector<uint8_t> Build() const;
+
+  /// Writes the image to `path` (replacing any existing file via a
+  /// same-directory temp file + rename) and fsyncs the file and its
+  /// directory, so a crash leaves either the old file or the new one,
+  /// never a torn mix.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<uint32_t, std::vector<uint8_t>>> sections_;
+};
+
+/// Durably writes `bytes` to `path` via temp-file + rename + directory
+/// fsync (shared by PageFileWriter, MANIFEST, and the symbol dump).
+Status AtomicWriteFile(const std::string& path,
+                       std::span<const uint8_t> bytes);
+
+}  // namespace graphql::storage
+
+#endif  // GRAPHQL_STORAGE_PAGER_H_

@@ -18,6 +18,7 @@
 #include "exec/evaluator.h"
 #include "io/serialize.h"
 #include "motif/deriver.h"
+#include "server/session.h"  // SubstituteParams: the prepared-site producer.
 
 namespace graphql::exec {
 namespace {
@@ -331,6 +332,150 @@ TEST(PlanCacheLruTest, EvictsLeastRecentlyUsedUnderByteBound) {
   // A reinsert replaces in place.
   EXPECT_EQ(cache.Insert(c, 1, MakePlan(120)), 0u);
   EXPECT_EQ(cache.entries(), 2u);
+}
+
+// ---- Prepared statements: parameter slots ----
+//
+// Unlike plain RunSource — where each literal value compiles its own plan
+// (DifferentLiteralsGetDistinctEntries above) — all executions of one
+// prepared template must share a single entry, with the bound parameters
+// patched into the cached plan's literal nodes per execution.
+
+/// Substitutes `params` into `tmpl` exactly as the server does and runs
+/// the result through the prepared path.
+Result<QueryResult> RunPreparedText(Evaluator* ev, const std::string& tmpl,
+                                    std::vector<Value> params) {
+  std::vector<PreparedParam> sites;
+  Result<std::string> substituted =
+      server::SubstituteParams(tmpl, params, &sites);
+  if (!substituted.ok()) return substituted.status();
+  return ev->RunPrepared(tmpl, *substituted, sites, params);
+}
+
+TEST_F(PlanCacheTest, PreparedExecutionsShareOneEntryAcrossValues) {
+  Evaluator ev(&docs_);
+  const std::string tmpl =
+      R"(for graph Q { node v <author>; } exhaustive in doc("DBLP")
+         where Q.booktitle == $1 return Q;)";
+
+  auto sigmod = RunPreparedText(&ev, tmpl, {Value("SIGMOD")});
+  ASSERT_TRUE(sigmod.ok()) << sigmod.status();
+  EXPECT_EQ(sigmod->plan_source, "miss");
+  EXPECT_EQ(ev.plan_cache()->entries(), 1u);
+  EXPECT_EQ(sigmod->returned.size(), 2u);  // G1's two author nodes.
+
+  // Rebinding $1 must hit the SAME entry yet produce VLDB's results.
+  auto vldb = RunPreparedText(&ev, tmpl, {Value("VLDB")});
+  ASSERT_TRUE(vldb.ok()) << vldb.status();
+  EXPECT_EQ(vldb->plan_source, "hit");
+  EXPECT_EQ(Counter(&ev, "plan_cache.hit"), 1u);
+  EXPECT_EQ(ev.plan_cache()->entries(), 1u);
+  EXPECT_EQ(vldb->returned.size(), 1u);  // G2's single author node.
+  EXPECT_NE(Render(*sigmod), Render(*vldb)) << "stale parameter value";
+
+  // And rebinding back reproduces the first execution bit-for-bit.
+  auto again = RunPreparedText(&ev, tmpl, {Value("SIGMOD")});
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->plan_source, "hit");
+  EXPECT_EQ(Counter(&ev, "plan_cache.hit"), 2u);
+  EXPECT_EQ(Render(*sigmod), Render(*again));
+}
+
+TEST_F(PlanCacheTest, PreparedHitSkipsTheFrontEnd) {
+  Evaluator ev(&docs_);
+  const std::string tmpl =
+      R"(for graph Q { node v <author>; } exhaustive in doc("DBLP")
+         where Q.booktitle == $1 return Q;)";
+  ASSERT_TRUE(RunPreparedText(&ev, tmpl, {Value("SIGMOD")}).ok());
+  EXPECT_EQ(Counter(&ev, "exec.frontend.parses"), 1u);
+  EXPECT_EQ(Counter(&ev, "exec.frontend.semas"), 1u);
+  ASSERT_TRUE(RunPreparedText(&ev, tmpl, {Value("VLDB")}).ok());
+  // Different value, zero front-end work.
+  EXPECT_EQ(Counter(&ev, "exec.frontend.parses"), 1u);
+  EXPECT_EQ(Counter(&ev, "exec.frontend.semas"), 1u);
+}
+
+TEST_F(PlanCacheTest, PreparedRebindFromEmptyToMatchingValues) {
+  // The dangerous direction for cached value-dependent analysis: the
+  // first execution matches nothing; the rebind must still match (a
+  // cached unsatisfiability verdict would wrongly prune it to empty).
+  Evaluator ev(&docs_);
+  const std::string tmpl =
+      R"(for graph Q { node v <author>; } exhaustive in doc("DBLP")
+         where Q.booktitle == $1 return Q;)";
+  auto none = RunPreparedText(&ev, tmpl, {Value("NO-SUCH-VENUE")});
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_EQ(none->returned.size(), 0u);
+  auto some = RunPreparedText(&ev, tmpl, {Value("SIGMOD")});
+  ASSERT_TRUE(some.ok()) << some.status();
+  EXPECT_EQ(some->plan_source, "hit");
+  EXPECT_EQ(some->returned.size(), 2u);
+}
+
+TEST_F(PlanCacheTest, PreparedParamInTemplateIsPatched) {
+  // Return templates are instantiated from the AST every run, so a
+  // parameter in a template tuple is patchable too.
+  Evaluator ev(&docs_);
+  const std::string tmpl =
+      R"(for graph Q { node v <author>; } exhaustive in doc("DBLP")
+         where Q.booktitle == "SIGMOD"
+         return graph { node w <venue name=$1>; };)";
+  auto first = RunPreparedText(&ev, tmpl, {Value("aaa")});
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->returned.size(), 2u);
+  EXPECT_NE(Render(*first).find("aaa"), std::string::npos);
+
+  auto second = RunPreparedText(&ev, tmpl, {Value("bbb")});
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->plan_source, "hit");
+  EXPECT_NE(Render(*second).find("bbb"), std::string::npos)
+      << "template still carries the first execution's value";
+  EXPECT_EQ(Render(*second).find("aaa"), std::string::npos);
+}
+
+TEST_F(PlanCacheTest, PreparedParamInPatternTupleFallsBack) {
+  // A parameter inside a pattern tuple literal is baked into the compiled
+  // pattern's attribute requirements — it cannot be patched afterwards,
+  // so such executions must take the per-value path (and still be
+  // correct for every value).
+  Evaluator ev(&docs_);
+  const std::string tmpl =
+      R"(for graph Q { node v <author name=$1>; } exhaustive in doc("DBLP")
+         return Q;)";
+  auto a = RunPreparedText(&ev, tmpl, {Value("A")});
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->returned.size(), 1u);
+  EXPECT_GE(Counter(&ev, "plan_cache.prepared_fallback"), 1u);
+
+  auto c = RunPreparedText(&ev, tmpl, {Value("C")});
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->returned.size(), 1u);
+  EXPECT_NE(Render(*a), Render(*c)) << "stale baked pattern value";
+  EXPECT_EQ(Counter(&ev, "plan_cache.prepared_fallback"), 2u);
+
+  // The fallback runs still cache per-value (RunSource keying): repeating
+  // a value hits that per-value entry.
+  auto a2 = RunPreparedText(&ev, tmpl, {Value("A")});
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->plan_source, "hit");
+  EXPECT_EQ(Render(*a), Render(*a2));
+}
+
+TEST_F(PlanCacheTest, PreparedTypeChangeGetsItsOwnEntry) {
+  // Same template, same slot, different parameter TYPE: the cached sema
+  // ran against the first type, so a rebind to another type compiles its
+  // own entry rather than patching the shared one.
+  Evaluator ev(&docs_);
+  const std::string tmpl =
+      R"(for graph Q { node v <author>; } exhaustive in doc("DBLP")
+         where Q.booktitle == $1 return Q;)";
+  ASSERT_TRUE(RunPreparedText(&ev, tmpl, {Value("SIGMOD")}).ok());
+  EXPECT_EQ(ev.plan_cache()->entries(), 1u);
+  auto as_int = RunPreparedText(&ev, tmpl, {Value(int64_t{7})});
+  ASSERT_TRUE(as_int.ok()) << as_int.status();
+  EXPECT_EQ(as_int->plan_source, "miss");
+  EXPECT_EQ(as_int->returned.size(), 0u);
+  EXPECT_EQ(ev.plan_cache()->entries(), 2u);
 }
 
 }  // namespace

@@ -83,6 +83,30 @@ TEST(SubstituteParamsTest, LeavesStringsAndCommentsAlone) {
   EXPECT_EQ(*r2, "where a.n = \"x\\\"$1\" & a.y = 7");
 }
 
+TEST(SubstituteParamsTest, RecordsRenderedLiteralSites) {
+  std::vector<Value> params;
+  params.push_back(Value(int64_t{42}));
+  params.push_back(Value("ab"));
+  std::vector<exec::PreparedParam> sites;
+  auto r = SubstituteParams("where a.x > $1\n  & a.n == $2 & a.y == $1",
+                            params, &sites);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "where a.x > 42\n  & a.n == \"ab\" & a.y == 42");
+  ASSERT_EQ(sites.size(), 3u);
+  // "42" starts at line 1 column 13 (1-based).
+  EXPECT_EQ(sites[0].line, 1);
+  EXPECT_EQ(sites[0].column, 13);
+  EXPECT_EQ(sites[0].index, 0u);
+  // "\"ab\"" starts on line 2 where the placeholder was, at the quote.
+  EXPECT_EQ(sites[1].line, 2);
+  EXPECT_EQ(sites[1].column, 12);
+  EXPECT_EQ(sites[1].index, 1u);
+  // The second $1 lands after the widened $2 rendering.
+  EXPECT_EQ(sites[2].line, 2);
+  EXPECT_EQ(sites[2].column, 26);
+  EXPECT_EQ(sites[2].index, 0u);
+}
+
 TEST(SubstituteParamsTest, MissingParameterIsAnError) {
   std::vector<Value> params;
   params.push_back(Value(int64_t{1}));
@@ -204,6 +228,37 @@ TEST_F(ServerSessionTest, PrepareExecuteRoundTrip) {
   Response miss = s.Handle(exec);
   ASSERT_EQ(miss.code, StatusCode::kOk) << miss.body;
   EXPECT_EQ(miss.body.find("returned"), std::string::npos);
+}
+
+TEST_F(ServerSessionTest, ExecuteSharesOnePlanAcrossParameterValues) {
+  // A where-clause parameter: executions with different values must share
+  // a single plan-cache entry (the evaluator patches the bound literal),
+  // while still answering each value correctly.
+  Session s = MakeSession();
+  ASSERT_EQ(s.Handle(Req(Op::kLoadText, "D", kCollectionText)).code,
+            StatusCode::kOk);
+  ASSERT_EQ(s.Handle(Req(Op::kPrepare, "by_venue",
+                         R"(for graph Q { node a <author>; }
+                            in doc("D") where Q.booktitle == $1 return Q;)"))
+                .code,
+            StatusCode::kOk);
+
+  Request exec = Req(Op::kExecute, "by_venue");
+  exec.params.push_back(Value("SIGMOD"));
+  Response match = s.Handle(exec);
+  ASSERT_EQ(match.code, StatusCode::kOk) << match.body;
+  EXPECT_NE(match.body.find("returned 1 graphs"), std::string::npos);
+  ASSERT_NE(s.evaluator()->plan_cache(), nullptr);
+  EXPECT_EQ(s.evaluator()->plan_cache()->entries(), 1u);
+
+  exec.params[0] = Value("VLDB");
+  Response none = s.Handle(exec);
+  ASSERT_EQ(none.code, StatusCode::kOk) << none.body;
+  EXPECT_EQ(none.body.find("returned"), std::string::npos);
+  // Same entry served both values.
+  EXPECT_EQ(s.evaluator()->plan_cache()->entries(), 1u);
+  EXPECT_EQ(
+      s.evaluator()->metrics()->GetCounter("plan_cache.hit")->Value(), 1u);
 }
 
 TEST_F(ServerSessionTest, PrepareRejectsMalformedAndExecuteValidates) {

@@ -1,0 +1,301 @@
+#include "storage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/governor.h"
+#include "common/status.h"
+#include "graph/snapshot.h"
+#include "motif/deriver.h"
+#include "server/store.h"
+
+namespace graphql::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    char buf[] = "/tmp/gql_engine_test_XXXXXX";
+    path_ = ::mkdtemp(buf);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+GraphCollection SampleCollection(const std::string& label) {
+  GraphCollection c;
+  auto g = motif::GraphFromSource(R"(
+    graph G <kind=")" + label + R"("> {
+      node a <label="A", weight=1.5>;
+      node b <label="B">;
+      node c;
+      edge e1 (a, b) <rel="knows">;
+      edge e2 (b, c);
+    })");
+  EXPECT_TRUE(g.ok()) << g.status();
+  c.Add(std::move(g).value());
+  return c;
+}
+
+Result<std::unique_ptr<DurableStore>> OpenAt(
+    const std::string& dir, FaultInjector* injector = nullptr,
+    uint64_t checkpoint_every = 1000) {
+  DurableStore::Options opts;
+  opts.dir = dir;
+  opts.checkpoint_every = checkpoint_every;
+  opts.injector = injector;
+  return DurableStore::Open(opts);
+}
+
+TEST(DurableStoreTest, EmptyDirectoryRecoversEmpty) {
+  TempDir dir;
+  auto ds = OpenAt(dir.path());
+  ASSERT_TRUE(ds.ok()) << ds.status().message();
+  EXPECT_EQ(ds.value()->recovered_version(), 0u);
+  EXPECT_TRUE(ds.value()->recovered_docs().empty());
+  const auto& rs = ds.value()->recovery_stats();
+  EXPECT_EQ(rs.checkpoint_seq, 0u);
+  EXPECT_EQ(rs.wal_records_replayed, 0u);
+  EXPECT_EQ(rs.wal_torn_bytes, 0u);
+}
+
+TEST(DurableStoreTest, WalOnlyRecoveryReplaysCommits) {
+  TempDir dir;
+  {
+    auto ds = OpenAt(dir.path());
+    ASSERT_TRUE(ds.ok());
+    server::GraphStore store;
+    store.set_durable_store(ds.value().get());
+    ASSERT_TRUE(store.Publish("db", SampleCollection("one")).ok());
+    ASSERT_TRUE(store.Publish("aux", SampleCollection("two")).ok());
+    ASSERT_TRUE(store.Drop("aux").ok());
+    EXPECT_EQ(store.version(), 3u);
+    EXPECT_EQ(ds.value()->wal_records(), 3u);
+    // No clean shutdown: the WAL is the only record of these commits.
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_TRUE(ds.ok()) << ds.status().message();
+  EXPECT_EQ(ds.value()->recovered_version(), 3u);
+  const auto& rs = ds.value()->recovery_stats();
+  EXPECT_EQ(rs.checkpoint_seq, 0u);
+  EXPECT_EQ(rs.wal_records_replayed, 3u);
+  ASSERT_EQ(ds.value()->recovered_docs().size(), 1u);
+  const auto& db = ds.value()->recovered_docs().at("db");
+  EXPECT_EQ(db->size(), 1u);
+  EXPECT_EQ(db->TotalNodes(), 3u);
+  EXPECT_EQ(db->TotalEdges(), 2u);
+  // Replayed work was folded into a fresh checkpoint; a third open
+  // replays nothing.
+  auto again = OpenAt(dir.path());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->recovery_stats().wal_records_replayed, 0u);
+  EXPECT_GT(again.value()->recovery_stats().checkpoint_seq, 0u);
+  EXPECT_EQ(again.value()->recovered_version(), 3u);
+}
+
+TEST(DurableStoreTest, CleanShutdownCheckpointOpensZeroCopy) {
+  TempDir dir;
+  {
+    auto ds = OpenAt(dir.path());
+    ASSERT_TRUE(ds.ok());
+    server::GraphStore store;
+    store.set_durable_store(ds.value().get());
+    ASSERT_TRUE(store.Publish("db", SampleCollection("zc")).ok());
+    ASSERT_TRUE(store.CheckpointNow().ok());
+    EXPECT_EQ(ds.value()->checkpoints(), 1u);
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_TRUE(ds.ok()) << ds.status().message();
+  const auto& rs = ds.value()->recovery_stats();
+  EXPECT_EQ(rs.wal_records_replayed, 0u);
+  EXPECT_EQ(rs.wal_records_skipped, 0u);
+  EXPECT_EQ(rs.docs_loaded, 1u);
+  EXPECT_GT(rs.symbols_loaded, 0u);
+  // Same-process symbol identity always holds, so the checkpoint maps
+  // in place and its pages count as resident.
+  EXPECT_TRUE(rs.all_zero_copy);
+  EXPECT_GT(ds.value()->resident_mapped_bytes(), 0u);
+  const auto& db = ds.value()->recovered_docs().at("db");
+  EXPECT_TRUE((*db)[0].snapshot()->is_mapped());
+  EXPECT_EQ(ds.value()->recovered_version(), 1u);
+}
+
+TEST(DurableStoreTest, AutoCheckpointAfterThreshold) {
+  TempDir dir;
+  auto ds = OpenAt(dir.path(), nullptr, /*checkpoint_every=*/2);
+  ASSERT_TRUE(ds.ok());
+  server::GraphStore store;
+  store.set_durable_store(ds.value().get());
+  ASSERT_TRUE(store.Publish("a", SampleCollection("a")).ok());
+  EXPECT_EQ(ds.value()->checkpoints(), 0u);
+  ASSERT_TRUE(store.Publish("b", SampleCollection("b")).ok());
+  EXPECT_EQ(ds.value()->checkpoints(), 1u);  // Threshold reached.
+  ASSERT_TRUE(store.Publish("c", SampleCollection("c")).ok());
+  EXPECT_EQ(ds.value()->checkpoints(), 1u);  // One record since.
+  ds.value().reset();
+
+  auto reopened = OpenAt(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  const auto& rs = reopened.value()->recovery_stats();
+  EXPECT_EQ(rs.docs_loaded, 2u);           // a, b from the checkpoint.
+  EXPECT_EQ(rs.wal_records_replayed, 1u);  // c from the WAL.
+  EXPECT_EQ(reopened.value()->recovered_version(), 3u);
+  EXPECT_EQ(reopened.value()->recovered_docs().size(), 3u);
+}
+
+TEST(DurableStoreTest, VersionSequenceContinuesAcrossRestart) {
+  TempDir dir;
+  {
+    auto ds = OpenAt(dir.path());
+    ASSERT_TRUE(ds.ok());
+    server::GraphStore store;
+    store.set_durable_store(ds.value().get());
+    ASSERT_TRUE(store.Publish("db", SampleCollection("v1")).ok());
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_TRUE(ds.ok());
+  server::GraphStore store;
+  store.set_durable_store(ds.value().get());
+  store.Bootstrap(ds.value()->recovered_docs(),
+                  ds.value()->recovered_version());
+  EXPECT_EQ(store.version(), 1u);
+  auto v = store.Publish("db", SampleCollection("v2"));
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(*v, 2u);  // LSN == version continues, no drift.
+  ASSERT_TRUE(store.Drop("db").ok());
+  ds.value().reset();
+
+  auto reopened = OpenAt(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->recovered_version(), 3u);
+  EXPECT_TRUE(reopened.value()->recovered_docs().empty());
+}
+
+TEST(DurableStoreTest, TornWalAppendAbortsCommitAndPoisons) {
+  TempDir dir;
+  FaultInjector injector;
+  injector.AddRule(GovernPoint::kWalAppend, /*at=*/2, TripKind::kSteps);
+  {
+    auto ds = OpenAt(dir.path(), &injector);
+    ASSERT_TRUE(ds.ok());
+    server::GraphStore store;
+    store.set_durable_store(ds.value().get());
+    ASSERT_TRUE(store.Publish("db", SampleCollection("kept")).ok());
+    // The injected fault writes a torn prefix and fails the append; the
+    // commit aborts, nothing is published.
+    auto v = store.Publish("db", SampleCollection("lost"));
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kDataLoss);
+    EXPECT_EQ(store.version(), 1u);
+    EXPECT_EQ(store.aborted_commits(), 1u);
+    // The tail now holds a torn record; the engine refuses to bury it.
+    EXPECT_TRUE(ds.value()->poisoned());
+    auto v2 = store.Publish("db", SampleCollection("refused"));
+    ASSERT_FALSE(v2.ok());
+    EXPECT_EQ(store.version(), 1u);
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_TRUE(ds.ok()) << ds.status().message();
+  EXPECT_EQ(ds.value()->recovered_version(), 1u);
+  EXPECT_GT(ds.value()->recovery_stats().wal_torn_bytes, 0u);
+  ASSERT_EQ(ds.value()->recovered_docs().size(), 1u);
+  // The surviving doc is the one whose commit published.
+  const auto& db = ds.value()->recovered_docs().at("db");
+  EXPECT_EQ(db->TotalNodes(), 3u);
+  EXPECT_FALSE(ds.value()->poisoned());
+}
+
+TEST(DurableStoreTest, CheckpointFaultIsNonFatalAndRecoverable) {
+  TempDir dir;
+  FaultInjector injector;
+  injector.AddRule(GovernPoint::kCheckpoint, /*at=*/1, TripKind::kSteps);
+  {
+    auto ds = OpenAt(dir.path(), &injector, /*checkpoint_every=*/1);
+    ASSERT_TRUE(ds.ok());
+    server::GraphStore store;
+    store.set_durable_store(ds.value().get());
+    // The commit succeeds (WAL record on disk) even though the
+    // checkpoint it triggers aborts before the MANIFEST swap.
+    auto v = store.Publish("db", SampleCollection("chk")).ok();
+    EXPECT_TRUE(v);
+    EXPECT_EQ(store.version(), 1u);
+    EXPECT_EQ(ds.value()->checkpoints(), 0u);
+    EXPECT_EQ(ds.value()->failed_checkpoints(), 1u);
+    // The next commit's checkpoint succeeds (rule exhausted) from the
+    // same chk-1 name the aborted attempt left behind.
+    ASSERT_TRUE(store.Publish("db2", SampleCollection("chk2")).ok());
+    EXPECT_EQ(ds.value()->checkpoints(), 1u);
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_TRUE(ds.ok()) << ds.status().message();
+  EXPECT_EQ(ds.value()->recovered_version(), 2u);
+  EXPECT_EQ(ds.value()->recovered_docs().size(), 2u);
+}
+
+TEST(DurableStoreTest, TamperedManifestIsRejected) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.path() + "/MANIFEST");
+    out << "GQLM 1\ncheckpoint 1\nversion 1\ndoc ../../etc/evil.gqls\n";
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableStoreTest, CorruptSymbolDumpIsRejected) {
+  TempDir dir;
+  {
+    auto ds = OpenAt(dir.path());
+    ASSERT_TRUE(ds.ok());
+    server::GraphStore store;
+    store.set_durable_store(ds.value().get());
+    ASSERT_TRUE(store.Publish("db", SampleCollection("sym")).ok());
+    ASSERT_TRUE(store.CheckpointNow().ok());
+  }
+  // Flip a byte inside the symbol dump's data pages.
+  std::string path;
+  for (const auto& entry : fs::recursive_directory_iterator(dir.path())) {
+    if (entry.path().filename() == "symbols.dat") path = entry.path();
+  }
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    char b = 0;
+    f.seekg(-1, std::ios::end);
+    f.get(b);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(b ^ 0xff));
+  }
+  auto ds = OpenAt(dir.path());
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurableStoreTest, InMemoryStoreIsUnaffectedByDefault) {
+  // No durable store attached: publishes work, nothing touches disk.
+  server::GraphStore store;
+  ASSERT_TRUE(store.Publish("db", SampleCollection("mem")).ok());
+  EXPECT_EQ(store.durable(), nullptr);
+  EXPECT_EQ(store.version(), 1u);
+}
+
+}  // namespace
+}  // namespace graphql::storage

@@ -3,6 +3,7 @@
 // Usage:
 //   gqld [--host H] [--port N] [--workers N] [--max-concurrent N]
 //        [--pool-mb N] [--timeout-cap-ms N] [--drain-grace-ms N]
+//        [--data-dir DIR] [--checkpoint-every N]
 //        [--load NAME=PATH ...] [--print-port]
 //
 //   --host H            listen address (default 127.0.0.1; gqld has no
@@ -14,8 +15,13 @@
 //   --pool-mb N         shared query-memory pool (default unlimited)
 //   --timeout-cap-ms N  server-wide cap on per-query deadlines
 //   --drain-grace-ms N  SIGTERM drain grace before cancelling (default 2000)
+//   --data-dir DIR      durable mode: recover published docs from DIR
+//                       (WAL + v3 checkpoints) on start, WAL-log every
+//                       commit, checkpoint on clean shutdown
+//   --checkpoint-every N  auto-checkpoint after N WAL records (default 64)
 //   --load NAME=PATH    publish a collection file as shared doc("NAME")
-//                       before serving (repeatable)
+//                       before serving (repeatable; in durable mode the
+//                       publishes are WAL-logged like any commit)
 //   --print-port        print "PORT <n>" once listening (for harnesses)
 //
 // Signals: SIGTERM and SIGINT both trigger a graceful drain — new queries
@@ -39,8 +45,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/governor.h"
 #include "io/serialize.h"
 #include "server/server.h"
+#include "storage/engine.h"
 
 using namespace graphql;
 
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   options.port = 7411;
   bool print_port = false;
+  std::string data_dir;
+  uint64_t checkpoint_every = 64;
   std::vector<std::pair<std::string, std::string>> preload;
 
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +105,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-grace-ms") {
       options.drain_grace_ms =
           static_cast<int>(ParseNum("--drain-grace-ms", next()));
+    } else if (arg == "--data-dir") {
+      data_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every =
+          static_cast<uint64_t>(ParseNum("--checkpoint-every", next()));
+      if (checkpoint_every == 0) checkpoint_every = 1;
     } else if (arg == "--load") {
       std::string spec = next();
       size_t eq = spec.find('=');
@@ -113,6 +129,37 @@ int main(int argc, char** argv) {
   }
 
   server::Server srv(options);
+
+  // Durable mode: recover before anything interns symbols or publishes,
+  // then route every commit through the WAL.
+  std::unique_ptr<storage::DurableStore> durable;
+  if (!data_dir.empty()) {
+    storage::DurableStore::Options dopts;
+    dopts.dir = data_dir;
+    dopts.checkpoint_every = checkpoint_every;
+    dopts.injector = FaultInjector::FromEnv();
+    auto opened = storage::DurableStore::Open(dopts);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "gqld: --data-dir %s: %s\n", data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(opened).value();
+    srv.store()->set_durable_store(durable.get());
+    srv.store()->Bootstrap(durable->recovered_docs(),
+                           durable->recovered_version());
+    const auto& rs = durable->recovery_stats();
+    std::fprintf(
+        stderr,
+        "gqld: recovered %llu docs at version %llu from %s "
+        "(checkpoint %llu, replayed %llu wal records, torn %llu bytes)\n",
+        static_cast<unsigned long long>(durable->recovered_docs().size()),
+        static_cast<unsigned long long>(durable->recovered_version()),
+        data_dir.c_str(),
+        static_cast<unsigned long long>(rs.checkpoint_seq),
+        static_cast<unsigned long long>(rs.wal_records_replayed),
+        static_cast<unsigned long long>(rs.wal_torn_bytes));
+  }
 
   for (const auto& [name, path] : preload) {
     auto c = io::LoadCollection(path);
@@ -158,6 +205,15 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "gqld: draining...\n");
   srv.Shutdown();
+  if (durable != nullptr) {
+    // Clean shutdown: fold the WAL into a checkpoint so the next start
+    // recovers without replaying.
+    Status cs = srv.store()->CheckpointNow();
+    if (!cs.ok()) {
+      std::fprintf(stderr, "gqld: shutdown checkpoint: %s\n",
+                   cs.ToString().c_str());
+    }
+  }
   const server::ServerCounters* c = srv.counters();
   std::fprintf(
       stderr,

@@ -22,6 +22,12 @@ mechanical. Rules:
                           (CheckCount / kMax* cap) before sizing an
                           allocation — a 16-byte frame must not be able
                           to request a 4GB buffer.
+  checksum-before-trust   Bytes read raw from the OS (pread/mmap/
+                          ifstream) in the durable-storage layer are
+                          checksum-verified — or handed to a reader that
+                          verifies them — before any field is trusted.
+                          A torn write must surface as DataLoss, never
+                          as a half-applied record.
 
 Suppression: a line (or the line above it) may carry
     // invariant-lint: allow(<rule>) <reason>
@@ -48,6 +54,7 @@ RULES = (
     "snapshot-string-compare",
     "governor-charge-loop",
     "length-validated-alloc",
+    "checksum-before-trust",
 )
 
 ALLOW_RE = re.compile(
@@ -282,12 +289,61 @@ def rule_length_validated_alloc(path, lines, out):
                 f"validation in the preceding {LOOKBACK_LINES} lines"))
 
 
+# Raw ingestion of bytes from the OS. std::getline is deliberately
+# included: line-oriented parsing of an unverified file is exactly the
+# pattern this rule exists to flag.
+RAW_READ_RE = re.compile(
+    r"::pread\s*\(|::read\s*\(|\bfread\s*\(|::mmap\s*\(|std::ifstream|"
+    r"std::getline")
+# Evidence the bytes are (or are about to be) verified: a CRC computation,
+# or delegation to a reader whose contract is "checksummed or error".
+TRUST_RE = re.compile(
+    r"Crc32c|crc32|[Cc]hecksum|PageFile::(?:Open|FromBuffer)|"
+    r"ReplayWalBuffer|Validate\s*\(")
+READ_CLUSTER_GAP = 10  # Read lines this close merge into one finding.
+TRUST_BACK = 5
+TRUST_FWD = 30
+
+
+def rule_checksum_before_trust(path, lines, out):
+    """Cluster raw-read lines, then demand a trust token near the cluster.
+
+    Clustering keeps a multi-line read loop (open / fstat / pread loop /
+    getline loop) from producing one violation per line: the first line of
+    the cluster anchors both the finding and any allow() suppression."""
+    read_lines = []
+    for i, raw in enumerate(lines, 1):
+        if RAW_READ_RE.search(strip_line_comment(raw)):
+            read_lines.append(i)
+    clusters = []
+    for i in read_lines:
+        if clusters and i - clusters[-1][-1] <= READ_CLUSTER_GAP:
+            clusters[-1].append(i)
+        else:
+            clusters.append([i])
+    for cluster in clusters:
+        first, last = cluster[0], cluster[-1]
+        if allows(lines, first, "checksum-before-trust"):
+            continue
+        window = lines[max(0, first - 1 - TRUST_BACK):
+                       min(len(lines), last + TRUST_FWD)]
+        if any(TRUST_RE.search(strip_line_comment(w)) for w in window):
+            continue
+        out.append(Violation(
+            path, first, "checksum-before-trust",
+            "bytes read raw from the OS with no Crc32c/checksum validation "
+            "(or delegation to a checksummed reader) within "
+            f"{TRUST_FWD} lines — a torn or corrupt file must be detected "
+            "before its contents are trusted"))
+
+
 RULE_FUNCS = {
     "naked-mutex": rule_naked_mutex,
     "graph-version-bump": rule_graph_version_bump,
     "snapshot-string-compare": rule_snapshot_string_compare,
     "governor-charge-loop": rule_governor_charge_loop,
     "length-validated-alloc": rule_length_validated_alloc,
+    "checksum-before-trust": rule_checksum_before_trust,
 }
 
 # rule -> (include globs, exclude basenames) relative to the repo root.
@@ -303,7 +359,13 @@ TREE_SCOPE = {
          "src/match/neighborhood.cc", "src/match/pipeline.cc",
          "src/match/vectorized.cc", "src/match/pred_bytecode.cc"], set()),
     "length-validated-alloc": (
-        ["src/io/serialize.cc", "src/server/protocol.cc"], set()),
+        ["src/io/serialize.cc", "src/server/protocol.cc",
+         "src/storage/wal.cc", "src/storage/pager.cc",
+         "src/storage/engine.cc", "src/io/snapshot_v3.cc"], set()),
+    # The durable layer: every byte that crosses the process boundary must
+    # be checksummed (or read through a reader that checksums) before use.
+    "checksum-before-trust": (
+        ["src/storage", "src/io/snapshot_v3.cc"], set()),
 }
 
 

@@ -103,6 +103,44 @@ class LengthValidatedAllocTest(unittest.TestCase):
         self.assertEqual(vs[0].line, 10)  # DecodeUnchecked's resize.
 
 
+class ChecksumBeforeTrustTest(unittest.TestCase):
+    def test_catches_raw_reads_without_verification(self):
+        vs = run_rule("checksum-before-trust", "checksum_before_trust.cc")
+        self.assertEqual(len(vs), 2)
+        self.assertTrue(
+            all(v.rule == "checksum-before-trust" for v in vs))
+        # LoadIndexNoVerify's pread and CountEntries' ifstream/getline
+        # cluster; the CRC-checked, delegating, and suppressed functions
+        # further down must all stay clean.
+        self.assertEqual(vs[0].line, 15)
+        self.assertEqual(vs[1].line, 32)
+
+    def test_read_loop_is_one_finding_not_one_per_line(self):
+        # CountEntries has both an ifstream open and a getline loop; the
+        # cluster must collapse them into a single violation.
+        vs = run_rule("checksum-before-trust", "checksum_before_trust.cc")
+        self.assertEqual(sum(1 for v in vs if 30 <= v.line <= 40), 1)
+
+    def test_storage_layer_is_in_tree_scope(self):
+        scopes, exclude = invariant_lint.TREE_SCOPE["checksum-before-trust"]
+        paths = list(invariant_lint.iter_sources(ROOT, scopes, exclude))
+        self.assertTrue(any(p.endswith("storage/wal.cc") for p in paths))
+        self.assertTrue(any(p.endswith("storage/pager.cc") for p in paths))
+        self.assertTrue(any(p.endswith("storage/engine.cc") for p in paths))
+        self.assertTrue(any(p.endswith("io/snapshot_v3.cc") for p in paths))
+
+
+class StorageDecodersInAllocScopeTest(unittest.TestCase):
+    def test_wal_and_v3_decoders_are_in_tree_scope(self):
+        # The durable layer decodes lengths from disk exactly like the
+        # wire protocol does from sockets; same rule, same scope.
+        scopes, exclude = invariant_lint.TREE_SCOPE["length-validated-alloc"]
+        paths = list(invariant_lint.iter_sources(ROOT, scopes, exclude))
+        for tail in ("storage/wal.cc", "storage/pager.cc",
+                     "storage/engine.cc", "io/snapshot_v3.cc"):
+            self.assertTrue(any(p.endswith(tail) for p in paths), tail)
+
+
 class SuppressionTest(unittest.TestCase):
     def test_allow_with_reason_suppresses(self):
         vs = run_rule("governor-charge-loop", "suppressed.cc")

@@ -1,0 +1,112 @@
+// Corpus for the checksum-before-trust rule. Not compiled; shape only.
+//
+// Layout note: the rule merges read lines within READ_CLUSTER_GAP and
+// scans TRUST_FWD lines past a cluster for a trust token, so the
+// violating functions up top are padded well away from the clean
+// functions below — otherwise the clean code's Crc32c would launder the
+// violations above it.
+#include <fstream>
+#include <string>
+#include <vector>
+
+// VIOLATION: reads a file raw and trusts fields with no CRC anywhere near.
+bool LoadIndexNoVerify(int fd, std::vector<unsigned char>* out) {
+  out->assign(1024, 0);
+  long got = ::pread(fd, out->data(), out->size(), 0);
+  if (got <= 0) return false;
+  return (*out)[0] == 'G';  // Trusts the byte immediately.
+}
+
+// ---------------------------------------------------------------------
+// Padding so the two violating clusters do not merge into one finding.
+// ---------------------------------------------------------------------
+//
+//
+//
+//
+//
+//
+
+// VIOLATION: line-oriented parse of an unverified file.
+int CountEntries(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Padding: more than TRUST_FWD lines must separate the last violating
+// read above from the first trust token below, or the window scan would
+// credit the violations with the clean code's checksum.
+// ---------------------------------------------------------------------
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+// CLEAN: the read is followed by a CRC check before anything is trusted.
+bool LoadIndexVerified(int fd, std::vector<unsigned char>* out) {
+  out->assign(1024, 0);
+  long got = ::pread(fd, out->data(), out->size(), 0);
+  if (got <= 0) return false;
+  unsigned expect = 0x1234;
+  if (Crc32c(out->data(), out->size()) != expect) return false;
+  return (*out)[0] == 'G';
+}
+
+// CLEAN: delegation — the raw bytes go straight to a reader whose
+// contract is "checksummed or error".
+bool ReplayLogFile(int fd, std::vector<unsigned char>* bytes) {
+  long got = ::pread(fd, bytes->data(), bytes->size(), 0);
+  if (got <= 0) return false;
+  return ReplayWalBuffer(*bytes, nullptr).ok();
+}
+
+// ---------------------------------------------------------------------
+// Padding so the suppressed function below is outside the clusters and
+// trust windows of the clean functions above.
+// ---------------------------------------------------------------------
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+// CLEAN: suppressed with a reason.
+std::string ReadMotd(const std::string& path) {
+  // invariant-lint: allow(checksum-before-trust) operator-editable text
+  // file; contents are displayed, never parsed into state.
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  return line;
+}

@@ -151,6 +151,23 @@ def summarize_storage(path, data):
               f"hits={pc.get('warm_hits', 0)}  "
               f"warm front-end {pc.get('warm_frontend_fraction', 0) * 100:.2f}%"
               f" of time (budget 5%)")
+    durable = data.get("durable")
+    if isinstance(durable, dict):
+        print(f"  durable open (to query-ready):")
+        for lane in durable.get("open_lanes", []):
+            print(f"  {lane.get('lane', '?'):>12} "
+                  f"{lane.get('ms', 0):>10.2f} ms  "
+                  f"{lane.get('file_bytes', 0):>10} file bytes")
+        print(f"  v3 open speedup: "
+              f"{durable.get('open_speedup_vs_text', 0):.1f}x vs v2 text "
+              f"(budget 10x), "
+              f"{durable.get('open_speedup_vs_binary', 0):.1f}x vs v2 "
+              f"binary; materialized identical: {durable.get('identical')}")
+        for lane in durable.get("recovery_lanes", []):
+            print(f"  recovery {lane.get('lane', '?'):>12} "
+                  f"{lane.get('ms', 0):>10.2f} ms  "
+                  f"wal_records={lane.get('wal_records', 0)}  "
+                  f"checkpoint_docs={lane.get('checkpoint_docs', 0)}")
 
 
 def summarize_selection(path, data):
